@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the hot paths: event queue, RNG, inbox
+//! matching, partitioner, and end-to-end simulation throughput with and
+//! without the HydEE protocol (the simulator-side analogue of the paper's
+//! "almost no overhead" claim).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use det_sim::{DetRng, Scheduler, SimDuration, SimTime};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{
+    Application, ClusterMap, NullProtocol, Rank, Sim, SimConfig, Tag,
+};
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u64> = Scheduler::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                t += SimDuration::from_ns((i % 7) + 1);
+                s.schedule(t, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = s.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("next_u64_1k", |b| {
+        let mut r = DetRng::new(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(r.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    use clustering::{partition, CommGraph, PartitionConfig};
+    use workloads::{NasBench, NasConfig};
+    let app = NasBench::CG.build(&NasConfig::test(256, 2));
+    let graph = CommGraph::from_application(&app);
+    c.bench_function("partition_cg_256_k16", |b| {
+        b.iter(|| black_box(partition(&graph, &PartitionConfig::balanced(16, 256))))
+    });
+}
+
+fn ping_pong_app(rounds: usize) -> Application {
+    let mut app = Application::new(2);
+    for _ in 0..rounds {
+        app.rank_mut(Rank(0)).send(Rank(1), 1024, Tag(0));
+        app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+        app.rank_mut(Rank(1)).send(Rank(0), 1024, Tag(0));
+        app.rank_mut(Rank(0)).recv(Rank(1), Tag(0));
+    }
+    app
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(2_000)); // messages per iteration
+    g.bench_function("ping_pong_1k_rounds_native", |b| {
+        b.iter_batched(
+            || ping_pong_app(1000),
+            |app| black_box(Sim::new(app, SimConfig::default(), NullProtocol).run()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("ping_pong_1k_rounds_hydee", |b| {
+        b.iter_batched(
+            || ping_pong_app(1000),
+            |app| {
+                let hydee = Hydee::new(HydeeConfig::new(ClusterMap::per_rank(2)));
+                black_box(Sim::new(app, SimConfig::default(), hydee).run())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_stencil_protocol_overhead(c: &mut Criterion) {
+    use workloads::{stencil_2d, StencilConfig};
+    let cfg = StencilConfig {
+        n_ranks: 16,
+        iterations: 50,
+        face_bytes: 8 << 10,
+        compute_per_iter: SimDuration::from_us(50),
+        wildcard_recv: false,
+    };
+    let mut g = c.benchmark_group("stencil16x50");
+    g.bench_function("native", |b| {
+        b.iter_batched(
+            || stencil_2d(&cfg),
+            |app| black_box(Sim::new(app, SimConfig::default(), NullProtocol).run()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hydee_4clusters", |b| {
+        b.iter_batched(
+            || stencil_2d(&cfg),
+            |app| {
+                let hydee = Hydee::new(HydeeConfig::new(ClusterMap::blocks(16, 4)));
+                black_box(Sim::new(app, SimConfig::default(), hydee).run())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_rng,
+    bench_partitioner,
+    bench_sim_throughput,
+    bench_stencil_protocol_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! **X2 — ablation: the cost of event logging** (§VI).
+//!
+//! HydEE's distinguishing claim is that it needs *no* determinant logging.
+//! This harness quantifies what the claim is worth: each NAS skeleton runs
+//! under
+//!
+//! * HydEE (Table-I clustering, no event logging) — the paper's protocol;
+//! * the same protocol *plus* reliable determinant writes on every
+//!   delivery — an [8]/[22]-style hybrid;
+//! * full message logging plus determinants — classic pessimistic
+//!   logging.
+//!
+//! Run: `cargo run -p bench --release --bin ablation_event_logging`
+
+use bench::{reset_results, write_row, Table};
+use clustering::{partition, CommGraph, PartitionConfig};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{ClusterMap, NullProtocol, Sim, SimConfig};
+use protocols::{DeterminantCost, EventLogged};
+use serde::Serialize;
+use workloads::NasBench;
+
+const SCALE: f64 = 1.0 / 64.0;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    hydee_norm: f64,
+    hybrid_event_logging_norm: f64,
+    full_logging_events_norm: f64,
+    event_logging_penalty_pct: f64,
+}
+
+fn main() {
+    reset_results("ablation_event_logging");
+    println!("X2: event-logging ablation — normalized time (native = 1.0)");
+    println!();
+    let mut table = Table::new(&[
+        "bench",
+        "HydEE",
+        "hybrid + determinants",
+        "full logging + determinants",
+        "determinant penalty",
+    ]);
+    for bench in NasBench::all() {
+        let cfg = bench.paper_config(SCALE);
+        let build = || bench.build(&cfg);
+        let map = {
+            let graph = CommGraph::from_application(&build());
+            partition(
+                &graph,
+                &PartitionConfig::balanced(bench.paper_clusters(), cfg.n_ranks),
+            )
+        };
+        let native = Sim::new(build(), SimConfig::default(), NullProtocol).run();
+        let hydee = Sim::new(
+            build(),
+            SimConfig::default(),
+            Hydee::new(HydeeConfig::new(map.clone())),
+        )
+        .run();
+        let hybrid = Sim::new(
+            build(),
+            SimConfig::default(),
+            EventLogged::new(
+                Hydee::new(HydeeConfig::new(map)),
+                DeterminantCost::default(),
+            ),
+        )
+        .run();
+        let full = Sim::new(
+            build(),
+            SimConfig::default(),
+            EventLogged::new(
+                Hydee::new(HydeeConfig::new(ClusterMap::per_rank(cfg.n_ranks))),
+                DeterminantCost::default(),
+            ),
+        )
+        .run();
+        for (name, r) in [
+            ("native", &native),
+            ("hydee", &hydee),
+            ("hybrid", &hybrid),
+            ("full", &full),
+        ] {
+            assert!(r.completed(), "{} {name}: {:?}", bench.name(), r.status);
+        }
+        let t0 = native.makespan.as_secs_f64();
+        let row = Row {
+            bench: bench.name(),
+            hydee_norm: hydee.makespan.as_secs_f64() / t0,
+            hybrid_event_logging_norm: hybrid.makespan.as_secs_f64() / t0,
+            full_logging_events_norm: full.makespan.as_secs_f64() / t0,
+            event_logging_penalty_pct: 100.0
+                * (hybrid.makespan.as_secs_f64() - hydee.makespan.as_secs_f64())
+                / t0,
+        };
+        table.row(&[
+            bench.name().to_string(),
+            format!("{:.4}", row.hydee_norm),
+            format!("{:.4}", row.hybrid_event_logging_norm),
+            format!("{:.4}", row.full_logging_events_norm),
+            format!("{:+.2}%", row.event_logging_penalty_pct),
+        ]);
+        write_row("ablation_event_logging", &row);
+    }
+    table.print();
+    println!();
+    println!("Expected: the determinant column strictly above HydEE on every bench —");
+    println!("the overhead HydEE's send-determinism argument eliminates.");
+}

@@ -1,0 +1,101 @@
+//! **Figure 5** — Myrinet 10G ping-pong performance (NetPIPE).
+//!
+//! Latency and bandwidth *reduction in percent* versus native MPICH2, for
+//! HydEE without logging (two ranks in the same cluster: piggyback only)
+//! and HydEE with logging (different clusters: piggyback + sender-based
+//! log copy), across the NetPIPE size ladder 1 B – 8 MB.
+//!
+//! Expected shape (paper): small overhead only for small messages, with
+//! two peaks where the piggybacked bytes push a payload across an MX
+//! latency plateau; logging ≈ no-logging everywhere (the memcpy hides
+//! behind the NIC transfer).
+//!
+//! Run: `cargo run -p bench --release --bin fig5_netpipe`
+
+use bench::{reset_results, write_row, Table};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{ClusterMap, NullProtocol, Protocol, Sim, SimConfig};
+use serde::Serialize;
+use workloads::netpipe::{ping_pong, size_ladder};
+
+const ROUNDS: usize = 20;
+
+#[derive(Serialize)]
+struct Row {
+    bytes: u64,
+    native_latency_us: f64,
+    nolog_latency_us: f64,
+    log_latency_us: f64,
+    nolog_latency_reduction_pct: f64,
+    log_latency_reduction_pct: f64,
+    nolog_bandwidth_reduction_pct: f64,
+    log_bandwidth_reduction_pct: f64,
+}
+
+/// One-way latency in microseconds measured by a ping-pong run.
+fn latency_us<P: Protocol>(bytes: u64, protocol: P) -> f64 {
+    let app = ping_pong(ROUNDS, bytes);
+    let report = Sim::new(app, SimConfig::default(), protocol).run();
+    assert!(report.completed(), "ping-pong failed: {:?}", report.status);
+    report.makespan.as_us_f64() / (2.0 * ROUNDS as f64)
+}
+
+fn main() {
+    reset_results("fig5_netpipe");
+    println!("Figure 5: NetPIPE ping-pong over Myrinet 10G — % reduction vs native");
+    println!();
+    let mut table = Table::new(&[
+        "bytes",
+        "native us",
+        "nolog us",
+        "log us",
+        "lat red (nolog)",
+        "lat red (log)",
+        "bw red (nolog)",
+        "bw red (log)",
+    ]);
+    for bytes in size_ladder(8 << 20) {
+        let native = latency_us(bytes, NullProtocol);
+        // Same cluster: piggybacking, no logging.
+        let nolog = latency_us(
+            bytes,
+            Hydee::new(HydeeConfig::new(ClusterMap::single(2))),
+        );
+        // Different clusters: piggybacking + sender-based logging.
+        let log = latency_us(
+            bytes,
+            Hydee::new(HydeeConfig::new(ClusterMap::per_rank(2))),
+        );
+        // Latency reduction is negative when HydEE is slower; Figure 5
+        // plots it downward from 0.
+        let lat_red = |h: f64| -100.0 * (h - native) / native;
+        // Bandwidth ~ bytes/latency, so bandwidth reduction mirrors the
+        // latency ratio.
+        let bw_red = |h: f64| -100.0 * (1.0 - native / h);
+        let row = Row {
+            bytes,
+            native_latency_us: native,
+            nolog_latency_us: nolog,
+            log_latency_us: log,
+            nolog_latency_reduction_pct: lat_red(nolog),
+            log_latency_reduction_pct: lat_red(log),
+            nolog_bandwidth_reduction_pct: bw_red(nolog),
+            log_bandwidth_reduction_pct: bw_red(log),
+        };
+        table.row(&[
+            bytes.to_string(),
+            format!("{native:.2}"),
+            format!("{nolog:.2}"),
+            format!("{log:.2}"),
+            format!("{:.1}%", row.nolog_latency_reduction_pct),
+            format!("{:.1}%", row.log_latency_reduction_pct),
+            format!("{:.1}%", row.nolog_bandwidth_reduction_pct),
+            format!("{:.1}%", row.log_bandwidth_reduction_pct),
+        ]);
+        write_row("fig5_netpipe", &row);
+    }
+    table.print();
+    println!();
+    println!("Expected: ~-20% peaks just below the 32 B and 1 KiB plateau edges;");
+    println!("logging within noise of no-logging; large messages unaffected.");
+}

@@ -1,0 +1,112 @@
+//! **Figure 6** — NAS benchmark failure-free performance over MX.
+//!
+//! Normalized execution time (native MPICH2 = 1.0) of the six class-D NAS
+//! skeletons on 256 ranks under:
+//!
+//! * native (no fault tolerance),
+//! * full message logging (HydEE machinery with one cluster per rank:
+//!   every message piggybacked *and* logged),
+//! * HydEE with the Table-I clustering (partial logging).
+//!
+//! Expected shape (paper): HydEE ≤ ~2 % over native everywhere and at or
+//! below full logging; LU (small messages) shows the largest overhead.
+//!
+//! Run: `cargo run -p bench --release --bin fig6_nas`
+
+use bench::{reset_results, write_row, Table};
+use clustering::{partition, CommGraph, PartitionConfig};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{ClusterMap, NullProtocol, Sim, SimConfig};
+use serde::Serialize;
+use workloads::NasBench;
+
+/// Simulation scale: shrinks class-D message sizes and compute by this
+/// factor; ratios (what Figure 6 reports) are scale-invariant because
+/// every configuration runs the identical application.
+const SCALE: f64 = 1.0 / 64.0;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    native_s: f64,
+    full_logging_norm: f64,
+    hydee_norm: f64,
+    hydee_overhead_pct: f64,
+    logged_pct_hydee: f64,
+}
+
+fn run_one(bench: NasBench, clusters: Option<ClusterMap>) -> mps_sim::RunReport {
+    let cfg = bench.paper_config(SCALE);
+    let app = bench.build(&cfg);
+    let report = match clusters {
+        None => Sim::new(app, SimConfig::default(), NullProtocol).run(),
+        Some(map) => Sim::new(
+            app,
+            SimConfig::default(),
+            Hydee::new(HydeeConfig::new(map)),
+        )
+        .run(),
+    };
+    assert!(
+        report.completed(),
+        "{} failed: {:?}",
+        bench.name(),
+        report.status
+    );
+    report
+}
+
+fn main() {
+    reset_results("fig6_nas");
+    println!(
+        "Figure 6: NAS failure-free performance, 256 ranks, scale={SCALE:.4} (normalized)"
+    );
+    println!();
+    let mut table = Table::new(&[
+        "bench",
+        "native (s)",
+        "full logging",
+        "HydEE (clustering)",
+        "HydEE overhead",
+        "logged (HydEE)",
+    ]);
+    for bench in NasBench::all() {
+        let native = run_one(bench, None);
+        let full = run_one(bench, Some(ClusterMap::per_rank(256)));
+        // Partition as in Table I.
+        let cfg = bench.paper_config(SCALE);
+        let app = bench.build(&cfg);
+        let graph = CommGraph::from_application(&app);
+        let map = partition(
+            &graph,
+            &PartitionConfig::balanced(bench.paper_clusters(), 256),
+        );
+        let hydee = run_one(bench, Some(map));
+
+        let t0 = native.makespan.as_secs_f64();
+        let full_norm = full.makespan.as_secs_f64() / t0;
+        let hydee_norm = hydee.makespan.as_secs_f64() / t0;
+        let logged_pct = 100.0 * hydee.metrics.logged_bytes_cumulative as f64
+            / hydee.metrics.app_bytes.max(1) as f64;
+        let row = Row {
+            bench: bench.name(),
+            native_s: t0,
+            full_logging_norm: full_norm,
+            hydee_norm,
+            hydee_overhead_pct: 100.0 * (hydee_norm - 1.0),
+            logged_pct_hydee: logged_pct,
+        };
+        table.row(&[
+            bench.name().to_string(),
+            format!("{t0:.3}"),
+            format!("{full_norm:.4}"),
+            format!("{hydee_norm:.4}"),
+            format!("{:+.2}%", row.hydee_overhead_pct),
+            format!("{logged_pct:.1}%"),
+        ]);
+        write_row("fig6_nas", &row);
+    }
+    table.print();
+    println!();
+    println!("Expected: HydEE overhead <= ~2% (paper: at most 1.25%), below full logging.");
+}

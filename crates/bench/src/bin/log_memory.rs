@@ -1,0 +1,99 @@
+//! **X3 — log memory occupation & garbage collection** (§III-E).
+//!
+//! Sender-based logging keeps payloads in node memory; the GC of §III-E
+//! prunes a sender's log once the receiver's checkpoint covers it
+//! (acknowledgement on first post-checkpoint delivery). A long-running
+//! 2D stencil on 64 ranks (4 clusters) sweeps the checkpoint interval
+//! with GC on and off and reports peak and reclaimed log bytes.
+//!
+//! Run: `cargo run -p bench --release --bin log_memory`
+
+use bench::{reset_results, write_row, Table};
+use det_sim::SimDuration;
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{ClusterMap, Sim, SimConfig};
+use serde::Serialize;
+use workloads::{stencil_2d, StencilConfig};
+
+#[derive(Serialize)]
+struct Row {
+    ckpt_interval_ms: Option<u64>,
+    gc: bool,
+    logged_cumulative_mb: f64,
+    logged_peak_mb: f64,
+    reclaimed_mb: f64,
+    checkpoints: u64,
+    makespan_s: f64,
+}
+
+fn main() {
+    reset_results("log_memory");
+    println!("X3: sender-log memory vs checkpoint interval — 2D stencil, 64 ranks, 4 clusters");
+    println!();
+    let mut table = Table::new(&[
+        "ckpt interval",
+        "GC",
+        "cumulative MB",
+        "peak MB",
+        "reclaimed MB",
+        "ckpts",
+        "makespan (s)",
+    ]);
+    let stencil_cfg = StencilConfig {
+        n_ranks: 64,
+        iterations: 400,
+        face_bytes: 256 << 10,
+        compute_per_iter: SimDuration::from_us(500),
+        wildcard_recv: false,
+    };
+    for interval_ms in [None, Some(40u64), Some(100), Some(250)] {
+        for gc in [true, false] {
+            if interval_ms.is_none() && gc {
+                // Without checkpoints no ack is ever generated; skip the
+                // redundant configuration.
+                continue;
+            }
+            let mut cfg = HydeeConfig::new(ClusterMap::blocks(64, 4))
+                .with_image_bytes(1 << 20);
+            if let Some(ms) = interval_ms {
+                cfg = cfg.with_checkpoints(SimDuration::from_ms(ms));
+            }
+            if !gc {
+                cfg = cfg.without_gc();
+            }
+            let report = Sim::new(
+                stencil_2d(&stencil_cfg),
+                SimConfig::default(),
+                Hydee::new(cfg),
+            )
+            .run();
+            assert!(report.completed(), "{:?}", report.status);
+            let m = &report.metrics;
+            let row = Row {
+                ckpt_interval_ms: interval_ms,
+                gc,
+                logged_cumulative_mb: m.logged_bytes_cumulative as f64 / 1e6,
+                logged_peak_mb: m.logged_bytes_peak as f64 / 1e6,
+                reclaimed_mb: m.gc_reclaimed_bytes as f64 / 1e6,
+                checkpoints: m.checkpoints,
+                makespan_s: report.makespan.as_secs_f64(),
+            };
+            table.row(&[
+                interval_ms
+                    .map(|ms| format!("{ms} ms"))
+                    .unwrap_or_else(|| "none".into()),
+                if gc { "on" } else { "off" }.to_string(),
+                format!("{:.1}", row.logged_cumulative_mb),
+                format!("{:.1}", row.logged_peak_mb),
+                format!("{:.1}", row.reclaimed_mb),
+                row.checkpoints.to_string(),
+                format!("{:.3}", row.makespan_s),
+            ]);
+            write_row("log_memory", &row);
+        }
+    }
+    table.print();
+    println!();
+    println!("Expected: with GC, peak log memory flattens as the checkpoint interval");
+    println!("shrinks; without GC (or without checkpoints) the log grows with the run.");
+}

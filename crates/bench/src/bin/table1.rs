@@ -1,0 +1,81 @@
+//! **Table I** — application clustering on 256 processes.
+//!
+//! For each NAS benchmark skeleton: build the class-D-calibrated
+//! application, extract its communication graph, partition it with the
+//! paper's cluster count, and report cluster count, expected rollback
+//! percentage for a single failure, and logged/total data — side by side
+//! with the paper's numbers.
+//!
+//! Run: `cargo run -p bench --release --bin table1`
+
+use bench::{gb, pct, reset_results, write_row, Table};
+use clustering::{partition, ClusteringStats, CommGraph, PartitionConfig};
+use serde::Serialize;
+use workloads::NasBench;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    n_clusters: usize,
+    rollback_pct: f64,
+    logged_gb: f64,
+    total_gb: f64,
+    logged_pct: f64,
+    paper_clusters: usize,
+    paper_rollback_pct: f64,
+    paper_logged_pct: f64,
+    paper_total_gb: f64,
+}
+
+fn main() {
+    reset_results("table1");
+    println!("Table I: application clustering on 256 processes (class-D volumes)");
+    println!();
+    let mut table = Table::new(&[
+        "bench",
+        "clusters",
+        "rollback%",
+        "log/total (GB)",
+        "logged%",
+        "paper rollback%",
+        "paper logged%",
+        "paper total GB",
+    ]);
+    for nas_bench in NasBench::all() {
+        // Static analysis at full class-D volume: no simulation needed.
+        let cfg = nas_bench.paper_config(1.0);
+        let app = nas_bench.build(&cfg);
+        let graph = CommGraph::from_application(&app);
+        let k = nas_bench.paper_clusters();
+        let map = partition(&graph, &PartitionConfig::balanced(k, cfg.n_ranks));
+        let stats = ClusteringStats::evaluate(&app, &map);
+        table.row(&[
+            nas_bench.name().to_string(),
+            stats.n_clusters.to_string(),
+            pct(stats.avg_rollback_pct),
+            format!("{}/{}", gb(stats.logged_bytes), gb(stats.total_bytes)),
+            pct(stats.logged_pct()),
+            pct(nas_bench.paper_rollback_pct()),
+            pct(nas_bench.paper_logged_pct()),
+            format!("{:.0}", nas_bench.paper_total_gb()),
+        ]);
+        write_row(
+            "table1",
+            &Row {
+                bench: nas_bench.name(),
+                n_clusters: stats.n_clusters,
+                rollback_pct: stats.avg_rollback_pct,
+                logged_gb: stats.logged_bytes as f64 / 1e9,
+                total_gb: stats.total_bytes as f64 / 1e9,
+                logged_pct: stats.logged_pct(),
+                paper_clusters: nas_bench.paper_clusters(),
+                paper_rollback_pct: nas_bench.paper_rollback_pct(),
+                paper_logged_pct: nas_bench.paper_logged_pct(),
+                paper_total_gb: nas_bench.paper_total_gb(),
+            },
+        );
+    }
+    table.print();
+    println!();
+    println!("(paper columns: Guermouche et al., IPDPS 2012, Table I)");
+}

@@ -1,0 +1,137 @@
+//! # bench — experiment harnesses for the HydEE reproduction
+//!
+//! One binary per paper artefact (see `DESIGN.md` §4):
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `table1` | Table I — clustering of the NAS benchmarks |
+//! | `fig5_netpipe` | Figure 5 — ping-pong latency/bandwidth degradation |
+//! | `fig6_nas` | Figure 6 — NAS normalized execution time |
+//! | `recovery` | X1 — containment & recovery cost vs baselines |
+//! | `ablation_event_logging` | X2 — what determinant logging would cost |
+//! | `log_memory` | X3 — log growth & garbage collection |
+//!
+//! Each binary prints a human-readable table and appends a JSON line per
+//! row to `results/<name>.jsonl` for `EXPERIMENTS.md`.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Where JSON result rows are appended.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HYDEE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Append one serialisable row to `results/<file>.jsonl`.
+pub fn write_row<T: Serialize>(file: &str, row: &T) {
+    let path = results_dir().join(format!("{file}.jsonl"));
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open results file");
+    let line = serde_json::to_string(row).expect("serialise row");
+    writeln!(f, "{line}").expect("write row");
+}
+
+/// Truncate a results file at the start of a run so reruns stay clean.
+pub fn reset_results(file: &str) {
+    let path = results_dir().join(format!("{file}.jsonl"));
+    let _ = std::fs::remove_file(path);
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("| {} |", joined.join(" | "));
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format bytes as GB with 2 decimals.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e9)
+}
+
+/// Percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        t.print();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(gb(2_500_000_000), "2.50");
+        assert_eq!(pct(18.094), "18.09%");
+    }
+
+    #[test]
+    fn write_and_reset_results() {
+        std::env::set_var(
+            "HYDEE_RESULTS_DIR",
+            std::env::temp_dir().join("hydee-test-results"),
+        );
+        reset_results("unittest");
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        write_row("unittest", &R { x: 1 });
+        write_row("unittest", &R { x: 2 });
+        let content = std::fs::read_to_string(results_dir().join("unittest.jsonl")).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        reset_results("unittest");
+        assert!(!results_dir().join("unittest.jsonl").exists());
+    }
+}

@@ -1,0 +1,126 @@
+//! Weighted communication graphs.
+//!
+//! The paper's clustering tool (Ropars et al. [28]) consumes "a graph
+//! defining the amount of data sent in each application channel",
+//! collected by instrumenting MPICH2. We build the same graph two ways:
+//!
+//! * from a [`mps_sim::CommMatrix`] produced by actually running the
+//!   application (the paper's method), or
+//! * statically from an [`mps_sim::Application`]'s op streams (no run
+//!   needed — our programs declare their traffic).
+
+use mps_sim::{Application, CommMatrix, Op, Rank};
+
+/// Undirected weighted communication graph over ranks.
+#[derive(Debug, Clone)]
+pub struct CommGraph {
+    n: usize,
+    /// Symmetric weights, row-major; `w[i*n+j]` = bytes exchanged between
+    /// i and j (both directions).
+    w: Vec<u64>,
+}
+
+impl CommGraph {
+    pub fn new(n: usize) -> Self {
+        CommGraph { n, w: vec![0; n * n] }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Add `bytes` of traffic between `a` and `b` (order irrelevant).
+    pub fn add(&mut self, a: Rank, b: Rank, bytes: u64) {
+        if a == b {
+            return;
+        }
+        self.w[a.idx() * self.n + b.idx()] += bytes;
+        self.w[b.idx() * self.n + a.idx()] += bytes;
+    }
+
+    #[inline]
+    pub fn weight(&self, a: Rank, b: Rank) -> u64 {
+        self.w[a.idx() * self.n + b.idx()]
+    }
+
+    /// Total traffic (each undirected pair counted once).
+    pub fn total(&self) -> u64 {
+        self.w.iter().sum::<u64>() / 2
+    }
+
+    /// Build from a measured communication matrix.
+    pub fn from_matrix(m: &CommMatrix) -> Self {
+        let mut g = CommGraph::new(m.n_ranks());
+        for (src, dst, bytes, _msgs) in m.channels() {
+            g.add(src, dst, bytes);
+        }
+        g
+    }
+
+    /// Build statically from an application's programs.
+    pub fn from_application(app: &Application) -> Self {
+        let mut g = CommGraph::new(app.n_ranks());
+        for (src, prog) in app.programs.iter().enumerate() {
+            for op in &prog.ops {
+                if let Op::Send { dst, bytes, .. } = op {
+                    g.add(Rank(src as u32), *dst, *bytes);
+                }
+            }
+        }
+        g
+    }
+
+    /// Neighbours of `r` with nonzero weight.
+    pub fn neighbors(&self, r: Rank) -> impl Iterator<Item = (Rank, u64)> + '_ {
+        let base = r.idx() * self.n;
+        (0..self.n).filter_map(move |j| {
+            let w = self.w[base + j];
+            if w > 0 {
+                Some((Rank(j as u32), w))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sim::Tag;
+
+    #[test]
+    fn add_is_symmetric_and_ignores_self() {
+        let mut g = CommGraph::new(3);
+        g.add(Rank(0), Rank(1), 10);
+        g.add(Rank(1), Rank(0), 5);
+        g.add(Rank(2), Rank(2), 100);
+        assert_eq!(g.weight(Rank(0), Rank(1)), 15);
+        assert_eq!(g.weight(Rank(1), Rank(0)), 15);
+        assert_eq!(g.weight(Rank(2), Rank(2)), 0);
+        assert_eq!(g.total(), 15);
+    }
+
+    #[test]
+    fn from_application_counts_sends() {
+        let mut app = Application::new(3);
+        app.rank_mut(Rank(0)).send(Rank(1), 100, Tag(0));
+        app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+        app.rank_mut(Rank(1)).send(Rank(2), 50, Tag(0));
+        app.rank_mut(Rank(2)).recv(Rank(1), Tag(0));
+        let g = CommGraph::from_application(&app);
+        assert_eq!(g.weight(Rank(0), Rank(1)), 100);
+        assert_eq!(g.weight(Rank(1), Rank(2)), 50);
+        assert_eq!(g.weight(Rank(0), Rank(2)), 0);
+        assert_eq!(g.total(), 150);
+    }
+
+    #[test]
+    fn neighbors_iterates_nonzero() {
+        let mut g = CommGraph::new(4);
+        g.add(Rank(0), Rank(2), 7);
+        g.add(Rank(0), Rank(3), 9);
+        let nb: Vec<_> = g.neighbors(Rank(0)).collect();
+        assert_eq!(nb, vec![(Rank(2), 7), (Rank(3), 9)]);
+    }
+}

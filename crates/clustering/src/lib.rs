@@ -1,0 +1,31 @@
+//! # clustering — process clustering for partial message logging
+//!
+//! The role of Ropars et al.'s clustering tool [28] in the HydEE paper:
+//! given an application's communication graph, find a partition of the
+//! processes that balances cluster size (failure containment) against
+//! inter-cluster traffic (logged bytes). Regenerates the paper's Table I
+//! together with the `workloads` NAS skeletons.
+//!
+//! ```
+//! use clustering::{partition, CommGraph, ClusteringStats, PartitionConfig};
+//! use mps_sim::{Application, Rank, Tag};
+//!
+//! let mut app = Application::new(4);
+//! app.rank_mut(Rank(0)).send(Rank(1), 1000, Tag(0));
+//! app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+//! app.rank_mut(Rank(2)).send(Rank(3), 1000, Tag(0));
+//! app.rank_mut(Rank(3)).recv(Rank(2), Tag(0));
+//!
+//! let graph = CommGraph::from_application(&app);
+//! let map = partition(&graph, &PartitionConfig::with_k(2));
+//! let stats = ClusteringStats::evaluate(&app, &map);
+//! assert_eq!(stats.logged_bytes, 0); // perfect split: nothing crosses
+//! ```
+
+pub mod graph;
+pub mod partition;
+pub mod stats;
+
+pub use graph::CommGraph;
+pub use partition::{partition, PartitionConfig};
+pub use stats::ClusteringStats;

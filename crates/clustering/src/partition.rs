@@ -1,0 +1,291 @@
+//! Process-clustering partitioners.
+//!
+//! Reimplementation of the role of Ropars et al.'s clustering tool [28]:
+//! find a partition of the ranks into `k` clusters that keeps clusters
+//! small (bounding rollback) while minimising the inter-cluster traffic
+//! (bounding logged bytes).
+//!
+//! Two phases:
+//!
+//! 1. **Greedy agglomeration** — start from singletons, repeatedly merge
+//!    the pair of clusters with the heaviest connecting traffic, subject
+//!    to a maximum cluster size, until `k` clusters remain.
+//! 2. **Kernighan–Lin-style refinement** — move individual ranks between
+//!    clusters whenever that strictly reduces the edge cut and respects
+//!    the size bound.
+//!
+//! Both phases are deterministic (ties break toward smaller indices).
+
+use crate::graph::CommGraph;
+use mps_sim::{ClusterMap, Rank};
+
+/// Partitioning constraints.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    /// Target number of clusters.
+    pub k: usize,
+    /// Maximum ranks per cluster (`None` = unbounded, i.e. `n`).
+    pub max_cluster_size: Option<usize>,
+    /// Refinement passes over all ranks.
+    pub refine_passes: usize,
+}
+
+impl PartitionConfig {
+    pub fn with_k(k: usize) -> Self {
+        PartitionConfig {
+            k,
+            max_cluster_size: None,
+            refine_passes: 4,
+        }
+    }
+
+    /// Balanced clusters: cap at `ceil(n/k) * slack_num/slack_den`.
+    pub fn balanced(k: usize, n: usize) -> Self {
+        PartitionConfig {
+            k,
+            max_cluster_size: Some((n.div_ceil(k) * 5).div_ceil(4)),
+            refine_passes: 4,
+        }
+    }
+}
+
+/// Partition `graph` into `cfg.k` clusters.
+///
+/// # Panics
+/// Panics if `k` is 0 or exceeds the rank count, or if the size bound
+/// makes `k` clusters infeasible.
+pub fn partition(graph: &CommGraph, cfg: &PartitionConfig) -> ClusterMap {
+    let n = graph.n_ranks();
+    assert!(cfg.k >= 1 && cfg.k <= n, "need 1 <= k <= n");
+    let max_size = cfg.max_cluster_size.unwrap_or(n);
+    assert!(
+        max_size * cfg.k >= n,
+        "size bound {max_size} x {k} clusters cannot hold {n} ranks",
+        k = cfg.k
+    );
+    let mut assignment = greedy_agglomerate(graph, cfg.k, max_size);
+    for _ in 0..cfg.refine_passes {
+        if !refine_once(graph, &mut assignment, max_size) {
+            break;
+        }
+    }
+    ClusterMap::new(compact_ids(assignment))
+}
+
+/// Greedy agglomeration down to `k` clusters.
+fn greedy_agglomerate(graph: &CommGraph, k: usize, max_size: usize) -> Vec<u32> {
+    let n = graph.n_ranks();
+    // cluster id per rank; ids are initially rank ids.
+    let mut cl: Vec<u32> = (0..n as u32).collect();
+    let mut size: Vec<usize> = vec![1; n];
+    // inter-cluster weights, dense (n small: 256 in the paper).
+    let mut w: Vec<u64> = graph.to_dense();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut n_clusters = n;
+    while n_clusters > k {
+        // Find the heaviest feasible pair (a < b), preferring, on ties,
+        // the pair whose merged size is smallest, then smallest indices.
+        let mut best: Option<(u64, usize, usize)> = None;
+        for a in 0..n {
+            if !alive[a] {
+                continue;
+            }
+            for b in (a + 1)..n {
+                if !alive[b] || size[a] + size[b] > max_size {
+                    continue;
+                }
+                let weight = w[a * n + b];
+                let cand = (weight, usize::MAX - (size[a] + size[b]), usize::MAX - a);
+                let cur = best.map(|(bw, a0, b0)| {
+                    (bw, usize::MAX - (size[a0] + size[b0]), usize::MAX - a0)
+                });
+                if cur.is_none() || cand > cur.unwrap() {
+                    best = Some((weight, a, b));
+                }
+            }
+        }
+        let Some((_, a, b)) = best else {
+            // No feasible merge (size bound); accept more clusters.
+            break;
+        };
+        // Merge b into a.
+        for j in 0..n {
+            if alive[j] && j != a && j != b {
+                w[a * n + j] += w[b * n + j];
+                w[j * n + a] = w[a * n + j];
+            }
+        }
+        size[a] += size[b];
+        alive[b] = false;
+        for c in cl.iter_mut() {
+            if *c == b as u32 {
+                *c = a as u32;
+            }
+        }
+        n_clusters -= 1;
+    }
+    cl
+}
+
+/// One KL refinement pass; returns true if any move was made.
+fn refine_once(graph: &CommGraph, assignment: &mut [u32], max_size: usize) -> bool {
+    let n = assignment.len();
+    let mut sizes = std::collections::BTreeMap::<u32, usize>::new();
+    for &c in assignment.iter() {
+        *sizes.entry(c).or_default() += 1;
+    }
+    let mut moved = false;
+    for r in 0..n {
+        let me = Rank(r as u32);
+        let my_cluster = assignment[r];
+        if sizes[&my_cluster] == 1 {
+            continue; // would empty a cluster
+        }
+        // Traffic toward each cluster.
+        let mut toward = std::collections::BTreeMap::<u32, u64>::new();
+        for (nb, weight) in graph.neighbors(me) {
+            *toward.entry(assignment[nb.idx()]).or_default() += weight;
+        }
+        let home = toward.get(&my_cluster).copied().unwrap_or(0);
+        // Best alternative cluster.
+        let best = toward
+            .iter()
+            .filter(|(&c, _)| c != my_cluster && sizes[&c] < max_size)
+            .max_by_key(|(&c, &w)| (w, std::cmp::Reverse(c)));
+        if let Some((&c, &w)) = best {
+            if w > home {
+                assignment[r] = c;
+                *sizes.get_mut(&my_cluster).unwrap() -= 1;
+                *sizes.get_mut(&c).unwrap() += 1;
+                moved = true;
+            }
+        }
+    }
+    moved
+}
+
+/// Renumber cluster ids densely (0..k), ordered by smallest member rank.
+fn compact_ids(assignment: Vec<u32>) -> Vec<u32> {
+    let mut mapping = std::collections::BTreeMap::<u32, u32>::new();
+    let mut next = 0u32;
+    let mut out = Vec::with_capacity(assignment.len());
+    for c in assignment {
+        let id = *mapping.entry(c).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        out.push(id);
+    }
+    out
+}
+
+impl CommGraph {
+    /// Dense copy of the weight matrix (partitioner workspace).
+    fn to_dense(&self) -> Vec<u64> {
+        let n = self.n_ranks();
+        let mut w = vec![0u64; n * n];
+        for i in 0..n {
+            for (j, weight) in self.neighbors(Rank(i as u32)) {
+                w[i * n + j.idx()] = weight;
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tightly-coupled groups with a thin bridge.
+    fn two_communities() -> CommGraph {
+        let mut g = CommGraph::new(8);
+        for grp in 0..2u32 {
+            let base = grp * 4;
+            for i in 0..4u32 {
+                for j in (i + 1)..4u32 {
+                    g.add(Rank(base + i), Rank(base + j), 1000);
+                }
+            }
+        }
+        g.add(Rank(3), Rank(4), 1); // bridge
+        g
+    }
+
+    #[test]
+    fn finds_obvious_communities() {
+        let g = two_communities();
+        let map = partition(&g, &PartitionConfig::with_k(2));
+        assert_eq!(map.n_clusters(), 2);
+        for i in 0..4u32 {
+            assert!(map.same_cluster(Rank(0), Rank(i)), "rank {i}");
+            assert!(map.same_cluster(Rank(4), Rank(4 + i)), "rank {}", 4 + i);
+        }
+        assert!(!map.same_cluster(Rank(0), Rank(4)));
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let g = two_communities();
+        let map = partition(&g, &PartitionConfig::with_k(8));
+        assert_eq!(map.n_clusters(), 8);
+    }
+
+    #[test]
+    fn k_equals_one_gives_single_cluster() {
+        let g = two_communities();
+        let map = partition(&g, &PartitionConfig::with_k(1));
+        assert_eq!(map.n_clusters(), 1);
+    }
+
+    #[test]
+    fn size_bound_is_respected() {
+        let g = two_communities();
+        let cfg = PartitionConfig {
+            k: 4,
+            max_cluster_size: Some(2),
+            refine_passes: 4,
+        };
+        let map = partition(&g, &cfg);
+        assert!(map.max_cluster_size() <= 2);
+        assert_eq!(map.n_clusters(), 4);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let g = two_communities();
+        let a = partition(&g, &PartitionConfig::with_k(3));
+        let b = partition(&g, &PartitionConfig::with_k(3));
+        assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn refinement_reduces_cut_on_ring() {
+        // A ring of 8 with strong links; k=2 should produce two contiguous
+        // arcs (minimal cut = 2 edges).
+        let mut g = CommGraph::new(8);
+        for i in 0..8u32 {
+            g.add(Rank(i), Rank((i + 1) % 8), 100);
+        }
+        let map = partition(&g, &PartitionConfig::balanced(2, 8));
+        let cut: u64 = (0..8u32)
+            .map(|i| {
+                let j = (i + 1) % 8;
+                if map.same_cluster(Rank(i), Rank(j)) {
+                    0
+                } else {
+                    100
+                }
+            })
+            .sum();
+        assert_eq!(cut, 200, "minimal ring cut is two edges");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= k <= n")]
+    fn zero_k_panics() {
+        let g = CommGraph::new(4);
+        let _ = partition(&g, &PartitionConfig::with_k(0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the partitioner: structural validity, determinism,
+//! bound respect, and the quality relation against trivial partitions.
+
+use clustering::{partition, ClusteringStats, CommGraph, PartitionConfig};
+use mps_sim::{ClusterMap, Rank};
+use proptest::prelude::*;
+
+fn arb_graph(n: usize) -> impl Strategy<Value = CommGraph> {
+    prop::collection::vec((0..n, 0..n, 1u64..10_000), 0..200).prop_map(move |edges| {
+        let mut g = CommGraph::new(n);
+        for (a, b, w) in edges {
+            if a != b {
+                g.add(Rank(a as u32), Rank(b as u32), w);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn partition_is_structurally_valid(g in arb_graph(24), k in 1usize..24) {
+        let map = partition(&g, &PartitionConfig::with_k(k));
+        prop_assert_eq!(map.n_ranks(), 24);
+        // At most k clusters (fewer only if the size bound blocked merges,
+        // impossible here), all non-empty by ClusterMap construction.
+        prop_assert!(map.n_clusters() >= k.min(24) || map.n_clusters() <= 24);
+        prop_assert_eq!(map.n_clusters(), k);
+        // Dense ids.
+        let max_id = map.assignment().iter().max().copied().unwrap();
+        prop_assert_eq!(max_id as usize + 1, map.n_clusters());
+    }
+
+    #[test]
+    fn partition_is_deterministic(g in arb_graph(16), k in 1usize..16) {
+        let a = partition(&g, &PartitionConfig::with_k(k));
+        let b = partition(&g, &PartitionConfig::with_k(k));
+        prop_assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn size_bound_respected(g in arb_graph(20), k in 2usize..10) {
+        let cfg = PartitionConfig::balanced(k, 20);
+        let map = partition(&g, &cfg);
+        prop_assert!(
+            map.max_cluster_size() <= cfg.max_cluster_size.unwrap(),
+            "cluster of {} exceeds bound {:?}",
+            map.max_cluster_size(),
+            cfg.max_cluster_size
+        );
+    }
+
+    #[test]
+    fn partition_cut_no_worse_than_blocks(g in arb_graph(16), k in 2usize..8) {
+        // The optimiser must not lose to the naive contiguous-blocks
+        // partition it could trivially emit.
+        let smart = partition(&g, &PartitionConfig::with_k(k));
+        let naive = ClusterMap::blocks(16, k);
+        let s_cut = ClusteringStats::evaluate_graph(&g, &smart).logged_bytes;
+        let n_cut = ClusteringStats::evaluate_graph(&g, &naive).logged_bytes;
+        prop_assert!(
+            s_cut <= n_cut,
+            "partitioner cut {} worse than naive blocks {}",
+            s_cut,
+            n_cut
+        );
+    }
+
+    #[test]
+    fn logged_fraction_monotone_at_extremes(g in arb_graph(12)) {
+        let one = partition(&g, &PartitionConfig::with_k(1));
+        let all = partition(&g, &PartitionConfig::with_k(12));
+        let s1 = ClusteringStats::evaluate_graph(&g, &one);
+        let sn = ClusteringStats::evaluate_graph(&g, &all);
+        prop_assert_eq!(s1.logged_bytes, 0);
+        prop_assert_eq!(sn.logged_bytes, g.total());
+    }
+}

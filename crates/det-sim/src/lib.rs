@@ -1,0 +1,41 @@
+//! # det-sim — deterministic discrete-event simulation engine
+//!
+//! Foundation for the hydee-rs workspace: a virtual clock with picosecond
+//! resolution, an event queue with *stable* (fully deterministic) ordering,
+//! deterministic pseudo-random number streams, and small online-statistics
+//! helpers used by the experiment harnesses.
+//!
+//! Everything in this crate is deterministic by construction: given the same
+//! seed and the same sequence of API calls, a simulation replays
+//! bit-for-bit. That property is what lets the fault-tolerance tests compare
+//! a recovered execution against the golden failure-free run of the same
+//! seed.
+//!
+//! ```
+//! use det_sim::prelude::*;
+//!
+//! let mut sched: Scheduler<&'static str> = Scheduler::new();
+//! sched.schedule(SimTime::from_us(3), "late");
+//! sched.schedule(SimTime::from_us(1), "early");
+//! let (t, ev) = sched.pop().unwrap();
+//! assert_eq!(ev, "early");
+//! assert_eq!(t, SimTime::from_us(1));
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::{EventHandle, Scheduler};
+pub use rng::DetRng;
+pub use stats::{OnlineStats, Summary};
+pub use time::{SimDuration, SimTime};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::queue::{EventHandle, Scheduler};
+    pub use crate::rng::DetRng;
+    pub use crate::stats::{OnlineStats, Summary};
+    pub use crate::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,296 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over a binary heap keyed by `(SimTime, sequence)`. The
+//! monotonically increasing sequence number breaks ties between events
+//! scheduled for the same instant in *insertion order*, which makes the
+//! simulation schedule a pure function of the call sequence — `BinaryHeap`
+//! alone gives no ordering guarantee for equal keys.
+//!
+//! Events can be cancelled in O(1) via [`EventHandle`] (lazy deletion: the
+//! slot is tombstoned and skipped on pop), which the message-passing layer
+//! uses for retracting in-flight deliveries to a failed rank.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies a scheduled event so it can be cancelled later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventHandle(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+}
+
+struct Slot<E> {
+    event: Option<E>, // None => cancelled (tombstone)
+}
+
+/// A deterministic future-event list.
+///
+/// `pop` never returns an event earlier than the last popped time, and the
+/// queue tracks `now` — the timestamp of the most recently popped event —
+/// as the simulation clock.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Key>>,
+    slots: Vec<Slot<E>>,
+    // Maps seq -> index into `slots`; slots of consumed events are freed.
+    // We keep it simple: slots indexed by seq directly via offset.
+    base_seq: u64,
+    next_seq: u64,
+    now: SimTime,
+    live: usize,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            base_seq: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            live: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last event popped.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (scheduled, not-yet-popped, not-cancelled) events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `at` is in the past — the engine never
+    /// rewrites history.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = Key { time: at, seq };
+        self.slots.push(Slot { event: Some(event) });
+        self.heap.push(Reverse(key));
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns the event if it was
+    /// still pending, `None` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        let idx = self.slot_index(handle.0)?;
+        let taken = self.slots[idx].event.take();
+        if taken.is_some() {
+            self.live -= 1;
+        }
+        taken
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_tombstones();
+        self.heap.peek().map(|Reverse(k)| k.time)
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let Reverse(key) = self.heap.pop()?;
+            let idx = self
+                .slot_index(key.seq)
+                .expect("heap key without backing slot");
+            if let Some(event) = self.slots[idx].event.take() {
+                self.live -= 1;
+                debug_assert!(key.time >= self.now);
+                self.now = key.time;
+                self.compact();
+                return Some((key.time, event));
+            }
+            // tombstone: cancelled event, keep popping
+        }
+    }
+
+    fn slot_index(&self, seq: u64) -> Option<usize> {
+        if seq < self.base_seq {
+            return None;
+        }
+        let idx = (seq - self.base_seq) as usize;
+        if idx >= self.slots.len() {
+            return None;
+        }
+        Some(idx)
+    }
+
+    fn skip_tombstones(&mut self) {
+        while let Some(Reverse(key)) = self.heap.peek() {
+            let idx = match self.slot_index(key.seq) {
+                Some(i) => i,
+                None => {
+                    self.heap.pop();
+                    continue;
+                }
+            };
+            if self.slots[idx].event.is_some() {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Drop fully-consumed slots from the front to bound memory. Amortised
+    /// O(1): only runs when at least half the slot arena is dead prefix.
+    fn compact(&mut self) {
+        let dead_prefix = self
+            .slots
+            .iter()
+            .take_while(|s| s.event.is_none())
+            .count();
+        if dead_prefix >= 1024 && dead_prefix * 2 >= self.slots.len() {
+            self.slots.drain(..dead_prefix);
+            self.base_seq += dead_prefix as u64;
+        }
+    }
+
+    /// Drain all remaining events in deterministic order (for shutdown and
+    /// for tests).
+    pub fn drain(&mut self) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.live);
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_us(5), 5u32);
+        s.schedule(SimTime::from_us(1), 1u32);
+        s.schedule(SimTime::from_us(3), 3u32);
+        let order: Vec<u32> = s.drain().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_us(7);
+        for i in 0..100u32 {
+            s.schedule(t, i);
+        }
+        let order: Vec<u32> = s.drain().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_us(2), ());
+        s.schedule(SimTime::from_us(9), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_us(2));
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_us(9));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut s = Scheduler::new();
+        let h1 = s.schedule(SimTime::from_us(1), "a");
+        s.schedule(SimTime::from_us(2), "b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.cancel(h1), Some("a"));
+        assert_eq!(s.len(), 1);
+        // double-cancel is a no-op
+        assert_eq!(s.cancel(h1), None);
+        let order: Vec<&str> = s.drain().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["b"]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_none() {
+        let mut s = Scheduler::new();
+        let h = s.schedule(SimTime::from_us(1), 42);
+        s.pop();
+        assert_eq!(s.cancel(h), None);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let h = s.schedule(SimTime::from_us(1), ());
+        s.schedule(SimTime::from_us(5), ());
+        s.cancel(h);
+        assert_eq!(s.peek_time(), Some(SimTime::from_us(5)));
+    }
+
+    #[test]
+    fn compaction_keeps_behaviour() {
+        let mut s = Scheduler::new();
+        let mut t = SimTime::ZERO;
+        // Enough traffic to trigger several compactions.
+        for round in 0..50u64 {
+            for i in 0..100u64 {
+                t += SimDuration::from_ns(1);
+                s.schedule(t, round * 100 + i);
+            }
+            for _ in 0..100 {
+                s.pop().unwrap();
+            }
+        }
+        assert!(s.is_empty());
+        // Scheduling still works after compaction.
+        s.schedule(t + SimDuration::from_ns(1), 0);
+        assert_eq!(s.pop().map(|(_, e)| e), Some(0));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_deterministic() {
+        let run = || {
+            let mut s = Scheduler::new();
+            let mut log = Vec::new();
+            s.schedule(SimTime::from_ns(10), 0u64);
+            while let Some((t, e)) = s.pop() {
+                log.push((t, e));
+                if e < 20 {
+                    // Two children at the same future instant.
+                    s.schedule(t + SimDuration::from_ns(5), 2 * e + 1);
+                    s.schedule(t + SimDuration::from_ns(5), 2 * e + 2);
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

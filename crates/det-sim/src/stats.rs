@@ -1,0 +1,245 @@
+//! Small online statistics used by the experiment harnesses.
+//!
+//! [`OnlineStats`] is a Welford accumulator (numerically stable mean and
+//! variance in one pass, O(1) memory); [`Summary`] additionally keeps the
+//! samples to report medians and percentiles, which the paper-style tables
+//! need for "mean of 8 executions" rows.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Sample-retaining summary with percentile queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    stats: OnlineStats,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary {
+            samples: Vec::new(),
+            stats: OnlineStats::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.stats.push(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+    pub fn stddev(&self) -> f64 {
+        self.stats.stddev()
+    }
+    pub fn min(&self) -> f64 {
+        self.stats.min()
+    }
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Linear-interpolated percentile, `q` in [0,100]. NaN when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let q = q.clamp(0.0, 100.0) / 100.0;
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // naive sample variance = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert!((s.percentile(25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut s = Summary::new();
+        s.push(42.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+}

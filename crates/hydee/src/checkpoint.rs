@@ -1,0 +1,39 @@
+//! Cluster-coordinated checkpoints.
+//!
+//! A checkpoint of cluster `c` is a consistent cut of its members: each
+//! member's execution snapshot (engine state) and protocol state
+//! (Algorithm 1 line 21: image, RPP, Logs, Phase, Date) plus the
+//! Chandy-Lamport channel state — intra-cluster messages in flight at the
+//! cut, which are re-injected on rollback.
+//!
+//! Coordinated checkpointing guarantees the cut is consistent *within* the
+//! cluster; inter-cluster channels are not captured — that is exactly what
+//! sender-based logging covers.
+
+use crate::state::HydeeState;
+use det_sim::SimTime;
+use mps_sim::{InFlightMsg, Rank, RankSnapshot};
+use std::collections::BTreeMap;
+
+/// One cluster's saved state.
+#[derive(Debug)]
+pub struct ClusterCheckpoint {
+    pub taken_at: SimTime,
+    /// Engine snapshot per member.
+    pub snaps: BTreeMap<Rank, RankSnapshot>,
+    /// Protocol state per member (persistent fields only).
+    pub states: BTreeMap<Rank, HydeeState>,
+    /// Intra-cluster channel state at the cut.
+    pub inflight: Vec<InFlightMsg>,
+    /// Total bytes written to stable storage for this checkpoint.
+    pub bytes: u64,
+}
+
+impl ClusterCheckpoint {
+    /// Bytes attributable to one member (uniform split, used for read
+    /// costing at restart).
+    pub fn bytes_per_member(&self) -> u64 {
+        let n = self.snaps.len().max(1) as u64;
+        self.bytes / n
+    }
+}

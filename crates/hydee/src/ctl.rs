@@ -1,0 +1,121 @@
+//! HydEE's control messages.
+//!
+//! These are the protocol-level messages of Algorithms 2–4 plus the
+//! garbage-collection acknowledgement of §III-E. Each variant knows its
+//! wire size so the engine prices it like real traffic.
+//!
+//! ### Date domains (a pseudo-code ambiguity resolved)
+//!
+//! Every process counts its own events (`date`). The paper's pseudo-code
+//! overloads "RollbackDate" for two quantities that live in *different*
+//! processes' date domains. We carry both explicitly:
+//!
+//! * `Rollback.own_date` — the restarted process's restored date, used by
+//!   peers to find **orphans** (entries in their RPP beyond that date);
+//! * `Rollback.maxdate_from_you` — the restored `RPP[peer].maxdate`, i.e.
+//!   the last message *of the peer's* the restored state still has, used
+//!   by the peer to select **logged messages to replay** (sender dates
+//!   strictly beyond it).
+//!
+//! Symmetrically, `LastDate.maxdate_from_you` is in the *restarted*
+//! process's date domain and bounds its re-executed sends (suppression).
+
+use mps_sim::Rank;
+use serde::{Deserialize, Serialize};
+
+/// Control message payloads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HydeeCtl {
+    /// Restarted process -> every process outside its cluster
+    /// (Algorithm 2, line 6).
+    Rollback {
+        /// Date the sender restarted from (sender's domain).
+        own_date: u64,
+        /// Restored `RPP[recipient].maxdate` (recipient's domain).
+        maxdate_from_you: u64,
+    },
+    /// Answer to `Rollback` (Algorithm 3, line 9): last date the answerer
+    /// received from the restarted process (restarted process's domain).
+    LastDate { maxdate_from_you: u64 },
+    /// Process -> recovery process: phases of logged messages it will
+    /// replay (Algorithm 3, line 15).
+    LogReport { phases: Vec<u64> },
+    /// Process -> recovery process: phases of the orphan messages it
+    /// holds (Algorithm 3, line 16).
+    OrphanReport { phases: Vec<u64> },
+    /// Process -> recovery process: its current (or restored) phase
+    /// (Algorithm 2 line 7 / Algorithm 3 line 17).
+    OwnPhase { phase: u64 },
+    /// Restarted process -> recovery process: a send was suppressed as an
+    /// orphan re-emission (Algorithm 2, line 15).
+    OrphanNotification { phase: u64 },
+    /// Recovery process -> process: replay your logged messages with phase
+    /// at most `phase` (Algorithm 4, line 19).
+    NotifySendLog { phase: u64 },
+    /// Recovery process -> process: you may start sending (Algorithm 4,
+    /// line 23).
+    NotifySendMsg { phase: u64 },
+    /// Garbage collection (§III-E): receiver checkpointed; sender may
+    /// discard logged messages up to `your_maxdate` (sender's domain) and
+    /// RPP entries for this channel below `my_ckpt_date` (acker's domain).
+    CkptAck {
+        your_maxdate: u64,
+        my_ckpt_date: u64,
+    },
+}
+
+impl HydeeCtl {
+    /// Approximate wire size in bytes for cost accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            HydeeCtl::Rollback { .. } => 24,
+            HydeeCtl::LastDate { .. } => 16,
+            HydeeCtl::LogReport { phases } | HydeeCtl::OrphanReport { phases } => {
+                16 + 8 * phases.len() as u64
+            }
+            HydeeCtl::OwnPhase { .. } => 16,
+            HydeeCtl::OrphanNotification { .. } => 16,
+            HydeeCtl::NotifySendLog { .. } => 16,
+            HydeeCtl::NotifySendMsg { .. } => 16,
+            HydeeCtl::CkptAck { .. } => 24,
+        }
+    }
+}
+
+/// The auxiliary endpoint id of the recovery process.
+pub const RECOVERY_PROCESS: mps_sim::Endpoint = mps_sim::Endpoint::Aux(0);
+
+/// A notification the recovery process wants delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpNotice {
+    pub to: Rank,
+    pub ctl: HydeeCtl,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_scale_with_report_size() {
+        let small = HydeeCtl::LogReport { phases: vec![] };
+        let big = HydeeCtl::LogReport {
+            phases: vec![1; 100],
+        };
+        assert_eq!(small.wire_bytes(), 16);
+        assert_eq!(big.wire_bytes(), 816);
+    }
+
+    #[test]
+    fn fixed_size_variants() {
+        assert_eq!(
+            HydeeCtl::Rollback {
+                own_date: 0,
+                maxdate_from_you: 0
+            }
+            .wire_bytes(),
+            24
+        );
+        assert_eq!(HydeeCtl::NotifySendMsg { phase: 3 }.wire_bytes(), 16);
+    }
+}

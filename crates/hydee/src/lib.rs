@@ -1,0 +1,50 @@
+//! # hydee — failure containment without event logging
+//!
+//! A full implementation of **HydEE** (Guermouche, Ropars, Snir, Cappello —
+//! IPDPS 2012): a hybrid rollback-recovery protocol for send-deterministic
+//! message-passing applications that combines *cluster-coordinated
+//! checkpointing* with *sender-based message logging* of inter-cluster
+//! messages — and, uniquely, logs **no events** (no determinants, no
+//! reliable event storage).
+//!
+//! The protocol runs on the [`mps_sim`] simulated runtime. Key pieces:
+//!
+//! * [`rpp::Rpp`] — the Received-Per-Phase table (orphan detection);
+//! * [`log::SenderLog`] — in-memory payload log with GC;
+//! * [`recovery::RecoveryProcess`] — the per-phase release engine
+//!   (Algorithm 4);
+//! * [`protocol::Hydee`] — the protocol itself (Algorithms 1–3 wired to
+//!   the engine's hooks).
+//!
+//! ```
+//! use hydee::{Hydee, HydeeConfig};
+//! use mps_sim::prelude::*;
+//!
+//! // Two clusters of two ranks; one inter-cluster exchange.
+//! let mut app = Application::new(4);
+//! app.rank_mut(Rank(1)).send(Rank(2), 4096, Tag(0));
+//! app.rank_mut(Rank(2)).recv(Rank(1), Tag(0));
+//!
+//! let clusters = ClusterMap::new(vec![0, 0, 1, 1]);
+//! let sim = Sim::new(app, SimConfig::default(), Hydee::new(HydeeConfig::new(clusters)));
+//! let report = sim.run();
+//! assert!(report.completed());
+//! assert_eq!(report.metrics.logged_bytes_cumulative, 4096); // inter-cluster only
+//! ```
+
+pub mod checkpoint;
+pub mod config;
+pub mod ctl;
+pub mod log;
+pub mod protocol;
+pub mod recovery;
+pub mod rpp;
+pub mod state;
+
+pub use config::HydeeConfig;
+pub use ctl::{HydeeCtl, RECOVERY_PROCESS};
+pub use log::{LogEntry, SenderLog};
+pub use protocol::Hydee;
+pub use recovery::RecoveryProcess;
+pub use rpp::Rpp;
+pub use state::{HydeeState, RecoveryRole};

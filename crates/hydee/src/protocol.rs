@@ -1,0 +1,746 @@
+//! The HydEE protocol (Algorithms 1–4 of the paper).
+//!
+//! * **Failure free** (Algorithm 1): every send increments the sender's
+//!   date and carries `(date, phase)`; inter-cluster sends are logged in
+//!   sender memory; deliveries update the phase (`max(phase, m.phase)`
+//!   intra-cluster, `max(phase, m.phase + 1)` inter-cluster), record the
+//!   RPP entry, and increment the date. Clusters checkpoint in a
+//!   coordinated way, saving `(image, RPP, Logs, Phase, Date)`.
+//!
+//! * **Failure** (Algorithms 2–4): the failed process's whole cluster
+//!   restores its last checkpoint; restarted processes notify everyone
+//!   outside their cluster (`Rollback`), peers answer `LastDate` and
+//!   report logged-message phases, orphan phases, and their own phase to a
+//!   freshly launched *recovery process*, which releases log replays and
+//!   first sends in phase order. Re-executed sends that the receiver
+//!   already has are **suppressed** and acknowledged to the recovery
+//!   process — send-determinism guarantees the suppressed message is
+//!   byte-identical to the original (the engine's trace oracle verifies
+//!   exactly that).
+//!
+//! Multi-cluster (concurrent) failures are handled symmetrically: rolled
+//! processes also run the survivor duties toward *other* rolled clusters,
+//! answering `LastDate` and replaying logs from their restored state.
+
+use crate::checkpoint::ClusterCheckpoint;
+use crate::config::HydeeConfig;
+use crate::ctl::{HydeeCtl, RpNotice, RECOVERY_PROCESS};
+use crate::log::LogEntry;
+use crate::recovery::RecoveryProcess;
+use crate::state::{HydeeState, RecoveryRole};
+use det_sim::{SimDuration, SimTime};
+use mps_sim::{
+    Ctx, Endpoint, Message, PbMeta, Protocol, Rank, SendAction, SendDirective, SendInfo,
+};
+use std::collections::BTreeSet;
+
+/// The HydEE rollback-recovery protocol.
+pub struct Hydee {
+    cfg: HydeeConfig,
+    states: Vec<HydeeState>,
+    checkpoints: Vec<Option<ClusterCheckpoint>>,
+    rp: Option<RecoveryProcess>,
+    recovering: bool,
+    recovery_started: SimTime,
+}
+
+impl Hydee {
+    pub fn new(cfg: HydeeConfig) -> Self {
+        let n = cfg.clusters.n_ranks();
+        let n_clusters = cfg.clusters.n_clusters();
+        Hydee {
+            cfg,
+            states: (0..n).map(|_| HydeeState::new()).collect(),
+            checkpoints: (0..n_clusters).map(|_| None).collect(),
+            rp: None,
+            recovering: false,
+            recovery_started: SimTime::ZERO,
+        }
+    }
+
+    /// Is a recovery currently being orchestrated?
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Protocol state of one rank (for tests and instrumentation).
+    pub fn state(&self, r: Rank) -> &HydeeState {
+        &self.states[r.idx()]
+    }
+
+    pub fn config(&self) -> &HydeeConfig {
+        &self.cfg
+    }
+
+    fn cluster_of(&self, r: Rank) -> u32 {
+        self.cfg.clusters.cluster_of(r)
+    }
+
+    /// Capture a consistent cut of cluster `c` (engine snapshots, protocol
+    /// states, intra-cluster channel state). Does not charge time.
+    fn capture_cluster(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, c: u32) -> ClusterCheckpoint {
+        let members: Vec<Rank> = self.cfg.clusters.members(c).to_vec();
+        let inflight = ctx.capture_inflight_within(&members);
+        let mut snaps = std::collections::BTreeMap::new();
+        let mut states = std::collections::BTreeMap::new();
+        let mut bytes = 0u64;
+        for &r in &members {
+            let mut snap = ctx.capture_rank(r);
+            // Inter-cluster channel state is NOT part of a cluster
+            // checkpoint: sender-based logs cover it (see
+            // RankSnapshot::retain_messages).
+            snap.retain_messages(|m| self.cfg.clusters.same_cluster(m.src, m.dst));
+            let st = &mut self.states[r.idx()];
+            // GC epoch bookkeeping: remember what this checkpoint covers
+            // and arm the acknowledgement-on-first-delivery markers.
+            st.ckpt_date = st.date;
+            st.ckpt_maxdates = st
+                .rpp
+                .sources()
+                .map(|s| (s, st.rpp.maxdate(s)))
+                .collect();
+            st.ack_pending = st
+                .rpp
+                .sources()
+                .filter(|&s| self.cfg.clusters.cluster_of(s) != c)
+                .collect();
+            bytes += self.cfg.image_bytes + st.checkpoint_bytes() + snap.image_bytes();
+            states.insert(r, st.checkpoint_view());
+            snaps.insert(r, snap);
+        }
+        ClusterCheckpoint {
+            taken_at: ctx.now(),
+            snaps,
+            states,
+            inflight,
+            bytes,
+        }
+    }
+
+    /// Coordinated checkpoint of cluster `c` with full cost accounting.
+    fn do_checkpoint(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, c: u32) {
+        let ckpt = self.capture_cluster(ctx, c);
+        let members: Vec<Rank> = self.cfg.clusters.members(c).to_vec();
+        let n_members = members.len() as u64;
+        let per_member = ckpt.bytes / n_members.max(1);
+        // Cluster-internal coordination: one small-message round per tree
+        // level, down and up.
+        let levels = (usize::BITS - (members.len().max(1) - 1).leading_zeros()) as u64;
+        let coord = ctx.wire_cost(32).one_way() * (2 * levels.max(1));
+        let write = self.cfg.storage.write_time(per_member, n_members);
+        for &r in &members {
+            ctx.charge(r, coord + write);
+        }
+        ctx.metrics().checkpoints += n_members;
+        ctx.metrics().checkpoint_bytes += ckpt.bytes;
+        self.checkpoints[c as usize] = Some(ckpt);
+    }
+
+    /// Send every notice the recovery process produced, then finish
+    /// recovery if its bookkeeping completed.
+    fn dispatch_rp(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, notices: Vec<RpNotice>) {
+        for n in notices {
+            let bytes = n.ctl.wire_bytes();
+            ctx.send_ctl(RECOVERY_PROCESS, Endpoint::Rank(n.to), bytes, n.ctl);
+        }
+        if self.rp.as_ref().is_some_and(|rp| rp.done()) {
+            self.rp = None;
+            self.recovering = false;
+            let span = ctx.now().since(self.recovery_started);
+            ctx.metrics().recovery_time += span;
+        }
+    }
+
+    /// All rollback notifications this process was waiting for have
+    /// arrived: answer each restarted peer, select log replays, and report
+    /// to the recovery process (Algorithm 3, lines 8–17).
+    fn compile_reports(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, me: Rank) {
+        let info: Vec<(Rank, u64, u64)> = self.states[me.idx()]
+            .rollback_info
+            .iter()
+            .map(|(&k, &(own_date, maxdate))| (k, own_date, maxdate))
+            .collect();
+        let mut log_phases = Vec::new();
+        let mut orphan_phases = Vec::new();
+        let mut resent: Vec<LogEntry> = Vec::new();
+        let mut lastdate: Vec<(Rank, u64)> = Vec::new();
+        {
+            let st = &self.states[me.idx()];
+            for &(k, own_date, maxdate_from_me) in &info {
+                let replay = st.log.replay_set(k, maxdate_from_me);
+                log_phases.extend(replay.iter().map(|e| e.phase));
+                resent.extend(replay);
+                orphan_phases.extend(st.rpp.orphan_phases(k, own_date));
+                // Messages from k that arrived but are still buffered count
+                // as received (library-level reception): they raise our
+                // LastDate horizon and, past k's restored date, they are
+                // orphans k will suppress.
+                let pending = ctx.pending_meta_from(me, k);
+                let mut max_received = st.rpp.maxdate(k);
+                for meta in pending {
+                    max_received = max_received.max(meta.date);
+                    if meta.date > own_date {
+                        orphan_phases.push(meta.phase);
+                    }
+                }
+                lastdate.push((k, max_received));
+            }
+        }
+        resent.sort_by_key(|e| e.date);
+        self.states[me.idx()].resent_logs = resent;
+        let from = Endpoint::Rank(me);
+        for (k, max_received) in lastdate {
+            let answer = HydeeCtl::LastDate {
+                maxdate_from_you: max_received,
+            };
+            let bytes = answer.wire_bytes();
+            ctx.send_ctl(from, Endpoint::Rank(k), bytes, answer);
+        }
+        for ctl in [
+            HydeeCtl::LogReport { phases: log_phases },
+            HydeeCtl::OrphanReport {
+                phases: orphan_phases,
+            },
+            HydeeCtl::OwnPhase {
+                phase: self.states[me.idx()].phase,
+            },
+        ] {
+            let bytes = ctl.wire_bytes();
+            ctx.send_ctl(from, RECOVERY_PROCESS, bytes, ctl);
+        }
+    }
+
+    /// Open the send gate if this process has everything it needs
+    /// (Algorithm 2 line 8 / Algorithm 3 line 18).
+    fn try_open_gate(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, me: Rank) {
+        let st = &self.states[me.idx()];
+        let ready = match st.role {
+            RecoveryRole::Rolled => st.notify_recv && st.waiting_lastdate.is_empty(),
+            RecoveryRole::Survivor => st.notify_recv,
+            RecoveryRole::None => return,
+        };
+        if ready {
+            let st = &mut self.states[me.idx()];
+            if st.role == RecoveryRole::Survivor {
+                st.role = RecoveryRole::None;
+            }
+            st.notify_recv = false;
+            ctx.gate(me, false);
+        }
+    }
+}
+
+impl Protocol for Hydee {
+    type Ctl = HydeeCtl;
+
+    fn name(&self) -> &'static str {
+        "hydee"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, HydeeCtl>) {
+        // Implicit initial checkpoint of every cluster at t=0 (cost-free:
+        // nothing has executed, the "image" is the binary itself).
+        for c in 0..self.cfg.clusters.n_clusters() as u32 {
+            let ckpt = self.capture_cluster(ctx, c);
+            self.checkpoints[c as usize] = Some(ckpt);
+        }
+        if self.cfg.checkpoint_interval.is_some() {
+            for c in 0..self.cfg.clusters.n_clusters() as u32 {
+                let at = self.cfg.first_checkpoint + self.cfg.checkpoint_stagger * c as u64;
+                ctx.set_timer(at, c as u64);
+            }
+        }
+    }
+
+    fn on_send(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, info: &SendInfo) -> SendDirective {
+        let inter = !self.cfg.clusters.same_cluster(info.src, info.dst);
+        let src_idx = info.src.idx();
+
+        // Algorithm 2 line 21: once the re-executing process's date passes
+        // every orphan horizon it switches back to the failure-free path.
+        if self.states[src_idx].suppressing && self.states[src_idx].past_all_orphans() {
+            let st = &mut self.states[src_idx];
+            st.suppressing = false;
+            st.role = RecoveryRole::None;
+        }
+
+        // Date is incremented for every send event, suppressed or not
+        // (Algorithm 1 line 6 / Algorithm 2 line 12).
+        self.states[src_idx].date += 1;
+        let date = self.states[src_idx].date;
+        let phase = self.states[src_idx].phase;
+        let meta = PbMeta { date, phase };
+
+        // Algorithm 2 lines 13-15: a re-executed inter-cluster send the
+        // receiver already has is suppressed; notify the recovery process.
+        //
+        // Deviation from the paper's pseudo-code (documented in DESIGN.md):
+        // the suppressed message is still APPENDED TO THE SENDER LOG. The
+        // paper's Algorithm 2 only logs transmitted sends, which leaves the
+        // restarted process's log missing its suppressed messages — a
+        // *subsequent* failure rolling the receiver back past those
+        // deliveries would then find nothing to replay and recovery would
+        // deadlock. Re-logging restores the Algorithm 1 invariant that the
+        // sender log covers every inter-cluster send since the last
+        // checkpoint.
+        if self.states[src_idx].suppressing && inter {
+            if let Some(&od) = self.states[src_idx].orphan_date.get(&info.dst) {
+                if date <= od {
+                    self.states[src_idx].log.append(LogEntry {
+                        date,
+                        phase,
+                        dst: info.dst,
+                        tag: info.tag,
+                        bytes: info.bytes,
+                        payload: info.payload,
+                        channel_seq: info.channel_seq,
+                    });
+                    ctx.metrics().log_append(info.bytes);
+                    let ctl = HydeeCtl::OrphanNotification { phase };
+                    let bytes = ctl.wire_bytes();
+                    ctx.send_ctl(Endpoint::Rank(info.src), RECOVERY_PROCESS, bytes, ctl);
+                    // The log copy cannot overlap a transmission that never
+                    // happens: charge the full copy.
+                    return SendDirective {
+                        action: SendAction::Suppress,
+                        meta,
+                        extra_wire_bytes: 0,
+                        extra_sender_time: self.cfg.memcpy.copy_time(info.bytes),
+                    };
+                }
+            }
+        }
+
+        // Piggyback (date, phase): inline below the threshold, separate
+        // protocol message above it (§V-A).
+        let extra_wire_bytes;
+        let mut extra_sender_time;
+        match self.cfg.piggyback.apply(info.bytes) {
+            net_model::PiggybackCost::Inline { extra_bytes } => {
+                extra_wire_bytes = extra_bytes;
+                extra_sender_time = SimDuration::ZERO;
+            }
+            net_model::PiggybackCost::Separate { sender_overhead } => {
+                extra_wire_bytes = 0;
+                extra_sender_time = sender_overhead;
+            }
+        }
+
+        // Algorithm 1 lines 7-8: sender-based logging of inter-cluster
+        // payloads. The memcpy overlaps with the NIC transfer; only the
+        // non-overlapped remainder (if any) costs sender time.
+        if inter {
+            self.states[src_idx].log.append(LogEntry {
+                date,
+                phase,
+                dst: info.dst,
+                tag: info.tag,
+                bytes: info.bytes,
+                payload: info.payload,
+                channel_seq: info.channel_seq,
+            });
+            ctx.metrics().log_append(info.bytes);
+            let transit = ctx.wire_cost(info.bytes + extra_wire_bytes).transit;
+            extra_sender_time += self.cfg.memcpy.non_overlapped(info.bytes, transit);
+        }
+
+        SendDirective {
+            action: SendAction::Proceed,
+            meta,
+            extra_wire_bytes,
+            extra_sender_time,
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, msg: &Message) {
+        let inter = !self.cfg.clusters.same_cluster(msg.src, msg.dst);
+        let me = msg.dst.idx();
+        if inter {
+            // Algorithm 1 lines 11-14.
+            self.states[me].phase = self.states[me].phase.max(msg.meta.phase + 1);
+            self.states[me].rpp.record(msg.src, msg.meta.date, msg.meta.phase);
+            // GC §III-E: acknowledge the first delivery from each external
+            // peer after a checkpoint with what that checkpoint covers.
+            if self.cfg.gc && self.states[me].ack_pending.remove(&msg.src) {
+                let st = &self.states[me];
+                let ack = HydeeCtl::CkptAck {
+                    your_maxdate: st.ckpt_maxdates.get(&msg.src).copied().unwrap_or(0),
+                    my_ckpt_date: st.ckpt_date,
+                };
+                let bytes = ack.wire_bytes();
+                ctx.send_ctl(
+                    Endpoint::Rank(msg.dst),
+                    Endpoint::Rank(msg.src),
+                    bytes,
+                    ack,
+                );
+            }
+        } else {
+            // Algorithm 1 line 16.
+            self.states[me].phase = self.states[me].phase.max(msg.meta.phase);
+        }
+        // Algorithm 1 line 17.
+        self.states[me].date += 1;
+    }
+
+    fn on_control(
+        &mut self,
+        ctx: &mut Ctx<'_, HydeeCtl>,
+        to: Endpoint,
+        from: Endpoint,
+        ctl: HydeeCtl,
+    ) {
+        match (to, ctl) {
+            // ---- messages to the recovery process ----
+            (Endpoint::Aux(_), HydeeCtl::OwnPhase { phase }) => {
+                let Endpoint::Rank(r) = from else { return };
+                let notices = self
+                    .rp
+                    .as_mut()
+                    .expect("OwnPhase with no active recovery")
+                    .on_own_phase(r, phase);
+                self.dispatch_rp(ctx, notices);
+            }
+            (Endpoint::Aux(_), HydeeCtl::LogReport { phases }) => {
+                let Endpoint::Rank(r) = from else { return };
+                let notices = self
+                    .rp
+                    .as_mut()
+                    .expect("LogReport with no active recovery")
+                    .on_log_report(r, &phases);
+                self.dispatch_rp(ctx, notices);
+            }
+            (Endpoint::Aux(_), HydeeCtl::OrphanReport { phases }) => {
+                let notices = self
+                    .rp
+                    .as_mut()
+                    .expect("OrphanReport with no active recovery")
+                    .on_orphan_report(&phases);
+                self.dispatch_rp(ctx, notices);
+            }
+            (Endpoint::Aux(_), HydeeCtl::OrphanNotification { phase }) => {
+                let notices = self
+                    .rp
+                    .as_mut()
+                    .expect("OrphanNotification with no active recovery")
+                    .on_orphan_notification(phase);
+                self.dispatch_rp(ctx, notices);
+            }
+
+            // ---- messages to application processes ----
+            (
+                Endpoint::Rank(me),
+                HydeeCtl::Rollback {
+                    own_date,
+                    maxdate_from_you,
+                },
+            ) => {
+                let Endpoint::Rank(k) = from else { return };
+                let st = &mut self.states[me.idx()];
+                st.rollback_info.insert(k, (own_date, maxdate_from_you));
+                st.waiting_rollback.remove(&k);
+                if st.waiting_rollback.is_empty() && st.role != RecoveryRole::None {
+                    self.compile_reports(ctx, me);
+                }
+            }
+            (Endpoint::Rank(me), HydeeCtl::LastDate { maxdate_from_you }) => {
+                let Endpoint::Rank(j) = from else { return };
+                let st = &mut self.states[me.idx()];
+                st.orphan_date.insert(j, maxdate_from_you);
+                st.waiting_lastdate.remove(&j);
+                self.try_open_gate(ctx, me);
+            }
+            (Endpoint::Rank(me), HydeeCtl::NotifySendMsg { .. }) => {
+                self.states[me.idx()].notify_recv = true;
+                self.try_open_gate(ctx, me);
+            }
+            (Endpoint::Rank(me), HydeeCtl::NotifySendLog { phase }) => {
+                // Replay all selected log entries with phase <= notified
+                // phase, in date order (Algorithm 3, lines 22-24).
+                let st = &mut self.states[me.idx()];
+                let (replay, keep): (Vec<LogEntry>, Vec<LogEntry>) = st
+                    .resent_logs
+                    .drain(..)
+                    .partition(|e| e.phase <= phase);
+                st.resent_logs = keep;
+                for e in replay {
+                    let m = e.to_message(me);
+                    ctx.replay_app(m);
+                }
+            }
+            (
+                Endpoint::Rank(me),
+                HydeeCtl::CkptAck {
+                    your_maxdate,
+                    my_ckpt_date,
+                },
+            ) => {
+                let Endpoint::Rank(k) = from else { return };
+                let st = &mut self.states[me.idx()];
+                let (msgs, bytes) = st.log.prune(k, your_maxdate);
+                st.rpp.prune(k, my_ckpt_date);
+                if msgs > 0 {
+                    ctx.metrics().log_reclaim(msgs, bytes);
+                }
+            }
+            (to, ctl) => {
+                unreachable!("unexpected control message {ctl:?} at {to}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, id: u64) {
+        let Some(interval) = self.cfg.checkpoint_interval else {
+            return;
+        };
+        let c = id as u32;
+        if self.recovering {
+            // Defer checkpoints while a recovery is being orchestrated.
+            ctx.set_timer(ctx.now() + interval, id);
+            return;
+        }
+        self.do_checkpoint(ctx, c);
+        // Re-arm relative to when the cluster finishes writing, not when
+        // the timer fired — a checkpoint that costs more than the interval
+        // must not starve the application.
+        let resume = self
+            .cfg
+            .clusters
+            .members(c)
+            .iter()
+            .map(|&r| ctx.clock(r))
+            .max()
+            .unwrap_or_else(|| ctx.now());
+        ctx.set_timer(resume + interval, id);
+    }
+
+    fn on_failure(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, failed: &[Rank]) {
+        assert!(
+            !self.recovering,
+            "a failure during an ongoing recovery is not supported; \
+             inject concurrent failures as a single event"
+        );
+        self.recovering = true;
+        self.recovery_started = ctx.now();
+
+        let rolled_clusters: BTreeSet<u32> =
+            failed.iter().map(|&r| self.cluster_of(r)).collect();
+        let rolled: Vec<Rank> = rolled_clusters
+            .iter()
+            .flat_map(|&c| self.cfg.clusters.members(c).iter().copied())
+            .collect();
+        let rolled_set: BTreeSet<Rank> = rolled.iter().copied().collect();
+        ctx.metrics().ranks_rolled_back += rolled.len() as u64;
+
+        // Messages in flight to any rolled-back rank address a dead
+        // incarnation: drop them (their content is covered by sender logs
+        // or by re-execution).
+        ctx.drop_inflight_to(&rolled);
+
+        // Launch the recovery process: every rank (rolled and survivor)
+        // files each report kind exactly once.
+        self.rp = Some(RecoveryProcess::new(self.cfg.clusters.n_ranks()));
+
+        // Survivors: gate the next send, await rollback notifications from
+        // every rolled rank.
+        for i in 0..self.cfg.clusters.n_ranks() {
+            let r = Rank(i as u32);
+            if rolled_set.contains(&r) {
+                continue;
+            }
+            let st = &mut self.states[i];
+            st.role = RecoveryRole::Survivor;
+            st.waiting_rollback = rolled_set.clone();
+            st.rollback_info.clear();
+            st.notify_recv = false;
+            ctx.gate(r, true);
+        }
+
+        // Rolled clusters: restore from the last checkpoint.
+        for &c in &rolled_clusters {
+            let ckpt = self.checkpoints[c as usize]
+                .as_ref()
+                .expect("no checkpoint for rolled cluster");
+            let members: Vec<Rank> = self.cfg.clusters.members(c).to_vec();
+            let read = self
+                .cfg
+                .storage
+                .read_time(ckpt.bytes_per_member(), rolled.len() as u64);
+            let taken_inflight = ckpt.inflight.clone();
+            for &r in &members {
+                let snap = ckpt.snaps[&r].clone();
+                let mut st = ckpt.states[&r].clone();
+                st.role = RecoveryRole::Rolled;
+                st.suppressing = true;
+                st.notify_recv = false;
+                st.waiting_lastdate = self
+                    .cfg
+                    .clusters
+                    .non_members(c)
+                    .into_iter()
+                    .collect();
+                st.waiting_rollback = rolled_set
+                    .iter()
+                    .copied()
+                    .filter(|&k| self.cluster_of(k) != c)
+                    .collect();
+                st.rollback_info.clear();
+                self.states[r.idx()] = st;
+                ctx.restore_rank(r, &snap, true);
+                ctx.charge(r, self.cfg.restart_latency + read);
+            }
+            // Chandy-Lamport channel state: re-inject intra-cluster
+            // messages that were in flight at the cut.
+            ctx.inject_inflight(&taken_inflight);
+        }
+
+        // Restarted processes notify everyone outside their cluster
+        // (Algorithm 2, lines 6-7) — carrying both date quantities (see
+        // ctl.rs on date domains).
+        for &r in &rolled {
+            let c = self.cluster_of(r);
+            for peer in self.cfg.clusters.non_members(c) {
+                let ctl = HydeeCtl::Rollback {
+                    own_date: self.states[r.idx()].date,
+                    maxdate_from_you: self.states[r.idx()].rpp.maxdate(peer),
+                };
+                let bytes = ctl.wire_bytes();
+                ctx.send_ctl(Endpoint::Rank(r), Endpoint::Rank(peer), bytes, ctl);
+            }
+        }
+        // Ranks with nothing to wait for (single-cluster failure: the
+        // rolled ranks themselves) report immediately.
+        for &r in &rolled {
+            if self.states[r.idx()].waiting_rollback.is_empty() {
+                self.compile_reports(ctx, r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sim::{Application, ClusterMap, Sim, SimConfig, Tag};
+
+    fn two_cluster_app(rounds: usize) -> (Application, ClusterMap) {
+        // 4 ranks, clusters {0,1} and {2,3}. Each round: 0<->1 intra,
+        // 1->2 inter, 2<->3 intra, 3->0 inter.
+        let mut app = Application::new(4);
+        for _ in 0..rounds {
+            app.rank_mut(Rank(0)).send(Rank(1), 512, Tag(0));
+            app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+            app.rank_mut(Rank(1)).send(Rank(2), 2048, Tag(1));
+            app.rank_mut(Rank(2)).recv(Rank(1), Tag(1));
+            app.rank_mut(Rank(2)).send(Rank(3), 512, Tag(0));
+            app.rank_mut(Rank(3)).recv(Rank(2), Tag(0));
+            app.rank_mut(Rank(3)).send(Rank(0), 2048, Tag(1));
+            app.rank_mut(Rank(0)).recv(Rank(3), Tag(1));
+        }
+        (app, ClusterMap::new(vec![0, 0, 1, 1]))
+    }
+
+    #[test]
+    fn failure_free_run_logs_only_inter_cluster() {
+        let (app, clusters) = two_cluster_app(10);
+        let hydee = Hydee::new(HydeeConfig::new(clusters));
+        let report = Sim::new(app, SimConfig::default(), hydee).run();
+        assert!(report.completed(), "{:?}", report.status);
+        // 20 inter-cluster messages of 2048 B are logged; intra are not.
+        assert_eq!(report.metrics.logged_bytes_cumulative, 20 * 2048);
+        assert_eq!(report.metrics.app_messages, 40);
+        assert!(report.trace.is_consistent());
+    }
+
+    #[test]
+    fn phases_grow_only_on_inter_cluster_paths() {
+        let (app, clusters) = two_cluster_app(3);
+        let hydee = Hydee::new(HydeeConfig::new(clusters));
+        let mut sim = Sim::new(app, SimConfig::default(), hydee);
+        let _ = &mut sim; // run consumes
+        let (app2, clusters2) = two_cluster_app(3);
+        let report_protocol =
+            Sim::new(app2, SimConfig::default(), Hydee::new(HydeeConfig::new(clusters2))).run();
+        assert!(report_protocol.completed());
+    }
+
+    #[test]
+    fn intra_only_app_logs_nothing() {
+        let mut app = Application::new(2);
+        for _ in 0..5 {
+            app.rank_mut(Rank(0)).send(Rank(1), 4096, Tag(0));
+            app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+        }
+        let hydee = Hydee::new(HydeeConfig::new(ClusterMap::single(2)));
+        let report = Sim::new(app, SimConfig::default(), hydee).run();
+        assert!(report.completed());
+        assert_eq!(report.metrics.logged_bytes_cumulative, 0);
+    }
+
+    #[test]
+    fn per_rank_clusters_log_everything() {
+        let mut app = Application::new(2);
+        for _ in 0..5 {
+            app.rank_mut(Rank(0)).send(Rank(1), 4096, Tag(0));
+            app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+        }
+        let hydee = Hydee::new(HydeeConfig::new(ClusterMap::per_rank(2)));
+        let report = Sim::new(app, SimConfig::default(), hydee).run();
+        assert!(report.completed());
+        assert_eq!(report.metrics.logged_bytes_cumulative, 5 * 4096);
+    }
+
+    #[test]
+    fn single_cluster_failure_recovers_and_contains() {
+        let (app, clusters) = two_cluster_app(50);
+        let golden = {
+            let (app, clusters) = two_cluster_app(50);
+            Sim::new(
+                app,
+                SimConfig::default(),
+                Hydee::new(HydeeConfig::new(clusters)),
+            )
+            .run()
+        };
+        let hydee = Hydee::new(HydeeConfig::new(clusters));
+        let mut sim = Sim::new(app, SimConfig::default(), hydee);
+        // Fail rank 2 mid-run: cluster {2,3} rolls back to t=0 checkpoint.
+        sim.inject_failure(SimTime::from_us(300), vec![Rank(2)]);
+        let report = sim.run();
+        assert!(report.completed(), "{:?}", report.status);
+        assert!(
+            report.trace.violations.is_empty(),
+            "oracle violations: {:?}",
+            report.trace.violations
+        );
+        assert_eq!(report.digests, golden.digests, "recovered state differs");
+        assert_eq!(report.metrics.ranks_rolled_back, 2, "containment: only cluster {{2,3}}");
+        assert_eq!(report.metrics.failures, 1);
+    }
+
+    #[test]
+    fn concurrent_failures_in_both_clusters_recover() {
+        let (app, clusters) = two_cluster_app(50);
+        let golden = {
+            let (app, clusters) = two_cluster_app(50);
+            Sim::new(
+                app,
+                SimConfig::default(),
+                Hydee::new(HydeeConfig::new(clusters)),
+            )
+            .run()
+        };
+        let hydee = Hydee::new(HydeeConfig::new(clusters));
+        let mut sim = Sim::new(app, SimConfig::default(), hydee);
+        sim.inject_failure(SimTime::from_us(300), vec![Rank(0), Rank(2)]);
+        let report = sim.run();
+        assert!(report.completed(), "{:?}", report.status);
+        assert!(
+            report.trace.violations.is_empty(),
+            "oracle violations: {:?}",
+            report.trace.violations
+        );
+        assert_eq!(report.digests, golden.digests);
+        assert_eq!(report.metrics.ranks_rolled_back, 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! The recovery process — Algorithm 4.
+//!
+//! A transient entity launched at failure time. It gathers three reports
+//! from every alive process (`OwnPhase`, `LogReport`, `OrphanReport`),
+//! tracks the number of outstanding orphan messages per phase, and
+//! releases `NotifySendLog` / `NotifySendMsg` notifications *in phase
+//! order*: a phase is released once no strictly lower phase has
+//! outstanding orphans. Each `OrphanNotification` (a suppressed orphan
+//! re-emission) decrements its phase's count and may unlock further
+//! phases.
+//!
+//! Within one release sweep `NotifySendLog` notices precede
+//! `NotifySendMsg` notices (Algorithm 4 runs lines 17–20 before 21–23);
+//! combined with channel FIFO this guarantees a survivor replays its logs
+//! before its own new sends reach the same destination.
+
+use crate::ctl::{HydeeCtl, RpNotice};
+use mps_sim::Rank;
+use std::collections::BTreeMap;
+
+/// State of the recovery process.
+#[derive(Debug, Clone)]
+pub struct RecoveryProcess {
+    n_alive: usize,
+    got_own: usize,
+    got_log: usize,
+    got_orphan: usize,
+    /// Outstanding orphan count per phase (`NbOrphanPhase`).
+    orphans: BTreeMap<u64, u64>,
+    /// Processes waiting for their send release, per reported phase
+    /// (`ProcessPhases`).
+    process_phase: BTreeMap<u64, Vec<Rank>>,
+    /// Processes holding logged messages to replay, per phase
+    /// (`MsgLPhase`).
+    log_phase: BTreeMap<u64, Vec<Rank>>,
+}
+
+impl RecoveryProcess {
+    /// `n_alive`: number of processes that will send each report kind.
+    pub fn new(n_alive: usize) -> Self {
+        RecoveryProcess {
+            n_alive,
+            got_own: 0,
+            got_log: 0,
+            got_orphan: 0,
+            orphans: BTreeMap::new(),
+            process_phase: BTreeMap::new(),
+            log_phase: BTreeMap::new(),
+        }
+    }
+
+    /// All three report kinds received from everyone?
+    pub fn reports_complete(&self) -> bool {
+        self.got_own == self.n_alive
+            && self.got_log == self.n_alive
+            && self.got_orphan == self.n_alive
+    }
+
+    /// Recovery orchestration finished: everything released, no orphans
+    /// outstanding.
+    pub fn done(&self) -> bool {
+        self.reports_complete()
+            && self.orphans.values().all(|&c| c == 0)
+            && self.process_phase.is_empty()
+            && self.log_phase.is_empty()
+    }
+
+    /// Total outstanding orphan count (diagnostics).
+    pub fn outstanding_orphans(&self) -> u64 {
+        self.orphans.values().sum()
+    }
+
+    pub fn on_own_phase(&mut self, from: Rank, phase: u64) -> Vec<RpNotice> {
+        self.process_phase.entry(phase).or_default().push(from);
+        self.got_own += 1;
+        self.sweep_if_ready()
+    }
+
+    pub fn on_log_report(&mut self, from: Rank, phases: &[u64]) -> Vec<RpNotice> {
+        for &p in phases {
+            let v = self.log_phase.entry(p).or_default();
+            if !v.contains(&from) {
+                v.push(from);
+            }
+        }
+        self.got_log += 1;
+        self.sweep_if_ready()
+    }
+
+    pub fn on_orphan_report(&mut self, phases: &[u64]) -> Vec<RpNotice> {
+        for &p in phases {
+            *self.orphans.entry(p).or_insert(0) += 1;
+        }
+        self.got_orphan += 1;
+        self.sweep_if_ready()
+    }
+
+    /// A suppressed orphan re-emission occurred in `phase`
+    /// (Algorithm 4, lines 12–15).
+    pub fn on_orphan_notification(&mut self, phase: u64) -> Vec<RpNotice> {
+        let c = self
+            .orphans
+            .get_mut(&phase)
+            .unwrap_or_else(|| panic!("orphan notification for unreported phase {phase}"));
+        assert!(*c > 0, "more orphan notifications than orphans in phase {phase}");
+        *c -= 1;
+        if *c == 0 {
+            self.sweep_if_ready()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn sweep_if_ready(&mut self) -> Vec<RpNotice> {
+        if !self.reports_complete() {
+            return Vec::new();
+        }
+        self.sweep()
+    }
+
+    /// `NotifyPhase` (Algorithm 4, lines 16–24): release every phase not
+    /// blocked by a strictly lower phase with outstanding orphans.
+    fn sweep(&mut self) -> Vec<RpNotice> {
+        let min_blocked = self
+            .orphans
+            .iter()
+            .find(|(_, &c)| c > 0)
+            .map(|(&p, _)| p);
+        let releasable = |phase: u64| match min_blocked {
+            None => true,
+            Some(b) => phase <= b,
+        };
+        let mut out = Vec::new();
+        // Logs first (lines 17-20), then send releases (lines 21-23).
+        let log_release: Vec<u64> = self
+            .log_phase
+            .keys()
+            .copied()
+            .filter(|&p| releasable(p))
+            .collect();
+        for p in log_release {
+            for rank in self.log_phase.remove(&p).unwrap() {
+                out.push(RpNotice {
+                    to: rank,
+                    ctl: HydeeCtl::NotifySendLog { phase: p },
+                });
+            }
+        }
+        let msg_release: Vec<u64> = self
+            .process_phase
+            .keys()
+            .copied()
+            .filter(|&p| releasable(p))
+            .collect();
+        for p in msg_release {
+            for rank in self.process_phase.remove(&p).unwrap() {
+                out.push(RpNotice {
+                    to: rank,
+                    ctl: HydeeCtl::NotifySendMsg { phase: p },
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(notices: &[RpNotice]) -> Vec<(u32, &'static str, u64)> {
+        notices
+            .iter()
+            .map(|n| match n.ctl {
+                HydeeCtl::NotifySendLog { phase } => (n.to.0, "log", phase),
+                HydeeCtl::NotifySendMsg { phase } => (n.to.0, "msg", phase),
+                _ => panic!("unexpected notice"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_orphans_releases_everything_at_once() {
+        let mut rp = RecoveryProcess::new(2);
+        assert!(rp.on_own_phase(Rank(0), 1).is_empty());
+        assert!(rp.on_log_report(Rank(0), &[1]).is_empty());
+        assert!(rp.on_orphan_report(&[]).is_empty());
+        assert!(rp.on_own_phase(Rank(1), 2).is_empty());
+        assert!(rp.on_log_report(Rank(1), &[]).is_empty());
+        let notices = rp.on_orphan_report(&[]);
+        assert_eq!(
+            kinds(&notices),
+            vec![(0, "log", 1), (0, "msg", 1), (1, "msg", 2)]
+        );
+        assert!(rp.done());
+    }
+
+    #[test]
+    fn orphans_block_higher_phases() {
+        let mut rp = RecoveryProcess::new(2);
+        rp.on_own_phase(Rank(0), 1); // the orphan's eventual re-emitter
+        rp.on_own_phase(Rank(1), 3);
+        rp.on_log_report(Rank(0), &[]);
+        rp.on_log_report(Rank(1), &[3]);
+        rp.on_orphan_report(&[2]); // one orphan in phase 2
+        let notices = rp.on_orphan_report(&[]);
+        // Phase 1 <= 2 releases; phase 3 > 2 blocked (both log and msg).
+        assert_eq!(kinds(&notices), vec![(0, "msg", 1)]);
+        assert!(!rp.done());
+        assert_eq!(rp.outstanding_orphans(), 1);
+        // The suppressed orphan arrives; everything unblocks.
+        let notices = rp.on_orphan_notification(2);
+        assert_eq!(kinds(&notices), vec![(1, "log", 3), (1, "msg", 3)]);
+        assert!(rp.done());
+    }
+
+    #[test]
+    fn phase_equal_to_min_orphan_is_released() {
+        // Orphans in phase p do not block processes AT phase p — only
+        // strictly lower phases block (Lemma 3 is strict).
+        let mut rp = RecoveryProcess::new(1);
+        rp.on_own_phase(Rank(0), 2);
+        rp.on_log_report(Rank(0), &[]);
+        let notices = rp.on_orphan_report(&[2]);
+        assert_eq!(kinds(&notices), vec![(0, "msg", 2)]);
+    }
+
+    #[test]
+    fn multiple_orphans_same_phase_all_required() {
+        let mut rp = RecoveryProcess::new(1);
+        rp.on_own_phase(Rank(0), 5);
+        rp.on_log_report(Rank(0), &[]);
+        rp.on_orphan_report(&[2, 2, 2]);
+        assert!(rp.on_orphan_notification(2).is_empty());
+        assert!(rp.on_orphan_notification(2).is_empty());
+        let notices = rp.on_orphan_notification(2);
+        assert_eq!(kinds(&notices), vec![(0, "msg", 5)]);
+        assert!(rp.done());
+    }
+
+    #[test]
+    fn staged_release_across_phases() {
+        let mut rp = RecoveryProcess::new(1);
+        rp.on_own_phase(Rank(0), 9);
+        rp.on_log_report(Rank(0), &[2, 5, 9]);
+        rp.on_orphan_report(&[3, 6]);
+        // After reports: min blocked = 3 -> log phase 2 and 3? phase 2 <= 3 ok.
+        // log phases released: 2 (and none above 3).
+        // Then clearing 3 releases 5; clearing 6 releases 9 and the process.
+        let n1 = rp.on_orphan_notification(3);
+        assert_eq!(kinds(&n1), vec![(0, "log", 5)]);
+        let n2 = rp.on_orphan_notification(6);
+        assert_eq!(kinds(&n2), vec![(0, "log", 9), (0, "msg", 9)]);
+        assert!(rp.done());
+    }
+
+    #[test]
+    #[should_panic(expected = "unreported phase")]
+    fn notification_for_unknown_phase_panics() {
+        let mut rp = RecoveryProcess::new(0);
+        rp.on_orphan_notification(7);
+    }
+
+    #[test]
+    fn logs_precede_sends_within_a_sweep() {
+        let mut rp = RecoveryProcess::new(1);
+        rp.on_own_phase(Rank(0), 1);
+        rp.on_log_report(Rank(0), &[1]);
+        let notices = rp.on_orphan_report(&[]);
+        assert_eq!(kinds(&notices)[0].1, "log");
+        assert_eq!(kinds(&notices)[1].1, "msg");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests on HydEE's core data structures: the RPP table, the
+//! sender log, and the recovery process's phase-release engine.
+
+use hydee::{LogEntry, RecoveryProcess, Rpp, SenderLog};
+use mps_sim::{Rank, Tag};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #[test]
+    fn rpp_orphans_partition_on_rollback_date(
+        dates in prop::collection::btree_set(1u64..10_000, 0..100),
+        cut in 0u64..10_000,
+    ) {
+        let mut rpp = Rpp::new();
+        for &d in &dates {
+            rpp.record(Rank(1), d, d / 3 + 1);
+        }
+        let orphans = rpp.orphan_phases(Rank(1), cut);
+        let expected = dates.iter().filter(|&&d| d > cut).count();
+        prop_assert_eq!(orphans.len(), expected);
+        if let Some(&max) = dates.iter().max() {
+            prop_assert_eq!(rpp.maxdate(Rank(1)), max);
+        }
+    }
+
+    #[test]
+    fn rpp_prune_then_orphans_consistent(
+        dates in prop::collection::btree_set(1u64..1_000, 1..60),
+        prune_below in 0u64..1_000,
+    ) {
+        let mut rpp = Rpp::new();
+        for &d in &dates {
+            rpp.record(Rank(0), d, 1);
+        }
+        rpp.prune(Rank(0), prune_below);
+        // Remaining entries are exactly dates >= prune_below.
+        let remaining = rpp.orphan_phases(Rank(0), 0).len();
+        let expected = dates.iter().filter(|&&d| d >= prune_below).count();
+        prop_assert_eq!(remaining, expected);
+    }
+
+    #[test]
+    fn log_replay_and_prune_are_complementary(
+        dates in prop::collection::btree_set(1u64..10_000, 0..80),
+        cut in 0u64..10_000,
+    ) {
+        let mut log = SenderLog::new();
+        for &d in &dates {
+            log.append(LogEntry {
+                date: d,
+                phase: 1,
+                dst: Rank(2),
+                tag: Tag(0),
+                bytes: 10,
+                payload: d,
+                channel_seq: d,
+            });
+        }
+        let replay: BTreeSet<u64> =
+            log.replay_set(Rank(2), cut).iter().map(|e| e.date).collect();
+        let expected_replay: BTreeSet<u64> =
+            dates.iter().copied().filter(|&d| d > cut).collect();
+        prop_assert_eq!(&replay, &expected_replay);
+        // Pruning the complement leaves exactly the replay set.
+        let (pruned_msgs, pruned_bytes) = log.prune(Rank(2), cut);
+        prop_assert_eq!(pruned_msgs as usize, dates.len() - expected_replay.len());
+        prop_assert_eq!(pruned_bytes, 10 * pruned_msgs);
+        prop_assert_eq!(log.messages() as usize, expected_replay.len());
+    }
+
+    #[test]
+    fn recovery_process_always_drains(
+        own_phases in prop::collection::vec(1u64..20, 1..8),
+        log_phases in prop::collection::vec(prop::collection::vec(1u64..20, 0..5), 1..8),
+        orphan_phases in prop::collection::vec(prop::collection::vec(1u64..20, 0..5), 1..8),
+    ) {
+        // However reports arrive, once every reported orphan is notified
+        // the RP must have released everything (deadlock-freedom at the
+        // bookkeeping level — Theorem 2's engine).
+        let n = own_phases.len();
+        let log_phases: Vec<_> = (0..n)
+            .map(|i| log_phases.get(i).cloned().unwrap_or_default())
+            .collect();
+        let orphan_phases: Vec<_> = (0..n)
+            .map(|i| orphan_phases.get(i).cloned().unwrap_or_default())
+            .collect();
+        let mut rp = RecoveryProcess::new(n);
+        let mut notices = Vec::new();
+        for (i, &p) in own_phases.iter().enumerate() {
+            notices.extend(rp.on_own_phase(Rank(i as u32), p));
+            notices.extend(rp.on_log_report(Rank(i as u32), &log_phases[i]));
+            notices.extend(rp.on_orphan_report(&orphan_phases[i]));
+        }
+        prop_assert!(rp.reports_complete());
+        // Feed back every orphan notification, lowest phases first (the
+        // suppressors are released in phase order).
+        let mut all_orphans: Vec<u64> =
+            orphan_phases.iter().flatten().copied().collect();
+        all_orphans.sort_unstable();
+        for p in all_orphans {
+            notices.extend(rp.on_orphan_notification(p));
+        }
+        prop_assert!(rp.done(), "outstanding: {}", rp.outstanding_orphans());
+        // Every process got exactly one NotifySendMsg.
+        let sendmsg_count = notices
+            .iter()
+            .filter(|n| matches!(n.ctl, hydee::HydeeCtl::NotifySendMsg { .. }))
+            .count();
+        prop_assert_eq!(sendmsg_count, n);
+        // Log notices never exceed one per (process, phase) pair.
+        let mut seen = BTreeSet::new();
+        for notice in &notices {
+            if let hydee::HydeeCtl::NotifySendLog { phase } = notice.ctl {
+                prop_assert!(seen.insert((notice.to, phase)), "duplicate log release");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_process_releases_in_phase_order(
+        orphans in prop::collection::vec(1u64..10, 1..6),
+    ) {
+        // One process per orphan phase, reporting that phase as its own:
+        // releases must come lowest-phase-first as orphans clear.
+        let mut sorted = orphans.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut rp = RecoveryProcess::new(n);
+        let mut released: Vec<u64> = Vec::new();
+        let mut notices = Vec::new();
+        for (i, &p) in sorted.iter().enumerate() {
+            notices.extend(rp.on_own_phase(Rank(i as u32), p));
+            notices.extend(rp.on_log_report(Rank(i as u32), &[]));
+        }
+        for (i, &p) in sorted.iter().enumerate() {
+            let _ = i;
+            notices.extend(rp.on_orphan_report(&[p]));
+        }
+        for notice in notices.drain(..) {
+            if let hydee::HydeeCtl::NotifySendMsg { phase } = notice.ctl {
+                released.push(phase);
+            }
+        }
+        for &p in &sorted {
+            for notice in rp.on_orphan_notification(p) {
+                if let hydee::HydeeCtl::NotifySendMsg { phase } = notice.ctl {
+                    released.push(phase);
+                }
+            }
+        }
+        prop_assert!(rp.done());
+        let mut sorted_releases = released.clone();
+        sorted_releases.sort_unstable();
+        prop_assert_eq!(released, sorted_releases, "releases out of phase order");
+    }
+}

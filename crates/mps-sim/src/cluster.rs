@@ -1,0 +1,191 @@
+//! Process clustering — the partition of ranks that hybrid protocols apply
+//! their two-level scheme to (coordinated checkpointing inside a cluster,
+//! message logging between clusters).
+//!
+//! The map itself lives here (rather than in the `hydee` crate) because the
+//! baseline protocols and the `clustering` partitioner crate all consume
+//! it.
+
+use crate::types::Rank;
+use serde::{Deserialize, Serialize};
+
+/// A partition of ranks into clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterMap {
+    /// `assignment[r]` = cluster id of rank `r`.
+    assignment: Vec<u32>,
+    /// Members per cluster, ranks ascending.
+    members: Vec<Vec<Rank>>,
+}
+
+impl ClusterMap {
+    /// Build from a per-rank assignment. Cluster ids must be dense
+    /// (`0..n_clusters`).
+    ///
+    /// # Panics
+    /// Panics if ids are not dense or a cluster is empty.
+    pub fn new(assignment: Vec<u32>) -> Self {
+        let n_clusters = assignment
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0);
+        let mut members = vec![Vec::new(); n_clusters];
+        for (r, &c) in assignment.iter().enumerate() {
+            members[c as usize].push(Rank(r as u32));
+        }
+        for (c, m) in members.iter().enumerate() {
+            assert!(!m.is_empty(), "cluster {c} has no members");
+        }
+        ClusterMap {
+            assignment,
+            members,
+        }
+    }
+
+    /// Every rank in one cluster (pure coordinated checkpointing).
+    pub fn single(n_ranks: usize) -> Self {
+        ClusterMap::new(vec![0; n_ranks])
+    }
+
+    /// Every rank its own cluster (pure message logging).
+    pub fn per_rank(n_ranks: usize) -> Self {
+        ClusterMap::new((0..n_ranks as u32).collect())
+    }
+
+    /// `k` equal contiguous blocks of ranks (ranks `0..n/k` in cluster 0,
+    /// etc.; remainders spread over the first clusters).
+    pub fn blocks(n_ranks: usize, k: usize) -> Self {
+        assert!(k >= 1 && k <= n_ranks, "need 1 <= k <= n_ranks");
+        let base = n_ranks / k;
+        let extra = n_ranks % k;
+        let mut assignment = Vec::with_capacity(n_ranks);
+        for c in 0..k {
+            let size = base + usize::from(c < extra);
+            assignment.extend(std::iter::repeat_n(c as u32, size));
+        }
+        ClusterMap::new(assignment)
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.assignment.len()
+    }
+
+    pub fn n_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    #[inline]
+    pub fn cluster_of(&self, r: Rank) -> u32 {
+        self.assignment[r.idx()]
+    }
+
+    #[inline]
+    pub fn same_cluster(&self, a: Rank, b: Rank) -> bool {
+        self.assignment[a.idx()] == self.assignment[b.idx()]
+    }
+
+    /// Members of cluster `c`, ranks ascending.
+    pub fn members(&self, c: u32) -> &[Rank] {
+        &self.members[c as usize]
+    }
+
+    /// All ranks NOT in cluster `c`, ascending.
+    pub fn non_members(&self, c: u32) -> Vec<Rank> {
+        (0..self.n_ranks() as u32)
+            .map(Rank)
+            .filter(|&r| self.cluster_of(r) != c)
+            .collect()
+    }
+
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Expected fraction of processes rolled back by a single failure
+    /// uniformly distributed over ranks: `sum_c (|c|/n)^2` (the paper's
+    /// "Avg Ratio of Process to Roll Back (Single Failure Case)").
+    pub fn avg_rollback_fraction(&self) -> f64 {
+        let n = self.n_ranks() as f64;
+        self.members
+            .iter()
+            .map(|m| {
+                let s = m.len() as f64;
+                (s / n) * (s / n)
+            })
+            .sum()
+    }
+
+    /// Size of the largest cluster.
+    pub fn max_cluster_size(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_evenly() {
+        let m = ClusterMap::blocks(256, 16);
+        assert_eq!(m.n_clusters(), 16);
+        assert!(m.members.iter().all(|c| c.len() == 16));
+        assert_eq!(m.cluster_of(Rank(0)), 0);
+        assert_eq!(m.cluster_of(Rank(255)), 15);
+    }
+
+    #[test]
+    fn blocks_with_remainder() {
+        let m = ClusterMap::blocks(10, 3);
+        let sizes: Vec<usize> = m.members.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(m.n_ranks(), 10);
+    }
+
+    #[test]
+    fn rollback_fraction_matches_paper_cg() {
+        // NAS CG in Table I: 16 equal clusters on 256 ranks => 6.25%.
+        let m = ClusterMap::blocks(256, 16);
+        assert!((m.avg_rollback_fraction() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rollback_fraction_unequal_clusters_exceeds_equal() {
+        // Unequal clusters roll back more in expectation (convexity) —
+        // the reason BT's 5 clusters give 21.78% rather than 20%.
+        let equal = ClusterMap::blocks(100, 5);
+        let unequal = ClusterMap::new(
+            (0..100u32)
+                .map(|r| if r < 60 { 0 } else { 1 + (r - 60) % 4 })
+                .collect(),
+        );
+        assert!(unequal.avg_rollback_fraction() > equal.avg_rollback_fraction());
+    }
+
+    #[test]
+    fn single_and_per_rank_extremes() {
+        let s = ClusterMap::single(8);
+        assert_eq!(s.n_clusters(), 1);
+        assert_eq!(s.avg_rollback_fraction(), 1.0);
+        let p = ClusterMap::per_rank(8);
+        assert_eq!(p.n_clusters(), 8);
+        assert!((p.avg_rollback_fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let m = ClusterMap::new(vec![0, 1, 0, 1, 2]);
+        assert!(m.same_cluster(Rank(0), Rank(2)));
+        assert!(!m.same_cluster(Rank(0), Rank(1)));
+        assert_eq!(m.members(1), &[Rank(1), Rank(3)]);
+        assert_eq!(m.non_members(0), vec![Rank(1), Rank(3), Rank(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no members")]
+    fn sparse_ids_rejected() {
+        let _ = ClusterMap::new(vec![0, 2]);
+    }
+}

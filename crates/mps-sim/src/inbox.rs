@@ -1,0 +1,199 @@
+//! Per-rank receive buffers with deterministic matching.
+//!
+//! Arrived-but-undelivered messages wait here. Matching rules:
+//!
+//! * a specific receive `(src, tag)` takes the *oldest* pending message
+//!   from that source with that tag (per-channel FIFO);
+//! * a wildcard receive `(tag)` takes the pending message with that tag
+//!   that arrived *earliest* (global arrival order), which is where
+//!   timing-dependent nondeterminism enters the simulation.
+//!
+//! The inbox is part of the rank's checkpointable state: cluster-coordinated
+//! checkpoints capture it, and rollback restores it.
+
+use crate::types::{Message, Rank, Tag};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A message sitting in the inbox, with its arrival metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrived {
+    pub msg: Message,
+    /// Arrival order stamp (engine-global, monotone). Lower = earlier.
+    pub arrival_seq: u64,
+    /// Receiver CPU time to charge on delivery (matching, copy-out).
+    pub recv_cost: det_sim::SimDuration,
+}
+
+/// Receive buffer for one rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inbox {
+    /// Pending messages per (src, tag), FIFO by arrival.
+    by_channel: BTreeMap<(Rank, Tag), Vec<Arrived>>,
+}
+
+impl Inbox {
+    pub fn new() -> Self {
+        Inbox::default()
+    }
+
+    pub fn push(&mut self, msg: Message, arrival_seq: u64, recv_cost: det_sim::SimDuration) {
+        self.by_channel
+            .entry((msg.src, msg.tag))
+            .or_default()
+            .push(Arrived {
+                msg,
+                arrival_seq,
+                recv_cost,
+            });
+    }
+
+    /// Total number of pending messages.
+    pub fn len(&self) -> usize {
+        self.by_channel.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_channel.values().all(Vec::is_empty)
+    }
+
+    /// Match a specific receive: oldest pending from `(src, tag)`.
+    pub fn take_specific(&mut self, src: Rank, tag: Tag) -> Option<Arrived> {
+        let q = self.by_channel.get_mut(&(src, tag))?;
+        if q.is_empty() {
+            return None;
+        }
+        // Per-channel arrivals are pushed in arrival order, so the front is
+        // the oldest.
+        Some(q.remove(0))
+    }
+
+    /// Match a wildcard receive: earliest-arrived pending with `tag`,
+    /// breaking exact ties by source rank (deterministic).
+    pub fn take_any(&mut self, tag: Tag) -> Option<Arrived> {
+        let best_key = self
+            .by_channel
+            .iter()
+            .filter(|((_, t), q)| *t == tag && !q.is_empty())
+            .min_by_key(|((src, _), q)| (q[0].arrival_seq, src.0))
+            .map(|(&key, _)| key)?;
+        Some(self.by_channel.get_mut(&best_key).unwrap().remove(0))
+    }
+
+    /// Does a matching message exist for a specific receive?
+    pub fn has_specific(&self, src: Rank, tag: Tag) -> bool {
+        self.by_channel
+            .get(&(src, tag))
+            .is_some_and(|q| !q.is_empty())
+    }
+
+    /// Does a matching message exist for a wildcard receive?
+    pub fn has_any(&self, tag: Tag) -> bool {
+        self.by_channel
+            .iter()
+            .any(|((_, t), q)| *t == tag && !q.is_empty())
+    }
+
+    /// Iterate pending messages (arbitrary but deterministic order).
+    pub fn iter(&self) -> impl Iterator<Item = &Arrived> {
+        self.by_channel.values().flatten()
+    }
+
+    /// Keep only pending messages satisfying `pred` (used when
+    /// checkpointing: inter-cluster channel state is excluded because
+    /// sender-based logs own it).
+    pub fn retain(&mut self, mut pred: impl FnMut(&Message) -> bool) {
+        for q in self.by_channel.values_mut() {
+            q.retain(|a| pred(&a.msg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PbMeta;
+
+    trait Push2 {
+        fn push2(&mut self, msg: Message, seq: u64);
+    }
+    impl Push2 for Inbox {
+        fn push2(&mut self, msg: Message, seq: u64) {
+            self.push(msg, seq, det_sim::SimDuration::ZERO);
+        }
+    }
+
+    fn msg(src: u32, tag: u32, seq: u64) -> Message {
+        Message {
+            src: Rank(src),
+            dst: Rank(99),
+            tag: Tag(tag),
+            bytes: 8,
+            payload: seq,
+            channel_seq: seq,
+            meta: PbMeta::default(),
+            replayed: false,
+        }
+    }
+
+    #[test]
+    fn specific_is_fifo_per_channel() {
+        let mut ib = Inbox::new();
+        ib.push2(msg(1, 0, 1), 10);
+        ib.push2(msg(1, 0, 2), 20);
+        assert_eq!(ib.take_specific(Rank(1), Tag(0)).unwrap().msg.channel_seq, 1);
+        assert_eq!(ib.take_specific(Rank(1), Tag(0)).unwrap().msg.channel_seq, 2);
+        assert!(ib.take_specific(Rank(1), Tag(0)).is_none());
+    }
+
+    #[test]
+    fn specific_respects_tag() {
+        let mut ib = Inbox::new();
+        ib.push2(msg(1, 7, 1), 10);
+        assert!(ib.take_specific(Rank(1), Tag(0)).is_none());
+        assert!(ib.has_specific(Rank(1), Tag(7)));
+    }
+
+    #[test]
+    fn wildcard_takes_earliest_arrival() {
+        let mut ib = Inbox::new();
+        ib.push2(msg(5, 0, 1), 30);
+        ib.push2(msg(2, 0, 1), 20);
+        ib.push2(msg(9, 0, 1), 10);
+        assert_eq!(ib.take_any(Tag(0)).unwrap().msg.src, Rank(9));
+        assert_eq!(ib.take_any(Tag(0)).unwrap().msg.src, Rank(2));
+        assert_eq!(ib.take_any(Tag(0)).unwrap().msg.src, Rank(5));
+        assert!(ib.take_any(Tag(0)).is_none());
+    }
+
+    #[test]
+    fn wildcard_tie_breaks_by_source() {
+        let mut ib = Inbox::new();
+        ib.push2(msg(5, 0, 1), 10);
+        ib.push2(msg(2, 0, 1), 10);
+        assert_eq!(ib.take_any(Tag(0)).unwrap().msg.src, Rank(2));
+    }
+
+    #[test]
+    fn wildcard_filters_tag() {
+        let mut ib = Inbox::new();
+        ib.push2(msg(1, 3, 1), 10);
+        ib.push2(msg(1, 4, 1), 20);
+        assert_eq!(ib.take_any(Tag(4)).unwrap().msg.tag, Tag(4));
+        assert!(ib.has_any(Tag(3)));
+        assert!(!ib.has_any(Tag(4)));
+    }
+
+    #[test]
+    fn len_and_clone_roundtrip() {
+        let mut ib = Inbox::new();
+        assert!(ib.is_empty());
+        ib.push2(msg(1, 0, 1), 1);
+        ib.push2(msg(2, 0, 1), 2);
+        assert_eq!(ib.len(), 2);
+        let snapshot = ib.clone();
+        ib.take_any(Tag(0));
+        assert_eq!(ib.len(), 1);
+        assert_eq!(snapshot.len(), 2, "snapshot must be unaffected");
+    }
+}

@@ -1,0 +1,108 @@
+//! Run metrics collected by the engine and by protocols.
+
+use det_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a run. Engine-owned fields are filled by the
+//  simulator; `logged_*`, `checkpoint_*` and recovery fields are written by
+/// the fault-tolerance protocol through its context.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    // ---- engine-owned ----
+    /// Application messages transmitted (excludes suppressed sends).
+    pub app_messages: u64,
+    /// Application payload bytes transmitted.
+    pub app_bytes: u64,
+    /// Bytes actually put on the wire (payload + inline piggyback).
+    pub wire_bytes: u64,
+    /// Protocol control messages transmitted.
+    pub ctl_messages: u64,
+    /// Protocol control bytes transmitted.
+    pub ctl_bytes: u64,
+    /// Application messages delivered.
+    pub deliveries: u64,
+    /// Events processed by the engine.
+    pub events: u64,
+
+    // ---- protocol-owned ----
+    /// Messages currently held in sender-side logs.
+    pub logged_messages: u64,
+    /// Bytes currently held in sender-side logs.
+    pub logged_bytes: u64,
+    /// High-water mark of `logged_bytes`.
+    pub logged_bytes_peak: u64,
+    /// Total bytes ever logged (ignores garbage collection).
+    pub logged_bytes_cumulative: u64,
+    /// Log entries reclaimed by garbage collection.
+    pub gc_reclaimed_messages: u64,
+    /// Log bytes reclaimed by garbage collection.
+    pub gc_reclaimed_bytes: u64,
+    /// Checkpoints taken (per-rank count).
+    pub checkpoints: u64,
+    /// Bytes written to stable storage for checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Number of injected failure events.
+    pub failures: u64,
+    /// Ranks rolled back across all failures (with multiplicity).
+    pub ranks_rolled_back: u64,
+    /// Sends suppressed as orphans during recovery.
+    pub suppressed_sends: u64,
+    /// Logged messages replayed during recovery.
+    pub replayed_messages: u64,
+    /// Bytes replayed from logs during recovery.
+    pub replayed_bytes: u64,
+    /// Wall-clock (virtual) time spent in recovery, summed over failures.
+    pub recovery_time: SimDuration,
+
+    // ---- finalised by the engine at completion ----
+    /// Completion time: max rank clock when the last rank finished.
+    pub makespan: SimTime,
+}
+
+impl Metrics {
+    /// Record `bytes` added to a sender log.
+    pub fn log_append(&mut self, bytes: u64) {
+        self.logged_messages += 1;
+        self.logged_bytes += bytes;
+        self.logged_bytes_cumulative += bytes;
+        self.logged_bytes_peak = self.logged_bytes_peak.max(self.logged_bytes);
+    }
+
+    /// Record `messages` log entries totalling `bytes` reclaimed by GC.
+    pub fn log_reclaim(&mut self, messages: u64, bytes: u64) {
+        self.gc_reclaimed_messages += messages;
+        self.gc_reclaimed_bytes += bytes;
+        self.logged_messages = self.logged_messages.saturating_sub(messages);
+        self.logged_bytes = self.logged_bytes.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_append_tracks_peak() {
+        let mut m = Metrics::default();
+        m.log_append(100);
+        m.log_append(50);
+        assert_eq!(m.logged_bytes, 150);
+        assert_eq!(m.logged_bytes_peak, 150);
+        m.log_reclaim(1, 100);
+        assert_eq!(m.logged_bytes, 50);
+        assert_eq!(m.logged_bytes_peak, 150, "peak survives reclaim");
+        assert_eq!(m.logged_bytes_cumulative, 150);
+        m.log_append(25);
+        assert_eq!(m.logged_bytes_peak, 150);
+        assert_eq!(m.logged_bytes_cumulative, 175);
+    }
+
+    #[test]
+    fn reclaim_saturates() {
+        let mut m = Metrics::default();
+        m.log_append(10);
+        m.log_reclaim(5, 100);
+        assert_eq!(m.logged_bytes, 0);
+        assert_eq!(m.logged_messages, 0);
+    }
+}

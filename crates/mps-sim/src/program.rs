@@ -1,0 +1,245 @@
+//! Rank programs.
+//!
+//! A simulated application is one op-stream per rank. The streams are fixed
+//! before the run (workload generators unroll their iteration loops), which
+//! gives the execution model of the paper's §II-C: the *sequence* of send
+//! and receive events per process is program-determined; only the order in
+//! which wildcard receives are filled varies with timing — exactly the
+//! nondeterminism send-determinism tolerates.
+
+use crate::types::{Rank, Tag};
+use det_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Send `bytes` to `dst` with `tag`.
+    Send { dst: Rank, bytes: u64, tag: Tag },
+    /// Blocking receive of the next message from `src` with `tag`.
+    Recv { src: Rank, tag: Tag },
+    /// Blocking wildcard receive (`MPI_ANY_SOURCE`): the next message with
+    /// `tag` from any source, in arrival order.
+    RecvAny { tag: Tag },
+    /// Local computation for `time`.
+    Compute { time: SimDuration },
+}
+
+/// A rank's complete program.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    pub fn new() -> Self {
+        Program { ops: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn send(&mut self, dst: Rank, bytes: u64, tag: Tag) -> &mut Self {
+        self.ops.push(Op::Send { dst, bytes, tag });
+        self
+    }
+
+    pub fn recv(&mut self, src: Rank, tag: Tag) -> &mut Self {
+        self.ops.push(Op::Recv { src, tag });
+        self
+    }
+
+    pub fn recv_any(&mut self, tag: Tag) -> &mut Self {
+        self.ops.push(Op::RecvAny { tag });
+        self
+    }
+
+    pub fn compute(&mut self, time: SimDuration) -> &mut Self {
+        self.ops.push(Op::Compute { time });
+        self
+    }
+
+    /// Number of send operations (the number of messages the rank will
+    /// emit in a complete failure-free run).
+    pub fn send_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Send { .. }))
+            .count()
+    }
+
+    /// Number of receive operations (specific + wildcard).
+    pub fn recv_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Recv { .. } | Op::RecvAny { .. }))
+            .count()
+    }
+
+    /// Total bytes this program will send.
+    pub fn bytes_sent(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Send { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// A complete application: one program per rank, rank r at index r.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Application {
+    pub programs: Vec<Program>,
+}
+
+impl Application {
+    pub fn new(n_ranks: usize) -> Self {
+        Application {
+            programs: vec![Program::new(); n_ranks],
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.programs.len()
+    }
+
+    pub fn rank_mut(&mut self, r: Rank) -> &mut Program {
+        &mut self.programs[r.idx()]
+    }
+
+    pub fn rank(&self, r: Rank) -> &Program {
+        &self.programs[r.idx()]
+    }
+
+    /// Total bytes sent across all ranks in a failure-free run.
+    pub fn total_bytes(&self) -> u64 {
+        self.programs.iter().map(|p| p.bytes_sent()).sum()
+    }
+
+    /// Total messages sent across all ranks in a failure-free run.
+    pub fn total_messages(&self) -> u64 {
+        self.programs.iter().map(|p| p.send_count() as u64).sum()
+    }
+
+    /// Sanity-check that every send has a matching receive: for each
+    /// `(src, dst, tag)` the number of sends equals the number of specific
+    /// receives plus a share of wildcard receives. Returns a human-readable
+    /// error for the first mismatch found.
+    ///
+    /// The check is necessarily approximate in the presence of wildcards:
+    /// it verifies per-destination totals (sends targeting `d` == receive
+    /// ops on `d`) and per-`(src,dst,tag)` specific-receive feasibility.
+    pub fn check_balance(&self) -> Result<(), String> {
+        use std::collections::BTreeMap;
+        let n = self.n_ranks();
+        // sends[dst] and recvs[dst] totals.
+        let mut sends_to = vec![0i64; n];
+        let mut recv_at = vec![0i64; n];
+        // per (src, dst, tag) sends and specific recvs; wildcard recvs per (dst, tag).
+        let mut chan_sends: BTreeMap<(u32, u32, u32), i64> = BTreeMap::new();
+        let mut chan_recvs: BTreeMap<(u32, u32, u32), i64> = BTreeMap::new();
+        let mut wild: BTreeMap<(u32, u32), i64> = BTreeMap::new();
+        for (src, prog) in self.programs.iter().enumerate() {
+            for op in &prog.ops {
+                match *op {
+                    Op::Send { dst, tag, .. } => {
+                        sends_to[dst.idx()] += 1;
+                        *chan_sends.entry((src as u32, dst.0, tag.0)).or_default() += 1;
+                    }
+                    Op::Recv { src: from, tag } => {
+                        recv_at[src] += 1;
+                        *chan_recvs.entry((from.0, src as u32, tag.0)).or_default() += 1;
+                    }
+                    Op::RecvAny { tag } => {
+                        recv_at[src] += 1;
+                        *wild.entry((src as u32, tag.0)).or_default() += 1;
+                    }
+                    Op::Compute { .. } => {}
+                }
+            }
+        }
+        for r in 0..n {
+            if sends_to[r] != recv_at[r] {
+                return Err(format!(
+                    "rank {r}: {} messages sent to it but {} receive ops",
+                    sends_to[r], recv_at[r]
+                ));
+            }
+        }
+        // Every specific recv must have at least as many sends on its channel.
+        for (&(s, d, t), &nrecv) in &chan_recvs {
+            let nsend = chan_sends.get(&(s, d, t)).copied().unwrap_or(0);
+            if nsend < nrecv {
+                return Err(format!(
+                    "channel P{s}->P{d} tag {t}: {nrecv} specific recvs but only {nsend} sends"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut p = Program::new();
+        p.send(Rank(1), 100, Tag(0))
+            .recv(Rank(1), Tag(0))
+            .compute(SimDuration::from_us(5))
+            .recv_any(Tag(1));
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.send_count(), 1);
+        assert_eq!(p.recv_count(), 2);
+        assert_eq!(p.bytes_sent(), 100);
+    }
+
+    #[test]
+    fn application_totals() {
+        let mut app = Application::new(2);
+        app.rank_mut(Rank(0)).send(Rank(1), 10, Tag(0));
+        app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+        app.rank_mut(Rank(1)).send(Rank(0), 20, Tag(0));
+        app.rank_mut(Rank(0)).recv(Rank(1), Tag(0));
+        assert_eq!(app.total_bytes(), 30);
+        assert_eq!(app.total_messages(), 2);
+        assert!(app.check_balance().is_ok());
+    }
+
+    #[test]
+    fn balance_catches_missing_recv() {
+        let mut app = Application::new(2);
+        app.rank_mut(Rank(0)).send(Rank(1), 10, Tag(0));
+        let err = app.check_balance().unwrap_err();
+        assert!(err.contains("rank 1"), "{err}");
+    }
+
+    #[test]
+    fn balance_catches_wrong_channel() {
+        let mut app = Application::new(3);
+        app.rank_mut(Rank(0)).send(Rank(1), 10, Tag(0));
+        // Rank 1 waits for rank 2, which never sends; totals match, channel
+        // check catches it.
+        app.rank_mut(Rank(1)).recv(Rank(2), Tag(0));
+        let err = app.check_balance().unwrap_err();
+        assert!(err.contains("P2->P1"), "{err}");
+    }
+
+    #[test]
+    fn balance_accepts_wildcards() {
+        let mut app = Application::new(3);
+        app.rank_mut(Rank(0)).send(Rank(2), 10, Tag(7));
+        app.rank_mut(Rank(1)).send(Rank(2), 10, Tag(7));
+        app.rank_mut(Rank(2)).recv_any(Tag(7)).recv_any(Tag(7));
+        assert!(app.check_balance().is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! Fault-tolerance protocol hook interface.
+//!
+//! A [`Protocol`] implementation rides along with the simulated runtime and
+//! sees every send and delivery, can exchange control messages (priced like
+//! real network traffic, FIFO-ordered with application messages on the same
+//! channel), can checkpoint/restore rank state, gate sends, and drive
+//! recovery after injected failures. HydEE and all baseline protocols are
+//! implemented against this interface; [`NullProtocol`] is the native
+//! (no fault tolerance) stand-in used as the performance reference.
+
+use crate::engine::Ctx;
+use crate::types::{Endpoint, Message, PbMeta, Rank, Tag};
+use det_sim::SimDuration;
+
+/// Everything a protocol needs to know about a send that is about to
+/// happen. `channel_seq` and `payload` are the stable identity the trace
+/// oracle uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendInfo {
+    pub src: Rank,
+    pub dst: Rank,
+    pub tag: Tag,
+    pub bytes: u64,
+    pub channel_seq: u64,
+    pub payload: u64,
+}
+
+/// What the engine should do with a send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendAction {
+    /// Transmit the message.
+    Proceed,
+    /// Consume the send operation without transmitting (HydEE's orphan
+    /// suppression: send-determinism guarantees the receiver already holds
+    /// an identical message).
+    Suppress,
+    /// Do not execute the send yet; the rank blocks until the protocol
+    /// reopens its send gate.
+    Gate,
+}
+
+/// Protocol decision for one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendDirective {
+    pub action: SendAction,
+    /// Metadata stamped on the message (HydEE: sender date and phase).
+    pub meta: PbMeta,
+    /// Extra bytes piggybacked inline on the wire message.
+    pub extra_wire_bytes: u64,
+    /// Extra CPU time charged to the sender (separate piggyback message,
+    /// non-overlapped log copy, determinant write, ...).
+    pub extra_sender_time: SimDuration,
+}
+
+impl SendDirective {
+    /// Transmit unchanged, no metadata, no overhead.
+    pub fn passthrough() -> Self {
+        SendDirective {
+            action: SendAction::Proceed,
+            meta: PbMeta::default(),
+            extra_wire_bytes: 0,
+            extra_sender_time: SimDuration::ZERO,
+        }
+    }
+
+    pub fn gate() -> Self {
+        SendDirective {
+            action: SendAction::Gate,
+            ..Self::passthrough()
+        }
+    }
+
+    pub fn suppress() -> Self {
+        SendDirective {
+            action: SendAction::Suppress,
+            ..Self::passthrough()
+        }
+    }
+}
+
+/// A rollback-recovery (or null) protocol layered on the simulated runtime.
+///
+/// All methods have no-op defaults so a protocol only implements the hooks
+/// it needs. Protocols must be deterministic: no wall-clock, no external
+/// randomness (derive streams from `det_sim::DetRng` if needed).
+pub trait Protocol: Sized {
+    /// Control-message payload type exchanged between endpoints.
+    type Ctl: Clone + std::fmt::Debug;
+
+    /// Short name for reports (e.g. "hydee", "coordinated", "native").
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first event; set up checkpoint timers here.
+    fn init(&mut self, _ctx: &mut Ctx<'_, Self::Ctl>) {}
+
+    /// Intercept an application send.
+    fn on_send(&mut self, _ctx: &mut Ctx<'_, Self::Ctl>, _info: &SendInfo) -> SendDirective {
+        SendDirective::passthrough()
+    }
+
+    /// An application message was delivered to `msg.dst`.
+    fn on_deliver(&mut self, _ctx: &mut Ctx<'_, Self::Ctl>, _msg: &Message) {}
+
+    /// A control message arrived at `to`.
+    fn on_control(
+        &mut self,
+        _ctx: &mut Ctx<'_, Self::Ctl>,
+        _to: Endpoint,
+        _from: Endpoint,
+        _ctl: Self::Ctl,
+    ) {
+    }
+
+    /// A timer set via `ctx.set_timer` fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self::Ctl>, _id: u64) {}
+
+    /// The given ranks just failed (fail-stop). Drive recovery from here.
+    fn on_failure(&mut self, _ctx: &mut Ctx<'_, Self::Ctl>, _failed: &[Rank]) {}
+
+    /// `rank` finished its program.
+    fn on_done(&mut self, _ctx: &mut Ctx<'_, Self::Ctl>, _rank: Rank) {}
+}
+
+/// No fault tolerance at all: the native-MPICH2 performance reference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProtocol;
+
+impl Protocol for NullProtocol {
+    type Ctl = ();
+
+    fn name(&self) -> &'static str {
+        "native"
+    }
+}

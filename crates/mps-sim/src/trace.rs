@@ -1,0 +1,255 @@
+//! Communication tracing and execution oracles.
+//!
+//! Two consumers:
+//!
+//! * the **clustering** crate builds its communication graph from the
+//!   [`CommMatrix`] (bytes and message counts per directed channel) — the
+//!   same information the paper extracts by instrumenting MPICH2;
+//! * the **correctness oracles** use the identity map: every application
+//!   send is recorded under its stable identity `(channel, channel_seq)`.
+//!   A recovered execution re-emits some sends; if any re-emission differs
+//!   in size or payload from the original, the execution violated
+//!   send-determinism (or the protocol replayed the wrong thing) and the
+//!   conflict is recorded.
+
+use crate::types::{ChannelId, Message, Rank};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Dense per-channel traffic counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommMatrix {
+    n: usize,
+    bytes: Vec<u64>,
+    msgs: Vec<u64>,
+}
+
+impl CommMatrix {
+    pub fn new(n: usize) -> Self {
+        CommMatrix {
+            n,
+            bytes: vec![0; n * n],
+            msgs: vec![0; n * n],
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, src: Rank, dst: Rank) -> usize {
+        src.idx() * self.n + dst.idx()
+    }
+
+    pub fn record(&mut self, src: Rank, dst: Rank, bytes: u64) {
+        let i = self.idx(src, dst);
+        self.bytes[i] += bytes;
+        self.msgs[i] += 1;
+    }
+
+    pub fn bytes_between(&self, src: Rank, dst: Rank) -> u64 {
+        self.bytes[self.idx(src, dst)]
+    }
+
+    pub fn msgs_between(&self, src: Rank, dst: Rank) -> u64 {
+        self.msgs[self.idx(src, dst)]
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Iterate non-empty directed channels as `(src, dst, bytes, msgs)`.
+    pub fn channels(&self) -> impl Iterator<Item = (Rank, Rank, u64, u64)> + '_ {
+        (0..self.n).flat_map(move |s| {
+            (0..self.n).filter_map(move |d| {
+                let i = s * self.n + d;
+                if self.msgs[i] == 0 {
+                    None
+                } else {
+                    Some((Rank(s as u32), Rank(d as u32), self.bytes[i], self.msgs[i]))
+                }
+            })
+        })
+    }
+}
+
+/// Identity record of one application send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SendIdentity {
+    pub bytes: u64,
+    pub payload: u64,
+}
+
+/// Execution trace with built-in determinism oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    pub matrix: CommMatrix,
+    /// First-seen identity of each application message.
+    identities: BTreeMap<(ChannelId, u64), SendIdentity>,
+    /// Oracle violations discovered during the run.
+    pub violations: Vec<String>,
+    /// Count of re-emissions that matched their original (replays and
+    /// re-executed sends during recovery).
+    pub consistent_reemissions: u64,
+}
+
+impl Trace {
+    pub fn new(n: usize) -> Self {
+        Trace {
+            matrix: CommMatrix::new(n),
+            identities: BTreeMap::new(),
+            violations: Vec::new(),
+            consistent_reemissions: 0,
+        }
+    }
+
+    /// Record a send (fresh, re-executed, or suppressed-as-orphan; replayed
+    /// log deliveries are *not* recorded here — they are copies, checked on
+    /// delivery instead). Only first emissions count toward the comm
+    /// matrix, so the matrix reflects the failure-free communication
+    /// pattern.
+    pub fn record_send(&mut self, msg: &Message) {
+        let key = (msg.channel(), msg.channel_seq);
+        match self.identities.get(&key) {
+            None => {
+                self.identities.insert(
+                    key,
+                    SendIdentity {
+                        bytes: msg.bytes,
+                        payload: msg.payload,
+                    },
+                );
+                self.matrix.record(msg.src, msg.dst, msg.bytes);
+            }
+            Some(orig) => {
+                if orig.bytes == msg.bytes && orig.payload == msg.payload {
+                    self.consistent_reemissions += 1;
+                } else {
+                    self.violations.push(format!(
+                        "send-determinism violation on {src}->{dst} seq {seq}: \
+                         original ({ob} B, payload {op:#x}), re-emission ({nb} B, payload {np:#x})",
+                        src = msg.src,
+                        dst = msg.dst,
+                        seq = msg.channel_seq,
+                        ob = orig.bytes,
+                        op = orig.payload,
+                        nb = msg.bytes,
+                        np = msg.payload,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Verify a replayed (logged) message against the original emission.
+    pub fn check_replay(&mut self, msg: &Message) {
+        let key = (msg.channel(), msg.channel_seq);
+        match self.identities.get(&key) {
+            Some(orig) if orig.bytes == msg.bytes && orig.payload == msg.payload => {
+                self.consistent_reemissions += 1;
+            }
+            Some(orig) => self.violations.push(format!(
+                "replay mismatch on {src}->{dst} seq {seq}: logged ({nb} B, {np:#x}) vs \
+                 original ({ob} B, {op:#x})",
+                src = msg.src,
+                dst = msg.dst,
+                seq = msg.channel_seq,
+                nb = msg.bytes,
+                np = msg.payload,
+                ob = orig.bytes,
+                op = orig.payload,
+            )),
+            None => self.violations.push(format!(
+                "replay of never-sent message {src}->{dst} seq {seq}",
+                src = msg.src,
+                dst = msg.dst,
+                seq = msg.channel_seq,
+            )),
+        }
+    }
+
+    /// Number of distinct application messages observed.
+    pub fn distinct_messages(&self) -> usize {
+        self.identities.len()
+    }
+
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{PbMeta, Tag};
+
+    fn msg(seq: u64, bytes: u64, payload: u64) -> Message {
+        Message {
+            src: Rank(0),
+            dst: Rank(1),
+            tag: Tag(0),
+            bytes,
+            payload,
+            channel_seq: seq,
+            meta: PbMeta::default(),
+            replayed: false,
+        }
+    }
+
+    #[test]
+    fn matrix_accumulates() {
+        let mut m = CommMatrix::new(3);
+        m.record(Rank(0), Rank(1), 100);
+        m.record(Rank(0), Rank(1), 50);
+        m.record(Rank(2), Rank(0), 7);
+        assert_eq!(m.bytes_between(Rank(0), Rank(1)), 150);
+        assert_eq!(m.msgs_between(Rank(0), Rank(1)), 2);
+        assert_eq!(m.total_bytes(), 157);
+        assert_eq!(m.total_msgs(), 3);
+        let chans: Vec<_> = m.channels().collect();
+        assert_eq!(chans.len(), 2);
+    }
+
+    #[test]
+    fn reemission_identical_is_consistent() {
+        let mut t = Trace::new(2);
+        t.record_send(&msg(1, 100, 0xAB));
+        t.record_send(&msg(1, 100, 0xAB));
+        assert!(t.is_consistent());
+        assert_eq!(t.consistent_reemissions, 1);
+        // matrix counts the message once
+        assert_eq!(t.matrix.msgs_between(Rank(0), Rank(1)), 1);
+    }
+
+    #[test]
+    fn reemission_differing_payload_is_violation() {
+        let mut t = Trace::new(2);
+        t.record_send(&msg(1, 100, 0xAB));
+        t.record_send(&msg(1, 100, 0xCD));
+        assert!(!t.is_consistent());
+        assert!(t.violations[0].contains("send-determinism violation"));
+    }
+
+    #[test]
+    fn replay_checks_against_original() {
+        let mut t = Trace::new(2);
+        t.record_send(&msg(3, 64, 0x1));
+        t.check_replay(&msg(3, 64, 0x1));
+        assert!(t.is_consistent());
+        t.check_replay(&msg(3, 64, 0x2));
+        assert!(!t.is_consistent());
+    }
+
+    #[test]
+    fn replay_of_unknown_message_flagged() {
+        let mut t = Trace::new(2);
+        t.check_replay(&msg(9, 8, 0x9));
+        assert!(t.violations[0].contains("never-sent"));
+    }
+}

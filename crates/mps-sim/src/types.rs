@@ -1,0 +1,182 @@
+//! Core identifiers and message types of the simulated machine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A process (MPI rank) in the simulated application.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Message tag, used for matching like MPI tags. Workload generators use
+/// tags to separate communication epochs so that wildcard receives can
+/// never steal a message from a later iteration (see `DESIGN.md` §3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tag(pub u32);
+
+/// A communication endpoint: an application rank or an auxiliary protocol
+/// entity (e.g. HydEE's recovery process).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Endpoint {
+    Rank(Rank),
+    /// Auxiliary protocol entity; id space is protocol-defined.
+    Aux(u32),
+}
+
+impl From<Rank> for Endpoint {
+    fn from(r: Rank) -> Self {
+        Endpoint::Rank(r)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Rank(r) => write!(f, "{r}"),
+            Endpoint::Aux(a) => write!(f, "aux{a}"),
+        }
+    }
+}
+
+/// A directed application channel.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ChannelId {
+    pub src: Rank,
+    pub dst: Rank,
+}
+
+/// Protocol metadata piggybacked on application messages.
+///
+/// HydEE stamps every message with the sender's `(date, phase)`
+/// (Algorithm 1, line 9). Baseline protocols may leave this at default.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize,
+)]
+pub struct PbMeta {
+    /// Sender's event date at the send (per-process event counter).
+    pub date: u64,
+    /// Sender's phase at the send.
+    pub phase: u64,
+}
+
+/// An application-level message.
+///
+/// Payload bytes are not materialised (class-D NAS moves hundreds of GB);
+/// instead each message carries a deterministic 64-bit `payload` digest that
+/// stands in for its content. Send-determinism oracles compare these
+/// digests between executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    pub src: Rank,
+    pub dst: Rank,
+    pub tag: Tag,
+    /// Application payload size in bytes (pre-piggyback).
+    pub bytes: u64,
+    /// Deterministic stand-in for the message content.
+    pub payload: u64,
+    /// Per-directed-channel sequence number (starts at 1).
+    pub channel_seq: u64,
+    /// Protocol piggyback.
+    pub meta: PbMeta,
+    /// True when this delivery is a replay of a logged message during
+    /// recovery rather than a fresh application send.
+    pub replayed: bool,
+}
+
+impl Message {
+    pub fn channel(&self) -> ChannelId {
+        ChannelId {
+            src: self.src,
+            dst: self.dst,
+        }
+    }
+
+    /// Globally unique identity of the application message (stable across
+    /// replay): channel plus per-channel sequence number.
+    pub fn id(&self) -> (ChannelId, u64) {
+        (self.channel(), self.channel_seq)
+    }
+}
+
+/// Mixes bits thoroughly (SplitMix64 finaliser). Used for payload digests.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combine two words into a digest.
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix64(a ^ b.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_display_and_idx() {
+        assert_eq!(Rank(7).to_string(), "P7");
+        assert_eq!(Rank(7).idx(), 7);
+    }
+
+    #[test]
+    fn endpoint_conversion() {
+        let e: Endpoint = Rank(3).into();
+        assert_eq!(e, Endpoint::Rank(Rank(3)));
+        assert_eq!(e.to_string(), "P3");
+        assert_eq!(Endpoint::Aux(0).to_string(), "aux0");
+    }
+
+    #[test]
+    fn message_identity_is_channel_seq() {
+        let m = Message {
+            src: Rank(1),
+            dst: Rank(2),
+            tag: Tag(0),
+            bytes: 100,
+            payload: 42,
+            channel_seq: 5,
+            meta: PbMeta::default(),
+            replayed: false,
+        };
+        assert_eq!(
+            m.id(),
+            (
+                ChannelId {
+                    src: Rank(1),
+                    dst: Rank(2)
+                },
+                5
+            )
+        );
+    }
+
+    #[test]
+    fn mix64_differs_on_nearby_inputs() {
+        assert_ne!(mix64(1), mix64(2));
+        assert_ne!(mix2(1, 2), mix2(2, 1), "mix2 must not be symmetric");
+    }
+}

@@ -1,0 +1,308 @@
+//! Direct tests of the engine's protocol-facing context API: send gates,
+//! control-message FIFO with application traffic, charging, snapshot
+//! capture/restore, and in-flight channel-state operations.
+
+use det_sim::{SimDuration, SimTime};
+use mps_sim::{
+    Application, Ctx, Endpoint, Message, Protocol, Rank, RankSnapshot, RunStatus,
+    Sim, SimConfig, Tag,
+};
+
+/// A scriptable protocol driven by timers, used to poke the Ctx API.
+#[derive(Default)]
+struct Probe {
+    /// Action log (inspected via `run_with_protocol` when needed).
+    events: Vec<String>,
+    gate_rank: Option<Rank>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProbeCtl {
+    Note(&'static str),
+}
+
+impl Protocol for Probe {
+    type Ctl = ProbeCtl;
+
+    fn name(&self) -> &'static str {
+        "probe"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, ProbeCtl>) {
+        ctx.set_timer(SimTime::from_us(10), 1);
+        ctx.set_timer(SimTime::from_us(500), 2);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProbeCtl>, id: u64) {
+        match id {
+            1 => {
+                if let Some(r) = self.gate_rank {
+                    ctx.gate(r, true);
+                    self.events.push(format!("gated {r} at {}", ctx.now()));
+                }
+            }
+            2 => {
+                if let Some(r) = self.gate_rank {
+                    ctx.gate(r, false);
+                    self.events.push(format!("ungated {r} at {}", ctx.now()));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_control(
+        &mut self,
+        _ctx: &mut Ctx<'_, ProbeCtl>,
+        to: Endpoint,
+        from: Endpoint,
+        ctl: ProbeCtl,
+    ) {
+        self.events.push(format!("ctl {ctl:?} {from}->{to}"));
+    }
+}
+
+#[test]
+fn gate_blocks_and_release_resumes() {
+    // P0 computes past the gate point, then tries to send; the gate at
+    // 10us blocks it until 500us.
+    let mut app = Application::new(2);
+    app.rank_mut(Rank(0))
+        .compute(SimDuration::from_us(50))
+        .send(Rank(1), 64, Tag(0));
+    app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+    let probe = Probe {
+        gate_rank: Some(Rank(0)),
+        ..Default::default()
+    };
+    let sim = Sim::new(app, SimConfig::default(), probe);
+    let (report, _probe) = sim.run_with_protocol();
+    assert!(report.completed(), "{:?}", report.status);
+    // The send could not complete before the 500us ungate.
+    assert!(
+        report.makespan >= SimTime::from_us(500),
+        "gate was not enforced: makespan {}",
+        report.makespan
+    );
+}
+
+#[test]
+fn gate_on_idle_rank_is_harmless() {
+    let mut app = Application::new(2);
+    app.rank_mut(Rank(0)).compute(SimDuration::from_ms(1));
+    app.rank_mut(Rank(1)).compute(SimDuration::from_ms(1));
+    let probe = Probe {
+        gate_rank: Some(Rank(1)),
+        ..Default::default()
+    };
+    let report = Sim::new(app, SimConfig::default(), probe).run();
+    assert!(report.completed());
+}
+
+/// Protocol that sends a control message on the same channel shortly
+/// after an application message was put on the wire, to verify shared
+/// FIFO ordering (a fast control message must not overtake a slow app
+/// message already in the channel — HydEE's LastDate correctness rests on
+/// exactly this).
+struct FifoProbe {
+    log: std::sync::Arc<std::sync::Mutex<Vec<&'static str>>>,
+}
+
+impl Protocol for FifoProbe {
+    type Ctl = ProbeCtl;
+
+    fn name(&self) -> &'static str {
+        "fifo-probe"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, ProbeCtl>) {
+        // The 1 MiB app message goes out at t~0 and takes ~850us of
+        // transit; this timer fires long before it lands.
+        ctx.set_timer(SimTime::from_us(5), 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProbeCtl>, _id: u64) {
+        ctx.send_ctl(
+            Endpoint::Rank(Rank(0)),
+            Endpoint::Rank(Rank(1)),
+            16,
+            ProbeCtl::Note("after-app"),
+        );
+    }
+
+    fn on_deliver(&mut self, _ctx: &mut Ctx<'_, ProbeCtl>, _msg: &Message) {
+        self.log.lock().unwrap().push("app");
+    }
+
+    fn on_control(
+        &mut self,
+        _ctx: &mut Ctx<'_, ProbeCtl>,
+        _to: Endpoint,
+        _from: Endpoint,
+        _ctl: ProbeCtl,
+    ) {
+        self.log.lock().unwrap().push("ctl");
+    }
+}
+
+#[test]
+fn control_messages_share_channel_fifo_with_app_messages() {
+    let mut app = Application::new(2);
+    app.rank_mut(Rank(0)).send(Rank(1), 1 << 20, Tag(0));
+    // Keep the receiver alive past the control message's arrival (the
+    // run ends as soon as all programs finish).
+    app.rank_mut(Rank(1))
+        .recv(Rank(0), Tag(0))
+        .compute(SimDuration::from_ms(2));
+    let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let probe = FifoProbe { log: log.clone() };
+    let report = Sim::new(app, SimConfig::default(), probe).run();
+    assert!(report.completed());
+    // Although the control message's raw transit (~3us) would land it at
+    // ~8us, the 1 MiB app message already occupies the channel until
+    // ~850us: FIFO delivers app first.
+    assert_eq!(*log.lock().unwrap(), vec!["app", "ctl"]);
+}
+
+/// Protocol that snapshots rank 0 early and restores it later.
+struct RewindProbe {
+    snap: Option<RankSnapshot>,
+}
+
+impl Protocol for RewindProbe {
+    type Ctl = ProbeCtl;
+
+    fn name(&self) -> &'static str {
+        "rewind"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, ProbeCtl>) {
+        ctx.set_timer(SimTime::from_ps(1), 1); // capture almost at start
+        ctx.set_timer(SimTime::from_us(100), 2); // restore later
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProbeCtl>, id: u64) {
+        match id {
+            1 => self.snap = Some(ctx.capture_rank(Rank(0))),
+            2 => {
+                let snap = self.snap.take().expect("captured");
+                ctx.restore_rank(Rank(0), &snap, false);
+                ctx.charge(Rank(0), SimDuration::from_us(5));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn capture_restore_replays_the_program() {
+    // P0 sends 10 messages; a restore at 100us rewinds it to (almost) the
+    // start, so it re-sends everything. P1 must receive 10 originals; the
+    // re-sends are verified identical by the oracle and the duplicates are
+    // consumed by extra receives... instead we simply count messages.
+    let mut app = Application::new(2);
+    for i in 0..10u32 {
+        app.rank_mut(Rank(0))
+            .compute(SimDuration::from_us(15))
+            .send(Rank(1), 256, Tag(i));
+        app.rank_mut(Rank(1)).recv(Rank(0), Tag(i));
+    }
+    let sim = Sim::new(app, SimConfig::default(), RewindProbe { snap: None });
+    let (report, _) = sim.run_with_protocol();
+    // The rewind re-emits early sends; each re-emission must match its
+    // original (send-determinism oracle).
+    assert!(report.trace.is_consistent(), "{:?}", report.trace.violations);
+    // The run may leave duplicates in P1's inbox (RewindProbe is not a
+    // full protocol: it restores the sender without restoring the
+    // receiver). What matters here: re-execution happened and matched.
+    assert!(report.metrics.app_messages > 10);
+    assert!(report.trace.consistent_reemissions > 0);
+}
+
+/// Failure with no protocol reaction deadlocks; with drop+restore wiring
+/// in a minimal protocol, the run completes — exercising drop_inflight_to
+/// and inject_inflight directly.
+struct MiniRecover {
+    snaps: Vec<RankSnapshot>,
+    inflight: Vec<mps_sim::InFlightMsg>,
+}
+
+impl Protocol for MiniRecover {
+    type Ctl = ProbeCtl;
+
+    fn name(&self) -> &'static str {
+        "mini-recover"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, ProbeCtl>) {
+        // Initial global checkpoint including channel state.
+        let ranks: Vec<Rank> = (0..ctx.n_ranks() as u32).map(Rank).collect();
+        self.inflight = ctx.capture_inflight_within(&ranks);
+        self.snaps = ranks.iter().map(|&r| ctx.capture_rank(r)).collect();
+    }
+
+    fn on_failure(&mut self, ctx: &mut Ctx<'_, ProbeCtl>, _failed: &[Rank]) {
+        let ranks: Vec<Rank> = (0..ctx.n_ranks() as u32).map(Rank).collect();
+        ctx.drop_inflight_to(&ranks);
+        for (i, snap) in self.snaps.iter().enumerate() {
+            ctx.restore_rank(Rank(i as u32), snap, false);
+        }
+        ctx.inject_inflight(&self.inflight.clone());
+    }
+}
+
+#[test]
+fn minimal_global_restart_protocol_recovers() {
+    let mut app = Application::new(3);
+    for round in 0..30 {
+        let tag = Tag(round % 2);
+        for r in 0..3u32 {
+            app.rank_mut(Rank(r)).send(Rank((r + 1) % 3), 512, tag);
+        }
+        for r in 0..3u32 {
+            app.rank_mut(Rank(r)).recv(Rank((r + 2) % 3), tag);
+        }
+    }
+    // Without recovery: deadlock.
+    let mut dead = Sim::new(
+        app.clone(),
+        SimConfig::default(),
+        mps_sim::NullProtocol,
+    );
+    dead.inject_failure(SimTime::from_us(50), vec![Rank(1)]);
+    let dead_report = dead.run();
+    assert!(matches!(dead_report.status, RunStatus::Deadlock(_)));
+    // With the minimal restart protocol: completes consistently.
+    let mut sim = Sim::new(
+        app,
+        SimConfig::default(),
+        MiniRecover {
+            snaps: Vec::new(),
+            inflight: Vec::new(),
+        },
+    );
+    sim.inject_failure(SimTime::from_us(50), vec![Rank(1)]);
+    let report = sim.run();
+    assert!(report.completed(), "{:?}", report.status);
+    assert!(report.trace.is_consistent());
+    assert!(report.inbox_leftover.iter().all(|&l| l == 0));
+}
+
+#[test]
+fn charge_delays_execution() {
+    struct Charger;
+    impl Protocol for Charger {
+        type Ctl = ();
+        fn name(&self) -> &'static str {
+            "charger"
+        }
+        fn init(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.charge(Rank(0), SimDuration::from_ms(7));
+        }
+    }
+    let mut app = Application::new(1);
+    app.rank_mut(Rank(0)).compute(SimDuration::from_us(1));
+    let report = Sim::new(app, SimConfig::default(), Charger).run();
+    assert!(report.completed());
+    assert!(report.makespan >= SimTime::from_ms(7));
+}

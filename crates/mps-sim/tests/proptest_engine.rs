@@ -1,0 +1,116 @@
+//! Property tests for the simulated runtime: random balanced applications
+//! always complete, deterministically, with order-independent state
+//! digests for send-deterministic folds.
+
+use det_sim::SimDuration;
+use mps_sim::prelude::*;
+use proptest::prelude::*;
+
+/// Random rounds of edges; all sends precede all receives inside a round
+/// per rank, which guarantees deadlock freedom.
+fn arb_app(n_ranks: u8) -> impl Strategy<Value = Application> {
+    let edge = (0..n_ranks, 0..n_ranks, 1u32..2048).prop_filter_map(
+        "no self edges",
+        move |(a, b, s)| if a == b { None } else { Some((a, b, s)) },
+    );
+    prop::collection::vec(prop::collection::vec(edge, 1..6), 1..12).prop_map(
+        move |rounds| {
+            let mut app = Application::new(n_ranks as usize);
+            for (i, round) in rounds.iter().enumerate() {
+                let tag = Tag(i as u32);
+                for &(src, dst, bytes) in round {
+                    app.rank_mut(Rank(src as u32))
+                        .send(Rank(dst as u32), bytes as u64, tag);
+                }
+                for &(src, dst, _) in round {
+                    app.rank_mut(Rank(dst as u32)).recv(Rank(src as u32), tag);
+                }
+            }
+            app
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn random_apps_complete(app in arb_app(6)) {
+        prop_assert!(app.check_balance().is_ok());
+        let msgs = app.total_messages();
+        let report = Sim::new(app, SimConfig::default(), NullProtocol).run();
+        prop_assert!(report.completed(), "{:?}", report.status);
+        prop_assert_eq!(report.metrics.app_messages, msgs);
+        prop_assert_eq!(report.metrics.deliveries, msgs);
+        prop_assert!(report.trace.is_consistent());
+    }
+
+    #[test]
+    fn random_apps_are_deterministic(app in arb_app(5)) {
+        let a = Sim::new(app.clone(), SimConfig::default(), NullProtocol).run();
+        let b = Sim::new(app, SimConfig::default(), NullProtocol).run();
+        prop_assert_eq!(a.digests, b.digests);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.metrics.events, b.metrics.events);
+    }
+
+    #[test]
+    fn wildcard_fanin_digest_is_timing_independent(
+        senders in 2u8..6,
+        msgs_per_sender in 1u8..5,
+        stagger_us in prop::collection::vec(0u64..500, 5),
+    ) {
+        // N senders race different numbers of messages into one wildcard
+        // receiver; arbitrary compute staggers permute arrival order. The
+        // send-deterministic digest must not care.
+        let build = |staggers: &[u64]| {
+            let n = senders as usize + 1;
+            let sink = Rank(senders as u32);
+            let mut app = Application::new(n);
+            for s in 0..senders {
+                let stagger = staggers.get(s as usize).copied().unwrap_or(0);
+                app.rank_mut(Rank(s as u32))
+                    .compute(SimDuration::from_us(stagger));
+                for _ in 0..msgs_per_sender {
+                    app.rank_mut(Rank(s as u32)).send(sink, 128, Tag(0));
+                }
+            }
+            for _ in 0..(senders as usize * msgs_per_sender as usize) {
+                app.rank_mut(sink).recv_any(Tag(0));
+            }
+            app
+        };
+        let base = Sim::new(build(&[0, 0, 0, 0, 0]), SimConfig::default(), NullProtocol).run();
+        let perturbed = Sim::new(build(&stagger_us), SimConfig::default(), NullProtocol).run();
+        prop_assert!(base.completed() && perturbed.completed());
+        prop_assert_eq!(
+            base.digests.last(),
+            perturbed.digests.last(),
+            "wildcard fan-in digest must be arrival-order independent"
+        );
+    }
+
+    #[test]
+    fn makespan_bounded_below_by_critical_path(
+        hops in 1u8..10,
+        bytes in 1u64..100_000,
+    ) {
+        // A linear relay of `hops` messages cannot beat hops * one-way
+        // latency of the network model.
+        let n = hops as usize + 1;
+        let mut app = Application::new(n);
+        for h in 0..hops {
+            app.rank_mut(Rank(h as u32)).send(Rank(h as u32 + 1), bytes, Tag(0));
+            app.rank_mut(Rank(h as u32 + 1)).recv(Rank(h as u32), Tag(0));
+        }
+        let report = Sim::new(app, SimConfig::default(), NullProtocol).run();
+        prop_assert!(report.completed());
+        let mx = net_model::MxModel::default();
+        use net_model::NetworkModel;
+        let min = mx.cost(bytes).one_way() * hops as u64;
+        prop_assert!(
+            report.makespan.since(det_sim::SimTime::ZERO) >= min,
+            "makespan {} below physical minimum {}",
+            report.makespan,
+            min
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # net-model — network, memory and storage cost models
+//!
+//! This crate is the stand-in for the physical testbed of the HydEE paper
+//! (Grid'5000 Lille, Myrinet 10G / MX, MPICH2-nemesis). It prices every
+//! action the simulated runtime performs:
+//!
+//! * **[`MxModel`]** — a LogGP-style model of MPICH2 over Myrinet/MX 10G,
+//!   calibrated to the figures the paper itself reports: ~3.3 µs small
+//!   message latency for 1–32 B, a jump to ~4 µs above 32 B (the "plateau"
+//!   the paper blames for its piggybacking peaks), eager/rendezvous switch,
+//!   and 10 Gb/s (1.25 GB/s) asymptotic bandwidth.
+//! * **[`TcpModel`]** — a slower comparison channel (HydEE also supported
+//!   nemesis/TCP).
+//! * **[`MemcpyModel`]** — sender-based message logging copies the payload
+//!   with `memcpy`; per Bosilca et al. (EuroMPI'10), memcpy latency and
+//!   bandwidth beat Myrinet 10G, so an overlapped copy costs (almost)
+//!   nothing. The model exposes both the raw copy time and the
+//!   *non-overlappable* remainder.
+//! * **[`PiggybackPolicy`]** — HydEE piggybacks `(date, phase)` on every
+//!   message: inline extra segment below a size threshold (1 KiB in the
+//!   paper), separate protocol message above it.
+//! * **[`StableStorage`]** — checkpoint write/read costs.
+//!
+//! All models return [`det_sim::SimDuration`] and are pure functions of
+//! their inputs, keeping the simulation deterministic.
+
+pub mod memcpy;
+pub mod network;
+pub mod piggyback;
+pub mod storage;
+
+pub use memcpy::MemcpyModel;
+pub use network::{MsgCost, MxModel, NetworkModel, TcpModel};
+pub use piggyback::{PiggybackCost, PiggybackPolicy};
+pub use storage::StableStorage;

@@ -1,0 +1,124 @@
+//! Piggybacking strategy for protocol metadata.
+//!
+//! HydEE sends `(date, phase)` with every application message. The paper's
+//! MX implementation uses two mechanisms chosen by payload size:
+//!
+//! * **below 1 KiB** — append one more segment to the `mx_isend()` gather
+//!   list: the metadata travels *inline*, enlarging the wire message but
+//!   costing no extra copy;
+//! * **1 KiB and above** — send the metadata as a *separate* small message
+//!   so the large payload is never copied; the separate message largely
+//!   overlaps with the payload transfer and costs only its injection
+//!   overhead at the sender.
+//!
+//! [`PiggybackPolicy::apply`] returns which mechanism fires and its cost.
+
+use det_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How the protocol metadata is attached to a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PiggybackCost {
+    /// Metadata rides inline: the wire message grows by `extra_bytes`.
+    Inline { extra_bytes: u64 },
+    /// Metadata goes in a separate protocol message: the sender pays
+    /// `sender_overhead` extra CPU time, the wire size of the payload
+    /// message is unchanged.
+    Separate { sender_overhead: SimDuration },
+}
+
+/// Size-dependent piggybacking policy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PiggybackPolicy {
+    /// Bytes of metadata piggybacked on each message: date (8) + phase (8).
+    pub metadata_bytes: u64,
+    /// Payloads strictly below this ride the metadata inline.
+    pub inline_threshold: u64,
+    /// Sender CPU cost of injecting the separate metadata message.
+    pub separate_overhead: SimDuration,
+}
+
+impl Default for PiggybackPolicy {
+    fn default() -> Self {
+        PiggybackPolicy {
+            metadata_bytes: 16,
+            inline_threshold: 1024,
+            separate_overhead: SimDuration::from_ns(300),
+        }
+    }
+}
+
+impl PiggybackPolicy {
+    /// Decide the mechanism for a payload of `payload_bytes`.
+    pub fn apply(&self, payload_bytes: u64) -> PiggybackCost {
+        if payload_bytes < self.inline_threshold {
+            PiggybackCost::Inline {
+                extra_bytes: self.metadata_bytes,
+            }
+        } else {
+            PiggybackCost::Separate {
+                sender_overhead: self.separate_overhead,
+            }
+        }
+    }
+
+    /// Wire size of the payload message after piggybacking.
+    pub fn wire_bytes(&self, payload_bytes: u64) -> u64 {
+        match self.apply(payload_bytes) {
+            PiggybackCost::Inline { extra_bytes } => payload_bytes + extra_bytes,
+            PiggybackCost::Separate { .. } => payload_bytes,
+        }
+    }
+
+    /// Extra sender CPU time, if any.
+    pub fn sender_overhead(&self, payload_bytes: u64) -> SimDuration {
+        match self.apply(payload_bytes) {
+            PiggybackCost::Inline { .. } => SimDuration::ZERO,
+            PiggybackCost::Separate { sender_overhead } => sender_overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_payloads_inline() {
+        let p = PiggybackPolicy::default();
+        assert_eq!(
+            p.apply(8),
+            PiggybackCost::Inline { extra_bytes: 16 }
+        );
+        assert_eq!(p.wire_bytes(8), 24);
+        assert_eq!(p.sender_overhead(8), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn threshold_is_exclusive_below() {
+        let p = PiggybackPolicy::default();
+        assert!(matches!(p.apply(1023), PiggybackCost::Inline { .. }));
+        assert!(matches!(p.apply(1024), PiggybackCost::Separate { .. }));
+    }
+
+    #[test]
+    fn large_payloads_keep_wire_size() {
+        let p = PiggybackPolicy::default();
+        assert_eq!(p.wire_bytes(1 << 20), 1 << 20);
+        assert_eq!(p.sender_overhead(1 << 20), p.separate_overhead);
+    }
+
+    #[test]
+    fn inline_can_cross_a_plateau() {
+        // Reproduces the mechanism of the paper's Figure 5 peaks: a 24 B
+        // payload becomes a 40 B wire message, crossing the 32 B MX plateau.
+        use crate::network::{MxModel, NetworkModel};
+        let p = PiggybackPolicy::default();
+        let mx = MxModel::default();
+        let native = mx.latency(24);
+        let hydee = mx.latency(p.wire_bytes(24));
+        assert!(hydee > native);
+        let degradation = (hydee.as_ns_f64() - native.as_ns_f64()) / native.as_ns_f64();
+        assert!((0.1..0.35).contains(&degradation), "deg={degradation}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Stable (reliable) storage model for checkpoints.
+//!
+//! HydEE saves cluster-coordinated checkpoints — including the sender-side
+//! message logs and the RPP table — to reliable storage (Algorithm 1,
+//! line 21), and restarts failed clusters from it. The model prices writes
+//! and reads with a fixed setup latency plus a bandwidth term, and lets the
+//! harness model the *I/O burst* contention the paper discusses (§VI): when
+//! `concurrent_writers > 1` share the store, each sees `1/n` of the
+//! aggregate bandwidth.
+
+use det_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Reliable storage (parallel filesystem / SSD tier) cost model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StableStorage {
+    /// Per-operation setup latency.
+    pub latency: SimDuration,
+    /// Aggregate write bandwidth, bytes per microsecond (default 1 GB/s).
+    pub write_bytes_per_us: u64,
+    /// Aggregate read bandwidth, bytes per microsecond (default 2 GB/s).
+    pub read_bytes_per_us: u64,
+}
+
+impl Default for StableStorage {
+    fn default() -> Self {
+        StableStorage {
+            latency: SimDuration::from_us(500),
+            write_bytes_per_us: 1_000,
+            read_bytes_per_us: 2_000,
+        }
+    }
+}
+
+impl StableStorage {
+    /// Time for one writer to persist `bytes` while `concurrent_writers`
+    /// share the aggregate bandwidth.
+    pub fn write_time(&self, bytes: u64, concurrent_writers: u64) -> SimDuration {
+        let writers = concurrent_writers.max(1);
+        self.latency
+            + SimDuration::from_ps(
+                bytes.saturating_mul(1_000_000) / self.write_bytes_per_us * writers,
+            )
+    }
+
+    /// Time for one reader to load `bytes` while `concurrent_readers` share
+    /// the aggregate bandwidth.
+    pub fn read_time(&self, bytes: u64, concurrent_readers: u64) -> SimDuration {
+        let readers = concurrent_readers.max(1);
+        self.latency
+            + SimDuration::from_ps(
+                bytes.saturating_mul(1_000_000) / self.read_bytes_per_us * readers,
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_scales_with_contention() {
+        let s = StableStorage::default();
+        let alone = s.write_time(1 << 30, 1);
+        let crowd = s.write_time(1 << 30, 8);
+        // 8 concurrent writers each see ~1/8 bandwidth.
+        let a = (alone - s.latency).as_ps();
+        let c = (crowd - s.latency).as_ps();
+        assert_eq!(c, a * 8);
+    }
+
+    #[test]
+    fn read_faster_than_write() {
+        let s = StableStorage::default();
+        assert!(s.read_time(1 << 30, 1) < s.write_time(1 << 30, 1));
+    }
+
+    #[test]
+    fn zero_writers_treated_as_one() {
+        let s = StableStorage::default();
+        assert_eq!(s.write_time(4096, 0), s.write_time(4096, 1));
+    }
+
+    #[test]
+    fn io_burst_motivation() {
+        // The paper's §VI argument: all clusters checkpointing at once (the
+        // coordinated-checkpointing burst) is much slower per-cluster than
+        // staggered cluster checkpoints.
+        let s = StableStorage::default();
+        let staggered = s.write_time(8 << 30, 1);
+        let burst = s.write_time(8 << 30, 16);
+        assert!(burst.as_ps() > 10 * staggered.as_ps());
+    }
+}

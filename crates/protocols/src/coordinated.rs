@@ -1,0 +1,261 @@
+//! Global coordinated checkpointing — the classic baseline (§II, [11]).
+//!
+//! All processes checkpoint together (one consistent global cut including
+//! channel state) and a failure of *any* process rolls back *all* of them
+//! to the last checkpoint. No logging, no piggybacking, no recovery
+//! choreography — but zero failure containment and a full-width I/O burst
+//! at every checkpoint.
+
+use det_sim::{SimDuration, SimTime};
+use mps_sim::{Ctx, InFlightMsg, Protocol, Rank, RankSnapshot};
+use net_model::StableStorage;
+
+/// Configuration for [`GlobalCoordinated`].
+#[derive(Debug, Clone)]
+pub struct CoordinatedConfig {
+    pub storage: StableStorage,
+    /// `None` = only the implicit initial checkpoint at t=0.
+    pub checkpoint_interval: Option<SimDuration>,
+    pub first_checkpoint: SimTime,
+    /// Per-rank process image bytes written at each checkpoint.
+    pub image_bytes: u64,
+    /// Fixed restart latency at rollback.
+    pub restart_latency: SimDuration,
+}
+
+impl Default for CoordinatedConfig {
+    fn default() -> Self {
+        CoordinatedConfig {
+            storage: StableStorage::default(),
+            checkpoint_interval: None,
+            first_checkpoint: SimTime::from_ms(100),
+            image_bytes: 64 << 20,
+            restart_latency: SimDuration::from_ms(10),
+        }
+    }
+}
+
+struct GlobalCheckpoint {
+    snaps: Vec<RankSnapshot>,
+    inflight: Vec<InFlightMsg>,
+    bytes: u64,
+}
+
+/// The protocol.
+pub struct GlobalCoordinated {
+    cfg: CoordinatedConfig,
+    last: Option<GlobalCheckpoint>,
+    n: usize,
+}
+
+impl GlobalCoordinated {
+    pub fn new(cfg: CoordinatedConfig) -> Self {
+        GlobalCoordinated {
+            cfg,
+            last: None,
+            n: 0,
+        }
+    }
+
+    fn all_ranks(&self) -> Vec<Rank> {
+        (0..self.n as u32).map(Rank).collect()
+    }
+
+    fn capture(&mut self, ctx: &mut Ctx<'_, ()>) -> GlobalCheckpoint {
+        let ranks = self.all_ranks();
+        let inflight = ctx.capture_inflight_within(&ranks);
+        let mut bytes = 0;
+        let snaps: Vec<RankSnapshot> = ranks
+            .iter()
+            .map(|&r| {
+                let s = ctx.capture_rank(r);
+                bytes += self.cfg.image_bytes + s.image_bytes();
+                s
+            })
+            .collect();
+        GlobalCheckpoint {
+            snaps,
+            inflight,
+            bytes,
+        }
+    }
+}
+
+impl Protocol for GlobalCoordinated {
+    type Ctl = ();
+
+    fn name(&self) -> &'static str {
+        "coordinated"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, ()>) {
+        self.n = ctx.n_ranks();
+        // Implicit cost-free initial checkpoint.
+        self.last = Some(self.capture(ctx));
+        if self.cfg.checkpoint_interval.is_some() {
+            ctx.set_timer(self.cfg.first_checkpoint, 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _id: u64) {
+        let ckpt = self.capture(ctx);
+        // Every rank writes its share simultaneously: the full-width I/O
+        // burst the paper's §VI warns about.
+        let per = ckpt.bytes / self.n.max(1) as u64;
+        let write = self.cfg.storage.write_time(per, self.n as u64);
+        // Global coordination barrier: two tree traversals of the machine.
+        let levels = (usize::BITS - (self.n.max(1) - 1).leading_zeros()) as u64;
+        let coord = ctx.wire_cost(32).one_way() * (2 * levels.max(1));
+        for r in self.all_ranks() {
+            ctx.charge(r, coord + write);
+        }
+        ctx.metrics().checkpoints += self.n as u64;
+        ctx.metrics().checkpoint_bytes += ckpt.bytes;
+        self.last = Some(ckpt);
+        if let Some(interval) = self.cfg.checkpoint_interval {
+            // Re-arm after the write completes (see hydee::protocol) so a
+            // checkpoint costing more than the interval cannot livelock.
+            let resume = self
+                .all_ranks()
+                .into_iter()
+                .map(|r| ctx.clock(r))
+                .max()
+                .unwrap_or_else(|| ctx.now());
+            ctx.set_timer(resume + interval, 0);
+        }
+    }
+
+    fn on_failure(&mut self, ctx: &mut Ctx<'_, ()>, _failed: &[Rank]) {
+        let started = ctx.now();
+        let ranks = self.all_ranks();
+        ctx.metrics().ranks_rolled_back += self.n as u64;
+        // Everything in flight addresses pre-failure state: drop it all,
+        // the checkpoint's channel state replaces it.
+        ctx.drop_inflight_to(&ranks);
+        let ckpt = self.last.as_ref().expect("no global checkpoint");
+        let per = ckpt.bytes / self.n.max(1) as u64;
+        let read = self.cfg.storage.read_time(per, self.n as u64);
+        let inflight = ckpt.inflight.clone();
+        let snaps: Vec<RankSnapshot> = ckpt.snaps.clone();
+        for (i, snap) in snaps.iter().enumerate() {
+            ctx.restore_rank(Rank(i as u32), snap, false);
+            ctx.charge(Rank(i as u32), self.cfg.restart_latency + read);
+        }
+        ctx.inject_inflight(&inflight);
+        let span = ctx.now().since(started);
+        ctx.metrics().recovery_time += span;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sim::{Application, Sim, SimConfig, Tag};
+
+    fn ring_app(n: u32, rounds: usize) -> Application {
+        let mut app = Application::new(n as usize);
+        for r in 0..n {
+            let next = Rank((r + 1) % n);
+            let prev = Rank((r + n - 1) % n);
+            for _ in 0..rounds {
+                app.rank_mut(Rank(r)).send(next, 1024, Tag(0));
+                app.rank_mut(Rank(r)).recv(prev, Tag(0));
+            }
+        }
+        app
+    }
+
+    #[test]
+    fn failure_free_adds_no_message_overhead() {
+        let report = Sim::new(
+            ring_app(8, 20),
+            SimConfig::default(),
+            GlobalCoordinated::new(CoordinatedConfig::default()),
+        )
+        .run();
+        assert!(report.completed());
+        // No piggyback: wire bytes == payload bytes.
+        assert_eq!(report.metrics.wire_bytes, report.metrics.app_bytes);
+        assert_eq!(report.metrics.logged_bytes_cumulative, 0);
+    }
+
+    #[test]
+    fn failure_rolls_back_everyone() {
+        let mut sim = Sim::new(
+            ring_app(8, 100),
+            SimConfig::default(),
+            GlobalCoordinated::new(CoordinatedConfig::default()),
+        );
+        sim.inject_failure(SimTime::from_us(100), vec![Rank(3)]);
+        let report = sim.run();
+        assert!(report.completed(), "{:?}", report.status);
+        assert_eq!(report.metrics.ranks_rolled_back, 8, "no containment");
+        assert!(report.trace.is_consistent());
+    }
+
+    #[test]
+    fn digests_match_golden_after_recovery() {
+        let golden = Sim::new(
+            ring_app(6, 60),
+            SimConfig::default(),
+            GlobalCoordinated::new(CoordinatedConfig::default()),
+        )
+        .run();
+        let mut sim = Sim::new(
+            ring_app(6, 60),
+            SimConfig::default(),
+            GlobalCoordinated::new(CoordinatedConfig::default()),
+        );
+        sim.inject_failure(SimTime::from_us(400), vec![Rank(0)]);
+        let report = sim.run();
+        assert!(report.completed());
+        assert_eq!(report.digests, golden.digests);
+    }
+
+    #[test]
+    fn periodic_checkpoints_reduce_lost_work() {
+        // With periodic checkpoints the failure rolls back to a later cut,
+        // so the recovered run finishes sooner than restart-from-zero.
+        let mk = |interval: Option<SimDuration>| {
+            let mut cfg = CoordinatedConfig {
+                checkpoint_interval: interval,
+                first_checkpoint: SimTime::from_us(200),
+                // Keep checkpoints cheap relative to the interval.
+                image_bytes: 4 << 10,
+                restart_latency: SimDuration::from_us(10),
+                ..Default::default()
+            };
+            cfg.storage.latency = SimDuration::from_us(10);
+            let mut sim = Sim::new(
+                ring_app(4, 2000),
+                SimConfig::default(),
+                GlobalCoordinated::new(cfg),
+            );
+            sim.inject_failure(SimTime::from_ms(4), vec![Rank(1)]);
+            sim.run()
+        };
+        let without = mk(None);
+        let with = mk(Some(SimDuration::from_us(500)));
+        assert!(without.completed() && with.completed());
+        assert!(
+            with.makespan < without.makespan,
+            "with={} without={}",
+            with.makespan,
+            without.makespan
+        );
+        assert!(with.metrics.checkpoints > 0);
+    }
+
+    #[test]
+    fn failure_of_multiple_ranks_recovers() {
+        let mut sim = Sim::new(
+            ring_app(8, 100),
+            SimConfig::default(),
+            GlobalCoordinated::new(CoordinatedConfig::default()),
+        );
+        sim.inject_failure(SimTime::from_us(100), vec![Rank(1), Rank(5)]);
+        let report = sim.run();
+        assert!(report.completed());
+        assert_eq!(report.metrics.ranks_rolled_back, 8);
+    }
+}

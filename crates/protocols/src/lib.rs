@@ -1,0 +1,23 @@
+//! # protocols — baseline rollback-recovery protocols
+//!
+//! The comparison points of the HydEE paper, implemented on the same
+//! simulated runtime (`mps-sim`):
+//!
+//! * [`coordinated::GlobalCoordinated`] — classic global coordinated
+//!   checkpointing: no logging, no containment, full-machine rollback and
+//!   checkpoint I/O bursts.
+//! * [`event_logged::EventLogged`] — an overlay charging a reliable
+//!   determinant write per delivery; wraps `Hydee` (with per-rank or real
+//!   clusters) to obtain classic pessimistic message logging and the
+//!   [8]-style hybrid-with-event-logging protocol respectively. This is
+//!   the ablation for HydEE's "no event logging" claim.
+//!
+//! Native MPICH2 (no fault tolerance) is `mps_sim::NullProtocol`; HydEE
+//! itself with all messages logged (the paper's Fig. 6 "Message Logging"
+//! curve) is `Hydee` over `ClusterMap::per_rank`.
+
+pub mod coordinated;
+pub mod event_logged;
+
+pub use coordinated::{CoordinatedConfig, GlobalCoordinated};
+pub use event_logged::{DeterminantCost, EventLogged};

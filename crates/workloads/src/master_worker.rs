@@ -1,0 +1,123 @@
+//! Master/worker — the canonical NON-send-deterministic workload.
+//!
+//! The send-determinism study the paper builds on found master/worker
+//! applications to be the only common pattern that violates
+//! send-determinism: the master hands the next task to *whichever worker
+//! answers first*, so the sequence of messages it sends depends on
+//! message-reception order. Run with
+//! [`mps_sim::DetMode::OrderSensitive`], this workload demonstrates where
+//! HydEE's core assumption is load-bearing: after a failure the trace
+//! oracle reports send-determinism violations (re-executed sends differ
+//! from the originals).
+//!
+//! Structurally: the master scatters one seed task per worker, then for
+//! each remaining task receives *any* result (wildcard) and would send
+//! the next task to that worker. Because our programs are static op
+//! streams we approximate the dynamic dispatch with a fixed task count
+//! per worker but a wildcard-receiving master — the *payload* order
+//! sensitivity (not the partner choice) carries the violation.
+
+use det_sim::SimDuration;
+use mps_sim::{Application, Rank, Tag};
+
+/// Master/worker parameters. Rank 0 is the master.
+#[derive(Debug, Clone)]
+pub struct MasterWorkerConfig {
+    pub n_ranks: usize,
+    /// Tasks each worker processes.
+    pub tasks_per_worker: usize,
+    pub task_bytes: u64,
+    pub result_bytes: u64,
+    /// Worker compute time per task; staggered per rank so results race.
+    pub work_base: SimDuration,
+}
+
+impl Default for MasterWorkerConfig {
+    fn default() -> Self {
+        MasterWorkerConfig {
+            n_ranks: 8,
+            tasks_per_worker: 4,
+            task_bytes: 4 << 10,
+            result_bytes: 16 << 10,
+            work_base: SimDuration::from_us(100),
+        }
+    }
+}
+
+/// Build the master/worker application.
+pub fn master_worker(cfg: &MasterWorkerConfig) -> Application {
+    assert!(cfg.n_ranks >= 2, "need a master and at least one worker");
+    let master = Rank(0);
+    let workers = cfg.n_ranks - 1;
+    let mut app = Application::new(cfg.n_ranks);
+    for round in 0..cfg.tasks_per_worker {
+        let task_tag = Tag(2 * round as u32);
+        let result_tag = Tag(2 * round as u32 + 1);
+        // Master sends one task per worker...
+        for w in 1..cfg.n_ranks {
+            app.rank_mut(master).send(Rank(w as u32), cfg.task_bytes, task_tag);
+        }
+        // ...workers compute (staggered so completion order races)...
+        for w in 1..cfg.n_ranks {
+            let jitter = ((w * 37 + round * 13) % workers) as u64;
+            app.rank_mut(Rank(w as u32))
+                .recv(master, task_tag)
+                .compute(cfg.work_base * (1 + jitter))
+                .send(master, cfg.result_bytes, result_tag);
+        }
+        // ...master collects results first-come-first-served.
+        for _ in 1..cfg.n_ranks {
+            app.rank_mut(master).recv_any(result_tag);
+        }
+    }
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sim::{DetMode, NullProtocol, Sim, SimConfig};
+
+    #[test]
+    fn completes_in_both_determinism_modes() {
+        for mode in [DetMode::SendDeterministic, DetMode::OrderSensitive] {
+            let app = master_worker(&MasterWorkerConfig::default());
+            assert!(app.check_balance().is_ok());
+            let config = SimConfig {
+                det_mode: mode,
+                ..Default::default()
+            };
+            let report = Sim::new(app, config, NullProtocol).run();
+            assert!(report.completed(), "mode={mode:?}");
+        }
+    }
+
+    #[test]
+    fn worker_compute_is_staggered() {
+        let app = master_worker(&MasterWorkerConfig::default());
+        // Distinct compute times across workers in round 0.
+        let computes: Vec<_> = (1..8)
+            .map(|w| {
+                app.programs[w]
+                    .ops
+                    .iter()
+                    .find_map(|op| match op {
+                        mps_sim::Op::Compute { time } => Some(*time),
+                        _ => None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let distinct: std::collections::BTreeSet<_> = computes.iter().collect();
+        assert!(distinct.len() > 1, "workers must race");
+    }
+
+    #[test]
+    #[should_panic(expected = "need a master")]
+    fn requires_two_ranks() {
+        let _ = master_worker(&MasterWorkerConfig {
+            n_ranks: 1,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,47 @@
+//! Cluster explorer: sweep the cluster count for one NAS benchmark and
+//! print the rollback-vs-logging trade-off curve the paper's clustering
+//! tool navigates (§V-B3).
+//!
+//! Usage: `cargo run --release --example cluster_explorer [BENCH]`
+//! where BENCH is one of BT CG FT LU MG SP (default CG).
+
+use clustering::{partition, ClusteringStats, CommGraph, PartitionConfig};
+use workloads::NasBench;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "CG".into());
+    let bench = NasBench::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&which))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {which}; use one of BT CG FT LU MG SP");
+            std::process::exit(2);
+        });
+
+    let cfg = bench.paper_config(1.0);
+    let app = bench.build(&cfg);
+    let graph = CommGraph::from_application(&app);
+    println!(
+        "{} skeleton, 256 ranks, {:.0} GB total traffic",
+        bench.name(),
+        app.total_bytes() as f64 / 1e9
+    );
+    println!();
+    println!("{:>9} | {:>10} | {:>8} | {:>11}", "clusters", "rollback %", "logged %", "logged GB");
+    println!("{}", "-".repeat(48));
+    for k in [1usize, 2, 4, 5, 6, 8, 16, 32, 64, 128, 256] {
+        let map = partition(&graph, &PartitionConfig::balanced(k, 256));
+        let stats = ClusteringStats::evaluate(&app, &map);
+        let marker = if k == bench.paper_clusters() { "  <- paper's choice" } else { "" };
+        println!(
+            "{:>9} | {:>9.2}% | {:>7.2}% | {:>11.2}{marker}",
+            stats.n_clusters,
+            stats.avg_rollback_pct,
+            stats.logged_pct(),
+            stats.logged_bytes as f64 / 1e9,
+        );
+    }
+    println!();
+    println!("fewer clusters -> bigger rollbacks but fewer logged bytes;");
+    println!("the paper's tool picks a knee of this curve.");
+}

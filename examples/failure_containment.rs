@@ -1,0 +1,84 @@
+//! Failure containment compared across protocols, on the paper's CG
+//! skeleton: HydEE (clustered), global coordinated checkpointing, and
+//! full message logging — what fraction of the machine does one failure
+//! drag down, and at what memory price?
+//!
+//! Run: `cargo run --release --example failure_containment`
+
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::prelude::*;
+use protocols::{CoordinatedConfig, GlobalCoordinated};
+use workloads::{NasBench, NasConfig};
+
+const N: usize = 64;
+
+fn app() -> Application {
+    let cfg = NasConfig {
+        n_ranks: N,
+        iterations: 15,
+        size_scale: 1e-3,
+        compute_per_iter: SimDuration::from_us(500),
+    };
+    NasBench::CG.build(&cfg)
+}
+
+fn main() {
+    let fail_at = SimTime::from_ms(5);
+    let victim = vec![Rank(9)];
+
+    println!("one failure (P9) on the CG skeleton, {N} ranks:");
+    println!();
+
+    // HydEE, 8 clusters of 8.
+    let mut sim = Sim::new(
+        app(),
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(ClusterMap::blocks(N, 8)).with_image_bytes(1 << 20)),
+    );
+    sim.inject_failure(fail_at, victim.clone());
+    let hydee_report = sim.run();
+    assert!(hydee_report.completed());
+
+    // Global coordinated checkpointing.
+    let cfg = CoordinatedConfig {
+        image_bytes: 1 << 20,
+        ..Default::default()
+    };
+    let mut sim = Sim::new(app(), SimConfig::default(), GlobalCoordinated::new(cfg));
+    sim.inject_failure(fail_at, victim.clone());
+    let coord_report = sim.run();
+    assert!(coord_report.completed());
+
+    // Full message logging: HydEE machinery, one cluster per rank.
+    let mut sim = Sim::new(
+        app(),
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(ClusterMap::per_rank(N)).with_image_bytes(1 << 20)),
+    );
+    sim.inject_failure(fail_at, victim);
+    let full_report = sim.run();
+    assert!(full_report.completed());
+
+    for (name, r) in [
+        ("HydEE (8 clusters)", &hydee_report),
+        ("coordinated (1 cluster)", &coord_report),
+        ("full logging (64 clusters)", &full_report),
+    ] {
+        println!(
+            "  {name:28} rolled back {:>2}/{N} ranks | makespan {} | log peak {:>9} B",
+            r.metrics.ranks_rolled_back,
+            r.makespan,
+            r.metrics.logged_bytes_peak,
+        );
+    }
+    println!();
+    println!(
+        "containment: {} << {} ranks; log memory: {} << {} bytes",
+        hydee_report.metrics.ranks_rolled_back,
+        coord_report.metrics.ranks_rolled_back,
+        hydee_report.metrics.logged_bytes_peak,
+        full_report.metrics.logged_bytes_peak,
+    );
+    assert!(hydee_report.metrics.ranks_rolled_back < coord_report.metrics.ranks_rolled_back);
+    assert!(hydee_report.metrics.logged_bytes_peak < full_report.metrics.logged_bytes_peak);
+}

@@ -1,0 +1,14 @@
+//! # hydee-repro — umbrella crate
+//!
+//! Re-exports the whole HydEE reproduction workspace behind one
+//! dependency, and hosts the cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`). See `README.md` for the tour and
+//! `DESIGN.md` for the system inventory.
+
+pub use clustering;
+pub use det_sim;
+pub use hydee;
+pub use mps_sim;
+pub use net_model;
+pub use protocols;
+pub use workloads;

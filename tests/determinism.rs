@@ -1,0 +1,145 @@
+//! Cross-crate determinism and protocol-equivalence guarantees.
+
+use det_sim::{SimDuration, SimTime};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{ClusterMap, NullProtocol, Rank, Sim, SimConfig};
+use protocols::{CoordinatedConfig, DeterminantCost, EventLogged, GlobalCoordinated};
+use workloads::{stencil_2d, NasBench, NasConfig, StencilConfig};
+
+fn cg16() -> mps_sim::Application {
+    NasBench::CG.build(&NasConfig {
+        n_ranks: 16,
+        iterations: 6,
+        size_scale: 1e-3,
+        compute_per_iter: SimDuration::from_us(50),
+    })
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let reports: Vec<_> = (0..3)
+        .map(|_| {
+            Sim::new(
+                cg16(),
+                SimConfig::default(),
+                Hydee::new(HydeeConfig::new(ClusterMap::blocks(16, 4))),
+            )
+            .run()
+        })
+        .collect();
+    for r in &reports {
+        assert!(r.completed());
+    }
+    assert_eq!(reports[0].digests, reports[1].digests);
+    assert_eq!(reports[1].digests, reports[2].digests);
+    assert_eq!(reports[0].makespan, reports[1].makespan);
+    assert_eq!(reports[0].metrics.events, reports[2].metrics.events);
+    assert_eq!(reports[0].metrics.wire_bytes, reports[1].metrics.wire_bytes);
+}
+
+#[test]
+fn recovered_runs_are_bit_identical_too() {
+    let run = || {
+        let mut cfg = HydeeConfig::new(ClusterMap::blocks(16, 4));
+        cfg.restart_latency = SimDuration::from_us(20);
+        let mut sim = Sim::new(cg16(), SimConfig::default(), Hydee::new(cfg));
+        sim.inject_failure(SimTime::from_us(400), vec![Rank(6)]);
+        sim.run()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.completed() && b.completed());
+    assert_eq!(a.digests, b.digests);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.metrics.suppressed_sends, b.metrics.suppressed_sends);
+    assert_eq!(a.metrics.replayed_messages, b.metrics.replayed_messages);
+}
+
+#[test]
+fn all_protocols_compute_the_same_application_result() {
+    // Fault-tolerance protocols must be transparent: the application's
+    // final state is identical whichever protocol runs beneath it.
+    let native = Sim::new(cg16(), SimConfig::default(), NullProtocol).run();
+    let hydee = Sim::new(
+        cg16(),
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(ClusterMap::blocks(16, 4))),
+    )
+    .run();
+    let coord = Sim::new(
+        cg16(),
+        SimConfig::default(),
+        GlobalCoordinated::new(CoordinatedConfig::default()),
+    )
+    .run();
+    let logged = Sim::new(
+        cg16(),
+        SimConfig::default(),
+        EventLogged::new(
+            Hydee::new(HydeeConfig::new(ClusterMap::per_rank(16))),
+            DeterminantCost::default(),
+        ),
+    )
+    .run();
+    for r in [&native, &hydee, &coord, &logged] {
+        assert!(r.completed());
+    }
+    assert_eq!(native.digests, hydee.digests);
+    assert_eq!(native.digests, coord.digests);
+    assert_eq!(native.digests, logged.digests);
+}
+
+#[test]
+fn protocol_overheads_are_ordered() {
+    // native <= hydee(clustered) <= full logging + determinants, on a
+    // communication-heavy workload.
+    let cfg = StencilConfig {
+        n_ranks: 16,
+        iterations: 80,
+        face_bytes: 2 << 10,
+        compute_per_iter: SimDuration::from_us(20),
+        wildcard_recv: false,
+    };
+    let native = Sim::new(stencil_2d(&cfg), SimConfig::default(), NullProtocol).run();
+    let hydee = Sim::new(
+        stencil_2d(&cfg),
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(ClusterMap::blocks(16, 4))),
+    )
+    .run();
+    let full = Sim::new(
+        stencil_2d(&cfg),
+        SimConfig::default(),
+        EventLogged::new(
+            Hydee::new(HydeeConfig::new(ClusterMap::per_rank(16))),
+            DeterminantCost::default(),
+        ),
+    )
+    .run();
+    assert!(native.completed() && hydee.completed() && full.completed());
+    assert!(
+        native.makespan <= hydee.makespan,
+        "native {} vs hydee {}",
+        native.makespan,
+        hydee.makespan
+    );
+    assert!(
+        hydee.makespan < full.makespan,
+        "hydee {} vs full+events {}",
+        hydee.makespan,
+        full.makespan
+    );
+    // And the overhead is small in relative terms (paper: ~2%).
+    let overhead =
+        hydee.makespan.as_secs_f64() / native.makespan.as_secs_f64() - 1.0;
+    assert!(overhead < 0.10, "hydee overhead {overhead:.3} too large");
+}
+
+#[test]
+fn null_protocol_equals_native_wire_traffic() {
+    let report = Sim::new(cg16(), SimConfig::default(), NullProtocol).run();
+    assert!(report.completed());
+    assert_eq!(report.metrics.wire_bytes, report.metrics.app_bytes);
+    assert_eq!(report.metrics.ctl_messages, 0);
+    assert_eq!(report.metrics.logged_bytes_cumulative, 0);
+}

@@ -1,0 +1,210 @@
+//! Scenario tests mirroring the paper's running example (§III, Figures 3
+//! and 4) and its lemmas, checked against the implementation's actual
+//! phase/date bookkeeping via `Sim::run_with_protocol`.
+
+use det_sim::{SimDuration, SimTime};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{Application, ClusterMap, Rank, Sim, SimConfig, Tag};
+
+/// A figure-4-style causal chain across three clusters:
+///
+/// clusters: C0 = {0,1}, C1 = {2,3}, C2 = {4,5}; all phases start at 1.
+///
+/// * m1: 0 -> 1 (intra)      -> P1 stays in phase 1
+/// * m2: 1 -> 2 (inter)      -> P2 advances to phase 2
+/// * m3: 2 -> 3 (intra)      -> P3 advances to phase 2
+/// * m4: 3 -> 4 (inter)      -> P4 advances to phase 3
+/// * m5: 4 -> 5 (intra)      -> P5 advances to phase 3
+fn chain_app() -> (Application, ClusterMap) {
+    let mut app = Application::new(6);
+    app.rank_mut(Rank(0)).send(Rank(1), 100, Tag(0));
+    app.rank_mut(Rank(1)).recv(Rank(0), Tag(0));
+    app.rank_mut(Rank(1)).send(Rank(2), 100, Tag(0));
+    app.rank_mut(Rank(2)).recv(Rank(1), Tag(0));
+    app.rank_mut(Rank(2)).send(Rank(3), 100, Tag(0));
+    app.rank_mut(Rank(3)).recv(Rank(2), Tag(0));
+    app.rank_mut(Rank(3)).send(Rank(4), 100, Tag(0));
+    app.rank_mut(Rank(4)).recv(Rank(3), Tag(0));
+    app.rank_mut(Rank(4)).send(Rank(5), 100, Tag(0));
+    app.rank_mut(Rank(5)).recv(Rank(4), Tag(0));
+    (app, ClusterMap::new(vec![0, 0, 1, 1, 2, 2]))
+}
+
+#[test]
+fn phase_propagation_matches_figure_4_rules() {
+    let (app, clusters) = chain_app();
+    let sim = Sim::new(
+        app,
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(clusters)),
+    );
+    let (report, hydee) = sim.run_with_protocol();
+    assert!(report.completed());
+    // Phase rules: intra = max, inter = max + 1.
+    assert_eq!(hydee.state(Rank(0)).phase, 1, "sender never advances");
+    assert_eq!(hydee.state(Rank(1)).phase, 1, "intra keeps phase");
+    assert_eq!(hydee.state(Rank(2)).phase, 2, "first inter hop");
+    assert_eq!(hydee.state(Rank(3)).phase, 2, "intra forwards phase");
+    assert_eq!(hydee.state(Rank(4)).phase, 3, "second inter hop");
+    assert_eq!(hydee.state(Rank(5)).phase, 3, "intra forwards phase");
+}
+
+#[test]
+fn dates_count_send_and_recv_events() {
+    let (app, clusters) = chain_app();
+    let sim = Sim::new(
+        app,
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(clusters)),
+    );
+    let (report, hydee) = sim.run_with_protocol();
+    assert!(report.completed());
+    // P0: 1 send. P1..P4: 1 recv + 1 send. P5: 1 recv.
+    assert_eq!(hydee.state(Rank(0)).date, 1);
+    for r in 1..5u32 {
+        assert_eq!(hydee.state(Rank(r)).date, 2, "P{r}");
+    }
+    assert_eq!(hydee.state(Rank(5)).date, 1);
+}
+
+#[test]
+fn lemma1_phases_monotone_along_happened_before() {
+    // Along any causal chain the phase never decreases: the chain app's
+    // per-rank phases are non-decreasing in chain order.
+    let (app, clusters) = chain_app();
+    let sim = Sim::new(
+        app,
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(clusters)),
+    );
+    let (report, hydee) = sim.run_with_protocol();
+    assert!(report.completed());
+    let phases: Vec<u64> = (0..6u32).map(|r| hydee.state(Rank(r)).phase).collect();
+    assert!(
+        phases.windows(2).all(|w| w[0] <= w[1]),
+        "phases along the chain must be monotone: {phases:?}"
+    );
+}
+
+#[test]
+fn lemma2_only_inter_cluster_messages_logged() {
+    let (app, clusters) = chain_app();
+    let sim = Sim::new(
+        app,
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(clusters)),
+    );
+    let (report, hydee) = sim.run_with_protocol();
+    assert!(report.completed());
+    // Only m2 (1->2) and m4 (3->4) are logged.
+    assert_eq!(hydee.state(Rank(1)).log.messages(), 1);
+    assert_eq!(hydee.state(Rank(3)).log.messages(), 1);
+    for r in [0u32, 2, 4, 5] {
+        assert_eq!(hydee.state(Rank(r)).log.messages(), 0, "P{r}");
+    }
+    assert_eq!(report.metrics.logged_bytes_cumulative, 200);
+}
+
+#[test]
+fn lemma4_replayed_send_phases_are_identical() {
+    // Figure 4's core argument: after the failure, re-executed sends carry
+    // the same phase as in the original run. The trace oracle checks
+    // payload identity; here we check the protocol-level metadata by
+    // comparing RPP contents of a survivor across a failure.
+    let mut app = Application::new(4);
+    for round in 0..30 {
+        let tag = Tag(round % 2);
+        app.rank_mut(Rank(0)).send(Rank(1), 256, tag);
+        app.rank_mut(Rank(1)).recv(Rank(0), tag);
+        app.rank_mut(Rank(1)).send(Rank(2), 256, tag); // inter
+        app.rank_mut(Rank(2)).recv(Rank(1), tag);
+        app.rank_mut(Rank(2)).send(Rank(3), 256, tag);
+        app.rank_mut(Rank(3)).recv(Rank(2), tag);
+        app.rank_mut(Rank(3)).send(Rank(0), 256, tag); // inter
+        app.rank_mut(Rank(0)).recv(Rank(3), tag);
+    }
+    let clusters = ClusterMap::new(vec![0, 0, 1, 1]);
+    let golden = {
+        let sim = Sim::new(
+            app.clone(),
+            SimConfig::default(),
+            Hydee::new(HydeeConfig::new(clusters.clone())),
+        );
+        let (report, hydee) = sim.run_with_protocol();
+        assert!(report.completed());
+        // RPP of P2 for channel 1->2: dates -> phases of every received
+        // inter-cluster message.
+        (0..30u64)
+            .map(|i| hydee.state(Rank(2)).rpp.orphan_phases(Rank(1), i).len())
+            .collect::<Vec<_>>()
+    };
+    let recovered = {
+        let mut sim = Sim::new(
+            app,
+            SimConfig::default(),
+            Hydee::new(HydeeConfig::new(clusters)),
+        );
+        sim.inject_failure(SimTime::from_us(200), vec![Rank(2)]);
+        let (report, hydee) = sim.run_with_protocol();
+        assert!(report.completed(), "{:?}", report.status);
+        assert!(report.trace.is_consistent());
+        (0..30u64)
+            .map(|i| hydee.state(Rank(2)).rpp.orphan_phases(Rank(1), i).len())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        golden, recovered,
+        "per-date phase records must be execution-invariant (Lemma 4)"
+    );
+}
+
+#[test]
+fn orphan_ordering_like_figure_4() {
+    // Figure 4's failure scenario: cluster C1 = {2,3} fails; m3-analogue
+    // (1->2) becomes orphan; the messages causally after it (with higher
+    // phases) cannot be emitted before the orphan is re-covered. We assert
+    // the observable consequence: recovery completes with suppressed
+    // orphan re-emissions and an identical outcome.
+    let mut app = Application::new(6);
+    for round in 0..20 {
+        let tag = Tag(round % 2);
+        // 1 -> 2 (inter C0->C1), 2 -> 4 (inter C1->C2), 4 -> 1 (inter C2->C0)
+        app.rank_mut(Rank(1)).send(Rank(2), 512, tag);
+        app.rank_mut(Rank(2)).recv(Rank(1), tag);
+        app.rank_mut(Rank(2)).send(Rank(4), 512, tag);
+        app.rank_mut(Rank(4)).recv(Rank(2), tag);
+        app.rank_mut(Rank(4)).send(Rank(1), 512, tag);
+        app.rank_mut(Rank(1)).recv(Rank(4), tag);
+        // Intra chatter to give the clusters internal state.
+        app.rank_mut(Rank(0)).send(Rank(1), 64, tag);
+        app.rank_mut(Rank(1)).recv(Rank(0), tag);
+        app.rank_mut(Rank(2)).send(Rank(3), 64, tag);
+        app.rank_mut(Rank(3)).recv(Rank(2), tag);
+        app.rank_mut(Rank(4)).send(Rank(5), 64, tag);
+        app.rank_mut(Rank(5)).recv(Rank(4), tag);
+    }
+    let clusters = ClusterMap::new(vec![0, 0, 1, 1, 2, 2]);
+    let golden = Sim::new(
+        app.clone(),
+        SimConfig::default(),
+        Hydee::new(HydeeConfig::new(clusters.clone())),
+    )
+    .run();
+    let mut cfg = HydeeConfig::new(clusters);
+    cfg.restart_latency = SimDuration::from_us(50);
+    let mut sim = Sim::new(app, SimConfig::default(), Hydee::new(cfg));
+    sim.inject_failure(SimTime::from_us(150), vec![Rank(3)]);
+    let report = sim.run();
+    assert!(report.completed(), "{:?}", report.status);
+    assert!(report.trace.is_consistent(), "{:?}", report.trace.violations);
+    assert_eq!(report.digests, golden.digests);
+    assert_eq!(report.metrics.ranks_rolled_back, 2, "only C1 = {{2,3}}");
+    assert!(
+        report.metrics.suppressed_sends > 0,
+        "the orphan m3-analogues must be suppressed, not re-sent"
+    );
+    assert!(
+        report.metrics.replayed_messages > 0,
+        "logged messages into C1 must be replayed"
+    );
+}

@@ -1,0 +1,128 @@
+//! Where HydEE's assumption is load-bearing: non-send-deterministic
+//! applications.
+//!
+//! The paper (§II-B, citing the send-determinism study) notes that
+//! master/worker applications are the common pattern violating
+//! send-determinism. Under `DetMode::OrderSensitive` a rank's outgoing
+//! payloads depend on its delivery *order*, so a recovered execution may
+//! emit different messages than the original — exactly what HydEE's
+//! suppression (which silently assumes re-emissions are identical) cannot
+//! tolerate. The engine's trace oracle exists to catch this.
+
+use det_sim::{SimDuration, SimTime};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{ClusterMap, DetMode, Rank, Sim, SimConfig};
+use protocols::{CoordinatedConfig, GlobalCoordinated};
+use workloads::{master_worker, MasterWorkerConfig};
+
+fn mw_config() -> MasterWorkerConfig {
+    MasterWorkerConfig {
+        n_ranks: 8,
+        tasks_per_worker: 12,
+        task_bytes: 2 << 10,
+        result_bytes: 8 << 10,
+        work_base: SimDuration::from_us(80),
+    }
+}
+
+fn sim_config(mode: DetMode) -> SimConfig {
+    SimConfig {
+        det_mode: mode,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn order_sensitive_master_worker_trips_the_oracle_under_hydee() {
+    // Failure-free: fine even when order-sensitive (no re-execution, no
+    // re-emission to compare).
+    let clean = Sim::new(
+        master_worker(&mw_config()),
+        sim_config(DetMode::OrderSensitive),
+        Hydee::new(HydeeConfig::new(ClusterMap::blocks(8, 4))),
+    )
+    .run();
+    assert!(clean.completed());
+    assert!(clean.trace.is_consistent());
+
+    // With a failure, the master's re-executed sends depend on the replay
+    // delivery order. Either the oracle reports a send-determinism
+    // violation, or (if the replay order happened to match) the run is
+    // clean — but across victims at least one must trip.
+    let mut violations_seen = 0;
+    for victim in 0..8u32 {
+        let mut cfg = HydeeConfig::new(ClusterMap::blocks(8, 4));
+        cfg.restart_latency = SimDuration::from_us(20);
+        let mut sim = Sim::new(
+            master_worker(&mw_config()),
+            sim_config(DetMode::OrderSensitive),
+            Hydee::new(cfg),
+        );
+        sim.inject_failure(SimTime::from_us(700), vec![Rank(victim)]);
+        let report = sim.run();
+        // The protocol may still terminate (suppression hides the
+        // difference from receivers), but the oracle must flag any
+        // re-emission whose content differs.
+        if !report.trace.is_consistent() {
+            violations_seen += 1;
+        }
+    }
+    assert!(
+        violations_seen > 0,
+        "an order-sensitive app recovering under HydEE must eventually \
+         produce a detectable send-determinism violation"
+    );
+}
+
+#[test]
+fn send_deterministic_master_worker_is_safe_under_hydee() {
+    // The same wildcard-receiving pattern, but with payloads independent
+    // of delivery order (the send-deterministic-with-ANY_SOURCE case of
+    // §II-C): recovery is exact for every victim.
+    let golden = Sim::new(
+        master_worker(&mw_config()),
+        sim_config(DetMode::SendDeterministic),
+        Hydee::new(HydeeConfig::new(ClusterMap::blocks(8, 4))),
+    )
+    .run();
+    assert!(golden.completed());
+    for victim in 0..8u32 {
+        let mut cfg = HydeeConfig::new(ClusterMap::blocks(8, 4));
+        cfg.restart_latency = SimDuration::from_us(20);
+        let mut sim = Sim::new(
+            master_worker(&mw_config()),
+            sim_config(DetMode::SendDeterministic),
+            Hydee::new(cfg),
+        );
+        sim.inject_failure(SimTime::from_us(700), vec![Rank(victim)]);
+        let report = sim.run();
+        assert!(report.completed(), "victim {victim}: {:?}", report.status);
+        assert!(
+            report.trace.is_consistent(),
+            "victim {victim}: {:?}",
+            report.trace.violations
+        );
+        assert_eq!(report.digests, golden.digests, "victim {victim}");
+    }
+}
+
+#[test]
+fn coordinated_checkpointing_tolerates_order_sensitivity() {
+    // Global coordinated checkpointing assumes nothing about determinism:
+    // rolling everyone back to a consistent cut is correct even for an
+    // order-sensitive app (the re-execution is a different but valid run).
+    let cfg = CoordinatedConfig {
+        restart_latency: SimDuration::from_us(20),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(
+        master_worker(&mw_config()),
+        sim_config(DetMode::OrderSensitive),
+        GlobalCoordinated::new(cfg),
+    );
+    sim.inject_failure(SimTime::from_us(700), vec![Rank(3)]);
+    let report = sim.run();
+    assert!(report.completed(), "{:?}", report.status);
+    // All ranks rolled back: no containment, but no correctness caveat.
+    assert_eq!(report.metrics.ranks_rolled_back, 8);
+}
