@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use det_sim::{DetRng, Scheduler, SimDuration, SimTime};
 use hydee::{Hydee, HydeeConfig};
-use mps_sim::{
-    Application, ClusterMap, NullProtocol, Rank, Sim, SimConfig, Tag,
-};
+use mps_sim::{Application, ClusterMap, NullProtocol, Rank, Sim, SimConfig, Tag};
 use std::hint::black_box;
 
 fn bench_scheduler(c: &mut Criterion) {

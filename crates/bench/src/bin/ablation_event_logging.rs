@@ -10,15 +10,15 @@
 //! * full message logging plus determinants — classic pessimistic
 //!   logging.
 //!
+//! All 24 simulations (6 benches × 4 configurations) run as one parallel
+//! scenario batch.
+//!
 //! Run: `cargo run -p bench --release --bin ablation_event_logging`
 
-use bench::{reset_results, write_row, Table};
-use clustering::{partition, CommGraph, PartitionConfig};
-use hydee::{Hydee, HydeeConfig};
-use mps_sim::{ClusterMap, NullProtocol, Sim, SimConfig};
-use protocols::{DeterminantCost, EventLogged};
+use bench::{Artefact, Table};
+use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec};
 use serde::Serialize;
-use workloads::NasBench;
+use workloads::{NasBench, WorkloadSpec};
 
 const SCALE: f64 = 1.0 / 64.0;
 
@@ -32,9 +32,38 @@ struct Row {
 }
 
 fn main() {
-    reset_results("ablation_event_logging");
+    let mut artefact = Artefact::begin("ablation_event_logging");
     println!("X2: event-logging ablation — normalized time (native = 1.0)");
     println!();
+
+    // Per bench: native / HydEE / HydEE+determinants / full logging
+    // +determinants.
+    fn variants(bench: NasBench) -> [(ProtocolSpec, ClusterStrategy); 4] {
+        let table1 = ClusterStrategy::Partitioned(bench.paper_clusters());
+        [
+            (ProtocolSpec::Native, ClusterStrategy::Single),
+            (ProtocolSpec::hydee(), table1),
+            (ProtocolSpec::event_logged(), table1),
+            (ProtocolSpec::event_logged(), ClusterStrategy::PerRank),
+        ]
+    }
+    let per_bench = variants(NasBench::BT).len();
+    let specs: Vec<ScenarioSpec> = NasBench::all()
+        .into_iter()
+        .flat_map(|bench| {
+            let workload = WorkloadSpec::Nas {
+                bench,
+                scale: SCALE,
+                iterations: None,
+            };
+            variants(bench)
+                .map(|(protocol, clusters)| ScenarioSpec::new(workload.clone(), protocol, clusters))
+        })
+        .collect();
+    let records = Executor::new().run(&specs);
+    assert_eq!(records.len(), per_bench * NasBench::all().len());
+    artefact.record_runs(&records);
+
     let mut table = Table::new(&[
         "bench",
         "HydEE",
@@ -42,58 +71,18 @@ fn main() {
         "full logging + determinants",
         "determinant penalty",
     ]);
-    for bench in NasBench::all() {
-        let cfg = bench.paper_config(SCALE);
-        let build = || bench.build(&cfg);
-        let map = {
-            let graph = CommGraph::from_application(&build());
-            partition(
-                &graph,
-                &PartitionConfig::balanced(bench.paper_clusters(), cfg.n_ranks),
-            )
-        };
-        let native = Sim::new(build(), SimConfig::default(), NullProtocol).run();
-        let hydee = Sim::new(
-            build(),
-            SimConfig::default(),
-            Hydee::new(HydeeConfig::new(map.clone())),
-        )
-        .run();
-        let hybrid = Sim::new(
-            build(),
-            SimConfig::default(),
-            EventLogged::new(
-                Hydee::new(HydeeConfig::new(map)),
-                DeterminantCost::default(),
-            ),
-        )
-        .run();
-        let full = Sim::new(
-            build(),
-            SimConfig::default(),
-            EventLogged::new(
-                Hydee::new(HydeeConfig::new(ClusterMap::per_rank(cfg.n_ranks))),
-                DeterminantCost::default(),
-            ),
-        )
-        .run();
-        for (name, r) in [
-            ("native", &native),
-            ("hydee", &hydee),
-            ("hybrid", &hybrid),
-            ("full", &full),
-        ] {
-            assert!(r.completed(), "{} {name}: {:?}", bench.name(), r.status);
+    for (bench, chunk) in NasBench::all().into_iter().zip(records.chunks(per_bench)) {
+        let [native, hydee, hybrid, full] = [&chunk[0], &chunk[1], &chunk[2], &chunk[3]];
+        for r in [native, hydee, hybrid, full] {
+            assert!(r.completed, "{}: {}", r.scenario, r.status);
         }
-        let t0 = native.makespan.as_secs_f64();
+        let t0 = native.makespan_s;
         let row = Row {
             bench: bench.name(),
-            hydee_norm: hydee.makespan.as_secs_f64() / t0,
-            hybrid_event_logging_norm: hybrid.makespan.as_secs_f64() / t0,
-            full_logging_events_norm: full.makespan.as_secs_f64() / t0,
-            event_logging_penalty_pct: 100.0
-                * (hybrid.makespan.as_secs_f64() - hydee.makespan.as_secs_f64())
-                / t0,
+            hydee_norm: hydee.makespan_s / t0,
+            hybrid_event_logging_norm: hybrid.makespan_s / t0,
+            full_logging_events_norm: full.makespan_s / t0,
+            event_logging_penalty_pct: 100.0 * (hybrid.makespan_s - hydee.makespan_s) / t0,
         };
         table.row(&[
             bench.name().to_string(),
@@ -102,7 +91,7 @@ fn main() {
             format!("{:.4}", row.full_logging_events_norm),
             format!("{:+.2}%", row.event_logging_penalty_pct),
         ]);
-        write_row("ablation_event_logging", &row);
+        artefact.row(&row);
     }
     table.print();
     println!();

@@ -3,7 +3,8 @@
 //! Latency and bandwidth *reduction in percent* versus native MPICH2, for
 //! HydEE without logging (two ranks in the same cluster: piggyback only)
 //! and HydEE with logging (different clusters: piggyback + sender-based
-//! log copy), across the NetPIPE size ladder 1 B – 8 MB.
+//! log copy), across the NetPIPE size ladder 1 B – 8 MB. The whole ladder
+//! (3 protocol variants × ~70 sizes) runs as one parallel scenario batch.
 //!
 //! Expected shape (paper): small overhead only for small messages, with
 //! two peaks where the piggybacked bytes push a payload across an MX
@@ -12,11 +13,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig5_netpipe`
 
-use bench::{reset_results, write_row, Table};
-use hydee::{Hydee, HydeeConfig};
-use mps_sim::{ClusterMap, NullProtocol, Protocol, Sim, SimConfig};
+use bench::{Artefact, Table};
+use scenario::{ClusterStrategy, Executor, ProtocolSpec, RunRecord, ScenarioSpec};
 use serde::Serialize;
-use workloads::netpipe::{ping_pong, size_ladder};
+use workloads::{size_ladder, WorkloadSpec};
 
 const ROUNDS: usize = 20;
 
@@ -32,18 +32,43 @@ struct Row {
     log_bandwidth_reduction_pct: f64,
 }
 
-/// One-way latency in microseconds measured by a ping-pong run.
-fn latency_us<P: Protocol>(bytes: u64, protocol: P) -> f64 {
-    let app = ping_pong(ROUNDS, bytes);
-    let report = Sim::new(app, SimConfig::default(), protocol).run();
-    assert!(report.completed(), "ping-pong failed: {:?}", report.status);
-    report.makespan.as_us_f64() / (2.0 * ROUNDS as f64)
+/// One-way latency in microseconds from a ping-pong record.
+fn latency_us(rec: &RunRecord) -> f64 {
+    assert!(rec.completed, "{}: {}", rec.scenario, rec.status);
+    (rec.makespan_ps as f64 / 1e6) / (2.0 * ROUNDS as f64)
 }
 
 fn main() {
-    reset_results("fig5_netpipe");
+    let mut artefact = Artefact::begin("fig5_netpipe");
     println!("Figure 5: NetPIPE ping-pong over Myrinet 10G — % reduction vs native");
     println!();
+
+    // Per size: native / same-cluster HydEE (piggyback only) /
+    // cross-cluster HydEE (piggyback + logging), in that order.
+    let variants = [
+        (ProtocolSpec::Native, ClusterStrategy::Single),
+        (ProtocolSpec::hydee(), ClusterStrategy::Single),
+        (ProtocolSpec::hydee(), ClusterStrategy::PerRank),
+    ];
+    let sizes = size_ladder(8 << 20);
+    let specs: Vec<ScenarioSpec> = sizes
+        .iter()
+        .flat_map(|&bytes| {
+            variants.map(|(protocol, clusters)| {
+                ScenarioSpec::new(
+                    WorkloadSpec::NetPipe {
+                        rounds: ROUNDS,
+                        bytes,
+                    },
+                    protocol,
+                    clusters,
+                )
+            })
+        })
+        .collect();
+    let records = Executor::new().run(&specs);
+    artefact.record_runs(&records);
+
     let mut table = Table::new(&[
         "bytes",
         "native us",
@@ -54,18 +79,12 @@ fn main() {
         "bw red (nolog)",
         "bw red (log)",
     ]);
-    for bytes in size_ladder(8 << 20) {
-        let native = latency_us(bytes, NullProtocol);
-        // Same cluster: piggybacking, no logging.
-        let nolog = latency_us(
-            bytes,
-            Hydee::new(HydeeConfig::new(ClusterMap::single(2))),
-        );
-        // Different clusters: piggybacking + sender-based logging.
-        let log = latency_us(
-            bytes,
-            Hydee::new(HydeeConfig::new(ClusterMap::per_rank(2))),
-        );
+    for (&bytes, chunk) in sizes.iter().zip(records.chunks(variants.len())) {
+        let [native, nolog, log] = [
+            latency_us(&chunk[0]),
+            latency_us(&chunk[1]),
+            latency_us(&chunk[2]),
+        ];
         // Latency reduction is negative when HydEE is slower; Figure 5
         // plots it downward from 0.
         let lat_red = |h: f64| -100.0 * (h - native) / native;
@@ -92,7 +111,7 @@ fn main() {
             format!("{:.1}%", row.nolog_bandwidth_reduction_pct),
             format!("{:.1}%", row.log_bandwidth_reduction_pct),
         ]);
-        write_row("fig5_netpipe", &row);
+        artefact.row(&row);
     }
     table.print();
     println!();

@@ -8,17 +8,17 @@
 //!   every message piggybacked *and* logged),
 //! * HydEE with the Table-I clustering (partial logging).
 //!
+//! All 18 simulations run as one parallel scenario batch.
+//!
 //! Expected shape (paper): HydEE ≤ ~2 % over native everywhere and at or
 //! below full logging; LU (small messages) shows the largest overhead.
 //!
 //! Run: `cargo run -p bench --release --bin fig6_nas`
 
-use bench::{reset_results, write_row, Table};
-use clustering::{partition, CommGraph, PartitionConfig};
-use hydee::{Hydee, HydeeConfig};
-use mps_sim::{ClusterMap, NullProtocol, Sim, SimConfig};
+use bench::{Artefact, Table};
+use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec};
 use serde::Serialize;
-use workloads::NasBench;
+use workloads::{NasBench, WorkloadSpec};
 
 /// Simulation scale: shrinks class-D message sizes and compute by this
 /// factor; ratios (what Figure 6 reports) are scale-invariant because
@@ -35,33 +35,39 @@ struct Row {
     logged_pct_hydee: f64,
 }
 
-fn run_one(bench: NasBench, clusters: Option<ClusterMap>) -> mps_sim::RunReport {
-    let cfg = bench.paper_config(SCALE);
-    let app = bench.build(&cfg);
-    let report = match clusters {
-        None => Sim::new(app, SimConfig::default(), NullProtocol).run(),
-        Some(map) => Sim::new(
-            app,
-            SimConfig::default(),
-            Hydee::new(HydeeConfig::new(map)),
-        )
-        .run(),
-    };
-    assert!(
-        report.completed(),
-        "{} failed: {:?}",
-        bench.name(),
-        report.status
-    );
-    report
-}
-
 fn main() {
-    reset_results("fig6_nas");
-    println!(
-        "Figure 6: NAS failure-free performance, 256 ranks, scale={SCALE:.4} (normalized)"
-    );
+    let mut artefact = Artefact::begin("fig6_nas");
+    println!("Figure 6: NAS failure-free performance, 256 ranks, scale={SCALE:.4} (normalized)");
     println!();
+
+    // Per bench: native / full logging / HydEE with Table-I clustering.
+    fn variants(bench: NasBench) -> [(ProtocolSpec, ClusterStrategy); 3] {
+        [
+            (ProtocolSpec::Native, ClusterStrategy::Single),
+            (ProtocolSpec::hydee(), ClusterStrategy::PerRank),
+            (
+                ProtocolSpec::hydee(),
+                ClusterStrategy::Partitioned(bench.paper_clusters()),
+            ),
+        ]
+    }
+    let per_bench = variants(NasBench::BT).len();
+    let specs: Vec<ScenarioSpec> = NasBench::all()
+        .into_iter()
+        .flat_map(|bench| {
+            let workload = WorkloadSpec::Nas {
+                bench,
+                scale: SCALE,
+                iterations: None,
+            };
+            variants(bench)
+                .map(|(protocol, clusters)| ScenarioSpec::new(workload.clone(), protocol, clusters))
+        })
+        .collect();
+    let records = Executor::new().run(&specs);
+    assert_eq!(records.len(), per_bench * NasBench::all().len());
+    artefact.record_runs(&records);
+
     let mut table = Table::new(&[
         "bench",
         "native (s)",
@@ -70,22 +76,14 @@ fn main() {
         "HydEE overhead",
         "logged (HydEE)",
     ]);
-    for bench in NasBench::all() {
-        let native = run_one(bench, None);
-        let full = run_one(bench, Some(ClusterMap::per_rank(256)));
-        // Partition as in Table I.
-        let cfg = bench.paper_config(SCALE);
-        let app = bench.build(&cfg);
-        let graph = CommGraph::from_application(&app);
-        let map = partition(
-            &graph,
-            &PartitionConfig::balanced(bench.paper_clusters(), 256),
-        );
-        let hydee = run_one(bench, Some(map));
-
-        let t0 = native.makespan.as_secs_f64();
-        let full_norm = full.makespan.as_secs_f64() / t0;
-        let hydee_norm = hydee.makespan.as_secs_f64() / t0;
+    for (bench, chunk) in NasBench::all().into_iter().zip(records.chunks(per_bench)) {
+        let [native, full, hydee] = [&chunk[0], &chunk[1], &chunk[2]];
+        for r in [native, full, hydee] {
+            assert!(r.completed, "{} failed: {}", r.scenario, r.status);
+        }
+        let t0 = native.makespan_s;
+        let full_norm = full.makespan_s / t0;
+        let hydee_norm = hydee.makespan_s / t0;
         let logged_pct = 100.0 * hydee.metrics.logged_bytes_cumulative as f64
             / hydee.metrics.app_bytes.max(1) as f64;
         let row = Row {
@@ -104,7 +102,7 @@ fn main() {
             format!("{:+.2}%", row.hydee_overhead_pct),
             format!("{logged_pct:.1}%"),
         ]);
-        write_row("fig6_nas", &row);
+        artefact.row(&row);
     }
     table.print();
     println!();

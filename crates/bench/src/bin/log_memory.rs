@@ -4,16 +4,15 @@
 //! prunes a sender's log once the receiver's checkpoint covers it
 //! (acknowledgement on first post-checkpoint delivery). A long-running
 //! 2D stencil on 64 ranks (4 clusters) sweeps the checkpoint interval
-//! with GC on and off and reports peak and reclaimed log bytes.
+//! with GC on and off and reports peak and reclaimed log bytes. The seven
+//! configurations run as one parallel scenario batch.
 //!
 //! Run: `cargo run -p bench --release --bin log_memory`
 
-use bench::{reset_results, write_row, Table};
-use det_sim::SimDuration;
-use hydee::{Hydee, HydeeConfig};
-use mps_sim::{ClusterMap, Sim, SimConfig};
+use bench::{Artefact, Table};
+use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec, StorageSpec};
 use serde::Serialize;
-use workloads::{stencil_2d, StencilConfig};
+use workloads::WorkloadSpec;
 
 #[derive(Serialize)]
 struct Row {
@@ -27,9 +26,46 @@ struct Row {
 }
 
 fn main() {
-    reset_results("log_memory");
+    let mut artefact = Artefact::begin("log_memory");
     println!("X3: sender-log memory vs checkpoint interval — 2D stencil, 64 ranks, 4 clusters");
     println!();
+
+    let workload = WorkloadSpec::Stencil {
+        n_ranks: 64,
+        iterations: 400,
+        face_bytes: 256 << 10,
+        compute_us: 500,
+        wildcard_recv: false,
+    };
+    let mut points: Vec<(Option<u64>, bool)> = Vec::new();
+    for interval_ms in [None, Some(40u64), Some(100), Some(250)] {
+        for gc in [true, false] {
+            if interval_ms.is_none() && gc {
+                // Without checkpoints no ack is ever generated; skip the
+                // redundant configuration.
+                continue;
+            }
+            points.push((interval_ms, gc));
+        }
+    }
+    let specs: Vec<ScenarioSpec> = points
+        .iter()
+        .map(|&(interval_ms, gc)| {
+            ScenarioSpec::new(
+                workload.clone(),
+                ProtocolSpec::Hydee {
+                    checkpoint_interval_ms: interval_ms,
+                    image_bytes: 1 << 20,
+                    storage: StorageSpec::Default,
+                    gc,
+                },
+                ClusterStrategy::Blocks(4),
+            )
+        })
+        .collect();
+    let records = Executor::new().run(&specs);
+    artefact.record_runs(&records);
+
     let mut table = Table::new(&[
         "ckpt interval",
         "GC",
@@ -39,58 +75,30 @@ fn main() {
         "ckpts",
         "makespan (s)",
     ]);
-    let stencil_cfg = StencilConfig {
-        n_ranks: 64,
-        iterations: 400,
-        face_bytes: 256 << 10,
-        compute_per_iter: SimDuration::from_us(500),
-        wildcard_recv: false,
-    };
-    for interval_ms in [None, Some(40u64), Some(100), Some(250)] {
-        for gc in [true, false] {
-            if interval_ms.is_none() && gc {
-                // Without checkpoints no ack is ever generated; skip the
-                // redundant configuration.
-                continue;
-            }
-            let mut cfg = HydeeConfig::new(ClusterMap::blocks(64, 4))
-                .with_image_bytes(1 << 20);
-            if let Some(ms) = interval_ms {
-                cfg = cfg.with_checkpoints(SimDuration::from_ms(ms));
-            }
-            if !gc {
-                cfg = cfg.without_gc();
-            }
-            let report = Sim::new(
-                stencil_2d(&stencil_cfg),
-                SimConfig::default(),
-                Hydee::new(cfg),
-            )
-            .run();
-            assert!(report.completed(), "{:?}", report.status);
-            let m = &report.metrics;
-            let row = Row {
-                ckpt_interval_ms: interval_ms,
-                gc,
-                logged_cumulative_mb: m.logged_bytes_cumulative as f64 / 1e6,
-                logged_peak_mb: m.logged_bytes_peak as f64 / 1e6,
-                reclaimed_mb: m.gc_reclaimed_bytes as f64 / 1e6,
-                checkpoints: m.checkpoints,
-                makespan_s: report.makespan.as_secs_f64(),
-            };
-            table.row(&[
-                interval_ms
-                    .map(|ms| format!("{ms} ms"))
-                    .unwrap_or_else(|| "none".into()),
-                if gc { "on" } else { "off" }.to_string(),
-                format!("{:.1}", row.logged_cumulative_mb),
-                format!("{:.1}", row.logged_peak_mb),
-                format!("{:.1}", row.reclaimed_mb),
-                row.checkpoints.to_string(),
-                format!("{:.3}", row.makespan_s),
-            ]);
-            write_row("log_memory", &row);
-        }
+    for (&(interval_ms, gc), rec) in points.iter().zip(&records) {
+        assert!(rec.completed, "{}: {}", rec.scenario, rec.status);
+        let m = &rec.metrics;
+        let row = Row {
+            ckpt_interval_ms: interval_ms,
+            gc,
+            logged_cumulative_mb: m.logged_bytes_cumulative as f64 / 1e6,
+            logged_peak_mb: m.logged_bytes_peak as f64 / 1e6,
+            reclaimed_mb: m.gc_reclaimed_bytes as f64 / 1e6,
+            checkpoints: m.checkpoints,
+            makespan_s: rec.makespan_s,
+        };
+        table.row(&[
+            interval_ms
+                .map(|ms| format!("{ms} ms"))
+                .unwrap_or_else(|| "none".into()),
+            if gc { "on" } else { "off" }.to_string(),
+            format!("{:.1}", row.logged_cumulative_mb),
+            format!("{:.1}", row.logged_peak_mb),
+            format!("{:.1}", row.reclaimed_mb),
+            row.checkpoints.to_string(),
+            format!("{:.3}", row.makespan_s),
+        ]);
+        artefact.row(&row);
     }
     table.print();
     println!();

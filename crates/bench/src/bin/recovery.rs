@@ -9,22 +9,24 @@
 //! * full message logging + event logging — only the failed rank rolls
 //!   back, but failure-free execution pays determinant writes.
 //!
+//! Each protocol runs clean and with the failure (a two-schedule failure
+//! axis of the scenario matrix); all six simulations run in parallel.
 //! Reported: ranks rolled back, failure-free makespan, makespan with the
 //! failure, lost time, log memory.
 //!
 //! Run: `cargo run -p bench --release --bin recovery`
 
-use bench::{gb, reset_results, write_row, Table};
-use clustering::{partition, CommGraph, PartitionConfig};
-use det_sim::{SimDuration, SimTime};
-use hydee::{Hydee, HydeeConfig};
-use mps_sim::{ClusterMap, Rank, RunReport, Sim, SimConfig};
-use protocols::{CoordinatedConfig, DeterminantCost, EventLogged, GlobalCoordinated};
+use bench::{gb, Artefact, Table};
+use scenario::{ClusterStrategy, Executor, FailureSpec, Matrix, ProtocolSpec, StorageSpec};
 use serde::Serialize;
-use workloads::NasBench;
+use workloads::{NasBench, WorkloadSpec};
 
 const SCALE: f64 = 1.0 / 64.0;
 const N: usize = 256;
+/// Mid-way between two checkpoints so the rolled cluster both loses work
+/// and has emitted post-checkpoint inter-cluster messages (orphans).
+const FAILURE_MS: u64 = 195;
+const CKPT_MS: u64 = 100;
 
 #[derive(Serialize)]
 struct Row {
@@ -38,46 +40,73 @@ struct Row {
     logged_peak_gb: f64,
 }
 
-fn app() -> mps_sim::Application {
-    NasBench::CG.build(&NasBench::CG.paper_config(SCALE))
-}
-
-fn ckpt_interval() -> SimDuration {
-    SimDuration::from_ms(100)
-}
-
-/// Mid-way between two checkpoints so the rolled cluster both loses work
-/// and has emitted post-checkpoint inter-cluster messages (orphans).
-fn failure_time() -> SimTime {
-    SimTime::from_ms(195)
-}
-
-/// Parallel-filesystem aggregate write bandwidth: 50 GB/s. The default
-/// 1 GB/s exaggerates the coordinated-checkpoint I/O burst so much that
-/// checkpoint cost dwarfs the rollback effects this experiment isolates.
-fn storage() -> net_model::StableStorage {
-    net_model::StableStorage {
-        write_bytes_per_us: 50_000,
-        read_bytes_per_us: 100_000,
-        ..Default::default()
-    }
-}
-
-fn hydee_cfg(map: ClusterMap) -> HydeeConfig {
-    let mut cfg = HydeeConfig::new(map)
-        .with_checkpoints(ckpt_interval())
-        .with_image_bytes(1 << 20);
-    cfg.storage = storage();
-    cfg
-}
-
 fn main() {
-    reset_results("recovery");
-    println!("X1: containment & recovery — CG skeleton, 256 ranks, failure of rank 7 at 195 ms");
+    let mut artefact = Artefact::begin("recovery");
+    println!(
+        "X1: containment & recovery — CG skeleton, 256 ranks, failure of rank 7 at {FAILURE_MS} ms"
+    );
     println!();
 
-    let graph = CommGraph::from_application(&app());
-    let table1_map = partition(&graph, &PartitionConfig::balanced(16, N));
+    // ParallelFs storage: the default 1 GB/s exaggerates the coordinated-
+    // checkpoint I/O burst so much that checkpoint cost dwarfs the
+    // rollback effects this experiment isolates.
+    let storage = StorageSpec::ParallelFs;
+    let image_bytes = 1 << 20;
+    let configs: [(&'static str, ProtocolSpec, ClusterStrategy); 3] = [
+        (
+            "hydee (16 clusters)",
+            ProtocolSpec::Hydee {
+                checkpoint_interval_ms: Some(CKPT_MS),
+                image_bytes,
+                storage,
+                gc: true,
+            },
+            ClusterStrategy::Partitioned(16),
+        ),
+        (
+            "coordinated (global)",
+            ProtocolSpec::Coordinated {
+                checkpoint_interval_ms: Some(CKPT_MS),
+                image_bytes,
+                storage,
+            },
+            ClusterStrategy::Single,
+        ),
+        (
+            "full logging + events",
+            ProtocolSpec::EventLogged {
+                checkpoint_interval_ms: Some(CKPT_MS),
+                image_bytes,
+                storage,
+            },
+            ClusterStrategy::PerRank,
+        ),
+    ];
+
+    // Per protocol: clean then failed (the matrix's failure axis).
+    let workload = WorkloadSpec::Nas {
+        bench: NasBench::CG,
+        scale: SCALE,
+        iterations: None,
+    };
+    let specs: Vec<_> = configs
+        .iter()
+        .flat_map(|(_, protocol, clusters)| {
+            Matrix::new()
+                .workloads([workload.clone()])
+                .protocols([*protocol])
+                .clusters([*clusters])
+                .failure_schedules([vec![], vec![FailureSpec::at_ms(FAILURE_MS, vec![7])]])
+                .expand()
+        })
+        .collect();
+    let records = Executor::new().run(&specs);
+    assert_eq!(
+        records.len(),
+        configs.len() * 2,
+        "clean+failed per protocol"
+    );
+    artefact.record_runs(&records);
 
     let mut table = Table::new(&[
         "protocol",
@@ -89,82 +118,25 @@ fn main() {
         "suppressed",
         "log peak GB",
     ]);
-
-    type Runner = Box<dyn Fn(bool) -> RunReport>;
-    let configs: Vec<(&'static str, Runner)> = vec![
-        (
-            "hydee (16 clusters)",
-            Box::new({
-                let map = table1_map.clone();
-                move |fail: bool| {
-                    let mut sim = Sim::new(
-                        app(),
-                        SimConfig::default(),
-                        Hydee::new(hydee_cfg(map.clone())),
-                    );
-                    if fail {
-                        sim.inject_failure(failure_time(), vec![Rank(7)]);
-                    }
-                    sim.run()
-                }
-            }),
-        ),
-        (
-            "coordinated (global)",
-            Box::new(|fail: bool| {
-                let cfg = CoordinatedConfig {
-                    checkpoint_interval: Some(ckpt_interval()),
-                    image_bytes: 1 << 20,
-                    storage: storage(),
-                    ..Default::default()
-                };
-                let mut sim =
-                    Sim::new(app(), SimConfig::default(), GlobalCoordinated::new(cfg));
-                if fail {
-                    sim.inject_failure(failure_time(), vec![Rank(7)]);
-                }
-                sim.run()
-            }),
-        ),
-        (
-            "full logging + events",
-            Box::new(|fail: bool| {
-                let inner = Hydee::new(hydee_cfg(ClusterMap::per_rank(N)));
-                let mut sim = Sim::new(
-                    app(),
-                    SimConfig::default(),
-                    EventLogged::new(inner, DeterminantCost::default()),
-                );
-                if fail {
-                    sim.inject_failure(failure_time(), vec![Rank(7)]);
-                }
-                sim.run()
-            }),
-        ),
-    ];
-
-    for (name, runner) in &configs {
-        let clean = runner(false);
-        let failed = runner(true);
-        assert!(clean.completed(), "{name} clean: {:?}", clean.status);
-        assert!(failed.completed(), "{name} failed: {:?}", failed.status);
+    for ((name, _, _), chunk) in configs.iter().zip(records.chunks(2)) {
+        let [clean, failed] = [&chunk[0], &chunk[1]];
+        assert!(clean.completed, "{name} clean: {}", clean.status);
+        assert!(failed.completed, "{name} failed: {}", failed.status);
         assert!(
-            failed.trace.is_consistent(),
-            "{name}: oracle violations {:?}",
-            failed.trace.violations
+            failed.trace_consistent,
+            "{name}: {} oracle violations",
+            failed.trace_violations
         );
         assert_eq!(
-            clean.digests, failed.digests,
+            clean.digest, failed.digest,
             "{name}: recovered state diverged"
         );
-        let clean_s = clean.makespan.as_secs_f64();
-        let failed_s = failed.makespan.as_secs_f64();
         let row = Row {
             protocol: name,
             ranks_rolled_back: failed.metrics.ranks_rolled_back,
-            failure_free_s: clean_s,
-            with_failure_s: failed_s,
-            lost_s: failed_s - clean_s,
+            failure_free_s: clean.makespan_s,
+            with_failure_s: failed.makespan_s,
+            lost_s: failed.makespan_s - clean.makespan_s,
             replayed_mb: failed.metrics.replayed_bytes as f64 / 1e6,
             suppressed_sends: failed.metrics.suppressed_sends,
             logged_peak_gb: failed.metrics.logged_bytes_peak as f64 / 1e9,
@@ -172,14 +144,14 @@ fn main() {
         table.row(&[
             name.to_string(),
             format!("{}/{}", row.ranks_rolled_back, N),
-            format!("{clean_s:.3}"),
-            format!("{failed_s:.3}"),
+            format!("{:.3}", row.failure_free_s),
+            format!("{:.3}", row.with_failure_s),
             format!("{:.3}", row.lost_s),
             format!("{:.1}", row.replayed_mb),
             row.suppressed_sends.to_string(),
             gb(failed.metrics.logged_bytes_peak),
         ]);
-        write_row("recovery", &row);
+        artefact.row(&row);
     }
     table.print();
     println!();

@@ -1,0 +1,341 @@
+//! **sweep** — run any cross-product of the experiment matrix from the
+//! command line.
+//!
+//! ```text
+//! sweep --workloads nas:CG:scale=0.015625,netpipe:1024 \
+//!       --protocols native,hydee --clusters per-rank,part:16 \
+//!       --networks mx,tcp --ckpt-ms none,100 \
+//!       --fail none --fail 195:7 \
+//!       [--static] [--serial] [--image-bytes N] [--max-events N] \
+//!       [--out DIR] [--name NAME] [--list]
+//! ```
+//!
+//! Workload names follow the `workloads::registry` grammar (`--list`
+//! prints it with examples). Each `--fail` flag adds one failure
+//! *schedule* to the matrix axis: a comma-separated list of
+//! `<ms>:<rank>[+<rank>...]` injections, or `none` for the clean run.
+//! Results go to `<out>/<name>_records.{jsonl,csv}` plus a rendered table
+//! and per-(workload, protocol) summary on stdout.
+//!
+//! Run: `cargo run -p bench --release --bin sweep -- --help`
+
+use bench::Table;
+use scenario::{
+    ClusterStrategy, Executor, FailureSpec, Matrix, MatrixSummary, NetworkSpec, ProtocolSpec,
+    StorageSpec, DEFAULT_IMAGE_BYTES,
+};
+use workloads::WorkloadSpec;
+
+const USAGE: &str = "\
+sweep — declarative experiment sweeps over the HydEE reproduction
+
+USAGE:
+    sweep [OPTIONS]
+
+OPTIONS (comma-separate values; every combination runs):
+    --workloads <w,...>   workload registry names [default: netpipe:1024]
+    --protocols <p,...>   native | hydee | coordinated | event-logged
+                          [default: native,hydee]
+    --clusters <c,...>    single | per-rank | blocks:K | part:K
+                          [default: single]
+    --networks <n,...>    mx | tcp [default: mx]
+    --ckpt-ms <v,...>     none or an interval in ms; overrides protocols'
+                          checkpointing [default: leave as configured]
+    --fail <schedule>     add one failure schedule: none, or comma list of
+                          <ms>:<rank>[+<rank>...] (repeatable)
+    --image-bytes <n>     per-rank checkpoint image size [default: 1048576]
+    --static              static clustering analysis only (no simulation)
+    --serial              run on one core (reference mode)
+    --max-events <n>      engine event-limit override
+    --out <dir>           results directory [default: $HYDEE_RESULTS_DIR or ./results]
+    --name <name>         results file stem [default: sweep]
+    --list                print known workload families/examples and exit
+    -h, --help            this message
+
+EXAMPLE (Figure 6 in one line):
+    sweep --workloads nas:BT:scale=0.015625,nas:CG:scale=0.015625 \\
+          --protocols native,hydee --clusters per-rank,part:16";
+
+fn fail<T>(msg: &str) -> T {
+    eprintln!("sweep: {msg}");
+    eprintln!("run `sweep --help` for usage");
+    std::process::exit(2);
+}
+
+fn split_csv(v: &str) -> Vec<&str> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_protocol(name: &str, image_bytes: u64) -> ProtocolSpec {
+    let storage = StorageSpec::Default;
+    match name {
+        "native" => ProtocolSpec::Native,
+        "hydee" => ProtocolSpec::Hydee {
+            checkpoint_interval_ms: None,
+            image_bytes,
+            storage,
+            gc: true,
+        },
+        "coordinated" => ProtocolSpec::Coordinated {
+            checkpoint_interval_ms: None,
+            image_bytes,
+            storage,
+        },
+        "event-logged" => ProtocolSpec::EventLogged {
+            checkpoint_interval_ms: None,
+            image_bytes,
+            storage,
+        },
+        other => fail(&format!("unknown protocol `{other}`")),
+    }
+}
+
+fn parse_clusters(name: &str) -> ClusterStrategy {
+    match name {
+        "single" => ClusterStrategy::Single,
+        "per-rank" => ClusterStrategy::PerRank,
+        _ => {
+            if let Some(k) = name.strip_prefix("blocks:") {
+                ClusterStrategy::Blocks(
+                    k.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad blocks count `{k}`"))),
+                )
+            } else if let Some(k) = name.strip_prefix("part:") {
+                ClusterStrategy::Partitioned(
+                    k.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad partition count `{k}`"))),
+                )
+            } else {
+                fail(&format!("unknown cluster strategy `{name}`"))
+            }
+        }
+    }
+}
+
+fn parse_schedule(arg: &str) -> Vec<FailureSpec> {
+    if arg == "none" {
+        return Vec::new();
+    }
+    split_csv(arg)
+        .into_iter()
+        .map(|inj| {
+            let (ms, ranks) = inj.split_once(':').unwrap_or_else(|| {
+                fail(&format!(
+                    "bad failure injection `{inj}` (want <ms>:<ranks>)"
+                ))
+            });
+            let at_ms: u64 = ms
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad failure time `{ms}`")));
+            let ranks: Vec<u32> = ranks
+                .split('+')
+                .map(|r| {
+                    r.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad failure rank `{r}`")))
+                })
+                .collect();
+            FailureSpec::at_ms(at_ms, ranks)
+        })
+        .collect()
+}
+
+fn list_registry() {
+    println!(
+        "workload registry families: {}",
+        workloads::registry::FAMILIES.join(", ")
+    );
+    println!();
+    println!("examples:");
+    for example in [
+        "nas:CG",
+        "nas:LU:scale=0.015625:iters=10",
+        "netpipe:1024",
+        "netpipe:8388608:rounds=5",
+        "stencil:64x400:face=262144:compute_us=500",
+        "stencil:16x10:wildcard",
+        "master_worker:8:tasks=4",
+    ] {
+        let spec = WorkloadSpec::parse(example).expect("example parses");
+        println!("  {example:<45} -> {} ranks", spec.n_ranks());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workloads_arg = "netpipe:1024".to_string();
+    let mut protocols_arg = "native,hydee".to_string();
+    let mut clusters_arg = "single".to_string();
+    let mut networks_arg = "mx".to_string();
+    let mut ckpt_arg: Option<String> = None;
+    let mut schedules: Vec<Vec<FailureSpec>> = Vec::new();
+    let mut image_bytes = DEFAULT_IMAGE_BYTES;
+    let mut static_only = false;
+    let mut serial = false;
+    let mut max_events: Option<u64> = None;
+    let mut out_dir: Option<String> = None;
+    let mut name = "sweep".to_string();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--workloads" => workloads_arg = value("--workloads"),
+            "--protocols" => protocols_arg = value("--protocols"),
+            "--clusters" => clusters_arg = value("--clusters"),
+            "--networks" => networks_arg = value("--networks"),
+            "--ckpt-ms" => ckpt_arg = Some(value("--ckpt-ms")),
+            "--fail" => schedules.push(parse_schedule(&value("--fail"))),
+            "--image-bytes" => {
+                let v = value("--image-bytes");
+                image_bytes = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --image-bytes `{v}`")));
+            }
+            "--static" => static_only = true,
+            "--serial" => serial = true,
+            "--max-events" => {
+                let v = value("--max-events");
+                max_events = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad --max-events `{v}`"))),
+                );
+            }
+            "--out" => out_dir = Some(value("--out")),
+            "--name" => name = value("--name"),
+            "--list" => {
+                list_registry();
+                return;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut matrix = Matrix::new()
+        .workloads(
+            split_csv(&workloads_arg)
+                .into_iter()
+                .map(|w| WorkloadSpec::parse(w).unwrap_or_else(|e| fail(&e))),
+        )
+        .protocols(
+            split_csv(&protocols_arg)
+                .into_iter()
+                .map(|p| parse_protocol(p, image_bytes)),
+        )
+        .clusters(split_csv(&clusters_arg).into_iter().map(parse_clusters))
+        .networks(split_csv(&networks_arg).into_iter().map(|n| match n {
+            "mx" => NetworkSpec::Mx,
+            "tcp" => NetworkSpec::Tcp,
+            other => fail(&format!("unknown network `{other}`")),
+        }))
+        .failure_schedules(schedules);
+    if let Some(ckpt) = &ckpt_arg {
+        matrix = matrix.checkpoint_ms(split_csv(ckpt).into_iter().map(|c| {
+            match c {
+                "none" => None,
+                ms => Some(
+                    ms.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad --ckpt-ms `{ms}`"))),
+                ),
+            }
+        }));
+    }
+    if static_only {
+        matrix = matrix.static_analysis();
+    }
+    matrix.max_events = max_events;
+
+    let specs = matrix.expand();
+    if specs.is_empty() {
+        fail::<()>("matrix is empty (no workloads)");
+    }
+    println!(
+        "sweep: {} scenario(s) ({} mode)",
+        specs.len(),
+        if serial { "serial" } else { "parallel" }
+    );
+    let executor = if serial {
+        Executor::serial()
+    } else {
+        Executor::new()
+    };
+    let started = std::time::Instant::now();
+    let records = executor.run(&specs);
+    let wall = started.elapsed();
+
+    let dir = out_dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(scenario::default_results_dir);
+    let stem = format!("{name}_records");
+    let mut jsonl = scenario::JsonlSink::create(&dir, &stem)
+        .unwrap_or_else(|e| fail(&format!("create {stem}.jsonl: {e}")));
+    let mut csv = scenario::CsvSink::create(&dir, &stem)
+        .unwrap_or_else(|e| fail(&format!("create {stem}.csv: {e}")));
+    scenario::write_all(&records, &mut [&mut jsonl, &mut csv])
+        .unwrap_or_else(|e| fail(&format!("write records: {e}")));
+
+    let mut table = Table::new(&[
+        "scenario",
+        "ok",
+        "makespan (s)",
+        "logged %",
+        "ckpts",
+        "rolled back",
+        "events",
+    ]);
+    for r in &records {
+        let logged_pct = if r.metrics.app_bytes > 0 {
+            100.0 * r.metrics.logged_bytes_cumulative as f64 / r.metrics.app_bytes as f64
+        } else {
+            r.static_logged_pct
+        };
+        table.row(&[
+            r.scenario.clone(),
+            if !r.completed && r.status == "static" {
+                "-".into()
+            } else {
+                r.completed.to_string()
+            },
+            format!("{:.4}", r.makespan_s),
+            format!("{logged_pct:.1}%"),
+            r.metrics.checkpoints.to_string(),
+            r.metrics.ranks_rolled_back.to_string(),
+            r.metrics.events.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+    let summary = MatrixSummary::from_records(&records);
+    summary.table().print();
+    println!();
+    println!(
+        "{} run(s), {} completed, {:.2}s simulated in {:.2}s wall -> {}/{name}_records.jsonl",
+        summary.total_runs,
+        summary.total_completed,
+        summary.total_simulated_seconds,
+        wall.as_secs_f64(),
+        dir.display(),
+    );
+    let incomplete: Vec<&str> = records
+        .iter()
+        .filter(|r| !r.completed && r.status != "static")
+        .map(|r| r.scenario.as_str())
+        .collect();
+    if !incomplete.is_empty() {
+        eprintln!("sweep: {} scenario(s) did not complete:", incomplete.len());
+        for s in incomplete {
+            eprintln!("  {s}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -4,14 +4,15 @@
 //! application, extract its communication graph, partition it with the
 //! paper's cluster count, and report cluster count, expected rollback
 //! percentage for a single failure, and logged/total data — side by side
-//! with the paper's numbers.
+//! with the paper's numbers. Pure static analysis: the scenario specs run
+//! with `simulate: false`, and the six partitionings run in parallel.
 //!
 //! Run: `cargo run -p bench --release --bin table1`
 
-use bench::{gb, pct, reset_results, write_row, Table};
-use clustering::{partition, ClusteringStats, CommGraph, PartitionConfig};
+use bench::{gb, pct, Artefact, Table};
+use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec};
 use serde::Serialize;
-use workloads::NasBench;
+use workloads::{NasBench, WorkloadSpec};
 
 #[derive(Serialize)]
 struct Row {
@@ -28,9 +29,29 @@ struct Row {
 }
 
 fn main() {
-    reset_results("table1");
+    let mut artefact = Artefact::begin("table1");
     println!("Table I: application clustering on 256 processes (class-D volumes)");
     println!();
+    // Static analysis at full class-D volume: no simulation needed.
+    let specs: Vec<ScenarioSpec> = NasBench::all()
+        .into_iter()
+        .map(|nas_bench| {
+            let mut spec = ScenarioSpec::new(
+                WorkloadSpec::Nas {
+                    bench: nas_bench,
+                    scale: 1.0,
+                    iterations: None,
+                },
+                ProtocolSpec::hydee(),
+                ClusterStrategy::Partitioned(nas_bench.paper_clusters()),
+            );
+            spec.simulate = false;
+            spec
+        })
+        .collect();
+    let records = Executor::new().run(&specs);
+    artefact.record_runs(&records);
+
     let mut table = Table::new(&[
         "bench",
         "clusters",
@@ -41,39 +62,33 @@ fn main() {
         "paper logged%",
         "paper total GB",
     ]);
-    for nas_bench in NasBench::all() {
-        // Static analysis at full class-D volume: no simulation needed.
-        let cfg = nas_bench.paper_config(1.0);
-        let app = nas_bench.build(&cfg);
-        let graph = CommGraph::from_application(&app);
-        let k = nas_bench.paper_clusters();
-        let map = partition(&graph, &PartitionConfig::balanced(k, cfg.n_ranks));
-        let stats = ClusteringStats::evaluate(&app, &map);
+    for (nas_bench, rec) in NasBench::all().into_iter().zip(&records) {
         table.row(&[
             nas_bench.name().to_string(),
-            stats.n_clusters.to_string(),
-            pct(stats.avg_rollback_pct),
-            format!("{}/{}", gb(stats.logged_bytes), gb(stats.total_bytes)),
-            pct(stats.logged_pct()),
+            rec.n_clusters.to_string(),
+            pct(rec.avg_rollback_pct),
+            format!(
+                "{}/{}",
+                gb(rec.static_logged_bytes),
+                gb(rec.static_total_bytes)
+            ),
+            pct(rec.static_logged_pct),
             pct(nas_bench.paper_rollback_pct()),
             pct(nas_bench.paper_logged_pct()),
             format!("{:.0}", nas_bench.paper_total_gb()),
         ]);
-        write_row(
-            "table1",
-            &Row {
-                bench: nas_bench.name(),
-                n_clusters: stats.n_clusters,
-                rollback_pct: stats.avg_rollback_pct,
-                logged_gb: stats.logged_bytes as f64 / 1e9,
-                total_gb: stats.total_bytes as f64 / 1e9,
-                logged_pct: stats.logged_pct(),
-                paper_clusters: nas_bench.paper_clusters(),
-                paper_rollback_pct: nas_bench.paper_rollback_pct(),
-                paper_logged_pct: nas_bench.paper_logged_pct(),
-                paper_total_gb: nas_bench.paper_total_gb(),
-            },
-        );
+        artefact.row(&Row {
+            bench: nas_bench.name(),
+            n_clusters: rec.n_clusters,
+            rollback_pct: rec.avg_rollback_pct,
+            logged_gb: rec.static_logged_bytes as f64 / 1e9,
+            total_gb: rec.static_total_bytes as f64 / 1e9,
+            logged_pct: rec.static_logged_pct,
+            paper_clusters: nas_bench.paper_clusters(),
+            paper_rollback_pct: nas_bench.paper_rollback_pct(),
+            paper_logged_pct: nas_bench.paper_logged_pct(),
+            paper_total_gb: nas_bench.paper_total_gb(),
+        });
     }
     table.print();
     println!();

@@ -1,6 +1,7 @@
 //! # bench — experiment harnesses for the HydEE reproduction
 //!
-//! One binary per paper artefact (see `DESIGN.md` §4):
+//! One binary per paper artefact (see `DESIGN.md` §4), plus the
+//! free-form `sweep` driver:
 //!
 //! | binary | artefact |
 //! |---|---|
@@ -10,81 +11,69 @@
 //! | `recovery` | X1 — containment & recovery cost vs baselines |
 //! | `ablation_event_logging` | X2 — what determinant logging would cost |
 //! | `log_memory` | X3 — log growth & garbage collection |
+//! | `sweep` | any cross-product of workload × protocol × clustering × network × failures |
 //!
-//! Each binary prints a human-readable table and appends a JSON line per
-//! row to `results/<name>.jsonl` for `EXPERIMENTS.md`.
+//! Every binary expresses its experiment as [`scenario::ScenarioSpec`]s
+//! and runs them through the parallel [`scenario::Executor`]. Each run
+//! writes, under the results directory (`$HYDEE_RESULTS_DIR` or
+//! `./results`, resolved once at startup):
+//!
+//! * `<name>_records.jsonl` / `<name>_records.csv` — the raw typed
+//!   [`scenario::RunRecord`]s of every simulation;
+//! * `<name>.jsonl` — the artefact's derived rows (the numbers the
+//!   paper's table/figure reports), one JSON object per line for
+//!   `EXPERIMENTS.md`.
 
+use scenario::{write_all, CsvSink, JsonlSink, RunRecord, Sink};
 use serde::Serialize;
-use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Where JSON result rows are appended.
-pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("HYDEE_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"));
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    dir
+pub use scenario::Table;
+
+/// Results bookkeeping for one artefact run: owns the output directory
+/// (threaded explicitly — nothing here mutates process environment) and
+/// the derived-row sink.
+pub struct Artefact {
+    dir: PathBuf,
+    name: &'static str,
+    rows: JsonlSink,
 }
 
-/// Append one serialisable row to `results/<file>.jsonl`.
-pub fn write_row<T: Serialize>(file: &str, row: &T) {
-    let path = results_dir().join(format!("{file}.jsonl"));
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .expect("open results file");
-    let line = serde_json::to_string(row).expect("serialise row");
-    writeln!(f, "{line}").expect("write row");
-}
-
-/// Truncate a results file at the start of a run so reruns stay clean.
-pub fn reset_results(file: &str) {
-    let path = results_dir().join(format!("{file}.jsonl"));
-    let _ = std::fs::remove_file(path);
-}
-
-/// Simple fixed-width table printer.
-pub struct Table {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    pub fn new(headers: &[&str]) -> Self {
-        Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
+impl Artefact {
+    /// Start an artefact run writing into `dir` (truncates old outputs).
+    pub fn begin_in(dir: &Path, name: &'static str) -> Artefact {
+        let rows = JsonlSink::create(dir, name).expect("create results file");
+        Artefact {
+            dir: dir.to_path_buf(),
+            name,
+            rows,
         }
     }
 
-    pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.headers.len());
-        self.rows.push(cells.to_vec());
+    /// Start an artefact run in the default results directory
+    /// (`$HYDEE_RESULTS_DIR` or `./results`).
+    pub fn begin(name: &'static str) -> Artefact {
+        Self::begin_in(&scenario::default_results_dir(), name)
     }
 
-    pub fn print(&self) {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let line = |cells: &[String]| {
-            let joined: Vec<String> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
-                .collect();
-            println!("| {} |", joined.join(" | "));
-        };
-        line(&self.headers);
-        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-        println!("|-{}-|", sep.join("-|-"));
-        for row in &self.rows {
-            line(row);
-        }
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Write the raw records to `<name>_records.{jsonl,csv}`.
+    pub fn record_runs(&self, records: &[RunRecord]) {
+        let stem = format!("{}_records", self.name);
+        let mut jsonl = JsonlSink::create(&self.dir, &stem).expect("create records jsonl");
+        let mut csv = CsvSink::create(&self.dir, &stem).expect("create records csv");
+        write_all(records, &mut [&mut jsonl, &mut csv]).expect("write records");
+    }
+
+    /// Append one derived artefact row to `<name>.jsonl`. Flushed
+    /// immediately so an I/O failure aborts the run instead of being
+    /// swallowed by a buffered drop.
+    pub fn row<T: Serialize>(&mut self, row: &T) {
+        self.rows.write_row(row).expect("write artefact row");
+        self.rows.finish().expect("flush artefact row");
     }
 }
 
@@ -103,35 +92,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_prints_without_panicking() {
-        let mut t = Table::new(&["a", "bbbb"]);
-        t.row(&["1".into(), "2".into()]);
-        t.row(&["333".into(), "4".into()]);
-        t.print();
-    }
-
-    #[test]
     fn formatting_helpers() {
         assert_eq!(gb(2_500_000_000), "2.50");
         assert_eq!(pct(18.094), "18.09%");
     }
 
+    /// The results directory is an explicit value, not ambient state: two
+    /// artefacts in different directories never interfere, so this test
+    /// is safe under the parallel test runner (the old env-var plumbing
+    /// raced `std::env::set_var` against sibling tests).
     #[test]
-    fn write_and_reset_results() {
-        std::env::set_var(
-            "HYDEE_RESULTS_DIR",
-            std::env::temp_dir().join("hydee-test-results"),
-        );
-        reset_results("unittest");
+    fn artefact_rows_and_reset() {
         #[derive(Serialize)]
         struct R {
             x: u32,
         }
-        write_row("unittest", &R { x: 1 });
-        write_row("unittest", &R { x: 2 });
-        let content = std::fs::read_to_string(results_dir().join("unittest.jsonl")).unwrap();
+        let dir = std::env::temp_dir().join(format!("hydee-bench-{}", std::process::id()));
+        {
+            let mut a = Artefact::begin_in(&dir, "unittest");
+            a.row(&R { x: 1 });
+            a.row(&R { x: 2 });
+        }
+        let content = std::fs::read_to_string(dir.join("unittest.jsonl")).unwrap();
         assert_eq!(content.lines().count(), 2);
-        reset_results("unittest");
-        assert!(!results_dir().join("unittest.jsonl").exists());
+        assert_eq!(content.lines().next().unwrap(), "{\"x\":1}");
+        {
+            // Restarting the artefact truncates: reruns stay clean.
+            let _ = Artefact::begin_in(&dir, "unittest");
+        }
+        let content = std::fs::read_to_string(dir.join("unittest.jsonl")).unwrap();
+        assert!(content.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -22,7 +22,10 @@ pub struct CommGraph {
 
 impl CommGraph {
     pub fn new(n: usize) -> Self {
-        CommGraph { n, w: vec![0; n * n] }
+        CommGraph {
+            n,
+            w: vec![0; n * n],
+        }
     }
 
     pub fn n_ranks(&self) -> usize {

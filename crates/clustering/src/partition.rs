@@ -96,9 +96,8 @@ fn greedy_agglomerate(graph: &CommGraph, k: usize, max_size: usize) -> Vec<u32> 
                 }
                 let weight = w[a * n + b];
                 let cand = (weight, usize::MAX - (size[a] + size[b]), usize::MAX - a);
-                let cur = best.map(|(bw, a0, b0)| {
-                    (bw, usize::MAX - (size[a0] + size[b0]), usize::MAX - a0)
-                });
+                let cur = best
+                    .map(|(bw, a0, b0)| (bw, usize::MAX - (size[a0] + size[b0]), usize::MAX - a0));
                 if cur.is_none() || cand > cur.unwrap() {
                     best = Some((weight, a, b));
                 }

@@ -164,11 +164,7 @@ impl<E> Scheduler<E> {
     /// Drop fully-consumed slots from the front to bound memory. Amortised
     /// O(1): only runs when at least half the slot arena is dead prefix.
     fn compact(&mut self) {
-        let dead_prefix = self
-            .slots
-            .iter()
-            .take_while(|s| s.event.is_none())
-            .count();
+        let dead_prefix = self.slots.iter().take_while(|s| s.event.is_none()).count();
         if dead_prefix >= 1024 && dead_prefix * 2 >= self.slots.len() {
             self.slots.drain(..dead_prefix);
             self.base_seq += dead_prefix as u64;

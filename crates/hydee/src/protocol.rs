@@ -94,11 +94,7 @@ impl Hydee {
             // GC epoch bookkeeping: remember what this checkpoint covers
             // and arm the acknowledgement-on-first-delivery markers.
             st.ckpt_date = st.date;
-            st.ckpt_maxdates = st
-                .rpp
-                .sources()
-                .map(|s| (s, st.rpp.maxdate(s)))
-                .collect();
+            st.ckpt_maxdates = st.rpp.sources().map(|s| (s, st.rpp.maxdate(s))).collect();
             st.ack_pending = st
                 .rpp
                 .sources()
@@ -358,7 +354,9 @@ impl Protocol for Hydee {
         if inter {
             // Algorithm 1 lines 11-14.
             self.states[me].phase = self.states[me].phase.max(msg.meta.phase + 1);
-            self.states[me].rpp.record(msg.src, msg.meta.date, msg.meta.phase);
+            self.states[me]
+                .rpp
+                .record(msg.src, msg.meta.date, msg.meta.phase);
             // GC §III-E: acknowledge the first delivery from each external
             // peer after a checkpoint with what that checkpoint covers.
             if self.cfg.gc && self.states[me].ack_pending.remove(&msg.src) {
@@ -368,12 +366,7 @@ impl Protocol for Hydee {
                     my_ckpt_date: st.ckpt_date,
                 };
                 let bytes = ack.wire_bytes();
-                ctx.send_ctl(
-                    Endpoint::Rank(msg.dst),
-                    Endpoint::Rank(msg.src),
-                    bytes,
-                    ack,
-                );
+                ctx.send_ctl(Endpoint::Rank(msg.dst), Endpoint::Rank(msg.src), bytes, ack);
             }
         } else {
             // Algorithm 1 line 16.
@@ -458,10 +451,8 @@ impl Protocol for Hydee {
                 // Replay all selected log entries with phase <= notified
                 // phase, in date order (Algorithm 3, lines 22-24).
                 let st = &mut self.states[me.idx()];
-                let (replay, keep): (Vec<LogEntry>, Vec<LogEntry>) = st
-                    .resent_logs
-                    .drain(..)
-                    .partition(|e| e.phase <= phase);
+                let (replay, keep): (Vec<LogEntry>, Vec<LogEntry>) =
+                    st.resent_logs.drain(..).partition(|e| e.phase <= phase);
                 st.resent_logs = keep;
                 for e in replay {
                     let m = e.to_message(me);
@@ -523,8 +514,7 @@ impl Protocol for Hydee {
         self.recovering = true;
         self.recovery_started = ctx.now();
 
-        let rolled_clusters: BTreeSet<u32> =
-            failed.iter().map(|&r| self.cluster_of(r)).collect();
+        let rolled_clusters: BTreeSet<u32> = failed.iter().map(|&r| self.cluster_of(r)).collect();
         let rolled: Vec<Rank> = rolled_clusters
             .iter()
             .flat_map(|&c| self.cfg.clusters.members(c).iter().copied())
@@ -573,12 +563,7 @@ impl Protocol for Hydee {
                 st.role = RecoveryRole::Rolled;
                 st.suppressing = true;
                 st.notify_recv = false;
-                st.waiting_lastdate = self
-                    .cfg
-                    .clusters
-                    .non_members(c)
-                    .into_iter()
-                    .collect();
+                st.waiting_lastdate = self.cfg.clusters.non_members(c).into_iter().collect();
                 st.waiting_rollback = rolled_set
                     .iter()
                     .copied()
@@ -659,8 +644,12 @@ mod tests {
         let mut sim = Sim::new(app, SimConfig::default(), hydee);
         let _ = &mut sim; // run consumes
         let (app2, clusters2) = two_cluster_app(3);
-        let report_protocol =
-            Sim::new(app2, SimConfig::default(), Hydee::new(HydeeConfig::new(clusters2))).run();
+        let report_protocol = Sim::new(
+            app2,
+            SimConfig::default(),
+            Hydee::new(HydeeConfig::new(clusters2)),
+        )
+        .run();
         assert!(report_protocol.completed());
     }
 
@@ -714,7 +703,10 @@ mod tests {
             report.trace.violations
         );
         assert_eq!(report.digests, golden.digests, "recovered state differs");
-        assert_eq!(report.metrics.ranks_rolled_back, 2, "containment: only cluster {{2,3}}");
+        assert_eq!(
+            report.metrics.ranks_rolled_back, 2,
+            "containment: only cluster {{2,3}}"
+        );
         assert_eq!(report.metrics.failures, 1);
     }
 

@@ -102,7 +102,10 @@ impl RecoveryProcess {
             .orphans
             .get_mut(&phase)
             .unwrap_or_else(|| panic!("orphan notification for unreported phase {phase}"));
-        assert!(*c > 0, "more orphan notifications than orphans in phase {phase}");
+        assert!(
+            *c > 0,
+            "more orphan notifications than orphans in phase {phase}"
+        );
         *c -= 1;
         if *c == 0 {
             self.sweep_if_ready()
@@ -121,11 +124,7 @@ impl RecoveryProcess {
     /// `NotifyPhase` (Algorithm 4, lines 16–24): release every phase not
     /// blocked by a strictly lower phase with outstanding orphans.
     fn sweep(&mut self) -> Vec<RpNotice> {
-        let min_blocked = self
-            .orphans
-            .iter()
-            .find(|(_, &c)| c > 0)
-            .map(|(&p, _)| p);
+        let min_blocked = self.orphans.iter().find(|(_, &c)| c > 0).map(|(&p, _)| p);
         let releasable = |phase: u64| match min_blocked {
             None => true,
             Some(b) => phase <= b,

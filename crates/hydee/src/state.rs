@@ -150,4 +150,3 @@ mod tests {
         assert!(st.past_all_orphans());
     }
 }
-

@@ -60,10 +60,7 @@ impl AppState {
     /// any execution, whatever the interleaving. In order-sensitive mode
     /// the current state digest (which encodes delivery order) is mixed in.
     pub fn payload_for_send(&self, src: Rank, dst: Rank, channel_seq: u64) -> u64 {
-        let base = mix2(
-            mix2(src.0 as u64 + 1, dst.0 as u64 + 1),
-            channel_seq,
-        );
+        let base = mix2(mix2(src.0 as u64 + 1, dst.0 as u64 + 1), channel_seq);
         match self.mode {
             DetMode::SendDeterministic => base,
             DetMode::OrderSensitive => mix2(base, self.digest),

@@ -159,8 +159,14 @@ pub(crate) enum Event {
 }
 
 enum FlightKind<C> {
-    App { msg: Message, recv_cost: SimDuration },
-    Ctl { from: Endpoint, ctl: C },
+    App {
+        msg: Message,
+        recv_cost: SimDuration,
+    },
+    Ctl {
+        from: Endpoint,
+        ctl: C,
+    },
 }
 
 struct Flight<C> {
@@ -231,16 +237,19 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
 
     /// FIFO-adjust an arrival on `(from, to)` and record it.
     fn fifo_adjust(&mut self, from: Endpoint, to: Endpoint, computed: SimTime) -> SimTime {
-        let last = self
-            .fifo_last
-            .entry((from, to))
-            .or_insert(SimTime::ZERO);
+        let last = self.fifo_last.entry((from, to)).or_insert(SimTime::ZERO);
         let at = computed.max(*last + SimDuration::from_ps(1));
         *last = at;
         at
     }
 
-    fn schedule_flight(&mut self, from: Endpoint, to: Endpoint, computed: SimTime, kind: FlightKind<C>) {
+    fn schedule_flight(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        computed: SimTime,
+        kind: FlightKind<C>,
+    ) {
         let at = self.fifo_adjust(from, to, computed);
         let at = at.max(self.sched.now());
         let flight = self.next_flight;
@@ -401,9 +410,7 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
             rs.status = Status::Runnable;
             let at = rs.clock.max(now);
             let epoch = rs.epoch;
-            self.core
-                .sched
-                .schedule(at, Event::Exec { rank, epoch });
+            self.core.sched.schedule(at, Event::Exec { rank, epoch });
         }
     }
 
@@ -442,9 +449,7 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
         rs.status = Status::Runnable;
         rs.gated = gated;
         let epoch = rs.epoch;
-        self.core
-            .sched
-            .schedule(now, Event::Exec { rank, epoch });
+        self.core.sched.schedule(now, Event::Exec { rank, epoch });
     }
 
     /// Capture in-flight messages whose source *and* destination are both
@@ -570,9 +575,7 @@ impl<P: Protocol> Sim<P> {
                         // The rank was charged extra time since this event
                         // was scheduled; run it when its clock is reached.
                         let at = rs.clock;
-                        self.core
-                            .sched
-                            .schedule(at, Event::Exec { rank, epoch });
+                        self.core.sched.schedule(at, Event::Exec { rank, epoch });
                         continue;
                     }
                     self.step(rank);
@@ -746,9 +749,7 @@ impl<P: Protocol> Sim<P> {
                     rs.pc = pc + 1;
                     let at = rs.clock;
                     let epoch = rs.epoch;
-                    self.core
-                        .sched
-                        .schedule(at, Event::Exec { rank, epoch });
+                    self.core.sched.schedule(at, Event::Exec { rank, epoch });
                     return;
                 }
                 Op::Send { dst, bytes, tag } => {
@@ -762,10 +763,9 @@ impl<P: Protocol> Sim<P> {
                         .copied()
                         .unwrap_or(0)
                         + 1;
-                    let payload =
-                        self.core.ranks[rank.idx()]
-                            .app
-                            .payload_for_send(rank, dst, seq);
+                    let payload = self.core.ranks[rank.idx()]
+                        .app
+                        .payload_for_send(rank, dst, seq);
                     let info = SendInfo {
                         src: rank,
                         dst,
@@ -967,13 +967,11 @@ mod tests {
         let build = |stagger: bool| {
             let mut app = Application::new(3);
             if stagger {
-                app.rank_mut(Rank(0))
-                    .compute(SimDuration::from_us(50));
+                app.rank_mut(Rank(0)).compute(SimDuration::from_us(50));
             }
             app.rank_mut(Rank(0)).send(Rank(2), 64, Tag(1));
             if !stagger {
-                app.rank_mut(Rank(1))
-                    .compute(SimDuration::from_us(50));
+                app.rank_mut(Rank(1)).compute(SimDuration::from_us(50));
             }
             app.rank_mut(Rank(1)).send(Rank(2), 64, Tag(1));
             app.rank_mut(Rank(2)).recv_any(Tag(1)).recv_any(Tag(1));

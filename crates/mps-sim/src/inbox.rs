@@ -141,8 +141,14 @@ mod tests {
         let mut ib = Inbox::new();
         ib.push2(msg(1, 0, 1), 10);
         ib.push2(msg(1, 0, 2), 20);
-        assert_eq!(ib.take_specific(Rank(1), Tag(0)).unwrap().msg.channel_seq, 1);
-        assert_eq!(ib.take_specific(Rank(1), Tag(0)).unwrap().msg.channel_seq, 2);
+        assert_eq!(
+            ib.take_specific(Rank(1), Tag(0)).unwrap().msg.channel_seq,
+            1
+        );
+        assert_eq!(
+            ib.take_specific(Rank(1), Tag(0)).unwrap().msg.channel_seq,
+            2
+        );
         assert!(ib.take_specific(Rank(1), Tag(0)).is_none());
     }
 

@@ -57,9 +57,7 @@ pub mod prelude {
     pub use crate::cluster::ClusterMap;
     pub use crate::engine::{Ctx, RunReport, RunStatus, Sim, SimConfig};
     pub use crate::program::{Application, Op, Program};
-    pub use crate::protocol::{
-        NullProtocol, Protocol, SendAction, SendDirective, SendInfo,
-    };
+    pub use crate::protocol::{NullProtocol, Protocol, SendAction, SendDirective, SendInfo};
     pub use crate::types::{ChannelId, Endpoint, Message, PbMeta, Rank, Tag};
     pub use det_sim::{SimDuration, SimTime};
 }

@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A process (MPI rank) in the simulated application.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Rank(pub u32);
 
 impl Rank {
@@ -32,9 +30,7 @@ pub struct Tag(pub u32);
 
 /// A communication endpoint: an application rank or an auxiliary protocol
 /// entity (e.g. HydEE's recovery process).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Endpoint {
     Rank(Rank),
     /// Auxiliary protocol entity; id space is protocol-defined.
@@ -57,9 +53,7 @@ impl fmt::Display for Endpoint {
 }
 
 /// A directed application channel.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChannelId {
     pub src: Rank,
     pub dst: Rank,
@@ -69,9 +63,7 @@ pub struct ChannelId {
 ///
 /// HydEE stamps every message with the sender's `(date, phase)`
 /// (Algorithm 1, line 9). Baseline protocols may leave this at default.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
 pub struct PbMeta {
     /// Sender's event date at the send (per-process event counter).
     pub date: u64,

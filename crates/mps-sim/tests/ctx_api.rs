@@ -4,8 +4,8 @@
 
 use det_sim::{SimDuration, SimTime};
 use mps_sim::{
-    Application, Ctx, Endpoint, Message, Protocol, Rank, RankSnapshot, RunStatus,
-    Sim, SimConfig, Tag,
+    Application, Ctx, Endpoint, Message, Protocol, Rank, RankSnapshot, RunStatus, Sim, SimConfig,
+    Tag,
 };
 
 /// A scriptable protocol driven by timers, used to poke the Ctx API.
@@ -211,7 +211,11 @@ fn capture_restore_replays_the_program() {
     let (report, _) = sim.run_with_protocol();
     // The rewind re-emits early sends; each re-emission must match its
     // original (send-determinism oracle).
-    assert!(report.trace.is_consistent(), "{:?}", report.trace.violations);
+    assert!(
+        report.trace.is_consistent(),
+        "{:?}",
+        report.trace.violations
+    );
     // The run may leave duplicates in P1's inbox (RewindProbe is not a
     // full protocol: it restores the sender without restoring the
     // receiver). What matters here: re-execution happened and matched.
@@ -264,11 +268,7 @@ fn minimal_global_restart_protocol_recovers() {
         }
     }
     // Without recovery: deadlock.
-    let mut dead = Sim::new(
-        app.clone(),
-        SimConfig::default(),
-        mps_sim::NullProtocol,
-    );
+    let mut dead = Sim::new(app.clone(), SimConfig::default(), mps_sim::NullProtocol);
     dead.inject_failure(SimTime::from_us(50), vec![Rank(1)]);
     let dead_report = dead.run();
     assert!(matches!(dead_report.status, RunStatus::Deadlock(_)));

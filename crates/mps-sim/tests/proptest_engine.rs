@@ -9,26 +9,28 @@ use proptest::prelude::*;
 /// Random rounds of edges; all sends precede all receives inside a round
 /// per rank, which guarantees deadlock freedom.
 fn arb_app(n_ranks: u8) -> impl Strategy<Value = Application> {
-    let edge = (0..n_ranks, 0..n_ranks, 1u32..2048).prop_filter_map(
-        "no self edges",
-        move |(a, b, s)| if a == b { None } else { Some((a, b, s)) },
-    );
-    prop::collection::vec(prop::collection::vec(edge, 1..6), 1..12).prop_map(
-        move |rounds| {
-            let mut app = Application::new(n_ranks as usize);
-            for (i, round) in rounds.iter().enumerate() {
-                let tag = Tag(i as u32);
-                for &(src, dst, bytes) in round {
-                    app.rank_mut(Rank(src as u32))
-                        .send(Rank(dst as u32), bytes as u64, tag);
-                }
-                for &(src, dst, _) in round {
-                    app.rank_mut(Rank(dst as u32)).recv(Rank(src as u32), tag);
-                }
+    let edge =
+        (0..n_ranks, 0..n_ranks, 1u32..2048).prop_filter_map("no self edges", move |(a, b, s)| {
+            if a == b {
+                None
+            } else {
+                Some((a, b, s))
             }
-            app
-        },
-    )
+        });
+    prop::collection::vec(prop::collection::vec(edge, 1..6), 1..12).prop_map(move |rounds| {
+        let mut app = Application::new(n_ranks as usize);
+        for (i, round) in rounds.iter().enumerate() {
+            let tag = Tag(i as u32);
+            for &(src, dst, bytes) in round {
+                app.rank_mut(Rank(src as u32))
+                    .send(Rank(dst as u32), bytes as u64, tag);
+            }
+            for &(src, dst, _) in round {
+                app.rank_mut(Rank(dst as u32)).recv(Rank(src as u32), tag);
+            }
+        }
+        app
+    })
 }
 
 proptest! {

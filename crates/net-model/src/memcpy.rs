@@ -55,8 +55,7 @@ impl MemcpyModel {
     /// residual remains.
     pub fn non_overlapped(&self, bytes: u64, transmit: SimDuration) -> SimDuration {
         let copy = self.copy_time(bytes);
-        let residual =
-            SimDuration::from_ps(copy.as_ps() * self.residual_permille as u64 / 1000);
+        let residual = SimDuration::from_ps(copy.as_ps() * self.residual_permille as u64 / 1000);
         copy.saturating_sub(transmit).max(residual)
     }
 }
@@ -92,7 +91,8 @@ mod tests {
             // Only the residual interference fraction remains.
             let left = m.non_overlapped(bytes, transmit);
             assert!(
-                left.as_ps() * 1000 <= m.copy_time(bytes).as_ps() * (m.residual_permille as u64 + 1),
+                left.as_ps() * 1000
+                    <= m.copy_time(bytes).as_ps() * (m.residual_permille as u64 + 1),
                 "residual too large for {bytes} B"
             );
         }

@@ -128,8 +128,7 @@ impl MxModel {
         } else {
             // Past the plateau table: last plateau latency + per-byte gap
             // for the overhang.
-            last_latency
-                + SimDuration::from_ps((wire_bytes - last_boundary) * self.gap_ps_per_byte)
+            last_latency + SimDuration::from_ps((wire_bytes - last_boundary) * self.gap_ps_per_byte)
         };
         if wire_bytes > self.rendezvous_threshold {
             t += self.rendezvous_handshake;
@@ -141,12 +140,9 @@ impl MxModel {
 impl NetworkModel for MxModel {
     fn cost(&self, wire_bytes: u64) -> MsgCost {
         let total = self.total(wire_bytes);
-        let sender = SimDuration::from_ps(
-            total.as_ps() * self.sender_share_permille as u64 / 1000,
-        );
-        let receiver = SimDuration::from_ps(
-            total.as_ps() * self.receiver_share_permille as u64 / 1000,
-        );
+        let sender = SimDuration::from_ps(total.as_ps() * self.sender_share_permille as u64 / 1000);
+        let receiver =
+            SimDuration::from_ps(total.as_ps() * self.receiver_share_permille as u64 / 1000);
         let transit = total - sender - receiver;
         MsgCost {
             sender,
@@ -185,8 +181,7 @@ impl NetworkModel for TcpModel {
     fn cost(&self, wire_bytes: u64) -> MsgCost {
         MsgCost {
             sender: self.sender_overhead,
-            transit: self.base_latency
-                + SimDuration::from_ps(wire_bytes * self.gap_ps_per_byte),
+            transit: self.base_latency + SimDuration::from_ps(wire_bytes * self.gap_ps_per_byte),
             receiver: self.receiver_overhead,
         }
     }

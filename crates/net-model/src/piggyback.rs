@@ -86,10 +86,7 @@ mod tests {
     #[test]
     fn small_payloads_inline() {
         let p = PiggybackPolicy::default();
-        assert_eq!(
-            p.apply(8),
-            PiggybackCost::Inline { extra_bytes: 16 }
-        );
+        assert_eq!(p.apply(8), PiggybackCost::Inline { extra_bytes: 16 });
         assert_eq!(p.wire_bytes(8), 24);
         assert_eq!(p.sender_overhead(8), SimDuration::ZERO);
     }

@@ -1,0 +1,300 @@
+//! Object-safe protocol construction and execution.
+//!
+//! [`mps_sim::Protocol`] is deliberately *not* object-safe (`Sized` +
+//! an associated control-message type), so heterogeneous experiment
+//! drivers could not hold "some protocol" and run it. A
+//! [`ProtocolFactory`] closes that gap: it owns the protocol's
+//! configuration, and `run` instantiates the concrete protocol for a
+//! given cluster map and drives one simulation to completion — erasing
+//! the protocol type right after the monomorphic `Sim::run` call.
+//!
+//! Factories are `Send + Sync` so a parallel executor (the `scenario`
+//! crate) can dispatch the same factory across worker threads.
+
+use det_sim::{SimDuration, SimTime};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{Application, ClusterMap, NullProtocol, Protocol, Rank, RunReport, Sim, SimConfig};
+use net_model::StableStorage;
+
+use crate::coordinated::{CoordinatedConfig, GlobalCoordinated};
+use crate::event_logged::{DeterminantCost, EventLogged};
+
+/// A fail-stop failure injection: `ranks` crash concurrently at `at`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureEvent {
+    pub at: SimTime,
+    pub ranks: Vec<Rank>,
+}
+
+impl FailureEvent {
+    pub fn at_ms(ms: u64, ranks: Vec<Rank>) -> Self {
+        FailureEvent {
+            at: SimTime::from_ms(ms),
+            ranks,
+        }
+    }
+}
+
+/// Runtime-interchangeable protocol constructor/runner (object-safe).
+pub trait ProtocolFactory: Send + Sync {
+    /// Short name for records and reports.
+    fn name(&self) -> String;
+
+    /// Instantiate the protocol for `clusters` and run `app` under it,
+    /// injecting `failures`.
+    fn run(
+        &self,
+        app: Application,
+        config: SimConfig,
+        clusters: &ClusterMap,
+        failures: &[FailureEvent],
+    ) -> RunReport;
+}
+
+fn run_sim<P: Protocol>(
+    app: Application,
+    config: SimConfig,
+    protocol: P,
+    failures: &[FailureEvent],
+) -> RunReport {
+    let mut sim = Sim::new(app, config, protocol);
+    for f in failures {
+        sim.inject_failure(f.at, f.ranks.clone());
+    }
+    sim.run()
+}
+
+/// Native MPICH2: no fault tolerance (ignores the cluster map).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeFactory;
+
+impl ProtocolFactory for NativeFactory {
+    fn name(&self) -> String {
+        "native".into()
+    }
+
+    fn run(
+        &self,
+        app: Application,
+        config: SimConfig,
+        _clusters: &ClusterMap,
+        failures: &[FailureEvent],
+    ) -> RunReport {
+        run_sim(app, config, NullProtocol, failures)
+    }
+}
+
+/// HydEE parameterisation minus the cluster map (which arrives at `run`
+/// time). `None` fields keep [`HydeeConfig`]'s defaults.
+#[derive(Debug, Clone, Default)]
+pub struct HydeeParams {
+    pub checkpoint_interval: Option<SimDuration>,
+    pub image_bytes: Option<u64>,
+    pub storage: Option<StableStorage>,
+    pub first_checkpoint: Option<SimTime>,
+    pub checkpoint_stagger: Option<SimDuration>,
+    pub restart_latency: Option<SimDuration>,
+    /// Disable the §III-E log garbage collection.
+    pub disable_gc: bool,
+}
+
+impl HydeeParams {
+    pub fn config_for(&self, clusters: ClusterMap) -> HydeeConfig {
+        let mut cfg = HydeeConfig::new(clusters);
+        cfg.checkpoint_interval = self.checkpoint_interval;
+        if let Some(b) = self.image_bytes {
+            cfg.image_bytes = b;
+        }
+        if let Some(s) = self.storage {
+            cfg.storage = s;
+        }
+        if let Some(t) = self.first_checkpoint {
+            cfg.first_checkpoint = t;
+        }
+        if let Some(d) = self.checkpoint_stagger {
+            cfg.checkpoint_stagger = d;
+        }
+        if let Some(d) = self.restart_latency {
+            cfg.restart_latency = d;
+        }
+        cfg.gc = !self.disable_gc;
+        cfg
+    }
+}
+
+/// HydEE over whatever cluster map the run supplies.
+#[derive(Debug, Clone, Default)]
+pub struct HydeeFactory {
+    pub params: HydeeParams,
+}
+
+impl HydeeFactory {
+    pub fn new(params: HydeeParams) -> Self {
+        HydeeFactory { params }
+    }
+}
+
+impl ProtocolFactory for HydeeFactory {
+    fn name(&self) -> String {
+        "hydee".into()
+    }
+
+    fn run(
+        &self,
+        app: Application,
+        config: SimConfig,
+        clusters: &ClusterMap,
+        failures: &[FailureEvent],
+    ) -> RunReport {
+        let protocol = Hydee::new(self.params.config_for(clusters.clone()));
+        run_sim(app, config, protocol, failures)
+    }
+}
+
+/// Global coordinated checkpointing (ignores the cluster map: the
+/// "cluster" is the whole machine).
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatedFactory {
+    pub config: CoordinatedConfig,
+}
+
+impl CoordinatedFactory {
+    pub fn new(config: CoordinatedConfig) -> Self {
+        CoordinatedFactory { config }
+    }
+}
+
+impl ProtocolFactory for CoordinatedFactory {
+    fn name(&self) -> String {
+        "coordinated".into()
+    }
+
+    fn run(
+        &self,
+        app: Application,
+        config: SimConfig,
+        _clusters: &ClusterMap,
+        failures: &[FailureEvent],
+    ) -> RunReport {
+        run_sim(
+            app,
+            config,
+            GlobalCoordinated::new(self.config.clone()),
+            failures,
+        )
+    }
+}
+
+/// HydEE plus reliable determinant writes on every delivery — the
+/// event-logging ablation ([8]/[22]-style hybrid; with per-rank clusters,
+/// classic pessimistic message logging).
+#[derive(Debug, Clone, Default)]
+pub struct EventLoggedFactory {
+    pub params: HydeeParams,
+    pub cost: DeterminantCost,
+}
+
+impl EventLoggedFactory {
+    pub fn new(params: HydeeParams, cost: DeterminantCost) -> Self {
+        EventLoggedFactory { params, cost }
+    }
+}
+
+impl ProtocolFactory for EventLoggedFactory {
+    fn name(&self) -> String {
+        "event-logged".into()
+    }
+
+    fn run(
+        &self,
+        app: Application,
+        config: SimConfig,
+        clusters: &ClusterMap,
+        failures: &[FailureEvent],
+    ) -> RunReport {
+        let inner = Hydee::new(self.params.config_for(clusters.clone()));
+        run_sim(app, config, EventLogged::new(inner, self.cost), failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_sim::Tag;
+
+    fn ping_pong() -> Application {
+        let mut app = Application::new(4);
+        app.rank_mut(Rank(1)).send(Rank(2), 4096, Tag(0));
+        app.rank_mut(Rank(2)).recv(Rank(1), Tag(0));
+        app
+    }
+
+    /// The point of the trait: heterogeneous factories behind one type.
+    #[test]
+    fn factories_are_object_safe_and_interchangeable() {
+        let factories: Vec<Box<dyn ProtocolFactory>> = vec![
+            Box::new(NativeFactory),
+            Box::new(HydeeFactory::default()),
+            Box::new(CoordinatedFactory::default()),
+            Box::new(EventLoggedFactory::default()),
+        ];
+        let clusters = ClusterMap::blocks(4, 2);
+        for f in &factories {
+            let report = f.run(ping_pong(), SimConfig::default(), &clusters, &[]);
+            assert!(report.completed(), "{}: {:?}", f.name(), report.status);
+        }
+    }
+
+    #[test]
+    fn hydee_factory_logs_inter_cluster_only() {
+        let f = HydeeFactory::default();
+        let report = f.run(
+            ping_pong(),
+            SimConfig::default(),
+            &ClusterMap::new(vec![0, 0, 1, 1]),
+            &[],
+        );
+        assert_eq!(report.metrics.logged_bytes_cumulative, 4096);
+        let report = f.run(
+            ping_pong(),
+            SimConfig::default(),
+            &ClusterMap::single(4),
+            &[],
+        );
+        assert_eq!(report.metrics.logged_bytes_cumulative, 0);
+    }
+
+    #[test]
+    fn failures_are_injected() {
+        let f = HydeeFactory::new(HydeeParams {
+            image_bytes: Some(1 << 16),
+            ..Default::default()
+        });
+        let mut app = Application::new(2);
+        for i in 0..50 {
+            app.rank_mut(Rank(0)).send(Rank(1), 1 << 16, Tag(i));
+            app.rank_mut(Rank(1)).recv(Rank(0), Tag(i));
+        }
+        let clean = f.run(
+            app.clone(),
+            SimConfig::default(),
+            &ClusterMap::per_rank(2),
+            &[],
+        );
+        assert!(clean.completed());
+        let fail_at = SimTime::from_ps(clean.makespan.as_ps() / 2);
+        let failed = f.run(
+            app,
+            SimConfig::default(),
+            &ClusterMap::per_rank(2),
+            &[FailureEvent {
+                at: fail_at,
+                ranks: vec![Rank(1)],
+            }],
+        );
+        assert!(failed.completed(), "{:?}", failed.status);
+        assert_eq!(failed.metrics.failures, 1);
+        assert!(failed.metrics.ranks_rolled_back >= 1);
+        assert_eq!(clean.digests, failed.digests);
+    }
+}

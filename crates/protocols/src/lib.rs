@@ -18,6 +18,11 @@
 
 pub mod coordinated;
 pub mod event_logged;
+pub mod factory;
 
 pub use coordinated::{CoordinatedConfig, GlobalCoordinated};
 pub use event_logged::{DeterminantCost, EventLogged};
+pub use factory::{
+    CoordinatedFactory, EventLoggedFactory, FailureEvent, HydeeFactory, HydeeParams, NativeFactory,
+    ProtocolFactory,
+};

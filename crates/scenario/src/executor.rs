@@ -1,0 +1,157 @@
+//! The run engine: specs in, records out.
+//!
+//! [`Executor::run`] evaluates a batch of [`ScenarioSpec`]s, in parallel
+//! by default (one spec per worker, rayon-style dynamic load balancing).
+//! Two invariants carry the workspace's determinism guarantee up through
+//! the orchestration layer:
+//!
+//! 1. **Per-spec determinism** — each spec resolves and simulates from
+//!    scratch on its worker thread with no shared mutable state, so a
+//!    spec's record is bit-for-bit identical no matter where or when it
+//!    runs.
+//! 2. **Deterministic output order** — records come back in spec order
+//!    regardless of completion order (results land in their input slot).
+//!
+//! `tests/determinism.rs` locks both in by comparing a parallel run
+//! against [`Executor::serial`].
+
+use rayon::prelude::*;
+
+use crate::record::RunRecord;
+use crate::spec::ScenarioSpec;
+use clustering::ClusteringStats;
+use mps_sim::Metrics;
+use protocols::FailureEvent;
+
+/// Runs scenario batches. Construct with [`Executor::new`] (parallel) or
+/// [`Executor::serial`] (reference mode for determinism checks and
+/// debugging).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor {
+    serial: bool,
+}
+
+impl Executor {
+    /// Parallel executor: specs are distributed across all cores.
+    pub fn new() -> Self {
+        Executor { serial: false }
+    }
+
+    /// Serial reference executor: same records, one spec at a time.
+    pub fn serial() -> Self {
+        Executor { serial: true }
+    }
+
+    /// Evaluate one spec. Public so single-run callers (examples, tests)
+    /// can skip batch plumbing.
+    pub fn run_one(spec: &ScenarioSpec) -> RunRecord {
+        let app = spec.workload.build();
+        let map = spec.clusters.resolve(&app);
+        let stats = ClusteringStats::evaluate(&app, &map);
+        let record = RunRecord {
+            scenario: spec.label(),
+            workload: spec.workload.name(),
+            protocol: spec.protocol.name(),
+            clusters: spec.clusters.name(),
+            network: spec.network.name().into(),
+            n_ranks: app.n_ranks(),
+            n_clusters: map.n_clusters(),
+            n_failures: spec.failures.len(),
+            avg_rollback_pct: stats.avg_rollback_pct,
+            static_logged_bytes: stats.logged_bytes,
+            static_total_bytes: stats.total_bytes,
+            static_logged_pct: stats.logged_pct(),
+            completed: false,
+            status: "static".into(),
+            makespan_ps: 0,
+            makespan_s: 0.0,
+            digest: 0,
+            trace_consistent: true,
+            trace_violations: 0,
+            metrics: Metrics::default(),
+        };
+        if !spec.simulate {
+            return record;
+        }
+        let failures: Vec<FailureEvent> = spec.failures.iter().map(|f| f.to_event()).collect();
+        let factory = spec.protocol.to_factory();
+        let report = factory.run(app, spec.sim_config(), &map, &failures);
+        record.with_report(&report)
+    }
+
+    /// Evaluate `specs`, returning one record per spec **in spec order**.
+    pub fn run(&self, specs: &[ScenarioSpec]) -> Vec<RunRecord> {
+        if self.serial {
+            specs.iter().map(Self::run_one).collect()
+        } else {
+            specs.par_iter().map(Self::run_one).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterStrategy, ProtocolSpec};
+    use workloads::WorkloadSpec;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::new(
+            WorkloadSpec::NetPipe {
+                rounds: 3,
+                bytes: 256,
+            },
+            ProtocolSpec::hydee(),
+            ClusterStrategy::PerRank,
+        )
+    }
+
+    #[test]
+    fn run_one_simulates_and_analyses() {
+        let rec = Executor::run_one(&tiny_spec());
+        assert!(rec.completed, "{}", rec.status);
+        assert_eq!(rec.n_ranks, 2);
+        assert_eq!(rec.n_clusters, 2);
+        assert_eq!(rec.metrics.app_messages, 6);
+        assert!(rec.makespan_ps > 0);
+        // Per-rank clustering logs everything.
+        assert_eq!(rec.static_logged_pct, 100.0);
+        assert_eq!(rec.metrics.logged_bytes_cumulative, 6 * 256);
+    }
+
+    #[test]
+    fn static_spec_skips_simulation() {
+        let mut spec = tiny_spec();
+        spec.simulate = false;
+        let rec = Executor::run_one(&spec);
+        assert_eq!(rec.status, "static");
+        assert!(!rec.completed);
+        assert_eq!(rec.metrics.events, 0);
+        assert_eq!(rec.static_total_bytes, 6 * 256);
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_preserves_order() {
+        let specs: Vec<ScenarioSpec> = (1..=8)
+            .map(|i| {
+                ScenarioSpec::new(
+                    WorkloadSpec::NetPipe {
+                        rounds: i,
+                        bytes: 64 * i as u64,
+                    },
+                    ProtocolSpec::hydee(),
+                    ClusterStrategy::PerRank,
+                )
+            })
+            .collect();
+        let serial = Executor::serial().run(&specs);
+        let parallel = Executor::new().run(&specs);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                serde_json::to_string(s).unwrap(),
+                serde_json::to_string(p).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # scenario — declarative, parallel experiment orchestration
+//!
+//! Every result in the HydEE paper is a *sweep*: a cross-product of
+//! workload × protocol × clustering × failure schedule, each point one
+//! deterministic simulation. This crate turns that shape into a
+//! first-class subsystem:
+//!
+//! * [`ScenarioSpec`] — one run as plain data: a named workload (from
+//!   the [`workloads::registry`]), a [`ProtocolSpec`] (erased at run time
+//!   through the object-safe [`protocols::ProtocolFactory`]), a
+//!   [`ClusterStrategy`], a [`NetworkSpec`] and a failure schedule.
+//! * [`Matrix`] — axis lists expanded into the full cross-product of
+//!   specs in a deterministic order.
+//! * [`Executor`] — evaluates spec batches across all cores while
+//!   keeping per-spec results bit-for-bit deterministic and output
+//!   ordering equal to spec ordering ([`Executor::serial`] is the
+//!   reference implementation the golden test compares against).
+//! * [`RunRecord`] + [`JsonlSink`]/[`CsvSink`]/[`MatrixSummary`] — typed
+//!   result rows with file sinks and aggregation, replacing the ad-hoc
+//!   row writers the bench binaries used to duplicate.
+//!
+//! ```
+//! use scenario::{ClusterStrategy, Executor, Matrix, ProtocolSpec};
+//! use workloads::WorkloadSpec;
+//!
+//! let specs = Matrix::new()
+//!     .workloads([WorkloadSpec::NetPipe { rounds: 2, bytes: 1024 }])
+//!     .protocols([ProtocolSpec::Native, ProtocolSpec::hydee()])
+//!     .clusters([ClusterStrategy::PerRank])
+//!     .expand();
+//! let records = Executor::new().run(&specs);
+//! assert_eq!(records.len(), 2);
+//! assert!(records.iter().all(|r| r.completed));
+//! // Records come back in spec order: native first.
+//! assert_eq!(records[0].protocol, "native");
+//! ```
+
+pub mod executor;
+pub mod matrix;
+pub mod record;
+pub mod report;
+pub mod spec;
+
+pub use executor::Executor;
+pub use matrix::Matrix;
+pub use record::{fold_digests, RunRecord};
+pub use report::{
+    default_results_dir, write_all, CsvSink, JsonlSink, MatrixSummary, Sink, SummaryCell, Table,
+};
+pub use spec::{
+    ClusterStrategy, FailureSpec, NetworkSpec, ProtocolSpec, ScenarioSpec, StorageSpec,
+    DEFAULT_IMAGE_BYTES,
+};

@@ -1,0 +1,251 @@
+//! Cross-product expansion of experiment axes.
+//!
+//! A [`Matrix`] names the values of each axis; [`Matrix::expand`]
+//! produces the full cross-product as concrete [`ScenarioSpec`]s in a
+//! deterministic nesting order (workload slowest, failure schedule
+//! fastest), so record `i` of an executor run always corresponds to spec
+//! `i` of the expansion.
+
+use crate::spec::{ClusterStrategy, FailureSpec, NetworkSpec, ProtocolSpec, ScenarioSpec};
+use workloads::WorkloadSpec;
+
+/// Experiment axes. Empty axes default to a singleton at expansion time
+/// (documented per field), so a Matrix only names what it varies.
+#[derive(Debug, Clone, Default)]
+pub struct Matrix {
+    /// Workloads; no default — an empty axis expands to no specs.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Protocols; default `[ProtocolSpec::Native]`.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Cluster strategies; default `[ClusterStrategy::Single]`.
+    pub clusters: Vec<ClusterStrategy>,
+    /// Networks; default `[NetworkSpec::Mx]`.
+    pub networks: Vec<NetworkSpec>,
+    /// Checkpoint intervals (ms) overriding each protocol's own setting;
+    /// default "leave protocols as specified".
+    pub checkpoint_ms: Vec<Option<u64>>,
+    /// Failure schedules (one schedule = one list of injections);
+    /// default `[no failures]`.
+    pub failure_schedules: Vec<Vec<FailureSpec>>,
+    /// `false`: static clustering analysis only (Table I mode).
+    pub simulate: bool,
+    /// Engine event-limit override applied to every spec.
+    pub max_events: Option<u64>,
+}
+
+impl Matrix {
+    pub fn new() -> Self {
+        Matrix {
+            simulate: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn workloads(mut self, w: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(w);
+        self
+    }
+
+    pub fn protocols(mut self, p: impl IntoIterator<Item = ProtocolSpec>) -> Self {
+        self.protocols.extend(p);
+        self
+    }
+
+    pub fn clusters(mut self, c: impl IntoIterator<Item = ClusterStrategy>) -> Self {
+        self.clusters.extend(c);
+        self
+    }
+
+    pub fn networks(mut self, n: impl IntoIterator<Item = NetworkSpec>) -> Self {
+        self.networks.extend(n);
+        self
+    }
+
+    pub fn checkpoint_ms(mut self, c: impl IntoIterator<Item = Option<u64>>) -> Self {
+        self.checkpoint_ms.extend(c);
+        self
+    }
+
+    pub fn failure_schedules(mut self, f: impl IntoIterator<Item = Vec<FailureSpec>>) -> Self {
+        self.failure_schedules.extend(f);
+        self
+    }
+
+    pub fn static_analysis(mut self) -> Self {
+        self.simulate = false;
+        self
+    }
+
+    /// Sum over protocols of how many checkpoint-axis values apply to
+    /// each: non-checkpointing protocols (Native) take exactly one point
+    /// on that axis, so the expansion never duplicates a run.
+    fn protocol_by_checkpoint_points(&self) -> usize {
+        let protocols = self.protocols.len().max(1);
+        if self.checkpoint_ms.is_empty() {
+            return protocols;
+        }
+        let effective = |p: &ProtocolSpec| {
+            if p.supports_checkpointing() {
+                self.checkpoint_ms.len()
+            } else {
+                1
+            }
+        };
+        if self.protocols.is_empty() {
+            // Default axis is [Native].
+            1
+        } else {
+            self.protocols.iter().map(effective).sum()
+        }
+    }
+
+    /// Number of specs `expand` will produce.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+            * self.protocol_by_checkpoint_points()
+            * self.clusters.len().max(1)
+            * self.networks.len().max(1)
+            * self.failure_schedules.len().max(1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the cross-product. Nesting order (slowest to fastest):
+    /// workload, protocol, clusters, network, checkpoint interval,
+    /// failure schedule.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let protocols: &[ProtocolSpec] = if self.protocols.is_empty() {
+            &[ProtocolSpec::Native]
+        } else {
+            &self.protocols
+        };
+        let clusters: &[ClusterStrategy] = if self.clusters.is_empty() {
+            &[ClusterStrategy::Single]
+        } else {
+            &self.clusters
+        };
+        let networks: &[NetworkSpec] = if self.networks.is_empty() {
+            &[NetworkSpec::Mx]
+        } else {
+            &self.networks
+        };
+        // `None` here means "no override", distinct from an explicit
+        // axis value of `None` (= disable periodic checkpoints). A
+        // protocol that takes no checkpoints gets a single no-override
+        // point so the expansion stays duplicate-free.
+        let ckpts_for = |p: &ProtocolSpec| -> Vec<Option<Option<u64>>> {
+            if self.checkpoint_ms.is_empty() || !p.supports_checkpointing() {
+                vec![None]
+            } else {
+                self.checkpoint_ms.iter().map(|c| Some(*c)).collect()
+            }
+        };
+        let no_failures: Vec<Vec<FailureSpec>> = vec![Vec::new()];
+        let schedules: &[Vec<FailureSpec>] = if self.failure_schedules.is_empty() {
+            &no_failures
+        } else {
+            &self.failure_schedules
+        };
+
+        let mut specs = Vec::with_capacity(self.len());
+        for w in &self.workloads {
+            for p in protocols {
+                let ckpts = ckpts_for(p);
+                for c in clusters {
+                    for n in networks {
+                        for ck in &ckpts {
+                            for f in schedules {
+                                let protocol = match ck {
+                                    Some(ms) => p.with_checkpoint_ms(*ms),
+                                    None => *p,
+                                };
+                                specs.push(ScenarioSpec {
+                                    workload: w.clone(),
+                                    protocol,
+                                    clusters: *c,
+                                    network: *n,
+                                    failures: f.clone(),
+                                    simulate: self.simulate,
+                                    max_events: self.max_events,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::NasBench;
+
+    #[test]
+    fn empty_axes_default_to_singletons() {
+        let m = Matrix::new().workloads([WorkloadSpec::NetPipe {
+            rounds: 1,
+            bytes: 8,
+        }]);
+        let specs = m.expand();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].protocol, ProtocolSpec::Native);
+        assert_eq!(specs[0].clusters, ClusterStrategy::Single);
+        assert!(specs[0].failures.is_empty());
+    }
+
+    #[test]
+    fn expansion_is_full_cross_product() {
+        let m = Matrix::new()
+            .workloads([
+                WorkloadSpec::Nas {
+                    bench: NasBench::CG,
+                    scale: 0.001,
+                    iterations: Some(2),
+                },
+                WorkloadSpec::NetPipe {
+                    rounds: 1,
+                    bytes: 8,
+                },
+            ])
+            .protocols([ProtocolSpec::Native, ProtocolSpec::hydee()])
+            .clusters([ClusterStrategy::Single, ClusterStrategy::Blocks(4)])
+            .networks([NetworkSpec::Mx, NetworkSpec::Tcp])
+            .checkpoint_ms([None, Some(100)])
+            .failure_schedules([vec![], vec![FailureSpec::at_ms(1, vec![0])]]);
+        let specs = m.expand();
+        // Native takes a single point on the checkpoint axis (1), hydee
+        // the full axis (2): 2 workloads x 3 x 2 clusters x 2 networks x
+        // 2 schedules.
+        assert_eq!(specs.len(), 2 * 3 * 2 * 2 * 2);
+        assert_eq!(specs.len(), m.len());
+        let labels: std::collections::BTreeSet<String> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), specs.len(), "every point has a unique label");
+    }
+
+    #[test]
+    fn checkpoint_axis_overrides_protocols() {
+        let m = Matrix::new()
+            .workloads([WorkloadSpec::NetPipe {
+                rounds: 1,
+                bytes: 8,
+            }])
+            .protocols([ProtocolSpec::hydee()])
+            .checkpoint_ms([Some(40), Some(250)]);
+        let specs = m.expand();
+        assert_eq!(specs.len(), 2);
+        for (spec, ms) in specs.iter().zip([40u64, 250]) {
+            match spec.protocol {
+                ProtocolSpec::Hydee {
+                    checkpoint_interval_ms,
+                    ..
+                } => assert_eq!(checkpoint_interval_ms, Some(ms)),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

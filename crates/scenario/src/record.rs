@@ -1,0 +1,202 @@
+//! Typed result rows.
+//!
+//! One [`RunRecord`] per executed [`ScenarioSpec`](crate::ScenarioSpec):
+//! identity columns naming the point in the experiment matrix, static
+//! clustering analysis, and (for simulated specs) the engine's
+//! [`Metrics`] plus exact integer makespan/digest so records can be
+//! compared bit-for-bit across executions.
+
+use mps_sim::{Metrics, RunReport, RunStatus};
+use serde::Serialize;
+
+/// The result of one scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// `ScenarioSpec::label()` of the producing spec.
+    pub scenario: String,
+    pub workload: String,
+    pub protocol: String,
+    pub clusters: String,
+    pub network: String,
+    pub n_ranks: usize,
+    pub n_clusters: usize,
+    pub n_failures: usize,
+
+    // ---- static clustering analysis (always present) ----
+    /// Expected % of processes rolled back by one uniform failure.
+    pub avg_rollback_pct: f64,
+    /// Inter-cluster (logged) application bytes, statically counted.
+    pub static_logged_bytes: u64,
+    /// Total application bytes, statically counted.
+    pub static_total_bytes: u64,
+    /// `static_logged_bytes / static_total_bytes` in percent.
+    pub static_logged_pct: f64,
+
+    // ---- simulation outcome (None when `simulate: false`) ----
+    /// Run completed (all ranks finished). `false` covers deadlock or
+    /// event-limit; `status` has the diagnostic.
+    pub completed: bool,
+    pub status: String,
+    /// Exact makespan in integer picoseconds (determinism golden value).
+    pub makespan_ps: u64,
+    pub makespan_s: f64,
+    /// Order-sensitive fold of the per-rank final state digests
+    /// (determinism golden value).
+    pub digest: u64,
+    /// The built-in determinism/replay oracle found no violations.
+    pub trace_consistent: bool,
+    /// Number of oracle violations (0 when consistent).
+    pub trace_violations: usize,
+    /// Engine + protocol counters; zeroed for static-only records.
+    pub metrics: Metrics,
+}
+
+/// Fold per-rank digests into one order-sensitive value.
+pub fn fold_digests(digests: &[u64]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for &d in digests {
+        acc ^= d;
+        acc = acc.wrapping_mul(0x1000_0000_01b3);
+    }
+    acc
+}
+
+impl RunRecord {
+    /// Attach a finished simulation's outcome.
+    pub fn with_report(mut self, report: &RunReport) -> Self {
+        self.completed = report.completed();
+        self.status = match &report.status {
+            RunStatus::Completed => "completed".into(),
+            RunStatus::Deadlock(diag) => format!("deadlock: {}", diag.join("; ")),
+            RunStatus::EventLimit => "event-limit".into(),
+        };
+        self.makespan_ps = report.makespan.as_ps();
+        self.makespan_s = report.makespan.as_secs_f64();
+        self.digest = fold_digests(&report.digests);
+        self.trace_consistent = report.trace.is_consistent();
+        self.trace_violations = report.trace.violations.len();
+        self.metrics = report.metrics.clone();
+        self
+    }
+
+    /// Column order shared by `csv_header` and `csv_row`.
+    pub fn csv_header() -> String {
+        [
+            "scenario",
+            "workload",
+            "protocol",
+            "clusters",
+            "network",
+            "n_ranks",
+            "n_clusters",
+            "n_failures",
+            "avg_rollback_pct",
+            "static_logged_bytes",
+            "static_total_bytes",
+            "static_logged_pct",
+            "completed",
+            "status",
+            "makespan_ps",
+            "makespan_s",
+            "digest",
+            "trace_consistent",
+            "app_messages",
+            "app_bytes",
+            "wire_bytes",
+            "ctl_messages",
+            "logged_bytes_peak",
+            "logged_bytes_cumulative",
+            "gc_reclaimed_bytes",
+            "checkpoints",
+            "failures",
+            "ranks_rolled_back",
+            "suppressed_sends",
+            "replayed_messages",
+            "replayed_bytes",
+            "events",
+        ]
+        .join(",")
+    }
+
+    pub fn csv_row(&self) -> String {
+        // Quote free-text columns; everything else is numeric.
+        let quote = |s: &str| format!("\"{}\"", s.replace('"', "\"\""));
+        [
+            quote(&self.scenario),
+            quote(&self.workload),
+            quote(&self.protocol),
+            quote(&self.clusters),
+            quote(&self.network),
+            self.n_ranks.to_string(),
+            self.n_clusters.to_string(),
+            self.n_failures.to_string(),
+            format!("{:.4}", self.avg_rollback_pct),
+            self.static_logged_bytes.to_string(),
+            self.static_total_bytes.to_string(),
+            format!("{:.4}", self.static_logged_pct),
+            self.completed.to_string(),
+            quote(&self.status),
+            self.makespan_ps.to_string(),
+            format!("{:.6}", self.makespan_s),
+            self.digest.to_string(),
+            self.trace_consistent.to_string(),
+            self.metrics.app_messages.to_string(),
+            self.metrics.app_bytes.to_string(),
+            self.metrics.wire_bytes.to_string(),
+            self.metrics.ctl_messages.to_string(),
+            self.metrics.logged_bytes_peak.to_string(),
+            self.metrics.logged_bytes_cumulative.to_string(),
+            self.metrics.gc_reclaimed_bytes.to_string(),
+            self.metrics.checkpoints.to_string(),
+            self.metrics.failures.to_string(),
+            self.metrics.ranks_rolled_back.to_string(),
+            self.metrics.suppressed_sends.to_string(),
+            self.metrics.replayed_messages.to_string(),
+            self.metrics.replayed_bytes.to_string(),
+            self.metrics.events.to_string(),
+        ]
+        .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_order_sensitive() {
+        assert_ne!(fold_digests(&[1, 2]), fold_digests(&[2, 1]));
+        assert_eq!(fold_digests(&[1, 2]), fold_digests(&[1, 2]));
+        assert_ne!(fold_digests(&[]), fold_digests(&[0]));
+    }
+
+    #[test]
+    fn csv_header_and_row_have_same_arity() {
+        let rec = RunRecord {
+            scenario: "s".into(),
+            workload: "w".into(),
+            protocol: "p".into(),
+            clusters: "c".into(),
+            network: "mx".into(),
+            n_ranks: 2,
+            n_clusters: 1,
+            n_failures: 0,
+            avg_rollback_pct: 100.0,
+            static_logged_bytes: 0,
+            static_total_bytes: 10,
+            static_logged_pct: 0.0,
+            completed: true,
+            status: "completed".into(),
+            makespan_ps: 1,
+            makespan_s: 1e-12,
+            digest: 42,
+            trace_consistent: true,
+            trace_violations: 0,
+            metrics: Metrics::default(),
+        };
+        assert_eq!(
+            RunRecord::csv_header().split(',').count(),
+            rec.csv_row().split(',').count()
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Record sinks and aggregation: JSONL and CSV files, fixed-width tables,
+//! and per-(workload, protocol) summaries.
+//!
+//! This replaces the ad-hoc `write_row`/`reset_results` helpers the bench
+//! binaries used to hand-roll: the results directory is threaded
+//! explicitly (no process-global environment mutation), and every sink
+//! truncates on creation so reruns stay clean.
+
+use crate::record::RunRecord;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Default results directory: `$HYDEE_RESULTS_DIR` or `./results`. Read
+/// once at startup by binaries and passed down explicitly — nothing in
+/// this crate reads the environment after that.
+pub fn default_results_dir() -> PathBuf {
+    std::env::var("HYDEE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Something that accepts records one at a time.
+pub trait Sink {
+    fn write_record(&mut self, record: &RunRecord) -> io::Result<()>;
+    /// Flush buffers; call once after the last record.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn create_in(dir: &Path, file_name: &str) -> io::Result<BufWriter<File>> {
+    std::fs::create_dir_all(dir)?;
+    Ok(BufWriter::new(File::create(dir.join(file_name))?))
+}
+
+/// One JSON object per line, `<name>.jsonl`, truncated on creation.
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    pub fn create(dir: &Path, name: &str) -> io::Result<Self> {
+        Ok(JsonlSink {
+            out: create_in(dir, &format!("{name}.jsonl"))?,
+        })
+    }
+
+    /// Serialize any row type — the escape hatch for binaries writing
+    /// derived (non-RunRecord) rows next to the raw records.
+    pub fn write_row<T: Serialize>(&mut self, row: &T) -> io::Result<()> {
+        let line = serde_json::to_string(row).map_err(io::Error::other)?;
+        writeln!(self.out, "{line}")
+    }
+}
+
+impl Sink for JsonlSink {
+    fn write_record(&mut self, record: &RunRecord) -> io::Result<()> {
+        self.write_row(record)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Flat CSV with a fixed header, `<name>.csv`, truncated on creation.
+pub struct CsvSink {
+    out: BufWriter<File>,
+}
+
+impl CsvSink {
+    pub fn create(dir: &Path, name: &str) -> io::Result<Self> {
+        let mut out = create_in(dir, &format!("{name}.csv"))?;
+        writeln!(out, "{}", RunRecord::csv_header())?;
+        Ok(CsvSink { out })
+    }
+}
+
+impl Sink for CsvSink {
+    fn write_record(&mut self, record: &RunRecord) -> io::Result<()> {
+        writeln!(self.out, "{}", record.csv_row())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Write `records` through every sink, then flush them all.
+pub fn write_all(records: &[RunRecord], sinks: &mut [&mut dyn Sink]) -> io::Result<()> {
+    for sink in sinks.iter_mut() {
+        for r in records {
+            sink.write_record(r)?;
+        }
+        sink.finish()?;
+    }
+    Ok(())
+}
+
+/// Simple fixed-width table printer (previously `bench::Table`).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Render to a string (testable; `print` writes it to stdout).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&format!("| {} |\n", joined.join(" | ")));
+        };
+        line(&self.headers, &mut out);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Aggregate of one (workload, protocol) cell of a matrix.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SummaryCell {
+    pub runs: usize,
+    pub completed: usize,
+    pub mean_makespan_s: f64,
+    pub max_makespan_s: f64,
+    pub mean_logged_pct: f64,
+    pub total_rolled_back: u64,
+}
+
+/// Per-(workload, protocol) aggregation over a batch of records.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MatrixSummary {
+    pub cells: BTreeMap<String, SummaryCell>,
+    pub total_runs: usize,
+    pub total_completed: usize,
+    pub total_simulated_seconds: f64,
+}
+
+impl MatrixSummary {
+    pub fn from_records(records: &[RunRecord]) -> Self {
+        let mut cells: BTreeMap<String, (SummaryCell, f64)> = BTreeMap::new();
+        let mut summary = MatrixSummary::default();
+        for r in records {
+            summary.total_runs += 1;
+            summary.total_completed += r.completed as usize;
+            summary.total_simulated_seconds += r.makespan_s;
+            let key = format!("{}|{}", r.workload, r.protocol);
+            let (cell, logged_acc) = cells.entry(key).or_default();
+            cell.runs += 1;
+            cell.completed += r.completed as usize;
+            cell.mean_makespan_s += r.makespan_s; // divided below
+            cell.max_makespan_s = cell.max_makespan_s.max(r.makespan_s);
+            cell.total_rolled_back += r.metrics.ranks_rolled_back;
+            let logged_pct = if r.metrics.app_bytes > 0 {
+                100.0 * r.metrics.logged_bytes_cumulative as f64 / r.metrics.app_bytes as f64
+            } else {
+                r.static_logged_pct
+            };
+            *logged_acc += logged_pct;
+        }
+        summary.cells = cells
+            .into_iter()
+            .map(|(k, (mut cell, logged_acc))| {
+                let n = cell.runs.max(1) as f64;
+                cell.mean_makespan_s /= n;
+                cell.mean_logged_pct = logged_acc / n;
+                (k, cell)
+            })
+            .collect();
+        summary
+    }
+
+    /// Render as a fixed-width table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&[
+            "workload",
+            "protocol",
+            "runs",
+            "ok",
+            "mean makespan (s)",
+            "logged %",
+            "rolled back",
+        ]);
+        for (key, cell) in &self.cells {
+            let (workload, protocol) = key.split_once('|').unwrap_or((key.as_str(), ""));
+            t.row(&[
+                workload.to_string(),
+                protocol.to_string(),
+                cell.runs.to_string(),
+                cell.completed.to_string(),
+                format!("{:.4}", cell.mean_makespan_s),
+                format!("{:.1}%", cell.mean_logged_pct),
+                cell.total_rolled_back.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::spec::{ClusterStrategy, ProtocolSpec, ScenarioSpec};
+    use workloads::WorkloadSpec;
+
+    fn records() -> Vec<RunRecord> {
+        let specs = vec![
+            ScenarioSpec::new(
+                WorkloadSpec::NetPipe {
+                    rounds: 2,
+                    bytes: 64,
+                },
+                ProtocolSpec::Native,
+                ClusterStrategy::Single,
+            ),
+            ScenarioSpec::new(
+                WorkloadSpec::NetPipe {
+                    rounds: 2,
+                    bytes: 64,
+                },
+                ProtocolSpec::hydee(),
+                ClusterStrategy::PerRank,
+            ),
+        ];
+        Executor::serial().run(&specs)
+    }
+
+    #[test]
+    fn sinks_write_truncated_files() {
+        let dir = std::env::temp_dir().join(format!("scenario-sink-{}", std::process::id()));
+        let records = records();
+        for _ in 0..2 {
+            // Second pass must truncate, not append.
+            let mut jsonl = JsonlSink::create(&dir, "t").unwrap();
+            let mut csv = CsvSink::create(&dir, "t").unwrap();
+            write_all(&records, &mut [&mut jsonl, &mut csv]).unwrap();
+        }
+        let jsonl = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"protocol\":\"hydee\""), "{jsonl}");
+        let csv = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 3); // header + 2 rows
+        assert!(csv.starts_with("scenario,"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summary_aggregates_per_cell() {
+        let records = records();
+        let s = MatrixSummary::from_records(&records);
+        assert_eq!(s.total_runs, 2);
+        assert_eq!(s.total_completed, 2);
+        assert_eq!(s.cells.len(), 2);
+        let hydee = s.cells.get("netpipe:64:rounds=2|hydee").unwrap();
+        assert_eq!(hydee.runs, 1);
+        assert!((hydee.mean_logged_pct - 100.0).abs() < 1e-9);
+        let rendered = s.table().render();
+        assert!(rendered.contains("netpipe:64"), "{rendered}");
+    }
+
+    #[test]
+    fn table_renders_fixed_width() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        let r = t.render();
+        assert!(r.contains("|   a | bbbb |"), "{r}");
+        assert!(r.lines().count() == 4);
+    }
+}

@@ -1,0 +1,487 @@
+//! Declarative description of one experiment run.
+//!
+//! A [`ScenarioSpec`] is plain data: a named workload, a protocol
+//! parameterisation, a clustering strategy, a network model and a failure
+//! schedule. Specs are `Clone + Send + Sync`, so the executor can fan a
+//! batch out across threads, and every constituent resolves
+//! deterministically — the same spec always produces the same run.
+
+use clustering::{partition, CommGraph, PartitionConfig};
+use det_sim::{SimDuration, SimTime};
+use mps_sim::{Application, ClusterMap, DetMode, Rank, SimConfig};
+use net_model::{MxModel, NetworkModel, StableStorage, TcpModel};
+use protocols::{
+    CoordinatedConfig, CoordinatedFactory, DeterminantCost, EventLoggedFactory, FailureEvent,
+    HydeeFactory, HydeeParams, NativeFactory, ProtocolFactory,
+};
+use serde::Serialize;
+use workloads::WorkloadSpec;
+
+/// How ranks are grouped into clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ClusterStrategy {
+    /// Everyone in one cluster (pure coordinated checkpointing).
+    Single,
+    /// One cluster per rank (pure message logging).
+    PerRank,
+    /// `k` contiguous equal blocks.
+    Blocks(usize),
+    /// The Table-I pipeline: communication-graph partitioning into `k`
+    /// balanced clusters.
+    Partitioned(usize),
+}
+
+impl ClusterStrategy {
+    pub fn name(&self) -> String {
+        match self {
+            ClusterStrategy::Single => "single".into(),
+            ClusterStrategy::PerRank => "per-rank".into(),
+            ClusterStrategy::Blocks(k) => format!("blocks{k}"),
+            ClusterStrategy::Partitioned(k) => format!("part{k}"),
+        }
+    }
+
+    /// Resolve to a concrete map for `app`. Deterministic.
+    pub fn resolve(&self, app: &Application) -> ClusterMap {
+        let n = app.n_ranks();
+        match self {
+            ClusterStrategy::Single => ClusterMap::single(n),
+            ClusterStrategy::PerRank => ClusterMap::per_rank(n),
+            ClusterStrategy::Blocks(k) => ClusterMap::blocks(n, (*k).min(n)),
+            ClusterStrategy::Partitioned(k) => {
+                let graph = CommGraph::from_application(app);
+                partition(&graph, &PartitionConfig::balanced((*k).min(n), n))
+            }
+        }
+    }
+}
+
+/// Which point-to-point network prices the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum NetworkSpec {
+    /// Myrinet 10G / MX (the paper's testbed).
+    #[default]
+    Mx,
+    /// MPICH2-nemesis over TCP on the same fabric.
+    Tcp,
+}
+
+impl NetworkSpec {
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkSpec::Mx => "mx",
+            NetworkSpec::Tcp => "tcp",
+        }
+    }
+
+    pub fn build(&self) -> Box<dyn NetworkModel> {
+        match self {
+            NetworkSpec::Mx => Box::new(MxModel::default()),
+            NetworkSpec::Tcp => Box::new(TcpModel::default()),
+        }
+    }
+}
+
+/// Stable-storage speed for checkpoint I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum StorageSpec {
+    /// `net_model::StableStorage` defaults (1 GB/s write).
+    #[default]
+    Default,
+    /// Parallel-filesystem aggregate: 50 GB/s write, 100 GB/s read.
+    ParallelFs,
+}
+
+impl StorageSpec {
+    pub fn build(&self) -> StableStorage {
+        match self {
+            StorageSpec::Default => StableStorage::default(),
+            StorageSpec::ParallelFs => StableStorage {
+                write_bytes_per_us: 50_000,
+                read_bytes_per_us: 100_000,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Declarative protocol choice + parameters. `to_factory` erases this
+/// into the object-safe [`ProtocolFactory`] the executor dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ProtocolSpec {
+    /// Native MPICH2, no fault tolerance.
+    Native,
+    /// HydEE (the paper's protocol).
+    Hydee {
+        checkpoint_interval_ms: Option<u64>,
+        image_bytes: u64,
+        storage: StorageSpec,
+        gc: bool,
+    },
+    /// Global coordinated checkpointing.
+    Coordinated {
+        checkpoint_interval_ms: Option<u64>,
+        image_bytes: u64,
+        storage: StorageSpec,
+    },
+    /// HydEE + reliable determinant writes (the event-logging ablation).
+    EventLogged {
+        checkpoint_interval_ms: Option<u64>,
+        image_bytes: u64,
+        storage: StorageSpec,
+    },
+}
+
+/// Default per-rank checkpoint image: 1 MiB keeps sweep checkpoints
+/// tractable; the paper-fidelity 64 MiB default of [`hydee::HydeeConfig`]
+/// is opt-in via `image_bytes`.
+pub const DEFAULT_IMAGE_BYTES: u64 = 1 << 20;
+
+impl ProtocolSpec {
+    /// HydEE with no periodic checkpoints (failure-free measurement mode).
+    pub fn hydee() -> Self {
+        ProtocolSpec::Hydee {
+            checkpoint_interval_ms: None,
+            image_bytes: DEFAULT_IMAGE_BYTES,
+            storage: StorageSpec::Default,
+            gc: true,
+        }
+    }
+
+    pub fn coordinated() -> Self {
+        ProtocolSpec::Coordinated {
+            checkpoint_interval_ms: None,
+            image_bytes: DEFAULT_IMAGE_BYTES,
+            storage: StorageSpec::Default,
+        }
+    }
+
+    pub fn event_logged() -> Self {
+        ProtocolSpec::EventLogged {
+            checkpoint_interval_ms: None,
+            image_bytes: DEFAULT_IMAGE_BYTES,
+            storage: StorageSpec::Default,
+        }
+    }
+
+    /// Whether a checkpoint-interval override applies to this protocol
+    /// (everything except `Native`). The matrix uses this to avoid
+    /// expanding non-checkpointing protocols across the checkpoint axis,
+    /// which would duplicate runs.
+    pub fn supports_checkpointing(&self) -> bool {
+        !matches!(self, ProtocolSpec::Native)
+    }
+
+    /// Copy of `self` with the checkpoint interval replaced (no-op for
+    /// `Native`, which takes no checkpoints).
+    pub fn with_checkpoint_ms(mut self, ms: Option<u64>) -> Self {
+        match &mut self {
+            ProtocolSpec::Native => {}
+            ProtocolSpec::Hydee {
+                checkpoint_interval_ms,
+                ..
+            }
+            | ProtocolSpec::Coordinated {
+                checkpoint_interval_ms,
+                ..
+            }
+            | ProtocolSpec::EventLogged {
+                checkpoint_interval_ms,
+                ..
+            } => *checkpoint_interval_ms = ms,
+        }
+        self
+    }
+
+    /// Name encoding every non-default parameter, so two distinct
+    /// `ProtocolSpec`s never share a name (spec labels and summary cells
+    /// key on it).
+    pub fn name(&self) -> String {
+        let ckpt = |ms: &Option<u64>| match ms {
+            Some(ms) => format!(":ckpt{ms}ms"),
+            None => String::new(),
+        };
+        let img = |bytes: &u64| {
+            if *bytes == DEFAULT_IMAGE_BYTES {
+                String::new()
+            } else {
+                format!(":img{bytes}")
+            }
+        };
+        let stor = |s: &StorageSpec| match s {
+            StorageSpec::Default => String::new(),
+            StorageSpec::ParallelFs => ":pfs".into(),
+        };
+        match self {
+            ProtocolSpec::Native => "native".into(),
+            ProtocolSpec::Hydee {
+                checkpoint_interval_ms,
+                image_bytes,
+                storage,
+                gc,
+            } => format!(
+                "hydee{}{}{}{}",
+                ckpt(checkpoint_interval_ms),
+                img(image_bytes),
+                stor(storage),
+                if *gc { "" } else { ":nogc" }
+            ),
+            ProtocolSpec::Coordinated {
+                checkpoint_interval_ms,
+                image_bytes,
+                storage,
+            } => format!(
+                "coordinated{}{}{}",
+                ckpt(checkpoint_interval_ms),
+                img(image_bytes),
+                stor(storage)
+            ),
+            ProtocolSpec::EventLogged {
+                checkpoint_interval_ms,
+                image_bytes,
+                storage,
+            } => format!(
+                "event-logged{}{}{}",
+                ckpt(checkpoint_interval_ms),
+                img(image_bytes),
+                stor(storage)
+            ),
+        }
+    }
+
+    fn hydee_params(
+        checkpoint_interval_ms: Option<u64>,
+        image_bytes: u64,
+        storage: StorageSpec,
+        gc: bool,
+    ) -> HydeeParams {
+        HydeeParams {
+            checkpoint_interval: checkpoint_interval_ms.map(SimDuration::from_ms),
+            image_bytes: Some(image_bytes),
+            storage: Some(storage.build()),
+            disable_gc: !gc,
+            ..Default::default()
+        }
+    }
+
+    /// Erase into the object-safe factory.
+    pub fn to_factory(self) -> Box<dyn ProtocolFactory> {
+        match self {
+            ProtocolSpec::Native => Box::new(NativeFactory),
+            ProtocolSpec::Hydee {
+                checkpoint_interval_ms,
+                image_bytes,
+                storage,
+                gc,
+            } => Box::new(HydeeFactory::new(Self::hydee_params(
+                checkpoint_interval_ms,
+                image_bytes,
+                storage,
+                gc,
+            ))),
+            ProtocolSpec::Coordinated {
+                checkpoint_interval_ms,
+                image_bytes,
+                storage,
+            } => Box::new(CoordinatedFactory::new(CoordinatedConfig {
+                checkpoint_interval: checkpoint_interval_ms.map(SimDuration::from_ms),
+                image_bytes,
+                storage: storage.build(),
+                ..Default::default()
+            })),
+            ProtocolSpec::EventLogged {
+                checkpoint_interval_ms,
+                image_bytes,
+                storage,
+            } => Box::new(EventLoggedFactory::new(
+                Self::hydee_params(checkpoint_interval_ms, image_bytes, storage, true),
+                DeterminantCost::default(),
+            )),
+        }
+    }
+}
+
+/// A declarative failure schedule entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FailureSpec {
+    /// Injection time in microseconds of simulated time.
+    pub at_us: u64,
+    /// Ranks failing concurrently at that instant.
+    pub ranks: Vec<u32>,
+}
+
+impl FailureSpec {
+    pub fn at_ms(ms: u64, ranks: Vec<u32>) -> Self {
+        FailureSpec {
+            at_us: ms * 1000,
+            ranks,
+        }
+    }
+
+    pub fn to_event(&self) -> FailureEvent {
+        FailureEvent {
+            at: SimTime::from_us(self.at_us),
+            ranks: self.ranks.iter().copied().map(Rank).collect(),
+        }
+    }
+
+    pub fn name(&self) -> String {
+        format!(
+            "fail@{}us:r{}",
+            self.at_us,
+            self.ranks
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        )
+    }
+}
+
+/// One declarative run: the unit the executor consumes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioSpec {
+    pub workload: WorkloadSpec,
+    pub protocol: ProtocolSpec,
+    pub clusters: ClusterStrategy,
+    pub network: NetworkSpec,
+    pub failures: Vec<FailureSpec>,
+    /// `false`: static clustering analysis only, no simulation (Table I).
+    pub simulate: bool,
+    /// Engine runaway guard override.
+    pub max_events: Option<u64>,
+}
+
+impl ScenarioSpec {
+    /// A runnable default: simulate under MX with no failures.
+    pub fn new(workload: WorkloadSpec, protocol: ProtocolSpec, clusters: ClusterStrategy) -> Self {
+        ScenarioSpec {
+            workload,
+            protocol,
+            clusters,
+            network: NetworkSpec::Mx,
+            failures: Vec::new(),
+            simulate: true,
+            max_events: None,
+        }
+    }
+
+    /// Deterministic human-readable label, unique within a matrix.
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "{}/{}/{}/{}",
+            self.workload.name(),
+            self.protocol.name(),
+            self.clusters.name(),
+            self.network.name()
+        );
+        for f in &self.failures {
+            s.push('/');
+            s.push_str(&f.name());
+        }
+        if !self.simulate {
+            s.push_str("/static");
+        }
+        s
+    }
+
+    /// Engine configuration for this spec.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig {
+            det_mode: DetMode::SendDeterministic,
+            network: self.network.build(),
+            ..Default::default()
+        };
+        if let Some(m) = self.max_events {
+            cfg.max_events = m;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_strategies_resolve() {
+        let app = WorkloadSpec::NetPipe {
+            rounds: 1,
+            bytes: 64,
+        }
+        .build();
+        assert_eq!(ClusterStrategy::Single.resolve(&app).n_clusters(), 1);
+        assert_eq!(ClusterStrategy::PerRank.resolve(&app).n_clusters(), 2);
+        assert_eq!(ClusterStrategy::Blocks(2).resolve(&app).n_clusters(), 2);
+        // k is clamped to n_ranks.
+        assert_eq!(ClusterStrategy::Blocks(64).resolve(&app).n_clusters(), 2);
+        assert_eq!(
+            ClusterStrategy::Partitioned(2).resolve(&app).n_clusters(),
+            2
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct_across_axes() {
+        let w = WorkloadSpec::NetPipe {
+            rounds: 1,
+            bytes: 64,
+        };
+        let a = ScenarioSpec::new(w.clone(), ProtocolSpec::Native, ClusterStrategy::Single);
+        let mut b = a.clone();
+        b.protocol = ProtocolSpec::hydee();
+        let mut c = a.clone();
+        c.failures = vec![FailureSpec::at_ms(1, vec![0])];
+        let mut d = a.clone();
+        d.simulate = false;
+        let labels = [a.label(), b.label(), c.label(), d.label()];
+        let set: std::collections::BTreeSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len(), "{labels:?}");
+    }
+
+    #[test]
+    fn protocol_names_encode_every_parameter() {
+        let variants = [
+            ProtocolSpec::hydee(),
+            ProtocolSpec::hydee().with_checkpoint_ms(Some(100)),
+            ProtocolSpec::Hydee {
+                checkpoint_interval_ms: None,
+                image_bytes: DEFAULT_IMAGE_BYTES,
+                storage: StorageSpec::ParallelFs,
+                gc: true,
+            },
+            ProtocolSpec::Hydee {
+                checkpoint_interval_ms: None,
+                image_bytes: 64 << 20,
+                storage: StorageSpec::Default,
+                gc: true,
+            },
+            ProtocolSpec::Hydee {
+                checkpoint_interval_ms: None,
+                image_bytes: DEFAULT_IMAGE_BYTES,
+                storage: StorageSpec::Default,
+                gc: false,
+            },
+            ProtocolSpec::coordinated(),
+            ProtocolSpec::event_logged(),
+        ];
+        let names: std::collections::BTreeSet<String> = variants.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), variants.len(), "{names:?}");
+    }
+
+    #[test]
+    fn checkpoint_override_only_touches_checkpointing_protocols() {
+        assert_eq!(
+            ProtocolSpec::Native.with_checkpoint_ms(Some(5)),
+            ProtocolSpec::Native
+        );
+        let h = ProtocolSpec::hydee().with_checkpoint_ms(Some(5));
+        match h {
+            ProtocolSpec::Hydee {
+                checkpoint_interval_ms,
+                ..
+            } => assert_eq!(checkpoint_interval_ms, Some(5)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

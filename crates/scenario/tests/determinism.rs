@@ -1,0 +1,128 @@
+//! Golden determinism guarantee of the orchestration layer: a parallel
+//! executor run produces records identical — in order *and* content — to
+//! a serial run of the same matrix. This is what makes sweep outputs
+//! diffable across machines and core counts.
+
+use scenario::{
+    ClusterStrategy, Executor, FailureSpec, Matrix, NetworkSpec, ProtocolSpec, RunRecord,
+};
+use workloads::{NasBench, WorkloadSpec};
+
+/// A small but diverse matrix: every protocol family, clustering both
+/// ways, a failure schedule, two networks, and a static point.
+fn diverse_specs() -> Vec<scenario::ScenarioSpec> {
+    let mut specs = Matrix::new()
+        .workloads([
+            WorkloadSpec::NetPipe {
+                rounds: 4,
+                bytes: 2048,
+            },
+            WorkloadSpec::Stencil {
+                n_ranks: 9,
+                iterations: 4,
+                face_bytes: 8 << 10,
+                compute_us: 50,
+                wildcard_recv: false,
+            },
+            WorkloadSpec::Nas {
+                bench: NasBench::MG,
+                scale: 1e-4,
+                iterations: Some(2),
+            },
+        ])
+        .protocols([
+            ProtocolSpec::Native,
+            ProtocolSpec::hydee(),
+            ProtocolSpec::event_logged(),
+        ])
+        .clusters([ClusterStrategy::Blocks(3), ClusterStrategy::PerRank])
+        .networks([NetworkSpec::Mx, NetworkSpec::Tcp])
+        .expand();
+    // A failure-recovery point (checkpointed HydEE, mid-run crash).
+    let mut failure_spec = scenario::ScenarioSpec::new(
+        WorkloadSpec::Stencil {
+            n_ranks: 8,
+            iterations: 30,
+            face_bytes: 32 << 10,
+            compute_us: 100,
+            wildcard_recv: false,
+        },
+        ProtocolSpec::Hydee {
+            checkpoint_interval_ms: Some(2),
+            image_bytes: 1 << 16,
+            storage: scenario::StorageSpec::ParallelFs,
+            gc: true,
+        },
+        ClusterStrategy::Blocks(4),
+    );
+    failure_spec.failures = vec![FailureSpec {
+        at_us: 3_000,
+        ranks: vec![5],
+    }];
+    specs.push(failure_spec);
+    // A static-analysis point.
+    let mut static_spec = scenario::ScenarioSpec::new(
+        WorkloadSpec::Nas {
+            bench: NasBench::CG,
+            scale: 1e-3,
+            iterations: Some(2),
+        },
+        ProtocolSpec::hydee(),
+        ClusterStrategy::Partitioned(4),
+    );
+    static_spec.simulate = false;
+    specs.push(static_spec);
+    specs
+}
+
+fn to_json(records: &[RunRecord]) -> Vec<String> {
+    records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect()
+}
+
+#[test]
+fn parallel_records_identical_to_serial_golden() {
+    let specs = diverse_specs();
+    let serial = Executor::serial().run(&specs);
+    let parallel = Executor::new().run(&specs);
+    assert_eq!(serial.len(), specs.len());
+    let serial_json = to_json(&serial);
+    let parallel_json = to_json(&parallel);
+    for i in 0..serial_json.len() {
+        assert_eq!(
+            serial_json[i],
+            parallel_json[i],
+            "record {i} ({}) diverged between serial and parallel execution",
+            specs[i].label()
+        );
+    }
+    // Order is spec order, not completion order.
+    for (spec, rec) in specs.iter().zip(&serial) {
+        assert_eq!(spec.label(), rec.scenario);
+    }
+}
+
+#[test]
+fn parallel_is_stable_across_repeated_runs() {
+    let specs = diverse_specs();
+    let first = to_json(&Executor::new().run(&specs));
+    let second = to_json(&Executor::new().run(&specs));
+    assert_eq!(first, second);
+}
+
+#[test]
+fn simulated_points_complete_with_clean_oracle() {
+    let specs = diverse_specs();
+    for rec in Executor::new().run(&specs) {
+        if rec.status != "static" {
+            assert!(rec.completed, "{}: {}", rec.scenario, rec.status);
+            assert!(
+                rec.trace_consistent,
+                "{}: {} oracle violations",
+                rec.scenario, rec.trace_violations
+            );
+        }
+    }
+}

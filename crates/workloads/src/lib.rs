@@ -15,10 +15,12 @@ pub mod grid;
 pub mod master_worker;
 pub mod nas;
 pub mod netpipe;
+pub mod registry;
 pub mod stencil;
 
 pub use grid::{Grid2D, Grid3D};
 pub use master_worker::{master_worker, MasterWorkerConfig};
 pub use nas::{NasBench, NasConfig};
 pub use netpipe::{ping_pong, size_ladder};
+pub use registry::WorkloadSpec;
 pub use stencil::{stencil_2d, StencilConfig};

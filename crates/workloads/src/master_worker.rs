@@ -55,7 +55,8 @@ pub fn master_worker(cfg: &MasterWorkerConfig) -> Application {
         let result_tag = Tag(2 * round as u32 + 1);
         // Master sends one task per worker...
         for w in 1..cfg.n_ranks {
-            app.rank_mut(master).send(Rank(w as u32), cfg.task_bytes, task_tag);
+            app.rank_mut(master)
+                .send(Rank(w as u32), cfg.task_bytes, task_tag);
         }
         // ...workers compute (staggered so completion order races)...
         for w in 1..cfg.n_ranks {

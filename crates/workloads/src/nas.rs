@@ -31,9 +31,10 @@ use crate::grid::{Grid2D, Grid3D};
 use det_sim::SimDuration;
 use mps_sim::collectives;
 use mps_sim::{Application, Rank, Tag};
+use serde::Serialize;
 
 /// Which NAS benchmark skeleton.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum NasBench {
     BT,
     CG,
@@ -64,6 +65,13 @@ impl NasBench {
             NasBench::MG => "MG",
             NasBench::SP => "SP",
         }
+    }
+
+    /// Inverse of [`NasBench::name`] (case-insensitive).
+    pub fn from_name(name: &str) -> Option<NasBench> {
+        NasBench::all()
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
     }
 
     /// Cluster count the paper's tool chose on 256 processes (Table I).
@@ -504,12 +512,7 @@ mod tests {
                 app.check_balance()
             );
             let report = Sim::new(app, SimConfig::default(), NullProtocol).run();
-            assert!(
-                report.completed(),
-                "{}: {:?}",
-                bench.name(),
-                report.status
-            );
+            assert!(report.completed(), "{}: {:?}", bench.name(), report.status);
         }
     }
 
@@ -546,9 +549,9 @@ mod tests {
         // Wavefront messages must remain 2 KiB regardless of scale: their
         // smallness drives LU's piggyback overhead in Figure 6.
         let has_pencil = app.programs.iter().any(|p| {
-            p.ops.iter().any(
-                |op| matches!(op, mps_sim::Op::Send { bytes, .. } if *bytes == 2048),
-            )
+            p.ops
+                .iter()
+                .any(|op| matches!(op, mps_sim::Op::Send { bytes, .. } if *bytes == 2048))
         });
         assert!(has_pencil);
     }

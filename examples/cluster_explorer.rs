@@ -27,12 +27,19 @@ fn main() {
         app.total_bytes() as f64 / 1e9
     );
     println!();
-    println!("{:>9} | {:>10} | {:>8} | {:>11}", "clusters", "rollback %", "logged %", "logged GB");
+    println!(
+        "{:>9} | {:>10} | {:>8} | {:>11}",
+        "clusters", "rollback %", "logged %", "logged GB"
+    );
     println!("{}", "-".repeat(48));
     for k in [1usize, 2, 4, 5, 6, 8, 16, 32, 64, 128, 256] {
         let map = partition(&graph, &PartitionConfig::balanced(k, 256));
         let stats = ClusteringStats::evaluate(&app, &map);
-        let marker = if k == bench.paper_clusters() { "  <- paper's choice" } else { "" };
+        let marker = if k == bench.paper_clusters() {
+            "  <- paper's choice"
+        } else {
+            ""
+        };
         println!(
             "{:>9} | {:>9.2}% | {:>7.2}% | {:>11.2}{marker}",
             stats.n_clusters,

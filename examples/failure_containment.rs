@@ -66,9 +66,7 @@ fn main() {
     ] {
         println!(
             "  {name:28} rolled back {:>2}/{N} ranks | makespan {} | log peak {:>9} B",
-            r.metrics.ranks_rolled_back,
-            r.makespan,
-            r.metrics.logged_bytes_peak,
+            r.metrics.ranks_rolled_back, r.makespan, r.metrics.logged_bytes_peak,
         );
     }
     println!();

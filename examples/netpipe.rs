@@ -16,14 +16,14 @@ fn latency_us<P: Protocol>(bytes: u64, protocol: P) -> f64 {
 }
 
 fn main() {
-    println!("{:>9} | {:>10} | {:>10} | {:>7}", "bytes", "native us", "hydee us", "delta");
+    println!(
+        "{:>9} | {:>10} | {:>10} | {:>7}",
+        "bytes", "native us", "hydee us", "delta"
+    );
     println!("{}", "-".repeat(46));
     for bytes in size_ladder(64 << 10) {
         let native = latency_us(bytes, NullProtocol);
-        let hydee = latency_us(
-            bytes,
-            Hydee::new(HydeeConfig::new(ClusterMap::per_rank(2))),
-        );
+        let hydee = latency_us(bytes, Hydee::new(HydeeConfig::new(ClusterMap::per_rank(2))));
         let delta = 100.0 * (hydee - native) / native;
         let bar = "#".repeat((delta / 2.0).round().max(0.0) as usize);
         println!("{bytes:>9} | {native:>10.2} | {hydee:>10.2} | {delta:>6.1}% {bar}");

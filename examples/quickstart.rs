@@ -41,8 +41,7 @@ fn main() {
         "  logged          : {} of {} app bytes ({:.1}%)",
         golden.metrics.logged_bytes_cumulative,
         golden.metrics.app_bytes,
-        100.0 * golden.metrics.logged_bytes_cumulative as f64
-            / golden.metrics.app_bytes as f64
+        100.0 * golden.metrics.logged_bytes_cumulative as f64 / golden.metrics.app_bytes as f64
     );
 
     // Same application, but rank 5 dies mid-run.

@@ -11,4 +11,5 @@ pub use hydee;
 pub use mps_sim;
 pub use net_model;
 pub use protocols;
+pub use scenario;
 pub use workloads;

@@ -130,8 +130,7 @@ fn protocol_overheads_are_ordered() {
         full.makespan
     );
     // And the overhead is small in relative terms (paper: ~2%).
-    let overhead =
-        hydee.makespan.as_secs_f64() / native.makespan.as_secs_f64() - 1.0;
+    let overhead = hydee.makespan.as_secs_f64() / native.makespan.as_secs_f64() - 1.0;
     assert!(overhead < 0.10, "hydee overhead {overhead:.3} too large");
 }
 

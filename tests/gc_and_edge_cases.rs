@@ -11,7 +11,8 @@ fn chatter(n: u32, rounds: usize, bytes: u64) -> Application {
         let tag = Tag((round % 3) as u32);
         for r in 0..n {
             app.rank_mut(Rank(r)).send(Rank((r + 1) % n), bytes, tag);
-            app.rank_mut(Rank(r)).send(Rank((r + n - 1) % n), bytes, tag);
+            app.rank_mut(Rank(r))
+                .send(Rank((r + n - 1) % n), bytes, tag);
         }
         for r in 0..n {
             app.rank_mut(Rank(r)).recv(Rank((r + n - 1) % n), tag);

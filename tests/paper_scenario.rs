@@ -196,7 +196,11 @@ fn orphan_ordering_like_figure_4() {
     sim.inject_failure(SimTime::from_us(150), vec![Rank(3)]);
     let report = sim.run();
     assert!(report.completed(), "{:?}", report.status);
-    assert!(report.trace.is_consistent(), "{:?}", report.trace.violations);
+    assert!(
+        report.trace.is_consistent(),
+        "{:?}",
+        report.trace.violations
+    );
     assert_eq!(report.digests, golden.digests);
     assert_eq!(report.metrics.ranks_rolled_back, 2, "only C1 = {{2,3}}");
     assert!(

@@ -17,10 +17,13 @@ struct RoundPlan {
 }
 
 fn arb_rounds(n_ranks: u8, max_rounds: usize) -> impl Strategy<Value = Vec<RoundPlan>> {
-    let edge = (0..n_ranks, 0..n_ranks, 1u16..64).prop_filter_map(
-        "no self edges",
-        |(a, b, s)| if a == b { None } else { Some((a, b, s)) },
-    );
+    let edge = (0..n_ranks, 0..n_ranks, 1u16..64).prop_filter_map("no self edges", |(a, b, s)| {
+        if a == b {
+            None
+        } else {
+            Some((a, b, s))
+        }
+    });
     prop::collection::vec(
         prop::collection::vec(edge, 1..5).prop_map(|edges| RoundPlan { edges }),
         1..max_rounds,

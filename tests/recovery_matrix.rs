@@ -34,12 +34,7 @@ fn run_hydee(
     sim.run()
 }
 
-fn assert_recovered(
-    name: &str,
-    golden: &RunReport,
-    report: &RunReport,
-    expect_rolled: u64,
-) {
+fn assert_recovered(name: &str, golden: &RunReport, report: &RunReport, expect_rolled: u64) {
     assert!(report.completed(), "{name}: {:?}", report.status);
     assert!(
         report.trace.is_consistent(),
@@ -203,9 +198,16 @@ fn sequential_failures_after_recovery() {
         ],
     );
     assert!(report.completed(), "{:?}", report.status);
-    assert!(report.trace.is_consistent(), "{:?}", report.trace.violations);
+    assert!(
+        report.trace.is_consistent(),
+        "{:?}",
+        report.trace.violations
+    );
     assert_eq!(report.digests, golden.digests);
-    assert_eq!(report.metrics.ranks_rolled_back, 8, "4 + 4 across two failures");
+    assert_eq!(
+        report.metrics.ranks_rolled_back, 8,
+        "4 + 4 across two failures"
+    );
     assert_eq!(report.metrics.failures, 2);
 }
 

@@ -1,0 +1,196 @@
+//! Offline stand-in for `rayon`, vendored because this workspace builds
+//! without network access to crates.io.
+//!
+//! Implements the one idiom the workspace uses — `vec.into_par_iter()
+//! .map(f).collect::<Vec<_>>()` — as an order-preserving parallel map on
+//! `std::thread::scope`. Items are claimed from an atomic cursor (dynamic
+//! load balancing, like rayon with small jobs) and results land in their
+//! input slot, so collection order always equals input order no matter how
+//! the OS schedules the workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used for parallel maps.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Order-preserving parallel map: the output index of each result equals
+/// the input index of its item.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|t| Mutex::new((Some(t), None)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap()
+                    .0
+                    .take()
+                    .expect("item claimed once");
+                let result = f(item);
+                slots[i].lock().unwrap().1 = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panics propagate through scope")
+                .1
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+pub mod iter {
+    /// Entry point mirroring `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        fn into_par_iter(self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        fn into_par_iter(self) -> ParIter<&'a T> {
+            self.as_slice().into_par_iter()
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefIterator`: `.par_iter()`
+    /// on a borrowed collection.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Send;
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            self.into_par_iter()
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            self.as_slice().into_par_iter()
+        }
+    }
+
+    /// A parallel iterator over owned items.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        pub fn map<F>(self, f: F) -> ParMap<T, F> {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    /// A mapped parallel iterator; `collect` runs the map across threads.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, F> ParMap<T, F> {
+        pub fn collect<C, R>(self) -> C
+        where
+            T: Send,
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            super::parallel_map(self.items, self.f)
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = vec![];
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn captures_environment() {
+        let offset = 7usize;
+        let out: Vec<usize> = vec![1, 2, 3].into_par_iter().map(|x| x + offset).collect();
+        assert_eq!(out, vec![8, 9, 10]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for `serde`, vendored because this workspace builds
+//! without network access to crates.io.
+//!
+//! It keeps the two trait names and the derive-macro ergonomics the real
+//! crate has, but collapses the data model to the one thing this workspace
+//! actually does with serialization: emitting JSON lines for result rows.
+//!
+//! * [`Serialize`] writes a JSON encoding of `self` into a `String`.
+//! * [`Deserialize`] is a marker only — nothing in the workspace parses.
+//!
+//! `#[derive(Serialize, Deserialize)]` comes from the sibling
+//! `serde_derive` stub and targets exactly these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-emitting serialization.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait; derived for parity with real serde but never exercised.
+pub trait Deserialize {}
+
+/// Escape and append a JSON string literal.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_display_num {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {})*
+    };
+}
+
+impl_display_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no Inf/NaN; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {})*
+    };
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(&self.to_string(), out);
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl Serialize for () {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+impl Deserialize for () {}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Maps serialize as arrays of `[key, value]` pairs: keys in this
+/// workspace are often tuples/newtypes, which JSON objects cannot hold.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            k.serialize_json(out);
+            out.push(',');
+            v.serialize_json(out);
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::BTreeSet<T> {}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_json(&3u32), "3");
+        assert_eq!(to_json(&-7i64), "-7");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+        assert_eq!(to_json(&Some(1u8)), "1");
+        assert_eq!(to_json(&(None as Option<u8>)), "null");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&(1u8, "x")), "[1,\"x\"]");
+        let m: std::collections::BTreeMap<u8, u8> = [(1, 2)].into_iter().collect();
+        assert_eq!(to_json(&m), "[[1,2]]");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&f64::INFINITY), "null");
+    }
+}

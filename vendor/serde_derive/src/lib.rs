@@ -1,0 +1,338 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — named structs, tuple structs and
+//! enums (unit / tuple / named-field variants), all without generics — by
+//! walking the raw `proc_macro` token stream (no `syn`/`quote` available
+//! offline). `Serialize` emits the serde_json data model: newtype structs
+//! serialize transparently, enums externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip `#[...]` attribute pairs and doc comments at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count top-level comma-separated entries of a tuple-struct/-variant body,
+/// treating `<...>` angle-bracket nesting as opaque.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        // Trailing comma must not add a phantom field.
+        match body.last() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => fields,
+            _ => fields + 1,
+        }
+    } else {
+        0
+    }
+}
+
+/// Parse the field names of a named-field body (struct or enum variant).
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        i += 1;
+        // Expect ':' then skip the type up to the next top-level comma.
+        debug_assert!(matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ':'));
+        i += 1;
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde stub derive: generics are not supported (type {name})"
+        );
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )),
+            },
+            _ => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(&g.stream().into_iter().collect::<Vec<_>>()),
+            },
+            other => panic!("serde stub derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Emit the body statements serializing `fields` where the bindings are
+/// `self.<name>` / `self.<idx>` (structs) or plain binding names (enums).
+fn named_fields_body(names: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let mut body = String::from("out.push('{');\n");
+    for (k, f) in names.iter().enumerate() {
+        if k > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize_json(&{}, out);\n",
+            accessor(f)
+        ));
+    }
+    body.push_str("out.push('}');\n");
+    body
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct {
+            name,
+            fields: Fields::Named(names),
+        } => {
+            let inner = named_fields_body(&names, |f| format!("self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\n{inner}}}\n}}"
+            )
+        }
+        Item::Struct {
+            name,
+            fields: Fields::Tuple(1),
+        } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n\
+             ::serde::Serialize::serialize_json(&self.0, out);\n}}\n}}"
+        ),
+        Item::Struct {
+            name,
+            fields: Fields::Tuple(n),
+        } => {
+            let mut inner = String::from("out.push('[');\n");
+            for k in 0..n {
+                if k > 0 {
+                    inner.push_str("out.push(',');\n");
+                }
+                inner.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{k}, out);\n"
+                ));
+            }
+            inner.push_str("out.push(']');\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\n{inner}}}\n}}"
+            )
+        }
+        Item::Struct {
+            name,
+            fields: Fields::Unit,
+        } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{ out.push_str(\"null\"); }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let pat = binds.join(", ");
+                        let mut inner = format!("out.push_str(\"{{\\\"{vn}\\\":\");\n");
+                        if *n == 1 {
+                            inner.push_str("::serde::Serialize::serialize_json(__f0, out);\n");
+                        } else {
+                            inner.push_str("out.push('[');\n");
+                            for (k, b) in binds.iter().enumerate() {
+                                if k > 0 {
+                                    inner.push_str("out.push(',');\n");
+                                }
+                                inner.push_str(&format!(
+                                    "::serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            inner.push_str("out.push(']');\n");
+                        }
+                        inner.push_str("out.push('}');\n");
+                        arms.push_str(&format!("{name}::{vn}({pat}) => {{\n{inner}}}\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = format!("out.push_str(\"{{\\\"{vn}\\\":\");\n");
+                        inner.push_str(&named_fields_body(fields, |f| f.to_string()));
+                        inner.push_str("out.push('}');\n");
+                        arms.push_str(&format!("{name}::{vn} {{ {pat} }} => {{\n{inner}}}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde stub derive: generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated code must parse")
+}

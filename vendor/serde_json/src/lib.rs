@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde_json`: just enough to emit JSON lines from
+//! types implementing the vendored [`serde::Serialize`].
+
+use std::fmt;
+
+/// Serialization error. The stub serializer is infallible, so this is
+/// never constructed; it exists so call sites can keep serde_json's
+/// `Result`-shaped API.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_emits_json() {
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+    }
+}
