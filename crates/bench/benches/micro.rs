@@ -30,6 +30,139 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_scheduler_with_cancels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.throughput(Throughput::Elements(10_000));
+    // The retract-in-flight pattern: every other event is cancelled before
+    // it fires (stale-entry skip + slot recycling).
+    g.bench_function("schedule_cancel_pop_10k", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u64> = Scheduler::new();
+            let mut t = SimTime::ZERO;
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                t += SimDuration::from_ns((i % 7) + 1);
+                let h = s.schedule(t, i);
+                if i % 2 == 0 {
+                    s.cancel(h);
+                }
+            }
+            while let Some((_, e)) = s.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_inbox(c: &mut Criterion) {
+    use mps_sim::{Inbox, Message, PbMeta};
+    let msg = |src: u32, tag: u32, seq: u64| Message {
+        src: Rank(src),
+        dst: Rank(0),
+        tag: mps_sim::Tag(tag),
+        bytes: 1024,
+        payload: seq,
+        channel_seq: seq,
+        meta: PbMeta::default(),
+        replayed: false,
+    };
+    let mut g = c.benchmark_group("inbox");
+    g.throughput(Throughput::Elements(8_192));
+    // Steady-state specific matching: 32 sources, FIFO depth ~8.
+    g.bench_function("push_take_specific_8k", |b| {
+        b.iter(|| {
+            let mut ib = Inbox::new();
+            let mut seq = 0u64;
+            for round in 0..32u64 {
+                for src in 0..32u32 {
+                    for _ in 0..8 {
+                        seq += 1;
+                        ib.push(msg(src, round as u32, seq), seq, SimDuration::ZERO);
+                    }
+                }
+                for src in 0..32u32 {
+                    for _ in 0..8 {
+                        black_box(ib.take_specific(Rank(src), mps_sim::Tag(round as u32)));
+                    }
+                }
+            }
+            black_box(ib.len())
+        })
+    });
+    // Wildcard matching must scan only the channels of its tag.
+    g.bench_function("push_take_any_8k", |b| {
+        b.iter(|| {
+            let mut ib = Inbox::new();
+            let mut seq = 0u64;
+            for round in 0..32u64 {
+                for src in 0..32u32 {
+                    for _ in 0..8 {
+                        seq += 1;
+                        ib.push(msg(src, round as u32, seq), seq, SimDuration::ZERO);
+                    }
+                }
+                for _ in 0..256 {
+                    black_box(ib.take_any(mps_sim::Tag(round as u32)));
+                }
+            }
+            black_box(ib.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_digest(c: &mut Criterion) {
+    use mps_sim::{Message, PbMeta, Trace};
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(40_000));
+    // 16 channels, 2500 sends each: the dense interning path, plus a
+    // replay sweep over every identity (the recovery-oracle path).
+    g.bench_function("record_40k_replay_40k", |b| {
+        b.iter(|| {
+            let mut t = Trace::new(16);
+            for seq in 1..=2_500u64 {
+                for src in 0..4u32 {
+                    for dst in 4..8u32 {
+                        let m = Message {
+                            src: Rank(src),
+                            dst: Rank(dst),
+                            tag: Tag(0),
+                            bytes: 256,
+                            payload: seq ^ (src as u64) << 32,
+                            channel_seq: seq,
+                            meta: PbMeta::default(),
+                            replayed: false,
+                        };
+                        t.record_send(&m);
+                    }
+                }
+            }
+            for seq in 1..=2_500u64 {
+                for src in 0..4u32 {
+                    for dst in 4..8u32 {
+                        let m = Message {
+                            src: Rank(src),
+                            dst: Rank(dst),
+                            tag: Tag(0),
+                            bytes: 256,
+                            payload: seq ^ (src as u64) << 32,
+                            channel_seq: seq,
+                            meta: PbMeta::default(),
+                            replayed: true,
+                        };
+                        t.check_replay(&m);
+                    }
+                }
+            }
+            assert!(t.is_consistent());
+            black_box(t.distinct_messages())
+        })
+    });
+    g.finish();
+}
+
 fn bench_rng(c: &mut Criterion) {
     let mut g = c.benchmark_group("rng");
     g.throughput(Throughput::Elements(1_000));
@@ -123,6 +256,9 @@ fn bench_stencil_protocol_overhead(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_scheduler,
+    bench_scheduler_with_cancels,
+    bench_inbox,
+    bench_trace_digest,
     bench_rng,
     bench_partitioner,
     bench_sim_throughput,

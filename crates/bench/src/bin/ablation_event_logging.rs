@@ -76,13 +76,16 @@ fn main() {
         for r in [native, hydee, hybrid, full] {
             assert!(r.completed, "{}: {}", r.scenario, r.status);
         }
-        let t0 = native.makespan_s;
+        // Normalize on the exact integer-picosecond makespans (the
+        // determinism golden values) rather than their pre-rounded
+        // floating-point mirrors; the ratio is taken once, here.
+        let norm = |r: &scenario::RunRecord| r.makespan_ps as f64 / native.makespan_ps as f64;
         let row = Row {
             bench: bench.name(),
-            hydee_norm: hydee.makespan_s / t0,
-            hybrid_event_logging_norm: hybrid.makespan_s / t0,
-            full_logging_events_norm: full.makespan_s / t0,
-            event_logging_penalty_pct: 100.0 * (hybrid.makespan_s - hydee.makespan_s) / t0,
+            hydee_norm: norm(hydee),
+            hybrid_event_logging_norm: norm(hybrid),
+            full_logging_events_norm: norm(full),
+            event_logging_penalty_pct: 100.0 * (norm(hybrid) - norm(hydee)),
         };
         table.row(&[
             bench.name().to_string(),

@@ -32,10 +32,12 @@ struct Row {
     log_bandwidth_reduction_pct: f64,
 }
 
-/// One-way latency in microseconds from a ping-pong record.
+/// One-way latency in microseconds from a ping-pong record: the exact
+/// integer makespan divided over the 2×ROUNDS one-way trips, converted
+/// through `SimDuration` so unit handling lives in one place.
 fn latency_us(rec: &RunRecord) -> f64 {
     assert!(rec.completed, "{}: {}", rec.scenario, rec.status);
-    (rec.makespan_ps as f64 / 1e6) / (2.0 * ROUNDS as f64)
+    (det_sim::SimDuration::from_ps(rec.makespan_ps) / (2 * ROUNDS as u64)).as_us_f64()
 }
 
 fn main() {

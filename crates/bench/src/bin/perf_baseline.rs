@@ -1,0 +1,136 @@
+//! **perf_baseline** — the CI-gated engine throughput baseline.
+//!
+//! Runs the fixed 3-cell macro matrix of [`bench::perf`] (1024-rank
+//! stencil native, the same under clustered HydEE, and a 256-rank CG
+//! checkpoint/failure/recovery run), times the simulation phase of each
+//! cell, and writes `BENCH_engine.json` — wall time, events/sec, peak RSS
+//! and the determinism digests — in a stable schema CI can diff.
+//!
+//! ```text
+//! perf_baseline [--out DIR] [--repeat N] [--check FILE] [--tolerance F]
+//! ```
+//!
+//! * `--out DIR` — where to write `BENCH_engine.json` [default: `.`]
+//! * `--repeat N` — simulations per cell, fastest kept [default: 3]
+//! * `--check FILE` — compare against a committed baseline; exit 1 on a
+//!   throughput regression beyond the tolerance or on any digest drift
+//! * `--tolerance F` — fractional regression gate [default: 0.20]
+//!
+//! Run: `cargo run -p bench --release --bin perf_baseline`
+
+use bench::perf::{self, macro_matrix};
+use bench::Table;
+use std::path::PathBuf;
+
+fn fail<T>(msg: &str) -> T {
+    eprintln!("perf_baseline: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from(".");
+    let mut repeat = 3u32;
+    let mut check: Option<PathBuf> = None;
+    let mut tolerance = 0.20f64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => out_dir = PathBuf::from(value("--out")),
+            "--repeat" => {
+                let v = value("--repeat");
+                repeat = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --repeat `{v}`")));
+            }
+            "--check" => check = Some(PathBuf::from(value("--check"))),
+            "--tolerance" => {
+                let v = value("--tolerance");
+                tolerance = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --tolerance `{v}`")));
+            }
+            "-h" | "--help" => {
+                println!("perf_baseline [--out DIR] [--repeat N] [--check FILE] [--tolerance F]");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let cells = macro_matrix();
+    println!(
+        "perf_baseline: {} cells, repeat={repeat} (fastest kept)",
+        cells.len()
+    );
+    let report = perf::run_matrix(&cells, repeat);
+
+    let mut table = Table::new(&[
+        "cell",
+        "ranks",
+        "events",
+        "sim wall (s)",
+        "events/sec",
+        "digest",
+    ]);
+    for c in &report.cells {
+        assert!(c.completed, "{}: simulation did not complete", c.name);
+        assert!(c.trace_consistent, "{}: trace oracle violations", c.name);
+        table.row(&[
+            c.name.clone(),
+            c.n_ranks.to_string(),
+            c.events.to_string(),
+            format!("{:.3}", c.sim_wall_s),
+            format!("{:.0}", c.events_per_sec),
+            format!("{:#018x}", c.digest),
+        ]);
+    }
+    table.print();
+    println!(
+        "aggregate: {:.0} events/sec over {} events, peak RSS {:.1} MB",
+        report.aggregate_events_per_sec,
+        report.total_events,
+        report.peak_rss_bytes as f64 / 1e6
+    );
+
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| fail(&format!("create {}: {e}", out_dir.display())));
+    let path = out_dir.join("BENCH_engine.json");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&path, format!("{json}\n"))
+        .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
+    println!("wrote {}", path.display());
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| fail(&format!("read {}: {e}", baseline_path.display())));
+        let baseline = perf::parse_baseline(&text);
+        if baseline.cells.is_empty() {
+            fail::<()>(&format!(
+                "no cells found in baseline {}",
+                baseline_path.display()
+            ));
+        }
+        let violations = perf::check_against(&baseline, &report, tolerance);
+        if violations.is_empty() {
+            println!(
+                "gate: OK against {} ({} cells, tolerance {:.0}%)",
+                baseline_path.display(),
+                baseline.cells.len(),
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("gate: FAILED against {}", baseline_path.display());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

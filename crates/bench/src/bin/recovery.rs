@@ -17,6 +17,7 @@
 //! Run: `cargo run -p bench --release --bin recovery`
 
 use bench::{gb, Artefact, Table};
+use det_sim::SimTime;
 use scenario::{ClusterStrategy, Executor, FailureSpec, Matrix, ProtocolSpec, StorageSpec};
 use serde::Serialize;
 use workloads::{NasBench, WorkloadSpec};
@@ -111,9 +112,9 @@ fn main() {
     let mut table = Table::new(&[
         "protocol",
         "rolled back",
-        "clean (s)",
-        "failed (s)",
-        "lost (s)",
+        "clean",
+        "failed",
+        "lost",
         "replayed MB",
         "suppressed",
         "log peak GB",
@@ -131,12 +132,26 @@ fn main() {
             clean.digest, failed.digest,
             "{name}: recovered state diverged"
         );
+        // Durations derive from the exact integer picosecond makespans and
+        // render through `SimTime`/`SimDuration`'s display helpers — no
+        // hand-rolled picosecond division that could drift from the
+        // canonical unit handling. Lost time stays *signed*: a failure run
+        // finishing faster than the clean run is an anomaly the report
+        // must surface, not saturate away.
+        let clean_makespan = SimTime::from_ps(clean.makespan_ps);
+        let failed_makespan = SimTime::from_ps(failed.makespan_ps);
+        let lost_ps = failed.makespan_ps as i128 - clean.makespan_ps as i128;
+        let lost_display = format!(
+            "{}{}",
+            if lost_ps < 0 { "-" } else { "" },
+            det_sim::SimDuration::from_ps(lost_ps.unsigned_abs() as u64)
+        );
         let row = Row {
             protocol: name,
             ranks_rolled_back: failed.metrics.ranks_rolled_back,
-            failure_free_s: clean.makespan_s,
-            with_failure_s: failed.makespan_s,
-            lost_s: failed.makespan_s - clean.makespan_s,
+            failure_free_s: clean_makespan.as_secs_f64(),
+            with_failure_s: failed_makespan.as_secs_f64(),
+            lost_s: failed_makespan.as_secs_f64() - clean_makespan.as_secs_f64(),
             replayed_mb: failed.metrics.replayed_bytes as f64 / 1e6,
             suppressed_sends: failed.metrics.suppressed_sends,
             logged_peak_gb: failed.metrics.logged_bytes_peak as f64 / 1e9,
@@ -144,9 +159,9 @@ fn main() {
         table.row(&[
             name.to_string(),
             format!("{}/{}", row.ranks_rolled_back, N),
-            format!("{:.3}", row.failure_free_s),
-            format!("{:.3}", row.with_failure_s),
-            format!("{:.3}", row.lost_s),
+            clean_makespan.to_string(),
+            failed_makespan.to_string(),
+            lost_display,
             format!("{:.1}", row.replayed_mb),
             row.suppressed_sends.to_string(),
             gb(failed.metrics.logged_bytes_peak),

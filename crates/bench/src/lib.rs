@@ -28,6 +28,8 @@ use scenario::{write_all, CsvSink, JsonlSink, RunRecord, Sink};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
+pub mod perf;
+
 pub use scenario::Table;
 
 /// Results bookkeeping for one artefact run: owns the output directory

@@ -1,0 +1,415 @@
+//! # bench::perf — the CI-gated engine performance baseline
+//!
+//! A fixed **3-cell macro matrix** exercising the simulation hot path at
+//! the scale the paper's headline experiments need (thousand-rank
+//! stencils, clustered HydEE, checkpoint + failure recovery). Each cell
+//! separates *setup* (workload generation, cluster resolution — not the
+//! engine) from the *timed simulation*, and reports events/second of
+//! simulated execution plus the determinism digest.
+//!
+//! The [`PerfReport`] serializes to `BENCH_engine.json` in a stable,
+//! line-diffable schema. CI runs [`check_against`] with the committed
+//! baseline: a >20 % events/sec regression or *any* digest drift fails the
+//! build. Timing wobbles with runner load — digests never do — so the
+//! tolerance applies only to throughput.
+//!
+//! The schema is versioned: bump [`SCHEMA_VERSION`] (and regenerate the
+//! committed baseline) when fields change meaning.
+
+use scenario::{ClusterStrategy, FailureSpec, ProtocolSpec, ScenarioSpec, StorageSpec};
+use serde::Serialize;
+use std::time::Instant;
+use workloads::{NasBench, WorkloadSpec};
+
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One point of the macro matrix.
+pub struct Cell {
+    pub name: &'static str,
+    pub spec: ScenarioSpec,
+}
+
+/// The fixed macro matrix. Changing a cell invalidates the committed
+/// baseline — regenerate `BENCH_engine.json` in the same PR.
+pub fn macro_matrix() -> Vec<Cell> {
+    let stencil_1024 = WorkloadSpec::Stencil {
+        n_ranks: 1024,
+        iterations: 200,
+        face_bytes: 4096,
+        compute_us: 100,
+        wildcard_recv: false,
+    };
+    vec![
+        // The paper-scale cell: a thousand-rank halo exchange, protocol-free
+        // (pure engine: queue, inbox, network pricing, trace oracle).
+        Cell {
+            name: "stencil1024_native",
+            spec: ScenarioSpec::new(
+                stencil_1024.clone(),
+                ProtocolSpec::Native,
+                ClusterStrategy::Single,
+            ),
+        },
+        // Same traffic under HydEE with Table-I-style clustering: adds
+        // piggybacking, sender-based logging and the RPP bookkeeping.
+        Cell {
+            name: "stencil1024_hydee64",
+            spec: ScenarioSpec::new(
+                stencil_1024,
+                ProtocolSpec::hydee(),
+                ClusterStrategy::Partitioned(64),
+            ),
+        },
+        // The recovery path: checkpoints, a mid-run failure, rollback and
+        // log replay (CG, 256 ranks, failure of rank 7 at 195 ms).
+        Cell {
+            name: "cg256_hydee16_failure",
+            spec: {
+                let mut spec = ScenarioSpec::new(
+                    WorkloadSpec::Nas {
+                        bench: NasBench::CG,
+                        scale: 1.0 / 64.0,
+                        iterations: None,
+                    },
+                    ProtocolSpec::Hydee {
+                        checkpoint_interval_ms: Some(100),
+                        image_bytes: 1 << 20,
+                        storage: StorageSpec::ParallelFs,
+                        gc: true,
+                    },
+                    ClusterStrategy::Partitioned(16),
+                );
+                spec.failures = vec![FailureSpec::at_ms(195, vec![7])];
+                spec
+            },
+        },
+    ]
+}
+
+/// Outcome of one timed cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    pub name: String,
+    pub n_ranks: usize,
+    pub completed: bool,
+    pub trace_consistent: bool,
+    /// Engine events processed by the timed simulation.
+    pub events: u64,
+    /// Untimed setup (workload generation + cluster resolution), seconds.
+    pub setup_s: f64,
+    /// Wall-clock seconds of the timed simulation (best of `repeat`).
+    pub sim_wall_s: f64,
+    /// `events / sim_wall_s` — the gated throughput metric.
+    pub events_per_sec: f64,
+    /// Exact integer makespan — determinism golden value.
+    pub makespan_ps: u64,
+    /// Order-sensitive fold of per-rank state digests — determinism golden
+    /// value; must be bit-for-bit stable across machines.
+    pub digest: u64,
+}
+
+/// The whole report, serialized to `BENCH_engine.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfReport {
+    pub schema_version: u32,
+    pub cells: Vec<CellResult>,
+    pub total_events: u64,
+    pub total_sim_wall_s: f64,
+    /// `total_events / total_sim_wall_s` over the whole matrix.
+    pub aggregate_events_per_sec: f64,
+    /// Peak resident set of the whole process, bytes (0 where unsupported).
+    pub peak_rss_bytes: u64,
+}
+
+/// Run one cell: untimed setup, then `repeat` simulations keeping the
+/// fastest wall time (every run must produce the identical digest — a
+/// mismatch panics, because a nondeterministic engine invalidates every
+/// other number in the report).
+pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
+    let spec = &cell.spec;
+    let setup_started = Instant::now();
+    // Scope the setup app so only one application image is resident while
+    // the timed simulation runs.
+    let (map, n_ranks) = {
+        let app = spec.workload.build();
+        (spec.clusters.resolve(&app), app.n_ranks())
+    };
+    let setup_s = setup_started.elapsed().as_secs_f64();
+    let failures: Vec<_> = spec.failures.iter().map(|f| f.to_event()).collect();
+
+    let mut best: Option<(f64, mps_sim::RunReport)> = None;
+    for _ in 0..repeat.max(1) {
+        let app = spec.workload.build();
+        let factory = spec.protocol.to_factory();
+        let started = Instant::now();
+        let report = factory.run(app, spec.sim_config(), &map, &failures);
+        let wall = started.elapsed().as_secs_f64();
+        if let Some((_, prev)) = &best {
+            assert_eq!(
+                prev.digests, report.digests,
+                "{}: nondeterministic digest across repeats",
+                cell.name
+            );
+        }
+        if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+            best = Some((wall, report));
+        }
+    }
+    let (sim_wall_s, report) = best.expect("at least one repeat");
+    let events = report.metrics.events;
+    CellResult {
+        name: cell.name.to_string(),
+        n_ranks,
+        completed: report.completed(),
+        trace_consistent: report.trace.is_consistent(),
+        events,
+        setup_s,
+        sim_wall_s,
+        events_per_sec: events as f64 / sim_wall_s.max(1e-9),
+        makespan_ps: report.makespan.as_ps(),
+        digest: scenario::fold_digests(&report.digests),
+    }
+}
+
+/// Run the whole matrix and assemble the report.
+pub fn run_matrix(cells: &[Cell], repeat: u32) -> PerfReport {
+    let results: Vec<CellResult> = cells.iter().map(|c| run_cell(c, repeat)).collect();
+    let total_events: u64 = results.iter().map(|r| r.events).sum();
+    let total_sim_wall_s: f64 = results.iter().map(|r| r.sim_wall_s).sum();
+    PerfReport {
+        schema_version: SCHEMA_VERSION,
+        cells: results,
+        total_events,
+        total_sim_wall_s,
+        aggregate_events_per_sec: total_events as f64 / total_sim_wall_s.max(1e-9),
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM`), 0 where the
+/// procfs interface is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// A cell's gated numbers as extracted from a baseline JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineCell {
+    pub name: String,
+    pub events_per_sec: f64,
+    pub digest: u64,
+}
+
+/// A committed baseline as extracted from `BENCH_engine.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// `schema_version` of the committed file (`None` if unparseable —
+    /// the gate treats that as a mismatch).
+    pub schema_version: Option<u32>,
+    pub cells: Vec<BaselineCell>,
+}
+
+/// Extract the gated fields from a `BENCH_engine.json`. The vendored
+/// serde stub only *emits* JSON (DESIGN.md §6), so the checker scans for
+/// the fields it gates on instead of parsing the full document —
+/// sufficient because the file is machine-written in a fixed field order.
+pub fn parse_baseline(text: &str) -> Baseline {
+    fn field<'a>(chunk: &'a str, key: &str) -> Option<&'a str> {
+        let start = chunk.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let rest = &chunk[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    // `schema_version` is the report's first field, ahead of any cell.
+    let schema_version = field(text, "schema_version").and_then(|v| v.parse().ok());
+    let mut cells = Vec::new();
+    // Cells are the only objects with a "name" field.
+    for chunk in text.split("\"name\":").skip(1) {
+        let name = chunk
+            .trim_start()
+            .trim_start_matches('"')
+            .split('"')
+            .next()
+            .unwrap_or("")
+            .to_string();
+        let eps = field(chunk, "events_per_sec").and_then(|v| v.parse().ok());
+        let digest = field(chunk, "digest").and_then(|v| v.parse().ok());
+        if let (Some(events_per_sec), Some(digest)) = (eps, digest) {
+            cells.push(BaselineCell {
+                name,
+                events_per_sec,
+                digest,
+            });
+        }
+    }
+    Baseline {
+        schema_version,
+        cells,
+    }
+}
+
+/// Compare `report` against a committed baseline. Returns the list of
+/// violations (empty = pass): schema-version mismatch, throughput
+/// regressions beyond `tolerance` (fractional, e.g. 0.20), and any
+/// digest drift.
+pub fn check_against(baseline: &Baseline, report: &PerfReport, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if baseline.schema_version != Some(report.schema_version) {
+        violations.push(format!(
+            "baseline schema_version {:?} != current {} — fields may have changed \
+             meaning; regenerate the committed BENCH_engine.json",
+            baseline.schema_version, report.schema_version
+        ));
+        // Cell-level comparisons against an incommensurable schema would
+        // only add noise.
+        return violations;
+    }
+    for base in &baseline.cells {
+        let Some(cur) = report.cells.iter().find(|c| c.name == base.name) else {
+            violations.push(format!(
+                "cell `{}` present in baseline but not produced (matrix drift — \
+                 regenerate the baseline deliberately)",
+                base.name
+            ));
+            continue;
+        };
+        if cur.digest != base.digest {
+            violations.push(format!(
+                "cell `{}`: digest {:#x} != baseline {:#x} — determinism broken or \
+                 timing model changed without regenerating the baseline",
+                base.name, cur.digest, base.digest
+            ));
+        }
+        let floor = base.events_per_sec * (1.0 - tolerance);
+        if cur.events_per_sec < floor {
+            violations.push(format!(
+                "cell `{}`: {:.0} events/s is below the gate ({:.0} = baseline {:.0} - {:.0}%)",
+                base.name,
+                cur.events_per_sec,
+                floor,
+                base.events_per_sec,
+                tolerance * 100.0
+            ));
+        }
+    }
+    // Matrix drift in the other direction: a cell the baseline has never
+    // seen would otherwise ship permanently ungated.
+    for cur in &report.cells {
+        if !baseline.cells.iter().any(|b| b.name == cur.name) {
+            violations.push(format!(
+                "cell `{}` produced but absent from the baseline (matrix grew — \
+                 regenerate the baseline in the same change)",
+                cur.name
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(name: &str, eps: f64, digest: u64) -> PerfReport {
+        PerfReport {
+            schema_version: SCHEMA_VERSION,
+            cells: vec![CellResult {
+                name: name.into(),
+                n_ranks: 2,
+                completed: true,
+                trace_consistent: true,
+                events: 1000,
+                setup_s: 0.0,
+                sim_wall_s: 0.001,
+                events_per_sec: eps,
+                makespan_ps: 1,
+                digest,
+            }],
+            total_events: 1000,
+            total_sim_wall_s: 0.001,
+            aggregate_events_per_sec: eps,
+            peak_rss_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_scanner() {
+        let report = report_with("cell_a", 123456.0, 0xDEAD);
+        let json = serde_json::to_string(&report).unwrap();
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed.schema_version, Some(SCHEMA_VERSION));
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.cells[0].name, "cell_a");
+        assert_eq!(parsed.cells[0].digest, 0xDEAD);
+        assert!((parsed.cells[0].events_per_sec - 123456.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gate_fails_on_schema_version_mismatch() {
+        let mut base =
+            parse_baseline(&serde_json::to_string(&report_with("c", 1000.0, 7)).unwrap());
+        base.schema_version = Some(SCHEMA_VERSION + 1);
+        let violations = check_against(&base, &report_with("c", 1000.0, 7), 0.20);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("schema_version"));
+        // An unparseable version is a mismatch too, not a silent pass.
+        base.schema_version = None;
+        assert!(!check_against(&base, &report_with("c", 1000.0, 7), 0.20).is_empty());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = parse_baseline(&serde_json::to_string(&report_with("c", 1000.0, 7)).unwrap());
+        let current = report_with("c", 850.0, 7); // -15% < 20% gate
+        assert!(check_against(&base, &current, 0.20).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_regression_and_digest_drift() {
+        let base = parse_baseline(&serde_json::to_string(&report_with("c", 1000.0, 7)).unwrap());
+        let slow = report_with("c", 700.0, 7); // -30%
+        assert_eq!(check_against(&base, &slow, 0.20).len(), 1);
+        let drifted = report_with("c", 1000.0, 8);
+        let violations = check_against(&base, &drifted, 0.20);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("digest"));
+    }
+
+    #[test]
+    fn gate_fails_on_matrix_drift_in_either_direction() {
+        let base = parse_baseline(&serde_json::to_string(&report_with("old", 1000.0, 7)).unwrap());
+        let current = report_with("new", 1000.0, 7);
+        // Renamed cell: flagged both as a dropped baseline cell and as an
+        // ungated fresh cell.
+        let violations = check_against(&base, &current, 0.20);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().any(|v| v.contains("not produced")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("absent from the baseline")));
+    }
+
+    #[test]
+    fn macro_matrix_is_three_cells_with_the_1024_rank_point() {
+        let cells = macro_matrix();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].spec.workload.n_ranks(), 1024);
+        assert!(cells.iter().any(|c| !c.spec.failures.is_empty()));
+    }
+}

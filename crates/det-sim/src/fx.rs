@@ -1,0 +1,110 @@
+//! Deterministic fast hashing for hot-path lookup tables.
+//!
+//! `std::collections::HashMap`'s default hasher is seeded from OS
+//! randomness, which the determinism contract (DESIGN.md §2) forbids even
+//! where iteration order never escapes: a deterministic system should not
+//! consume entropy at all. [`FxHashMap`] swaps in the Firefox `FxHasher`
+//! (multiply-rotate over machine words) with a fixed zero seed — same
+//! O(1) lookups, no per-process randomness, and several times faster than
+//! SipHash on the small fixed-width keys the engine uses (wire sizes,
+//! endpoint pairs, flight ids).
+//!
+//! The maps are used for *lookup only* on the simulation hot path; nothing
+//! deterministic-ordering-sensitive ever iterates them.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox "Fx" hash: one multiply-rotate per word of input.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), i as u64);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i * 2)), Some(&(i as u64)));
+        }
+        assert_eq!(m.get(&(7, 15)), None);
+    }
+
+    #[test]
+    fn byte_stream_matches_wordwise_padding() {
+        // write() must not change results run-to-run (no ambient state).
+        let mut a = FxHasher::default();
+        a.write(b"hello world, hydee");
+        let first = a.finish();
+        let mut b = FxHasher::default();
+        b.write(b"hello world, hydee");
+        assert_eq!(first, b.finish());
+    }
+}

@@ -22,11 +22,13 @@
 //! assert_eq!(t, SimTime::from_us(1));
 //! ```
 
+pub mod fx;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use fx::{FxHashMap, FxHasher};
 pub use queue::{EventHandle, Scheduler};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, Summary};

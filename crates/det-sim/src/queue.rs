@@ -1,31 +1,80 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper over a binary heap keyed by `(SimTime, sequence)`. The
+//! An index-based binary heap over a **slab arena** (DESIGN.md §2.1). Every
+//! scheduled event lives in a fixed slot of the arena; the heap itself is a
+//! flat `Vec<u32>` of slot indices ordered by `(SimTime, sequence)`. The
 //! monotonically increasing sequence number breaks ties between events
 //! scheduled for the same instant in *insertion order*, which makes the
-//! simulation schedule a pure function of the call sequence — `BinaryHeap`
-//! alone gives no ordering guarantee for equal keys.
+//! simulation schedule a pure function of the call sequence — a plain
+//! binary heap gives no ordering guarantee for equal keys.
+//!
+//! Freed slots are recycled through an intrusive free list, so steady-state
+//! operation performs **zero allocations** and memory is bounded by the
+//! peak number of simultaneously live events (the previous implementation
+//! appended one slot per scheduled event and paid an O(dead-prefix) scan on
+//! every pop to decide when to compact).
 //!
 //! Events can be cancelled in O(1) via [`EventHandle`] (lazy deletion: the
-//! slot is tombstoned and skipped on pop), which the message-passing layer
-//! uses for retracting in-flight deliveries to a failed rank.
+//! slot is tombstoned, its key is kept so the heap invariant holds, and the
+//! slot is recycled when its heap entry surfaces), which the
+//! message-passing layer uses for retracting in-flight deliveries to a
+//! failed rank. Handles carry a per-slot generation, so a handle to a
+//! consumed event can never cancel an unrelated event that happens to reuse
+//! the slot.
 
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Identifies a scheduled event so it can be cancelled later.
+///
+/// Internally packs `(slot index, slot generation)`; a handle is
+/// invalidated the moment its event fires or is cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventHandle(u64);
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
+impl EventHandle {
+    #[inline]
+    fn new(slot: u32, generation: u32) -> Self {
+        EventHandle(((generation as u64) << 32) | slot as u64)
+    }
+    #[inline]
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    #[inline]
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A heap entry: the full ordering key plus the arena slot it points at.
+/// Keys are *inline* so sift comparisons never chase the arena pointer,
+/// and `seq` doubles as the staleness check — a cancelled event frees its
+/// slot immediately, and any heap entry whose `seq` no longer matches the
+/// slot's is recognised as stale when it surfaces.
+#[derive(Clone, Copy)]
+struct Entry {
     time: SimTime,
     seq: u64,
+    slot: u32,
+}
+
+impl Entry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
 }
 
 struct Slot<E> {
-    event: Option<E>, // None => cancelled (tombstone)
+    /// Insertion stamp of the occupying event; `u64::MAX` while free.
+    seq: u64,
+    /// Bumped whenever the slot is recycled; validates [`EventHandle`]s.
+    generation: u32,
+    /// Next slot in the free list (only meaningful while free).
+    next_free: u32,
+    event: Option<E>,
 }
 
 /// A deterministic future-event list.
@@ -34,11 +83,10 @@ struct Slot<E> {
 /// queue tracks `now` — the timestamp of the most recently popped event —
 /// as the simulation clock.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Reverse<Key>>,
+    /// Binary heap ordered by `(time, seq)` with keys held inline.
+    heap: Vec<Entry>,
     slots: Vec<Slot<E>>,
-    // Maps seq -> index into `slots`; slots of consumed events are freed.
-    // We keep it simple: slots indexed by seq directly via offset.
-    base_seq: u64,
+    free_head: u32,
     next_seq: u64,
     now: SimTime,
     live: usize,
@@ -53,9 +101,9 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             slots: Vec::new(),
-            base_seq: 0,
+            free_head: NIL,
             next_seq: 0,
             now: SimTime::ZERO,
             live: 0,
@@ -92,83 +140,148 @@ impl<E> Scheduler<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let key = Key { time: at, seq };
-        self.slots.push(Slot { event: Some(event) });
-        self.heap.push(Reverse(key));
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.next_free;
+            slot.seq = seq;
+            slot.next_free = NIL;
+            slot.event = Some(event);
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "slab arena exhausted");
+            self.slots.push(Slot {
+                seq,
+                generation: 0,
+                next_free: NIL,
+                event: Some(event),
+            });
+            idx
+        };
         self.live += 1;
-        EventHandle(seq)
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            slot: idx,
+        });
+        self.sift_up(self.heap.len() - 1);
+        EventHandle::new(idx, self.slots[idx as usize].generation)
     }
 
     /// Cancel a previously scheduled event. Returns the event if it was
     /// still pending, `None` if it already fired or was already cancelled.
+    ///
+    /// O(1): the slot is freed immediately (its heap entry turns stale and
+    /// is dropped when it surfaces — `seq` no longer matches).
     pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
-        let idx = self.slot_index(handle.0)?;
-        let taken = self.slots[idx].event.take();
+        let idx = handle.slot();
+        let slot = self.slots.get_mut(idx as usize)?;
+        if slot.generation != handle.generation() {
+            return None;
+        }
+        let taken = slot.event.take();
         if taken.is_some() {
             self.live -= 1;
+            self.release(idx);
         }
         taken
     }
 
+    /// Does the heap entry still name the event it was pushed for?
+    #[inline]
+    fn is_live(&self, e: &Entry) -> bool {
+        let s = &self.slots[e.slot as usize];
+        s.seq == e.seq && s.event.is_some()
+    }
+
     /// Timestamp of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_tombstones();
-        self.heap.peek().map(|Reverse(k)| k.time)
+        self.skip_stale();
+        self.heap.first().map(|e| e.time)
     }
 
     /// Pop the next event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
-            let Reverse(key) = self.heap.pop()?;
-            let idx = self
-                .slot_index(key.seq)
-                .expect("heap key without backing slot");
-            if let Some(event) = self.slots[idx].event.take() {
-                self.live -= 1;
-                debug_assert!(key.time >= self.now);
-                self.now = key.time;
-                self.compact();
-                return Some((key.time, event));
+            let entry = *self.heap.first()?;
+            self.remove_top();
+            if !self.is_live(&entry) {
+                continue; // stale: the event was cancelled
             }
-            // tombstone: cancelled event, keep popping
+            let event = self.slots[entry.slot as usize].event.take().unwrap();
+            self.release(entry.slot);
+            self.live -= 1;
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            return Some((entry.time, event));
         }
     }
 
-    fn slot_index(&self, seq: u64) -> Option<usize> {
-        if seq < self.base_seq {
-            return None;
-        }
-        let idx = (seq - self.base_seq) as usize;
-        if idx >= self.slots.len() {
-            return None;
-        }
-        Some(idx)
+    /// Return a consumed slot to the free list, invalidating its handles.
+    #[inline]
+    fn release(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.seq = u64::MAX;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.next_free = self.free_head;
+        self.free_head = idx;
     }
 
-    fn skip_tombstones(&mut self) {
-        while let Some(Reverse(key)) = self.heap.peek() {
-            let idx = match self.slot_index(key.seq) {
-                Some(i) => i,
-                None => {
-                    self.heap.pop();
-                    continue;
-                }
-            };
-            if self.slots[idx].event.is_some() {
+    /// Drop stale entries sitting at the heap top so `peek_time` sees a
+    /// live event.
+    fn skip_stale(&mut self) {
+        while let Some(e) = self.heap.first() {
+            if self.is_live(e) {
                 return;
             }
-            self.heap.pop();
+            self.remove_top();
         }
     }
 
-    /// Drop fully-consumed slots from the front to bound memory. Amortised
-    /// O(1): only runs when at least half the slot arena is dead prefix.
-    fn compact(&mut self) {
-        let dead_prefix = self.slots.iter().take_while(|s| s.event.is_none()).count();
-        if dead_prefix >= 1024 && dead_prefix * 2 >= self.slots.len() {
-            self.slots.drain(..dead_prefix);
-            self.base_seq += dead_prefix as u64;
+    /// Remove the root heap entry, restoring the heap invariant.
+    fn remove_top(&mut self) {
+        let last = self.heap.pop().expect("remove_top on empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
         }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        let moved = self.heap[pos];
+        let key = moved.key();
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.heap[parent].key() <= key {
+                break;
+            }
+            self.heap[pos] = self.heap[parent];
+            pos = parent;
+        }
+        self.heap[pos] = moved;
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let moved = self.heap[pos];
+        let key = moved.key();
+        let len = self.heap.len();
+        loop {
+            let mut child = 2 * pos + 1;
+            if child >= len {
+                break;
+            }
+            let right = child + 1;
+            if right < len && self.heap[right].key() < self.heap[child].key() {
+                child = right;
+            }
+            if key <= self.heap[child].key() {
+                break;
+            }
+            self.heap[pos] = self.heap[child];
+            pos = child;
+        }
+        self.heap[pos] = moved;
     }
 
     /// Drain all remaining events in deterministic order (for shutdown and
@@ -243,6 +356,20 @@ mod tests {
     }
 
     #[test]
+    fn stale_handle_cannot_cancel_recycled_slot() {
+        let mut s = Scheduler::new();
+        let h = s.schedule(SimTime::from_us(1), 1u32);
+        s.pop();
+        // The slot is recycled for a new event; the old handle must not
+        // reach it.
+        let h2 = s.schedule(SimTime::from_us(2), 2u32);
+        assert_eq!(h.slot(), h2.slot(), "slot should be recycled");
+        assert_eq!(s.cancel(h), None);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.cancel(h2), Some(2));
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut s = Scheduler::new();
         let h = s.schedule(SimTime::from_us(1), ());
@@ -252,11 +379,15 @@ mod tests {
     }
 
     #[test]
-    fn compaction_keeps_behaviour() {
+    fn slot_arena_is_bounded_by_peak_live() {
         let mut s = Scheduler::new();
         let mut t = SimTime::ZERO;
-        // Enough traffic to trigger several compactions.
-        for round in 0..50u64 {
+        // Steady-state traffic: 100 live events at a time, 5000 total.
+        for i in 0..100u64 {
+            t += SimDuration::from_ns(1);
+            s.schedule(t, i);
+        }
+        for round in 0..49u64 {
             for i in 0..100u64 {
                 t += SimDuration::from_ns(1);
                 s.schedule(t, round * 100 + i);
@@ -265,8 +396,10 @@ mod tests {
                 s.pop().unwrap();
             }
         }
+        assert_eq!(s.slots.len(), 200, "arena must recycle, not grow");
+        while s.pop().is_some() {}
         assert!(s.is_empty());
-        // Scheduling still works after compaction.
+        // Scheduling still works after heavy recycling.
         s.schedule(t + SimDuration::from_ns(1), 0);
         assert_eq!(s.pop().map(|(_, e)| e), Some(0));
     }

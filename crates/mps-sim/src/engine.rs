@@ -33,8 +33,8 @@ use crate::program::{Application, Op, Program};
 use crate::protocol::{Protocol, SendAction, SendInfo};
 use crate::trace::Trace;
 use crate::types::{Endpoint, Message, Rank};
-use det_sim::{EventHandle, Scheduler, SimDuration, SimTime};
-use net_model::{MxModel, NetworkModel};
+use det_sim::{EventHandle, FxHashMap, Scheduler, SimDuration, SimTime};
+use net_model::{CostCache, MsgCost, MxModel, NetworkModel};
 use std::collections::BTreeMap;
 
 /// Engine configuration.
@@ -151,11 +151,26 @@ struct RankState {
 }
 
 pub(crate) enum Event {
-    Exec { rank: Rank, epoch: u32 },
-    AppArrival { flight: u64 },
-    CtlArrival { flight: u64 },
-    Timer { id: u64 },
-    Failure { ranks: Vec<Rank> },
+    Exec {
+        rank: Rank,
+        epoch: u32,
+    },
+    /// `flight` is a slab slot; `seq` is the flight's monotone stamp and
+    /// guards against a recycled slot (see [`FlightSlab`]).
+    AppArrival {
+        flight: u32,
+        seq: u64,
+    },
+    CtlArrival {
+        flight: u32,
+        seq: u64,
+    },
+    Timer {
+        id: u64,
+    },
+    Failure {
+        ranks: Vec<Rank>,
+    },
 }
 
 enum FlightKind<C> {
@@ -172,8 +187,70 @@ enum FlightKind<C> {
 struct Flight<C> {
     to: Endpoint,
     at: SimTime,
+    /// Monotone creation stamp: deterministic tie-break for in-flight
+    /// capture ordering, independent of slab slot recycling.
+    seq: u64,
     handle: EventHandle,
     kind: FlightKind<C>,
+}
+
+/// Slab arena for in-flight messages: O(1) insert/remove with slot reuse,
+/// so per-message traffic costs no tree rebalancing and no allocation in
+/// steady state (the previous `BTreeMap<u64, Flight>` paid both). Arrival
+/// events carry the flight's `seq` stamp and re-validate it, so an event
+/// can never resolve to a different flight that recycled its slot.
+struct FlightSlab<C> {
+    slots: Vec<Option<Flight<C>>>,
+    free: Vec<u32>,
+    next_seq: u64,
+}
+
+impl<C> FlightSlab<C> {
+    fn new() -> Self {
+        FlightSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserve a slot and the next monotone stamp: `(slot, seq)`.
+    fn reserve(&mut self) -> (u32, u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        (slot, seq)
+    }
+
+    fn fill(&mut self, slot: u32, flight: Flight<C>) {
+        debug_assert!(self.slots[slot as usize].is_none());
+        self.slots[slot as usize] = Some(flight);
+    }
+
+    /// Remove the flight in `slot` if its stamp matches `seq`.
+    fn remove(&mut self, slot: u32, seq: u64) -> Option<Flight<C>> {
+        let entry = self.slots.get_mut(slot as usize)?;
+        if entry.as_ref().is_some_and(|f| f.seq == seq) {
+            let f = entry.take();
+            self.free.push(slot);
+            f
+        } else {
+            None
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u32, &Flight<C>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|f| (i as u32, f)))
+    }
 }
 
 /// Engine internals shared with protocols through [`Ctx`].
@@ -182,9 +259,11 @@ pub struct Core<C> {
     ranks: Vec<RankState>,
     programs: Vec<Program>,
     config: SimConfig,
-    fifo_last: BTreeMap<(Endpoint, Endpoint), SimTime>,
-    flights: BTreeMap<u64, Flight<C>>,
-    next_flight: u64,
+    fifo_last: FxHashMap<(Endpoint, Endpoint), SimTime>,
+    flights: FlightSlab<C>,
+    /// Memoized network pricing: each delivery burst is priced once per
+    /// distinct wire size instead of per message (DESIGN.md §2.1).
+    cost_cache: CostCache,
     arrival_counter: u64,
     done_count: usize,
     pub metrics: Metrics,
@@ -221,9 +300,9 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
             ranks,
             programs: app.programs,
             config,
-            fifo_last: BTreeMap::new(),
-            flights: BTreeMap::new(),
-            next_flight: 0,
+            fifo_last: FxHashMap::default(),
+            flights: FlightSlab::new(),
+            cost_cache: CostCache::new(),
             arrival_counter: 0,
             done_count: 0,
             metrics: Metrics::default(),
@@ -233,6 +312,12 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
 
     fn n(&self) -> usize {
         self.ranks.len()
+    }
+
+    /// Price a wire size on the configured network, memoized.
+    #[inline]
+    fn priced(&mut self, wire_bytes: u64) -> MsgCost {
+        self.cost_cache.price(&*self.config.network, wire_bytes)
     }
 
     /// FIFO-adjust an arrival on `(from, to)` and record it.
@@ -252,18 +337,18 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
     ) {
         let at = self.fifo_adjust(from, to, computed);
         let at = at.max(self.sched.now());
-        let flight = self.next_flight;
-        self.next_flight += 1;
+        let (flight, seq) = self.flights.reserve();
         let ev = match kind {
-            FlightKind::App { .. } => Event::AppArrival { flight },
-            FlightKind::Ctl { .. } => Event::CtlArrival { flight },
+            FlightKind::App { .. } => Event::AppArrival { flight, seq },
+            FlightKind::Ctl { .. } => Event::CtlArrival { flight, seq },
         };
         let handle = self.sched.schedule(at, ev);
-        self.flights.insert(
+        self.flights.fill(
             flight,
             Flight {
                 to,
                 at,
+                seq,
                 handle,
                 kind,
             },
@@ -278,7 +363,7 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
         extra_sender_time: SimDuration,
     ) {
         let wire = msg.bytes + extra_wire_bytes;
-        let cost = self.config.network.cost(wire);
+        let cost = self.priced(wire);
         let src = msg.src;
         let dst = msg.dst;
         {
@@ -350,8 +435,9 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
 
     /// Price a message of `wire_bytes` on the configured network (lets
     /// protocols compute overlap windows, e.g. for the logging memcpy).
-    pub fn wire_cost(&self, wire_bytes: u64) -> net_model::MsgCost {
-        self.core.config.network.cost(wire_bytes)
+    /// Memoized per wire size, shared with the engine's own pricing.
+    pub fn wire_cost(&mut self, wire_bytes: u64) -> net_model::MsgCost {
+        self.core.priced(wire_bytes)
     }
 
     /// Piggyback metadata of messages from `src` that have *arrived* at
@@ -377,7 +463,7 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
         } else {
             bytes
         };
-        let cost = self.core.config.network.cost(bytes);
+        let cost = self.core.priced(bytes);
         let base = match from {
             Endpoint::Rank(r) => {
                 let rs = &mut self.core.ranks[r.idx()];
@@ -457,19 +543,23 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
     /// ordered by arrival time.
     pub fn capture_inflight_within(&self, set: &[Rank]) -> Vec<InFlightMsg> {
         let member = |r: Rank| set.contains(&r);
-        let mut found: Vec<(&u64, &Flight<C>)> = self
+        let mut found: Vec<&Flight<C>> = self
             .core
             .flights
             .iter()
-            .filter(|(_, f)| match &f.kind {
+            .map(|(_, f)| f)
+            .filter(|f| match &f.kind {
                 FlightKind::App { msg, .. } => member(msg.src) && member(msg.dst),
                 FlightKind::Ctl { .. } => false,
             })
             .collect();
-        found.sort_by_key(|(id, f)| (f.at, **id));
+        // `seq` is the flight's creation order — the same deterministic
+        // tie-break the pre-slab implementation got from its monotone map
+        // keys, immune to slot recycling.
+        found.sort_by_key(|f| (f.at, f.seq));
         found
             .into_iter()
-            .map(|(_, f)| match &f.kind {
+            .map(|f| match &f.kind {
                 FlightKind::App { msg, recv_cost } => InFlightMsg {
                     msg: *msg,
                     recv_cost: *recv_cost,
@@ -483,15 +573,15 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
     /// any of `ranks`. Used at rollback: messages addressed to the old
     /// incarnation are lost.
     pub fn drop_inflight_to(&mut self, ranks: &[Rank]) {
-        let victims: Vec<u64> = self
+        let victims: Vec<(u32, u64)> = self
             .core
             .flights
             .iter()
             .filter(|(_, f)| matches!(f.to, Endpoint::Rank(r) if ranks.contains(&r)))
-            .map(|(id, _)| *id)
+            .map(|(slot, f)| (slot, f.seq))
             .collect();
-        for id in victims {
-            if let Some(f) = self.core.flights.remove(&id) {
+        for (slot, seq) in victims {
+            if let Some(f) = self.core.flights.remove(slot, seq) {
                 self.core.sched.cancel(f.handle);
             }
         }
@@ -580,8 +670,8 @@ impl<P: Protocol> Sim<P> {
                     }
                     self.step(rank);
                 }
-                Event::AppArrival { flight } => {
-                    let Some(f) = self.core.flights.remove(&flight) else {
+                Event::AppArrival { flight, seq } => {
+                    let Some(f) = self.core.flights.remove(flight, seq) else {
                         continue;
                     };
                     let FlightKind::App { msg, recv_cost } = f.kind else {
@@ -601,8 +691,8 @@ impl<P: Protocol> Sim<P> {
                         self.step(dst);
                     }
                 }
-                Event::CtlArrival { flight } => {
-                    let Some(f) = self.core.flights.remove(&flight) else {
+                Event::CtlArrival { flight, seq } => {
+                    let Some(f) = self.core.flights.remove(flight, seq) else {
                         continue;
                     };
                     let FlightKind::Ctl { from, ctl } = f.kind else {

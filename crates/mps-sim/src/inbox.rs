@@ -8,6 +8,15 @@
 //!   that arrived *earliest* (global arrival order), which is where
 //!   timing-dependent nondeterminism enters the simulation.
 //!
+//! ## Layout (DESIGN.md §2.1)
+//!
+//! One [`Ring`] buffer per `(tag, src)` channel: a specific receive is a
+//! map lookup plus an O(1) `pop_front`, and a wildcard receive scans only
+//! the channels *of its tag* (the map is keyed tag-major) instead of every
+//! channel of the rank. The ring recycles its backing storage in place —
+//! the previous implementation `Vec::remove(0)`-ed the head, memmoving the
+//! whole queue on every delivery.
+//!
 //! The inbox is part of the rank's checkpointable state: cluster-coordinated
 //! checkpoints capture it, and rollback restores it.
 
@@ -25,11 +34,89 @@ pub struct Arrived {
     pub recv_cost: det_sim::SimDuration,
 }
 
+/// FIFO queue over a recycled `Vec`: `push` appends, `pop_front` advances a
+/// head cursor, and the dead prefix is reclaimed in amortised O(1) —
+/// either wholesale when the ring drains or by compaction once the dead
+/// prefix dominates.
+#[derive(Debug, Clone, Default)]
+struct Ring {
+    buf: Vec<Arrived>,
+    head: usize,
+}
+
+impl Ring {
+    #[inline]
+    fn live(&self) -> &[Arrived] {
+        &self.buf[self.head..]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    #[inline]
+    fn push(&mut self, a: Arrived) {
+        self.buf.push(a);
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&Arrived> {
+        self.buf.get(self.head)
+    }
+
+    fn pop_front(&mut self) -> Option<Arrived> {
+        let a = *self.buf.get(self.head)?;
+        self.head += 1;
+        if self.head == self.buf.len() {
+            // Drained: reuse the allocation from the start.
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= 32 && self.head * 2 >= self.buf.len() {
+            // Dead prefix dominates: slide the live tail down.
+            self.buf.copy_within(self.head.., 0);
+            self.buf.truncate(self.buf.len() - self.head);
+            self.head = 0;
+        }
+        Some(a)
+    }
+
+    fn retain(&mut self, mut pred: impl FnMut(&Arrived) -> bool) {
+        if self.head > 0 {
+            self.buf.copy_within(self.head.., 0);
+            let live = self.buf.len() - self.head;
+            self.buf.truncate(live);
+            self.head = 0;
+        }
+        self.buf.retain(|a| pred(a));
+    }
+}
+
+/// Rings compare (and serialize) by live content only — the recycled dead
+/// prefix is an implementation detail that must not distinguish snapshots.
+impl PartialEq for Ring {
+    fn eq(&self, other: &Self) -> bool {
+        self.live() == other.live()
+    }
+}
+impl Eq for Ring {}
+
+impl Serialize for Ring {
+    fn serialize_json(&self, out: &mut String) {
+        self.live().to_vec().serialize_json(out);
+    }
+}
+impl Deserialize for Ring {}
+
 /// Receive buffer for one rank.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Inbox {
-    /// Pending messages per (src, tag), FIFO by arrival.
-    by_channel: BTreeMap<(Rank, Tag), Vec<Arrived>>,
+    /// Pending messages per channel, FIFO by arrival. Keyed tag-major so a
+    /// wildcard receive ranges over exactly the channels of its tag.
+    by_channel: BTreeMap<(Tag, Rank), Ring>,
+    /// Total pending messages (kept incrementally; `len()` must be O(1) —
+    /// the engine reports it per rank at the end of every run).
+    pending: usize,
 }
 
 impl Inbox {
@@ -39,73 +126,92 @@ impl Inbox {
 
     pub fn push(&mut self, msg: Message, arrival_seq: u64, recv_cost: det_sim::SimDuration) {
         self.by_channel
-            .entry((msg.src, msg.tag))
+            .entry((msg.tag, msg.src))
             .or_default()
             .push(Arrived {
                 msg,
                 arrival_seq,
                 recv_cost,
             });
+        self.pending += 1;
     }
 
     /// Total number of pending messages.
     pub fn len(&self) -> usize {
-        self.by_channel.values().map(Vec::len).sum()
+        self.pending
     }
 
     pub fn is_empty(&self) -> bool {
-        self.by_channel.values().all(Vec::is_empty)
+        self.pending == 0
     }
 
     /// Match a specific receive: oldest pending from `(src, tag)`.
     pub fn take_specific(&mut self, src: Rank, tag: Tag) -> Option<Arrived> {
-        let q = self.by_channel.get_mut(&(src, tag))?;
-        if q.is_empty() {
-            return None;
+        let ring = self.by_channel.get_mut(&(tag, src))?;
+        let taken = ring.pop_front();
+        if taken.is_some() {
+            self.pending -= 1;
+            if ring.len() == 0 {
+                // Workloads tag each communication epoch (DESIGN.md §3), so
+                // drained channels are dead weight: reclaim them or the map
+                // grows with every epoch of the run.
+                self.by_channel.remove(&(tag, src));
+            }
         }
-        // Per-channel arrivals are pushed in arrival order, so the front is
-        // the oldest.
-        Some(q.remove(0))
+        taken
     }
 
     /// Match a wildcard receive: earliest-arrived pending with `tag`,
     /// breaking exact ties by source rank (deterministic).
     pub fn take_any(&mut self, tag: Tag) -> Option<Arrived> {
         let best_key = self
-            .by_channel
-            .iter()
-            .filter(|((_, t), q)| *t == tag && !q.is_empty())
-            .min_by_key(|((src, _), q)| (q[0].arrival_seq, src.0))
-            .map(|(&key, _)| key)?;
-        Some(self.by_channel.get_mut(&best_key).unwrap().remove(0))
+            .channels_of(tag)
+            .filter_map(|(&key, ring)| ring.front().map(|a| (a.arrival_seq, key)))
+            .min()
+            .map(|(_, key)| key)?;
+        self.pending -= 1;
+        let ring = self.by_channel.get_mut(&best_key).unwrap();
+        let taken = ring.pop_front();
+        if ring.len() == 0 {
+            self.by_channel.remove(&best_key);
+        }
+        taken
     }
 
     /// Does a matching message exist for a specific receive?
     pub fn has_specific(&self, src: Rank, tag: Tag) -> bool {
         self.by_channel
-            .get(&(src, tag))
-            .is_some_and(|q| !q.is_empty())
+            .get(&(tag, src))
+            .is_some_and(|q| q.len() > 0)
     }
 
     /// Does a matching message exist for a wildcard receive?
     pub fn has_any(&self, tag: Tag) -> bool {
+        self.channels_of(tag).any(|(_, q)| q.len() > 0)
+    }
+
+    /// The channels of one tag (tag-major key order makes this a range).
+    fn channels_of(&self, tag: Tag) -> impl Iterator<Item = (&(Tag, Rank), &Ring)> {
         self.by_channel
-            .iter()
-            .any(|((_, t), q)| *t == tag && !q.is_empty())
+            .range((tag, Rank(0))..=(tag, Rank(u32::MAX)))
     }
 
     /// Iterate pending messages (arbitrary but deterministic order).
     pub fn iter(&self) -> impl Iterator<Item = &Arrived> {
-        self.by_channel.values().flatten()
+        self.by_channel.values().flat_map(|r| r.live().iter())
     }
 
     /// Keep only pending messages satisfying `pred` (used when
     /// checkpointing: inter-cluster channel state is excluded because
     /// sender-based logs own it).
     pub fn retain(&mut self, mut pred: impl FnMut(&Message) -> bool) {
+        let mut pending = 0;
         for q in self.by_channel.values_mut() {
             q.retain(|a| pred(&a.msg));
+            pending += q.len();
         }
+        self.by_channel.retain(|_, q| q.len() > 0);
+        self.pending = pending;
     }
 }
 
@@ -201,5 +307,59 @@ mod tests {
         ib.take_any(Tag(0));
         assert_eq!(ib.len(), 1);
         assert_eq!(snapshot.len(), 2, "snapshot must be unaffected");
+    }
+
+    #[test]
+    fn ring_recycles_and_preserves_fifo_under_churn() {
+        let mut ib = Inbox::new();
+        let mut next_in = 1u64;
+        let mut next_out = 1u64;
+        // Interleave pushes and pops so the head cursor crosses the
+        // compaction thresholds many times.
+        for round in 0..200 {
+            for _ in 0..(round % 5) + 1 {
+                ib.push2(msg(1, 0, next_in), next_in);
+                next_in += 1;
+            }
+            while ib.len() > 3 {
+                let got = ib.take_specific(Rank(1), Tag(0)).unwrap();
+                assert_eq!(got.msg.channel_seq, next_out, "FIFO violated");
+                next_out += 1;
+            }
+        }
+        while let Some(got) = ib.take_specific(Rank(1), Tag(0)) {
+            assert_eq!(got.msg.channel_seq, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_out, next_in);
+        assert!(ib.is_empty());
+    }
+
+    #[test]
+    fn snapshots_compare_by_content_not_cursor() {
+        // Two inboxes holding the same pending messages must be equal even
+        // if one went through pop churn (different internal head cursor).
+        let mut churned = Inbox::new();
+        for i in 1..=40u64 {
+            churned.push2(msg(1, 0, i), i);
+        }
+        for _ in 0..39 {
+            churned.take_specific(Rank(1), Tag(0)).unwrap();
+        }
+        let mut fresh = Inbox::new();
+        fresh.push2(msg(1, 0, 40), 40);
+        assert_eq!(churned, fresh);
+        assert_eq!(churned.len(), fresh.len());
+    }
+
+    #[test]
+    fn retain_updates_len() {
+        let mut ib = Inbox::new();
+        for i in 1..=10u64 {
+            ib.push2(msg(1, 0, i), i);
+        }
+        ib.retain(|m| m.channel_seq % 2 == 0);
+        assert_eq!(ib.len(), 5);
+        assert_eq!(ib.iter().count(), 5);
     }
 }

@@ -45,6 +45,7 @@ pub mod types;
 pub use app::{AppState, DetMode};
 pub use cluster::ClusterMap;
 pub use engine::{Ctx, InFlightMsg, RankSnapshot, RunReport, RunStatus, Sim, SimConfig};
+pub use inbox::{Arrived, Inbox};
 pub use metrics::Metrics;
 pub use program::{Application, Op, Program};
 pub use protocol::{NullProtocol, Protocol, SendAction, SendDirective, SendInfo};

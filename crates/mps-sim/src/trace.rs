@@ -87,11 +87,24 @@ pub struct SendIdentity {
 }
 
 /// Execution trace with built-in determinism oracle.
+///
+/// Identities are **interned per channel**: `channel_seq` is consecutive
+/// from 1 on every directed channel, so each channel's identities live in
+/// a dense arena indexed by `seq - 1` — an O(1) append on first emission
+/// and an O(1) probe on re-emission, instead of a per-message tree node
+/// (one `BTreeMap` entry per message for the whole run was both the
+/// allocation hot spot and the memory hog of large sims). `sparse` catches
+/// the out-of-sequence case (a replay racing ahead of the recorded
+/// prefix), which cannot happen under the engine's FIFO channels but keeps
+/// the oracle total.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Trace {
     pub matrix: CommMatrix,
-    /// First-seen identity of each application message.
-    identities: BTreeMap<(ChannelId, u64), SendIdentity>,
+    /// First-seen identity of each message, densely interned per channel:
+    /// `dense[channel][seq - 1]`.
+    dense: BTreeMap<ChannelId, Vec<SendIdentity>>,
+    /// Identities whose `channel_seq` arrived beyond the dense prefix.
+    sparse: BTreeMap<(ChannelId, u64), SendIdentity>,
     /// Oracle violations discovered during the run.
     pub violations: Vec<String>,
     /// Count of re-emissions that matched their original (replays and
@@ -103,10 +116,34 @@ impl Trace {
     pub fn new(n: usize) -> Self {
         Trace {
             matrix: CommMatrix::new(n),
-            identities: BTreeMap::new(),
+            dense: BTreeMap::new(),
+            sparse: BTreeMap::new(),
             violations: Vec::new(),
             consistent_reemissions: 0,
         }
+    }
+
+    /// Look up the first-seen identity of `(channel, seq)`.
+    fn identity(&self, channel: ChannelId, seq: u64) -> Option<&SendIdentity> {
+        if seq == 0 {
+            return self.sparse.get(&(channel, seq));
+        }
+        match self.dense.get(&channel) {
+            Some(v) if (seq as usize) <= v.len() => Some(&v[seq as usize - 1]),
+            _ => self.sparse.get(&(channel, seq)),
+        }
+    }
+
+    /// Intern a first emission.
+    fn intern(&mut self, channel: ChannelId, seq: u64, id: SendIdentity) {
+        if seq >= 1 {
+            let v = self.dense.entry(channel).or_default();
+            if seq as usize == v.len() + 1 {
+                v.push(id);
+                return;
+            }
+        }
+        self.sparse.insert((channel, seq), id);
     }
 
     /// Record a send (fresh, re-executed, or suppressed-as-orphan; replayed
@@ -115,11 +152,12 @@ impl Trace {
     /// matrix, so the matrix reflects the failure-free communication
     /// pattern.
     pub fn record_send(&mut self, msg: &Message) {
-        let key = (msg.channel(), msg.channel_seq);
-        match self.identities.get(&key) {
+        let channel = msg.channel();
+        match self.identity(channel, msg.channel_seq).copied() {
             None => {
-                self.identities.insert(
-                    key,
+                self.intern(
+                    channel,
+                    msg.channel_seq,
                     SendIdentity {
                         bytes: msg.bytes,
                         payload: msg.payload,
@@ -149,8 +187,7 @@ impl Trace {
 
     /// Verify a replayed (logged) message against the original emission.
     pub fn check_replay(&mut self, msg: &Message) {
-        let key = (msg.channel(), msg.channel_seq);
-        match self.identities.get(&key) {
+        match self.identity(msg.channel(), msg.channel_seq).copied() {
             Some(orig) if orig.bytes == msg.bytes && orig.payload == msg.payload => {
                 self.consistent_reemissions += 1;
             }
@@ -176,7 +213,7 @@ impl Trace {
 
     /// Number of distinct application messages observed.
     pub fn distinct_messages(&self) -> usize {
-        self.identities.len()
+        self.dense.values().map(Vec::len).sum::<usize>() + self.sparse.len()
     }
 
     pub fn is_consistent(&self) -> bool {
@@ -251,5 +288,36 @@ mod tests {
         let mut t = Trace::new(2);
         t.check_replay(&msg(9, 8, 0x9));
         assert!(t.violations[0].contains("never-sent"));
+    }
+
+    #[test]
+    fn sequential_sends_intern_densely() {
+        let mut t = Trace::new(2);
+        for seq in 1..=1000u64 {
+            t.record_send(&msg(seq, 8, seq));
+        }
+        assert_eq!(t.distinct_messages(), 1000);
+        assert!(t.sparse.is_empty(), "FIFO seqs must stay in the arena");
+        // Re-emissions of interned identities are matched exactly.
+        t.record_send(&msg(500, 8, 500));
+        assert!(t.is_consistent());
+        assert_eq!(t.consistent_reemissions, 1);
+        t.record_send(&msg(500, 8, 999));
+        assert!(!t.is_consistent());
+    }
+
+    #[test]
+    fn out_of_sequence_seq_falls_back_to_sparse() {
+        let mut t = Trace::new(2);
+        t.record_send(&msg(1, 8, 0xA));
+        t.record_send(&msg(7, 8, 0xB)); // gap: seqs 2..=6 never seen
+        assert_eq!(t.distinct_messages(), 2);
+        assert_eq!(t.sparse.len(), 1);
+        // Both identities remain addressable.
+        t.check_replay(&msg(1, 8, 0xA));
+        t.check_replay(&msg(7, 8, 0xB));
+        assert!(t.is_consistent());
+        t.check_replay(&msg(7, 8, 0xC));
+        assert!(!t.is_consistent());
     }
 }

@@ -30,6 +30,6 @@ pub mod piggyback;
 pub mod storage;
 
 pub use memcpy::MemcpyModel;
-pub use network::{MsgCost, MxModel, NetworkModel, TcpModel};
+pub use network::{CostCache, MsgCost, MxModel, NetworkModel, TcpModel};
 pub use piggyback::{PiggybackCost, PiggybackPolicy};
 pub use storage::StableStorage;

@@ -156,6 +156,40 @@ impl NetworkModel for MxModel {
     }
 }
 
+/// Memoized pricing front-end for a [`NetworkModel`].
+///
+/// A simulation run touches only a handful of distinct wire sizes, while
+/// pricing happens once per message; the cache turns the per-message dyn
+/// dispatch + plateau search into one deterministic hash probe
+/// (DESIGN.md §2.1). Caching is sound because `cost()` is a pure function
+/// of the wire size.
+#[derive(Default)]
+pub struct CostCache {
+    map: det_sim::FxHashMap<u64, MsgCost>,
+}
+
+impl CostCache {
+    pub fn new() -> Self {
+        CostCache::default()
+    }
+
+    /// Price `wire_bytes` on `model`, memoized.
+    #[inline]
+    pub fn price(&mut self, model: &dyn NetworkModel, wire_bytes: u64) -> MsgCost {
+        if let Some(&c) = self.map.get(&wire_bytes) {
+            return c;
+        }
+        let c = model.cost(wire_bytes);
+        self.map.insert(wire_bytes, c);
+        c
+    }
+
+    /// Number of distinct wire sizes priced so far.
+    pub fn distinct_sizes(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Plain TCP over the same 10G fabric: higher base latency (kernel stack),
 /// same asymptotic bandwidth discounted by protocol overhead.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -279,5 +313,15 @@ mod tests {
     fn model_names() {
         assert_eq!(MxModel::default().name(), "myrinet-mx-10g");
         assert_eq!(TcpModel::default().name(), "tcp-10g");
+    }
+
+    #[test]
+    fn cost_cache_is_transparent() {
+        let mx = MxModel::default();
+        let mut cache = CostCache::new();
+        for &w in &[1u64, 32, 33, 1024, 1 << 16, 32, 1, 1 << 16] {
+            assert_eq!(cache.price(&mx, w), mx.cost(w));
+        }
+        assert_eq!(cache.distinct_sizes(), 5);
     }
 }

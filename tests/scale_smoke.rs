@@ -1,0 +1,65 @@
+//! Thousand-rank smoke: the hot-path engine overhaul (slab-heap queue,
+//! ring-buffer inboxes, flight slab, memoized pricing) must keep digests
+//! bit-for-bit stable at the scale the paper's experiments need.
+//!
+//! A 1024-rank stencil runs protocol-free (the reference) and under HydEE
+//! with 64 clusters of **16 ranks each** (the Table-I-style clustered
+//! configuration); HydEE is transparent to the application, so every
+//! per-rank state digest must match the reference exactly.
+
+use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec};
+use workloads::WorkloadSpec;
+
+fn stencil_1024() -> WorkloadSpec {
+    WorkloadSpec::Stencil {
+        n_ranks: 1024,
+        iterations: 5,
+        face_bytes: 1024,
+        compute_us: 10,
+        wildcard_recv: false,
+    }
+}
+
+#[test]
+fn stencil_1024_digests_match_16_rank_per_cluster_reference() {
+    let reference = Executor::run_one(&ScenarioSpec::new(
+        stencil_1024(),
+        ProtocolSpec::Native,
+        ClusterStrategy::Single,
+    ));
+    assert!(reference.completed, "reference: {}", reference.status);
+    assert_eq!(reference.n_ranks, 1024);
+
+    let clustered = Executor::run_one(&ScenarioSpec::new(
+        stencil_1024(),
+        ProtocolSpec::hydee(),
+        ClusterStrategy::Blocks(64),
+    ));
+    assert!(clustered.completed, "clustered: {}", clustered.status);
+    assert_eq!(clustered.n_clusters, 64, "64 clusters x 16 ranks");
+    assert!(
+        clustered.trace_consistent,
+        "{} oracle violations",
+        clustered.trace_violations
+    );
+
+    assert_eq!(
+        reference.digest, clustered.digest,
+        "HydEE must be transparent: clustered digests diverged from the \
+         protocol-free reference at 1024 ranks"
+    );
+}
+
+#[test]
+fn stencil_1024_is_reproducible_across_runs() {
+    let spec = ScenarioSpec::new(
+        stencil_1024(),
+        ProtocolSpec::hydee(),
+        ClusterStrategy::Blocks(64),
+    );
+    let a = Executor::run_one(&spec);
+    let b = Executor::run_one(&spec);
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.makespan_ps, b.makespan_ps);
+    assert_eq!(a.metrics.events, b.metrics.events);
+}
