@@ -6,7 +6,7 @@
 //!
 //! * HydEE (Table-I clustering, no event logging) — the paper's protocol;
 //! * the same protocol *plus* reliable determinant writes on every
-//!   delivery — an [8]/[22]-style hybrid;
+//!   delivery — an \[8\]/\[22\]-style hybrid;
 //! * full message logging plus determinants — classic pessimistic
 //!   logging.
 //!

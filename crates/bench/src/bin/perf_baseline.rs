@@ -1,10 +1,12 @@
 //! **perf_baseline** — the CI-gated engine throughput baseline.
 //!
-//! Runs the fixed 3-cell macro matrix of [`bench::perf`] (1024-rank
-//! stencil native, the same under clustered HydEE, and a 256-rank CG
-//! checkpoint/failure/recovery run), times the simulation phase of each
-//! cell, and writes `BENCH_engine.json` — wall time, events/sec, peak RSS
-//! and the determinism digests — in a stable schema CI can diff.
+//! Runs the fixed 4-cell macro matrix of [`bench::perf`] (1024-rank
+//! stencil native, the same under clustered HydEE, a 256-rank CG
+//! checkpoint/failure/recovery run, and the long-horizon 4096-rank
+//! stencil that only the streaming program API fits in memory), times the
+//! simulation phase of each cell, and writes `BENCH_engine.json` — wall
+//! time, events/sec, program-representation bytes (streamed vs unrolled),
+//! peak RSS and the determinism digests — in a stable schema CI can diff.
 //!
 //! ```text
 //! perf_baseline [--out DIR] [--repeat N] [--check FILE] [--tolerance F]
@@ -77,6 +79,7 @@ fn main() {
         "events",
         "sim wall (s)",
         "events/sec",
+        "prog KiB (unrolled)",
         "digest",
     ]);
     for c in &report.cells {
@@ -88,6 +91,11 @@ fn main() {
             c.events.to_string(),
             format!("{:.3}", c.sim_wall_s),
             format!("{:.0}", c.events_per_sec),
+            format!(
+                "{} ({})",
+                c.program_resident_bytes >> 10,
+                c.program_unrolled_bytes >> 10
+            ),
             format!("{:#018x}", c.digest),
         ]);
     }

@@ -1,11 +1,13 @@
 //! # bench::perf — the CI-gated engine performance baseline
 //!
-//! A fixed **3-cell macro matrix** exercising the simulation hot path at
+//! A fixed **4-cell macro matrix** exercising the simulation hot path at
 //! the scale the paper's headline experiments need (thousand-rank
-//! stencils, clustered HydEE, checkpoint + failure recovery). Each cell
-//! separates *setup* (workload generation, cluster resolution — not the
-//! engine) from the *timed simulation*, and reports events/second of
-//! simulated execution plus the determinism digest.
+//! stencils, clustered HydEE, checkpoint + failure recovery, and a
+//! long-horizon 4096-rank cell that only the streaming `RankProgram`
+//! representation makes memory-feasible). Each cell separates *setup*
+//! (workload generation, cluster resolution — not the engine) from the
+//! *timed simulation*, and reports events/second of simulated execution,
+//! the program-representation memory win, and the determinism digest.
 //!
 //! The [`PerfReport`] serializes to `BENCH_engine.json` in a stable,
 //! line-diffable schema. CI runs [`check_against`] with the committed
@@ -21,7 +23,10 @@ use serde::Serialize;
 use std::time::Instant;
 use workloads::{NasBench, WorkloadSpec};
 
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: added per-cell `program_resident_bytes` / `program_unrolled_bytes`
+/// (streaming-representation memory win) and the `stencil4096_long`
+/// long-horizon cell.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One point of the macro matrix.
 pub struct Cell {
@@ -83,6 +88,25 @@ pub fn macro_matrix() -> Vec<Cell> {
                 spec
             },
         },
+        // The long-horizon headroom cell: 4× the ranks and 10× the
+        // iterations of the 1024-rank point. Unrolled this is ~73M ops
+        // (≈1.7 GB of program image before the run even starts) — the
+        // streaming representation holds the same application in ~O(ranks)
+        // bytes, which is what admits the cell into the matrix at all.
+        Cell {
+            name: "stencil4096_long",
+            spec: ScenarioSpec::new(
+                WorkloadSpec::Stencil {
+                    n_ranks: 4096,
+                    iterations: 2000,
+                    face_bytes: 4096,
+                    compute_us: 100,
+                    wildcard_recv: false,
+                },
+                ProtocolSpec::Native,
+                ClusterStrategy::Single,
+            ),
+        },
     ]
 }
 
@@ -97,6 +121,13 @@ pub struct CellResult {
     pub events: u64,
     /// Untimed setup (workload generation + cluster resolution), seconds.
     pub setup_s: f64,
+    /// Heap bytes resident in the streamed program representation.
+    pub program_resident_bytes: u64,
+    /// Heap bytes a fully materialised `Vec<Op>` representation of the
+    /// same application would hold (computed in closed form, never
+    /// allocated). `program_unrolled_bytes / program_resident_bytes` is
+    /// the streaming API's memory win for this cell.
+    pub program_unrolled_bytes: u64,
     /// Wall-clock seconds of the timed simulation (best of `repeat`).
     pub sim_wall_s: f64,
     /// `events / sim_wall_s` — the gated throughput metric.
@@ -130,9 +161,14 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
     let setup_started = Instant::now();
     // Scope the setup app so only one application image is resident while
     // the timed simulation runs.
-    let (map, n_ranks) = {
+    let (map, n_ranks, program_resident_bytes, program_unrolled_bytes) = {
         let app = spec.workload.build();
-        (spec.clusters.resolve(&app), app.n_ranks())
+        (
+            spec.clusters.resolve(&app),
+            app.n_ranks(),
+            app.resident_bytes(),
+            app.unrolled_bytes(),
+        )
     };
     let setup_s = setup_started.elapsed().as_secs_f64();
     let failures: Vec<_> = spec.failures.iter().map(|f| f.to_event()).collect();
@@ -164,6 +200,8 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
         trace_consistent: report.trace.is_consistent(),
         events,
         setup_s,
+        program_resident_bytes,
+        program_unrolled_bytes,
         sim_wall_s,
         events_per_sec: events as f64 / sim_wall_s.max(1e-9),
         makespan_ps: report.makespan.as_ps(),
@@ -336,6 +374,8 @@ mod tests {
                 trace_consistent: true,
                 events: 1000,
                 setup_s: 0.0,
+                program_resident_bytes: 100,
+                program_unrolled_bytes: 10_000,
                 sim_wall_s: 0.001,
                 events_per_sec: eps,
                 makespan_ps: 1,
@@ -406,10 +446,32 @@ mod tests {
     }
 
     #[test]
-    fn macro_matrix_is_three_cells_with_the_1024_rank_point() {
+    fn macro_matrix_is_four_cells_with_the_scale_points() {
         let cells = macro_matrix();
-        assert_eq!(cells.len(), 3);
+        assert_eq!(cells.len(), 4);
         assert_eq!(cells[0].spec.workload.n_ranks(), 1024);
         assert!(cells.iter().any(|c| !c.spec.failures.is_empty()));
+        assert!(cells.iter().any(|c| c.spec.workload.n_ranks() == 4096));
+    }
+
+    /// The tentpole's acceptance criterion: for every ≥1024-rank cell the
+    /// streamed program representation is at least 10× smaller than the
+    /// unrolled `Vec<Op>` form it replaced. Machine-independent — computed
+    /// from the representations, no timing involved.
+    #[test]
+    fn streamed_programs_shrink_resident_memory_10x() {
+        for cell in macro_matrix() {
+            let app = cell.spec.workload.build();
+            if app.n_ranks() < 1024 {
+                continue;
+            }
+            let resident = app.resident_bytes();
+            let unrolled = app.unrolled_bytes();
+            assert!(
+                resident * 10 <= unrolled,
+                "{}: resident {resident} B vs unrolled {unrolled} B (< 10x win)",
+                cell.name
+            );
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Weighted communication graphs.
 //!
-//! The paper's clustering tool (Ropars et al. [28]) consumes "a graph
+//! The paper's clustering tool (Ropars et al. \[28\]) consumes "a graph
 //! defining the amount of data sent in each application channel",
 //! collected by instrumenting MPICH2. We build the same graph two ways:
 //!
@@ -9,7 +9,7 @@
 //! * statically from an [`mps_sim::Application`]'s op streams (no run
 //!   needed — our programs declare their traffic).
 
-use mps_sim::{Application, CommMatrix, Op, Rank};
+use mps_sim::{Application, CommMatrix, Rank};
 
 /// Undirected weighted communication graph over ranks.
 #[derive(Debug, Clone)]
@@ -60,16 +60,13 @@ impl CommGraph {
         g
     }
 
-    /// Build statically from an application's programs.
+    /// Build statically from an application's programs, streaming each
+    /// rank's aggregated send totals — closed form for generated
+    /// programs, so graph extraction is O(ranks × pattern), not
+    /// O(ranks × pattern × iterations).
     pub fn from_application(app: &Application) -> Self {
         let mut g = CommGraph::new(app.n_ranks());
-        for (src, prog) in app.programs.iter().enumerate() {
-            for op in &prog.ops {
-                if let Op::Send { dst, bytes, .. } = op {
-                    g.add(Rank(src as u32), *dst, *bytes);
-                }
-            }
-        }
+        app.send_summary(|src, dst, bytes, _msgs| g.add(src, dst, bytes));
         g
     }
 

@@ -1,6 +1,6 @@
 //! # clustering — process clustering for partial message logging
 //!
-//! The role of Ropars et al.'s clustering tool [28] in the HydEE paper:
+//! The role of Ropars et al.'s clustering tool \[28\] in the HydEE paper:
 //! given an application's communication graph, find a partition of the
 //! processes that balances cluster size (failure containment) against
 //! inter-cluster traffic (logged bytes). Regenerates the paper's Table I

@@ -1,6 +1,6 @@
 //! Process-clustering partitioners.
 //!
-//! Reimplementation of the role of Ropars et al.'s clustering tool [28]:
+//! Reimplementation of the role of Ropars et al.'s clustering tool \[28\]:
 //! find a partition of the ranks into `k` clusters that keeps clusters
 //! small (bounding rollback) while minimising the inter-cluster traffic
 //! (bounding logged bytes).

@@ -1,7 +1,7 @@
 //! Clustering quality statistics — the columns of the paper's Table I.
 
 use crate::graph::CommGraph;
-use mps_sim::{Application, ClusterMap, Op, Rank};
+use mps_sim::{Application, ClusterMap, Rank};
 use serde::{Deserialize, Serialize};
 
 /// Table-I-style statistics of one clustering on one application.
@@ -26,21 +26,19 @@ impl ClusteringStats {
         }
     }
 
-    /// Evaluate a clustering against an application's declared traffic.
+    /// Evaluate a clustering against an application's declared traffic,
+    /// streaming aggregated send totals (closed form for generated
+    /// programs — no per-op walk).
     pub fn evaluate(app: &Application, map: &ClusterMap) -> Self {
         assert_eq!(app.n_ranks(), map.n_ranks());
         let mut logged = 0u64;
         let mut total = 0u64;
-        for (src, prog) in app.programs.iter().enumerate() {
-            for op in &prog.ops {
-                if let Op::Send { dst, bytes, .. } = op {
-                    total += bytes;
-                    if !map.same_cluster(Rank(src as u32), *dst) {
-                        logged += bytes;
-                    }
-                }
+        app.send_summary(|src, dst, bytes, _msgs| {
+            total += bytes;
+            if !map.same_cluster(src, dst) {
+                logged += bytes;
             }
-        }
+        });
         ClusteringStats {
             n_clusters: map.n_clusters(),
             avg_rollback_pct: 100.0 * map.avg_rollback_fraction(),

@@ -135,7 +135,7 @@ impl Summary {
         &self.samples
     }
 
-    /// Linear-interpolated percentile, `q` in [0,100]. NaN when empty.
+    /// Linear-interpolated percentile, `q` in \[0,100\]. NaN when empty.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return f64::NAN;

@@ -29,13 +29,14 @@
 use crate::app::{AppState, DetMode};
 use crate::inbox::Inbox;
 use crate::metrics::Metrics;
-use crate::program::{Application, Op, Program};
+use crate::program::{Application, Op, RankProgram};
 use crate::protocol::{Protocol, SendAction, SendInfo};
 use crate::trace::Trace;
 use crate::types::{Endpoint, Message, Rank};
 use det_sim::{EventHandle, FxHashMap, Scheduler, SimDuration, SimTime};
 use net_model::{CostCache, MsgCost, MxModel, NetworkModel};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Engine configuration.
 pub struct SimConfig {
@@ -257,7 +258,9 @@ impl<C> FlightSlab<C> {
 pub struct Core<C> {
     sched: Scheduler<Event>,
     ranks: Vec<RankState>,
-    programs: Vec<Program>,
+    /// One lazy op stream per rank; `op_at(pc)` is pure in `pc`, which is
+    /// what makes checkpoint/rollback seeks replay-exact (DESIGN.md §2.2).
+    programs: Vec<Arc<dyn RankProgram>>,
     config: SimConfig,
     fifo_last: FxHashMap<(Endpoint, Endpoint), SimTime>,
     flights: FlightSlab<C>,
@@ -298,7 +301,7 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
         Core {
             sched,
             ranks,
-            programs: app.programs,
+            programs: app.into_programs(),
             config,
             fifo_last: FxHashMap::default(),
             flights: FlightSlab::new(),
@@ -791,10 +794,8 @@ impl<P: Protocol> Sim<P> {
             if rs.status == Status::Done {
                 continue;
             }
-            let prog = &self.core.programs[i];
-            let opdesc = prog
-                .ops
-                .get(rs.pc)
+            let opdesc = self.core.programs[i]
+                .op_at(rs.pc)
                 .map(|op| format!("{op:?}"))
                 .unwrap_or_else(|| "<end>".into());
             out.push(format!(
@@ -816,21 +817,22 @@ impl<P: Protocol> Sim<P> {
                 if rs.status != Status::Runnable {
                     return;
                 }
-                let prog = &self.core.programs[rank.idx()];
-                if rs.pc >= prog.ops.len() {
-                    // Program finished.
-                    let rs = &mut self.core.ranks[rank.idx()];
-                    rs.status = Status::Done;
-                    self.core.done_count += 1;
-                    self.protocol.on_done(
-                        &mut Ctx {
-                            core: &mut self.core,
-                        },
-                        rank,
-                    );
-                    return;
+                match self.core.programs[rank.idx()].op_at(rs.pc) {
+                    None => {
+                        // Program finished.
+                        let rs = &mut self.core.ranks[rank.idx()];
+                        rs.status = Status::Done;
+                        self.core.done_count += 1;
+                        self.protocol.on_done(
+                            &mut Ctx {
+                                core: &mut self.core,
+                            },
+                            rank,
+                        );
+                        return;
+                    }
+                    Some(op) => (rs.pc, op),
                 }
-                (rs.pc, prog.ops[rs.pc])
             };
             match op {
                 Op::Compute { time } => {

@@ -10,7 +10,7 @@
 //!
 //! ## Layout (DESIGN.md §2.1)
 //!
-//! One [`Ring`] buffer per `(tag, src)` channel: a specific receive is a
+//! One `Ring` buffer per `(tag, src)` channel: a specific receive is a
 //! map lookup plus an O(1) `pop_front`, and a wildcard receive scans only
 //! the channels *of its tag* (the map is keyed tag-major) instead of every
 //! channel of the rank. The ring recycles its backing storage in place —

@@ -47,7 +47,9 @@ pub use cluster::ClusterMap;
 pub use engine::{Ctx, InFlightMsg, RankSnapshot, RunReport, RunStatus, Sim, SimConfig};
 pub use inbox::{Arrived, Inbox};
 pub use metrics::Metrics;
-pub use program::{Application, Op, Program};
+pub use program::{
+    Application, GenProgram, Op, OpStream, OpTemplate, Program, RankProgram, UnrolledProgram,
+};
 pub use protocol::{NullProtocol, Protocol, SendAction, SendDirective, SendInfo};
 pub use trace::{CommMatrix, Trace};
 pub use types::{ChannelId, Endpoint, Message, PbMeta, Rank, Tag};
@@ -57,7 +59,9 @@ pub mod prelude {
     pub use crate::app::DetMode;
     pub use crate::cluster::ClusterMap;
     pub use crate::engine::{Ctx, RunReport, RunStatus, Sim, SimConfig};
-    pub use crate::program::{Application, Op, Program};
+    pub use crate::program::{
+        Application, GenProgram, Op, OpStream, OpTemplate, Program, RankProgram, UnrolledProgram,
+    };
     pub use crate::protocol::{NullProtocol, Protocol, SendAction, SendDirective, SendInfo};
     pub use crate::types::{ChannelId, Endpoint, Message, PbMeta, Rank, Tag};
     pub use det_sim::{SimDuration, SimTime};

@@ -1,15 +1,33 @@
-//! Rank programs.
+//! Rank programs — the application-programming API.
 //!
 //! A simulated application is one op-stream per rank. The streams are fixed
-//! before the run (workload generators unroll their iteration loops), which
-//! gives the execution model of the paper's §II-C: the *sequence* of send
-//! and receive events per process is program-determined; only the order in
-//! which wildcard receives are filled varies with timing — exactly the
-//! nondeterminism send-determinism tolerates.
+//! before the run, which gives the execution model of the paper's §II-C:
+//! the *sequence* of send and receive events per process is
+//! program-determined; only the order in which wildcard receives are filled
+//! varies with timing — exactly the nondeterminism send-determinism
+//! tolerates.
+//!
+//! ## Representation (DESIGN.md §2.2)
+//!
+//! The engine addresses a program only through [`RankProgram`]: a lazy,
+//! random-access view `op_at(pc) -> Option<Op>` plus closed-form metadata.
+//! Two implementations ship:
+//!
+//! * [`UnrolledProgram`] — a materialised `Vec<Op>` with a chainable
+//!   builder. Used by hand-built tests and as the equivalence oracle for
+//!   the generators.
+//! * [`GenProgram`] — a per-iteration body of [`OpTemplate`]s repeated
+//!   `iterations` times, evaluated on demand. Memory is O(body), not
+//!   O(body × iterations); all workload generators produce these.
+//!
+//! `op_at` must be a **pure function of `pc`**: the engine executes by
+//! program counter and HydEE recovery seeks `pc` back to a checkpoint cut,
+//! so any hidden state in a program would break replay determinism.
 
 use crate::types::{Rank, Tag};
 use det_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One step of a rank's program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,15 +43,122 @@ pub enum Op {
     Compute { time: SimDuration },
 }
 
-/// A rank's complete program.
+/// A rank's program as the engine sees it: a random-access op stream.
+///
+/// The contract (DESIGN.md §2.2):
+///
+/// * **Purity in `pc`** — `op_at(pc)` returns the same op for the same
+///   `pc` for the lifetime of the value, with no interior mutation. The
+///   engine seeks freely: forward during execution, backward when HydEE
+///   rolls a rank's `pc` to a checkpoint cut and replays.
+/// * **Contiguity** — `op_at(pc)` is `Some` exactly for `pc < len()`.
+/// * Metadata (`send_count`, `bytes_sent`, …) equals what a full walk of
+///   `op_at(0..len())` would produce; implementations answer in closed
+///   form where they can.
+pub trait RankProgram: Send + Sync + std::fmt::Debug {
+    /// Total number of ops.
+    fn len(&self) -> usize;
+
+    /// The op at program counter `pc`, or `None` for `pc >= len()`.
+    fn op_at(&self, pc: usize) -> Option<Op>;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of send operations (the messages the rank emits in a
+    /// complete failure-free run).
+    fn send_count(&self) -> usize {
+        let (mut n, mut pc) = (0, 0);
+        while let Some(op) = self.op_at(pc) {
+            n += matches!(op, Op::Send { .. }) as usize;
+            pc += 1;
+        }
+        n
+    }
+
+    /// Number of receive operations (specific + wildcard).
+    fn recv_count(&self) -> usize {
+        let (mut n, mut pc) = (0, 0);
+        while let Some(op) = self.op_at(pc) {
+            n += matches!(op, Op::Recv { .. } | Op::RecvAny { .. }) as usize;
+            pc += 1;
+        }
+        n
+    }
+
+    /// Total bytes this program will send.
+    fn bytes_sent(&self) -> u64 {
+        let (mut total, mut pc) = (0u64, 0);
+        while let Some(op) = self.op_at(pc) {
+            if let Op::Send { bytes, .. } = op {
+                total += bytes;
+            }
+            pc += 1;
+        }
+        total
+    }
+
+    /// Stream aggregated send totals as `f(dst, bytes, messages)` chunks
+    /// (a destination may appear in several chunks). Clustering builds
+    /// communication graphs from this without walking every op.
+    fn send_summary(&self, f: &mut dyn FnMut(Rank, u64, u64)) {
+        let mut pc = 0;
+        while let Some(op) = self.op_at(pc) {
+            if let Op::Send { dst, bytes, .. } = op {
+                f(dst, bytes, 1);
+            }
+            pc += 1;
+        }
+    }
+
+    /// Approximate heap bytes resident for this representation (the
+    /// quantity the perf baseline's memory columns report).
+    fn resident_bytes(&self) -> u64;
+}
+
+/// Iterator over a [`RankProgram`]'s ops by walking `op_at`.
+pub struct OpStream<'a> {
+    prog: &'a dyn RankProgram,
+    pc: usize,
+}
+
+impl<'a> OpStream<'a> {
+    pub fn new(prog: &'a dyn RankProgram) -> Self {
+        OpStream { prog, pc: 0 }
+    }
+}
+
+impl Iterator for OpStream<'_> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        let op = self.prog.op_at(self.pc)?;
+        self.pc += 1;
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.prog.len().saturating_sub(self.pc);
+        (rest, Some(rest))
+    }
+}
+
+/// A materialised rank program: the `Vec<Op>`-backed implementation, with
+/// a chainable builder. Hand-built tests use it directly; generators keep
+/// `*_unrolled` constructors producing it as the equivalence oracle.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Program {
+pub struct UnrolledProgram {
     pub ops: Vec<Op>,
 }
 
-impl Program {
+/// Historical name of [`UnrolledProgram`], kept for the builder-heavy
+/// test surface.
+pub type Program = UnrolledProgram;
+
+impl UnrolledProgram {
     pub fn new() -> Self {
-        Program { ops: Vec::new() }
+        UnrolledProgram { ops: Vec::new() }
     }
 
     pub fn len(&self) -> usize {
@@ -93,16 +218,258 @@ impl Program {
     }
 }
 
-/// A complete application: one program per rank, rank r at index r.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+impl RankProgram for UnrolledProgram {
+    fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn op_at(&self, pc: usize) -> Option<Op> {
+        self.ops.get(pc).copied()
+    }
+
+    fn send_count(&self) -> usize {
+        UnrolledProgram::send_count(self)
+    }
+
+    fn recv_count(&self) -> usize {
+        UnrolledProgram::recv_count(self)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        UnrolledProgram::bytes_sent(self)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        (self.ops.capacity() * std::mem::size_of::<Op>() + std::mem::size_of::<Self>()) as u64
+    }
+}
+
+/// One slot of a [`GenProgram`] body: how the op at this body position
+/// varies (or not) with the iteration index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTemplate {
+    /// The same op every iteration.
+    Fixed(Op),
+    /// `op` with its tag advanced by `stride` per iteration — the
+    /// per-epoch tagging rule of DESIGN.md §3 in closed form. A
+    /// `Compute` op is returned unchanged.
+    IterTag { op: Op, stride: u32 },
+    /// Compute of `base * (1 + (offset + iter * stride) % modulus)` —
+    /// deterministic per-iteration jitter (master/worker staggering).
+    IterCompute {
+        base: SimDuration,
+        offset: u64,
+        stride: u64,
+        modulus: u64,
+    },
+}
+
+impl OpTemplate {
+    /// Resolve the template for iteration `iter`.
+    pub fn at(&self, iter: usize) -> Op {
+        match *self {
+            OpTemplate::Fixed(op) => op,
+            OpTemplate::IterTag { op, stride } => {
+                let bump = stride.wrapping_mul(iter as u32);
+                match op {
+                    Op::Send { dst, bytes, tag } => Op::Send {
+                        dst,
+                        bytes,
+                        tag: Tag(tag.0.wrapping_add(bump)),
+                    },
+                    Op::Recv { src, tag } => Op::Recv {
+                        src,
+                        tag: Tag(tag.0.wrapping_add(bump)),
+                    },
+                    Op::RecvAny { tag } => Op::RecvAny {
+                        tag: Tag(tag.0.wrapping_add(bump)),
+                    },
+                    Op::Compute { .. } => op,
+                }
+            }
+            OpTemplate::IterCompute {
+                base,
+                offset,
+                stride,
+                modulus,
+            } => {
+                let k = 1 + (offset.wrapping_add(iter as u64 * stride)) % modulus.max(1);
+                Op::Compute { time: base * k }
+            }
+        }
+    }
+
+    fn base_op(&self) -> Op {
+        match *self {
+            OpTemplate::Fixed(op) | OpTemplate::IterTag { op, .. } => op,
+            OpTemplate::IterCompute { base, .. } => Op::Compute { time: base },
+        }
+    }
+}
+
+/// A lazy rank program: a per-iteration body repeated `iterations` times.
+///
+/// `op_at(pc)` decomposes `pc` into `(iteration, body position)` and
+/// evaluates the template — O(1), no materialisation. Metadata is closed
+/// form over the body. Memory is O(body) where the unrolled form is
+/// O(body × iterations): the representation that makes thousand-rank,
+/// long-horizon applications setup- and memory-free (DESIGN.md §2.2).
+#[derive(Debug, Clone, Default)]
+pub struct GenProgram {
+    body: Vec<OpTemplate>,
+    iterations: usize,
+}
+
+impl GenProgram {
+    pub fn new(body: Vec<OpTemplate>, iterations: usize) -> Self {
+        GenProgram { body, iterations }
+    }
+
+    /// Body of iteration-invariant ops repeated `iterations` times.
+    pub fn from_ops(ops: impl IntoIterator<Item = Op>, iterations: usize) -> Self {
+        GenProgram {
+            body: ops.into_iter().map(OpTemplate::Fixed).collect(),
+            iterations,
+        }
+    }
+
+    pub fn body(&self) -> &[OpTemplate] {
+        &self.body
+    }
+
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+impl RankProgram for GenProgram {
+    fn len(&self) -> usize {
+        self.body.len() * self.iterations
+    }
+
+    #[inline]
+    fn op_at(&self, pc: usize) -> Option<Op> {
+        if self.body.is_empty() {
+            return None;
+        }
+        let iter = pc / self.body.len();
+        if iter >= self.iterations {
+            return None;
+        }
+        Some(self.body[pc % self.body.len()].at(iter))
+    }
+
+    fn send_count(&self) -> usize {
+        self.body
+            .iter()
+            .filter(|t| matches!(t.base_op(), Op::Send { .. }))
+            .count()
+            * self.iterations
+    }
+
+    fn recv_count(&self) -> usize {
+        self.body
+            .iter()
+            .filter(|t| matches!(t.base_op(), Op::Recv { .. } | Op::RecvAny { .. }))
+            .count()
+            * self.iterations
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.body
+            .iter()
+            .map(|t| match t.base_op() {
+                Op::Send { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum::<u64>()
+            * self.iterations as u64
+    }
+
+    fn send_summary(&self, f: &mut dyn FnMut(Rank, u64, u64)) {
+        for t in &self.body {
+            if let Op::Send { dst, bytes, .. } = t.base_op() {
+                f(dst, bytes * self.iterations as u64, self.iterations as u64);
+            }
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        (self.body.capacity() * std::mem::size_of::<OpTemplate>() + std::mem::size_of::<Self>())
+            as u64
+    }
+}
+
+/// One rank's slot in an [`Application`]: either a mutable builder
+/// program or a shared generated one.
+#[derive(Debug, Clone)]
+enum ProgSlot {
+    Unrolled(UnrolledProgram),
+    Gen(Arc<dyn RankProgram>),
+}
+
+impl ProgSlot {
+    fn prog(&self) -> &dyn RankProgram {
+        match self {
+            ProgSlot::Unrolled(p) => p,
+            ProgSlot::Gen(p) => &**p,
+        }
+    }
+}
+
+/// A complete application: one [`RankProgram`] per rank, rank r at
+/// index r.
+#[derive(Debug, Clone, Default)]
 pub struct Application {
-    pub programs: Vec<Program>,
+    programs: Vec<ProgSlot>,
 }
 
 impl Application {
+    /// `n_ranks` empty builder programs: extend with [`Application::rank_mut`].
     pub fn new(n_ranks: usize) -> Self {
         Application {
-            programs: vec![Program::new(); n_ranks],
+            programs: vec![ProgSlot::Unrolled(UnrolledProgram::new()); n_ranks],
+        }
+    }
+
+    /// Build from one generated program per rank (rank r = index r).
+    pub fn generated(programs: Vec<Arc<dyn RankProgram>>) -> Self {
+        Application {
+            programs: programs.into_iter().map(ProgSlot::Gen).collect(),
+        }
+    }
+
+    /// Build `n_ranks` generated programs from a per-rank constructor.
+    pub fn generated_with(n_ranks: usize, mut f: impl FnMut(Rank) -> GenProgram) -> Self {
+        Application {
+            programs: (0..n_ranks)
+                .map(|i| ProgSlot::Gen(Arc::new(f(Rank(i as u32))) as Arc<dyn RankProgram>))
+                .collect(),
+        }
+    }
+
+    /// Reinterpret a *one-iteration* builder application as `iterations`
+    /// lazy repetitions of itself: each rank's op list becomes a
+    /// [`GenProgram`] body of iteration-invariant ops. The universal
+    /// generator transformation for workloads whose iterations are
+    /// identical (all NAS skeletons).
+    ///
+    /// Panics if any rank holds a generated (non-builder) program.
+    pub fn repeated(self, iterations: usize) -> Application {
+        Application {
+            programs: self
+                .programs
+                .into_iter()
+                .map(|slot| match slot {
+                    ProgSlot::Unrolled(p) => {
+                        ProgSlot::Gen(Arc::new(GenProgram::from_ops(p.ops, iterations))
+                            as Arc<dyn RankProgram>)
+                    }
+                    ProgSlot::Gen(_) => {
+                        panic!("Application::repeated requires builder (unrolled) programs")
+                    }
+                })
+                .collect(),
         }
     }
 
@@ -110,22 +477,82 @@ impl Application {
         self.programs.len()
     }
 
-    pub fn rank_mut(&mut self, r: Rank) -> &mut Program {
-        &mut self.programs[r.idx()]
+    /// Mutable builder access to rank `r`'s program.
+    ///
+    /// Panics if the rank holds a generated program — generators produce
+    /// closed-form programs that cannot be extended op by op.
+    pub fn rank_mut(&mut self, r: Rank) -> &mut UnrolledProgram {
+        match &mut self.programs[r.idx()] {
+            ProgSlot::Unrolled(p) => p,
+            ProgSlot::Gen(_) => panic!(
+                "rank {} holds a generated RankProgram; op-by-op building only \
+                 applies to Application::new / unrolled programs",
+                r.0
+            ),
+        }
     }
 
-    pub fn rank(&self, r: Rank) -> &Program {
-        &self.programs[r.idx()]
+    /// Rank `r`'s program through the streaming interface.
+    pub fn rank(&self, r: Rank) -> &dyn RankProgram {
+        self.programs[r.idx()].prog()
+    }
+
+    /// Iterate rank `r`'s ops lazily.
+    pub fn ops(&self, r: Rank) -> OpStream<'_> {
+        OpStream::new(self.rank(r))
+    }
+
+    /// Surrender the per-rank programs to the engine.
+    pub(crate) fn into_programs(self) -> Vec<Arc<dyn RankProgram>> {
+        self.programs
+            .into_iter()
+            .map(|slot| match slot {
+                ProgSlot::Unrolled(p) => Arc::new(p) as Arc<dyn RankProgram>,
+                ProgSlot::Gen(p) => p,
+            })
+            .collect()
     }
 
     /// Total bytes sent across all ranks in a failure-free run.
     pub fn total_bytes(&self) -> u64 {
-        self.programs.iter().map(|p| p.bytes_sent()).sum()
+        self.programs.iter().map(|p| p.prog().bytes_sent()).sum()
     }
 
     /// Total messages sent across all ranks in a failure-free run.
     pub fn total_messages(&self) -> u64 {
-        self.programs.iter().map(|p| p.send_count() as u64).sum()
+        self.programs
+            .iter()
+            .map(|p| p.prog().send_count() as u64)
+            .sum()
+    }
+
+    /// Heap bytes resident in the program representation itself.
+    pub fn resident_bytes(&self) -> u64 {
+        self.programs
+            .iter()
+            .map(|p| p.prog().resident_bytes())
+            .sum()
+    }
+
+    /// Heap bytes a fully materialised `Vec<Op>` representation of the
+    /// same application would hold — the denominator of the perf
+    /// baseline's memory-win columns.
+    pub fn unrolled_bytes(&self) -> u64 {
+        self.programs
+            .iter()
+            .map(|p| (p.prog().len() * std::mem::size_of::<Op>()) as u64)
+            .sum()
+    }
+
+    /// Stream aggregated send totals across all ranks as
+    /// `f(src, dst, bytes, messages)` chunks (closed form for generated
+    /// programs; a channel may appear in several chunks).
+    pub fn send_summary(&self, mut f: impl FnMut(Rank, Rank, u64, u64)) {
+        for (src, slot) in self.programs.iter().enumerate() {
+            let src = Rank(src as u32);
+            slot.prog()
+                .send_summary(&mut |dst, bytes, msgs| f(src, dst, bytes, msgs));
+        }
     }
 
     /// Sanity-check that every send has a matching receive: for each
@@ -146,9 +573,10 @@ impl Application {
         let mut chan_sends: BTreeMap<(u32, u32, u32), i64> = BTreeMap::new();
         let mut chan_recvs: BTreeMap<(u32, u32, u32), i64> = BTreeMap::new();
         let mut wild: BTreeMap<(u32, u32), i64> = BTreeMap::new();
-        for (src, prog) in self.programs.iter().enumerate() {
-            for op in &prog.ops {
-                match *op {
+        #[allow(clippy::needless_range_loop)] // src feeds both ops() and recv_at[]
+        for src in 0..n {
+            for op in self.ops(Rank(src as u32)) {
+                match op {
                     Op::Send { dst, tag, .. } => {
                         sends_to[dst.idx()] += 1;
                         *chan_sends.entry((src as u32, dst.0, tag.0)).or_default() += 1;
@@ -192,7 +620,7 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let mut p = Program::new();
+        let mut p = UnrolledProgram::new();
         p.send(Rank(1), 100, Tag(0))
             .recv(Rank(1), Tag(0))
             .compute(SimDuration::from_us(5))
@@ -241,5 +669,131 @@ mod tests {
         app.rank_mut(Rank(1)).send(Rank(2), 10, Tag(7));
         app.rank_mut(Rank(2)).recv_any(Tag(7)).recv_any(Tag(7));
         assert!(app.check_balance().is_ok());
+    }
+
+    #[test]
+    fn gen_program_is_pure_and_contiguous_in_pc() {
+        let g = GenProgram::new(
+            vec![
+                OpTemplate::Fixed(Op::Compute {
+                    time: SimDuration::from_us(1),
+                }),
+                OpTemplate::IterTag {
+                    op: Op::Send {
+                        dst: Rank(1),
+                        bytes: 64,
+                        tag: Tag(5),
+                    },
+                    stride: 2,
+                },
+            ],
+            3,
+        );
+        assert_eq!(g.len(), 6);
+        // Contiguity: Some exactly below len.
+        for pc in 0..g.len() {
+            assert!(g.op_at(pc).is_some(), "pc={pc}");
+        }
+        assert_eq!(g.op_at(6), None);
+        // Purity: seeking back returns the identical op.
+        let first = g.op_at(3);
+        let _ = g.op_at(5);
+        assert_eq!(g.op_at(3), first);
+        // Tag advances per iteration.
+        assert_eq!(
+            g.op_at(5),
+            Some(Op::Send {
+                dst: Rank(1),
+                bytes: 64,
+                tag: Tag(9)
+            })
+        );
+    }
+
+    #[test]
+    fn gen_metadata_matches_a_full_walk() {
+        let g = GenProgram::new(
+            vec![
+                OpTemplate::IterCompute {
+                    base: SimDuration::from_us(10),
+                    offset: 3,
+                    stride: 13,
+                    modulus: 7,
+                },
+                OpTemplate::Fixed(Op::Send {
+                    dst: Rank(2),
+                    bytes: 100,
+                    tag: Tag(0),
+                }),
+                OpTemplate::Fixed(Op::RecvAny { tag: Tag(0) }),
+            ],
+            11,
+        );
+        let walked: Vec<Op> = OpStream::new(&g).collect();
+        assert_eq!(walked.len(), g.len());
+        assert_eq!(
+            g.send_count(),
+            walked
+                .iter()
+                .filter(|o| matches!(o, Op::Send { .. }))
+                .count()
+        );
+        assert_eq!(
+            g.recv_count(),
+            walked
+                .iter()
+                .filter(|o| matches!(o, Op::Recv { .. } | Op::RecvAny { .. }))
+                .count()
+        );
+        assert_eq!(g.bytes_sent(), 11 * 100);
+        let mut summed = 0u64;
+        let mut msgs = 0u64;
+        g.send_summary(&mut |_, b, m| {
+            summed += b;
+            msgs += m;
+        });
+        assert_eq!(summed, g.bytes_sent());
+        assert_eq!(msgs, g.send_count() as u64);
+    }
+
+    #[test]
+    fn iter_compute_jitter_is_deterministic_per_iteration() {
+        let t = OpTemplate::IterCompute {
+            base: SimDuration::from_us(100),
+            offset: 2,
+            stride: 13,
+            modulus: 7,
+        };
+        for iter in 0..20 {
+            let expect = SimDuration::from_us(100) * (1 + (2 + iter as u64 * 13) % 7);
+            assert_eq!(t.at(iter), Op::Compute { time: expect });
+        }
+    }
+
+    #[test]
+    fn repeated_equals_manual_unroll() {
+        let mut one = Application::new(2);
+        one.rank_mut(Rank(0)).send(Rank(1), 8, Tag(3));
+        one.rank_mut(Rank(1)).recv(Rank(0), Tag(3));
+        let gen = one.clone().repeated(4);
+        let mut unrolled = Application::new(2);
+        for _ in 0..4 {
+            unrolled.rank_mut(Rank(0)).send(Rank(1), 8, Tag(3));
+            unrolled.rank_mut(Rank(1)).recv(Rank(0), Tag(3));
+        }
+        for r in 0..2u32 {
+            let a: Vec<Op> = gen.ops(Rank(r)).collect();
+            let b: Vec<Op> = unrolled.ops(Rank(r)).collect();
+            assert_eq!(a, b, "rank {r}");
+        }
+        assert_eq!(gen.total_bytes(), unrolled.total_bytes());
+        assert!(gen.resident_bytes() < unrolled.resident_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "generated RankProgram")]
+    fn building_onto_a_generated_rank_panics() {
+        let mut app = Application::generated_with(1, |_| GenProgram::from_ops([], 0));
+        app.rank_mut(Rank(0)).send(Rank(0), 1, Tag(0));
     }
 }

@@ -1,4 +1,4 @@
-//! Global coordinated checkpointing — the classic baseline (§II, [11]).
+//! Global coordinated checkpointing — the classic baseline (§II, \[11\]).
 //!
 //! All processes checkpoint together (one consistent global cut including
 //! channel state) and a failure of *any* process rolls back *all* of them

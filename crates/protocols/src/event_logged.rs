@@ -1,7 +1,7 @@
 //! Event-logging overlay — what HydEE removes.
 //!
-//! Every hybrid protocol before HydEE (Yang et al. [32], Meneses et
-//! al. [22], Bouteiller et al. [8]) must log the *determinant* of every
+//! Every hybrid protocol before HydEE (Yang et al. \[32\], Meneses et
+//! al. \[22\], Bouteiller et al. \[8\]) must log the *determinant* of every
 //! non-deterministic event reliably during failure-free execution — in
 //! practice a synchronous write per message delivery, either to stable
 //! storage or to a remote event-logger node. HydEE's headline contribution
@@ -12,7 +12,7 @@
 //!
 //! * `Hydee` with per-rank clusters → classic pessimistic sender-based
 //!   message logging (the "full logging + determinants" baseline);
-//! * `Hydee` with real clusters → an [8]-style hybrid protocol, the
+//! * `Hydee` with real clusters → an \[8\]-style hybrid protocol, the
 //!   direct ablation for "what does event logging cost" (experiment X2).
 
 use det_sim::SimDuration;
@@ -23,7 +23,7 @@ use mps_sim::{Ctx, Endpoint, Message, Protocol, Rank, SendDirective, SendInfo};
 pub struct DeterminantCost {
     /// Synchronous cost charged to the receiver per delivery (the
     /// round-trip to the event logger / stable storage). Ropars & Morin
-    /// [29] measure multi-microsecond penalties even for distributed
+    /// \[29\] measure multi-microsecond penalties even for distributed
     /// in-memory event logging.
     pub per_delivery: SimDuration,
 }

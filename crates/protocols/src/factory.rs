@@ -186,7 +186,7 @@ impl ProtocolFactory for CoordinatedFactory {
 }
 
 /// HydEE plus reliable determinant writes on every delivery — the
-/// event-logging ablation ([8]/[22]-style hybrid; with per-rank clusters,
+/// event-logging ablation (\[8\]/\[22\]-style hybrid; with per-rank clusters,
 /// classic pessimistic message logging).
 #[derive(Debug, Clone, Default)]
 pub struct EventLoggedFactory {

@@ -9,7 +9,7 @@
 //! * [`event_logged::EventLogged`] — an overlay charging a reliable
 //!   determinant write per delivery; wraps `Hydee` (with per-rank or real
 //!   clusters) to obtain classic pessimistic message logging and the
-//!   [8]-style hybrid-with-event-logging protocol respectively. This is
+//!   \[8\]-style hybrid-with-event-logging protocol respectively. This is
 //!   the ablation for HydEE's "no event logging" claim.
 //!
 //! Native MPICH2 (no fault tolerance) is `mps_sim::NullProtocol`; HydEE

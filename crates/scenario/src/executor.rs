@@ -61,6 +61,8 @@ impl Executor {
             static_logged_bytes: stats.logged_bytes,
             static_total_bytes: stats.total_bytes,
             static_logged_pct: stats.logged_pct(),
+            program_resident_bytes: app.resident_bytes(),
+            program_unrolled_bytes: app.unrolled_bytes(),
             completed: false,
             status: "static".into(),
             makespan_ps: 0,

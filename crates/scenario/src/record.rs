@@ -31,6 +31,11 @@ pub struct RunRecord {
     pub static_total_bytes: u64,
     /// `static_logged_bytes / static_total_bytes` in percent.
     pub static_logged_pct: f64,
+    /// Heap bytes resident in the streamed program representation
+    /// (`Application::resident_bytes`, DESIGN.md §2.2).
+    pub program_resident_bytes: u64,
+    /// Closed-form bytes of the equivalent materialised `Vec<Op>` form.
+    pub program_unrolled_bytes: u64,
 
     // ---- simulation outcome (None when `simulate: false`) ----
     /// Run completed (all ranks finished). `false` covers deadlock or
@@ -94,6 +99,8 @@ impl RunRecord {
             "static_logged_bytes",
             "static_total_bytes",
             "static_logged_pct",
+            "program_resident_bytes",
+            "program_unrolled_bytes",
             "completed",
             "status",
             "makespan_ps",
@@ -134,6 +141,8 @@ impl RunRecord {
             self.static_logged_bytes.to_string(),
             self.static_total_bytes.to_string(),
             format!("{:.4}", self.static_logged_pct),
+            self.program_resident_bytes.to_string(),
+            self.program_unrolled_bytes.to_string(),
             self.completed.to_string(),
             quote(&self.status),
             self.makespan_ps.to_string(),
@@ -185,6 +194,8 @@ mod tests {
             static_logged_bytes: 0,
             static_total_bytes: 10,
             static_logged_pct: 0.0,
+            program_resident_bytes: 64,
+            program_unrolled_bytes: 640,
             completed: true,
             status: "completed".into(),
             makespan_ps: 1,

@@ -8,7 +8,7 @@
 //! * [`netpipe`] — the ping-pong of Figure 5 with NetPIPE's size ladder;
 //! * [`stencil`] — a generic 2D halo exchange (long-running GC / log
 //!   growth experiments, wildcard-receive demonstrations);
-//! * [`master_worker`] — the canonical NON-send-deterministic pattern,
+//! * [`mod@master_worker`] — the canonical NON-send-deterministic pattern,
 //!   used to show where HydEE's assumption is load-bearing.
 
 pub mod grid;
@@ -19,8 +19,8 @@ pub mod registry;
 pub mod stencil;
 
 pub use grid::{Grid2D, Grid3D};
-pub use master_worker::{master_worker, MasterWorkerConfig};
+pub use master_worker::{master_worker, master_worker_unrolled, MasterWorkerConfig};
 pub use nas::{NasBench, NasConfig};
-pub use netpipe::{ping_pong, size_ladder};
+pub use netpipe::{ping_pong, ping_pong_unrolled, size_ladder};
 pub use registry::WorkloadSpec;
-pub use stencil::{stencil_2d, StencilConfig};
+pub use stencil::{stencil_2d, stencil_2d_unrolled, StencilConfig};

@@ -18,7 +18,7 @@
 //! sensitivity (not the partner choice) carries the violation.
 
 use det_sim::SimDuration;
-use mps_sim::{Application, Rank, Tag};
+use mps_sim::{Application, GenProgram, Op, OpTemplate, Rank, Tag};
 
 /// Master/worker parameters. Rank 0 is the master.
 #[derive(Debug, Clone)]
@@ -44,8 +44,68 @@ impl Default for MasterWorkerConfig {
     }
 }
 
-/// Build the master/worker application.
+/// Build the master/worker application as lazy per-rank generators.
+///
+/// Round `r` uses tags `2r` (tasks) and `2r + 1` (results) — an
+/// [`OpTemplate::IterTag`] of stride 2 — and each worker's per-round
+/// compute jitter `(w·37 + r·13) mod workers` is an
+/// [`OpTemplate::IterCompute`], so the whole dispatch schedule is closed
+/// form in the round index.
 pub fn master_worker(cfg: &MasterWorkerConfig) -> Application {
+    assert!(cfg.n_ranks >= 2, "need a master and at least one worker");
+    let master = Rank(0);
+    let workers = cfg.n_ranks - 1;
+    Application::generated_with(cfg.n_ranks, |me| {
+        let mut body = Vec::new();
+        if me == master {
+            // One task per worker, then results first-come-first-served.
+            for w in 1..cfg.n_ranks {
+                body.push(OpTemplate::IterTag {
+                    op: Op::Send {
+                        dst: Rank(w as u32),
+                        bytes: cfg.task_bytes,
+                        tag: Tag(0),
+                    },
+                    stride: 2,
+                });
+            }
+            for _ in 1..cfg.n_ranks {
+                body.push(OpTemplate::IterTag {
+                    op: Op::RecvAny { tag: Tag(1) },
+                    stride: 2,
+                });
+            }
+        } else {
+            let w = me.idx();
+            body.push(OpTemplate::IterTag {
+                op: Op::Recv {
+                    src: master,
+                    tag: Tag(0),
+                },
+                stride: 2,
+            });
+            body.push(OpTemplate::IterCompute {
+                base: cfg.work_base,
+                offset: (w * 37) as u64,
+                stride: 13,
+                modulus: workers as u64,
+            });
+            body.push(OpTemplate::IterTag {
+                op: Op::Send {
+                    dst: master,
+                    bytes: cfg.result_bytes,
+                    tag: Tag(1),
+                },
+                stride: 2,
+            });
+        }
+        GenProgram::new(body, cfg.tasks_per_worker)
+    })
+}
+
+/// The seed-era materialised builder, kept as the equivalence oracle for
+/// [`master_worker`].
+pub fn master_worker_unrolled(cfg: &MasterWorkerConfig) -> Application {
     assert!(cfg.n_ranks >= 2, "need a master and at least one worker");
     let master = Rank(0);
     let workers = cfg.n_ranks - 1;
@@ -97,13 +157,11 @@ mod tests {
     fn worker_compute_is_staggered() {
         let app = master_worker(&MasterWorkerConfig::default());
         // Distinct compute times across workers in round 0.
-        let computes: Vec<_> = (1..8)
+        let computes: Vec<_> = (1..8u32)
             .map(|w| {
-                app.programs[w]
-                    .ops
-                    .iter()
+                app.ops(Rank(w))
                     .find_map(|op| match op {
-                        mps_sim::Op::Compute { time } => Some(*time),
+                        mps_sim::Op::Compute { time } => Some(time),
                         _ => None,
                     })
                     .unwrap()

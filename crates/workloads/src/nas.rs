@@ -142,7 +142,7 @@ impl NasBench {
         }
     }
 
-    /// Build the skeleton application.
+    /// Build the skeleton application (lazy per-rank generators).
     pub fn build(&self, cfg: &NasConfig) -> Application {
         match self {
             NasBench::BT => bt(cfg),
@@ -153,6 +153,34 @@ impl NasBench {
             NasBench::SP => sp(cfg),
         }
     }
+
+    /// Seed-era materialised build — the equivalence oracle for
+    /// [`NasBench::build`] (`crates/workloads/tests/equivalence.rs`).
+    pub fn build_unrolled(&self, cfg: &NasConfig) -> Application {
+        let f = match self {
+            NasBench::BT => bt_iter,
+            NasBench::CG => cg_iter,
+            NasBench::FT => ft_iter,
+            NasBench::LU => lu_iter,
+            NasBench::MG => mg_iter,
+            NasBench::SP => sp_iter,
+        };
+        let mut app = Application::new(cfg.n_ranks);
+        for _ in 0..cfg.iterations {
+            f(cfg, &mut app);
+        }
+        app
+    }
+}
+
+/// Build one iteration with `f`, then repeat it lazily `cfg.iterations`
+/// times: every NAS skeleton's iterations are op-identical, so its
+/// program is one iteration's ops plus a repeat count — memory
+/// O(pattern), not O(pattern × iterations).
+fn lazily(cfg: &NasConfig, f: fn(&NasConfig, &mut Application)) -> Application {
+    let mut one = Application::new(cfg.n_ranks);
+    f(cfg, &mut one);
+    one.repeated(cfg.iterations)
 }
 
 /// Skeleton generation parameters.
@@ -195,65 +223,65 @@ pub fn exchange(app: &mut Application, a: Rank, b: Rank, bytes: u64, tag: Tag) {
 /// per iteration. Calibration: 256 ranks x 6 x 40 iters x 12.87 MB
 /// ~ 791 GB.
 pub fn bt(cfg: &NasConfig) -> Application {
+    lazily(cfg, bt_iter)
+}
+
+fn bt_iter(cfg: &NasConfig, app: &mut Application) {
     let g = Grid2D::squarest(cfg.n_ranks);
     let face = scaled(12.87e6, cfg.size_scale);
-    let mut app = Application::new(cfg.n_ranks);
-    for _ in 0..cfg.iterations {
+    for i in 0..cfg.n_ranks {
+        app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
+    }
+    for dir in 0..6usize {
+        let (dr, dc) = [(0, 1), (0, -1), (1, 0), (-1, 0), (1, 1), (-1, -1)][dir];
+        let tag = Tag(dir as u32);
         for i in 0..cfg.n_ranks {
-            app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
-        }
-        for dir in 0..6usize {
-            let (dr, dc) = [(0, 1), (0, -1), (1, 0), (-1, 0), (1, 1), (-1, -1)][dir];
-            let tag = Tag(dir as u32);
-            for i in 0..cfg.n_ranks {
-                let me = Rank(i as u32);
-                let to = g.torus_neighbor(me, dr, dc);
-                if to != me {
-                    app.rank_mut(me).send(to, face, tag);
-                }
+            let me = Rank(i as u32);
+            let to = g.torus_neighbor(me, dr, dc);
+            if to != me {
+                app.rank_mut(me).send(to, face, tag);
             }
-            for i in 0..cfg.n_ranks {
-                let me = Rank(i as u32);
-                let from = g.torus_neighbor(me, -dr, -dc);
-                if from != me {
-                    app.rank_mut(me).recv(from, tag);
-                }
+        }
+        for i in 0..cfg.n_ranks {
+            let me = Rank(i as u32);
+            let from = g.torus_neighbor(me, -dr, -dc);
+            if from != me {
+                app.rank_mut(me).recv(from, tag);
             }
         }
     }
-    app
 }
 
 /// SP: like BT but only the four axis neighbours and more, smaller
 /// exchanges. Calibration: 256 x 4 x 100 x 14.12 MB ~ 1446 GB.
 pub fn sp(cfg: &NasConfig) -> Application {
+    lazily(cfg, sp_iter)
+}
+
+fn sp_iter(cfg: &NasConfig, app: &mut Application) {
     let g = Grid2D::squarest(cfg.n_ranks);
     let face = scaled(14.12e6, cfg.size_scale);
-    let mut app = Application::new(cfg.n_ranks);
-    for _ in 0..cfg.iterations {
+    for i in 0..cfg.n_ranks {
+        app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
+    }
+    for dir in 0..4usize {
+        let (dr, dc) = [(0, 1), (0, -1), (1, 0), (-1, 0)][dir];
+        let tag = Tag(dir as u32);
         for i in 0..cfg.n_ranks {
-            app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
-        }
-        for dir in 0..4usize {
-            let (dr, dc) = [(0, 1), (0, -1), (1, 0), (-1, 0)][dir];
-            let tag = Tag(dir as u32);
-            for i in 0..cfg.n_ranks {
-                let me = Rank(i as u32);
-                let to = g.torus_neighbor(me, dr, dc);
-                if to != me {
-                    app.rank_mut(me).send(to, face, tag);
-                }
+            let me = Rank(i as u32);
+            let to = g.torus_neighbor(me, dr, dc);
+            if to != me {
+                app.rank_mut(me).send(to, face, tag);
             }
-            for i in 0..cfg.n_ranks {
-                let me = Rank(i as u32);
-                let from = g.torus_neighbor(me, -dr, -dc);
-                if from != me {
-                    app.rank_mut(me).recv(from, tag);
-                }
+        }
+        for i in 0..cfg.n_ranks {
+            let me = Rank(i as u32);
+            let from = g.torus_neighbor(me, -dr, -dc);
+            if from != me {
+                app.rank_mut(me).recv(from, tag);
             }
         }
     }
-    app
 }
 
 /// CG: rows of a square grid run `log2(cols)` recursive-halving exchange
@@ -262,66 +290,66 @@ pub fn sp(cfg: &NasConfig) -> Application {
 /// clusters (~19 %, Table I). Calibration: 75 iters x 1264 msgs x
 /// 24.45 MB ~ 2318 GB.
 pub fn cg(cfg: &NasConfig) -> Application {
+    lazily(cfg, cg_iter)
+}
+
+fn cg_iter(cfg: &NasConfig, app: &mut Application) {
     let g = Grid2D::squarest(cfg.n_ranks);
     let bytes = scaled(24.45e6, cfg.size_scale);
     let stages = (usize::BITS - 1 - g.cols.leading_zeros()) as usize;
-    let mut app = Application::new(cfg.n_ranks);
-    for _ in 0..cfg.iterations {
-        for i in 0..cfg.n_ranks {
-            app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
-        }
-        // Row-internal recursive halving (reduction of q = A.p slices).
-        for stage in 0..stages {
-            let tag = Tag(10 + stage as u32);
-            for row in 0..g.rows {
-                for col in 0..g.cols {
-                    let partner_col = col ^ (1 << stage);
-                    if partner_col < g.cols {
-                        let me = g.rank(row, col);
-                        let to = g.rank(row, partner_col);
-                        app.rank_mut(me).send(to, bytes, tag);
-                    }
-                }
-            }
-            for row in 0..g.rows {
-                for col in 0..g.cols {
-                    let partner_col = col ^ (1 << stage);
-                    if partner_col < g.cols {
-                        let me = g.rank(row, col);
-                        let from = g.rank(row, partner_col);
-                        app.rank_mut(me).recv(from, tag);
-                    }
-                }
-            }
-        }
-        // Transpose-partner exchange (inter-row).
-        // Only index-transposable positions pair up; the pairing is an
-        // involution so sends and receives balance.
-        let tag = Tag(20);
+    for i in 0..cfg.n_ranks {
+        app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
+    }
+    // Row-internal recursive halving (reduction of q = A.p slices).
+    for stage in 0..stages {
+        let tag = Tag(10 + stage as u32);
         for row in 0..g.rows {
             for col in 0..g.cols {
-                if row < g.cols && col < g.rows {
+                let partner_col = col ^ (1 << stage);
+                if partner_col < g.cols {
                     let me = g.rank(row, col);
-                    let partner = g.rank(col, row);
-                    if partner != me {
-                        app.rank_mut(me).send(partner, bytes, tag);
-                    }
+                    let to = g.rank(row, partner_col);
+                    app.rank_mut(me).send(to, bytes, tag);
                 }
             }
         }
         for row in 0..g.rows {
             for col in 0..g.cols {
-                if row < g.cols && col < g.rows {
+                let partner_col = col ^ (1 << stage);
+                if partner_col < g.cols {
                     let me = g.rank(row, col);
-                    let partner = g.rank(col, row);
-                    if partner != me {
-                        app.rank_mut(me).recv(partner, tag);
-                    }
+                    let from = g.rank(row, partner_col);
+                    app.rank_mut(me).recv(from, tag);
                 }
             }
         }
     }
-    app
+    // Transpose-partner exchange (inter-row).
+    // Only index-transposable positions pair up; the pairing is an
+    // involution so sends and receives balance.
+    let tag = Tag(20);
+    for row in 0..g.rows {
+        for col in 0..g.cols {
+            if row < g.cols && col < g.rows {
+                let me = g.rank(row, col);
+                let partner = g.rank(col, row);
+                if partner != me {
+                    app.rank_mut(me).send(partner, bytes, tag);
+                }
+            }
+        }
+    }
+    for row in 0..g.rows {
+        for col in 0..g.cols {
+            if row < g.cols && col < g.rows {
+                let me = g.rank(row, col);
+                let partner = g.rank(col, row);
+                if partner != me {
+                    app.rank_mut(me).recv(partner, tag);
+                }
+            }
+        }
+    }
 }
 
 /// FT: one global all-to-all transpose per iteration — the pattern that
@@ -330,16 +358,16 @@ pub fn cg(cfg: &NasConfig) -> Application {
 /// 512 KiB ~ 860 GB (class D FT's transpose chunk on 256 ranks is
 /// exactly 512 KiB).
 pub fn ft(cfg: &NasConfig) -> Application {
+    lazily(cfg, ft_iter)
+}
+
+fn ft_iter(cfg: &NasConfig, app: &mut Application) {
     let bytes = scaled(524_288.0, cfg.size_scale);
     let ranks: Vec<Rank> = (0..cfg.n_ranks as u32).map(Rank).collect();
-    let mut app = Application::new(cfg.n_ranks);
-    for _ in 0..cfg.iterations {
-        for i in 0..cfg.n_ranks {
-            app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
-        }
-        collectives::alltoall(&mut app, &ranks, bytes, Tag(0));
+    for i in 0..cfg.n_ranks {
+        app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
     }
-    app
+    collectives::alltoall(app, &ranks, bytes, Tag(0));
 }
 
 /// LU: pipelined wavefront (SSOR) — the small-message benchmark. Each
@@ -348,81 +376,84 @@ pub fn ft(cfg: &NasConfig) -> Application {
 /// mirrored upper waves, plus four larger halo exchanges. Calibration:
 /// halo ~6.5 MB x 4 x 50 iters x 256 + small traffic ~ 337 GB.
 pub fn lu(cfg: &NasConfig) -> Application {
+    lazily(cfg, lu_iter)
+}
+
+fn lu_iter(cfg: &NasConfig, app: &mut Application) {
     let g = Grid2D::squarest(cfg.n_ranks);
     let pencil = 2048u64; // fixed: LU's wavefront messages are small
     let halo = scaled(6.5e6, cfg.size_scale);
     let sweeps = 4usize;
-    let mut app = Application::new(cfg.n_ranks);
-    for _ in 0..cfg.iterations {
-        for i in 0..cfg.n_ranks {
-            app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
-        }
-        for s in 0..sweeps {
-            // Lower-triangular wave: flows from (0,0) to (R,C).
-            let tag = Tag(30 + s as u32);
-            for i in 0..cfg.n_ranks {
-                let me = Rank(i as u32);
-                if let Some(w) = g.neighbor(me, 0, -1) {
-                    app.rank_mut(me).recv(w, tag);
-                }
-                if let Some(n) = g.neighbor(me, -1, 0) {
-                    app.rank_mut(me).recv(n, tag);
-                }
-                if let Some(e) = g.neighbor(me, 0, 1) {
-                    app.rank_mut(me).send(e, pencil, tag);
-                }
-                if let Some(s2) = g.neighbor(me, 1, 0) {
-                    app.rank_mut(me).send(s2, pencil, tag);
-                }
-            }
-            // Upper-triangular wave: flows back from (R,C) to (0,0).
-            let tag = Tag(40 + s as u32);
-            for i in (0..cfg.n_ranks).rev() {
-                let me = Rank(i as u32);
-                if let Some(e) = g.neighbor(me, 0, 1) {
-                    app.rank_mut(me).recv(e, tag);
-                }
-                if let Some(s2) = g.neighbor(me, 1, 0) {
-                    app.rank_mut(me).recv(s2, tag);
-                }
-                if let Some(w) = g.neighbor(me, 0, -1) {
-                    app.rank_mut(me).send(w, pencil, tag);
-                }
-                if let Some(n) = g.neighbor(me, -1, 0) {
-                    app.rank_mut(me).send(n, pencil, tag);
-                }
-            }
-        }
-        // Halo exchange of the four faces.
-        let tag = Tag(50);
+    for i in 0..cfg.n_ranks {
+        app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
+    }
+    for s in 0..sweeps {
+        // Lower-triangular wave: flows from (0,0) to (R,C).
+        let tag = Tag(30 + s as u32);
         for i in 0..cfg.n_ranks {
             let me = Rank(i as u32);
-            for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0)] {
-                if let Some(nb) = g.neighbor(me, dr, dc) {
-                    app.rank_mut(me).send(nb, halo, tag);
-                }
+            if let Some(w) = g.neighbor(me, 0, -1) {
+                app.rank_mut(me).recv(w, tag);
+            }
+            if let Some(n) = g.neighbor(me, -1, 0) {
+                app.rank_mut(me).recv(n, tag);
+            }
+            if let Some(e) = g.neighbor(me, 0, 1) {
+                app.rank_mut(me).send(e, pencil, tag);
+            }
+            if let Some(s2) = g.neighbor(me, 1, 0) {
+                app.rank_mut(me).send(s2, pencil, tag);
             }
         }
-        for i in 0..cfg.n_ranks {
+        // Upper-triangular wave: flows back from (R,C) to (0,0).
+        let tag = Tag(40 + s as u32);
+        for i in (0..cfg.n_ranks).rev() {
             let me = Rank(i as u32);
-            for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0)] {
-                if let Some(nb) = g.neighbor(me, dr, dc) {
-                    app.rank_mut(me).recv(nb, tag);
-                }
+            if let Some(e) = g.neighbor(me, 0, 1) {
+                app.rank_mut(me).recv(e, tag);
+            }
+            if let Some(s2) = g.neighbor(me, 1, 0) {
+                app.rank_mut(me).recv(s2, tag);
+            }
+            if let Some(w) = g.neighbor(me, 0, -1) {
+                app.rank_mut(me).send(w, pencil, tag);
+            }
+            if let Some(n) = g.neighbor(me, -1, 0) {
+                app.rank_mut(me).send(n, pencil, tag);
             }
         }
     }
-    app
+    // Halo exchange of the four faces.
+    let tag = Tag(50);
+    for i in 0..cfg.n_ranks {
+        let me = Rank(i as u32);
+        for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0)] {
+            if let Some(nb) = g.neighbor(me, dr, dc) {
+                app.rank_mut(me).send(nb, halo, tag);
+            }
+        }
+    }
+    for i in 0..cfg.n_ranks {
+        let me = Rank(i as u32);
+        for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0)] {
+            if let Some(nb) = g.neighbor(me, dr, dc) {
+                app.rank_mut(me).recv(nb, tag);
+            }
+        }
+    }
 }
 
 /// MG: V-cycles on a 3D grid; each level exchanges the six faces with
 /// sizes shrinking 4x per level (areas), down then up. Calibration:
 /// 20 iters x ~12 exchanges x 256 x geometric(808 KB) ~ 66 GB.
 pub fn mg(cfg: &NasConfig) -> Application {
+    lazily(cfg, mg_iter)
+}
+
+fn mg_iter(cfg: &NasConfig, app: &mut Application) {
     let g = pick_grid3d(cfg.n_ranks);
     let base = scaled(970e3, cfg.size_scale);
     let levels = 4usize;
-    let mut app = Application::new(cfg.n_ranks);
     let dirs: [(isize, isize, isize); 6] = [
         (1, 0, 0),
         (-1, 0, 0),
@@ -431,34 +462,31 @@ pub fn mg(cfg: &NasConfig) -> Application {
         (0, 0, 1),
         (0, 0, -1),
     ];
-    for _ in 0..cfg.iterations {
+    for i in 0..cfg.n_ranks {
+        app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
+    }
+    // Down the V then back up: level sizes base/4^l.
+    let schedule: Vec<usize> = (0..levels).chain((0..levels).rev()).collect();
+    for (step, &level) in schedule.iter().enumerate() {
+        let bytes = (base >> (2 * level)).max(1);
+        let tag = Tag(60 + step as u32);
         for i in 0..cfg.n_ranks {
-            app.rank_mut(Rank(i as u32)).compute(cfg.compute_per_iter);
-        }
-        // Down the V then back up: level sizes base/4^l.
-        let schedule: Vec<usize> = (0..levels).chain((0..levels).rev()).collect();
-        for (step, &level) in schedule.iter().enumerate() {
-            let bytes = (base >> (2 * level)).max(1);
-            let tag = Tag(60 + step as u32);
-            for i in 0..cfg.n_ranks {
-                let me = Rank(i as u32);
-                for &(dx, dy, dz) in &dirs {
-                    if let Some(nb) = g.neighbor(me, dx, dy, dz) {
-                        app.rank_mut(me).send(nb, bytes, tag);
-                    }
+            let me = Rank(i as u32);
+            for &(dx, dy, dz) in &dirs {
+                if let Some(nb) = g.neighbor(me, dx, dy, dz) {
+                    app.rank_mut(me).send(nb, bytes, tag);
                 }
             }
-            for i in 0..cfg.n_ranks {
-                let me = Rank(i as u32);
-                for &(dx, dy, dz) in &dirs {
-                    if let Some(nb) = g.neighbor(me, dx, dy, dz) {
-                        app.rank_mut(me).recv(nb, tag);
-                    }
+        }
+        for i in 0..cfg.n_ranks {
+            let me = Rank(i as u32);
+            for &(dx, dy, dz) in &dirs {
+                if let Some(nb) = g.neighbor(me, dx, dy, dz) {
+                    app.rank_mut(me).recv(nb, tag);
                 }
             }
         }
     }
-    app
 }
 
 /// Factor `n` into the most cubic 3D grid.
@@ -548,10 +576,9 @@ mod tests {
         let app = lu(&cfg);
         // Wavefront messages must remain 2 KiB regardless of scale: their
         // smallness drives LU's piggyback overhead in Figure 6.
-        let has_pencil = app.programs.iter().any(|p| {
-            p.ops
-                .iter()
-                .any(|op| matches!(op, mps_sim::Op::Send { bytes, .. } if *bytes == 2048))
+        let has_pencil = (0..app.n_ranks()).any(|r| {
+            app.ops(Rank(r as u32))
+                .any(|op| matches!(op, mps_sim::Op::Send { bytes, .. } if bytes == 2048))
         });
         assert!(has_pencil);
     }

@@ -6,10 +6,33 @@
 //! perturbation points around each, which is what exposes the MX plateau
 //! edges that HydEE's piggybacking trips over).
 
-use mps_sim::{Application, Rank, Tag};
+use mps_sim::{Application, GenProgram, Op, Rank, Tag};
 
 /// Build a ping-pong application: `rounds` round trips of `bytes`.
+/// Each rank is a two-op body repeated lazily per round.
 pub fn ping_pong(rounds: usize, bytes: u64) -> Application {
+    Application::generated_with(2, |me| {
+        let send = Op::Send {
+            dst: Rank(1 - me.0),
+            bytes,
+            tag: Tag(0),
+        };
+        let recv = Op::Recv {
+            src: Rank(1 - me.0),
+            tag: Tag(0),
+        };
+        let body = if me == Rank(0) {
+            vec![send, recv]
+        } else {
+            vec![recv, send]
+        };
+        GenProgram::from_ops(body, rounds)
+    })
+}
+
+/// The seed-era materialised builder, kept as the equivalence oracle for
+/// [`ping_pong`].
+pub fn ping_pong_unrolled(rounds: usize, bytes: u64) -> Application {
     let mut app = Application::new(2);
     for _ in 0..rounds {
         app.rank_mut(Rank(0)).send(Rank(1), bytes, Tag(0));

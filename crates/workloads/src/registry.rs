@@ -109,8 +109,33 @@ impl WorkloadSpec {
         }
     }
 
-    /// Build the application this spec describes.
+    /// Build the application this spec describes (lazy generators).
     pub fn build(&self) -> Application {
+        self.build_with(NasBench::build, ping_pong, stencil_2d, master_worker)
+    }
+
+    /// Build the seed-era materialised (`Vec<Op>`) form of this spec's
+    /// application — the equivalence oracle for [`WorkloadSpec::build`]
+    /// (`tests/equivalence.rs` checks op-for-op identity).
+    pub fn build_unrolled(&self) -> Application {
+        self.build_with(
+            NasBench::build_unrolled,
+            crate::netpipe::ping_pong_unrolled,
+            crate::stencil::stencil_2d_unrolled,
+            crate::master_worker::master_worker_unrolled,
+        )
+    }
+
+    /// Shared spec→config assembly for both build paths: only the final
+    /// constructors differ, so the generator and its oracle can never
+    /// drift in how spec fields map to workload configs.
+    fn build_with(
+        &self,
+        nas: fn(&NasBench, &NasConfig) -> Application,
+        netpipe: fn(usize, u64) -> Application,
+        stencil: fn(&StencilConfig) -> Application,
+        mw: fn(&MasterWorkerConfig) -> Application,
+    ) -> Application {
         match self {
             WorkloadSpec::Nas {
                 bench,
@@ -121,16 +146,16 @@ impl WorkloadSpec {
                 if let Some(it) = iterations {
                     cfg.iterations = *it;
                 }
-                bench.build(&cfg)
+                nas(bench, &cfg)
             }
-            WorkloadSpec::NetPipe { rounds, bytes } => ping_pong(*rounds, *bytes),
+            WorkloadSpec::NetPipe { rounds, bytes } => netpipe(*rounds, *bytes),
             WorkloadSpec::Stencil {
                 n_ranks,
                 iterations,
                 face_bytes,
                 compute_us,
                 wildcard_recv,
-            } => stencil_2d(&StencilConfig {
+            } => stencil(&StencilConfig {
                 n_ranks: *n_ranks,
                 iterations: *iterations,
                 face_bytes: *face_bytes,
@@ -140,7 +165,7 @@ impl WorkloadSpec {
             WorkloadSpec::MasterWorker {
                 n_ranks,
                 tasks_per_worker,
-            } => master_worker(&MasterWorkerConfig {
+            } => mw(&MasterWorkerConfig {
                 n_ranks: *n_ranks,
                 tasks_per_worker: *tasks_per_worker,
                 ..Default::default()

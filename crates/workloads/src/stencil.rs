@@ -9,7 +9,7 @@
 
 use crate::grid::Grid2D;
 use det_sim::SimDuration;
-use mps_sim::{Application, Rank, Tag};
+use mps_sim::{Application, GenProgram, Op, OpTemplate, Rank, Tag};
 
 /// Stencil parameters.
 #[derive(Debug, Clone)]
@@ -36,8 +36,48 @@ impl Default for StencilConfig {
     }
 }
 
-/// Build the stencil application.
+/// Build the stencil application as lazy per-rank generators: each rank
+/// holds its one-iteration halo pattern plus a tag stride — the
+/// per-iteration tag (wildcard safety, DESIGN.md §3) is closed form, so
+/// memory is O(ranks × degree) regardless of the horizon.
 pub fn stencil_2d(cfg: &StencilConfig) -> Application {
+    let g = Grid2D::squarest(cfg.n_ranks);
+    Application::generated_with(cfg.n_ranks, |me| {
+        let mut body = vec![OpTemplate::Fixed(Op::Compute {
+            time: cfg.compute_per_iter,
+        })];
+        for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0)] {
+            if let Some(nb) = g.neighbor(me, dr, dc) {
+                body.push(OpTemplate::IterTag {
+                    op: Op::Send {
+                        dst: nb,
+                        bytes: cfg.face_bytes,
+                        tag: Tag(0),
+                    },
+                    stride: 1,
+                });
+            }
+        }
+        for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0)] {
+            if let Some(nb) = g.neighbor(me, dr, dc) {
+                let op = if cfg.wildcard_recv {
+                    Op::RecvAny { tag: Tag(0) }
+                } else {
+                    Op::Recv {
+                        src: nb,
+                        tag: Tag(0),
+                    }
+                };
+                body.push(OpTemplate::IterTag { op, stride: 1 });
+            }
+        }
+        GenProgram::new(body, cfg.iterations)
+    })
+}
+
+/// The seed-era materialised builder, kept as the equivalence oracle for
+/// [`stencil_2d`] (`crates/workloads/tests/equivalence.rs`).
+pub fn stencil_2d_unrolled(cfg: &StencilConfig) -> Application {
     let g = Grid2D::squarest(cfg.n_ranks);
     let mut app = Application::new(cfg.n_ranks);
     for it in 0..cfg.iterations {

@@ -1,0 +1,138 @@
+//! The generator equivalence oracle (ISSUE 3 satellite 1).
+//!
+//! Every registry workload now builds lazy `RankProgram` generators; the
+//! seed-era materialised builders survive as `*_unrolled`. These tests pin
+//! the redesign's core promise: for every workload family the streamed op
+//! sequence is **op-for-op identical** to the unrolled oracle, the
+//! closed-form metadata agrees with a full walk, and the engine produces
+//! bit-for-bit identical digests from either representation.
+
+use mps_sim::{NullProtocol, Op, Rank, Sim, SimConfig};
+use workloads::WorkloadSpec;
+
+/// Small-but-representative instances of every registry family (all six
+/// NAS benches, netpipe, stencil with and without wildcards, and the
+/// non-send-deterministic master/worker).
+fn oracle_specs() -> Vec<WorkloadSpec> {
+    let mut specs: Vec<WorkloadSpec> = ["BT", "CG", "FT", "LU", "MG", "SP"]
+        .iter()
+        .map(|b| WorkloadSpec::parse(&format!("nas:{b}:scale=0.0001:iters=2")).unwrap())
+        .collect();
+    specs.extend(
+        [
+            "netpipe:1024",
+            "netpipe:8192:rounds=5",
+            "stencil:16x10:face=65536:compute_us=200",
+            "stencil:12x7:face=4096:compute_us=50:wildcard",
+            "master_worker:8:tasks=4",
+        ]
+        .iter()
+        .map(|n| WorkloadSpec::parse(n).unwrap()),
+    );
+    specs
+}
+
+#[test]
+fn streamed_op_sequences_match_the_unrolled_oracle() {
+    for spec in oracle_specs() {
+        let streamed = spec.build();
+        let unrolled = spec.build_unrolled();
+        assert_eq!(streamed.n_ranks(), unrolled.n_ranks(), "{}", spec.name());
+        for r in 0..streamed.n_ranks() {
+            let r = Rank(r as u32);
+            let a: Vec<Op> = streamed.ops(r).collect();
+            let b: Vec<Op> = unrolled.ops(r).collect();
+            assert_eq!(a, b, "{}: rank {} op stream diverged", spec.name(), r.0);
+        }
+    }
+}
+
+#[test]
+fn closed_form_metadata_matches_the_unrolled_oracle() {
+    for spec in oracle_specs() {
+        let streamed = spec.build();
+        let unrolled = spec.build_unrolled();
+        assert_eq!(
+            streamed.total_bytes(),
+            unrolled.total_bytes(),
+            "{}",
+            spec.name()
+        );
+        assert_eq!(
+            streamed.total_messages(),
+            unrolled.total_messages(),
+            "{}",
+            spec.name()
+        );
+        for r in 0..streamed.n_ranks() {
+            let r = Rank(r as u32);
+            let (s, u) = (streamed.rank(r), unrolled.rank(r));
+            assert_eq!(s.len(), u.len(), "{} rank {}", spec.name(), r.0);
+            assert_eq!(
+                s.send_count(),
+                u.send_count(),
+                "{} rank {}",
+                spec.name(),
+                r.0
+            );
+            assert_eq!(
+                s.recv_count(),
+                u.recv_count(),
+                "{} rank {}",
+                spec.name(),
+                r.0
+            );
+            assert_eq!(
+                s.bytes_sent(),
+                u.bytes_sent(),
+                "{} rank {}",
+                spec.name(),
+                r.0
+            );
+        }
+        // The balance oracle must accept both forms.
+        assert!(streamed.check_balance().is_ok(), "{}", spec.name());
+        assert!(unrolled.check_balance().is_ok(), "{}", spec.name());
+    }
+}
+
+#[test]
+fn engine_digests_are_identical_across_representations() {
+    // A subset that simulates quickly; digests (and event counts) must be
+    // bit-for-bit equal, which is what keeps the committed
+    // `BENCH_engine.json` digests valid across the API redesign.
+    for name in [
+        "netpipe:4096:rounds=10",
+        "stencil:16x6:face=1024:compute_us=20",
+        "stencil:9x4:face=512:compute_us=10:wildcard",
+        "master_worker:6:tasks=3",
+        "nas:MG:scale=0.0001:iters=2",
+    ] {
+        let spec = WorkloadSpec::parse(name).unwrap();
+        let a = Sim::new(spec.build(), SimConfig::default(), NullProtocol).run();
+        let b = Sim::new(spec.build_unrolled(), SimConfig::default(), NullProtocol).run();
+        assert!(a.completed() && b.completed(), "{name}");
+        assert_eq!(a.digests, b.digests, "{name}: digests diverged");
+        assert_eq!(a.makespan, b.makespan, "{name}: makespan diverged");
+        assert_eq!(
+            a.metrics.events, b.metrics.events,
+            "{name}: event count diverged"
+        );
+    }
+}
+
+#[test]
+fn streamed_representation_is_smaller_for_iterative_workloads() {
+    for spec in oracle_specs() {
+        let app = spec.build();
+        assert!(
+            app.resident_bytes() <= app.unrolled_bytes(),
+            "{}: streamed form larger than unrolled",
+            spec.name()
+        );
+    }
+    // At long horizons the win is the point: 200 iterations ≥ 50×.
+    let spec = WorkloadSpec::parse("stencil:64x200:face=4096:compute_us=100").unwrap();
+    let app = spec.build();
+    assert!(app.resident_bytes() * 50 <= app.unrolled_bytes());
+}

@@ -1,0 +1,91 @@
+//! Round-trip property test for the workload registry name grammar
+//! (ISSUE 3 satellite 2): `WorkloadSpec::parse(spec.name()) == spec` for
+//! every representable spec. The `sweep` CLI and the scenario matrices
+//! address workloads exclusively by these names, so a rename or a
+//! formatting drift in `name()` would silently orphan them — this test
+//! turns that into a hard failure.
+
+use proptest::prelude::*;
+use workloads::{NasBench, WorkloadSpec};
+
+/// Deterministically decode one arbitrary spec from a tuple of raw draws
+/// (the vendored proptest stub has no `prop_oneof`, so variant selection
+/// is an explicit integer).
+fn decode_spec(
+    variant: u8,
+    a: u32, // rank-ish / bench selector
+    b: u32, // iterations / rounds / tasks
+    c: u64, // bytes
+    d: u32, // scale numerator / compute_us
+    flags: u8,
+) -> WorkloadSpec {
+    match variant % 4 {
+        0 => WorkloadSpec::Nas {
+            bench: NasBench::all()[(a % 6) as usize],
+            // Exact binary fractions (and 1.0, the name-eliding default)
+            // exercise the f64 Display/parse round trip.
+            scale: (1 + d % 512) as f64 / 256.0,
+            iterations: if flags & 1 == 0 {
+                None
+            } else {
+                Some((b % 1000) as usize)
+            },
+        },
+        1 => WorkloadSpec::NetPipe {
+            // Includes 20, the default the name elides.
+            rounds: (1 + b % 40) as usize,
+            bytes: 1 + c % (1 << 22),
+        },
+        2 => WorkloadSpec::Stencil {
+            n_ranks: (1 + a % 256) as usize,
+            iterations: (1 + b % 2000) as usize,
+            face_bytes: 1 + c % (1 << 26),
+            compute_us: (d % 10_000) as u64,
+            wildcard_recv: flags & 1 != 0,
+        },
+        _ => WorkloadSpec::MasterWorker {
+            n_ranks: (2 + a % 256) as usize,
+            // Includes 4, the default value (always printed).
+            tasks_per_worker: (1 + b % 64) as usize,
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn parse_name_round_trips(
+        variant in any::<u8>(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+        c in any::<u64>(),
+        d in any::<u32>(),
+        flags in any::<u8>(),
+    ) {
+        let spec = decode_spec(variant, a, b, c, d, flags);
+        let name = spec.name();
+        let reparsed = WorkloadSpec::parse(&name);
+        prop_assert!(
+            reparsed.is_ok(),
+            "`{}` failed to reparse: {:?}", name, reparsed
+        );
+        prop_assert_eq!(reparsed.unwrap(), spec, "`{}` round-tripped to a different spec", name);
+    }
+
+    #[test]
+    fn names_are_injective_across_random_pairs(
+        v1 in any::<u8>(), a1 in any::<u32>(), b1 in any::<u32>(),
+        c1 in any::<u64>(), d1 in any::<u32>(), f1 in any::<u8>(),
+        v2 in any::<u8>(), a2 in any::<u32>(), b2 in any::<u32>(),
+        c2 in any::<u64>(), d2 in any::<u32>(), f2 in any::<u8>(),
+    ) {
+        let s1 = decode_spec(v1, a1, b1, c1, d1, f1);
+        let s2 = decode_spec(v2, a2, b2, c2, d2, f2);
+        // Distinct specs must never share a canonical name (matrix labels
+        // and summary cells key on it).
+        if s1 != s2 {
+            prop_assert_ne!(s1.name(), s2.name());
+        } else {
+            prop_assert_eq!(s1.name(), s2.name());
+        }
+    }
+}

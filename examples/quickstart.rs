@@ -10,18 +10,35 @@ fn build_app() -> Application {
     // Eight ranks in a ring; every round each rank passes 64 KiB to its
     // right neighbour. Clusters: {0..3} and {4..7}, so the 3->4 and 7->0
     // channels are inter-cluster (logged).
+    //
+    // Each rank is a lazy `GenProgram`: a two-op body (send right,
+    // receive left) whose tag advances per round, repeated 200 times.
+    // Nothing is materialised — memory is O(ranks), whatever the horizon.
     let n = 8u32;
-    let mut app = Application::new(n as usize);
-    for round in 0..200 {
-        let tag = Tag(round % 4);
-        for r in 0..n {
-            app.rank_mut(Rank(r)).send(Rank((r + 1) % n), 64 << 10, tag);
-        }
-        for r in 0..n {
-            app.rank_mut(Rank(r)).recv(Rank((r + n - 1) % n), tag);
-        }
-    }
-    app
+    Application::generated_with(n as usize, |me| {
+        let right = Rank((me.0 + 1) % n);
+        let left = Rank((me.0 + n - 1) % n);
+        GenProgram::new(
+            vec![
+                OpTemplate::IterTag {
+                    op: Op::Send {
+                        dst: right,
+                        bytes: 64 << 10,
+                        tag: Tag(0),
+                    },
+                    stride: 1,
+                },
+                OpTemplate::IterTag {
+                    op: Op::Recv {
+                        src: left,
+                        tag: Tag(0),
+                    },
+                    stride: 1,
+                },
+            ],
+            200,
+        )
+    })
 }
 
 fn main() {
