@@ -5,15 +5,17 @@
 //! sweep --workloads nas:CG:scale=0.015625,netpipe:1024 \
 //!       --protocols native,hydee --clusters per-rank,part:16 \
 //!       --networks mx,tcp --ckpt-ms none,100 \
-//!       --fail none --fail 195:7 \
+//!       --fail none --fail 195:7 --fail poisson:mtbf=500:seed=7 \
 //!       [--static] [--serial] [--image-bytes N] [--max-events N] \
 //!       [--out DIR] [--name NAME] [--list]
 //! ```
 //!
 //! Workload names follow the `workloads::registry` grammar (`--list`
-//! prints it with examples). Each `--fail` flag adds one failure
-//! *schedule* to the matrix axis: a comma-separated list of
-//! `<ms>:<rank>[+<rank>...]` injections, or `none` for the clean run.
+//! prints it with examples). Each `--fail` flag adds one *failure model*
+//! to the matrix axis: `none`, a comma-separated fixed schedule of
+//! injections (`fail@<t>us:r<r>[+<r>...]`, `<t>us:`/`<t>ms:` forms, or
+//! the legacy bare-`<ms>:<rank>`), or a stochastic regime
+//! (`poisson:`/`cluster:`/`cascade:` — see `FailureModelSpec::parse`).
 //! Results go to `<out>/<name>_records.{jsonl,csv}` plus a rendered table
 //! and per-(workload, protocol) summary on stdout.
 //!
@@ -21,7 +23,7 @@
 
 use bench::Table;
 use scenario::{
-    ClusterStrategy, Executor, FailureSpec, Matrix, MatrixSummary, NetworkSpec, ProtocolSpec,
+    ClusterStrategy, Executor, FailureModelSpec, Matrix, MatrixSummary, NetworkSpec, ProtocolSpec,
     StorageSpec, DEFAULT_IMAGE_BYTES,
 };
 use workloads::WorkloadSpec;
@@ -41,8 +43,15 @@ OPTIONS (comma-separate values; every combination runs):
     --networks <n,...>    mx | tcp [default: mx]
     --ckpt-ms <v,...>     none or an interval in ms; overrides protocols'
                           checkpointing [default: leave as configured]
-    --fail <schedule>     add one failure schedule: none, or comma list of
-                          <ms>:<rank>[+<rank>...] (repeatable)
+    --fail <model>        add one failure model to the axis (repeatable):
+                            none
+                            fixed schedule: comma list of injections, each
+                              fail@<t>us:r<r>[+<r>...] | <t>us:<r> |
+                              <t>ms:<r> | <ms>:<r>  (legacy)
+                            poisson:mtbf=<ms>:seed=<n>[:max=<n>]
+                            cluster:mtbf=<ms>:seed=<n>[:max=<n>]
+                            cascade:mtbf=<ms>:seed=<n>[:window=<us>]
+                              [:follow=<pct>][:max=<n>]
     --image-bytes <n>     per-rank checkpoint image size [default: 1048576]
     --static              static clustering analysis only (no simulation)
     --serial              run on one core (reference mode)
@@ -52,9 +61,14 @@ OPTIONS (comma-separate values; every combination runs):
     --list                print known workload families/examples and exit
     -h, --help            this message
 
-EXAMPLE (Figure 6 in one line):
-    sweep --workloads nas:BT:scale=0.015625,nas:CG:scale=0.015625 \\
-          --protocols native,hydee --clusters per-rank,part:16";
+EXAMPLES:
+    Figure 6 in one line:
+      sweep --workloads nas:BT:scale=0.015625,nas:CG:scale=0.015625 \\
+            --protocols native,hydee --clusters per-rank,part:16
+    Containment under a stochastic failure regime:
+      sweep --workloads stencil:64x400 --protocols hydee,coordinated \\
+            --clusters part:8 --ckpt-ms 5 \\
+            --fail poisson:mtbf=2000:seed=7:max=4";
 
 fn fail<T>(msg: &str) -> T {
     eprintln!("sweep: {msg}");
@@ -115,31 +129,8 @@ fn parse_clusters(name: &str) -> ClusterStrategy {
     }
 }
 
-fn parse_schedule(arg: &str) -> Vec<FailureSpec> {
-    if arg == "none" {
-        return Vec::new();
-    }
-    split_csv(arg)
-        .into_iter()
-        .map(|inj| {
-            let (ms, ranks) = inj.split_once(':').unwrap_or_else(|| {
-                fail(&format!(
-                    "bad failure injection `{inj}` (want <ms>:<ranks>)"
-                ))
-            });
-            let at_ms: u64 = ms
-                .parse()
-                .unwrap_or_else(|_| fail(&format!("bad failure time `{ms}`")));
-            let ranks: Vec<u32> = ranks
-                .split('+')
-                .map(|r| {
-                    r.parse()
-                        .unwrap_or_else(|_| fail(&format!("bad failure rank `{r}`")))
-                })
-                .collect();
-            FailureSpec::at_ms(at_ms, ranks)
-        })
-        .collect()
+fn parse_failure_model(arg: &str) -> FailureModelSpec {
+    FailureModelSpec::parse(arg).unwrap_or_else(|e| fail(&e))
 }
 
 fn list_registry() {
@@ -170,7 +161,7 @@ fn main() {
     let mut clusters_arg = "single".to_string();
     let mut networks_arg = "mx".to_string();
     let mut ckpt_arg: Option<String> = None;
-    let mut schedules: Vec<Vec<FailureSpec>> = Vec::new();
+    let mut failure_models: Vec<FailureModelSpec> = Vec::new();
     let mut image_bytes = DEFAULT_IMAGE_BYTES;
     let mut static_only = false;
     let mut serial = false;
@@ -191,7 +182,7 @@ fn main() {
             "--clusters" => clusters_arg = value("--clusters"),
             "--networks" => networks_arg = value("--networks"),
             "--ckpt-ms" => ckpt_arg = Some(value("--ckpt-ms")),
-            "--fail" => schedules.push(parse_schedule(&value("--fail"))),
+            "--fail" => failure_models.push(parse_failure_model(&value("--fail"))),
             "--image-bytes" => {
                 let v = value("--image-bytes");
                 image_bytes = v
@@ -238,7 +229,7 @@ fn main() {
             "tcp" => NetworkSpec::Tcp,
             other => fail(&format!("unknown network `{other}`")),
         }))
-        .failure_schedules(schedules);
+        .failure_models(failure_models);
     if let Some(ckpt) = &ckpt_arg {
         matrix = matrix.checkpoint_ms(split_csv(ckpt).into_iter().map(|c| {
             match c {
@@ -290,7 +281,10 @@ fn main() {
         "makespan (s)",
         "logged %",
         "ckpts",
+        "fails",
         "rolled back",
+        "rolled %",
+        "lost (s)",
         "events",
     ]);
     for r in &records {
@@ -309,7 +303,10 @@ fn main() {
             format!("{:.4}", r.makespan_s),
             format!("{logged_pct:.1}%"),
             r.metrics.checkpoints.to_string(),
+            r.metrics.failures.to_string(),
             r.metrics.ranks_rolled_back.to_string(),
+            format!("{:.1}%", 100.0 * r.rollback_rank_fraction),
+            format!("{:.4}", r.lost_work_s),
             r.metrics.events.to_string(),
         ]);
     }

@@ -18,15 +18,20 @@
 //! The schema is versioned: bump [`SCHEMA_VERSION`] (and regenerate the
 //! committed baseline) when fields change meaning.
 
-use scenario::{ClusterStrategy, FailureSpec, ProtocolSpec, ScenarioSpec, StorageSpec};
+use scenario::{
+    ClusterStrategy, FailureModelSpec, FailureSpec, ProtocolSpec, ScenarioSpec, StorageSpec,
+};
 use serde::Serialize;
 use std::time::Instant;
 use workloads::{NasBench, WorkloadSpec};
 
-/// v2: added per-cell `program_resident_bytes` / `program_unrolled_bytes`
-/// (streaming-representation memory win) and the `stencil4096_long`
-/// long-horizon cell.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: added per-cell containment metrics (`failures`,
+/// `ranks_rolled_back`, `rollback_rank_fraction`, `lost_work_s`,
+/// `recovery_s` — the failure/rollback columns the `FailureModel` regimes
+/// make meaningful) and the `stencil1024_poisson` stochastic-failure
+/// cell. `failures` and `ranks_rolled_back` are deterministic integers
+/// and gated for drift exactly like the digests.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One point of the macro matrix.
 pub struct Cell {
@@ -84,7 +89,40 @@ pub fn macro_matrix() -> Vec<Cell> {
                     },
                     ClusterStrategy::Partitioned(16),
                 );
-                spec.failures = vec![FailureSpec::at_ms(195, vec![7])];
+                spec.failure_model =
+                    FailureModelSpec::Fixed(vec![FailureSpec::at_ms(195, vec![7])]);
+                spec
+            },
+        },
+        // The stochastic-failure cell: the thousand-rank halo exchange
+        // under checkpointed HydEE with seed-driven Poisson failures —
+        // exercises the lazy model-driven failure path, repeated
+        // rollback/recovery, and pins the containment metrics
+        // (failures, ranks rolled back) as deterministic gate values.
+        Cell {
+            name: "stencil1024_poisson",
+            spec: {
+                let mut spec = ScenarioSpec::new(
+                    WorkloadSpec::Stencil {
+                        n_ranks: 1024,
+                        iterations: 200,
+                        face_bytes: 4096,
+                        compute_us: 100,
+                        wildcard_recv: false,
+                    },
+                    ProtocolSpec::Hydee {
+                        checkpoint_interval_ms: Some(5),
+                        image_bytes: 1 << 20,
+                        storage: StorageSpec::ParallelFs,
+                        gc: true,
+                    },
+                    ClusterStrategy::Partitioned(64),
+                );
+                spec.failure_model = FailureModelSpec::Poisson {
+                    mtbf_ms: 10_000,
+                    seed: 7,
+                    max_failures: 3,
+                };
                 spec
             },
         },
@@ -132,6 +170,17 @@ pub struct CellResult {
     pub sim_wall_s: f64,
     /// `events / sim_wall_s` — the gated throughput metric.
     pub events_per_sec: f64,
+    /// Failure events injected — deterministic, gated for drift.
+    pub failures: u64,
+    /// Ranks rolled back across all failures — deterministic, gated.
+    pub ranks_rolled_back: u64,
+    /// `ranks_rolled_back / (failures * n_ranks)` (0 for clean cells):
+    /// the containment headline number.
+    pub rollback_rank_fraction: f64,
+    /// Simulated compute discarded by rollbacks, seconds.
+    pub lost_work_s: f64,
+    /// Simulated recovery-orchestration time, seconds.
+    pub recovery_s: f64,
     /// Exact integer makespan — determinism golden value.
     pub makespan_ps: u64,
     /// Order-sensitive fold of per-rank state digests — determinism golden
@@ -171,14 +220,17 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
         )
     };
     let setup_s = setup_started.elapsed().as_secs_f64();
-    let failures: Vec<_> = spec.failures.iter().map(|f| f.to_event()).collect();
 
     let mut best: Option<(f64, mps_sim::RunReport)> = None;
     for _ in 0..repeat.max(1) {
         let app = spec.workload.build();
         let factory = spec.protocol.to_factory();
+        let req = protocols::RunRequest::new(app)
+            .sim_config(spec.sim_config())
+            .failure_model(spec.failure_model.build(&map))
+            .clusters(map.clone());
         let started = Instant::now();
-        let report = factory.run(app, spec.sim_config(), &map, &failures);
+        let report = factory.run(req);
         let wall = started.elapsed().as_secs_f64();
         if let Some((_, prev)) = &best {
             assert_eq!(
@@ -193,6 +245,7 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
     }
     let (sim_wall_s, report) = best.expect("at least one repeat");
     let events = report.metrics.events;
+    let m = &report.metrics;
     CellResult {
         name: cell.name.to_string(),
         n_ranks,
@@ -204,6 +257,11 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
         program_unrolled_bytes,
         sim_wall_s,
         events_per_sec: events as f64 / sim_wall_s.max(1e-9),
+        failures: m.failures,
+        ranks_rolled_back: m.ranks_rolled_back,
+        rollback_rank_fraction: m.rollback_rank_fraction(n_ranks),
+        lost_work_s: m.lost_work.as_secs_f64(),
+        recovery_s: m.recovery_time.as_secs_f64(),
         makespan_ps: report.makespan.as_ps(),
         digest: scenario::fold_digests(&report.digests),
     }
@@ -251,6 +309,10 @@ pub fn peak_rss_bytes() -> u64 {
 pub struct BaselineCell {
     pub name: String,
     pub events_per_sec: f64,
+    /// Deterministic containment integers (schema v3): gated for drift
+    /// like the digest.
+    pub failures: u64,
+    pub ranks_rolled_back: u64,
     pub digest: u64,
 }
 
@@ -288,10 +350,16 @@ pub fn parse_baseline(text: &str) -> Baseline {
             .to_string();
         let eps = field(chunk, "events_per_sec").and_then(|v| v.parse().ok());
         let digest = field(chunk, "digest").and_then(|v| v.parse().ok());
-        if let (Some(events_per_sec), Some(digest)) = (eps, digest) {
+        let failures = field(chunk, "failures").and_then(|v| v.parse().ok());
+        let rolled = field(chunk, "ranks_rolled_back").and_then(|v| v.parse().ok());
+        if let (Some(events_per_sec), Some(digest), Some(failures), Some(ranks_rolled_back)) =
+            (eps, digest, failures, rolled)
+        {
             cells.push(BaselineCell {
                 name,
                 events_per_sec,
+                failures,
+                ranks_rolled_back,
                 digest,
             });
         }
@@ -332,6 +400,17 @@ pub fn check_against(baseline: &Baseline, report: &PerfReport, tolerance: f64) -
                 "cell `{}`: digest {:#x} != baseline {:#x} — determinism broken or \
                  timing model changed without regenerating the baseline",
                 base.name, cur.digest, base.digest
+            ));
+        }
+        if (cur.failures, cur.ranks_rolled_back) != (base.failures, base.ranks_rolled_back) {
+            violations.push(format!(
+                "cell `{}`: containment drift — failures/rolled {}/{} != baseline {}/{} \
+                 (failure injection or rollback scope changed without regenerating the baseline)",
+                base.name,
+                cur.failures,
+                cur.ranks_rolled_back,
+                base.failures,
+                base.ranks_rolled_back
             ));
         }
         let floor = base.events_per_sec * (1.0 - tolerance);
@@ -378,6 +457,11 @@ mod tests {
                 program_unrolled_bytes: 10_000,
                 sim_wall_s: 0.001,
                 events_per_sec: eps,
+                failures: 1,
+                ranks_rolled_back: 2,
+                rollback_rank_fraction: 1.0,
+                lost_work_s: 0.0,
+                recovery_s: 0.0,
                 makespan_ps: 1,
                 digest,
             }],
@@ -446,12 +530,32 @@ mod tests {
     }
 
     #[test]
-    fn macro_matrix_is_four_cells_with_the_scale_points() {
+    fn macro_matrix_is_five_cells_with_the_scale_points() {
         let cells = macro_matrix();
-        assert_eq!(cells.len(), 4);
+        assert_eq!(cells.len(), 5);
         assert_eq!(cells[0].spec.workload.n_ranks(), 1024);
-        assert!(cells.iter().any(|c| !c.spec.failures.is_empty()));
+        assert!(cells
+            .iter()
+            .any(|c| c.spec.failure_model.scheduled_failures() > 0));
+        assert!(cells
+            .iter()
+            .any(|c| matches!(c.spec.failure_model, FailureModelSpec::Poisson { .. })));
         assert!(cells.iter().any(|c| c.spec.workload.n_ranks() == 4096));
+    }
+
+    #[test]
+    fn gate_fails_on_containment_drift() {
+        let base = parse_baseline(&serde_json::to_string(&report_with("c", 1000.0, 7)).unwrap());
+        assert_eq!(base.cells[0].failures, 1);
+        assert_eq!(base.cells[0].ranks_rolled_back, 2);
+        let mut drifted = report_with("c", 1000.0, 7);
+        drifted.cells[0].ranks_rolled_back = 64;
+        let violations = check_against(&base, &drifted, 0.20);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("containment drift"),
+            "{violations:?}"
+        );
     }
 
     /// The tentpole's acceptance criterion: for every ≥1024-rank cell the

@@ -24,11 +24,21 @@ use mps_sim::Rank;
 use serde::{Deserialize, Serialize};
 
 /// Control message payloads.
+///
+/// Every recovery-transient message carries the **recovery incarnation**
+/// (`epoch`) it belongs to: a failure arriving while a recovery is being
+/// orchestrated aborts that recovery and starts a fresh incarnation, and
+/// any message of an aborted incarnation still in flight must be
+/// discarded on arrival, never fed to the new recovery's bookkeeping.
+/// The epoch is simulator bookkeeping a real implementation would fold
+/// into the existing message header, so it does not contribute to
+/// [`HydeeCtl::wire_bytes`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HydeeCtl {
     /// Restarted process -> every process outside its cluster
     /// (Algorithm 2, line 6).
     Rollback {
+        epoch: u64,
         /// Date the sender restarted from (sender's domain).
         own_date: u64,
         /// Restored `RPP[recipient].maxdate` (recipient's domain).
@@ -36,25 +46,25 @@ pub enum HydeeCtl {
     },
     /// Answer to `Rollback` (Algorithm 3, line 9): last date the answerer
     /// received from the restarted process (restarted process's domain).
-    LastDate { maxdate_from_you: u64 },
+    LastDate { epoch: u64, maxdate_from_you: u64 },
     /// Process -> recovery process: phases of logged messages it will
     /// replay (Algorithm 3, line 15).
-    LogReport { phases: Vec<u64> },
+    LogReport { epoch: u64, phases: Vec<u64> },
     /// Process -> recovery process: phases of the orphan messages it
     /// holds (Algorithm 3, line 16).
-    OrphanReport { phases: Vec<u64> },
+    OrphanReport { epoch: u64, phases: Vec<u64> },
     /// Process -> recovery process: its current (or restored) phase
     /// (Algorithm 2 line 7 / Algorithm 3 line 17).
-    OwnPhase { phase: u64 },
+    OwnPhase { epoch: u64, phase: u64 },
     /// Restarted process -> recovery process: a send was suppressed as an
     /// orphan re-emission (Algorithm 2, line 15).
-    OrphanNotification { phase: u64 },
+    OrphanNotification { epoch: u64, phase: u64 },
     /// Recovery process -> process: replay your logged messages with phase
     /// at most `phase` (Algorithm 4, line 19).
-    NotifySendLog { phase: u64 },
+    NotifySendLog { epoch: u64, phase: u64 },
     /// Recovery process -> process: you may start sending (Algorithm 4,
     /// line 23).
-    NotifySendMsg { phase: u64 },
+    NotifySendMsg { epoch: u64, phase: u64 },
     /// Garbage collection (§III-E): receiver checkpointed; sender may
     /// discard logged messages up to `your_maxdate` (sender's domain) and
     /// RPP entries for this channel below `my_ckpt_date` (acker's domain).
@@ -65,12 +75,28 @@ pub enum HydeeCtl {
 }
 
 impl HydeeCtl {
+    /// The recovery incarnation this message belongs to; `None` for
+    /// failure-free traffic (`CkptAck`), which is never epoch-filtered.
+    pub fn epoch(&self) -> Option<u64> {
+        match self {
+            HydeeCtl::Rollback { epoch, .. }
+            | HydeeCtl::LastDate { epoch, .. }
+            | HydeeCtl::LogReport { epoch, .. }
+            | HydeeCtl::OrphanReport { epoch, .. }
+            | HydeeCtl::OwnPhase { epoch, .. }
+            | HydeeCtl::OrphanNotification { epoch, .. }
+            | HydeeCtl::NotifySendLog { epoch, .. }
+            | HydeeCtl::NotifySendMsg { epoch, .. } => Some(*epoch),
+            HydeeCtl::CkptAck { .. } => None,
+        }
+    }
+
     /// Approximate wire size in bytes for cost accounting.
     pub fn wire_bytes(&self) -> u64 {
         match self {
             HydeeCtl::Rollback { .. } => 24,
             HydeeCtl::LastDate { .. } => 16,
-            HydeeCtl::LogReport { phases } | HydeeCtl::OrphanReport { phases } => {
+            HydeeCtl::LogReport { phases, .. } | HydeeCtl::OrphanReport { phases, .. } => {
                 16 + 8 * phases.len() as u64
             }
             HydeeCtl::OwnPhase { .. } => 16,
@@ -98,8 +124,12 @@ mod tests {
 
     #[test]
     fn wire_bytes_scale_with_report_size() {
-        let small = HydeeCtl::LogReport { phases: vec![] };
+        let small = HydeeCtl::LogReport {
+            epoch: 1,
+            phases: vec![],
+        };
         let big = HydeeCtl::LogReport {
+            epoch: 1,
             phases: vec![1; 100],
         };
         assert_eq!(small.wire_bytes(), 16);
@@ -110,12 +140,16 @@ mod tests {
     fn fixed_size_variants() {
         assert_eq!(
             HydeeCtl::Rollback {
+                epoch: 1,
                 own_date: 0,
                 maxdate_from_you: 0
             }
             .wire_bytes(),
             24
         );
-        assert_eq!(HydeeCtl::NotifySendMsg { phase: 3 }.wire_bytes(), 16);
+        assert_eq!(
+            HydeeCtl::NotifySendMsg { epoch: 1, phase: 3 }.wire_bytes(),
+            16
+        );
     }
 }

@@ -42,6 +42,19 @@ pub struct Hydee {
     rp: Option<RecoveryProcess>,
     recovering: bool,
     recovery_started: SimTime,
+    /// Recovery incarnation counter: bumped on every failure. Control
+    /// messages of earlier incarnations still in flight are discarded on
+    /// arrival (see `ctl.rs`).
+    recovery_epoch: u64,
+    /// Clusters rolled back by the recovery currently being orchestrated
+    /// (empty when no recovery is active). A failure arriving mid-recovery
+    /// re-rolls these together with the newly hit clusters.
+    active_rolled: BTreeSet<u32>,
+    /// When each cluster last rolled back (`ZERO` = never). Lost-work
+    /// accounting is *incremental*: a re-roll discards only the work
+    /// redone since the previous rollback, not the whole
+    /// checkpoint-to-now span again.
+    last_rolled_at: Vec<SimTime>,
 }
 
 impl Hydee {
@@ -55,6 +68,9 @@ impl Hydee {
             rp: None,
             recovering: false,
             recovery_started: SimTime::ZERO,
+            recovery_epoch: 0,
+            active_rolled: BTreeSet::new(),
+            last_rolled_at: vec![SimTime::ZERO; n_clusters],
         }
     }
 
@@ -142,6 +158,7 @@ impl Hydee {
         if self.rp.as_ref().is_some_and(|rp| rp.done()) {
             self.rp = None;
             self.recovering = false;
+            self.active_rolled.clear();
             let span = ctx.now().since(self.recovery_started);
             ctx.metrics().recovery_time += span;
         }
@@ -185,19 +202,26 @@ impl Hydee {
         resent.sort_by_key(|e| e.date);
         self.states[me.idx()].resent_logs = resent;
         let from = Endpoint::Rank(me);
+        let epoch = self.recovery_epoch;
         for (k, max_received) in lastdate {
             let answer = HydeeCtl::LastDate {
+                epoch,
                 maxdate_from_you: max_received,
             };
             let bytes = answer.wire_bytes();
             ctx.send_ctl(from, Endpoint::Rank(k), bytes, answer);
         }
         for ctl in [
-            HydeeCtl::LogReport { phases: log_phases },
+            HydeeCtl::LogReport {
+                epoch,
+                phases: log_phases,
+            },
             HydeeCtl::OrphanReport {
+                epoch,
                 phases: orphan_phases,
             },
             HydeeCtl::OwnPhase {
+                epoch,
                 phase: self.states[me.idx()].phase,
             },
         ] {
@@ -292,7 +316,10 @@ impl Protocol for Hydee {
                         channel_seq: info.channel_seq,
                     });
                     ctx.metrics().log_append(info.bytes);
-                    let ctl = HydeeCtl::OrphanNotification { phase };
+                    let ctl = HydeeCtl::OrphanNotification {
+                        epoch: self.recovery_epoch,
+                        phase,
+                    };
                     let bytes = ctl.wire_bytes();
                     ctx.send_ctl(Endpoint::Rank(info.src), RECOVERY_PROCESS, bytes, ctl);
                     // The log copy cannot overlap a transmission that never
@@ -383,9 +410,21 @@ impl Protocol for Hydee {
         from: Endpoint,
         ctl: HydeeCtl,
     ) {
+        // A message of an aborted recovery incarnation (a failure struck
+        // while it was in flight and restarted the orchestration) must
+        // not feed the current incarnation's bookkeeping: drop it.
+        if let Some(epoch) = ctl.epoch() {
+            if epoch != self.recovery_epoch {
+                debug_assert!(
+                    epoch < self.recovery_epoch,
+                    "control message from a future recovery incarnation"
+                );
+                return;
+            }
+        }
         match (to, ctl) {
             // ---- messages to the recovery process ----
-            (Endpoint::Aux(_), HydeeCtl::OwnPhase { phase }) => {
+            (Endpoint::Aux(_), HydeeCtl::OwnPhase { phase, .. }) => {
                 let Endpoint::Rank(r) = from else { return };
                 let notices = self
                     .rp
@@ -394,7 +433,7 @@ impl Protocol for Hydee {
                     .on_own_phase(r, phase);
                 self.dispatch_rp(ctx, notices);
             }
-            (Endpoint::Aux(_), HydeeCtl::LogReport { phases }) => {
+            (Endpoint::Aux(_), HydeeCtl::LogReport { phases, .. }) => {
                 let Endpoint::Rank(r) = from else { return };
                 let notices = self
                     .rp
@@ -403,7 +442,7 @@ impl Protocol for Hydee {
                     .on_log_report(r, &phases);
                 self.dispatch_rp(ctx, notices);
             }
-            (Endpoint::Aux(_), HydeeCtl::OrphanReport { phases }) => {
+            (Endpoint::Aux(_), HydeeCtl::OrphanReport { phases, .. }) => {
                 let notices = self
                     .rp
                     .as_mut()
@@ -411,7 +450,7 @@ impl Protocol for Hydee {
                     .on_orphan_report(&phases);
                 self.dispatch_rp(ctx, notices);
             }
-            (Endpoint::Aux(_), HydeeCtl::OrphanNotification { phase }) => {
+            (Endpoint::Aux(_), HydeeCtl::OrphanNotification { phase, .. }) => {
                 let notices = self
                     .rp
                     .as_mut()
@@ -426,6 +465,7 @@ impl Protocol for Hydee {
                 HydeeCtl::Rollback {
                     own_date,
                     maxdate_from_you,
+                    ..
                 },
             ) => {
                 let Endpoint::Rank(k) = from else { return };
@@ -436,7 +476,12 @@ impl Protocol for Hydee {
                     self.compile_reports(ctx, me);
                 }
             }
-            (Endpoint::Rank(me), HydeeCtl::LastDate { maxdate_from_you }) => {
+            (
+                Endpoint::Rank(me),
+                HydeeCtl::LastDate {
+                    maxdate_from_you, ..
+                },
+            ) => {
                 let Endpoint::Rank(j) = from else { return };
                 let st = &mut self.states[me.idx()];
                 st.orphan_date.insert(j, maxdate_from_you);
@@ -447,7 +492,7 @@ impl Protocol for Hydee {
                 self.states[me.idx()].notify_recv = true;
                 self.try_open_gate(ctx, me);
             }
-            (Endpoint::Rank(me), HydeeCtl::NotifySendLog { phase }) => {
+            (Endpoint::Rank(me), HydeeCtl::NotifySendLog { phase, .. }) => {
                 // Replay all selected log entries with phase <= notified
                 // phase, in date order (Algorithm 3, lines 22-24).
                 let st = &mut self.states[me.idx()];
@@ -506,30 +551,89 @@ impl Protocol for Hydee {
     }
 
     fn on_failure(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, failed: &[Rank]) {
-        assert!(
-            !self.recovering,
-            "a failure during an ongoing recovery is not supported; \
-             inject concurrent failures as a single event"
-        );
+        // A failure during an ongoing recovery (a cascade) aborts that
+        // recovery and restarts the orchestration over the *union* of the
+        // affected clusters: the previously rolled clusters are restored
+        // again (their partial re-execution is discarded — it restarts
+        // from the same checkpoint and, by send determinism, reproduces
+        // the same messages), a fresh recovery process is launched, and
+        // every control message of the aborted incarnation still in
+        // flight is invalidated by the epoch bump.
+        let was_recovering = self.recovering;
+        if !was_recovering {
+            self.recovery_started = ctx.now();
+        }
         self.recovering = true;
-        self.recovery_started = ctx.now();
+        self.recovery_epoch += 1;
 
-        let rolled_clusters: BTreeSet<u32> = failed.iter().map(|&r| self.cluster_of(r)).collect();
+        let mut rolled_clusters: BTreeSet<u32> =
+            failed.iter().map(|&r| self.cluster_of(r)).collect();
+        if was_recovering {
+            rolled_clusters.extend(self.active_rolled.iter().copied());
+        }
+        // A rank still inside its suppression window is mid-re-execution
+        // from an earlier recovery: its suppression horizons and orphan
+        // accounting belong to that recovery's peer state, which this
+        // failure is about to reshape. Roll its cluster back too — the
+        // restart recomputes everything from checkpointed state. (A rank
+        // that finished its program has necessarily re-emitted every
+        // pre-failure send, so its stale `suppressing` flag is inert.)
+        for i in 0..self.cfg.clusters.n_ranks() {
+            let r = Rank(i as u32);
+            if self.states[i].suppressing && !ctx.is_done(r) {
+                rolled_clusters.insert(self.cluster_of(r));
+            }
+        }
+        self.active_rolled = rolled_clusters.clone();
+
         let rolled: Vec<Rank> = rolled_clusters
             .iter()
             .flat_map(|&c| self.cfg.clusters.members(c).iter().copied())
             .collect();
         let rolled_set: BTreeSet<Rank> = rolled.iter().copied().collect();
         ctx.metrics().ranks_rolled_back += rolled.len() as u64;
+        for &c in &rolled_clusters {
+            if let Some(ckpt) = &self.checkpoints[c as usize] {
+                // Work discarded *by this rollback*: everything computed
+                // since the later of the restored cut and the cluster's
+                // previous rollback (earlier spans were already counted).
+                let start = ckpt.taken_at.max(self.last_rolled_at[c as usize]);
+                let span = ctx.now().since(start);
+                ctx.metrics().lost_work += span * self.cfg.clusters.members(c).len() as u64;
+            }
+            self.last_rolled_at[c as usize] = ctx.now();
+        }
 
         // Messages in flight to any rolled-back rank address a dead
         // incarnation: drop them (their content is covered by sender logs
         // or by re-execution).
         ctx.drop_inflight_to(&rolled);
 
+        // Log replays authorised by a *completed* earlier recovery may
+        // still be parked here waiting for their (now stale-epoch)
+        // NotifySendLog. Entries toward ranks rolling back now are
+        // recomputed from the fresh Rollback horizons; entries toward
+        // ranks that stay up have no other path — their target's state
+        // still needs them, so release them now.
+        for i in 0..self.cfg.clusters.n_ranks() {
+            let r = Rank(i as u32);
+            if rolled_set.contains(&r) || self.states[i].resent_logs.is_empty() {
+                continue;
+            }
+            let entries = std::mem::take(&mut self.states[i].resent_logs);
+            for e in entries {
+                if !rolled_set.contains(&e.dst) {
+                    ctx.replay_app(e.to_message(r));
+                }
+            }
+        }
+
         // Launch the recovery process: every rank (rolled and survivor)
         // files each report kind exactly once.
-        self.rp = Some(RecoveryProcess::new(self.cfg.clusters.n_ranks()));
+        self.rp = Some(RecoveryProcess::new(
+            self.cfg.clusters.n_ranks(),
+            self.recovery_epoch,
+        ));
 
         // Survivors: gate the next send, await rollback notifications from
         // every rolled rank.
@@ -586,6 +690,7 @@ impl Protocol for Hydee {
             let c = self.cluster_of(r);
             for peer in self.cfg.clusters.non_members(c) {
                 let ctl = HydeeCtl::Rollback {
+                    epoch: self.recovery_epoch,
                     own_date: self.states[r.idx()].date,
                     maxdate_from_you: self.states[r.idx()].rpp.maxdate(peer),
                 };

@@ -22,6 +22,10 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct RecoveryProcess {
     n_alive: usize,
+    /// Recovery incarnation stamped onto every notice this process
+    /// emits, so notices of an aborted recovery can be recognised and
+    /// dropped by their receivers (see `ctl.rs`).
+    epoch: u64,
     got_own: usize,
     got_log: usize,
     got_orphan: usize,
@@ -37,9 +41,11 @@ pub struct RecoveryProcess {
 
 impl RecoveryProcess {
     /// `n_alive`: number of processes that will send each report kind.
-    pub fn new(n_alive: usize) -> Self {
+    /// `epoch`: the recovery incarnation this process orchestrates.
+    pub fn new(n_alive: usize, epoch: u64) -> Self {
         RecoveryProcess {
             n_alive,
+            epoch,
             got_own: 0,
             got_log: 0,
             got_orphan: 0,
@@ -141,7 +147,10 @@ impl RecoveryProcess {
             for rank in self.log_phase.remove(&p).unwrap() {
                 out.push(RpNotice {
                     to: rank,
-                    ctl: HydeeCtl::NotifySendLog { phase: p },
+                    ctl: HydeeCtl::NotifySendLog {
+                        epoch: self.epoch,
+                        phase: p,
+                    },
                 });
             }
         }
@@ -155,7 +164,10 @@ impl RecoveryProcess {
             for rank in self.process_phase.remove(&p).unwrap() {
                 out.push(RpNotice {
                     to: rank,
-                    ctl: HydeeCtl::NotifySendMsg { phase: p },
+                    ctl: HydeeCtl::NotifySendMsg {
+                        epoch: self.epoch,
+                        phase: p,
+                    },
                 });
             }
         }
@@ -171,8 +183,8 @@ mod tests {
         notices
             .iter()
             .map(|n| match n.ctl {
-                HydeeCtl::NotifySendLog { phase } => (n.to.0, "log", phase),
-                HydeeCtl::NotifySendMsg { phase } => (n.to.0, "msg", phase),
+                HydeeCtl::NotifySendLog { phase, .. } => (n.to.0, "log", phase),
+                HydeeCtl::NotifySendMsg { phase, .. } => (n.to.0, "msg", phase),
                 _ => panic!("unexpected notice"),
             })
             .collect()
@@ -180,7 +192,7 @@ mod tests {
 
     #[test]
     fn no_orphans_releases_everything_at_once() {
-        let mut rp = RecoveryProcess::new(2);
+        let mut rp = RecoveryProcess::new(2, 1);
         assert!(rp.on_own_phase(Rank(0), 1).is_empty());
         assert!(rp.on_log_report(Rank(0), &[1]).is_empty());
         assert!(rp.on_orphan_report(&[]).is_empty());
@@ -196,7 +208,7 @@ mod tests {
 
     #[test]
     fn orphans_block_higher_phases() {
-        let mut rp = RecoveryProcess::new(2);
+        let mut rp = RecoveryProcess::new(2, 1);
         rp.on_own_phase(Rank(0), 1); // the orphan's eventual re-emitter
         rp.on_own_phase(Rank(1), 3);
         rp.on_log_report(Rank(0), &[]);
@@ -217,7 +229,7 @@ mod tests {
     fn phase_equal_to_min_orphan_is_released() {
         // Orphans in phase p do not block processes AT phase p — only
         // strictly lower phases block (Lemma 3 is strict).
-        let mut rp = RecoveryProcess::new(1);
+        let mut rp = RecoveryProcess::new(1, 1);
         rp.on_own_phase(Rank(0), 2);
         rp.on_log_report(Rank(0), &[]);
         let notices = rp.on_orphan_report(&[2]);
@@ -226,7 +238,7 @@ mod tests {
 
     #[test]
     fn multiple_orphans_same_phase_all_required() {
-        let mut rp = RecoveryProcess::new(1);
+        let mut rp = RecoveryProcess::new(1, 1);
         rp.on_own_phase(Rank(0), 5);
         rp.on_log_report(Rank(0), &[]);
         rp.on_orphan_report(&[2, 2, 2]);
@@ -239,7 +251,7 @@ mod tests {
 
     #[test]
     fn staged_release_across_phases() {
-        let mut rp = RecoveryProcess::new(1);
+        let mut rp = RecoveryProcess::new(1, 1);
         rp.on_own_phase(Rank(0), 9);
         rp.on_log_report(Rank(0), &[2, 5, 9]);
         rp.on_orphan_report(&[3, 6]);
@@ -256,13 +268,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "unreported phase")]
     fn notification_for_unknown_phase_panics() {
-        let mut rp = RecoveryProcess::new(0);
+        let mut rp = RecoveryProcess::new(0, 1);
         rp.on_orphan_notification(7);
     }
 
     #[test]
     fn logs_precede_sends_within_a_sweep() {
-        let mut rp = RecoveryProcess::new(1);
+        let mut rp = RecoveryProcess::new(1, 1);
         rp.on_own_phase(Rank(0), 1);
         rp.on_log_report(Rank(0), &[1]);
         let notices = rp.on_orphan_report(&[]);

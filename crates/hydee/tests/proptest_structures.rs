@@ -85,7 +85,7 @@ proptest! {
         let orphan_phases: Vec<_> = (0..n)
             .map(|i| orphan_phases.get(i).cloned().unwrap_or_default())
             .collect();
-        let mut rp = RecoveryProcess::new(n);
+        let mut rp = RecoveryProcess::new(n, 1);
         let mut notices = Vec::new();
         for (i, &p) in own_phases.iter().enumerate() {
             notices.extend(rp.on_own_phase(Rank(i as u32), p));
@@ -111,7 +111,7 @@ proptest! {
         // Log notices never exceed one per (process, phase) pair.
         let mut seen = BTreeSet::new();
         for notice in &notices {
-            if let hydee::HydeeCtl::NotifySendLog { phase } = notice.ctl {
+            if let hydee::HydeeCtl::NotifySendLog { phase, .. } = notice.ctl {
                 prop_assert!(seen.insert((notice.to, phase)), "duplicate log release");
             }
         }
@@ -126,7 +126,7 @@ proptest! {
         let mut sorted = orphans.clone();
         sorted.sort_unstable();
         let n = sorted.len();
-        let mut rp = RecoveryProcess::new(n);
+        let mut rp = RecoveryProcess::new(n, 1);
         let mut released: Vec<u64> = Vec::new();
         let mut notices = Vec::new();
         for (i, &p) in sorted.iter().enumerate() {
@@ -138,13 +138,13 @@ proptest! {
             notices.extend(rp.on_orphan_report(&[p]));
         }
         for notice in notices.drain(..) {
-            if let hydee::HydeeCtl::NotifySendMsg { phase } = notice.ctl {
+            if let hydee::HydeeCtl::NotifySendMsg { phase, .. } = notice.ctl {
                 released.push(phase);
             }
         }
         for &p in &sorted {
             for notice in rp.on_orphan_notification(p) {
-                if let hydee::HydeeCtl::NotifySendMsg { phase } = notice.ctl {
+                if let hydee::HydeeCtl::NotifySendMsg { phase, .. } = notice.ctl {
                     released.push(phase);
                 }
             }

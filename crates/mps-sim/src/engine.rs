@@ -27,6 +27,7 @@
 //! messages, set timers.
 
 use crate::app::{AppState, DetMode};
+use crate::failure::FailureModel;
 use crate::inbox::Inbox;
 use crate::metrics::Metrics;
 use crate::program::{Application, Op, RankProgram};
@@ -171,6 +172,10 @@ pub(crate) enum Event {
     },
     Failure {
         ranks: Vec<Rank>,
+        /// `true` when this event was pulled from the [`FailureModel`]
+        /// (its successor is pulled when it fires); `false` for
+        /// [`Sim::inject_failure`] one-shots.
+        from_model: bool,
     },
 }
 
@@ -618,6 +623,9 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
 pub struct Sim<P: Protocol> {
     core: Core<P::Ctl>,
     protocol: P,
+    failure_model: Option<Box<dyn FailureModel>>,
+    /// The one outstanding model-driven failure event (lazy pull).
+    model_event: Option<EventHandle>,
 }
 
 impl<P: Protocol> Sim<P> {
@@ -625,6 +633,8 @@ impl<P: Protocol> Sim<P> {
         Sim {
             core: Core::new(app, config),
             protocol,
+            failure_model: None,
+            model_event: None,
         }
     }
 
@@ -632,7 +642,47 @@ impl<P: Protocol> Sim<P> {
     /// ranks in one call fail *concurrently*; calling several times with
     /// increasing times injects sequential failures.
     pub fn inject_failure(&mut self, at: SimTime, ranks: Vec<Rank>) {
-        self.core.sched.schedule(at, Event::Failure { ranks });
+        self.core.sched.schedule(
+            at,
+            Event::Failure {
+                ranks,
+                from_model: false,
+            },
+        );
+    }
+
+    /// Drive failure injection from a [`FailureModel`]. The engine pulls
+    /// *lazily*: exactly one model event is scheduled at a time, and the
+    /// next is requested only when it fires — a stochastic model's tail
+    /// is never materialised. A model event whose time is in the past
+    /// (the model lagging the clock) fires immediately rather than being
+    /// dropped. Replaces any previously set model, cancelling its
+    /// pending event.
+    pub fn set_failure_model(&mut self, model: Box<dyn FailureModel>) {
+        if let Some(handle) = self.model_event.take() {
+            self.core.sched.cancel(handle);
+        }
+        self.failure_model = Some(model);
+        self.pull_model_event(SimTime::ZERO);
+    }
+
+    /// Ask the model for its event after `prev` and schedule it (clamped
+    /// to now — never into the past). One model event is outstanding at
+    /// a time; `model_event` tracks it for cancellation on replacement.
+    fn pull_model_event(&mut self, prev: SimTime) {
+        let Some(model) = self.failure_model.as_mut() else {
+            return;
+        };
+        if let Some(ev) = model.next_after(prev) {
+            let at = ev.at.max(self.core.sched.now());
+            self.model_event = Some(self.core.sched.schedule(
+                at,
+                Event::Failure {
+                    ranks: ev.ranks,
+                    from_model: true,
+                },
+            ));
+        }
     }
 
     /// Access the protocol (for post-run inspection in tests).
@@ -727,8 +777,9 @@ impl<P: Protocol> Sim<P> {
                     );
                     self.drain_wakeups();
                 }
-                Event::Failure { ranks } => {
+                Event::Failure { ranks, from_model } => {
                     self.core.metrics.failures += 1;
+                    self.core.metrics.failed_ranks += ranks.len() as u64;
                     for &r in &ranks {
                         let rs = &mut self.core.ranks[r.idx()];
                         if rs.status == Status::Done {
@@ -749,6 +800,11 @@ impl<P: Protocol> Sim<P> {
                         &ranks,
                     );
                     self.drain_wakeups();
+                    // Lazy pull: this model event fired, ask for the next.
+                    if from_model {
+                        self.model_event = None;
+                        self.pull_model_event(t);
+                    }
                 }
             }
             if self.core.done_count == self.core.n() {

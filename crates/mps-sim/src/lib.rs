@@ -35,6 +35,7 @@ pub mod app;
 pub mod cluster;
 pub mod collectives;
 pub mod engine;
+pub mod failure;
 pub mod inbox;
 pub mod metrics;
 pub mod program;
@@ -45,6 +46,9 @@ pub mod types;
 pub use app::{AppState, DetMode};
 pub use cluster::ClusterMap;
 pub use engine::{Ctx, InFlightMsg, RankSnapshot, RunReport, RunStatus, Sim, SimConfig};
+pub use failure::{
+    Cascade, CorrelatedCluster, FailureEvent, FailureModel, FixedSchedule, PoissonPerRank,
+};
 pub use inbox::{Arrived, Inbox};
 pub use metrics::Metrics;
 pub use program::{
@@ -59,6 +63,9 @@ pub mod prelude {
     pub use crate::app::DetMode;
     pub use crate::cluster::ClusterMap;
     pub use crate::engine::{Ctx, RunReport, RunStatus, Sim, SimConfig};
+    pub use crate::failure::{
+        Cascade, CorrelatedCluster, FailureEvent, FailureModel, FixedSchedule, PoissonPerRank,
+    };
     pub use crate::program::{
         Application, GenProgram, Op, OpStream, OpTemplate, Program, RankProgram, UnrolledProgram,
     };

@@ -43,8 +43,15 @@ pub struct Metrics {
     pub checkpoint_bytes: u64,
     /// Number of injected failure events.
     pub failures: u64,
+    /// Ranks hit by failure events (with multiplicity: an event failing
+    /// 3 ranks concurrently counts 3).
+    pub failed_ranks: u64,
     /// Ranks rolled back across all failures (with multiplicity).
     pub ranks_rolled_back: u64,
+    /// Simulated compute discarded by rollbacks: for each rolled-back
+    /// rank, the span from its restored checkpoint's cut to the failure
+    /// (summed over ranks and failures).
+    pub lost_work: SimDuration,
     /// Sends suppressed as orphans during recovery.
     pub suppressed_sends: u64,
     /// Logged messages replayed during recovery.
@@ -60,6 +67,18 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Mean fraction of the machine rolled back per failure event:
+    /// `ranks_rolled_back / (failures * n_ranks)`, 0 for clean runs. The
+    /// single definition of the containment headline number — records
+    /// and perf baselines must agree on it.
+    pub fn rollback_rank_fraction(&self, n_ranks: usize) -> f64 {
+        if self.failures == 0 || n_ranks == 0 {
+            0.0
+        } else {
+            self.ranks_rolled_back as f64 / (self.failures * n_ranks as u64) as f64
+        }
+    }
+
     /// Record `bytes` added to a sender log.
     pub fn log_append(&mut self, bytes: u64) {
         self.logged_messages += 1;

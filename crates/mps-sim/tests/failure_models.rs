@@ -1,0 +1,197 @@
+//! Failure-model determinism (ISSUE 4 satellite 2): any model driven
+//! twice from the same construction yields identical schedules, and a
+//! simulation driven by the same model spec twice yields bit-for-bit
+//! identical run digests — across model kinds × seeds × parameters.
+//!
+//! The proptest draws raw parameters, decodes them into each model
+//! family, and checks both levels (the generator stream and the engine
+//! digest), plus the monotonicity half of the §2.3 contract.
+
+use det_sim::{SimDuration, SimTime};
+use mps_sim::{
+    Application, Cascade, ClusterMap, CorrelatedCluster, FailureEvent, FailureModel, FixedSchedule,
+    NullProtocol, PoissonPerRank, Rank, Sim, SimConfig, Tag,
+};
+use proptest::prelude::*;
+
+const N_RANKS: usize = 12;
+
+/// One of the four model families, decoded deterministically from raw
+/// draws (no `prop_oneof` in the vendored proptest stub).
+fn decode_model(variant: u8, mtbf_us: u64, seed: u64, extra: u8) -> Box<dyn FailureModel> {
+    let mtbf = SimDuration::from_us(1 + mtbf_us % 100_000);
+    let max = 1 + (extra % 8) as u32;
+    match variant % 4 {
+        0 => Box::new(FixedSchedule::new(
+            (0..(extra % 5) as u64)
+                .map(|i| {
+                    FailureEvent::at_us(
+                        1 + seed.rotate_left(i as u32 * 9) % 10_000,
+                        vec![Rank(((seed >> i) % N_RANKS as u64) as u32)],
+                    )
+                })
+                .collect(),
+        )),
+        1 => Box::new(PoissonPerRank::new(N_RANKS, mtbf, seed).with_max_failures(max)),
+        2 => Box::new(
+            CorrelatedCluster::from_cluster_map(&ClusterMap::blocks(N_RANKS, 4), mtbf, seed)
+                .with_max_failures(max),
+        ),
+        _ => Box::new(
+            Cascade::new(
+                Box::new(PoissonPerRank::new(N_RANKS, mtbf, seed).with_max_failures(max)),
+                N_RANKS,
+                SimDuration::from_us(1 + mtbf_us % 500),
+                (extra % 101) as f64 / 100.0,
+                seed,
+            )
+            .with_max_chain(2),
+        ),
+    }
+}
+
+/// Drive a model the way the engine does: `next_after(prev)` chained on
+/// the returned times.
+fn drive(model: &mut dyn FailureModel, limit: usize) -> Vec<FailureEvent> {
+    let mut out = Vec::new();
+    let mut prev = SimTime::ZERO;
+    while out.len() < limit {
+        match model.next_after(prev) {
+            Some(ev) => {
+                prev = ev.at;
+                out.push(ev);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// A small all-to-all-ish app long enough for some failures to land
+/// mid-run. `NullProtocol` offers no recovery, so runs with failures may
+/// deadlock — irrelevant here: the property under test is that two
+/// identically-specified runs are *identical*, digests included.
+fn ring_app(rounds: usize) -> Application {
+    let n = N_RANKS as u32;
+    let mut app = Application::new(N_RANKS);
+    for round in 0..rounds {
+        let tag = Tag((round % 3) as u32);
+        for r in 0..n {
+            app.rank_mut(Rank(r)).send(Rank((r + 1) % n), 2048, tag);
+        }
+        for r in 0..n {
+            app.rank_mut(Rank(r)).recv(Rank((r + n - 1) % n), tag);
+        }
+    }
+    app
+}
+
+proptest! {
+    #[test]
+    fn same_spec_same_schedule(
+        variant in any::<u8>(),
+        mtbf_us in any::<u64>(),
+        seed in any::<u64>(),
+        extra in any::<u8>(),
+    ) {
+        let mut a = decode_model(variant, mtbf_us, seed, extra);
+        let mut b = decode_model(variant, mtbf_us, seed, extra);
+        prop_assert_eq!(a.descriptor(), b.descriptor());
+        let ea = drive(a.as_mut(), 64);
+        let eb = drive(b.as_mut(), 64);
+        prop_assert_eq!(&ea, &eb, "same construction must yield the same schedule");
+        // Monotone non-decreasing times (§2.3 contract).
+        for w in ea.windows(2) {
+            prop_assert!(w[0].at <= w[1].at, "times must be non-decreasing: {:?}", ea);
+        }
+    }
+
+    #[test]
+    fn same_spec_same_run_digests(
+        variant in any::<u8>(),
+        mtbf_us in any::<u64>(),
+        seed in any::<u64>(),
+        extra in any::<u8>(),
+    ) {
+        let run = || {
+            let mut sim = Sim::new(ring_app(20), SimConfig::default(), NullProtocol);
+            sim.set_failure_model(decode_model(variant, mtbf_us, seed, extra));
+            sim.run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.digests, &b.digests, "digest must be a function of the spec");
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.metrics.events, b.metrics.events);
+        prop_assert_eq!(a.metrics.failures, b.metrics.failures);
+        prop_assert_eq!(a.metrics.failed_ranks, b.metrics.failed_ranks);
+    }
+}
+
+/// Replacing a model before the run cancels the replaced model's
+/// pending event: only the last model injects.
+#[test]
+fn replacing_a_model_cancels_the_previous_chain() {
+    let golden = {
+        let mut sim = Sim::new(ring_app(30), SimConfig::default(), NullProtocol);
+        sim.set_failure_model(Box::new(FixedSchedule::none()));
+        sim.run()
+    };
+    let mut sim = Sim::new(ring_app(30), SimConfig::default(), NullProtocol);
+    sim.set_failure_model(Box::new(FixedSchedule::new(vec![FailureEvent::at_us(
+        50,
+        vec![Rank(3)],
+    )])));
+    sim.set_failure_model(Box::new(FixedSchedule::none()));
+    let report = sim.run();
+    assert_eq!(report.metrics.failures, 0, "replaced model still injected");
+    assert_eq!(report.digests, golden.digests);
+    assert_eq!(report.metrics.events, golden.metrics.events);
+}
+
+/// The lazy-pull path with an empty model is byte-identical to no model.
+#[test]
+fn empty_model_is_a_clean_run() {
+    let clean = Sim::new(ring_app(10), SimConfig::default(), NullProtocol).run();
+    let mut sim = Sim::new(ring_app(10), SimConfig::default(), NullProtocol);
+    sim.set_failure_model(Box::new(FixedSchedule::none()));
+    let modeled = sim.run();
+    assert!(clean.completed() && modeled.completed());
+    assert_eq!(clean.digests, modeled.digests);
+    assert_eq!(clean.metrics.events, modeled.metrics.events);
+    assert_eq!(clean.makespan, modeled.makespan);
+}
+
+/// A model event in the past (relative to the engine clock) fires
+/// immediately instead of being dropped or panicking.
+#[test]
+fn lagging_model_times_are_clamped_to_now() {
+    struct Lagging {
+        emitted: u32,
+    }
+    impl FailureModel for Lagging {
+        fn next_after(&mut self, _prev: SimTime) -> Option<FailureEvent> {
+            self.emitted += 1;
+            match self.emitted {
+                // First event mid-run...
+                1 => Some(FailureEvent::at_us(100, vec![Rank(0)])),
+                // ...then one claiming a time strictly before it: the
+                // engine must clamp it to "now", not schedule into the
+                // past (which would panic the debug-asserted scheduler).
+                2 => Some(FailureEvent::at_us(50, vec![Rank(1)])),
+                _ => None,
+            }
+        }
+        fn expected_failures(&self, _horizon: SimTime) -> f64 {
+            2.0
+        }
+        fn descriptor(&self) -> String {
+            "lagging-test".into()
+        }
+    }
+    let mut sim = Sim::new(ring_app(30), SimConfig::default(), NullProtocol);
+    sim.set_failure_model(Box::new(Lagging { emitted: 0 }));
+    let report = sim.run();
+    assert_eq!(report.metrics.failures, 2);
+    assert_eq!(report.metrics.failed_ranks, 2);
+}

@@ -36,6 +36,7 @@ impl Default for CoordinatedConfig {
 }
 
 struct GlobalCheckpoint {
+    taken_at: SimTime,
     snaps: Vec<RankSnapshot>,
     inflight: Vec<InFlightMsg>,
     bytes: u64,
@@ -45,6 +46,10 @@ struct GlobalCheckpoint {
 pub struct GlobalCoordinated {
     cfg: CoordinatedConfig,
     last: Option<GlobalCheckpoint>,
+    /// Time of the previous rollback (`ZERO` = none): lost-work
+    /// accounting counts each discarded span once, so a cascade re-roll
+    /// adds only the work redone since the prior rollback.
+    last_rollback_at: SimTime,
     n: usize,
 }
 
@@ -53,6 +58,7 @@ impl GlobalCoordinated {
         GlobalCoordinated {
             cfg,
             last: None,
+            last_rollback_at: SimTime::ZERO,
             n: 0,
         }
     }
@@ -74,6 +80,7 @@ impl GlobalCoordinated {
             })
             .collect();
         GlobalCheckpoint {
+            taken_at: ctx.now(),
             snaps,
             inflight,
             bytes,
@@ -133,6 +140,9 @@ impl Protocol for GlobalCoordinated {
         // the checkpoint's channel state replaces it.
         ctx.drop_inflight_to(&ranks);
         let ckpt = self.last.as_ref().expect("no global checkpoint");
+        let lost_from = ckpt.taken_at.max(self.last_rollback_at);
+        ctx.metrics().lost_work += started.since(lost_from) * self.n as u64;
+        self.last_rollback_at = started;
         let per = ckpt.bytes / self.n.max(1) as u64;
         let read = self.cfg.storage.read_time(per, self.n as u64);
         let inflight = ckpt.inflight.clone();

@@ -5,33 +5,96 @@
 //! drivers could not hold "some protocol" and run it. A
 //! [`ProtocolFactory`] closes that gap: it owns the protocol's
 //! configuration, and `run` instantiates the concrete protocol for a
-//! given cluster map and drives one simulation to completion — erasing
-//! the protocol type right after the monomorphic `Sim::run` call.
+//! [`RunRequest`] and drives one simulation to completion — erasing the
+//! protocol type right after the monomorphic `Sim::run` call.
+//!
+//! A [`RunRequest`] bundles everything one run needs — the application,
+//! engine configuration, cluster map and a [`FailureModel`] — behind a
+//! builder, replacing the positional
+//! `run(app, config, clusters, failures)` signature that grew a
+//! parameter per feature. Fault injection is a first-class model rather
+//! than a static list: [`RunRequest::failures`] wraps a hand-written
+//! schedule in [`FixedSchedule`] (the equivalence oracle for the old
+//! list path), while [`RunRequest::failure_model`] accepts any
+//! generator (Poisson, correlated-cluster, cascade, ...).
 //!
 //! Factories are `Send + Sync` so a parallel executor (the `scenario`
 //! crate) can dispatch the same factory across worker threads.
 
 use det_sim::{SimDuration, SimTime};
 use hydee::{Hydee, HydeeConfig};
-use mps_sim::{Application, ClusterMap, NullProtocol, Protocol, Rank, RunReport, Sim, SimConfig};
+use mps_sim::{
+    Application, ClusterMap, FailureModel, FixedSchedule, NullProtocol, Protocol, RunReport, Sim,
+    SimConfig,
+};
 use net_model::StableStorage;
+
+pub use mps_sim::FailureEvent;
 
 use crate::coordinated::{CoordinatedConfig, GlobalCoordinated};
 use crate::event_logged::{DeterminantCost, EventLogged};
 
-/// A fail-stop failure injection: `ranks` crash concurrently at `at`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FailureEvent {
-    pub at: SimTime,
-    pub ranks: Vec<Rank>,
+/// Everything one simulation run needs, behind a builder.
+///
+/// ```
+/// use mps_sim::{Application, ClusterMap, PoissonPerRank, Rank, Tag};
+/// use det_sim::SimDuration;
+/// use protocols::{HydeeFactory, ProtocolFactory, RunRequest};
+///
+/// let mut app = Application::new(4);
+/// app.rank_mut(Rank(0)).send(Rank(2), 4096, Tag(0));
+/// app.rank_mut(Rank(2)).recv(Rank(0), Tag(0));
+///
+/// let req = RunRequest::new(app)
+///     .clusters(ClusterMap::blocks(4, 2))
+///     .failure_model(Box::new(PoissonPerRank::new(
+///         4,
+///         SimDuration::from_secs(1),
+///         42,
+///     ).with_max_failures(1)));
+/// let report = HydeeFactory::default().run(req);
+/// assert!(report.completed());
+/// ```
+pub struct RunRequest {
+    pub app: Application,
+    pub sim_config: SimConfig,
+    pub clusters: ClusterMap,
+    pub failure_model: Box<dyn FailureModel>,
 }
 
-impl FailureEvent {
-    pub fn at_ms(ms: u64, ranks: Vec<Rank>) -> Self {
-        FailureEvent {
-            at: SimTime::from_ms(ms),
-            ranks,
+impl RunRequest {
+    /// A clean run: default engine config, every rank in one cluster, no
+    /// failures.
+    pub fn new(app: Application) -> Self {
+        let n = app.n_ranks();
+        RunRequest {
+            app,
+            sim_config: SimConfig::default(),
+            clusters: ClusterMap::single(n),
+            failure_model: Box::new(FixedSchedule::none()),
         }
+    }
+
+    pub fn sim_config(mut self, config: SimConfig) -> Self {
+        self.sim_config = config;
+        self
+    }
+
+    pub fn clusters(mut self, clusters: ClusterMap) -> Self {
+        self.clusters = clusters;
+        self
+    }
+
+    /// Inject failures from an arbitrary deterministic generator.
+    pub fn failure_model(mut self, model: Box<dyn FailureModel>) -> Self {
+        self.failure_model = model;
+        self
+    }
+
+    /// Inject a hand-written failure schedule (sugar for a
+    /// [`FixedSchedule`] model).
+    pub fn failures(self, events: Vec<FailureEvent>) -> Self {
+        self.failure_model(Box::new(FixedSchedule::new(events)))
     }
 }
 
@@ -40,27 +103,14 @@ pub trait ProtocolFactory: Send + Sync {
     /// Short name for records and reports.
     fn name(&self) -> String;
 
-    /// Instantiate the protocol for `clusters` and run `app` under it,
-    /// injecting `failures`.
-    fn run(
-        &self,
-        app: Application,
-        config: SimConfig,
-        clusters: &ClusterMap,
-        failures: &[FailureEvent],
-    ) -> RunReport;
+    /// Instantiate the protocol for the request's cluster map and drive
+    /// its application to completion under the request's failure model.
+    fn run(&self, req: RunRequest) -> RunReport;
 }
 
-fn run_sim<P: Protocol>(
-    app: Application,
-    config: SimConfig,
-    protocol: P,
-    failures: &[FailureEvent],
-) -> RunReport {
-    let mut sim = Sim::new(app, config, protocol);
-    for f in failures {
-        sim.inject_failure(f.at, f.ranks.clone());
-    }
+fn run_sim<P: Protocol>(req: RunRequest, protocol: P) -> RunReport {
+    let mut sim = Sim::new(req.app, req.sim_config, protocol);
+    sim.set_failure_model(req.failure_model);
     sim.run()
 }
 
@@ -73,19 +123,13 @@ impl ProtocolFactory for NativeFactory {
         "native".into()
     }
 
-    fn run(
-        &self,
-        app: Application,
-        config: SimConfig,
-        _clusters: &ClusterMap,
-        failures: &[FailureEvent],
-    ) -> RunReport {
-        run_sim(app, config, NullProtocol, failures)
+    fn run(&self, req: RunRequest) -> RunReport {
+        run_sim(req, NullProtocol)
     }
 }
 
-/// HydEE parameterisation minus the cluster map (which arrives at `run`
-/// time). `None` fields keep [`HydeeConfig`]'s defaults.
+/// HydEE parameterisation minus the cluster map (which arrives with the
+/// [`RunRequest`]). `None` fields keep [`HydeeConfig`]'s defaults.
 #[derive(Debug, Clone, Default)]
 pub struct HydeeParams {
     pub checkpoint_interval: Option<SimDuration>,
@@ -122,7 +166,7 @@ impl HydeeParams {
     }
 }
 
-/// HydEE over whatever cluster map the run supplies.
+/// HydEE over whatever cluster map the request supplies.
 #[derive(Debug, Clone, Default)]
 pub struct HydeeFactory {
     pub params: HydeeParams,
@@ -139,15 +183,9 @@ impl ProtocolFactory for HydeeFactory {
         "hydee".into()
     }
 
-    fn run(
-        &self,
-        app: Application,
-        config: SimConfig,
-        clusters: &ClusterMap,
-        failures: &[FailureEvent],
-    ) -> RunReport {
-        let protocol = Hydee::new(self.params.config_for(clusters.clone()));
-        run_sim(app, config, protocol, failures)
+    fn run(&self, req: RunRequest) -> RunReport {
+        let protocol = Hydee::new(self.params.config_for(req.clusters.clone()));
+        run_sim(req, protocol)
     }
 }
 
@@ -169,19 +207,8 @@ impl ProtocolFactory for CoordinatedFactory {
         "coordinated".into()
     }
 
-    fn run(
-        &self,
-        app: Application,
-        config: SimConfig,
-        _clusters: &ClusterMap,
-        failures: &[FailureEvent],
-    ) -> RunReport {
-        run_sim(
-            app,
-            config,
-            GlobalCoordinated::new(self.config.clone()),
-            failures,
-        )
+    fn run(&self, req: RunRequest) -> RunReport {
+        run_sim(req, GlobalCoordinated::new(self.config.clone()))
     }
 }
 
@@ -205,22 +232,16 @@ impl ProtocolFactory for EventLoggedFactory {
         "event-logged".into()
     }
 
-    fn run(
-        &self,
-        app: Application,
-        config: SimConfig,
-        clusters: &ClusterMap,
-        failures: &[FailureEvent],
-    ) -> RunReport {
-        let inner = Hydee::new(self.params.config_for(clusters.clone()));
-        run_sim(app, config, EventLogged::new(inner, self.cost), failures)
+    fn run(&self, req: RunRequest) -> RunReport {
+        let inner = Hydee::new(self.params.config_for(req.clusters.clone()));
+        run_sim(req, EventLogged::new(inner, self.cost))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mps_sim::Tag;
+    use mps_sim::{PoissonPerRank, Rank, Tag};
 
     fn ping_pong() -> Application {
         let mut app = Application::new(4);
@@ -238,9 +259,9 @@ mod tests {
             Box::new(CoordinatedFactory::default()),
             Box::new(EventLoggedFactory::default()),
         ];
-        let clusters = ClusterMap::blocks(4, 2);
         for f in &factories {
-            let report = f.run(ping_pong(), SimConfig::default(), &clusters, &[]);
+            let req = RunRequest::new(ping_pong()).clusters(ClusterMap::blocks(4, 2));
+            let report = f.run(req);
             assert!(report.completed(), "{}: {:?}", f.name(), report.status);
         }
     }
@@ -248,19 +269,10 @@ mod tests {
     #[test]
     fn hydee_factory_logs_inter_cluster_only() {
         let f = HydeeFactory::default();
-        let report = f.run(
-            ping_pong(),
-            SimConfig::default(),
-            &ClusterMap::new(vec![0, 0, 1, 1]),
-            &[],
-        );
+        let report =
+            f.run(RunRequest::new(ping_pong()).clusters(ClusterMap::new(vec![0, 0, 1, 1])));
         assert_eq!(report.metrics.logged_bytes_cumulative, 4096);
-        let report = f.run(
-            ping_pong(),
-            SimConfig::default(),
-            &ClusterMap::single(4),
-            &[],
-        );
+        let report = f.run(RunRequest::new(ping_pong()).clusters(ClusterMap::single(4)));
         assert_eq!(report.metrics.logged_bytes_cumulative, 0);
     }
 
@@ -275,26 +287,51 @@ mod tests {
             app.rank_mut(Rank(0)).send(Rank(1), 1 << 16, Tag(i));
             app.rank_mut(Rank(1)).recv(Rank(0), Tag(i));
         }
-        let clean = f.run(
-            app.clone(),
-            SimConfig::default(),
-            &ClusterMap::per_rank(2),
-            &[],
-        );
+        let clean = f.run(RunRequest::new(app.clone()).clusters(ClusterMap::per_rank(2)));
         assert!(clean.completed());
         let fail_at = SimTime::from_ps(clean.makespan.as_ps() / 2);
         let failed = f.run(
-            app,
-            SimConfig::default(),
-            &ClusterMap::per_rank(2),
-            &[FailureEvent {
-                at: fail_at,
-                ranks: vec![Rank(1)],
-            }],
+            RunRequest::new(app)
+                .clusters(ClusterMap::per_rank(2))
+                .failures(vec![FailureEvent {
+                    at: fail_at,
+                    ranks: vec![Rank(1)],
+                }]),
         );
         assert!(failed.completed(), "{:?}", failed.status);
         assert_eq!(failed.metrics.failures, 1);
+        assert_eq!(failed.metrics.failed_ranks, 1);
         assert!(failed.metrics.ranks_rolled_back >= 1);
+        assert!(failed.metrics.lost_work > SimDuration::ZERO);
+        assert!(failed.metrics.recovery_time > SimDuration::ZERO);
         assert_eq!(clean.digests, failed.digests);
+    }
+
+    #[test]
+    fn stochastic_model_through_the_factory() {
+        let f = HydeeFactory::new(HydeeParams {
+            image_bytes: Some(1 << 14),
+            ..Default::default()
+        });
+        let mut app = Application::new(4);
+        for i in 0..40 {
+            app.rank_mut(Rank(0)).send(Rank(3), 1 << 14, Tag(i));
+            app.rank_mut(Rank(3)).recv(Rank(0), Tag(i));
+        }
+        let run = |seed: u64| {
+            f.run(
+                RunRequest::new(app.clone())
+                    .clusters(ClusterMap::blocks(4, 2))
+                    .failure_model(Box::new(
+                        PoissonPerRank::new(4, SimDuration::from_ms(2), seed).with_max_failures(2),
+                    )),
+            )
+        };
+        let a = run(11);
+        let b = run(11);
+        assert!(a.completed(), "{:?}", a.status);
+        assert_eq!(a.digests, b.digests, "same seed, same run");
+        assert_eq!(a.metrics.events, b.metrics.events);
+        assert_eq!(a.metrics.failures, b.metrics.failures);
     }
 }

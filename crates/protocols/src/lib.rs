@@ -24,5 +24,5 @@ pub use coordinated::{CoordinatedConfig, GlobalCoordinated};
 pub use event_logged::{DeterminantCost, EventLogged};
 pub use factory::{
     CoordinatedFactory, EventLoggedFactory, FailureEvent, HydeeFactory, HydeeParams, NativeFactory,
-    ProtocolFactory,
+    ProtocolFactory, RunRequest,
 };

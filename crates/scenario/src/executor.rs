@@ -21,7 +21,7 @@ use crate::record::RunRecord;
 use crate::spec::ScenarioSpec;
 use clustering::ClusteringStats;
 use mps_sim::Metrics;
-use protocols::FailureEvent;
+use protocols::RunRequest;
 
 /// Runs scenario batches. Construct with [`Executor::new`] (parallel) or
 /// [`Executor::serial`] (reference mode for determinism checks and
@@ -56,7 +56,8 @@ impl Executor {
             network: spec.network.name().into(),
             n_ranks: app.n_ranks(),
             n_clusters: map.n_clusters(),
-            n_failures: spec.failures.len(),
+            n_failures: spec.failure_model.scheduled_failures(),
+            failure_model: spec.failure_model.name(),
             avg_rollback_pct: stats.avg_rollback_pct,
             static_logged_bytes: stats.logged_bytes,
             static_total_bytes: stats.total_bytes,
@@ -70,14 +71,32 @@ impl Executor {
             digest: 0,
             trace_consistent: true,
             trace_violations: 0,
+            rollback_rank_fraction: 0.0,
+            lost_work_s: 0.0,
+            recovery_s: 0.0,
             metrics: Metrics::default(),
         };
         if !spec.simulate {
             return record;
         }
-        let failures: Vec<FailureEvent> = spec.failures.iter().map(|f| f.to_event()).collect();
+        // A fixed-schedule rank outside the workload would panic inside
+        // the engine (worse, inside a rayon worker): surface it as an
+        // incomplete record instead.
+        if let Some(bad) = spec.failure_model.invalid_rank(app.n_ranks()) {
+            return RunRecord {
+                status: format!(
+                    "invalid failure schedule: rank {bad} out of range (workload has {} ranks)",
+                    app.n_ranks()
+                ),
+                ..record
+            };
+        }
         let factory = spec.protocol.to_factory();
-        let report = factory.run(app, spec.sim_config(), &map, &failures);
+        let req = RunRequest::new(app)
+            .sim_config(spec.sim_config())
+            .failure_model(spec.failure_model.build(&map))
+            .clusters(map);
+        let report = factory.run(req);
         record.with_report(&report)
     }
 
@@ -119,6 +138,24 @@ mod tests {
         // Per-rank clustering logs everything.
         assert_eq!(rec.static_logged_pct, 100.0);
         assert_eq!(rec.metrics.logged_bytes_cumulative, 6 * 256);
+    }
+
+    #[test]
+    fn out_of_range_failure_rank_is_an_incomplete_record_not_a_panic() {
+        let mut spec = tiny_spec();
+        spec.failure_model =
+            crate::spec::FailureModelSpec::Fixed(vec![crate::spec::FailureSpec::at_ms(
+                1,
+                vec![99],
+            )]);
+        let rec = Executor::run_one(&spec);
+        assert!(!rec.completed);
+        assert!(
+            rec.status.contains("rank 99 out of range"),
+            "{}",
+            rec.status
+        );
+        assert_eq!(rec.metrics.events, 0, "simulation must not have started");
     }
 
     #[test]

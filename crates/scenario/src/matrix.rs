@@ -6,7 +6,9 @@
 //! fastest), so record `i` of an executor run always corresponds to spec
 //! `i` of the expansion.
 
-use crate::spec::{ClusterStrategy, FailureSpec, NetworkSpec, ProtocolSpec, ScenarioSpec};
+use crate::spec::{
+    ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec, ProtocolSpec, ScenarioSpec,
+};
 use workloads::WorkloadSpec;
 
 /// Experiment axes. Empty axes default to a singleton at expansion time
@@ -24,9 +26,10 @@ pub struct Matrix {
     /// Checkpoint intervals (ms) overriding each protocol's own setting;
     /// default "leave protocols as specified".
     pub checkpoint_ms: Vec<Option<u64>>,
-    /// Failure schedules (one schedule = one list of injections);
-    /// default `[no failures]`.
-    pub failure_schedules: Vec<Vec<FailureSpec>>,
+    /// Failure models (fixed schedules and/or stochastic regimes);
+    /// default `[no failures]`. Sweeps cross protocols × failure
+    /// regimes by listing several.
+    pub failure_models: Vec<FailureModelSpec>,
     /// `false`: static clustering analysis only (Table I mode).
     pub simulate: bool,
     /// Engine event-limit override applied to every spec.
@@ -66,8 +69,16 @@ impl Matrix {
         self
     }
 
+    /// Sugar: each hand-written schedule becomes one
+    /// [`FailureModelSpec::Fixed`] axis value.
     pub fn failure_schedules(mut self, f: impl IntoIterator<Item = Vec<FailureSpec>>) -> Self {
-        self.failure_schedules.extend(f);
+        self.failure_models
+            .extend(f.into_iter().map(FailureModelSpec::Fixed));
+        self
+    }
+
+    pub fn failure_models(mut self, f: impl IntoIterator<Item = FailureModelSpec>) -> Self {
+        self.failure_models.extend(f);
         self
     }
 
@@ -105,7 +116,7 @@ impl Matrix {
             * self.protocol_by_checkpoint_points()
             * self.clusters.len().max(1)
             * self.networks.len().max(1)
-            * self.failure_schedules.len().max(1)
+            * self.failure_models.len().max(1)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -142,11 +153,11 @@ impl Matrix {
                 self.checkpoint_ms.iter().map(|c| Some(*c)).collect()
             }
         };
-        let no_failures: Vec<Vec<FailureSpec>> = vec![Vec::new()];
-        let schedules: &[Vec<FailureSpec>] = if self.failure_schedules.is_empty() {
+        let no_failures: Vec<FailureModelSpec> = vec![FailureModelSpec::none()];
+        let models: &[FailureModelSpec] = if self.failure_models.is_empty() {
             &no_failures
         } else {
-            &self.failure_schedules
+            &self.failure_models
         };
 
         let mut specs = Vec::with_capacity(self.len());
@@ -156,7 +167,7 @@ impl Matrix {
                 for c in clusters {
                     for n in networks {
                         for ck in &ckpts {
-                            for f in schedules {
+                            for f in models {
                                 let protocol = match ck {
                                     Some(ms) => p.with_checkpoint_ms(*ms),
                                     None => *p,
@@ -166,7 +177,7 @@ impl Matrix {
                                     protocol,
                                     clusters: *c,
                                     network: *n,
-                                    failures: f.clone(),
+                                    failure_model: f.clone(),
                                     simulate: self.simulate,
                                     max_events: self.max_events,
                                 });
@@ -195,7 +206,28 @@ mod tests {
         assert_eq!(specs.len(), 1);
         assert_eq!(specs[0].protocol, ProtocolSpec::Native);
         assert_eq!(specs[0].clusters, ClusterStrategy::Single);
-        assert!(specs[0].failures.is_empty());
+        assert_eq!(specs[0].failure_model, FailureModelSpec::none());
+    }
+
+    #[test]
+    fn failure_model_axis_crosses_protocols_and_regimes() {
+        let m = Matrix::new()
+            .workloads([WorkloadSpec::NetPipe {
+                rounds: 1,
+                bytes: 8,
+            }])
+            .protocols([ProtocolSpec::Native, ProtocolSpec::hydee()])
+            .failure_models([
+                FailureModelSpec::none(),
+                FailureModelSpec::poisson(500, 7),
+                FailureModelSpec::correlated(500, 7),
+                FailureModelSpec::cascade(500, 7, 250, 100),
+            ]);
+        let specs = m.expand();
+        assert_eq!(specs.len(), 2 * 4);
+        assert_eq!(specs.len(), m.len());
+        let labels: std::collections::BTreeSet<String> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), specs.len());
     }
 
     #[test]

@@ -20,7 +20,12 @@ pub struct RunRecord {
     pub network: String,
     pub n_ranks: usize,
     pub n_clusters: usize,
+    /// Failure events *scheduled* by a fixed schedule (stochastic models
+    /// report 0 here; actual injections are `metrics.failures`).
     pub n_failures: usize,
+    /// Canonical name of the spec's failure model
+    /// (`FailureModelSpec::name`).
+    pub failure_model: String,
 
     // ---- static clustering analysis (always present) ----
     /// Expected % of processes rolled back by one uniform failure.
@@ -52,6 +57,20 @@ pub struct RunRecord {
     pub trace_consistent: bool,
     /// Number of oracle violations (0 when consistent).
     pub trace_violations: usize,
+
+    // ---- containment metrics (meaningful when failures were injected) ----
+    /// Mean fraction of the machine rolled back per failure event:
+    /// `ranks_rolled_back / (failures * n_ranks)`, 0 for clean runs. The
+    /// paper's containment claim in one number: ~1/n_clusters for HydEE,
+    /// 1.0 for global coordinated checkpointing.
+    pub rollback_rank_fraction: f64,
+    /// Simulated compute discarded by rollbacks, seconds
+    /// (`metrics.lost_work`).
+    pub lost_work_s: f64,
+    /// Simulated time spent orchestrating recoveries, seconds
+    /// (`metrics.recovery_time`).
+    pub recovery_s: f64,
+
     /// Engine + protocol counters; zeroed for static-only records.
     pub metrics: Metrics,
 }
@@ -80,6 +99,10 @@ impl RunRecord {
         self.digest = fold_digests(&report.digests);
         self.trace_consistent = report.trace.is_consistent();
         self.trace_violations = report.trace.violations.len();
+        let m = &report.metrics;
+        self.rollback_rank_fraction = m.rollback_rank_fraction(self.n_ranks);
+        self.lost_work_s = m.lost_work.as_secs_f64();
+        self.recovery_s = m.recovery_time.as_secs_f64();
         self.metrics = report.metrics.clone();
         self
     }
@@ -95,6 +118,7 @@ impl RunRecord {
             "n_ranks",
             "n_clusters",
             "n_failures",
+            "failure_model",
             "avg_rollback_pct",
             "static_logged_bytes",
             "static_total_bytes",
@@ -116,7 +140,11 @@ impl RunRecord {
             "gc_reclaimed_bytes",
             "checkpoints",
             "failures",
+            "failed_ranks",
             "ranks_rolled_back",
+            "rollback_rank_fraction",
+            "lost_work_s",
+            "recovery_s",
             "suppressed_sends",
             "replayed_messages",
             "replayed_bytes",
@@ -137,6 +165,7 @@ impl RunRecord {
             self.n_ranks.to_string(),
             self.n_clusters.to_string(),
             self.n_failures.to_string(),
+            quote(&self.failure_model),
             format!("{:.4}", self.avg_rollback_pct),
             self.static_logged_bytes.to_string(),
             self.static_total_bytes.to_string(),
@@ -158,7 +187,11 @@ impl RunRecord {
             self.metrics.gc_reclaimed_bytes.to_string(),
             self.metrics.checkpoints.to_string(),
             self.metrics.failures.to_string(),
+            self.metrics.failed_ranks.to_string(),
             self.metrics.ranks_rolled_back.to_string(),
+            format!("{:.6}", self.rollback_rank_fraction),
+            format!("{:.6}", self.lost_work_s),
+            format!("{:.6}", self.recovery_s),
             self.metrics.suppressed_sends.to_string(),
             self.metrics.replayed_messages.to_string(),
             self.metrics.replayed_bytes.to_string(),
@@ -190,6 +223,7 @@ mod tests {
             n_ranks: 2,
             n_clusters: 1,
             n_failures: 0,
+            failure_model: "none".into(),
             avg_rollback_pct: 100.0,
             static_logged_bytes: 0,
             static_total_bytes: 10,
@@ -203,6 +237,9 @@ mod tests {
             digest: 42,
             trace_consistent: true,
             trace_violations: 0,
+            rollback_rank_fraction: 0.0,
+            lost_work_s: 0.0,
+            recovery_s: 0.0,
             metrics: Metrics::default(),
         };
         assert_eq!(

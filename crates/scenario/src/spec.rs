@@ -8,7 +8,10 @@
 
 use clustering::{partition, CommGraph, PartitionConfig};
 use det_sim::{SimDuration, SimTime};
-use mps_sim::{Application, ClusterMap, DetMode, Rank, SimConfig};
+use mps_sim::{
+    Application, Cascade, ClusterMap, CorrelatedCluster, DetMode, FailureModel, FixedSchedule,
+    PoissonPerRank, Rank, SimConfig,
+};
 use net_model::{MxModel, NetworkModel, StableStorage, TcpModel};
 use protocols::{
     CoordinatedConfig, CoordinatedFactory, DeterminantCost, EventLoggedFactory, FailureEvent,
@@ -318,6 +321,10 @@ impl FailureSpec {
         }
     }
 
+    pub fn at_us(us: u64, ranks: Vec<u32>) -> Self {
+        FailureSpec { at_us: us, ranks }
+    }
+
     pub fn to_event(&self) -> FailureEvent {
         FailureEvent {
             at: SimTime::from_us(self.at_us),
@@ -325,6 +332,7 @@ impl FailureSpec {
         }
     }
 
+    /// Canonical name; [`FailureSpec::parse`] round-trips it.
     pub fn name(&self) -> String {
         format!(
             "fail@{}us:r{}",
@@ -336,6 +344,344 @@ impl FailureSpec {
                 .join("+")
         )
     }
+
+    /// Parse one failure injection. Accepted forms:
+    ///
+    /// ```text
+    /// fail@<t>us:r<rank>[+<rank>...]   (canonical, what `name` emits)
+    /// <t>us:<ranks>  |  <t>ms:<ranks>  (explicit unit, optional `r`)
+    /// <t>:<ranks>                      (legacy sweep form: milliseconds)
+    /// ```
+    pub fn parse(s: &str) -> Result<FailureSpec, String> {
+        let s = s.trim();
+        let body = s.strip_prefix("fail@").unwrap_or(s);
+        let (time, ranks) = body
+            .split_once(':')
+            .ok_or_else(|| format!("bad failure injection `{s}` (want <time>:<ranks>)"))?;
+        let (digits, to_us): (&str, u64) = if let Some(us) = time.strip_suffix("us") {
+            (us, 1)
+        } else if let Some(ms) = time.strip_suffix("ms") {
+            (ms, 1000)
+        } else {
+            (time, 1000) // legacy bare number = milliseconds
+        };
+        let t: u64 = digits
+            .parse()
+            .map_err(|_| format!("bad failure time `{time}` in `{s}`"))?;
+        let at_us = t
+            .checked_mul(to_us)
+            // The us -> ps conversion in `to_event` multiplies by 1e6:
+            // reject here anything that would wrap there.
+            .filter(|us| us.checked_mul(1_000_000).is_some())
+            .ok_or_else(|| format!("failure time `{time}` in `{s}` overflows simulated time"))?;
+        let ranks: Vec<u32> = ranks
+            .strip_prefix('r')
+            .unwrap_or(ranks)
+            .split('+')
+            .map(|r| {
+                r.parse()
+                    .map_err(|_| format!("bad failure rank `{r}` in `{s}`"))
+            })
+            .collect::<Result<_, String>>()?;
+        if ranks.is_empty() {
+            return Err(format!("no ranks in failure injection `{s}`"));
+        }
+        Ok(FailureSpec { at_us, ranks })
+    }
+}
+
+impl std::fmt::Display for FailureSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Default event cap for stochastic failure models: keeps an
+/// unfortunate seed from turning a sweep cell into an endless
+/// crash-recover-crash loop. For `Cascade` the cap bounds *primary*
+/// failures; follow-ups add at most `4 × max` more (the chain-depth
+/// limit), so the total stays finite either way.
+pub const DEFAULT_MAX_FAILURES: u32 = 8;
+
+/// Declarative fault-injection model. `build` resolves it against the
+/// run's cluster map into the engine-level [`mps_sim::FailureModel`]
+/// generator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum FailureModelSpec {
+    /// Hand-written schedule (empty list = clean run). The equivalence
+    /// oracle: reproduces the old static failure-list path bit-for-bit.
+    Fixed(Vec<FailureSpec>),
+    /// Independent per-rank exponential failures (`mtbf_ms` per rank).
+    Poisson {
+        mtbf_ms: u64,
+        seed: u64,
+        max_failures: u32,
+    },
+    /// Node/cluster-correlated failures: a failure takes down a whole
+    /// cluster of the run's resolved cluster map (`mtbf_ms` per cluster).
+    Correlated {
+        mtbf_ms: u64,
+        seed: u64,
+        max_failures: u32,
+    },
+    /// Poisson primaries plus follow-up failures: each failure spawns,
+    /// with probability `follow_pct`%, another rank's failure within
+    /// `window_us` — the failure-during-recovery regime. `max_failures`
+    /// caps the *primaries*; follow-up chains are depth-limited to 4
+    /// per primary, so total events stay ≤ `5 × max_failures`.
+    Cascade {
+        mtbf_ms: u64,
+        seed: u64,
+        max_failures: u32,
+        window_us: u64,
+        follow_pct: u8,
+    },
+}
+
+impl Default for FailureModelSpec {
+    fn default() -> Self {
+        FailureModelSpec::none()
+    }
+}
+
+impl FailureModelSpec {
+    /// The clean run (no failures).
+    pub fn none() -> Self {
+        FailureModelSpec::Fixed(Vec::new())
+    }
+
+    pub fn poisson(mtbf_ms: u64, seed: u64) -> Self {
+        FailureModelSpec::Poisson {
+            mtbf_ms,
+            seed,
+            max_failures: DEFAULT_MAX_FAILURES,
+        }
+    }
+
+    pub fn correlated(mtbf_ms: u64, seed: u64) -> Self {
+        FailureModelSpec::Correlated {
+            mtbf_ms,
+            seed,
+            max_failures: DEFAULT_MAX_FAILURES,
+        }
+    }
+
+    pub fn cascade(mtbf_ms: u64, seed: u64, window_us: u64, follow_pct: u8) -> Self {
+        FailureModelSpec::Cascade {
+            mtbf_ms,
+            seed,
+            max_failures: DEFAULT_MAX_FAILURES,
+            window_us,
+            follow_pct,
+        }
+    }
+
+    /// Number of *scheduled* failure events (stochastic models report 0
+    /// here; their actual injections land in the run metrics).
+    pub fn scheduled_failures(&self) -> usize {
+        match self {
+            FailureModelSpec::Fixed(v) => v.len(),
+            _ => 0,
+        }
+    }
+
+    /// First scheduled rank outside `0..n_ranks`, if any. Parse cannot
+    /// check this (the rank count depends on the workload axis), so the
+    /// executor validates before running — a bad rank would otherwise
+    /// panic inside the engine. Stochastic models draw in-range ranks by
+    /// construction.
+    pub fn invalid_rank(&self, n_ranks: usize) -> Option<u32> {
+        match self {
+            FailureModelSpec::Fixed(v) => v
+                .iter()
+                .flat_map(|f| f.ranks.iter())
+                .copied()
+                .find(|&r| r as usize >= n_ranks),
+            _ => None,
+        }
+    }
+
+    /// Canonical name; [`FailureModelSpec::parse`] round-trips it. The
+    /// empty fixed schedule is named `none`.
+    pub fn name(&self) -> String {
+        let max = |m: &u32| {
+            if *m == DEFAULT_MAX_FAILURES {
+                String::new()
+            } else {
+                format!(":max={m}")
+            }
+        };
+        match self {
+            FailureModelSpec::Fixed(v) if v.is_empty() => "none".into(),
+            FailureModelSpec::Fixed(v) => v
+                .iter()
+                .map(FailureSpec::name)
+                .collect::<Vec<_>>()
+                .join(","),
+            FailureModelSpec::Poisson {
+                mtbf_ms,
+                seed,
+                max_failures,
+            } => format!("poisson:mtbf={mtbf_ms}:seed={seed}{}", max(max_failures)),
+            FailureModelSpec::Correlated {
+                mtbf_ms,
+                seed,
+                max_failures,
+            } => format!("cluster:mtbf={mtbf_ms}:seed={seed}{}", max(max_failures)),
+            FailureModelSpec::Cascade {
+                mtbf_ms,
+                seed,
+                max_failures,
+                window_us,
+                follow_pct,
+            } => format!(
+                "cascade:mtbf={mtbf_ms}:seed={seed}:window={window_us}:follow={follow_pct}{}",
+                max(max_failures)
+            ),
+        }
+    }
+
+    /// Parse a failure axis value: `none`, a comma-separated fixed
+    /// schedule of [`FailureSpec`] injections, or a stochastic model
+    /// (`poisson:...`, `cluster:...`, `cascade:...` with `mtbf=<ms>`,
+    /// `seed=<n>`, optional `max=<n>`, and for cascade `window=<us>`,
+    /// `follow=<pct>`).
+    pub fn parse(s: &str) -> Result<FailureModelSpec, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(FailureModelSpec::none());
+        }
+        let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
+        if !matches!(kind, "poisson" | "cluster" | "cascade") {
+            let events = s
+                .split(',')
+                .map(str::trim)
+                .filter(|f| !f.is_empty())
+                .map(FailureSpec::parse)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(FailureModelSpec::Fixed(events));
+        }
+        let mut mtbf_ms = None;
+        let mut seed = 0u64;
+        let mut max_failures = DEFAULT_MAX_FAILURES;
+        let mut window_us = 1000u64;
+        let mut follow_pct = 50u8;
+        for part in rest.split(':').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad model parameter `{part}` in `{s}` (want key=value)"))?;
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| format!("bad value `{value}` for `{key}` in `{s}`"))?;
+            match key {
+                "mtbf" => mtbf_ms = Some(parsed),
+                "seed" => seed = parsed,
+                "max" => {
+                    max_failures = u32::try_from(parsed)
+                        .map_err(|_| format!("`max={parsed}` in `{s}` exceeds {}", u32::MAX))?;
+                }
+                "window" if kind == "cascade" => window_us = parsed,
+                "follow" if kind == "cascade" => {
+                    if parsed > 100 {
+                        return Err(format!(
+                            "`follow={parsed}` in `{s}` is a percentage (0-100)"
+                        ));
+                    }
+                    follow_pct = parsed as u8;
+                }
+                other => return Err(format!("unknown model parameter `{other}` in `{s}`")),
+            }
+        }
+        let mtbf_ms = mtbf_ms.ok_or_else(|| format!("model `{s}` needs mtbf=<ms>"))?;
+        if mtbf_ms == 0 {
+            return Err(format!("model `{s}` needs a positive mtbf"));
+        }
+        // Reject values whose unit conversion overflows picoseconds at
+        // build() time (ms -> ps is x1e9, us -> ps is x1e6).
+        if mtbf_ms.checked_mul(1_000_000_000).is_none() {
+            return Err(format!(
+                "`mtbf={mtbf_ms}` in `{s}` overflows simulated time"
+            ));
+        }
+        if kind == "cascade" {
+            if window_us == 0 {
+                return Err(format!("model `{s}` needs a positive window"));
+            }
+            if window_us.checked_mul(1_000_000).is_none() {
+                return Err(format!(
+                    "`window={window_us}` in `{s}` overflows simulated time"
+                ));
+            }
+        }
+        Ok(match kind {
+            "poisson" => FailureModelSpec::Poisson {
+                mtbf_ms,
+                seed,
+                max_failures,
+            },
+            "cluster" => FailureModelSpec::Correlated {
+                mtbf_ms,
+                seed,
+                max_failures,
+            },
+            _ => FailureModelSpec::Cascade {
+                mtbf_ms,
+                seed,
+                max_failures,
+                window_us,
+                follow_pct,
+            },
+        })
+    }
+
+    /// Resolve into the engine-level generator for a run over `clusters`.
+    /// Deterministic: the spec (plus the cluster map for `Correlated`)
+    /// fully determines the failure sequence.
+    pub fn build(&self, clusters: &ClusterMap) -> Box<dyn FailureModel> {
+        let n_ranks = clusters.n_ranks();
+        match self {
+            FailureModelSpec::Fixed(v) => Box::new(FixedSchedule::new(
+                v.iter().map(FailureSpec::to_event).collect(),
+            )),
+            FailureModelSpec::Poisson {
+                mtbf_ms,
+                seed,
+                max_failures,
+            } => Box::new(
+                PoissonPerRank::new(n_ranks, SimDuration::from_ms(*mtbf_ms), *seed)
+                    .with_max_failures(*max_failures),
+            ),
+            FailureModelSpec::Correlated {
+                mtbf_ms,
+                seed,
+                max_failures,
+            } => Box::new(
+                CorrelatedCluster::from_cluster_map(
+                    clusters,
+                    SimDuration::from_ms(*mtbf_ms),
+                    *seed,
+                )
+                .with_max_failures(*max_failures),
+            ),
+            FailureModelSpec::Cascade {
+                mtbf_ms,
+                seed,
+                max_failures,
+                window_us,
+                follow_pct,
+            } => {
+                let base = PoissonPerRank::new(n_ranks, SimDuration::from_ms(*mtbf_ms), *seed)
+                    .with_max_failures(*max_failures);
+                Box::new(Cascade::new(
+                    Box::new(base),
+                    n_ranks,
+                    SimDuration::from_us(*window_us),
+                    *follow_pct as f64 / 100.0,
+                    *seed,
+                ))
+            }
+        }
+    }
 }
 
 /// One declarative run: the unit the executor consumes.
@@ -345,7 +691,8 @@ pub struct ScenarioSpec {
     pub protocol: ProtocolSpec,
     pub clusters: ClusterStrategy,
     pub network: NetworkSpec,
-    pub failures: Vec<FailureSpec>,
+    /// Fault-injection model (fixed schedule or stochastic generator).
+    pub failure_model: FailureModelSpec,
     /// `false`: static clustering analysis only, no simulation (Table I).
     pub simulate: bool,
     /// Engine runaway guard override.
@@ -360,10 +707,22 @@ impl ScenarioSpec {
             protocol,
             clusters,
             network: NetworkSpec::Mx,
-            failures: Vec::new(),
+            failure_model: FailureModelSpec::none(),
             simulate: true,
             max_events: None,
         }
+    }
+
+    /// Replace the failure model with a fixed schedule (the pre-model
+    /// call shape, kept because half the bench binaries use it).
+    pub fn with_failures(mut self, failures: Vec<FailureSpec>) -> Self {
+        self.failure_model = FailureModelSpec::Fixed(failures);
+        self
+    }
+
+    pub fn with_failure_model(mut self, model: FailureModelSpec) -> Self {
+        self.failure_model = model;
+        self
     }
 
     /// Deterministic human-readable label, unique within a matrix.
@@ -375,9 +734,19 @@ impl ScenarioSpec {
             self.clusters.name(),
             self.network.name()
         );
-        for f in &self.failures {
-            s.push('/');
-            s.push_str(&f.name());
+        match &self.failure_model {
+            // Fixed schedules keep the historical one-segment-per-failure
+            // labels (clean runs add nothing).
+            FailureModelSpec::Fixed(v) => {
+                for f in v {
+                    s.push('/');
+                    s.push_str(&f.name());
+                }
+            }
+            model => {
+                s.push('/');
+                s.push_str(&model.name());
+            }
         }
         if !self.simulate {
             s.push_str("/static");
@@ -431,10 +800,12 @@ mod tests {
         let mut b = a.clone();
         b.protocol = ProtocolSpec::hydee();
         let mut c = a.clone();
-        c.failures = vec![FailureSpec::at_ms(1, vec![0])];
+        c.failure_model = FailureModelSpec::Fixed(vec![FailureSpec::at_ms(1, vec![0])]);
         let mut d = a.clone();
         d.simulate = false;
-        let labels = [a.label(), b.label(), c.label(), d.label()];
+        let mut e = a.clone();
+        e.failure_model = FailureModelSpec::poisson(500, 7);
+        let labels = [a.label(), b.label(), c.label(), d.label(), e.label()];
         let set: std::collections::BTreeSet<_> = labels.iter().collect();
         assert_eq!(set.len(), labels.len(), "{labels:?}");
     }
@@ -467,6 +838,88 @@ mod tests {
         ];
         let names: std::collections::BTreeSet<String> = variants.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), variants.len(), "{names:?}");
+    }
+
+    #[test]
+    fn failure_spec_parse_accepts_all_forms() {
+        let want = FailureSpec::at_ms(195, vec![7]);
+        for form in ["fail@195000us:r7", "195000us:7", "195ms:r7", "195:7"] {
+            assert_eq!(FailureSpec::parse(form).unwrap(), want, "{form}");
+        }
+        let multi = FailureSpec::at_us(1500, vec![0, 3, 9]);
+        assert_eq!(FailureSpec::parse("fail@1500us:r0+3+9").unwrap(), multi);
+        assert_eq!(FailureSpec::parse(&multi.name()).unwrap(), multi);
+        assert!(FailureSpec::parse("xyz").is_err());
+        assert!(FailureSpec::parse("5:").is_err());
+        assert!(FailureSpec::parse(":3").is_err());
+    }
+
+    #[test]
+    fn failure_model_name_parse_round_trips() {
+        let models = [
+            FailureModelSpec::none(),
+            FailureModelSpec::Fixed(vec![
+                FailureSpec::at_us(300, vec![2]),
+                FailureSpec::at_ms(2, vec![0, 1]),
+            ]),
+            FailureModelSpec::poisson(500, 7),
+            FailureModelSpec::Poisson {
+                mtbf_ms: 500,
+                seed: 7,
+                max_failures: 2,
+            },
+            FailureModelSpec::correlated(1000, 9),
+            FailureModelSpec::cascade(800, 3, 250, 75),
+        ];
+        for m in &models {
+            let name = m.name();
+            assert_eq!(
+                &FailureModelSpec::parse(&name).unwrap(),
+                m,
+                "`{name}` round-tripped differently"
+            );
+        }
+        let names: std::collections::BTreeSet<String> = models.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), models.len(), "names are injective");
+    }
+
+    #[test]
+    fn failure_model_parse_rejects_values_build_would_panic_on() {
+        // These must be parse errors, not panics inside a rayon worker
+        // when `build()` runs.
+        assert!(
+            FailureModelSpec::parse("poisson:seed=1").is_err(),
+            "no mtbf"
+        );
+        assert!(FailureModelSpec::parse("poisson:mtbf=0:seed=1").is_err());
+        assert!(FailureModelSpec::parse("cascade:mtbf=5:seed=1:window=0").is_err());
+        assert!(
+            FailureModelSpec::parse("poisson:mtbf=500:seed=1:max=4294967296").is_err(),
+            "out-of-range max must error, not truncate"
+        );
+        assert!(
+            FailureModelSpec::parse("poisson:mtbf=99999999999999999:seed=1").is_err(),
+            "mtbf overflowing picoseconds must error at parse time"
+        );
+        assert!(
+            FailureModelSpec::parse("cascade:mtbf=5:seed=1:window=99999999999999999").is_err(),
+            "window overflowing picoseconds must error at parse time"
+        );
+    }
+
+    #[test]
+    fn failure_model_builds_against_cluster_map() {
+        let map = ClusterMap::blocks(16, 4);
+        // Correlated groups come from the map: every event fails 4 ranks.
+        let mut model = FailureModelSpec::correlated(100, 1).build(&map);
+        let ev = model.next_after(SimTime::ZERO).unwrap();
+        assert_eq!(ev.ranks.len(), 4);
+        // Fixed schedules resolve to exactly their events.
+        let mut fixed = FailureModelSpec::Fixed(vec![FailureSpec::at_ms(1, vec![5])]).build(&map);
+        let ev = fixed.next_after(SimTime::ZERO).unwrap();
+        assert_eq!(ev.at, SimTime::from_ms(1));
+        assert_eq!(ev.ranks, vec![Rank(5)]);
+        assert!(fixed.next_after(ev.at).is_none());
     }
 
     #[test]

@@ -55,10 +55,10 @@ fn diverse_specs() -> Vec<scenario::ScenarioSpec> {
         },
         ClusterStrategy::Blocks(4),
     );
-    failure_spec.failures = vec![FailureSpec {
+    failure_spec.failure_model = scenario::FailureModelSpec::Fixed(vec![FailureSpec {
         at_us: 3_000,
         ranks: vec![5],
-    }];
+    }]);
     specs.push(failure_spec);
     // A static-analysis point.
     let mut static_spec = scenario::ScenarioSpec::new(

@@ -1,0 +1,140 @@
+//! Round-trip property tests for the failure grammar (ISSUE 4
+//! satellite 1): `Display`/`name()` and `parse` must be true inverses
+//! for both single injections and whole failure models. The `sweep` CLI
+//! and the scenario matrices address failure regimes exclusively by
+//! these strings, so a formatting drift would silently orphan them —
+//! these tests turn that into a hard failure.
+
+use proptest::prelude::*;
+use scenario::{FailureModelSpec, FailureSpec, DEFAULT_MAX_FAILURES};
+
+/// Largest `at_us` whose picosecond conversion fits in u64 — the domain
+/// `FailureSpec::parse` accepts (larger values are rejected, see
+/// `overflowing_times_are_rejected`).
+const MAX_AT_US: u64 = u64::MAX / 1_000_000;
+
+/// Deterministically decode one arbitrary injection from raw draws
+/// (the vendored proptest stub has no `prop_oneof`).
+fn decode_failure(at_us: u64, rank_seed: u64, n_ranks: u8) -> FailureSpec {
+    let at_us = at_us % (MAX_AT_US + 1);
+    let n = 1 + (n_ranks % 6) as u64;
+    // Distinct, ascending ranks derived from the seed.
+    let mut ranks: Vec<u32> = (0..n)
+        .map(|i| (rank_seed.rotate_left(7 * i as u32) % 4096) as u32 + 64 * i as u32)
+        .collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    FailureSpec { at_us, ranks }
+}
+
+fn decode_model(variant: u8, a: u64, b: u64, c: u64, d: u8, e: u8) -> FailureModelSpec {
+    let mtbf_ms = 1 + a % 1_000_000;
+    let seed = b;
+    let max_failures = if d & 1 == 0 {
+        DEFAULT_MAX_FAILURES // the name-eliding default
+    } else {
+        (c % 100_000) as u32
+    };
+    match variant % 4 {
+        0 => FailureModelSpec::Fixed(
+            (0..(d % 4) as u64)
+                .map(|i| decode_failure(a.rotate_left(i as u32 * 11), b ^ i, e))
+                .collect(),
+        ),
+        1 => FailureModelSpec::Poisson {
+            mtbf_ms,
+            seed,
+            max_failures,
+        },
+        2 => FailureModelSpec::Correlated {
+            mtbf_ms,
+            seed,
+            max_failures,
+        },
+        _ => FailureModelSpec::Cascade {
+            mtbf_ms,
+            seed,
+            max_failures,
+            window_us: 1 + c % 10_000_000,
+            follow_pct: e % 101,
+        },
+    }
+}
+
+#[test]
+fn overflowing_times_are_rejected() {
+    // Times past the picosecond range must be parse errors, not values
+    // that wrap when `to_event` converts to SimTime.
+    assert!(FailureSpec::parse(&format!("fail@{}us:r0", MAX_AT_US)).is_ok());
+    assert!(FailureSpec::parse(&format!("fail@{}us:r0", MAX_AT_US + 1)).is_err());
+    assert!(
+        FailureSpec::parse("99999999999999999:0").is_err(),
+        "legacy ms form"
+    );
+    assert!(
+        FailureModelSpec::parse("cascade:mtbf=40:seed=1:follow=250").is_err(),
+        "out-of-range follow percentage must error, not clamp"
+    );
+}
+
+proptest! {
+    #[test]
+    fn failure_spec_display_parse_round_trips(
+        at_us in any::<u64>(),
+        rank_seed in any::<u64>(),
+        n_ranks in any::<u8>(),
+    ) {
+        let spec = decode_failure(at_us, rank_seed, n_ranks);
+        // Display and name() are the same canonical string.
+        prop_assert_eq!(spec.to_string(), spec.name());
+        let reparsed = FailureSpec::parse(&spec.name());
+        prop_assert!(reparsed.is_ok(), "`{}` failed to reparse: {:?}", spec.name(), reparsed);
+        prop_assert_eq!(reparsed.unwrap(), spec);
+    }
+
+    #[test]
+    fn legacy_ms_form_parses_to_the_same_spec(
+        at_ms in any::<u32>(),
+        rank in any::<u16>(),
+    ) {
+        // The pre-redesign sweep grammar (`<ms>:<rank>`) must keep
+        // working and agree with the canonical `us` form.
+        let legacy = FailureSpec::parse(&format!("{at_ms}:{rank}")).unwrap();
+        let canonical =
+            FailureSpec::parse(&format!("fail@{}us:r{rank}", at_ms as u64 * 1000)).unwrap();
+        prop_assert_eq!(&legacy, &canonical);
+        prop_assert_eq!(legacy, FailureSpec::at_ms(at_ms as u64, vec![rank as u32]));
+    }
+
+    #[test]
+    fn failure_model_name_parse_round_trips(
+        variant in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        d in any::<u8>(),
+        e in any::<u8>(),
+    ) {
+        let model = decode_model(variant, a, b, c, d, e);
+        let name = model.name();
+        let reparsed = FailureModelSpec::parse(&name);
+        prop_assert!(reparsed.is_ok(), "`{name}` failed to reparse: {:?}", reparsed);
+        prop_assert_eq!(reparsed.unwrap(), model, "`{name}` round-tripped differently");
+    }
+
+    #[test]
+    fn model_names_are_injective_across_random_pairs(
+        v1 in any::<u8>(), a1 in any::<u64>(), b1 in any::<u64>(),
+        c1 in any::<u64>(), d1 in any::<u8>(), e1 in any::<u8>(),
+        v2 in any::<u8>(), a2 in any::<u64>(), b2 in any::<u64>(),
+        c2 in any::<u64>(), d2 in any::<u8>(), e2 in any::<u8>(),
+    ) {
+        let m1 = decode_model(v1, a1, b1, c1, d1, e1);
+        let m2 = decode_model(v2, a2, b2, c2, d2, e2);
+        if m1 != m2 {
+            prop_assert_ne!(m1.name(), m2.name());
+        } else {
+            prop_assert_eq!(m1.name(), m2.name());
+        }
+    }
+}

@@ -126,8 +126,9 @@ proptest! {
                 for f in schedules.iter().chain(
                     schedules.is_empty().then_some(&Vec::new()),
                 ) {
+                    let model = scenario::FailureModelSpec::Fixed(f.clone());
                     let hits = specs.iter().filter(|s| {
-                        s.workload == *w && s.clusters == c && s.failures == *f
+                        s.workload == *w && s.clusters == c && s.failure_model == model
                     }).count();
                     prop_assert_eq!(hits, protocol_points * networks.len().max(1));
                 }
