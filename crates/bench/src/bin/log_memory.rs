@@ -10,7 +10,9 @@
 //! Run: `cargo run -p bench --release --bin log_memory`
 
 use bench::{Artefact, Table};
-use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec, StorageSpec};
+use scenario::{
+    CheckpointPolicySpec, ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec, StorageSpec,
+};
 use serde::Serialize;
 use workloads::WorkloadSpec;
 
@@ -54,7 +56,10 @@ fn main() {
             ScenarioSpec::new(
                 workload.clone(),
                 ProtocolSpec::Hydee {
-                    checkpoint_interval_ms: interval_ms,
+                    checkpoint: match interval_ms {
+                        Some(ms) => CheckpointPolicySpec::periodic(ms),
+                        None => CheckpointPolicySpec::None,
+                    },
                     image_bytes: 1 << 20,
                     storage: StorageSpec::Default,
                     gc,

@@ -79,7 +79,8 @@ fn main() {
         "events",
         "sim wall (s)",
         "events/sec",
-        "prog KiB (unrolled)",
+        "ckpts",
+        "waste",
         "digest",
     ]);
     for c in &report.cells {
@@ -91,15 +92,35 @@ fn main() {
             c.events.to_string(),
             format!("{:.3}", c.sim_wall_s),
             format!("{:.0}", c.events_per_sec),
-            format!(
-                "{} ({})",
-                c.program_resident_bytes >> 10,
-                c.program_unrolled_bytes >> 10
-            ),
+            c.checkpoints.to_string(),
+            format!("{:.4}", c.waste_fraction),
             format!("{:#018x}", c.digest),
         ]);
     }
     table.print();
+
+    // The §VI frontier acceptance: the adaptive Young/Daly policy must
+    // waste less of the machine than the aggressive fixed interval it
+    // shares the waste_frontier workload with.
+    let cell = |name: &str| {
+        report
+            .cells
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| fail(&format!("missing cell `{name}`")))
+    };
+    let fixed = cell("waste_frontier_fixed1ms");
+    let young = cell("waste_frontier_young_daly");
+    assert!(
+        young.waste_fraction < fixed.waste_fraction,
+        "young-daly waste {:.4} must beat fixed-1ms waste {:.4}",
+        young.waste_fraction,
+        fixed.waste_fraction
+    );
+    println!(
+        "waste frontier: young-daly {:.4} vs fixed-1ms {:.4}",
+        young.waste_fraction, fixed.waste_fraction
+    );
     println!(
         "aggregate: {:.0} events/sec over {} events, peak RSS {:.1} MB",
         report.aggregate_events_per_sec,

@@ -18,7 +18,9 @@
 
 use bench::{gb, Artefact, Table};
 use det_sim::SimTime;
-use scenario::{ClusterStrategy, Executor, FailureSpec, Matrix, ProtocolSpec, StorageSpec};
+use scenario::{
+    CheckpointPolicySpec, ClusterStrategy, Executor, FailureSpec, Matrix, ProtocolSpec, StorageSpec,
+};
 use serde::Serialize;
 use workloads::{NasBench, WorkloadSpec};
 
@@ -57,7 +59,7 @@ fn main() {
         (
             "hydee (16 clusters)",
             ProtocolSpec::Hydee {
-                checkpoint_interval_ms: Some(CKPT_MS),
+                checkpoint: CheckpointPolicySpec::periodic(CKPT_MS),
                 image_bytes,
                 storage,
                 gc: true,
@@ -67,7 +69,7 @@ fn main() {
         (
             "coordinated (global)",
             ProtocolSpec::Coordinated {
-                checkpoint_interval_ms: Some(CKPT_MS),
+                checkpoint: CheckpointPolicySpec::periodic(CKPT_MS),
                 image_bytes,
                 storage,
             },
@@ -76,7 +78,7 @@ fn main() {
         (
             "full logging + events",
             ProtocolSpec::EventLogged {
-                checkpoint_interval_ms: Some(CKPT_MS),
+                checkpoint: CheckpointPolicySpec::periodic(CKPT_MS),
                 image_bytes,
                 storage,
             },

@@ -23,8 +23,8 @@
 
 use bench::Table;
 use scenario::{
-    ClusterStrategy, Executor, FailureModelSpec, Matrix, MatrixSummary, NetworkSpec, ProtocolSpec,
-    StorageSpec, DEFAULT_IMAGE_BYTES,
+    CheckpointPolicySpec, ClusterStrategy, Executor, FailureModelSpec, Matrix, MatrixSummary,
+    NetworkSpec, ProtocolSpec, StorageSpec, DEFAULT_IMAGE_BYTES,
 };
 use workloads::WorkloadSpec;
 
@@ -43,6 +43,12 @@ OPTIONS (comma-separate values; every combination runs):
     --networks <n,...>    mx | tcp [default: mx]
     --ckpt-ms <v,...>     none or an interval in ms; overrides protocols'
                           checkpointing [default: leave as configured]
+    --ckpt-policy <p>     add one checkpoint policy to the axis
+                          (repeatable, shares the --ckpt-ms axis):
+                            none
+                            periodic:interval=<ms>[:first=<ms>][:stagger=<ms>]
+                            young-daly[:first=<ms>][:stagger=<ms>]
+                            log-pressure:budget=<bytes>
     --fail <model>        add one failure model to the axis (repeatable):
                             none
                             fixed schedule: comma list of injections, each
@@ -88,18 +94,18 @@ fn parse_protocol(name: &str, image_bytes: u64) -> ProtocolSpec {
     match name {
         "native" => ProtocolSpec::Native,
         "hydee" => ProtocolSpec::Hydee {
-            checkpoint_interval_ms: None,
+            checkpoint: CheckpointPolicySpec::None,
             image_bytes,
             storage,
             gc: true,
         },
         "coordinated" => ProtocolSpec::Coordinated {
-            checkpoint_interval_ms: None,
+            checkpoint: CheckpointPolicySpec::None,
             image_bytes,
             storage,
         },
         "event-logged" => ProtocolSpec::EventLogged {
-            checkpoint_interval_ms: None,
+            checkpoint: CheckpointPolicySpec::None,
             image_bytes,
             storage,
         },
@@ -161,6 +167,7 @@ fn main() {
     let mut clusters_arg = "single".to_string();
     let mut networks_arg = "mx".to_string();
     let mut ckpt_arg: Option<String> = None;
+    let mut ckpt_policies: Vec<CheckpointPolicySpec> = Vec::new();
     let mut failure_models: Vec<FailureModelSpec> = Vec::new();
     let mut image_bytes = DEFAULT_IMAGE_BYTES;
     let mut static_only = false;
@@ -182,6 +189,9 @@ fn main() {
             "--clusters" => clusters_arg = value("--clusters"),
             "--networks" => networks_arg = value("--networks"),
             "--ckpt-ms" => ckpt_arg = Some(value("--ckpt-ms")),
+            "--ckpt-policy" => ckpt_policies.push(
+                CheckpointPolicySpec::parse(&value("--ckpt-policy")).unwrap_or_else(|e| fail(&e)),
+            ),
             "--fail" => failure_models.push(parse_failure_model(&value("--fail"))),
             "--image-bytes" => {
                 let v = value("--image-bytes");
@@ -240,6 +250,9 @@ fn main() {
                 ),
             }
         }));
+    }
+    if !ckpt_policies.is_empty() {
+        matrix = matrix.checkpoint_policies(ckpt_policies);
     }
     if static_only {
         matrix = matrix.static_analysis();

@@ -19,7 +19,8 @@
 //! committed baseline) when fields change meaning.
 
 use scenario::{
-    ClusterStrategy, FailureModelSpec, FailureSpec, ProtocolSpec, ScenarioSpec, StorageSpec,
+    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, ProtocolSpec,
+    ScenarioSpec, StorageSpec,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -31,12 +32,48 @@ use workloads::{NasBench, WorkloadSpec};
 /// make meaningful) and the `stencil1024_poisson` stochastic-failure
 /// cell. `failures` and `ranks_rolled_back` are deterministic integers
 /// and gated for drift exactly like the digests.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: added per-cell checkpoint-policy columns (`checkpoint_policy`,
+/// `checkpoints`, `checkpoint_overhead_s`, `waste_fraction` — the §VI
+/// waste/efficiency frontier) and the two `waste_frontier_*` cells
+/// (stencil1024 × Poisson failures with checkpoints actually firing:
+/// an aggressive fixed interval vs. the adaptive Young/Daly policy).
+/// `checkpoints` and `waste_fraction` are deterministic (pure functions
+/// of integer virtual time) and gated for drift like the digests.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One point of the macro matrix.
 pub struct Cell {
     pub name: &'static str,
     pub spec: ScenarioSpec,
+}
+
+/// The shared shape of the `waste_frontier_*` cells: stencil1024 under
+/// HydEE/64 clusters with seed-driven Poisson failures, varying only
+/// the checkpoint policy.
+pub fn waste_frontier_spec(policy: CheckpointPolicySpec) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        WorkloadSpec::Stencil {
+            n_ranks: 1024,
+            iterations: 200,
+            face_bytes: 4096,
+            compute_us: 100,
+            wildcard_recv: false,
+        },
+        ProtocolSpec::Hydee {
+            checkpoint: policy,
+            image_bytes: 1 << 20,
+            storage: StorageSpec::ParallelFs,
+            gc: true,
+        },
+        ClusterStrategy::Partitioned(64),
+    );
+    spec.failure_model = FailureModelSpec::Poisson {
+        mtbf_ms: 10_000,
+        seed: 7,
+        max_failures: 3,
+    };
+    spec
 }
 
 /// The fixed macro matrix. Changing a cell invalidates the committed
@@ -82,7 +119,7 @@ pub fn macro_matrix() -> Vec<Cell> {
                         iterations: None,
                     },
                     ProtocolSpec::Hydee {
-                        checkpoint_interval_ms: Some(100),
+                        checkpoint: CheckpointPolicySpec::periodic(100),
                         image_bytes: 1 << 20,
                         storage: StorageSpec::ParallelFs,
                         gc: true,
@@ -111,7 +148,7 @@ pub fn macro_matrix() -> Vec<Cell> {
                         wildcard_recv: false,
                     },
                     ProtocolSpec::Hydee {
-                        checkpoint_interval_ms: Some(5),
+                        checkpoint: CheckpointPolicySpec::periodic(5),
                         image_bytes: 1 << 20,
                         storage: StorageSpec::ParallelFs,
                         gc: true,
@@ -125,6 +162,30 @@ pub fn macro_matrix() -> Vec<Cell> {
                 };
                 spec
             },
+        },
+        // The waste-frontier pair (§VI): the thousand-rank stencil under
+        // Poisson failures with checkpoints *firing* mid-run (first
+        // checkpoint pulled well inside the makespan, tight stagger so
+        // cluster batches overlap on the storage ledger). The fixed
+        // 1 ms interval over-checkpoints and pays the I/O-burst
+        // queueing; Young/Daly derives its interval from the model's
+        // failure rate and the measured cost, and must land a lower
+        // waste_fraction — the perf_baseline binary asserts exactly
+        // that, and CI gates both cells' digests and waste columns.
+        Cell {
+            name: "waste_frontier_fixed1ms",
+            spec: waste_frontier_spec(CheckpointPolicySpec::Periodic {
+                interval_ms: 1,
+                first_ms: Some(1),
+                stagger_ms: Some(0),
+            }),
+        },
+        Cell {
+            name: "waste_frontier_young_daly",
+            spec: waste_frontier_spec(CheckpointPolicySpec::YoungDaly {
+                first_ms: Some(1),
+                stagger_ms: Some(0),
+            }),
         },
         // The long-horizon headroom cell: 4× the ranks and 10× the
         // iterations of the 1024-rank point. Unrolled this is ~73M ops
@@ -181,6 +242,16 @@ pub struct CellResult {
     pub lost_work_s: f64,
     /// Simulated recovery-orchestration time, seconds.
     pub recovery_s: f64,
+    /// Canonical checkpoint-policy name of the cell's protocol.
+    pub checkpoint_policy: String,
+    /// Checkpoints taken (per-rank count) — deterministic, gated.
+    pub checkpoints: u64,
+    /// Rank-seconds spent taking checkpoints.
+    pub checkpoint_overhead_s: f64,
+    /// `(checkpoint_time + lost_work) / (n_ranks × makespan)` — the §VI
+    /// waste frontier number; a pure ratio of integer virtual times,
+    /// deterministic and gated for drift.
+    pub waste_fraction: f64,
     /// Exact integer makespan — determinism golden value.
     pub makespan_ps: u64,
     /// Order-sensitive fold of per-rank state digests — determinism golden
@@ -262,6 +333,10 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
         rollback_rank_fraction: m.rollback_rank_fraction(n_ranks),
         lost_work_s: m.lost_work.as_secs_f64(),
         recovery_s: m.recovery_time.as_secs_f64(),
+        checkpoint_policy: spec.protocol.checkpoint_policy().name(),
+        checkpoints: m.checkpoints,
+        checkpoint_overhead_s: m.checkpoint_time.as_secs_f64(),
+        waste_fraction: m.waste_fraction(n_ranks),
         makespan_ps: report.makespan.as_ps(),
         digest: scenario::fold_digests(&report.digests),
     }
@@ -313,6 +388,10 @@ pub struct BaselineCell {
     /// like the digest.
     pub failures: u64,
     pub ranks_rolled_back: u64,
+    /// Deterministic checkpoint-policy columns (schema v4): gated for
+    /// drift like the digest.
+    pub checkpoints: u64,
+    pub waste_fraction: f64,
     pub digest: u64,
 }
 
@@ -352,14 +431,24 @@ pub fn parse_baseline(text: &str) -> Baseline {
         let digest = field(chunk, "digest").and_then(|v| v.parse().ok());
         let failures = field(chunk, "failures").and_then(|v| v.parse().ok());
         let rolled = field(chunk, "ranks_rolled_back").and_then(|v| v.parse().ok());
-        if let (Some(events_per_sec), Some(digest), Some(failures), Some(ranks_rolled_back)) =
-            (eps, digest, failures, rolled)
+        let checkpoints = field(chunk, "checkpoints").and_then(|v| v.parse().ok());
+        let waste = field(chunk, "waste_fraction").and_then(|v| v.parse().ok());
+        if let (
+            Some(events_per_sec),
+            Some(digest),
+            Some(failures),
+            Some(ranks_rolled_back),
+            Some(checkpoints),
+            Some(waste_fraction),
+        ) = (eps, digest, failures, rolled, checkpoints, waste)
         {
             cells.push(BaselineCell {
                 name,
                 events_per_sec,
                 failures,
                 ranks_rolled_back,
+                checkpoints,
+                waste_fraction,
                 digest,
             });
         }
@@ -413,6 +502,21 @@ pub fn check_against(baseline: &Baseline, report: &PerfReport, tolerance: f64) -
                 base.ranks_rolled_back
             ));
         }
+        // waste_fraction is a pure ratio of integer virtual times: it
+        // reproduces exactly, modulo the JSON float round-trip.
+        if cur.checkpoints != base.checkpoints
+            || (cur.waste_fraction - base.waste_fraction).abs() > 1e-9
+        {
+            violations.push(format!(
+                "cell `{}`: checkpoint drift — checkpoints/waste {}/{:.6} != baseline {}/{:.6} \
+                 (checkpoint scheduling or cost model changed without regenerating the baseline)",
+                base.name,
+                cur.checkpoints,
+                cur.waste_fraction,
+                base.checkpoints,
+                base.waste_fraction
+            ));
+        }
         let floor = base.events_per_sec * (1.0 - tolerance);
         if cur.events_per_sec < floor {
             violations.push(format!(
@@ -462,6 +566,10 @@ mod tests {
                 rollback_rank_fraction: 1.0,
                 lost_work_s: 0.0,
                 recovery_s: 0.0,
+                checkpoint_policy: "periodic:interval=5".into(),
+                checkpoints: 4,
+                checkpoint_overhead_s: 0.25,
+                waste_fraction: 0.125,
                 makespan_ps: 1,
                 digest,
             }],
@@ -530,9 +638,9 @@ mod tests {
     }
 
     #[test]
-    fn macro_matrix_is_five_cells_with_the_scale_points() {
+    fn macro_matrix_is_seven_cells_with_the_scale_points() {
         let cells = macro_matrix();
-        assert_eq!(cells.len(), 5);
+        assert_eq!(cells.len(), 7);
         assert_eq!(cells[0].spec.workload.n_ranks(), 1024);
         assert!(cells
             .iter()
@@ -541,6 +649,40 @@ mod tests {
             .iter()
             .any(|c| matches!(c.spec.failure_model, FailureModelSpec::Poisson { .. })));
         assert!(cells.iter().any(|c| c.spec.workload.n_ranks() == 4096));
+        // The waste-frontier pair varies only the checkpoint policy.
+        let frontier: Vec<&Cell> = cells
+            .iter()
+            .filter(|c| c.name.starts_with("waste_frontier"))
+            .collect();
+        assert_eq!(frontier.len(), 2);
+        let policies: std::collections::BTreeSet<String> = frontier
+            .iter()
+            .map(|c| c.spec.protocol.checkpoint_policy().name())
+            .collect();
+        assert_eq!(policies.len(), 2);
+        assert!(policies.iter().any(|p| p.starts_with("young-daly")));
+        for c in &frontier {
+            assert_eq!(c.spec.workload.n_ranks(), 1024);
+            assert!(matches!(
+                c.spec.failure_model,
+                FailureModelSpec::Poisson { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn gate_fails_on_checkpoint_drift() {
+        let base = parse_baseline(&serde_json::to_string(&report_with("c", 1000.0, 7)).unwrap());
+        assert_eq!(base.cells[0].checkpoints, 4);
+        assert!((base.cells[0].waste_fraction - 0.125).abs() < 1e-12);
+        let mut drifted = report_with("c", 1000.0, 7);
+        drifted.cells[0].waste_fraction = 0.5;
+        let violations = check_against(&base, &drifted, 0.20);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("checkpoint drift"), "{violations:?}");
+        let mut drifted = report_with("c", 1000.0, 7);
+        drifted.cells[0].checkpoints = 5;
+        assert_eq!(check_against(&base, &drifted, 0.20).len(), 1);
     }
 
     #[test]

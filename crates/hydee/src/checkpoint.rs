@@ -30,10 +30,54 @@ pub struct ClusterCheckpoint {
 }
 
 impl ClusterCheckpoint {
-    /// Bytes attributable to one member (uniform split, used for read
-    /// costing at restart).
-    pub fn bytes_per_member(&self) -> u64 {
-        let n = self.snaps.len().max(1) as u64;
-        self.bytes / n
+    /// Bytes attributable to the `idx`-th member (members ordered by
+    /// rank): a uniform split with the remainder spread one byte each
+    /// over the first `bytes % n` members, so the shares always sum to
+    /// exactly [`ClusterCheckpoint::bytes`] (conservation-tested). The
+    /// old truncating `bytes / n` under-counted the checkpoint by up to
+    /// `n - 1` bytes when summed back.
+    ///
+    /// Not on the pricing path: `net_model::StorageLedger` prices
+    /// checkpoint writes and restart reads by the *batch total*, which
+    /// is what eliminated the under-count. This is the canonical
+    /// per-member attribution for any consumer that does need a split
+    /// (instrumentation, per-member accounting).
+    pub fn member_share(&self, idx: usize) -> u64 {
+        split_share(self.bytes, self.snaps.len(), idx)
+    }
+}
+
+/// The share arithmetic of [`ClusterCheckpoint::member_share`]: uniform
+/// split, remainder spread one byte each over the first `bytes % n`
+/// members, so shares conserve the total.
+pub fn split_share(bytes: u64, n_members: usize, idx: usize) -> u64 {
+    let n = n_members.max(1) as u64;
+    bytes / n + u64::from((idx as u64) < bytes % n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_conserve_total() {
+        for n in [1usize, 2, 3, 7, 16, 61] {
+            for bytes in [0u64, 1, 16, 1_000_003, (64 << 20) + 17] {
+                let shares: Vec<u64> = (0..n).map(|i| split_share(bytes, n, i)).collect();
+                assert_eq!(
+                    shares.iter().sum::<u64>(),
+                    bytes,
+                    "n={n} bytes={bytes}: shares must conserve the total"
+                );
+                let spread = shares.iter().max().unwrap() - shares.iter().min().unwrap();
+                assert!(
+                    spread <= 1,
+                    "n={n} bytes={bytes}: shares as even as possible"
+                );
+                // Regression: the old truncating `bytes / n` under-counted
+                // by the full remainder when summed back.
+                assert!(bytes - (bytes / n as u64) * n as u64 <= (n - 1) as u64);
+            }
+        }
     }
 }

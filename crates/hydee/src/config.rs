@@ -1,7 +1,7 @@
 //! HydEE protocol configuration.
 
 use det_sim::{SimDuration, SimTime};
-use mps_sim::ClusterMap;
+use mps_sim::{CheckpointPolicyConfig, ClusterMap};
 use net_model::{MemcpyModel, PiggybackPolicy, StableStorage};
 
 /// Configuration of a HydEE instance.
@@ -18,8 +18,13 @@ pub struct HydeeConfig {
     pub storage: StableStorage,
     /// Interval between cluster checkpoints; `None` disables periodic
     /// checkpointing (failure-free overhead runs) — the implicit initial
-    /// checkpoint at t=0 is always taken.
+    /// checkpoint at t=0 is always taken. Sugar for a
+    /// [`CheckpointPolicyConfig::Periodic`] policy; ignored when
+    /// [`HydeeConfig::checkpoint_policy`] is set.
     pub checkpoint_interval: Option<SimDuration>,
+    /// Checkpoint-scheduling policy (DESIGN.md §2.4). `None`: derive
+    /// from `checkpoint_interval` (the historical sugar).
+    pub checkpoint_policy: Option<CheckpointPolicyConfig>,
     /// Offset between consecutive clusters' checkpoint schedules
     /// (staggering avoids the coordinated-checkpointing I/O burst, §VI).
     pub checkpoint_stagger: SimDuration,
@@ -45,6 +50,7 @@ impl HydeeConfig {
             memcpy: MemcpyModel::default(),
             storage: StableStorage::default(),
             checkpoint_interval: None,
+            checkpoint_policy: None,
             checkpoint_stagger: SimDuration::from_ms(50),
             first_checkpoint: SimTime::from_ms(100),
             gc: true,
@@ -57,6 +63,29 @@ impl HydeeConfig {
     pub fn with_checkpoints(mut self, interval: SimDuration) -> Self {
         self.checkpoint_interval = Some(interval);
         self
+    }
+
+    /// Schedule checkpoints with an explicit policy (overrides the
+    /// `checkpoint_interval` sugar).
+    pub fn with_policy(mut self, policy: CheckpointPolicyConfig) -> Self {
+        self.checkpoint_policy = Some(policy);
+        self
+    }
+
+    /// The effective policy: `checkpoint_policy` if set, otherwise the
+    /// `checkpoint_interval` sugar ([`CheckpointPolicyConfig::Periodic`]
+    /// with this config's `first_checkpoint`/`checkpoint_stagger`, or
+    /// `Disabled` when the interval is `None`).
+    pub fn resolved_policy(&self) -> CheckpointPolicyConfig {
+        self.checkpoint_policy
+            .unwrap_or(match self.checkpoint_interval {
+                Some(interval) => CheckpointPolicyConfig::Periodic {
+                    interval,
+                    first: None,
+                    stagger: None,
+                },
+                None => CheckpointPolicyConfig::Disabled,
+            })
     }
 
     /// Override the per-rank image size.
@@ -75,6 +104,30 @@ impl HydeeConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn interval_sugar_resolves_to_periodic() {
+        let cfg = HydeeConfig::new(ClusterMap::blocks(4, 2));
+        assert_eq!(cfg.resolved_policy(), CheckpointPolicyConfig::Disabled);
+        let cfg = cfg.with_checkpoints(SimDuration::from_ms(40));
+        assert_eq!(
+            cfg.resolved_policy(),
+            CheckpointPolicyConfig::Periodic {
+                interval: SimDuration::from_ms(40),
+                first: None,
+                stagger: None,
+            }
+        );
+        // An explicit policy wins over the sugar.
+        let cfg = cfg.with_policy(CheckpointPolicyConfig::YoungDaly {
+            first: None,
+            stagger: None,
+        });
+        assert!(matches!(
+            cfg.resolved_policy(),
+            CheckpointPolicyConfig::YoungDaly { .. }
+        ));
+    }
 
     #[test]
     fn builder_chains() {

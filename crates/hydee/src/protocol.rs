@@ -30,8 +30,10 @@ use crate::recovery::RecoveryProcess;
 use crate::state::{HydeeState, RecoveryRole};
 use det_sim::{SimDuration, SimTime};
 use mps_sim::{
-    Ctx, Endpoint, Message, PbMeta, Protocol, Rank, SendAction, SendDirective, SendInfo,
+    CheckpointPolicy, Ctx, Endpoint, Message, PbMeta, PolicyObs, Protocol, Rank, SendAction,
+    SendDirective, SendInfo,
 };
+use net_model::StorageLedger;
 use std::collections::BTreeSet;
 
 /// The HydEE rollback-recovery protocol.
@@ -55,12 +57,45 @@ pub struct Hydee {
     /// redone since the previous rollback, not the whole
     /// checkpoint-to-now span again.
     last_rolled_at: Vec<SimTime>,
+    /// Checkpoint scheduler (DESIGN.md §2.4); `None` = no periodic
+    /// checkpoints beyond the implicit t=0 one.
+    policy: Option<Box<dyn CheckpointPolicy>>,
+    /// Cached `policy.reactive()`: gates the per-send policy consult so
+    /// non-reactive policies cost nothing on the hot path.
+    policy_reactive: bool,
+    /// Dynamic storage-contention ledger: every checkpoint write and
+    /// restart read is priced by what actually overlaps it in virtual
+    /// time, replacing the static `concurrent_writers` divisor.
+    ledger: StorageLedger,
+    /// Fire time of each cluster's armed checkpoint timer (`None`: no
+    /// timer outstanding — at most one per cluster).
+    armed: Vec<Option<SimTime>>,
+    /// Clusters whose due checkpoint was deferred by an active
+    /// recovery; they fire when the recovery completes.
+    deferred: BTreeSet<u32>,
+    /// Measured duration of each cluster's last checkpoint.
+    last_ckpt_cost: Vec<SimDuration>,
+    /// Completed checkpoints per cluster (excluding the implicit t=0).
+    ckpts_taken: Vec<u64>,
+    /// Cluster sender-log bytes at its last checkpoint (baseline for
+    /// the LogPressure growth observation).
+    log_bytes_at_ckpt: Vec<u64>,
 }
 
 impl Hydee {
     pub fn new(cfg: HydeeConfig) -> Self {
+        let policy = cfg
+            .resolved_policy()
+            .build(cfg.first_checkpoint, cfg.checkpoint_stagger);
+        Self::with_policy(cfg, policy)
+    }
+
+    /// Construct with an explicit (possibly hand-built) policy object,
+    /// bypassing [`HydeeConfig::resolved_policy`].
+    pub fn with_policy(cfg: HydeeConfig, policy: Option<Box<dyn CheckpointPolicy>>) -> Self {
         let n = cfg.clusters.n_ranks();
         let n_clusters = cfg.clusters.n_clusters();
+        let ledger = StorageLedger::new(cfg.storage);
         Hydee {
             cfg,
             states: (0..n).map(|_| HydeeState::new()).collect(),
@@ -71,6 +106,14 @@ impl Hydee {
             recovery_epoch: 0,
             active_rolled: BTreeSet::new(),
             last_rolled_at: vec![SimTime::ZERO; n_clusters],
+            policy_reactive: policy.as_deref().is_some_and(|p| p.reactive()),
+            policy,
+            ledger,
+            armed: vec![None; n_clusters],
+            deferred: BTreeSet::new(),
+            last_ckpt_cost: vec![SimDuration::ZERO; n_clusters],
+            ckpts_taken: vec![0; n_clusters],
+            log_bytes_at_ckpt: vec![0; n_clusters],
         }
     }
 
@@ -129,23 +172,95 @@ impl Hydee {
         }
     }
 
+    /// Sender-log bytes currently held by cluster `c`'s members.
+    fn cluster_log_bytes(&self, c: u32) -> u64 {
+        self.cfg
+            .clusters
+            .members(c)
+            .iter()
+            .map(|&r| self.states[r.idx()].log.bytes())
+            .sum()
+    }
+
+    /// Observations for a policy consult about cluster `c`.
+    fn obs_for(&self, ctx: &Ctx<'_, HydeeCtl>, c: u32) -> PolicyObs {
+        let ci = c as usize;
+        let members = self.cfg.clusters.members(c).len() as u64;
+        PolicyObs {
+            checkpoints_taken: self.ckpts_taken[ci],
+            last_cost: self.last_ckpt_cost[ci],
+            // Closed-form estimate until a measurement exists: the
+            // cluster's images at uncontended aggregate bandwidth.
+            est_cost: self
+                .cfg
+                .storage
+                .write_time(members.saturating_mul(self.cfg.image_bytes), 1),
+            // Containment scales the failure domain: a cluster's
+            // checkpoint only insures against failures that roll *this
+            // cluster* back, and with uniform victims those arrive
+            // `n_clusters` times more rarely than machine failures.
+            // (Global coordinated checkpointing has n_clusters = 1 and
+            // sees the raw machine MTBF — the §VI asymmetry, surfaced
+            // through the same policy interface.)
+            mtbf: ctx.failure_mtbf().map(|m| {
+                // Saturating: rare-failure models can report MTBFs near
+                // the u64-picosecond ceiling, and a wrapped product
+                // would read as a near-zero MTBF (continuous
+                // checkpointing) instead of "practically never".
+                SimDuration::from_ps(
+                    m.as_ps()
+                        .saturating_mul(self.cfg.clusters.n_clusters().max(1) as u64),
+                )
+            }),
+            log_bytes_since_ckpt: self
+                .cluster_log_bytes(c)
+                .saturating_sub(self.log_bytes_at_ckpt[ci]),
+        }
+    }
+
+    /// Ask the policy when cluster `c` should next checkpoint, as of
+    /// `now`, and arm a timer. At most one timer is outstanding per
+    /// cluster; a consult while one is armed is a no-op.
+    fn consult_policy(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, c: u32, now: SimTime) {
+        if self.armed[c as usize].is_some() {
+            return;
+        }
+        let obs = self.obs_for(ctx, c);
+        let Some(policy) = self.policy.as_mut() else {
+            return;
+        };
+        if let Some(at) = policy.next_for(c, now, &obs) {
+            let at = at.max(ctx.now());
+            self.armed[c as usize] = Some(at);
+            ctx.set_timer(at, c as u64);
+        }
+    }
+
     /// Coordinated checkpoint of cluster `c` with full cost accounting.
     fn do_checkpoint(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, c: u32) {
         let ckpt = self.capture_cluster(ctx, c);
         let members: Vec<Rank> = self.cfg.clusters.members(c).to_vec();
         let n_members = members.len() as u64;
-        let per_member = ckpt.bytes / n_members.max(1);
         // Cluster-internal coordination: one small-message round per tree
         // level, down and up.
         let levels = (usize::BITS - (members.len().max(1) - 1).leading_zeros()) as u64;
         let coord = ctx.wire_cost(32).one_way() * (2 * levels.max(1));
-        let write = self.cfg.storage.write_time(per_member, n_members);
+        // The cluster's members share the aggregate pipe as one batch;
+        // checkpoints of *other* clusters overlapping this one in
+        // virtual time queue it (the §VI I/O-burst pricing).
+        let write = self.ledger.write(ctx.now(), ckpt.bytes);
+        let cost = coord + write;
         for &r in &members {
-            ctx.charge(r, coord + write);
+            ctx.charge(r, cost);
         }
         ctx.metrics().checkpoints += n_members;
         ctx.metrics().checkpoint_bytes += ckpt.bytes;
-        self.checkpoints[c as usize] = Some(ckpt);
+        ctx.metrics().checkpoint_time += cost * n_members;
+        let ci = c as usize;
+        self.last_ckpt_cost[ci] = cost;
+        self.ckpts_taken[ci] += 1;
+        self.log_bytes_at_ckpt[ci] = self.cluster_log_bytes(c);
+        self.checkpoints[ci] = Some(ckpt);
     }
 
     /// Send every notice the recovery process produced, then finish
@@ -161,6 +276,18 @@ impl Hydee {
             self.active_rolled.clear();
             let span = ctx.now().since(self.recovery_started);
             ctx.metrics().recovery_time += span;
+            // Checkpoints that fell due during the recovery fire now,
+            // anchored at its completion — not one blind interval past
+            // the deferral point, which silently stretched the
+            // effective interval (the policy then reschedules from the
+            // executed checkpoint as usual).
+            let due = std::mem::take(&mut self.deferred);
+            for c in due {
+                if self.armed[c as usize].is_none() {
+                    self.armed[c as usize] = Some(ctx.now());
+                    ctx.set_timer(ctx.now(), c as u64);
+                }
+            }
         }
     }
 
@@ -264,11 +391,8 @@ impl Protocol for Hydee {
             let ckpt = self.capture_cluster(ctx, c);
             self.checkpoints[c as usize] = Some(ckpt);
         }
-        if self.cfg.checkpoint_interval.is_some() {
-            for c in 0..self.cfg.clusters.n_clusters() as u32 {
-                let at = self.cfg.first_checkpoint + self.cfg.checkpoint_stagger * c as u64;
-                ctx.set_timer(at, c as u64);
-            }
+        for c in 0..self.cfg.clusters.n_clusters() as u32 {
+            self.consult_policy(ctx, c, ctx.now());
         }
     }
 
@@ -365,6 +489,12 @@ impl Protocol for Hydee {
             ctx.metrics().log_append(info.bytes);
             let transit = ctx.wire_cost(info.bytes + extra_wire_bytes).transit;
             extra_sender_time += self.cfg.memcpy.non_overlapped(info.bytes, transit);
+            // Reactive policies (LogPressure) watch the log grow; the
+            // cached flag keeps this off the hot path otherwise.
+            if self.policy_reactive {
+                let c = self.cluster_of(info.src);
+                self.consult_policy(ctx, c, ctx.now());
+            }
         }
 
         SendDirective {
@@ -526,19 +656,26 @@ impl Protocol for Hydee {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, id: u64) {
-        let Some(interval) = self.cfg.checkpoint_interval else {
+        if self.policy.is_none() {
             return;
-        };
+        }
         let c = id as u32;
-        if self.recovering {
-            // Defer checkpoints while a recovery is being orchestrated.
-            ctx.set_timer(ctx.now() + interval, id);
+        self.armed[c as usize] = None;
+        if self.recovering
+            && self
+                .policy
+                .as_deref()
+                .is_some_and(|p| p.defer_during_recovery())
+        {
+            // The due checkpoint is parked until the recovery completes
+            // (see `dispatch_rp`), not re-armed a blind interval out.
+            self.deferred.insert(c);
             return;
         }
         self.do_checkpoint(ctx, c);
-        // Re-arm relative to when the cluster finishes writing, not when
-        // the timer fired — a checkpoint that costs more than the interval
-        // must not starve the application.
+        // Consult the policy relative to when the cluster finishes
+        // writing, not when the timer fired — a checkpoint that costs
+        // more than the interval must not starve the application.
         let resume = self
             .cfg
             .clusters
@@ -547,7 +684,7 @@ impl Protocol for Hydee {
             .map(|&r| ctx.clock(r))
             .max()
             .unwrap_or_else(|| ctx.now());
-        ctx.set_timer(resume + interval, id);
+        self.consult_policy(ctx, c, resume);
     }
 
     fn on_failure(&mut self, ctx: &mut Ctx<'_, HydeeCtl>, failed: &[Rank]) {
@@ -650,16 +787,26 @@ impl Protocol for Hydee {
             ctx.gate(r, true);
         }
 
-        // Rolled clusters: restore from the last checkpoint.
+        // Rolled clusters: restore from the last checkpoint. All rolled
+        // ranks read their images together: one batch on the storage
+        // ledger, priced by its total bytes (the exact remainder-
+        // conserving sum, not `per_member × readers`) plus whatever
+        // transfers it overlaps in virtual time.
+        let total_restore_bytes: u64 = rolled_clusters
+            .iter()
+            .map(|&c| {
+                self.checkpoints[c as usize]
+                    .as_ref()
+                    .expect("no checkpoint for rolled cluster")
+                    .bytes
+            })
+            .sum();
+        let read = self.ledger.read(ctx.now(), total_restore_bytes);
         for &c in &rolled_clusters {
             let ckpt = self.checkpoints[c as usize]
                 .as_ref()
                 .expect("no checkpoint for rolled cluster");
             let members: Vec<Rank> = self.cfg.clusters.members(c).to_vec();
-            let read = self
-                .cfg
-                .storage
-                .read_time(ckpt.bytes_per_member(), rolled.len() as u64);
             let taken_inflight = ckpt.inflight.clone();
             for &r in &members {
                 let snap = ckpt.snaps[&r].clone();
@@ -782,6 +929,154 @@ mod tests {
         let report = Sim::new(app, SimConfig::default(), hydee).run();
         assert!(report.completed());
         assert_eq!(report.metrics.logged_bytes_cumulative, 5 * 4096);
+    }
+
+    #[test]
+    fn member_shares_of_a_real_checkpoint_conserve_its_bytes() {
+        let (app, clusters) = two_cluster_app(20);
+        // An image size that does not divide evenly by the cluster size.
+        let cfg = HydeeConfig::new(clusters)
+            .with_checkpoints(SimDuration::from_us(200))
+            .with_image_bytes((1 << 20) + 7);
+        let mut cfg = cfg;
+        cfg.first_checkpoint = SimTime::from_us(100);
+        cfg.checkpoint_stagger = SimDuration::from_us(50);
+        let sim = Sim::new(app, SimConfig::default(), Hydee::new(cfg));
+        let (report, hydee) = sim.run_with_protocol();
+        assert!(report.completed());
+        assert!(report.metrics.checkpoints > 0);
+        assert!(report.metrics.checkpoint_time > SimDuration::ZERO);
+        for ckpt in hydee.checkpoints.iter().flatten() {
+            let n = ckpt.snaps.len();
+            let total: u64 = (0..n).map(|i| ckpt.member_share(i)).sum();
+            assert_eq!(total, ckpt.bytes, "shares must sum to the checkpoint");
+        }
+    }
+
+    #[test]
+    fn periodic_policy_is_bit_for_bit_equal_to_the_interval_sugar() {
+        use mps_sim::CheckpointPolicyConfig;
+        let run = |cfg: HydeeConfig| {
+            let (app, _) = two_cluster_app(60);
+            let mut sim = Sim::new(app, SimConfig::default(), Hydee::new(cfg));
+            sim.inject_failure(SimTime::from_us(400), vec![Rank(2)]);
+            sim.run()
+        };
+        let mk_cfg = || {
+            let (_, clusters) = two_cluster_app(60);
+            let mut cfg = HydeeConfig::new(clusters).with_image_bytes(1 << 16);
+            cfg.first_checkpoint = SimTime::from_us(100);
+            cfg.checkpoint_stagger = SimDuration::from_us(30);
+            cfg
+        };
+        let sugar = run(mk_cfg().with_checkpoints(SimDuration::from_us(150)));
+        let policy = run(mk_cfg().with_policy(CheckpointPolicyConfig::Periodic {
+            interval: SimDuration::from_us(150),
+            first: None,
+            stagger: None,
+        }));
+        assert!(sugar.completed() && policy.completed());
+        assert_eq!(sugar.digests, policy.digests);
+        assert_eq!(
+            sugar.makespan, policy.makespan,
+            "timing equal, not just state"
+        );
+        assert_eq!(sugar.metrics.events, policy.metrics.events);
+        assert_eq!(sugar.metrics.checkpoints, policy.metrics.checkpoints);
+    }
+
+    #[test]
+    fn young_daly_checkpoints_only_when_failures_are_expected() {
+        use mps_sim::{CheckpointPolicyConfig, PoissonPerRank};
+        let mk = |with_failures: bool| {
+            let (app, clusters) = two_cluster_app(80);
+            let mut cfg = HydeeConfig::new(clusters)
+                .with_image_bytes(1 << 14)
+                .with_policy(CheckpointPolicyConfig::YoungDaly {
+                    first: Some(SimTime::from_us(50)),
+                    stagger: Some(SimDuration::from_us(20)),
+                });
+            cfg.storage.latency = SimDuration::from_us(5);
+            let mut sim = Sim::new(app, SimConfig::default(), Hydee::new(cfg));
+            if with_failures {
+                sim.set_failure_model(Box::new(
+                    PoissonPerRank::new(4, SimDuration::from_ms(40), 11).with_max_failures(1),
+                ));
+            }
+            sim.run()
+        };
+        let clean = mk(false);
+        assert!(clean.completed());
+        assert_eq!(
+            clean.metrics.checkpoints, 0,
+            "no expected failures => infinite Young/Daly interval"
+        );
+        let failing = mk(true);
+        assert!(failing.completed(), "{:?}", failing.status);
+        assert!(
+            failing.metrics.checkpoints > 0,
+            "an expected failure rate sizes a finite interval"
+        );
+    }
+
+    #[test]
+    fn log_pressure_checkpoints_track_inter_cluster_traffic() {
+        use mps_sim::CheckpointPolicyConfig;
+        let budget = 16 * 2048; // ~16 inter-cluster messages
+        let run = |rounds: usize| {
+            let (app, clusters) = two_cluster_app(rounds);
+            let cfg = HydeeConfig::new(clusters)
+                .with_image_bytes(1 << 14)
+                .with_policy(CheckpointPolicyConfig::LogPressure {
+                    budget_bytes: budget,
+                });
+            Sim::new(app, SimConfig::default(), Hydee::new(cfg)).run()
+        };
+        let quiet = run(4); // 8 inter-cluster msgs < budget
+        assert!(quiet.completed());
+        assert_eq!(quiet.metrics.checkpoints, 0, "under budget: no checkpoints");
+        let chatty = run(100);
+        assert!(chatty.completed());
+        assert!(
+            chatty.metrics.checkpoints > 0,
+            "budget crossings checkpoint"
+        );
+        // Each checkpoint resets the growth baseline, so the count is
+        // bounded by total logged bytes / budget, not exponential.
+        let ckpt_events = chatty.metrics.checkpoints / 2; // 2 ranks per cluster
+        assert!(
+            ckpt_events <= chatty.metrics.logged_bytes_cumulative / budget + 2,
+            "{} checkpoint events for {} logged bytes",
+            ckpt_events,
+            chatty.metrics.logged_bytes_cumulative
+        );
+    }
+
+    #[test]
+    fn overlapping_cluster_checkpoints_pay_contention_staggered_ones_do_not() {
+        use mps_sim::CheckpointPolicyConfig;
+        // Big images, slow storage: the write dominates the makespan.
+        let mk = |stagger_us: u64| {
+            let (app, clusters) = two_cluster_app(30);
+            let mut cfg = HydeeConfig::new(clusters)
+                .with_image_bytes(8 << 20)
+                .with_policy(CheckpointPolicyConfig::Periodic {
+                    interval: SimDuration::from_ms(500),
+                    first: Some(SimTime::from_us(100)),
+                    stagger: Some(SimDuration::from_us(stagger_us)),
+                });
+            cfg.storage.latency = SimDuration::from_us(1);
+            Sim::new(app, SimConfig::default(), Hydee::new(cfg)).run()
+        };
+        let burst = mk(0); // both clusters write at t=100us: queueing
+        let staggered = mk(50_000); // second cluster waits out the first
+        assert!(burst.completed() && staggered.completed());
+        assert!(
+            burst.metrics.checkpoint_time > staggered.metrics.checkpoint_time,
+            "burst {:?} vs staggered {:?}",
+            burst.metrics.checkpoint_time,
+            staggered.metrics.checkpoint_time
+        );
     }
 
     #[test]

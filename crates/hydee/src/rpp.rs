@@ -44,8 +44,12 @@ impl Rpp {
     /// catches protocol violations.
     pub fn record(&mut self, src: Rank, date: u64, phase: u64) {
         let ch = self.channels.entry(src).or_default();
+        // Strictly monotone, even when GC has emptied `phases`: an empty
+        // phase map says nothing about what was already received —
+        // `maxdate` is the FIFO horizon and may never move backwards, or
+        // a restarted sender's suppression window silently shrinks.
         debug_assert!(
-            date > ch.maxdate || ch.phases.is_empty(),
+            date > ch.maxdate,
             "non-monotone date {date} after maxdate {} on channel from {src}",
             ch.maxdate
         );
@@ -138,6 +142,35 @@ mod tests {
         // maxdate unaffected by pruning
         assert_eq!(rpp.maxdate(Rank(0)), 8);
         assert_eq!(rpp.prune(Rank(7), 100), 0);
+    }
+
+    #[test]
+    fn maxdate_stays_monotone_after_gc_empties_the_channel() {
+        // Regression: prune everything, then record a new (higher)
+        // date. The old assert (`date > maxdate || phases.is_empty()`)
+        // would also have admitted a STALE date here — and `maxdate`
+        // must hold at its high-water mark throughout.
+        let mut rpp = Rpp::new();
+        rpp.record(Rank(2), 4, 1);
+        rpp.record(Rank(2), 9, 2);
+        assert_eq!(rpp.prune(Rank(2), 100), 2, "GC empties the channel");
+        assert!(rpp.is_empty());
+        assert_eq!(rpp.maxdate(Rank(2)), 9, "horizon survives GC");
+        rpp.record(Rank(2), 11, 3);
+        assert_eq!(rpp.maxdate(Rank(2)), 11);
+        assert_eq!(rpp.orphan_phases(Rank(2), 9), vec![3]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-monotone date")]
+    fn stale_date_after_gc_is_rejected() {
+        let mut rpp = Rpp::new();
+        rpp.record(Rank(0), 8, 1);
+        rpp.prune(Rank(0), 100);
+        // Empty phases no longer launder a regressed date past the
+        // FIFO-monotonicity check.
+        rpp.record(Rank(0), 5, 1);
     }
 
     #[test]

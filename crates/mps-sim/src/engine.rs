@@ -274,6 +274,11 @@ pub struct Core<C> {
     cost_cache: CostCache,
     arrival_counter: u64,
     done_count: usize,
+    /// Machine MTBF estimated from the run's failure model (None: no
+    /// failures expected). Cached here so protocols can consult it via
+    /// [`Ctx::failure_mtbf`] (checkpoint policies size their intervals
+    /// from it, DESIGN.md §2.4).
+    failure_mtbf: Option<SimDuration>,
     pub metrics: Metrics,
     pub trace: Trace,
 }
@@ -313,6 +318,7 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
             cost_cache: CostCache::new(),
             arrival_counter: 0,
             done_count: 0,
+            failure_mtbf: None,
             metrics: Metrics::default(),
             trace: Trace::new(n),
         }
@@ -612,6 +618,14 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
         }
     }
 
+    /// Machine MTBF estimated from the run's failure model
+    /// ([`crate::failure::estimate_mtbf`]); `None` when no model is set
+    /// or the model expects no failures. Checkpoint policies derive
+    /// Young/Daly intervals from it.
+    pub fn failure_mtbf(&self) -> Option<SimDuration> {
+        self.core.failure_mtbf
+    }
+
     /// Arrange for `on_timer(id)` at absolute time `at`.
     pub fn set_timer(&mut self, at: SimTime, id: u64) {
         let at = at.max(self.now());
@@ -662,6 +676,7 @@ impl<P: Protocol> Sim<P> {
         if let Some(handle) = self.model_event.take() {
             self.core.sched.cancel(handle);
         }
+        self.core.failure_mtbf = crate::failure::estimate_mtbf(&*model);
         self.failure_model = Some(model);
         self.pull_model_event(SimTime::ZERO);
     }

@@ -94,6 +94,43 @@ pub trait FailureModel: Send + Sync {
     fn descriptor(&self) -> String;
 }
 
+/// Estimate the machine MTBF (mean time between failure *events*) from a
+/// model's closed-form [`FailureModel::expected_failures`], without
+/// driving the generator. Probes a geometric ladder of horizons and
+/// keeps the highest implied rate: for a Poisson-family model any
+/// horizon below its event cap recovers the true rate, while for a
+/// fixed schedule the densest prefix wins (a single event at 195 ms
+/// probes as one failure per ~1 s, not one per hour). Returns `None`
+/// when no probe expects any failure — a clean run has no MTBF.
+///
+/// Deterministic: pure f64 ratios of integer picosecond horizons.
+pub fn estimate_mtbf(model: &dyn FailureModel) -> Option<SimDuration> {
+    const PROBES_PS: [u64; 9] = [
+        1_000_000_000,         // 1 ms
+        10_000_000_000,        // 10 ms
+        100_000_000_000,       // 100 ms
+        1_000_000_000_000,     // 1 s
+        10_000_000_000_000,    // 10 s
+        100_000_000_000_000,   // 100 s
+        1_000_000_000_000_000, // 1000 s
+        3_600_000_000_000_000, // 1 h
+        // The full representable horizon (~213 days): a model whose
+        // only events lie beyond every finite probe must still report
+        // *some* failure rate — `None` means "no failures ever", and a
+        // Young/Daly consumer would otherwise schedule no checkpoints
+        // against a failure that IS coming.
+        u64::MAX,
+    ];
+    let mut best_rate = 0.0f64; // events per picosecond
+    for &h in &PROBES_PS {
+        let expected = model.expected_failures(SimTime::from_ps(h));
+        if expected > 0.0 {
+            best_rate = best_rate.max(expected / h as f64);
+        }
+    }
+    (best_rate > 0.0).then(|| SimDuration::from_ps((1.0 / best_rate) as u64))
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic exponential sampling
 // ---------------------------------------------------------------------------
@@ -510,6 +547,33 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn mtbf_estimate_recovers_the_poisson_rate() {
+        // 100 ranks x 10 s MTBF each: one event per 100 ms.
+        let m = PoissonPerRank::new(100, SimDuration::from_secs(10), 1);
+        let est = estimate_mtbf(&m).unwrap();
+        let want = SimDuration::from_ms(100).as_ps() as f64;
+        assert!((est.as_ps() as f64 - want).abs() / want < 1e-9, "{est:?}");
+        // A capped model still probes its uncapped prefix rate.
+        let capped = PoissonPerRank::new(100, SimDuration::from_secs(10), 1).with_max_failures(2);
+        let est = estimate_mtbf(&capped).unwrap();
+        assert!((est.as_ps() as f64 - want).abs() / want < 1e-9, "{est:?}");
+        // Fixed schedules and clean runs.
+        let fixed = FixedSchedule::new(vec![FailureEvent::at_ms(195, vec![Rank(0)])]);
+        let est = estimate_mtbf(&fixed).unwrap();
+        assert_eq!(est, SimDuration::from_secs(1), "densest probe horizon wins");
+        assert!(estimate_mtbf(&FixedSchedule::none()).is_none());
+        // An event beyond every finite probe must still yield a (huge)
+        // MTBF, not None: a failure is coming, and "no failures ever"
+        // would tell a Young/Daly consumer to never checkpoint.
+        let late = FixedSchedule::new(vec![FailureEvent {
+            at: SimTime::from_secs(2 * 3600),
+            ranks: vec![Rank(0)],
+        }]);
+        let est = estimate_mtbf(&late).expect("a scheduled failure has a rate");
+        assert_eq!(est, SimDuration::from_ps(u64::MAX));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod failure;
 pub mod inbox;
 pub mod metrics;
+pub mod policy;
 pub mod program;
 pub mod protocol;
 pub mod trace;
@@ -51,6 +52,9 @@ pub use failure::{
 };
 pub use inbox::{Arrived, Inbox};
 pub use metrics::Metrics;
+pub use policy::{
+    CheckpointPolicy, CheckpointPolicyConfig, LogPressure, Periodic, PolicyObs, YoungDaly,
+};
 pub use program::{
     Application, GenProgram, Op, OpStream, OpTemplate, Program, RankProgram, UnrolledProgram,
 };

@@ -41,6 +41,10 @@ pub struct Metrics {
     pub checkpoints: u64,
     /// Bytes written to stable storage for checkpoints.
     pub checkpoint_bytes: u64,
+    /// Simulated compute spent taking checkpoints (coordination +
+    /// storage write), summed over ranks — the overhead side of the
+    /// checkpoint-interval trade-off (`lost_work` is the other side).
+    pub checkpoint_time: SimDuration,
     /// Number of injected failure events.
     pub failures: u64,
     /// Ranks hit by failure events (with multiplicity: an event failing
@@ -79,6 +83,25 @@ impl Metrics {
         }
     }
 
+    /// Fraction of the machine's gross compute (`n_ranks × makespan`)
+    /// spent on fault-tolerance waste: checkpoint overhead plus work
+    /// discarded by rollbacks. 0 for clean, checkpoint-free runs. The
+    /// single definition of the §VI waste/efficiency frontier number —
+    /// records and perf baselines must agree on it.
+    pub fn waste_fraction(&self, n_ranks: usize) -> f64 {
+        let gross = self.makespan.as_ps() as u128 * n_ranks as u128;
+        if gross == 0 {
+            return 0.0;
+        }
+        let waste = self.checkpoint_time.as_ps() as u128 + self.lost_work.as_ps() as u128;
+        (waste as f64 / gross as f64).min(1.0)
+    }
+
+    /// `1 - waste_fraction`: the useful fraction of the machine.
+    pub fn efficiency(&self, n_ranks: usize) -> f64 {
+        1.0 - self.waste_fraction(n_ranks)
+    }
+
     /// Record `bytes` added to a sender log.
     pub fn log_append(&mut self, bytes: u64) {
         self.logged_messages += 1;
@@ -114,6 +137,21 @@ mod tests {
         m.log_append(25);
         assert_eq!(m.logged_bytes_peak, 150);
         assert_eq!(m.logged_bytes_cumulative, 175);
+    }
+
+    #[test]
+    fn waste_fraction_sums_overhead_and_lost_work() {
+        let mut m = Metrics::default();
+        assert_eq!(m.waste_fraction(8), 0.0, "no makespan yet");
+        m.makespan = SimTime::from_secs(10);
+        assert_eq!(m.waste_fraction(8), 0.0, "clean run wastes nothing");
+        m.checkpoint_time = SimDuration::from_secs(8); // 10% of 8 x 10s
+        m.lost_work = SimDuration::from_secs(16); // 20%
+        assert!((m.waste_fraction(8) - 0.3).abs() < 1e-12);
+        assert!((m.efficiency(8) - 0.7).abs() < 1e-12);
+        // Degenerate accounting can never report > 100% waste.
+        m.lost_work = SimDuration::from_secs(1_000_000);
+        assert_eq!(m.waste_fraction(8), 1.0);
     }
 
     #[test]

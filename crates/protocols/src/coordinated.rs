@@ -7,15 +7,24 @@
 //! at every checkpoint.
 
 use det_sim::{SimDuration, SimTime};
-use mps_sim::{Ctx, InFlightMsg, Protocol, Rank, RankSnapshot};
-use net_model::StableStorage;
+use mps_sim::{
+    CheckpointPolicy, CheckpointPolicyConfig, Ctx, InFlightMsg, PolicyObs, Protocol, Rank,
+    RankSnapshot,
+};
+use net_model::{StableStorage, StorageLedger};
 
 /// Configuration for [`GlobalCoordinated`].
 #[derive(Debug, Clone)]
 pub struct CoordinatedConfig {
     pub storage: StableStorage,
-    /// `None` = only the implicit initial checkpoint at t=0.
+    /// `None` = only the implicit initial checkpoint at t=0. Sugar for
+    /// a periodic [`CheckpointPolicyConfig`]; ignored when
+    /// `checkpoint_policy` is set.
     pub checkpoint_interval: Option<SimDuration>,
+    /// Checkpoint-scheduling policy (DESIGN.md §2.4). The machine is
+    /// one policy "cluster" (id 0). `None`: derive from
+    /// `checkpoint_interval`.
+    pub checkpoint_policy: Option<CheckpointPolicyConfig>,
     pub first_checkpoint: SimTime,
     /// Per-rank process image bytes written at each checkpoint.
     pub image_bytes: u64,
@@ -28,10 +37,27 @@ impl Default for CoordinatedConfig {
         CoordinatedConfig {
             storage: StableStorage::default(),
             checkpoint_interval: None,
+            checkpoint_policy: None,
             first_checkpoint: SimTime::from_ms(100),
             image_bytes: 64 << 20,
             restart_latency: SimDuration::from_ms(10),
         }
+    }
+}
+
+impl CoordinatedConfig {
+    /// The effective policy (`checkpoint_policy` wins over the interval
+    /// sugar).
+    pub fn resolved_policy(&self) -> CheckpointPolicyConfig {
+        self.checkpoint_policy
+            .unwrap_or(match self.checkpoint_interval {
+                Some(interval) => CheckpointPolicyConfig::Periodic {
+                    interval,
+                    first: None,
+                    stagger: None,
+                },
+                None => CheckpointPolicyConfig::Disabled,
+            })
     }
 }
 
@@ -51,15 +77,57 @@ pub struct GlobalCoordinated {
     /// adds only the work redone since the prior rollback.
     last_rollback_at: SimTime,
     n: usize,
+    /// Checkpoint scheduler; the whole machine is policy cluster 0.
+    policy: Option<Box<dyn CheckpointPolicy>>,
+    /// Dynamic storage-contention ledger: the machine-wide write burst
+    /// and the restart read are priced by actual virtual-time overlap,
+    /// from the same mechanism as HydEE's staggered clusters.
+    ledger: StorageLedger,
+    last_ckpt_cost: SimDuration,
+    ckpts_taken: u64,
 }
 
 impl GlobalCoordinated {
     pub fn new(cfg: CoordinatedConfig) -> Self {
+        // Global coordination has no per-cluster stagger: one cluster.
+        let policy = cfg
+            .resolved_policy()
+            .build(cfg.first_checkpoint, SimDuration::ZERO);
+        let ledger = StorageLedger::new(cfg.storage);
         GlobalCoordinated {
             cfg,
             last: None,
             last_rollback_at: SimTime::ZERO,
             n: 0,
+            policy,
+            ledger,
+            last_ckpt_cost: SimDuration::ZERO,
+            ckpts_taken: 0,
+        }
+    }
+
+    fn obs(&self, ctx: &Ctx<'_, ()>) -> PolicyObs {
+        PolicyObs {
+            checkpoints_taken: self.ckpts_taken,
+            last_cost: self.last_ckpt_cost,
+            est_cost: self
+                .cfg
+                .storage
+                .write_time((self.n as u64).saturating_mul(self.cfg.image_bytes), 1),
+            mtbf: ctx.failure_mtbf(),
+            // No sender logs under coordinated checkpointing: a
+            // LogPressure policy never fires here.
+            log_bytes_since_ckpt: 0,
+        }
+    }
+
+    /// Consult the policy as of `now` and arm the (single) timer.
+    fn consult_policy(&mut self, ctx: &mut Ctx<'_, ()>, now: SimTime) {
+        let obs = self.obs(ctx);
+        if let Some(policy) = self.policy.as_mut() {
+            if let Some(at) = policy.next_for(0, now, &obs) {
+                ctx.set_timer(at.max(ctx.now()), 0);
+            }
         }
     }
 
@@ -99,37 +167,38 @@ impl Protocol for GlobalCoordinated {
         self.n = ctx.n_ranks();
         // Implicit cost-free initial checkpoint.
         self.last = Some(self.capture(ctx));
-        if self.cfg.checkpoint_interval.is_some() {
-            ctx.set_timer(self.cfg.first_checkpoint, 0);
-        }
+        self.consult_policy(ctx, ctx.now());
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _id: u64) {
         let ckpt = self.capture(ctx);
-        // Every rank writes its share simultaneously: the full-width I/O
-        // burst the paper's §VI warns about.
-        let per = ckpt.bytes / self.n.max(1) as u64;
-        let write = self.cfg.storage.write_time(per, self.n as u64);
+        // Every rank writes simultaneously — the full-width I/O burst
+        // the paper's §VI warns about, priced as one machine-wide batch
+        // on the shared pipe (and queued behind anything it overlaps).
+        let write = self.ledger.write(ctx.now(), ckpt.bytes);
         // Global coordination barrier: two tree traversals of the machine.
         let levels = (usize::BITS - (self.n.max(1) - 1).leading_zeros()) as u64;
         let coord = ctx.wire_cost(32).one_way() * (2 * levels.max(1));
+        let cost = coord + write;
         for r in self.all_ranks() {
-            ctx.charge(r, coord + write);
+            ctx.charge(r, cost);
         }
         ctx.metrics().checkpoints += self.n as u64;
         ctx.metrics().checkpoint_bytes += ckpt.bytes;
+        ctx.metrics().checkpoint_time += cost * self.n as u64;
+        self.last_ckpt_cost = cost;
+        self.ckpts_taken += 1;
         self.last = Some(ckpt);
-        if let Some(interval) = self.cfg.checkpoint_interval {
-            // Re-arm after the write completes (see hydee::protocol) so a
-            // checkpoint costing more than the interval cannot livelock.
-            let resume = self
-                .all_ranks()
-                .into_iter()
-                .map(|r| ctx.clock(r))
-                .max()
-                .unwrap_or_else(|| ctx.now());
-            ctx.set_timer(resume + interval, 0);
-        }
+        // Consult the policy after the write completes (see
+        // hydee::protocol) so a checkpoint costing more than the
+        // interval cannot livelock.
+        let resume = self
+            .all_ranks()
+            .into_iter()
+            .map(|r| ctx.clock(r))
+            .max()
+            .unwrap_or_else(|| ctx.now());
+        self.consult_policy(ctx, resume);
     }
 
     fn on_failure(&mut self, ctx: &mut Ctx<'_, ()>, _failed: &[Rank]) {
@@ -143,10 +212,13 @@ impl Protocol for GlobalCoordinated {
         let lost_from = ckpt.taken_at.max(self.last_rollback_at);
         ctx.metrics().lost_work += started.since(lost_from) * self.n as u64;
         self.last_rollback_at = started;
-        let per = ckpt.bytes / self.n.max(1) as u64;
-        let read = self.cfg.storage.read_time(per, self.n as u64);
+        // One machine-wide restart-read batch: priced by the exact
+        // checkpoint total (the old `bytes / n × n readers` dropped the
+        // remainder) plus whatever it overlaps.
+        let total = ckpt.bytes;
         let inflight = ckpt.inflight.clone();
         let snaps: Vec<RankSnapshot> = ckpt.snaps.clone();
+        let read = self.ledger.read(started, total);
         for (i, snap) in snaps.iter().enumerate() {
             ctx.restore_rank(Rank(i as u32), snap, false);
             ctx.charge(Rank(i as u32), self.cfg.restart_latency + read);
@@ -254,6 +326,42 @@ mod tests {
             without.makespan
         );
         assert!(with.metrics.checkpoints > 0);
+    }
+
+    #[test]
+    fn young_daly_policy_drives_the_global_schedule() {
+        use mps_sim::{CheckpointPolicyConfig, PoissonPerRank};
+        let mk = |with_failures: bool| {
+            let mut cfg = CoordinatedConfig {
+                checkpoint_policy: Some(CheckpointPolicyConfig::YoungDaly {
+                    first: Some(SimTime::from_us(200)),
+                    stagger: None,
+                }),
+                image_bytes: 4 << 10,
+                restart_latency: SimDuration::from_us(10),
+                ..Default::default()
+            };
+            cfg.storage.latency = SimDuration::from_us(10);
+            let mut sim = Sim::new(
+                ring_app(4, 2000),
+                SimConfig::default(),
+                GlobalCoordinated::new(cfg),
+            );
+            if with_failures {
+                sim.set_failure_model(Box::new(
+                    PoissonPerRank::new(4, SimDuration::from_ms(20), 5).with_max_failures(1),
+                ));
+            }
+            sim.run()
+        };
+        let clean = mk(false);
+        assert!(clean.completed());
+        assert_eq!(clean.metrics.checkpoints, 0, "no failure rate, no schedule");
+        let failing = mk(true);
+        assert!(failing.completed(), "{:?}", failing.status);
+        assert!(failing.metrics.checkpoints > 0);
+        assert!(failing.metrics.checkpoint_time > SimDuration::ZERO);
+        assert!(failing.metrics.waste_fraction(4) > 0.0);
     }
 
     #[test]

@@ -24,8 +24,8 @@
 use det_sim::{SimDuration, SimTime};
 use hydee::{Hydee, HydeeConfig};
 use mps_sim::{
-    Application, ClusterMap, FailureModel, FixedSchedule, NullProtocol, Protocol, RunReport, Sim,
-    SimConfig,
+    Application, CheckpointPolicyConfig, ClusterMap, FailureModel, FixedSchedule, NullProtocol,
+    Protocol, RunReport, Sim, SimConfig,
 };
 use net_model::StableStorage;
 
@@ -133,6 +133,9 @@ impl ProtocolFactory for NativeFactory {
 #[derive(Debug, Clone, Default)]
 pub struct HydeeParams {
     pub checkpoint_interval: Option<SimDuration>,
+    /// Checkpoint-scheduling policy (DESIGN.md §2.4); wins over the
+    /// `checkpoint_interval` sugar when set.
+    pub checkpoint_policy: Option<CheckpointPolicyConfig>,
     pub image_bytes: Option<u64>,
     pub storage: Option<StableStorage>,
     pub first_checkpoint: Option<SimTime>,
@@ -146,6 +149,7 @@ impl HydeeParams {
     pub fn config_for(&self, clusters: ClusterMap) -> HydeeConfig {
         let mut cfg = HydeeConfig::new(clusters);
         cfg.checkpoint_interval = self.checkpoint_interval;
+        cfg.checkpoint_policy = self.checkpoint_policy;
         if let Some(b) = self.image_bytes {
             cfg.image_bytes = b;
         }

@@ -58,6 +58,7 @@ impl Executor {
             n_clusters: map.n_clusters(),
             n_failures: spec.failure_model.scheduled_failures(),
             failure_model: spec.failure_model.name(),
+            checkpoint_policy: spec.protocol.checkpoint_policy().name(),
             avg_rollback_pct: stats.avg_rollback_pct,
             static_logged_bytes: stats.logged_bytes,
             static_total_bytes: stats.total_bytes,
@@ -74,6 +75,8 @@ impl Executor {
             rollback_rank_fraction: 0.0,
             lost_work_s: 0.0,
             recovery_s: 0.0,
+            checkpoint_overhead_s: 0.0,
+            waste_fraction: 0.0,
             metrics: Metrics::default(),
         };
         if !spec.simulate {

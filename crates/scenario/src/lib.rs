@@ -48,6 +48,6 @@ pub use report::{
     default_results_dir, write_all, CsvSink, JsonlSink, MatrixSummary, Sink, SummaryCell, Table,
 };
 pub use spec::{
-    ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec, ProtocolSpec, ScenarioSpec,
-    StorageSpec, DEFAULT_IMAGE_BYTES, DEFAULT_MAX_FAILURES,
+    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec,
+    ProtocolSpec, ScenarioSpec, StorageSpec, DEFAULT_IMAGE_BYTES, DEFAULT_MAX_FAILURES,
 };

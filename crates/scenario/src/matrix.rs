@@ -7,7 +7,8 @@
 //! `i` of the expansion.
 
 use crate::spec::{
-    ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec, ProtocolSpec, ScenarioSpec,
+    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec,
+    ProtocolSpec, ScenarioSpec,
 };
 use workloads::WorkloadSpec;
 
@@ -24,8 +25,13 @@ pub struct Matrix {
     /// Networks; default `[NetworkSpec::Mx]`.
     pub networks: Vec<NetworkSpec>,
     /// Checkpoint intervals (ms) overriding each protocol's own setting;
-    /// default "leave protocols as specified".
+    /// default "leave protocols as specified". Sugar: each entry becomes
+    /// one periodic (or `None` = disabled) point on the shared
+    /// checkpoint-policy axis.
     pub checkpoint_ms: Vec<Option<u64>>,
+    /// Checkpoint-scheduling policies overriding each protocol's own
+    /// setting; shares one axis with the `checkpoint_ms` sugar.
+    pub checkpoint_policies: Vec<CheckpointPolicySpec>,
     /// Failure models (fixed schedules and/or stochastic regimes);
     /// default `[no failures]`. Sweeps cross protocols × failure
     /// regimes by listing several.
@@ -69,6 +75,27 @@ impl Matrix {
         self
     }
 
+    pub fn checkpoint_policies(
+        mut self,
+        p: impl IntoIterator<Item = CheckpointPolicySpec>,
+    ) -> Self {
+        self.checkpoint_policies.extend(p);
+        self
+    }
+
+    /// The effective checkpoint-policy axis: the `checkpoint_ms` sugar
+    /// entries (in order) followed by the explicit policies.
+    fn policy_axis(&self) -> Vec<CheckpointPolicySpec> {
+        self.checkpoint_ms
+            .iter()
+            .map(|ms| match ms {
+                Some(interval_ms) => CheckpointPolicySpec::periodic(*interval_ms),
+                None => CheckpointPolicySpec::None,
+            })
+            .chain(self.checkpoint_policies.iter().copied())
+            .collect()
+    }
+
     /// Sugar: each hand-written schedule becomes one
     /// [`FailureModelSpec::Fixed`] axis value.
     pub fn failure_schedules(mut self, f: impl IntoIterator<Item = Vec<FailureSpec>>) -> Self {
@@ -92,12 +119,13 @@ impl Matrix {
     /// on that axis, so the expansion never duplicates a run.
     fn protocol_by_checkpoint_points(&self) -> usize {
         let protocols = self.protocols.len().max(1);
-        if self.checkpoint_ms.is_empty() {
+        let axis = self.checkpoint_ms.len() + self.checkpoint_policies.len();
+        if axis == 0 {
             return protocols;
         }
         let effective = |p: &ProtocolSpec| {
             if p.supports_checkpointing() {
-                self.checkpoint_ms.len()
+                axis
             } else {
                 1
             }
@@ -143,14 +171,16 @@ impl Matrix {
             &self.networks
         };
         // `None` here means "no override", distinct from an explicit
-        // axis value of `None` (= disable periodic checkpoints). A
-        // protocol that takes no checkpoints gets a single no-override
-        // point so the expansion stays duplicate-free.
-        let ckpts_for = |p: &ProtocolSpec| -> Vec<Option<Option<u64>>> {
-            if self.checkpoint_ms.is_empty() || !p.supports_checkpointing() {
+        // axis value of `CheckpointPolicySpec::None` (= disable periodic
+        // checkpoints). A protocol that takes no checkpoints gets a
+        // single no-override point so the expansion stays
+        // duplicate-free.
+        let policy_axis = self.policy_axis();
+        let ckpts_for = |p: &ProtocolSpec| -> Vec<Option<CheckpointPolicySpec>> {
+            if policy_axis.is_empty() || !p.supports_checkpointing() {
                 vec![None]
             } else {
-                self.checkpoint_ms.iter().map(|c| Some(*c)).collect()
+                policy_axis.iter().map(|c| Some(*c)).collect()
             }
         };
         let no_failures: Vec<FailureModelSpec> = vec![FailureModelSpec::none()];
@@ -169,7 +199,7 @@ impl Matrix {
                         for ck in &ckpts {
                             for f in models {
                                 let protocol = match ck {
-                                    Some(ms) => p.with_checkpoint_ms(*ms),
+                                    Some(policy) => p.with_policy(*policy),
                                     None => *p,
                                 };
                                 specs.push(ScenarioSpec {
@@ -272,12 +302,56 @@ mod tests {
         assert_eq!(specs.len(), 2);
         for (spec, ms) in specs.iter().zip([40u64, 250]) {
             match spec.protocol {
-                ProtocolSpec::Hydee {
-                    checkpoint_interval_ms,
-                    ..
-                } => assert_eq!(checkpoint_interval_ms, Some(ms)),
+                ProtocolSpec::Hydee { checkpoint, .. } => {
+                    assert_eq!(checkpoint, CheckpointPolicySpec::periodic(ms))
+                }
                 other => panic!("{other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn policy_axis_merges_interval_sugar_and_explicit_policies() {
+        let m = Matrix::new()
+            .workloads([WorkloadSpec::NetPipe {
+                rounds: 1,
+                bytes: 8,
+            }])
+            .protocols([ProtocolSpec::Native, ProtocolSpec::hydee()])
+            .checkpoint_ms([None, Some(40)])
+            .checkpoint_policies([
+                CheckpointPolicySpec::YoungDaly {
+                    first_ms: None,
+                    stagger_ms: None,
+                },
+                CheckpointPolicySpec::LogPressure {
+                    budget_bytes: 1 << 20,
+                },
+            ]);
+        let specs = m.expand();
+        // Native: one point; hydee: all four axis points.
+        assert_eq!(specs.len(), 1 + 4);
+        assert_eq!(specs.len(), m.len());
+        let policies: Vec<CheckpointPolicySpec> = specs
+            .iter()
+            .filter(|s| s.protocol.supports_checkpointing())
+            .map(|s| s.protocol.checkpoint_policy())
+            .collect();
+        assert_eq!(
+            policies,
+            vec![
+                CheckpointPolicySpec::None,
+                CheckpointPolicySpec::periodic(40),
+                CheckpointPolicySpec::YoungDaly {
+                    first_ms: None,
+                    stagger_ms: None,
+                },
+                CheckpointPolicySpec::LogPressure {
+                    budget_bytes: 1 << 20
+                },
+            ]
+        );
+        let labels: std::collections::BTreeSet<String> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), specs.len(), "every point has a unique label");
     }
 }

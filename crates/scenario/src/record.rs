@@ -26,6 +26,10 @@ pub struct RunRecord {
     /// Canonical name of the spec's failure model
     /// (`FailureModelSpec::name`).
     pub failure_model: String,
+    /// Canonical name of the protocol's checkpoint policy
+    /// (`CheckpointPolicySpec::name`; `none` for non-checkpointing
+    /// protocols).
+    pub checkpoint_policy: String,
 
     // ---- static clustering analysis (always present) ----
     /// Expected % of processes rolled back by one uniform failure.
@@ -70,6 +74,13 @@ pub struct RunRecord {
     /// Simulated time spent orchestrating recoveries, seconds
     /// (`metrics.recovery_time`).
     pub recovery_s: f64,
+    /// Rank-seconds spent taking checkpoints
+    /// (`metrics.checkpoint_time`).
+    pub checkpoint_overhead_s: f64,
+    /// Fraction of the machine's gross compute spent on fault-tolerance
+    /// waste (`metrics.waste_fraction`): checkpoint overhead + lost
+    /// work over `n_ranks × makespan` — the §VI frontier number.
+    pub waste_fraction: f64,
 
     /// Engine + protocol counters; zeroed for static-only records.
     pub metrics: Metrics,
@@ -103,6 +114,8 @@ impl RunRecord {
         self.rollback_rank_fraction = m.rollback_rank_fraction(self.n_ranks);
         self.lost_work_s = m.lost_work.as_secs_f64();
         self.recovery_s = m.recovery_time.as_secs_f64();
+        self.checkpoint_overhead_s = m.checkpoint_time.as_secs_f64();
+        self.waste_fraction = m.waste_fraction(self.n_ranks);
         self.metrics = report.metrics.clone();
         self
     }
@@ -119,6 +132,7 @@ impl RunRecord {
             "n_clusters",
             "n_failures",
             "failure_model",
+            "checkpoint_policy",
             "avg_rollback_pct",
             "static_logged_bytes",
             "static_total_bytes",
@@ -145,6 +159,8 @@ impl RunRecord {
             "rollback_rank_fraction",
             "lost_work_s",
             "recovery_s",
+            "checkpoint_overhead_s",
+            "waste_fraction",
             "suppressed_sends",
             "replayed_messages",
             "replayed_bytes",
@@ -166,6 +182,7 @@ impl RunRecord {
             self.n_clusters.to_string(),
             self.n_failures.to_string(),
             quote(&self.failure_model),
+            quote(&self.checkpoint_policy),
             format!("{:.4}", self.avg_rollback_pct),
             self.static_logged_bytes.to_string(),
             self.static_total_bytes.to_string(),
@@ -192,6 +209,8 @@ impl RunRecord {
             format!("{:.6}", self.rollback_rank_fraction),
             format!("{:.6}", self.lost_work_s),
             format!("{:.6}", self.recovery_s),
+            format!("{:.6}", self.checkpoint_overhead_s),
+            format!("{:.6}", self.waste_fraction),
             self.metrics.suppressed_sends.to_string(),
             self.metrics.replayed_messages.to_string(),
             self.metrics.replayed_bytes.to_string(),
@@ -224,6 +243,7 @@ mod tests {
             n_clusters: 1,
             n_failures: 0,
             failure_model: "none".into(),
+            checkpoint_policy: "none".into(),
             avg_rollback_pct: 100.0,
             static_logged_bytes: 0,
             static_total_bytes: 10,
@@ -240,6 +260,8 @@ mod tests {
             rollback_rank_fraction: 0.0,
             lost_work_s: 0.0,
             recovery_s: 0.0,
+            checkpoint_overhead_s: 0.0,
+            waste_fraction: 0.0,
             metrics: Metrics::default(),
         };
         assert_eq!(

@@ -9,8 +9,8 @@
 use clustering::{partition, CommGraph, PartitionConfig};
 use det_sim::{SimDuration, SimTime};
 use mps_sim::{
-    Application, Cascade, ClusterMap, CorrelatedCluster, DetMode, FailureModel, FixedSchedule,
-    PoissonPerRank, Rank, SimConfig,
+    Application, Cascade, CheckpointPolicyConfig, ClusterMap, CorrelatedCluster, DetMode,
+    FailureModel, FixedSchedule, PoissonPerRank, Rank, SimConfig,
 };
 use net_model::{MxModel, NetworkModel, StableStorage, TcpModel};
 use protocols::{
@@ -108,6 +108,193 @@ impl StorageSpec {
     }
 }
 
+/// Declarative checkpoint-scheduling policy (DESIGN.md §2.4) — a
+/// sweepable matrix axis. [`CheckpointPolicySpec::name`] and
+/// [`CheckpointPolicySpec::parse`] are true inverses (pinned by
+/// proptest); `to_config` resolves into the engine-level
+/// [`mps_sim::CheckpointPolicyConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum CheckpointPolicySpec {
+    /// No periodic checkpoints (only the implicit t=0 one).
+    #[default]
+    None,
+    /// Fixed interval; `first_ms`/`stagger_ms` override the protocol's
+    /// default first-checkpoint time and per-cluster stagger.
+    Periodic {
+        interval_ms: u64,
+        first_ms: Option<u64>,
+        stagger_ms: Option<u64>,
+    },
+    /// Young's optimal interval, derived per run from the failure
+    /// model's expected rate and the measured checkpoint cost.
+    YoungDaly {
+        first_ms: Option<u64>,
+        stagger_ms: Option<u64>,
+    },
+    /// Checkpoint each time a cluster's sender logs grow by
+    /// `budget_bytes` since its last checkpoint.
+    LogPressure { budget_bytes: u64 },
+}
+
+impl CheckpointPolicySpec {
+    pub fn periodic(interval_ms: u64) -> Self {
+        CheckpointPolicySpec::Periodic {
+            interval_ms,
+            first_ms: None,
+            stagger_ms: None,
+        }
+    }
+
+    /// Canonical name; [`CheckpointPolicySpec::parse`] round-trips it.
+    pub fn name(&self) -> String {
+        let opt = |key: &str, f: &Option<u64>| match f {
+            Some(ms) => format!(":{key}={ms}"),
+            None => String::new(),
+        };
+        match self {
+            CheckpointPolicySpec::None => "none".into(),
+            CheckpointPolicySpec::Periodic {
+                interval_ms,
+                first_ms,
+                stagger_ms,
+            } => format!(
+                "periodic:interval={interval_ms}{}{}",
+                opt("first", first_ms),
+                opt("stagger", stagger_ms)
+            ),
+            CheckpointPolicySpec::YoungDaly {
+                first_ms,
+                stagger_ms,
+            } => format!(
+                "young-daly{}{}",
+                opt("first", first_ms),
+                opt("stagger", stagger_ms)
+            ),
+            CheckpointPolicySpec::LogPressure { budget_bytes } => {
+                format!("log-pressure:budget={budget_bytes}")
+            }
+        }
+    }
+
+    /// Parse a checkpoint-policy axis value: `none`,
+    /// `periodic:interval=<ms>[:first=<ms>]`, `young-daly[:first=<ms>]`
+    /// or `log-pressure:budget=<bytes>`.
+    pub fn parse(s: &str) -> Result<CheckpointPolicySpec, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(CheckpointPolicySpec::None);
+        }
+        let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
+        if !matches!(kind, "periodic" | "young-daly" | "log-pressure") {
+            return Err(format!(
+                "unknown checkpoint policy `{kind}` in `{s}` \
+                 (want none | periodic | young-daly | log-pressure)"
+            ));
+        }
+        let mut interval_ms = None;
+        let mut first_ms = None;
+        let mut stagger_ms = None;
+        let mut budget_bytes = None;
+        for part in rest.split(':').filter(|p| !p.is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                format!("bad policy parameter `{part}` in `{s}` (want key=value)")
+            })?;
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| format!("bad value `{value}` for `{key}` in `{s}`"))?;
+            // Millisecond times convert to picoseconds (x1e9) at build
+            // time: reject here anything that would wrap there.
+            let ms_fits = |v: u64| v.checked_mul(1_000_000_000).is_some();
+            match key {
+                "interval" if kind == "periodic" => {
+                    if parsed == 0 {
+                        return Err(format!("`{s}` needs a positive interval"));
+                    }
+                    if !ms_fits(parsed) {
+                        return Err(format!(
+                            "`interval={parsed}` in `{s}` overflows simulated time"
+                        ));
+                    }
+                    interval_ms = Some(parsed);
+                }
+                "first" if kind != "log-pressure" => {
+                    if !ms_fits(parsed) {
+                        return Err(format!(
+                            "`first={parsed}` in `{s}` overflows simulated time"
+                        ));
+                    }
+                    first_ms = Some(parsed);
+                }
+                "stagger" if kind != "log-pressure" => {
+                    if !ms_fits(parsed) {
+                        return Err(format!(
+                            "`stagger={parsed}` in `{s}` overflows simulated time"
+                        ));
+                    }
+                    stagger_ms = Some(parsed);
+                }
+                "budget" if kind == "log-pressure" => {
+                    if parsed == 0 {
+                        return Err(format!("`{s}` needs a positive budget"));
+                    }
+                    budget_bytes = Some(parsed);
+                }
+                other => return Err(format!("unknown policy parameter `{other}` in `{s}`")),
+            }
+        }
+        Ok(match kind {
+            "periodic" => CheckpointPolicySpec::Periodic {
+                interval_ms: interval_ms
+                    .ok_or_else(|| format!("policy `{s}` needs interval=<ms>"))?,
+                first_ms,
+                stagger_ms,
+            },
+            "young-daly" => CheckpointPolicySpec::YoungDaly {
+                first_ms,
+                stagger_ms,
+            },
+            _ => CheckpointPolicySpec::LogPressure {
+                budget_bytes: budget_bytes
+                    .ok_or_else(|| format!("policy `{s}` needs budget=<bytes>"))?,
+            },
+        })
+    }
+
+    /// Resolve into the engine-level policy configuration.
+    pub fn to_config(self) -> CheckpointPolicyConfig {
+        let first = |ms: Option<u64>| ms.map(SimTime::from_ms);
+        let stagger = |ms: Option<u64>| ms.map(SimDuration::from_ms);
+        match self {
+            CheckpointPolicySpec::None => CheckpointPolicyConfig::Disabled,
+            CheckpointPolicySpec::Periodic {
+                interval_ms,
+                first_ms,
+                stagger_ms,
+            } => CheckpointPolicyConfig::Periodic {
+                interval: SimDuration::from_ms(interval_ms),
+                first: first(first_ms),
+                stagger: stagger(stagger_ms),
+            },
+            CheckpointPolicySpec::YoungDaly {
+                first_ms,
+                stagger_ms,
+            } => CheckpointPolicyConfig::YoungDaly {
+                first: first(first_ms),
+                stagger: stagger(stagger_ms),
+            },
+            CheckpointPolicySpec::LogPressure { budget_bytes } => {
+                CheckpointPolicyConfig::LogPressure { budget_bytes }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointPolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
 /// Declarative protocol choice + parameters. `to_factory` erases this
 /// into the object-safe [`ProtocolFactory`] the executor dispatches on.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -116,20 +303,20 @@ pub enum ProtocolSpec {
     Native,
     /// HydEE (the paper's protocol).
     Hydee {
-        checkpoint_interval_ms: Option<u64>,
+        checkpoint: CheckpointPolicySpec,
         image_bytes: u64,
         storage: StorageSpec,
         gc: bool,
     },
     /// Global coordinated checkpointing.
     Coordinated {
-        checkpoint_interval_ms: Option<u64>,
+        checkpoint: CheckpointPolicySpec,
         image_bytes: u64,
         storage: StorageSpec,
     },
     /// HydEE + reliable determinant writes (the event-logging ablation).
     EventLogged {
-        checkpoint_interval_ms: Option<u64>,
+        checkpoint: CheckpointPolicySpec,
         image_bytes: u64,
         storage: StorageSpec,
     },
@@ -144,7 +331,7 @@ impl ProtocolSpec {
     /// HydEE with no periodic checkpoints (failure-free measurement mode).
     pub fn hydee() -> Self {
         ProtocolSpec::Hydee {
-            checkpoint_interval_ms: None,
+            checkpoint: CheckpointPolicySpec::None,
             image_bytes: DEFAULT_IMAGE_BYTES,
             storage: StorageSpec::Default,
             gc: true,
@@ -153,7 +340,7 @@ impl ProtocolSpec {
 
     pub fn coordinated() -> Self {
         ProtocolSpec::Coordinated {
-            checkpoint_interval_ms: None,
+            checkpoint: CheckpointPolicySpec::None,
             image_bytes: DEFAULT_IMAGE_BYTES,
             storage: StorageSpec::Default,
         }
@@ -161,13 +348,13 @@ impl ProtocolSpec {
 
     pub fn event_logged() -> Self {
         ProtocolSpec::EventLogged {
-            checkpoint_interval_ms: None,
+            checkpoint: CheckpointPolicySpec::None,
             image_bytes: DEFAULT_IMAGE_BYTES,
             storage: StorageSpec::Default,
         }
     }
 
-    /// Whether a checkpoint-interval override applies to this protocol
+    /// Whether a checkpoint-policy override applies to this protocol
     /// (everything except `Native`). The matrix uses this to avoid
     /// expanding non-checkpointing protocols across the checkpoint axis,
     /// which would duplicate runs.
@@ -175,34 +362,53 @@ impl ProtocolSpec {
         !matches!(self, ProtocolSpec::Native)
     }
 
-    /// Copy of `self` with the checkpoint interval replaced (no-op for
+    /// The protocol's checkpoint policy (`None` variant for `Native`).
+    pub fn checkpoint_policy(&self) -> CheckpointPolicySpec {
+        match self {
+            ProtocolSpec::Native => CheckpointPolicySpec::None,
+            ProtocolSpec::Hydee { checkpoint, .. }
+            | ProtocolSpec::Coordinated { checkpoint, .. }
+            | ProtocolSpec::EventLogged { checkpoint, .. } => *checkpoint,
+        }
+    }
+
+    /// Copy of `self` with the checkpoint policy replaced (no-op for
     /// `Native`, which takes no checkpoints).
-    pub fn with_checkpoint_ms(mut self, ms: Option<u64>) -> Self {
+    pub fn with_policy(mut self, policy: CheckpointPolicySpec) -> Self {
         match &mut self {
             ProtocolSpec::Native => {}
-            ProtocolSpec::Hydee {
-                checkpoint_interval_ms,
-                ..
-            }
-            | ProtocolSpec::Coordinated {
-                checkpoint_interval_ms,
-                ..
-            }
-            | ProtocolSpec::EventLogged {
-                checkpoint_interval_ms,
-                ..
-            } => *checkpoint_interval_ms = ms,
+            ProtocolSpec::Hydee { checkpoint, .. }
+            | ProtocolSpec::Coordinated { checkpoint, .. }
+            | ProtocolSpec::EventLogged { checkpoint, .. } => *checkpoint = policy,
         }
         self
+    }
+
+    /// Copy of `self` with the checkpoint interval replaced — sugar for
+    /// [`ProtocolSpec::with_policy`] with a periodic policy (`None`
+    /// disables periodic checkpoints).
+    pub fn with_checkpoint_ms(self, ms: Option<u64>) -> Self {
+        self.with_policy(match ms {
+            Some(interval_ms) => CheckpointPolicySpec::periodic(interval_ms),
+            None => CheckpointPolicySpec::None,
+        })
     }
 
     /// Name encoding every non-default parameter, so two distinct
     /// `ProtocolSpec`s never share a name (spec labels and summary cells
     /// key on it).
     pub fn name(&self) -> String {
-        let ckpt = |ms: &Option<u64>| match ms {
-            Some(ms) => format!(":ckpt{ms}ms"),
-            None => String::new(),
+        // Plain periodic policies keep the historical `:ckpt<ms>ms`
+        // segment; other policies embed their canonical name. The forms
+        // never collide, so names stay injective across parameters.
+        let ckpt = |p: &CheckpointPolicySpec| match p {
+            CheckpointPolicySpec::None => String::new(),
+            CheckpointPolicySpec::Periodic {
+                interval_ms,
+                first_ms: None,
+                stagger_ms: None,
+            } => format!(":ckpt{interval_ms}ms"),
+            p => format!(":{}", p.name()),
         };
         let img = |bytes: &u64| {
             if *bytes == DEFAULT_IMAGE_BYTES {
@@ -218,34 +424,34 @@ impl ProtocolSpec {
         match self {
             ProtocolSpec::Native => "native".into(),
             ProtocolSpec::Hydee {
-                checkpoint_interval_ms,
+                checkpoint,
                 image_bytes,
                 storage,
                 gc,
             } => format!(
                 "hydee{}{}{}{}",
-                ckpt(checkpoint_interval_ms),
+                ckpt(checkpoint),
                 img(image_bytes),
                 stor(storage),
                 if *gc { "" } else { ":nogc" }
             ),
             ProtocolSpec::Coordinated {
-                checkpoint_interval_ms,
+                checkpoint,
                 image_bytes,
                 storage,
             } => format!(
                 "coordinated{}{}{}",
-                ckpt(checkpoint_interval_ms),
+                ckpt(checkpoint),
                 img(image_bytes),
                 stor(storage)
             ),
             ProtocolSpec::EventLogged {
-                checkpoint_interval_ms,
+                checkpoint,
                 image_bytes,
                 storage,
             } => format!(
                 "event-logged{}{}{}",
-                ckpt(checkpoint_interval_ms),
+                ckpt(checkpoint),
                 img(image_bytes),
                 stor(storage)
             ),
@@ -253,13 +459,13 @@ impl ProtocolSpec {
     }
 
     fn hydee_params(
-        checkpoint_interval_ms: Option<u64>,
+        checkpoint: CheckpointPolicySpec,
         image_bytes: u64,
         storage: StorageSpec,
         gc: bool,
     ) -> HydeeParams {
         HydeeParams {
-            checkpoint_interval: checkpoint_interval_ms.map(SimDuration::from_ms),
+            checkpoint_policy: Some(checkpoint.to_config()),
             image_bytes: Some(image_bytes),
             storage: Some(storage.build()),
             disable_gc: !gc,
@@ -272,32 +478,32 @@ impl ProtocolSpec {
         match self {
             ProtocolSpec::Native => Box::new(NativeFactory),
             ProtocolSpec::Hydee {
-                checkpoint_interval_ms,
+                checkpoint,
                 image_bytes,
                 storage,
                 gc,
             } => Box::new(HydeeFactory::new(Self::hydee_params(
-                checkpoint_interval_ms,
+                checkpoint,
                 image_bytes,
                 storage,
                 gc,
             ))),
             ProtocolSpec::Coordinated {
-                checkpoint_interval_ms,
+                checkpoint,
                 image_bytes,
                 storage,
             } => Box::new(CoordinatedFactory::new(CoordinatedConfig {
-                checkpoint_interval: checkpoint_interval_ms.map(SimDuration::from_ms),
+                checkpoint_policy: Some(checkpoint.to_config()),
                 image_bytes,
                 storage: storage.build(),
                 ..Default::default()
             })),
             ProtocolSpec::EventLogged {
-                checkpoint_interval_ms,
+                checkpoint,
                 image_bytes,
                 storage,
             } => Box::new(EventLoggedFactory::new(
-                Self::hydee_params(checkpoint_interval_ms, image_bytes, storage, true),
+                Self::hydee_params(checkpoint, image_bytes, storage, true),
                 DeterminantCost::default(),
             )),
         }
@@ -815,20 +1021,32 @@ mod tests {
         let variants = [
             ProtocolSpec::hydee(),
             ProtocolSpec::hydee().with_checkpoint_ms(Some(100)),
+            ProtocolSpec::hydee().with_policy(CheckpointPolicySpec::Periodic {
+                interval_ms: 100,
+                first_ms: Some(2),
+                stagger_ms: None,
+            }),
+            ProtocolSpec::hydee().with_policy(CheckpointPolicySpec::YoungDaly {
+                first_ms: None,
+                stagger_ms: None,
+            }),
+            ProtocolSpec::hydee().with_policy(CheckpointPolicySpec::LogPressure {
+                budget_bytes: 1 << 20,
+            }),
             ProtocolSpec::Hydee {
-                checkpoint_interval_ms: None,
+                checkpoint: CheckpointPolicySpec::None,
                 image_bytes: DEFAULT_IMAGE_BYTES,
                 storage: StorageSpec::ParallelFs,
                 gc: true,
             },
             ProtocolSpec::Hydee {
-                checkpoint_interval_ms: None,
+                checkpoint: CheckpointPolicySpec::None,
                 image_bytes: 64 << 20,
                 storage: StorageSpec::Default,
                 gc: true,
             },
             ProtocolSpec::Hydee {
-                checkpoint_interval_ms: None,
+                checkpoint: CheckpointPolicySpec::None,
                 image_bytes: DEFAULT_IMAGE_BYTES,
                 storage: StorageSpec::Default,
                 gc: false,
@@ -928,13 +1146,79 @@ mod tests {
             ProtocolSpec::Native.with_checkpoint_ms(Some(5)),
             ProtocolSpec::Native
         );
+        assert_eq!(
+            ProtocolSpec::Native.with_policy(CheckpointPolicySpec::YoungDaly {
+                first_ms: None,
+                stagger_ms: None,
+            }),
+            ProtocolSpec::Native
+        );
         let h = ProtocolSpec::hydee().with_checkpoint_ms(Some(5));
         match h {
-            ProtocolSpec::Hydee {
-                checkpoint_interval_ms,
-                ..
-            } => assert_eq!(checkpoint_interval_ms, Some(5)),
+            ProtocolSpec::Hydee { checkpoint, .. } => {
+                assert_eq!(checkpoint, CheckpointPolicySpec::periodic(5))
+            }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn checkpoint_policy_name_parse_round_trips() {
+        let policies = [
+            CheckpointPolicySpec::None,
+            CheckpointPolicySpec::periodic(40),
+            CheckpointPolicySpec::Periodic {
+                interval_ms: 5,
+                first_ms: Some(2),
+                stagger_ms: None,
+            },
+            CheckpointPolicySpec::Periodic {
+                interval_ms: 5,
+                first_ms: Some(2),
+                stagger_ms: Some(1),
+            },
+            CheckpointPolicySpec::YoungDaly {
+                first_ms: None,
+                stagger_ms: None,
+            },
+            CheckpointPolicySpec::YoungDaly {
+                first_ms: Some(10),
+                stagger_ms: Some(0),
+            },
+            CheckpointPolicySpec::LogPressure {
+                budget_bytes: 8 << 20,
+            },
+        ];
+        for p in &policies {
+            let name = p.name();
+            assert_eq!(p.to_string(), name);
+            assert_eq!(
+                &CheckpointPolicySpec::parse(&name).unwrap(),
+                p,
+                "`{name}` round-tripped differently"
+            );
+        }
+        let names: std::collections::BTreeSet<String> = policies.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), policies.len(), "names are injective");
+    }
+
+    #[test]
+    fn checkpoint_policy_parse_rejects_values_build_would_panic_on() {
+        assert!(
+            CheckpointPolicySpec::parse("periodic").is_err(),
+            "no interval"
+        );
+        assert!(CheckpointPolicySpec::parse("periodic:interval=0").is_err());
+        assert!(
+            CheckpointPolicySpec::parse("periodic:interval=99999999999999999").is_err(),
+            "interval overflowing picoseconds must error at parse time"
+        );
+        assert!(
+            CheckpointPolicySpec::parse("log-pressure").is_err(),
+            "no budget"
+        );
+        assert!(CheckpointPolicySpec::parse("log-pressure:budget=0").is_err());
+        assert!(CheckpointPolicySpec::parse("young-daly:budget=5").is_err());
+        assert!(CheckpointPolicySpec::parse("sometimes").is_err());
     }
 }

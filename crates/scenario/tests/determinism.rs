@@ -4,7 +4,8 @@
 //! diffable across machines and core counts.
 
 use scenario::{
-    ClusterStrategy, Executor, FailureSpec, Matrix, NetworkSpec, ProtocolSpec, RunRecord,
+    CheckpointPolicySpec, ClusterStrategy, Executor, FailureModelSpec, FailureSpec, Matrix,
+    NetworkSpec, ProtocolSpec, RunRecord,
 };
 use workloads::{NasBench, WorkloadSpec};
 
@@ -48,7 +49,7 @@ fn diverse_specs() -> Vec<scenario::ScenarioSpec> {
             wildcard_recv: false,
         },
         ProtocolSpec::Hydee {
-            checkpoint_interval_ms: Some(2),
+            checkpoint: CheckpointPolicySpec::periodic(2),
             image_bytes: 1 << 16,
             storage: scenario::StorageSpec::ParallelFs,
             gc: true,
@@ -60,6 +61,53 @@ fn diverse_specs() -> Vec<scenario::ScenarioSpec> {
         ranks: vec![5],
     }]);
     specs.push(failure_spec);
+    // The checkpoint-policy axis under stochastic failures: every
+    // policy family × two seeds, each point checkpointing and (mostly)
+    // recovering mid-run.
+    specs.extend(
+        Matrix::new()
+            .workloads([WorkloadSpec::Stencil {
+                n_ranks: 9,
+                iterations: 40,
+                face_bytes: 16 << 10,
+                compute_us: 100,
+                wildcard_recv: false,
+            }])
+            .protocols([ProtocolSpec::Hydee {
+                checkpoint: CheckpointPolicySpec::None,
+                image_bytes: 1 << 16,
+                storage: scenario::StorageSpec::ParallelFs,
+                gc: true,
+            }])
+            .clusters([ClusterStrategy::Blocks(3)])
+            .checkpoint_policies([
+                CheckpointPolicySpec::Periodic {
+                    interval_ms: 2,
+                    first_ms: Some(1),
+                    stagger_ms: None,
+                },
+                CheckpointPolicySpec::YoungDaly {
+                    first_ms: Some(1),
+                    stagger_ms: None,
+                },
+                CheckpointPolicySpec::LogPressure {
+                    budget_bytes: 256 << 10,
+                },
+            ])
+            .failure_models([
+                FailureModelSpec::Poisson {
+                    mtbf_ms: 40,
+                    seed: 7,
+                    max_failures: 2,
+                },
+                FailureModelSpec::Poisson {
+                    mtbf_ms: 40,
+                    seed: 8,
+                    max_failures: 2,
+                },
+            ])
+            .expand(),
+    );
     // A static-analysis point.
     let mut static_spec = scenario::ScenarioSpec::new(
         WorkloadSpec::Nas {

@@ -1,0 +1,94 @@
+//! Round-trip property tests for the checkpoint-policy grammar (ISSUE 5
+//! tentpole): `name()` and `parse` must be true inverses, and names must
+//! be injective — the `sweep` CLI, the matrix axis and the `RunRecord`
+//! `checkpoint_policy` column all address policies exclusively by these
+//! strings.
+
+use proptest::prelude::*;
+use scenario::CheckpointPolicySpec;
+
+/// Largest millisecond value whose picosecond conversion fits in u64 —
+/// the domain `parse` accepts for `interval=`/`first=`.
+const MAX_MS: u64 = u64::MAX / 1_000_000_000;
+
+/// Deterministically decode one arbitrary policy from raw draws (the
+/// vendored proptest stub has no `prop_oneof`).
+fn decode_policy(variant: u8, a: u64, b: u64, with_first: bool) -> CheckpointPolicySpec {
+    let interval_ms = 1 + a % MAX_MS;
+    let first_ms = with_first.then_some(b % (MAX_MS + 1));
+    // Derive the stagger from independent bits so all four
+    // present/absent combinations are exercised.
+    let stagger_ms = (a & 1 == 1).then_some(a.rotate_left(13) % (MAX_MS + 1));
+    match variant % 3 {
+        0 => CheckpointPolicySpec::Periodic {
+            interval_ms,
+            first_ms,
+            stagger_ms,
+        },
+        1 => CheckpointPolicySpec::YoungDaly {
+            first_ms,
+            stagger_ms,
+        },
+        _ => CheckpointPolicySpec::LogPressure {
+            budget_bytes: 1 + b % (u64::MAX - 1),
+        },
+    }
+}
+
+#[test]
+fn overflowing_times_are_rejected() {
+    assert!(CheckpointPolicySpec::parse(&format!("periodic:interval={MAX_MS}")).is_ok());
+    assert!(CheckpointPolicySpec::parse(&format!("periodic:interval={}", MAX_MS + 1)).is_err());
+    assert!(CheckpointPolicySpec::parse(&format!("young-daly:first={}", MAX_MS + 1)).is_err());
+}
+
+proptest! {
+    #[test]
+    fn policy_name_parse_round_trips(
+        variant in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        with_first in any::<bool>(),
+    ) {
+        let policy = decode_policy(variant, a, b, with_first);
+        let name = policy.name();
+        prop_assert_eq!(policy.to_string(), name.clone());
+        let reparsed = CheckpointPolicySpec::parse(&name);
+        prop_assert!(reparsed.is_ok(), "`{name}` failed to reparse: {:?}", reparsed);
+        prop_assert_eq!(reparsed.unwrap(), policy, "`{name}` round-tripped differently");
+    }
+
+    #[test]
+    fn policy_names_are_injective_across_random_pairs(
+        v1 in any::<u8>(), a1 in any::<u64>(), b1 in any::<u64>(), f1 in any::<bool>(),
+        v2 in any::<u8>(), a2 in any::<u64>(), b2 in any::<u64>(), f2 in any::<bool>(),
+    ) {
+        let p1 = decode_policy(v1, a1, b1, f1);
+        let p2 = decode_policy(v2, a2, b2, f2);
+        if p1 != p2 {
+            prop_assert_ne!(p1.name(), p2.name());
+        } else {
+            prop_assert_eq!(p1.name(), p2.name());
+        }
+    }
+
+    #[test]
+    fn protocol_names_stay_injective_under_policies(
+        v in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        with_first in any::<bool>(),
+    ) {
+        use scenario::ProtocolSpec;
+        let policy = decode_policy(v, a, b, with_first);
+        let with_policy = ProtocolSpec::hydee().with_policy(policy);
+        // A protocol name embeds the policy: two specs differing only in
+        // policy must never share a name.
+        if policy != scenario::CheckpointPolicySpec::None {
+            prop_assert_ne!(with_policy.name(), ProtocolSpec::hydee().name());
+        }
+        // The record column exposes the same canonical name the axis
+        // parses.
+        prop_assert_eq!(with_policy.checkpoint_policy(), policy);
+    }
+}
