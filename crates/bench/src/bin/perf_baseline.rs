@@ -1,12 +1,15 @@
 //! **perf_baseline** — the CI-gated engine throughput baseline.
 //!
-//! Runs the fixed 4-cell macro matrix of [`bench::perf`] (1024-rank
-//! stencil native, the same under clustered HydEE, a 256-rank CG
-//! checkpoint/failure/recovery run, and the long-horizon 4096-rank
-//! stencil that only the streaming program API fits in memory), times the
-//! simulation phase of each cell, and writes `BENCH_engine.json` — wall
-//! time, events/sec, program-representation bytes (streamed vs unrolled),
-//! peak RSS and the determinism digests — in a stable schema CI can diff.
+//! Runs the fixed macro matrix of [`bench::perf`] (1024-rank stencil
+//! native, the same under clustered HydEE, a 256-rank CG
+//! checkpoint/failure/recovery run, the waste-frontier pair, and the
+//! long-horizon 4096-rank stencil that only the streaming program API
+//! fits in memory), times the simulation phase of each cell — once bare
+//! and once with a no-op telemetry recorder attached — and writes
+//! `BENCH_engine.json` — wall time, events/sec, recorder overhead,
+//! program-representation bytes (streamed vs unrolled), peak RSS and the
+//! determinism digests — in a stable schema CI can diff. The aggregate
+//! recorder overhead is gated at `perf::MAX_RECORDER_OVERHEAD_PCT`.
 //!
 //! ```text
 //! perf_baseline [--out DIR] [--repeat N] [--check FILE] [--tolerance F]
@@ -79,6 +82,7 @@ fn main() {
         "events",
         "sim wall (s)",
         "events/sec",
+        "rec ovh %",
         "ckpts",
         "waste",
         "digest",
@@ -92,6 +96,7 @@ fn main() {
             c.events.to_string(),
             format!("{:.3}", c.sim_wall_s),
             format!("{:.0}", c.events_per_sec),
+            format!("{:+.2}", c.recorder_overhead_pct),
             c.checkpoints.to_string(),
             format!("{:.4}", c.waste_fraction),
             format!("{:#018x}", c.digest),
@@ -126,6 +131,20 @@ fn main() {
         report.aggregate_events_per_sec,
         report.total_events,
         report.peak_rss_bytes as f64 / 1e6
+    );
+
+    // Telemetry must be free when off: every cell was also timed with a
+    // no-op recorder attached (digest equality asserted inside run_cell),
+    // and the aggregate slowdown has a hard ceiling.
+    if let Some(violation) = perf::check_recorder_overhead(&report, perf::MAX_RECORDER_OVERHEAD_PCT)
+    {
+        eprintln!("perf_baseline: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "recorder overhead: {:+.2}% aggregate (gate {:.0}%)",
+        report.recorder_overhead_pct,
+        perf::MAX_RECORDER_OVERHEAD_PCT
     );
 
     std::fs::create_dir_all(&out_dir)

@@ -14,22 +14,73 @@
 //! Reported: ranks rolled back, failure-free makespan, makespan with the
 //! failure, lost time, log memory.
 //!
+//! ```text
+//! recovery [--fail <ms>:<rank[,rank...]>] [--trace-out FILE] [--sample-out FILE]
+//! ```
+//!
+//! * `--fail` — override the injected failure (default `195:7`)
+//! * `--trace-out FILE` — re-run the failed HydEE cell with a
+//!   [`telemetry::SpanRecorder`] attached and write a Perfetto-loadable
+//!   Chrome trace-event JSON file. The trace is validated before it is
+//!   written, and the recovery track is checked to show the
+//!   detect → rollback → replay → complete choreography for exactly the
+//!   failed cluster(s); the traced run's digest must equal the untraced
+//!   one.
+//! * `--sample-out FILE` — same re-run, with a [`telemetry::Sampler`]
+//!   writing virtual-time series rows (logged bytes, in-flight messages,
+//!   queue depth, cumulative waste) as JSONL.
+//!
 //! Run: `cargo run -p bench --release --bin recovery`
 
 use bench::{gb, Artefact, Table};
-use det_sim::SimTime;
+use det_sim::{SimDuration, SimTime};
+use mps_sim::Rank;
 use scenario::{
     CheckpointPolicySpec, ClusterStrategy, Executor, FailureSpec, Matrix, ProtocolSpec, StorageSpec,
 };
 use serde::Serialize;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use telemetry::{Fanout, Sampler, SpanRecorder};
 use workloads::{NasBench, WorkloadSpec};
 
 const SCALE: f64 = 1.0 / 64.0;
 const N: usize = 256;
-/// Mid-way between two checkpoints so the rolled cluster both loses work
-/// and has emitted post-checkpoint inter-cluster messages (orphans).
+/// Default: mid-way between two checkpoints so the rolled cluster both
+/// loses work and has emitted post-checkpoint inter-cluster messages
+/// (orphans).
 const FAILURE_MS: u64 = 195;
 const CKPT_MS: u64 = 100;
+
+fn fail_usage<T>(msg: &str) -> T {
+    eprintln!("recovery: {msg}");
+    eprintln!(
+        "usage: recovery [--fail <ms>:<rank[,rank...]>] [--trace-out FILE] [--sample-out FILE]"
+    );
+    std::process::exit(2);
+}
+
+/// `<ms>:<rank[,rank...]>` → (time, victims).
+fn parse_fail(arg: &str) -> (u64, Vec<u32>) {
+    let Some((ms, ranks)) = arg.split_once(':') else {
+        fail_usage(&format!("bad --fail `{arg}` (want <ms>:<rank[,rank...]>)"))
+    };
+    let ms = ms
+        .parse()
+        .unwrap_or_else(|_| fail_usage(&format!("bad --fail time `{ms}`")));
+    let ranks: Vec<u32> = ranks
+        .split(',')
+        .map(|r| {
+            r.trim()
+                .parse()
+                .unwrap_or_else(|_| fail_usage(&format!("bad --fail rank `{r}`")))
+        })
+        .collect();
+    if ranks.is_empty() {
+        fail_usage::<()>("--fail needs at least one rank");
+    }
+    (ms, ranks)
+}
 
 #[derive(Serialize)]
 struct Row {
@@ -44,9 +95,45 @@ struct Row {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut failure_ms = FAILURE_MS;
+    let mut victims: Vec<u32> = vec![7];
+    let mut trace_out: Option<PathBuf> = None;
+    let mut sample_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail_usage(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--fail" => (failure_ms, victims) = parse_fail(&value("--fail")),
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "--sample-out" => sample_out = Some(PathBuf::from(value("--sample-out"))),
+            "-h" | "--help" => {
+                println!(
+                    "recovery [--fail <ms>:<rank[,rank...]>] [--trace-out FILE] [--sample-out FILE]"
+                );
+                return;
+            }
+            other => fail_usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if victims.iter().any(|&v| v as usize >= N) {
+        fail_usage::<()>(&format!(
+            "--fail rank out of range (workload has {N} ranks)"
+        ));
+    }
+
     let mut artefact = Artefact::begin("recovery");
+    let victim_list = victims
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     println!(
-        "X1: containment & recovery — CG skeleton, 256 ranks, failure of rank 7 at {FAILURE_MS} ms"
+        "X1: containment & recovery — CG skeleton, 256 ranks, failure of rank {victim_list} at {failure_ms} ms"
     );
     println!();
 
@@ -99,7 +186,10 @@ fn main() {
                 .workloads([workload.clone()])
                 .protocols([*protocol])
                 .clusters([*clusters])
-                .failure_schedules([vec![], vec![FailureSpec::at_ms(FAILURE_MS, vec![7])]])
+                .failure_schedules([
+                    vec![],
+                    vec![FailureSpec::at_ms(failure_ms, victims.clone())],
+                ])
                 .expand()
         })
         .collect();
@@ -175,4 +265,81 @@ fn main() {
     println!("Expected: hydee rolls back 16/256 (one cluster), coordinated 256/256,");
     println!("full logging 1/256 but with the largest log memory and the slowest");
     println!("failure-free run (determinant writes).");
+
+    if trace_out.is_some() || sample_out.is_some() {
+        export_telemetry(
+            &specs[1],
+            &records[1],
+            &victims,
+            trace_out.as_deref(),
+            sample_out.as_deref(),
+        );
+    }
+}
+
+/// Re-run the failed HydEE cell with recorders attached, check the trace
+/// against the schema *and* against the recovery choreography the run
+/// must have produced, then write the artefacts.
+fn export_telemetry(
+    spec: &scenario::ScenarioSpec,
+    untraced: &scenario::RunRecord,
+    victims: &[u32],
+    trace_out: Option<&std::path::Path>,
+    sample_out: Option<&std::path::Path>,
+) {
+    assert_eq!(spec.label(), untraced.scenario, "spec/record pairing");
+    let (span_rec, trace) = SpanRecorder::new();
+    let (sampler, samples) = Sampler::new(SimDuration::from_ms(1));
+    let fanout = Fanout::new()
+        .push(Box::new(span_rec))
+        .push(Box::new(sampler));
+    let traced = Executor::run_one_with_recorder(spec, Some(Box::new(fanout)));
+    assert_eq!(
+        traced.digest, untraced.digest,
+        "tracing changed the digest — recorder neutrality broken"
+    );
+
+    // The failed cluster(s), from the same clustering the spec resolves.
+    let app = spec.workload.build();
+    let map = spec.clusters.resolve(&app);
+    let expected: BTreeSet<u64> = victims
+        .iter()
+        .map(|&v| map.cluster_of(Rank(v)) as u64 + 1) // cluster c → tid c+1
+        .collect();
+    for phase in ["detect", "rollback", "replay", "complete"] {
+        let tids: BTreeSet<u64> = trace
+            .events()
+            .iter()
+            .filter(|e| e.name == phase)
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(
+            tids, expected,
+            "`{phase}` events must appear on exactly the failed cluster track(s)"
+        );
+    }
+
+    let json = trace.to_chrome_json();
+    let stats = telemetry::validate_chrome_trace(&json).expect("trace validates");
+    if let Some(path) = trace_out {
+        std::fs::write(path, &json)
+            .unwrap_or_else(|e| fail_usage(&format!("write {}: {e}", path.display())));
+        println!(
+            "trace: {} ({} spans, {} instants, {} tracks) — load in https://ui.perfetto.dev",
+            path.display(),
+            stats.spans,
+            stats.instants,
+            stats.tracks
+        );
+    }
+    if let Some(path) = sample_out {
+        let rows = samples.rows();
+        std::fs::write(path, samples.to_jsonl())
+            .unwrap_or_else(|e| fail_usage(&format!("write {}: {e}", path.display())));
+        println!(
+            "samples: {} ({} rows, 1 ms virtual interval)",
+            path.display(),
+            rows.len()
+        );
+    }
 }

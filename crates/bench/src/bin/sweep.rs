@@ -62,6 +62,15 @@ OPTIONS (comma-separate values; every combination runs):
     --static              static clustering analysis only (no simulation)
     --serial              run on one core (reference mode)
     --max-events <n>      engine event-limit override
+    --progress            live progress on stderr (one line per finished
+                          cell: done/total, running, events/sec, ETA)
+    --progress-out <f>    machine-readable progress heartbeats as JSONL
+                          (one object per cell start/completion)
+    --trace-out <f>       write a Perfetto-loadable Chrome trace-event
+                          JSON of the run (matrix must be exactly one
+                          simulated cell); validated before writing
+    --sample-out <f>      write virtual-time series samples (JSONL, 1 ms
+                          grid) of the run (single-cell matrices only)
     --out <dir>           results directory [default: $HYDEE_RESULTS_DIR or ./results]
     --name <name>         results file stem [default: sweep]
     --list                print known workload families/examples and exit
@@ -173,6 +182,10 @@ fn main() {
     let mut static_only = false;
     let mut serial = false;
     let mut max_events: Option<u64> = None;
+    let mut progress = false;
+    let mut progress_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut sample_out: Option<String> = None;
     let mut out_dir: Option<String> = None;
     let mut name = "sweep".to_string();
 
@@ -208,6 +221,10 @@ fn main() {
                         .unwrap_or_else(|_| fail(&format!("bad --max-events `{v}`"))),
                 );
             }
+            "--progress" => progress = true,
+            "--progress-out" => progress_out = Some(value("--progress-out")),
+            "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--sample-out" => sample_out = Some(value("--sample-out")),
             "--out" => out_dir = Some(value("--out")),
             "--name" => name = value("--name"),
             "--list" => {
@@ -273,8 +290,65 @@ fn main() {
     } else {
         Executor::new()
     };
+    let mut sinks = scenario::ProgressFanout::new();
+    if progress {
+        sinks = sinks.push(Box::new(scenario::HumanProgress));
+    }
+    if let Some(path) = &progress_out {
+        let sink = scenario::JsonlProgress::create(std::path::Path::new(path))
+            .unwrap_or_else(|e| fail(&format!("create {path}: {e}")));
+        sinks = sinks.push(Box::new(sink));
+    }
+    let tracing = trace_out.is_some() || sample_out.is_some();
+    if tracing && (specs.len() != 1 || !specs[0].simulate) {
+        fail::<()>(&format!(
+            "--trace-out/--sample-out need a matrix of exactly one simulated cell \
+             (this one has {})",
+            specs.len()
+        ));
+    }
     let started = std::time::Instant::now();
-    let records = executor.run(&specs);
+    let records = if tracing {
+        // Recorders attach to a single run; the recorder-neutrality suite
+        // guarantees the record is identical to an untraced run.
+        let (span_rec, trace) = telemetry::SpanRecorder::new();
+        let (sampler, samples) = telemetry::Sampler::new(det_sim::SimDuration::from_ms(1));
+        let fanout = telemetry::Fanout::new()
+            .push(Box::new(span_rec))
+            .push(Box::new(sampler));
+        let records = if sinks.is_empty() {
+            vec![Executor::run_one_with_recorder(
+                &specs[0],
+                Some(Box::new(fanout)),
+            )]
+        } else {
+            vec![Executor::run_one_with_recorder_and_progress(
+                &specs[0],
+                Some(Box::new(fanout)),
+                &sinks,
+            )]
+        };
+        if let Some(path) = &trace_out {
+            let json = trace.to_chrome_json();
+            let stats = telemetry::validate_chrome_trace(&json)
+                .unwrap_or_else(|e| fail(&format!("trace failed validation: {e}")));
+            std::fs::write(path, &json).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            println!(
+                "trace: {path} ({} spans, {} instants, {} tracks) — load in https://ui.perfetto.dev",
+                stats.spans, stats.instants, stats.tracks
+            );
+        }
+        if let Some(path) = &sample_out {
+            std::fs::write(path, samples.to_jsonl())
+                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            println!("samples: {path} ({} rows)", samples.rows().len());
+        }
+        records
+    } else if sinks.is_empty() {
+        executor.run(&specs)
+    } else {
+        executor.run_with_progress(&specs, &sinks)
+    };
     let wall = started.elapsed();
 
     let dir = out_dir

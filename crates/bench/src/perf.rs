@@ -40,7 +40,21 @@ use workloads::{NasBench, WorkloadSpec};
 /// an aggressive fixed interval vs. the adaptive Young/Daly policy).
 /// `checkpoints` and `waste_fraction` are deterministic (pure functions
 /// of integer virtual time) and gated for drift like the digests.
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// v5: added the telemetry-overhead columns (`sim_wall_recorder_s`,
+/// `events_per_sec_recorder`, `recorder_overhead_pct` per cell plus the
+/// aggregate `recorder_overhead_pct`): every cell is timed twice, with
+/// the recorder slot empty and with a [`mps_sim::NoopRecorder`]
+/// attached. The digests of the two modes must be bit-for-bit identical
+/// (recorders are observers); the aggregate overhead is gated at
+/// [`MAX_RECORDER_OVERHEAD_PCT`] by `perf_baseline`. Overhead is
+/// wall-clock and is *not* compared against the committed baseline.
+pub const SCHEMA_VERSION: u32 = 5;
+
+/// Ceiling on the aggregate throughput cost of the recorder hooks when
+/// no recorder does any work: one `Option` check per instrumented site
+/// plus gauge assembly per event loop iteration must stay in the noise.
+pub const MAX_RECORDER_OVERHEAD_PCT: f64 = 3.0;
 
 /// One point of the macro matrix.
 pub struct Cell {
@@ -231,6 +245,15 @@ pub struct CellResult {
     pub sim_wall_s: f64,
     /// `events / sim_wall_s` — the gated throughput metric.
     pub events_per_sec: f64,
+    /// Wall-clock seconds with a no-op recorder attached (best of
+    /// `repeat`; same digest as the untraced run, asserted).
+    pub sim_wall_recorder_s: f64,
+    /// `events / sim_wall_recorder_s`.
+    pub events_per_sec_recorder: f64,
+    /// `100 × (1 − events_per_sec_recorder / events_per_sec)`: the cost
+    /// of the recorder plumbing when no recorder does any work. Signed —
+    /// small negative values are timing noise.
+    pub recorder_overhead_pct: f64,
     /// Failure events injected — deterministic, gated for drift.
     pub failures: u64,
     /// Ranks rolled back across all failures — deterministic, gated.
@@ -268,6 +291,12 @@ pub struct PerfReport {
     pub total_sim_wall_s: f64,
     /// `total_events / total_sim_wall_s` over the whole matrix.
     pub aggregate_events_per_sec: f64,
+    /// Wall time over the whole matrix with a no-op recorder attached.
+    pub total_sim_wall_recorder_s: f64,
+    /// Aggregate recorder-plumbing cost:
+    /// `100 × (1 − total_sim_wall_s / total_sim_wall_recorder_s)`.
+    /// Gated at [`MAX_RECORDER_OVERHEAD_PCT`] by `perf_baseline`.
+    pub recorder_overhead_pct: f64,
     /// Peak resident set of the whole process, bytes (0 where unsupported).
     pub peak_rss_bytes: u64,
 }
@@ -315,7 +344,39 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
         }
     }
     let (sim_wall_s, report) = best.expect("at least one repeat");
+
+    // Same cell, same repeats, with a no-op recorder attached: measures
+    // what merely *threading* the telemetry hooks costs. A recorder is an
+    // observer, so the digests (and event counts) must not move.
+    let mut best_recorder: Option<f64> = None;
+    for _ in 0..repeat.max(1) {
+        let app = spec.workload.build();
+        let factory = spec.protocol.to_factory();
+        let req = protocols::RunRequest::new(app)
+            .sim_config(spec.sim_config())
+            .failure_model(spec.failure_model.build(&map))
+            .clusters(map.clone())
+            .recorder(Box::new(mps_sim::NoopRecorder));
+        let started = Instant::now();
+        let traced = factory.run(req);
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(
+            report.digests, traced.digests,
+            "{}: attaching a recorder changed the digest",
+            cell.name
+        );
+        assert_eq!(
+            report.metrics.events, traced.metrics.events,
+            "{}: attaching a recorder changed the event count",
+            cell.name
+        );
+        best_recorder = Some(best_recorder.map_or(wall, |w: f64| w.min(wall)));
+    }
+    let sim_wall_recorder_s = best_recorder.expect("at least one recorder repeat");
+
     let events = report.metrics.events;
+    let events_per_sec = events as f64 / sim_wall_s.max(1e-9);
+    let events_per_sec_recorder = events as f64 / sim_wall_recorder_s.max(1e-9);
     let m = &report.metrics;
     CellResult {
         name: cell.name.to_string(),
@@ -327,7 +388,10 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
         program_resident_bytes,
         program_unrolled_bytes,
         sim_wall_s,
-        events_per_sec: events as f64 / sim_wall_s.max(1e-9),
+        events_per_sec,
+        sim_wall_recorder_s,
+        events_per_sec_recorder,
+        recorder_overhead_pct: 100.0 * (1.0 - events_per_sec_recorder / events_per_sec.max(1e-9)),
         failures: m.failures,
         ranks_rolled_back: m.ranks_rolled_back,
         rollback_rank_fraction: m.rollback_rank_fraction(n_ranks),
@@ -347,13 +411,32 @@ pub fn run_matrix(cells: &[Cell], repeat: u32) -> PerfReport {
     let results: Vec<CellResult> = cells.iter().map(|c| run_cell(c, repeat)).collect();
     let total_events: u64 = results.iter().map(|r| r.events).sum();
     let total_sim_wall_s: f64 = results.iter().map(|r| r.sim_wall_s).sum();
+    let total_sim_wall_recorder_s: f64 = results.iter().map(|r| r.sim_wall_recorder_s).sum();
     PerfReport {
         schema_version: SCHEMA_VERSION,
         cells: results,
         total_events,
         total_sim_wall_s,
         aggregate_events_per_sec: total_events as f64 / total_sim_wall_s.max(1e-9),
+        total_sim_wall_recorder_s,
+        recorder_overhead_pct: 100.0
+            * (1.0 - total_sim_wall_s / total_sim_wall_recorder_s.max(1e-9)),
         peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Gate the no-op recorder overhead: `Some(violation)` when the
+/// aggregate cost of the disabled telemetry hooks exceeds `max_pct`
+/// percent of events/sec throughput.
+pub fn check_recorder_overhead(report: &PerfReport, max_pct: f64) -> Option<String> {
+    if report.recorder_overhead_pct > max_pct {
+        Some(format!(
+            "disabled-recorder overhead {:.2}% exceeds the {max_pct:.1}% gate \
+             ({:.3}s untraced vs {:.3}s with a no-op recorder attached)",
+            report.recorder_overhead_pct, report.total_sim_wall_s, report.total_sim_wall_recorder_s
+        ))
+    } else {
+        None
     }
 }
 
@@ -561,6 +644,9 @@ mod tests {
                 program_unrolled_bytes: 10_000,
                 sim_wall_s: 0.001,
                 events_per_sec: eps,
+                sim_wall_recorder_s: 0.001,
+                events_per_sec_recorder: eps,
+                recorder_overhead_pct: 0.0,
                 failures: 1,
                 ranks_rolled_back: 2,
                 rollback_rank_fraction: 1.0,
@@ -576,8 +662,26 @@ mod tests {
             total_events: 1000,
             total_sim_wall_s: 0.001,
             aggregate_events_per_sec: eps,
+            total_sim_wall_recorder_s: 0.001,
+            recorder_overhead_pct: 0.0,
             peak_rss_bytes: 0,
         }
+    }
+
+    #[test]
+    fn recorder_overhead_gate_trips_above_the_ceiling() {
+        let mut report = report_with("c", 1000.0, 7);
+        assert!(check_recorder_overhead(&report, MAX_RECORDER_OVERHEAD_PCT).is_none());
+        // 5% slower with the no-op recorder attached.
+        report.total_sim_wall_recorder_s = report.total_sim_wall_s / 0.95;
+        report.recorder_overhead_pct =
+            100.0 * (1.0 - report.total_sim_wall_s / report.total_sim_wall_recorder_s);
+        let violation = check_recorder_overhead(&report, MAX_RECORDER_OVERHEAD_PCT)
+            .expect("5% overhead must trip the 3% gate");
+        assert!(violation.contains("overhead"), "{violation}");
+        // Negative overhead (recorder run was faster — noise) passes.
+        report.recorder_overhead_pct = -1.0;
+        assert!(check_recorder_overhead(&report, MAX_RECORDER_OVERHEAD_PCT).is_none());
     }
 
     #[test]

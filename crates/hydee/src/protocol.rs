@@ -57,6 +57,9 @@ pub struct Hydee {
     /// redone since the previous rollback, not the whole
     /// checkpoint-to-now span again.
     last_rolled_at: Vec<SimTime>,
+    /// When each active rolled cluster finished its checkpoint restore —
+    /// the boundary between its rollback and replay telemetry spans.
+    rollback_end: Vec<SimTime>,
     /// Checkpoint scheduler (DESIGN.md §2.4); `None` = no periodic
     /// checkpoints beyond the implicit t=0 one.
     policy: Option<Box<dyn CheckpointPolicy>>,
@@ -106,6 +109,7 @@ impl Hydee {
             recovery_epoch: 0,
             active_rolled: BTreeSet::new(),
             last_rolled_at: vec![SimTime::ZERO; n_clusters],
+            rollback_end: vec![SimTime::ZERO; n_clusters],
             policy_reactive: policy.as_deref().is_some_and(|p| p.reactive()),
             policy,
             ledger,
@@ -248,10 +252,21 @@ impl Hydee {
         // The cluster's members share the aggregate pipe as one batch;
         // checkpoints of *other* clusters overlapping this one in
         // virtual time queue it (the §VI I/O-burst pricing).
-        let write = self.ledger.write(ctx.now(), ckpt.bytes);
-        let cost = coord + write;
+        let write = self.ledger.write_batch(ctx.now(), ckpt.bytes);
+        let cost = coord + write.total();
         for &r in &members {
             ctx.charge(r, cost);
+        }
+        let now = ctx.now();
+        if let Some(rec) = ctx.recorder() {
+            rec.on_storage(
+                mps_sim::StorageDir::Write,
+                now,
+                write.queued,
+                write.service,
+                ckpt.bytes,
+            );
+            rec.on_checkpoint(c, now, now + cost, ckpt.bytes);
         }
         ctx.metrics().checkpoints += n_members;
         ctx.metrics().checkpoint_bytes += ckpt.bytes;
@@ -273,8 +288,18 @@ impl Hydee {
         if self.rp.as_ref().is_some_and(|rp| rp.done()) {
             self.rp = None;
             self.recovering = false;
+            let now = ctx.now();
+            if ctx.recorder().is_some() {
+                for &c in &self.active_rolled {
+                    let restored = self.rollback_end[c as usize];
+                    if let Some(rec) = ctx.recorder() {
+                        rec.on_recovery_phase(c, mps_sim::RecoveryPhase::Replay, restored, now);
+                        rec.on_recovery_phase(c, mps_sim::RecoveryPhase::Complete, now, now);
+                    }
+                }
+            }
             self.active_rolled.clear();
-            let span = ctx.now().since(self.recovery_started);
+            let span = now.since(self.recovery_started);
             ctx.metrics().recovery_time += span;
             // Checkpoints that fell due during the recovery fire now,
             // anchored at its completion — not one blind interval past
@@ -801,7 +826,34 @@ impl Protocol for Hydee {
                     .bytes
             })
             .sum();
-        let read = self.ledger.read(ctx.now(), total_restore_bytes);
+        let read_batch = self.ledger.read_batch(ctx.now(), total_restore_bytes);
+        let read = read_batch.total();
+        let t_fail = ctx.now();
+        // Every rolled cluster's members resume compute at the end of the
+        // shared restore batch: that instant splits its recovery into the
+        // rollback span (restore) and the replay span (ends when the
+        // recovery process completes, see `dispatch_rp`).
+        let restore_end = t_fail + self.cfg.restart_latency + read;
+        for &c in &rolled_clusters {
+            self.rollback_end[c as usize] = restore_end;
+        }
+        if ctx.recorder().is_some() {
+            if let Some(rec) = ctx.recorder() {
+                rec.on_storage(
+                    mps_sim::StorageDir::Read,
+                    t_fail,
+                    read_batch.queued,
+                    read_batch.service,
+                    total_restore_bytes,
+                );
+            }
+            for &c in &rolled_clusters {
+                if let Some(rec) = ctx.recorder() {
+                    rec.on_recovery_phase(c, mps_sim::RecoveryPhase::Detect, t_fail, t_fail);
+                    rec.on_recovery_phase(c, mps_sim::RecoveryPhase::Rollback, t_fail, restore_end);
+                }
+            }
+        }
         for &c in &rolled_clusters {
             let ckpt = self.checkpoints[c as usize]
                 .as_ref()

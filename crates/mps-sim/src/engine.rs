@@ -38,6 +38,7 @@ use det_sim::{EventHandle, FxHashMap, Scheduler, SimDuration, SimTime};
 use net_model::{CostCache, MsgCost, MxModel, NetworkModel};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use telemetry::{Gauges, Recorder};
 
 /// Engine configuration.
 pub struct SimConfig {
@@ -257,6 +258,12 @@ impl<C> FlightSlab<C> {
             .enumerate()
             .filter_map(|(i, f)| f.as_ref().map(|f| (i as u32, f)))
     }
+
+    /// Messages currently in flight (every vacant slot is on the free
+    /// list, so this is O(1)).
+    fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
 }
 
 /// Engine internals shared with protocols through [`Ctx`].
@@ -279,6 +286,10 @@ pub struct Core<C> {
     /// [`Ctx::failure_mtbf`] (checkpoint policies size their intervals
     /// from it, DESIGN.md §2.4).
     failure_mtbf: Option<SimDuration>,
+    /// Attached telemetry recorder (DESIGN.md §2.5). `None` by default:
+    /// every instrumentation point is gated behind this one check, so a
+    /// run without telemetry pays a single never-taken branch per site.
+    recorder: Option<Box<dyn Recorder>>,
     pub metrics: Metrics,
     pub trace: Trace,
 }
@@ -319,6 +330,7 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
             arrival_counter: 0,
             done_count: 0,
             failure_mtbf: None,
+            recorder: None,
             metrics: Metrics::default(),
             trace: Trace::new(n),
         }
@@ -326,6 +338,20 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
 
     fn n(&self) -> usize {
         self.ranks.len()
+    }
+
+    /// Snapshot the counters a time-series recorder samples. Only built
+    /// when a recorder is attached.
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            events: self.metrics.events,
+            queue_depth: self.sched.len(),
+            inflight_msgs: self.flights.len(),
+            logged_bytes: self.metrics.logged_bytes,
+            deliveries: self.metrics.deliveries,
+            checkpoint_time_ps: self.metrics.checkpoint_time.as_ps(),
+            lost_work_ps: self.metrics.lost_work.as_ps(),
+        }
     }
 
     /// Price a wire size on the configured network, memoized.
@@ -394,6 +420,10 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
             self.trace.check_replay(&msg);
         } else {
             self.trace.record_send(&msg);
+        }
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            let now = self.sched.now();
+            rec.on_send(now, src.0, dst.0, msg.bytes, msg.replayed);
         }
         self.schedule_flight(
             Endpoint::Rank(src),
@@ -631,6 +661,14 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
         let at = at.max(self.now());
         self.core.sched.schedule(at, Event::Timer { id });
     }
+
+    /// The attached telemetry recorder, if any. Protocols emit their
+    /// structural events (checkpoints, recovery phases, storage batches)
+    /// through this; `None` is the common case and the caller's `if let`
+    /// is the entire disabled-path cost (DESIGN.md §2.5).
+    pub fn recorder(&mut self) -> Option<&mut (dyn Recorder + 'static)> {
+        self.core.recorder.as_deref_mut()
+    }
 }
 
 /// The simulator: an [`Application`] + a [`Protocol`] + a [`SimConfig`].
@@ -700,6 +738,14 @@ impl<P: Protocol> Sim<P> {
         }
     }
 
+    /// Attach a telemetry recorder for this run (DESIGN.md §2.5).
+    /// Recorders observe, they never influence: digests, metrics and
+    /// makespan are bit-for-bit identical with or without one
+    /// (`tests/recorder_neutrality.rs`).
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.core.recorder = Some(recorder);
+    }
+
     /// Access the protocol (for post-run inspection in tests).
     pub fn protocol(&self) -> &P {
         &self.protocol
@@ -722,6 +768,12 @@ impl<P: Protocol> Sim<P> {
             if self.core.metrics.events > self.core.config.max_events {
                 status = Some(RunStatus::EventLimit);
                 break;
+            }
+            if self.core.recorder.is_some() {
+                let g = self.core.gauges();
+                if let Some(rec) = self.core.recorder.as_deref_mut() {
+                    rec.on_tick(t, &g);
+                }
             }
             match ev {
                 Event::Exec { rank, epoch } => {
@@ -795,6 +847,10 @@ impl<P: Protocol> Sim<P> {
                 Event::Failure { ranks, from_model } => {
                     self.core.metrics.failures += 1;
                     self.core.metrics.failed_ranks += ranks.len() as u64;
+                    if let Some(rec) = self.core.recorder.as_deref_mut() {
+                        let ids: Vec<u32> = ranks.iter().map(|r| r.0).collect();
+                        rec.on_failure(t, &ids);
+                    }
                     for &r in &ranks {
                         let rs = &mut self.core.ranks[r.idx()];
                         if rs.status == Status::Done {
@@ -842,6 +898,12 @@ impl<P: Protocol> Sim<P> {
             .max()
             .unwrap_or(SimTime::ZERO);
         self.core.metrics.makespan = makespan;
+        if self.core.recorder.is_some() {
+            let g = self.core.gauges();
+            if let Some(rec) = self.core.recorder.as_deref_mut() {
+                rec.on_run_end(makespan, &g);
+            }
+        }
         (
             RunReport {
                 status,
@@ -1023,6 +1085,10 @@ impl<P: Protocol> Sim<P> {
             rs.pc += 1;
         }
         self.core.metrics.deliveries += 1;
+        if let Some(rec) = self.core.recorder.as_deref_mut() {
+            let now = self.core.sched.now();
+            rec.on_deliver(now, arr.msg.src.0, rank.0, arr.msg.bytes);
+        }
         self.protocol.on_deliver(
             &mut Ctx {
                 core: &mut self.core,

@@ -61,6 +61,9 @@ pub use program::{
 pub use protocol::{NullProtocol, Protocol, SendAction, SendDirective, SendInfo};
 pub use trace::{CommMatrix, Trace};
 pub use types::{ChannelId, Endpoint, Message, PbMeta, Rank, Tag};
+// Observability layer (DESIGN.md §2.5): protocols and drivers attach
+// recorders through [`Sim::set_recorder`] / [`Ctx::recorder`].
+pub use telemetry::{Fanout, Gauges, NoopRecorder, Recorder, RecoveryPhase, StorageDir};
 
 /// Convenience re-exports.
 pub mod prelude {

@@ -155,6 +155,41 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_runs_never_produce_nan_or_inf() {
+        // Zero-makespan (empty program) and zero-rank runs are legal
+        // inputs to the derived ratios; every one must stay a finite,
+        // in-range number so JSONL/CSV rows never carry NaN/inf.
+        let mut m = Metrics {
+            checkpoint_time: SimDuration::from_secs(3),
+            lost_work: SimDuration::from_secs(4),
+            failures: 2,
+            ranks_rolled_back: 5,
+            ..Default::default()
+        };
+        for n_ranks in [0usize, 8] {
+            // makespan still zero here: gross compute is 0 either way.
+            assert_eq!(m.waste_fraction(n_ranks), 0.0);
+            assert_eq!(m.efficiency(n_ranks), 1.0);
+        }
+        m.makespan = SimTime::from_secs(10);
+        assert_eq!(m.waste_fraction(0), 0.0, "zero ranks: gross compute 0");
+        assert_eq!(m.efficiency(0), 1.0);
+        assert_eq!(m.rollback_rank_fraction(0), 0.0);
+        m.failures = 0;
+        assert_eq!(m.rollback_rank_fraction(8), 0.0, "clean run");
+        for n_ranks in [0usize, 1, 8] {
+            for v in [
+                m.waste_fraction(n_ranks),
+                m.efficiency(n_ranks),
+                m.rollback_rank_fraction(n_ranks),
+            ] {
+                assert!(v.is_finite(), "non-finite ratio for n_ranks={n_ranks}");
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
     fn reclaim_saturates() {
         let mut m = Metrics::default();
         m.log_append(10);

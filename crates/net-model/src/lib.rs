@@ -32,4 +32,4 @@ pub mod storage;
 pub use memcpy::MemcpyModel;
 pub use network::{CostCache, MsgCost, MxModel, NetworkModel, TcpModel};
 pub use piggyback::{PiggybackCost, PiggybackPolicy};
-pub use storage::{StableStorage, StorageLedger};
+pub use storage::{StableStorage, StorageBatch, StorageLedger};

@@ -113,6 +113,26 @@ pub struct StorageLedger {
     read_busy_until: SimTime,
 }
 
+/// Priced breakdown of one ledger batch: how long it waited for the
+/// shared pipe and how long the pipe then served it. Telemetry renders
+/// the two as separate spans on the storage-pipe track, so a saturated
+/// pipe is visible as queueing rather than mysteriously slow transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageBatch {
+    /// Residual time of transfers already underway (0 when the pipe is
+    /// idle at admission).
+    pub queued: SimDuration,
+    /// Setup latency + transfer at full aggregate bandwidth.
+    pub service: SimDuration,
+}
+
+impl StorageBatch {
+    /// The duration each member of the batch is charged.
+    pub fn total(&self) -> SimDuration {
+        self.queued + self.service
+    }
+}
+
 impl StorageLedger {
     pub fn new(cfg: StableStorage) -> Self {
         StorageLedger {
@@ -127,17 +147,30 @@ impl StorageLedger {
         &self.cfg
     }
 
-    fn batch(busy_until: &mut SimTime, now: SimTime, latency: SimDuration, ps: u64) -> SimDuration {
+    fn batch(
+        busy_until: &mut SimTime,
+        now: SimTime,
+        latency: SimDuration,
+        ps: u64,
+    ) -> StorageBatch {
         let queue = busy_until.since(now); // saturates to ZERO when idle
         let transfer = SimDuration::from_ps(ps);
         *busy_until = now + queue + transfer;
-        queue + latency + transfer
+        StorageBatch {
+            queued: queue,
+            service: latency + transfer,
+        }
     }
 
     /// Price a coordinated write batch of `total_bytes` starting at
     /// `now`. Returns the duration each member of the batch is charged
     /// (members complete together).
     pub fn write(&mut self, now: SimTime, total_bytes: u64) -> SimDuration {
+        self.write_batch(now, total_bytes).total()
+    }
+
+    /// [`StorageLedger::write`] with the queue/service breakdown.
+    pub fn write_batch(&mut self, now: SimTime, total_bytes: u64) -> StorageBatch {
         let ps = transfer_ps(total_bytes, self.cfg.write_bytes_per_us, 1);
         Self::batch(&mut self.write_busy_until, now, self.cfg.latency, ps)
     }
@@ -145,6 +178,11 @@ impl StorageLedger {
     /// Price a coordinated read batch of `total_bytes` starting at `now`
     /// (restart: a rolled-back set of processes loads its checkpoints).
     pub fn read(&mut self, now: SimTime, total_bytes: u64) -> SimDuration {
+        self.read_batch(now, total_bytes).total()
+    }
+
+    /// [`StorageLedger::read`] with the queue/service breakdown.
+    pub fn read_batch(&mut self, now: SimTime, total_bytes: u64) -> StorageBatch {
         let ps = transfer_ps(total_bytes, self.cfg.read_bytes_per_us, 1);
         Self::batch(&mut self.read_busy_until, now, self.cfg.latency, ps)
     }
@@ -260,6 +298,26 @@ mod tests {
         // Arrives 600 us in: 400 us of residual queueing.
         let second = ledger.write(SimTime::from_us(600), 1_000_000);
         assert_eq!(second, SimDuration::from_us(400 + 1000));
+    }
+
+    #[test]
+    fn batch_breakdown_sums_to_the_charged_duration() {
+        let s = StableStorage::default();
+        let mut a = StorageLedger::new(s);
+        let mut b = StorageLedger::new(s);
+        let now = SimTime::from_ms(1);
+        for bytes in [1u64 << 20, 1 << 20, 4 << 20] {
+            let batch = a.write_batch(now, bytes);
+            assert_eq!(batch.total(), b.write(now, bytes), "write equivalence");
+            let batch = a.read_batch(now, bytes);
+            assert_eq!(batch.total(), b.read(now, bytes), "read equivalence");
+        }
+        // The second overlapping batch's wait shows up as `queued`.
+        let mut l = StorageLedger::new(s);
+        let first = l.write_batch(now, 1 << 20);
+        assert_eq!(first.queued, SimDuration::ZERO);
+        let second = l.write_batch(now, 1 << 20);
+        assert_eq!(second.queued, first.service - s.latency);
     }
 
     #[test]

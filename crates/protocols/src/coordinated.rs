@@ -175,13 +175,25 @@ impl Protocol for GlobalCoordinated {
         // Every rank writes simultaneously — the full-width I/O burst
         // the paper's §VI warns about, priced as one machine-wide batch
         // on the shared pipe (and queued behind anything it overlaps).
-        let write = self.ledger.write(ctx.now(), ckpt.bytes);
+        let write = self.ledger.write_batch(ctx.now(), ckpt.bytes);
         // Global coordination barrier: two tree traversals of the machine.
         let levels = (usize::BITS - (self.n.max(1) - 1).leading_zeros()) as u64;
         let coord = ctx.wire_cost(32).one_way() * (2 * levels.max(1));
-        let cost = coord + write;
+        let cost = coord + write.total();
         for r in self.all_ranks() {
             ctx.charge(r, cost);
+        }
+        let now = ctx.now();
+        if let Some(rec) = ctx.recorder() {
+            rec.on_storage(
+                mps_sim::StorageDir::Write,
+                now,
+                write.queued,
+                write.service,
+                ckpt.bytes,
+            );
+            // The whole machine is one containment domain: cluster 0.
+            rec.on_checkpoint(0, now, now + cost, ckpt.bytes);
         }
         ctx.metrics().checkpoints += self.n as u64;
         ctx.metrics().checkpoint_bytes += ckpt.bytes;
@@ -218,12 +230,27 @@ impl Protocol for GlobalCoordinated {
         let total = ckpt.bytes;
         let inflight = ckpt.inflight.clone();
         let snaps: Vec<RankSnapshot> = ckpt.snaps.clone();
-        let read = self.ledger.read(started, total);
+        let read = self.ledger.read_batch(started, total);
         for (i, snap) in snaps.iter().enumerate() {
             ctx.restore_rank(Rank(i as u32), snap, false);
-            ctx.charge(Rank(i as u32), self.cfg.restart_latency + read);
+            ctx.charge(Rank(i as u32), self.cfg.restart_latency + read.total());
         }
         ctx.inject_inflight(&inflight);
+        if let Some(rec) = ctx.recorder() {
+            rec.on_storage(
+                mps_sim::StorageDir::Read,
+                started,
+                read.queued,
+                read.service,
+                total,
+            );
+            // No log replay under coordinated checkpointing: recovery is
+            // detect → machine-wide rollback → complete on cluster 0.
+            let restored = started + self.cfg.restart_latency + read.total();
+            rec.on_recovery_phase(0, mps_sim::RecoveryPhase::Detect, started, started);
+            rec.on_recovery_phase(0, mps_sim::RecoveryPhase::Rollback, started, restored);
+            rec.on_recovery_phase(0, mps_sim::RecoveryPhase::Complete, restored, restored);
+        }
         let span = ctx.now().since(started);
         ctx.metrics().recovery_time += span;
     }

@@ -25,7 +25,7 @@ use det_sim::{SimDuration, SimTime};
 use hydee::{Hydee, HydeeConfig};
 use mps_sim::{
     Application, CheckpointPolicyConfig, ClusterMap, FailureModel, FixedSchedule, NullProtocol,
-    Protocol, RunReport, Sim, SimConfig,
+    Protocol, Recorder, RunReport, Sim, SimConfig,
 };
 use net_model::StableStorage;
 
@@ -60,6 +60,9 @@ pub struct RunRequest {
     pub sim_config: SimConfig,
     pub clusters: ClusterMap,
     pub failure_model: Box<dyn FailureModel>,
+    /// Telemetry recorder attached to the run (DESIGN.md §2.5); `None`
+    /// (the default) costs one branch per instrumentation point.
+    pub recorder: Option<Box<dyn Recorder>>,
 }
 
 impl RunRequest {
@@ -72,6 +75,7 @@ impl RunRequest {
             sim_config: SimConfig::default(),
             clusters: ClusterMap::single(n),
             failure_model: Box::new(FixedSchedule::none()),
+            recorder: None,
         }
     }
 
@@ -96,6 +100,15 @@ impl RunRequest {
     pub fn failures(self, events: Vec<FailureEvent>) -> Self {
         self.failure_model(Box::new(FixedSchedule::new(events)))
     }
+
+    /// Attach a telemetry recorder (a `telemetry::SpanRecorder`, a
+    /// `telemetry::Sampler`, or a [`mps_sim::Fanout`] of several). The
+    /// caller keeps the recorder's export handle and reads it after
+    /// [`ProtocolFactory::run`].
+    pub fn recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
 }
 
 /// Runtime-interchangeable protocol constructor/runner (object-safe).
@@ -111,6 +124,9 @@ pub trait ProtocolFactory: Send + Sync {
 fn run_sim<P: Protocol>(req: RunRequest, protocol: P) -> RunReport {
     let mut sim = Sim::new(req.app, req.sim_config, protocol);
     sim.set_failure_model(req.failure_model);
+    if let Some(recorder) = req.recorder {
+        sim.set_recorder(recorder);
+    }
     sim.run()
 }
 

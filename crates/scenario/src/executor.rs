@@ -17,10 +17,11 @@
 
 use rayon::prelude::*;
 
+use crate::progress::{ProgressSink, ProgressState};
 use crate::record::RunRecord;
 use crate::spec::ScenarioSpec;
 use clustering::ClusteringStats;
-use mps_sim::Metrics;
+use mps_sim::{Metrics, Recorder};
 use protocols::RunRequest;
 
 /// Runs scenario batches. Construct with [`Executor::new`] (parallel) or
@@ -45,6 +46,17 @@ impl Executor {
     /// Evaluate one spec. Public so single-run callers (examples, tests)
     /// can skip batch plumbing.
     pub fn run_one(spec: &ScenarioSpec) -> RunRecord {
+        Self::run_one_with_recorder(spec, None)
+    }
+
+    /// Evaluate one spec with an optional [`Recorder`] attached to the
+    /// simulation (trace spans, time-series samples). Recorders are
+    /// observers: the returned record is bit-for-bit identical with or
+    /// without one (`tests/recorder_neutrality.rs` locks this in).
+    pub fn run_one_with_recorder(
+        spec: &ScenarioSpec,
+        recorder: Option<Box<dyn Recorder>>,
+    ) -> RunRecord {
         let app = spec.workload.build();
         let map = spec.clusters.resolve(&app);
         let stats = ClusteringStats::evaluate(&app, &map);
@@ -95,10 +107,13 @@ impl Executor {
             };
         }
         let factory = spec.protocol.to_factory();
-        let req = RunRequest::new(app)
+        let mut req = RunRequest::new(app)
             .sim_config(spec.sim_config())
             .failure_model(spec.failure_model.build(&map))
             .clusters(map);
+        if let Some(rec) = recorder {
+            req = req.recorder(rec);
+        }
         let report = factory.run(req);
         record.with_report(&report)
     }
@@ -110,6 +125,43 @@ impl Executor {
         } else {
             specs.par_iter().map(Self::run_one).collect()
         }
+    }
+
+    /// Like [`Executor::run`], but reports every cell start/completion
+    /// through `sink` (see [`crate::progress`]). Progress is advisory:
+    /// the records are identical to a plain [`Executor::run`].
+    pub fn run_with_progress(
+        &self,
+        specs: &[ScenarioSpec],
+        sink: &dyn ProgressSink,
+    ) -> Vec<RunRecord> {
+        let state = ProgressState::new(specs.len());
+        let eval = |spec: &ScenarioSpec| {
+            state.on_start(sink, &spec.label());
+            let record = Self::run_one(spec);
+            state.on_done(sink, &record);
+            record
+        };
+        if self.serial {
+            specs.iter().map(eval).collect()
+        } else {
+            specs.par_iter().map(eval).collect()
+        }
+    }
+
+    /// [`Executor::run_one_with_recorder`] plus progress heartbeats for
+    /// the one-cell batch, so `sweep --trace-out --progress-out` still
+    /// feeds its progress sinks.
+    pub fn run_one_with_recorder_and_progress(
+        spec: &ScenarioSpec,
+        recorder: Option<Box<dyn Recorder>>,
+        sink: &dyn ProgressSink,
+    ) -> RunRecord {
+        let state = ProgressState::new(1);
+        state.on_start(sink, &spec.label());
+        let record = Self::run_one_with_recorder(spec, recorder);
+        state.on_done(sink, &record);
+        record
     }
 }
 
@@ -195,5 +247,51 @@ mod tests {
                 serde_json::to_string(p).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn run_with_progress_reports_every_cell_and_matches_run() {
+        let specs: Vec<ScenarioSpec> = (1..=4)
+            .map(|i| {
+                ScenarioSpec::new(
+                    WorkloadSpec::NetPipe {
+                        rounds: i,
+                        bytes: 128,
+                    },
+                    ProtocolSpec::hydee(),
+                    ClusterStrategy::PerRank,
+                )
+            })
+            .collect();
+        let sink = crate::progress::tests::CollectSink::default();
+        // Serial so heartbeat ordering is deterministic for assertions;
+        // the parallel path shares the same eval closure.
+        let with = Executor::serial().run_with_progress(&specs, &sink);
+        let plain = Executor::serial().run(&specs);
+        for (a, b) in with.iter().zip(&plain) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+        let snaps = sink.snaps.lock().unwrap();
+        assert_eq!(snaps.iter().filter(|s| s.phase == "start").count(), 4);
+        assert_eq!(snaps.iter().filter(|s| s.phase == "done").count(), 4);
+        let last = snaps.last().unwrap();
+        assert_eq!(last.completed, 4);
+        assert_eq!(last.running, 0);
+        let total_events: u64 = plain.iter().map(|r| r.metrics.events).sum();
+        assert_eq!(last.events, total_events);
+    }
+
+    #[test]
+    fn attached_recorder_does_not_change_the_record() {
+        let spec = tiny_spec();
+        let plain = Executor::run_one(&spec);
+        let traced = Executor::run_one_with_recorder(&spec, Some(Box::new(mps_sim::NoopRecorder)));
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap()
+        );
     }
 }

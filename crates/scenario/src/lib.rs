@@ -18,6 +18,9 @@
 //! * [`RunRecord`] + [`JsonlSink`]/[`CsvSink`]/[`MatrixSummary`] — typed
 //!   result rows with file sinks and aggregation, replacing the ad-hoc
 //!   row writers the bench binaries used to duplicate.
+//! * [`progress`] — live batch heartbeats (cells completed/running,
+//!   events per wall second, ETA) for `sweep --progress` and JSONL
+//!   tailers, via [`Executor::run_with_progress`].
 //!
 //! ```
 //! use scenario::{ClusterStrategy, Executor, Matrix, ProtocolSpec};
@@ -37,13 +40,15 @@
 
 pub mod executor;
 pub mod matrix;
+pub mod progress;
 pub mod record;
 pub mod report;
 pub mod spec;
 
 pub use executor::Executor;
 pub use matrix::Matrix;
-pub use record::{fold_digests, RunRecord};
+pub use progress::{HumanProgress, JsonlProgress, ProgressFanout, ProgressSink, ProgressSnapshot};
+pub use record::{csv_escape, fold_digests, parse_csv, RunRecord};
 pub use report::{
     default_results_dir, write_all, CsvSink, JsonlSink, MatrixSummary, Sink, SummaryCell, Table,
 };

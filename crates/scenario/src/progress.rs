@@ -1,0 +1,242 @@
+//! Live progress for sweep batches.
+//!
+//! [`Executor::run_with_progress`](crate::Executor::run_with_progress)
+//! reports every cell start/completion through a [`ProgressSink`]. The
+//! snapshot carries *wall-clock* throughput (engine events per wall
+//! second across completed cells) and a naive proportional ETA — enough
+//! for a human watching `sweep --progress` or a dashboard tailing the
+//! JSONL heartbeat file.
+//!
+//! Counters are atomics updated from rayon workers; snapshots are
+//! assembled under no lock, so two near-simultaneous updates may observe
+//! each other's counts. That is fine — progress is advisory telemetry,
+//! the *records* stay deterministic.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::record::RunRecord;
+
+/// One progress heartbeat: emitted when a cell starts (`phase: "start"`)
+/// and when it completes (`phase: "done"`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ProgressSnapshot {
+    /// `"start"` or `"done"`.
+    pub phase: String,
+    /// `ScenarioSpec::label()` of the cell this heartbeat is about.
+    pub cell: String,
+    /// Batch size.
+    pub total: usize,
+    /// Cells finished so far.
+    pub completed: usize,
+    /// Cells currently executing.
+    pub running: usize,
+    /// Engine events summed over completed cells.
+    pub events: u64,
+    /// Wall-clock seconds since the batch started.
+    pub wall_s: f64,
+    /// Engine events per wall second over completed cells; 0 until the
+    /// first cell completes (never NaN/inf).
+    pub events_per_sec: f64,
+    /// Projected wall seconds remaining, proportional to cells done; 0
+    /// until the first cell completes (never NaN/inf).
+    pub eta_s: f64,
+}
+
+/// Receives progress heartbeats. Implementations must tolerate calls
+/// from multiple rayon workers at once.
+pub trait ProgressSink: Send + Sync {
+    fn update(&self, snap: &ProgressSnapshot);
+}
+
+/// Human-readable progress on stderr: one line per completed cell.
+#[derive(Debug, Default)]
+pub struct HumanProgress;
+
+impl ProgressSink for HumanProgress {
+    fn update(&self, snap: &ProgressSnapshot) {
+        if snap.phase != "done" {
+            return;
+        }
+        eprintln!(
+            "[{}/{}] {} ({} running, {:.0} ev/s, ETA {:.1}s)",
+            snap.completed, snap.total, snap.cell, snap.running, snap.events_per_sec, snap.eta_s
+        );
+    }
+}
+
+/// Machine-readable progress: one JSON object per heartbeat, flushed per
+/// line so a tailing consumer sees cells as they land.
+pub struct JsonlProgress {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlProgress {
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlProgress {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl ProgressSink for JsonlProgress {
+    fn update(&self, snap: &ProgressSnapshot) {
+        let line = serde_json::to_string(snap).expect("snapshot serializes");
+        let mut out = self.out.lock().expect("progress writer poisoned");
+        // Heartbeats are best-effort: a full disk must not kill the sweep.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// Fan a heartbeat out to several sinks (e.g. stderr + JSONL file).
+#[derive(Default)]
+pub struct ProgressFanout {
+    sinks: Vec<Box<dyn ProgressSink>>,
+}
+
+impl ProgressFanout {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(mut self, sink: Box<dyn ProgressSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl ProgressSink for ProgressFanout {
+    fn update(&self, snap: &ProgressSnapshot) {
+        for sink in &self.sinks {
+            sink.update(snap);
+        }
+    }
+}
+
+/// Shared batch counters; one per `run_with_progress` call.
+pub(crate) struct ProgressState {
+    total: usize,
+    started: Instant,
+    completed: AtomicUsize,
+    running: AtomicUsize,
+    events: AtomicU64,
+}
+
+impl ProgressState {
+    pub(crate) fn new(total: usize) -> Self {
+        ProgressState {
+            total,
+            started: Instant::now(),
+            completed: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            events: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self, phase: &str, cell: &str) -> ProgressSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let events = self.events.load(Ordering::Relaxed);
+        let wall_s = self.started.elapsed().as_secs_f64();
+        // Guarded rates: zero until the denominators are meaningful so a
+        // heartbeat never carries NaN/inf.
+        let events_per_sec = if wall_s > 0.0 && completed > 0 {
+            events as f64 / wall_s
+        } else {
+            0.0
+        };
+        let eta_s = if completed > 0 {
+            wall_s / completed as f64 * (self.total - completed.min(self.total)) as f64
+        } else {
+            0.0
+        };
+        ProgressSnapshot {
+            phase: phase.into(),
+            cell: cell.into(),
+            total: self.total,
+            completed,
+            running: self.running.load(Ordering::Relaxed),
+            events,
+            wall_s,
+            events_per_sec,
+            eta_s,
+        }
+    }
+
+    pub(crate) fn on_start(&self, sink: &dyn ProgressSink, cell: &str) {
+        self.running.fetch_add(1, Ordering::Relaxed);
+        sink.update(&self.snapshot("start", cell));
+    }
+
+    pub(crate) fn on_done(&self, sink: &dyn ProgressSink, record: &RunRecord) {
+        self.events
+            .fetch_add(record.metrics.events, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.running.fetch_sub(1, Ordering::Relaxed);
+        sink.update(&self.snapshot("done", &record.scenario));
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// Collects every heartbeat for assertions.
+    #[derive(Default)]
+    pub(crate) struct CollectSink {
+        pub(crate) snaps: Mutex<Vec<ProgressSnapshot>>,
+    }
+
+    impl ProgressSink for CollectSink {
+        fn update(&self, snap: &ProgressSnapshot) {
+            self.snaps.lock().unwrap().push(snap.clone());
+        }
+    }
+
+    #[test]
+    fn state_counts_and_rates_stay_finite() {
+        let state = ProgressState::new(2);
+        let sink = CollectSink::default();
+        state.on_start(&sink, "a");
+        let rec = crate::record::tests::sample_record();
+        state.on_done(&sink, &rec);
+        state.on_start(&sink, "b");
+        state.on_done(&sink, &rec);
+        let snaps = sink.snaps.lock().unwrap();
+        assert_eq!(snaps.len(), 4);
+        let last = snaps.last().unwrap();
+        assert_eq!(last.phase, "done");
+        assert_eq!(last.completed, 2);
+        assert_eq!(last.running, 0);
+        for s in snaps.iter() {
+            assert!(s.events_per_sec.is_finite());
+            assert!(s.eta_s.is_finite());
+            assert!(s.eta_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eta_is_zero_before_any_completion() {
+        let state = ProgressState::new(10);
+        let sink = CollectSink::default();
+        state.on_start(&sink, "first");
+        let snaps = sink.snaps.lock().unwrap();
+        assert_eq!(snaps[0].eta_s, 0.0);
+        assert_eq!(snaps[0].events_per_sec, 0.0);
+    }
+}

@@ -86,6 +86,79 @@ pub struct RunRecord {
     pub metrics: Metrics,
 }
 
+/// RFC-4180 escaping for free-text CSV columns: the field is always
+/// quoted and inner quotes are doubled, so commas, quotes and embedded
+/// newlines in descriptor strings (scenario labels, failure-model names,
+/// deadlock diagnostics) survive a round-trip through [`parse_csv`].
+pub fn csv_escape(field: &str) -> String {
+    format!("\"{}\"", field.replace('"', "\"\""))
+}
+
+/// Minimal RFC-4180 reader: splits `text` into records of fields,
+/// honouring quoted fields that contain commas, doubled quotes and
+/// embedded newlines. Exists so tests (and post-processing scripts) can
+/// verify [`RunRecord::csv_row`] output without a CSV dependency.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    // A comma or any field character commits the current record, so a
+    // blank line between records is skipped rather than read as [""].
+    let mut record_started = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err("quote inside unquoted field".into());
+                }
+                in_quotes = true;
+                record_started = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                record_started = true;
+            }
+            '\r' | '\n' => {
+                if c == '\r' && chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                if record_started || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    record_started = false;
+                }
+            }
+            _ => {
+                field.push(c);
+                record_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    if record_started || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
 /// Fold per-rank digests into one order-sensitive value.
 pub fn fold_digests(digests: &[u64]) -> u64 {
     let mut acc = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
@@ -170,8 +243,9 @@ impl RunRecord {
     }
 
     pub fn csv_row(&self) -> String {
-        // Quote free-text columns; everything else is numeric.
-        let quote = |s: &str| format!("\"{}\"", s.replace('"', "\"\""));
+        // Quote free-text columns via [`csv_escape`]; everything else is
+        // numeric and safe bare.
+        let quote = csv_escape;
         [
             quote(&self.scenario),
             quote(&self.workload),
@@ -221,7 +295,7 @@ impl RunRecord {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     #[test]
@@ -231,9 +305,9 @@ mod tests {
         assert_ne!(fold_digests(&[]), fold_digests(&[0]));
     }
 
-    #[test]
-    fn csv_header_and_row_have_same_arity() {
-        let rec = RunRecord {
+    /// A filled-in record other test modules can reuse.
+    pub(crate) fn sample_record() -> RunRecord {
+        RunRecord {
             scenario: "s".into(),
             workload: "w".into(),
             protocol: "p".into(),
@@ -263,10 +337,60 @@ mod tests {
             checkpoint_overhead_s: 0.0,
             waste_fraction: 0.0,
             metrics: Metrics::default(),
-        };
+        }
+    }
+
+    #[test]
+    fn csv_header_and_row_have_same_arity() {
+        let rec = sample_record();
+        let parsed = parse_csv(&format!("{}\n{}\n", RunRecord::csv_header(), rec.csv_row()))
+            .expect("header+row parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].len(), parsed[1].len());
+    }
+
+    #[test]
+    fn descriptors_with_commas_quotes_and_newlines_round_trip() {
+        let mut rec = sample_record();
+        rec.scenario = "cg,scale=0.5 \"quoted\"".into();
+        rec.failure_model = "fail@195ms:r7,fail@400ms:r1+r2".into();
+        rec.status = "deadlock: rank 0 waiting on recv(src=1, tag=3);\nrank 1 exited".into();
+        let text = format!("{}\n{}\n", RunRecord::csv_header(), rec.csv_row());
+        let parsed = parse_csv(&text).expect("row with nasty descriptors parses");
         assert_eq!(
-            RunRecord::csv_header().split(',').count(),
-            rec.csv_row().split(',').count()
+            parsed.len(),
+            2,
+            "embedded newline must stay inside one record"
         );
+        let header = &parsed[0];
+        let row = &parsed[1];
+        assert_eq!(header.len(), row.len());
+        let col = |name: &str| {
+            let i = header.iter().position(|h| h == name).unwrap();
+            row[i].clone()
+        };
+        assert_eq!(col("scenario"), rec.scenario);
+        assert_eq!(col("failure_model"), rec.failure_model);
+        assert_eq!(col("status"), rec.status);
+    }
+
+    #[test]
+    fn parse_csv_handles_quoting_rules() {
+        assert_eq!(
+            parse_csv("a,\"b,c\"\nd,e").unwrap(),
+            vec![vec!["a", "b,c"], vec!["d", "e"]]
+        );
+        assert_eq!(parse_csv("\"x\ny\",2").unwrap(), vec![vec!["x\ny", "2"]]);
+        assert_eq!(
+            parse_csv("\"he said \"\"hi\"\"\"").unwrap(),
+            vec![vec!["he said \"hi\""]]
+        );
+        assert_eq!(
+            parse_csv("a,\r\nb,").unwrap(),
+            vec![vec!["a", ""], vec!["b", ""]]
+        );
+        assert_eq!(parse_csv("").unwrap(), Vec::<Vec<String>>::new());
+        assert!(parse_csv("\"open").is_err());
+        assert!(parse_csv("ab\"c\"").is_err());
     }
 }

@@ -12,4 +12,5 @@ pub use mps_sim;
 pub use net_model;
 pub use protocols;
 pub use scenario;
+pub use telemetry;
 pub use workloads;
