@@ -13,14 +13,19 @@
 //! All 24 simulations (6 benches × 4 configurations) run as one parallel
 //! scenario batch.
 //!
+//! The experiment shape lives in `suites/ablation.suite` (embedded at
+//! compile time; `sweep --suite suites/ablation.suite` runs the same
+//! cells): `native`/`full_det` sweep all six kernels, and per-kernel
+//! `hydee_<kernel>`/`det_<kernel>` scenarios carry the Table-I cluster
+//! counts.
+//!
 //! Run: `cargo run -p bench --release --bin ablation_event_logging`
 
-use bench::{Artefact, Table};
-use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec};
+use bench::{Artefact, SuiteRun, Table};
 use serde::Serialize;
-use workloads::{NasBench, WorkloadSpec};
+use workloads::NasBench;
 
-const SCALE: f64 = 1.0 / 64.0;
+const SUITE: &str = include_str!("../../../../suites/ablation.suite");
 
 #[derive(Serialize)]
 struct Row {
@@ -38,31 +43,10 @@ fn main() {
 
     // Per bench: native / HydEE / HydEE+determinants / full logging
     // +determinants.
-    fn variants(bench: NasBench) -> [(ProtocolSpec, ClusterStrategy); 4] {
-        let table1 = ClusterStrategy::Partitioned(bench.paper_clusters());
-        [
-            (ProtocolSpec::Native, ClusterStrategy::Single),
-            (ProtocolSpec::hydee(), table1),
-            (ProtocolSpec::event_logged(), table1),
-            (ProtocolSpec::event_logged(), ClusterStrategy::PerRank),
-        ]
-    }
-    let per_bench = variants(NasBench::BT).len();
-    let specs: Vec<ScenarioSpec> = NasBench::all()
-        .into_iter()
-        .flat_map(|bench| {
-            let workload = WorkloadSpec::Nas {
-                bench,
-                scale: SCALE,
-                iterations: None,
-            };
-            variants(bench)
-                .map(|(protocol, clusters)| ScenarioSpec::new(workload.clone(), protocol, clusters))
-        })
-        .collect();
-    let records = Executor::new().run(&specs);
-    assert_eq!(records.len(), per_bench * NasBench::all().len());
-    artefact.record_runs(&records);
+    let run = SuiteRun::execute(SUITE, "suites/ablation.suite");
+    assert_eq!(run.records.len(), 4 * NasBench::all().len());
+    artefact.record_runs(&run.records);
+    let (natives, full_dets) = (run.scenario("native"), run.scenario("full_det"));
 
     let mut table = Table::new(&[
         "bench",
@@ -71,10 +55,22 @@ fn main() {
         "full logging + determinants",
         "determinant penalty",
     ]);
-    for (bench, chunk) in NasBench::all().into_iter().zip(records.chunks(per_bench)) {
-        let [native, hydee, hybrid, full] = [&chunk[0], &chunk[1], &chunk[2], &chunk[3]];
+    for (i, bench) in NasBench::all().into_iter().enumerate() {
+        let key = bench.name().to_lowercase();
+        let [native, hydee, hybrid, full] = [
+            natives[i],
+            run.one(&format!("hydee_{key}")),
+            run.one(&format!("det_{key}")),
+            full_dets[i],
+        ];
         for r in [native, hydee, hybrid, full] {
             assert!(r.completed, "{}: {}", r.scenario, r.status);
+            assert!(
+                r.workload.starts_with(&format!("nas:{}", bench.name())),
+                "suite kernel order drifted: wanted {}, got {}",
+                bench.name(),
+                r.workload
+            );
         }
         // Normalize on the exact integer-picosecond makespans (the
         // determinism golden values) rather than their pre-rounded

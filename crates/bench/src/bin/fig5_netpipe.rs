@@ -11,12 +11,18 @@
 //! latency plateau; logging ≈ no-logging everywhere (the memcpy hides
 //! behind the NIC transfer).
 //!
+//! The experiment shape lives in `suites/fig5.suite` (embedded at
+//! compile time; `sweep --suite suites/fig5.suite` runs the same cells).
+//! A bench test pins the suite's workload list to
+//! `workloads::size_ladder(8 << 20)`.
+//!
 //! Run: `cargo run -p bench --release --bin fig5_netpipe`
 
-use bench::{Artefact, Table};
-use scenario::{ClusterStrategy, Executor, ProtocolSpec, RunRecord, ScenarioSpec};
+use bench::{Artefact, SuiteRun, Table};
+use scenario::RunRecord;
 use serde::Serialize;
-use workloads::{size_ladder, WorkloadSpec};
+
+const SUITE: &str = include_str!("../../../../suites/fig5.suite");
 
 const ROUNDS: usize = 20;
 
@@ -45,31 +51,25 @@ fn main() {
     println!("Figure 5: NetPIPE ping-pong over Myrinet 10G — % reduction vs native");
     println!();
 
-    // Per size: native / same-cluster HydEE (piggyback only) /
-    // cross-cluster HydEE (piggyback + logging), in that order.
-    let variants = [
-        (ProtocolSpec::Native, ClusterStrategy::Single),
-        (ProtocolSpec::hydee(), ClusterStrategy::Single),
-        (ProtocolSpec::hydee(), ClusterStrategy::PerRank),
-    ];
-    let sizes = size_ladder(8 << 20);
-    let specs: Vec<ScenarioSpec> = sizes
+    // Three scenarios over the same size ladder: native / same-cluster
+    // HydEE (piggyback only) / cross-cluster HydEE (piggyback + logging).
+    let run = SuiteRun::execute(SUITE, "suites/fig5.suite");
+    artefact.record_runs(&run.records);
+    let (natives, nologs, logs) = (
+        run.scenario("native"),
+        run.scenario("nolog"),
+        run.scenario("log"),
+    );
+    let sizes: Vec<u64> = natives
         .iter()
-        .flat_map(|&bytes| {
-            variants.map(|(protocol, clusters)| {
-                ScenarioSpec::new(
-                    WorkloadSpec::NetPipe {
-                        rounds: ROUNDS,
-                        bytes,
-                    },
-                    protocol,
-                    clusters,
-                )
-            })
+        .map(|r| match r.workload.strip_prefix("netpipe:") {
+            Some(b) => b.parse().expect("netpipe workload name carries the size"),
+            None => panic!(
+                "fig5 suite must sweep netpipe workloads, got `{}`",
+                r.workload
+            ),
         })
         .collect();
-    let records = Executor::new().run(&specs);
-    artefact.record_runs(&records);
 
     let mut table = Table::new(&[
         "bytes",
@@ -81,11 +81,14 @@ fn main() {
         "bw red (nolog)",
         "bw red (log)",
     ]);
-    for (&bytes, chunk) in sizes.iter().zip(records.chunks(variants.len())) {
+    assert_eq!(natives.len(), sizes.len());
+    assert_eq!(nologs.len(), sizes.len());
+    assert_eq!(logs.len(), sizes.len());
+    for (i, &bytes) in sizes.iter().enumerate() {
         let [native, nolog, log] = [
-            latency_us(&chunk[0]),
-            latency_us(&chunk[1]),
-            latency_us(&chunk[2]),
+            latency_us(natives[i]),
+            latency_us(nologs[i]),
+            latency_us(logs[i]),
         ];
         // Latency reduction is negative when HydEE is slower; Figure 5
         // plots it downward from 0.

@@ -13,12 +13,19 @@
 //! Expected shape (paper): HydEE ≤ ~2 % over native everywhere and at or
 //! below full logging; LU (small messages) shows the largest overhead.
 //!
+//! The experiment shape lives in `suites/fig6.suite` (embedded at
+//! compile time; `sweep --suite suites/fig6.suite` runs the same cells):
+//! `native`/`full_logging` sweep all six kernels, and one
+//! `clustered_<kernel>` scenario per kernel carries its Table-I cluster
+//! count.
+//!
 //! Run: `cargo run -p bench --release --bin fig6_nas`
 
-use bench::{Artefact, Table};
-use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec};
+use bench::{Artefact, SuiteRun, Table};
 use serde::Serialize;
-use workloads::{NasBench, WorkloadSpec};
+use workloads::NasBench;
+
+const SUITE: &str = include_str!("../../../../suites/fig6.suite");
 
 /// Simulation scale: shrinks class-D message sizes and compute by this
 /// factor; ratios (what Figure 6 reports) are scale-invariant because
@@ -40,33 +47,13 @@ fn main() {
     println!("Figure 6: NAS failure-free performance, 256 ranks, scale={SCALE:.4} (normalized)");
     println!();
 
-    // Per bench: native / full logging / HydEE with Table-I clustering.
-    fn variants(bench: NasBench) -> [(ProtocolSpec, ClusterStrategy); 3] {
-        [
-            (ProtocolSpec::Native, ClusterStrategy::Single),
-            (ProtocolSpec::hydee(), ClusterStrategy::PerRank),
-            (
-                ProtocolSpec::hydee(),
-                ClusterStrategy::Partitioned(bench.paper_clusters()),
-            ),
-        ]
-    }
-    let per_bench = variants(NasBench::BT).len();
-    let specs: Vec<ScenarioSpec> = NasBench::all()
-        .into_iter()
-        .flat_map(|bench| {
-            let workload = WorkloadSpec::Nas {
-                bench,
-                scale: SCALE,
-                iterations: None,
-            };
-            variants(bench)
-                .map(|(protocol, clusters)| ScenarioSpec::new(workload.clone(), protocol, clusters))
-        })
-        .collect();
-    let records = Executor::new().run(&specs);
-    assert_eq!(records.len(), per_bench * NasBench::all().len());
-    artefact.record_runs(&records);
+    // Per bench: native / full logging / HydEE with Table-I clustering
+    // (the last one a single-cell scenario per kernel, because the
+    // cluster count differs per kernel).
+    let run = SuiteRun::execute(SUITE, "suites/fig6.suite");
+    assert_eq!(run.records.len(), 3 * NasBench::all().len());
+    artefact.record_runs(&run.records);
+    let (natives, fulls) = (run.scenario("native"), run.scenario("full_logging"));
 
     let mut table = Table::new(&[
         "bench",
@@ -76,10 +63,17 @@ fn main() {
         "HydEE overhead",
         "logged (HydEE)",
     ]);
-    for (bench, chunk) in NasBench::all().into_iter().zip(records.chunks(per_bench)) {
-        let [native, full, hydee] = [&chunk[0], &chunk[1], &chunk[2]];
+    for (i, bench) in NasBench::all().into_iter().enumerate() {
+        let clustered = run.one(&format!("clustered_{}", bench.name().to_lowercase()));
+        let [native, full, hydee] = [natives[i], fulls[i], clustered];
         for r in [native, full, hydee] {
             assert!(r.completed, "{} failed: {}", r.scenario, r.status);
+            assert!(
+                r.workload.starts_with(&format!("nas:{}", bench.name())),
+                "suite kernel order drifted: wanted {}, got {}",
+                bench.name(),
+                r.workload
+            );
         }
         let t0 = native.makespan_s;
         let full_norm = full.makespan_s / t0;

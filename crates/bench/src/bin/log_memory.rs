@@ -7,14 +7,18 @@
 //! with GC on and off and reports peak and reclaimed log bytes. The seven
 //! configurations run as one parallel scenario batch.
 //!
+//! The experiment shape lives in `suites/log_memory.suite` (embedded at
+//! compile time; `sweep --suite suites/log_memory.suite` runs the same
+//! cells): one scenario whose `protocols` axis is the (interval × GC)
+//! ladder.
+//!
 //! Run: `cargo run -p bench --release --bin log_memory`
 
-use bench::{Artefact, Table};
-use scenario::{
-    CheckpointPolicySpec, ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec, StorageSpec,
-};
+use bench::{Artefact, SuiteRun, Table};
+use scenario::{CheckpointPolicySpec, ProtocolSpec};
 use serde::Serialize;
-use workloads::WorkloadSpec;
+
+const SUITE: &str = include_str!("../../../../suites/log_memory.suite");
 
 #[derive(Serialize)]
 struct Row {
@@ -32,44 +36,34 @@ fn main() {
     println!("X3: sender-log memory vs checkpoint interval — 2D stencil, 64 ranks, 4 clusters");
     println!();
 
-    let workload = WorkloadSpec::Stencil {
-        n_ranks: 64,
-        iterations: 400,
-        face_bytes: 256 << 10,
-        compute_us: 500,
-        wildcard_recv: false,
-    };
-    let mut points: Vec<(Option<u64>, bool)> = Vec::new();
-    for interval_ms in [None, Some(40u64), Some(100), Some(250)] {
-        for gc in [true, false] {
-            if interval_ms.is_none() && gc {
-                // Without checkpoints no ack is ever generated; skip the
-                // redundant configuration.
-                continue;
-            }
-            points.push((interval_ms, gc));
-        }
-    }
-    let specs: Vec<ScenarioSpec> = points
+    // The (interval × GC) ladder lives on the suite's `protocols` axis;
+    // each point is read back out of the compiled protocol specs so the
+    // report rows stay keyed by (interval, gc) rather than by label.
+    let run = SuiteRun::execute(SUITE, "suites/log_memory.suite");
+    artefact.record_runs(&run.records);
+    let records = run.scenario("gc_ladder");
+    let points: Vec<(Option<u64>, bool)> = run
+        .suite
+        .scenarios
         .iter()
-        .map(|&(interval_ms, gc)| {
-            ScenarioSpec::new(
-                workload.clone(),
-                ProtocolSpec::Hydee {
-                    checkpoint: match interval_ms {
-                        Some(ms) => CheckpointPolicySpec::periodic(ms),
-                        None => CheckpointPolicySpec::None,
-                    },
-                    image_bytes: 1 << 20,
-                    storage: StorageSpec::Default,
-                    gc,
-                },
-                ClusterStrategy::Blocks(4),
-            )
+        .find(|s| s.name == "gc_ladder")
+        .expect("gc_ladder scenario")
+        .matrix
+        .protocols
+        .iter()
+        .map(|p| match p {
+            ProtocolSpec::Hydee { checkpoint, gc, .. } => {
+                let interval_ms = match checkpoint {
+                    CheckpointPolicySpec::Periodic { interval_ms, .. } => Some(*interval_ms),
+                    CheckpointPolicySpec::None => None,
+                    other => panic!("log_memory sweeps periodic intervals, got {}", other.name()),
+                };
+                (interval_ms, *gc)
+            }
+            other => panic!("log_memory is a HydEE experiment, got {}", other.name()),
         })
         .collect();
-    let records = Executor::new().run(&specs);
-    artefact.record_runs(&records);
+    assert_eq!(points.len(), records.len(), "one cell per ladder point");
 
     let mut table = Table::new(&[
         "ckpt interval",
@@ -80,7 +74,7 @@ fn main() {
         "ckpts",
         "makespan (s)",
     ]);
-    for (&(interval_ms, gc), rec) in points.iter().zip(&records) {
+    for (&(interval_ms, gc), rec) in points.iter().zip(records) {
         assert!(rec.completed, "{}: {}", rec.scenario, rec.status);
         let m = &rec.metrics;
         let row = Row {

@@ -36,7 +36,8 @@ use bench::{gb, Artefact, Table};
 use det_sim::{SimDuration, SimTime};
 use mps_sim::Rank;
 use scenario::{
-    CheckpointPolicySpec, ClusterStrategy, Executor, FailureSpec, Matrix, ProtocolSpec, StorageSpec,
+    CheckpointPolicySpec, ClusterStrategy, Executor, FailureModelSpec, FailureSpec, Matrix,
+    ProtocolSpec, StorageSpec,
 };
 use serde::Serialize;
 use std::collections::BTreeSet;
@@ -186,9 +187,9 @@ fn main() {
                 .workloads([workload.clone()])
                 .protocols([*protocol])
                 .clusters([*clusters])
-                .failure_schedules([
-                    vec![],
-                    vec![FailureSpec::at_ms(failure_ms, victims.clone())],
+                .failure_models([
+                    FailureModelSpec::none(),
+                    FailureModelSpec::Fixed(vec![FailureSpec::at_ms(failure_ms, victims.clone())]),
                 ])
                 .expand()
         })

@@ -1,7 +1,8 @@
 //! **sweep** — run any cross-product of the experiment matrix from the
-//! command line.
+//! command line, or a whole checked-in suite file.
 //!
 //! ```text
+//! sweep --suite suites/fig5.suite [--scenario NAME ...] [--max-cells N]
 //! sweep --workloads nas:CG:scale=0.015625,netpipe:1024 \
 //!       --protocols native,hydee --clusters per-rank,part:16 \
 //!       --networks mx,tcp --ckpt-ms none,100 \
@@ -9,6 +10,13 @@
 //!       [--static] [--serial] [--image-bytes N] [--max-events N] \
 //!       [--out DIR] [--name NAME] [--list]
 //! ```
+//!
+//! `--suite` loads a declarative suite file (DESIGN.md §2.6,
+//! `suites/example.suite` is a commented tour): named scenarios with
+//! `[defaults]` inheritance and `include` composition, compiled to the
+//! same matrix the axis flags build. `--scenario` filters to named
+//! scenarios, `--max-cells` truncates the cell list (CI smoke mode).
+//! Axis flags and `--suite` are mutually exclusive.
 //!
 //! Workload names follow the `workloads::registry` grammar (`--list`
 //! prints it with examples). Each `--fail` flag adds one *failure model*
@@ -24,7 +32,7 @@
 use bench::Table;
 use scenario::{
     CheckpointPolicySpec, ClusterStrategy, Executor, FailureModelSpec, Matrix, MatrixSummary,
-    NetworkSpec, ProtocolSpec, StorageSpec, DEFAULT_IMAGE_BYTES,
+    NetworkSpec, ProtocolSpec, StorageSpec, Suite, DEFAULT_IMAGE_BYTES,
 };
 use workloads::WorkloadSpec;
 
@@ -33,6 +41,15 @@ sweep — declarative experiment sweeps over the HydEE reproduction
 
 USAGE:
     sweep [OPTIONS]
+
+SUITE MODE (mutually exclusive with the axis flags below):
+    --suite <file>        run a declarative suite file (DESIGN.md §2.6;
+                          see suites/example.suite): named scenarios,
+                          [defaults] inheritance, include composition
+    --scenario <name>     run only this scenario of the suite
+                          (repeatable)
+    --max-cells <n>       truncate the suite to its first n cells
+                          (CI smoke mode)
 
 OPTIONS (comma-separate values; every combination runs):
     --workloads <w,...>   workload registry names [default: netpipe:1024]
@@ -77,6 +94,11 @@ OPTIONS (comma-separate values; every combination runs):
     -h, --help            this message
 
 EXAMPLES:
+    A whole checked-in study:
+      sweep --suite suites/fig5.suite
+    One scenario of it, traced:
+      sweep --suite suites/fig5.suite --scenario log --max-cells 1 \\
+            --trace-out fig5_log.trace.json
     Figure 6 in one line:
       sweep --workloads nas:BT:scale=0.015625,nas:CG:scale=0.015625 \\
             --protocols native,hydee --clusters per-rank,part:16
@@ -182,12 +204,16 @@ fn main() {
     let mut static_only = false;
     let mut serial = false;
     let mut max_events: Option<u64> = None;
+    let mut suite_path: Option<String> = None;
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut max_cells: Option<usize> = None;
+    let mut axis_flags: Vec<&'static str> = Vec::new();
     let mut progress = false;
     let mut progress_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut sample_out: Option<String> = None;
     let mut out_dir: Option<String> = None;
-    let mut name = "sweep".to_string();
+    let mut name: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -197,36 +223,72 @@ fn main() {
                 .clone()
         };
         match arg.as_str() {
-            "--workloads" => workloads_arg = value("--workloads"),
-            "--protocols" => protocols_arg = value("--protocols"),
-            "--clusters" => clusters_arg = value("--clusters"),
-            "--networks" => networks_arg = value("--networks"),
-            "--ckpt-ms" => ckpt_arg = Some(value("--ckpt-ms")),
-            "--ckpt-policy" => ckpt_policies.push(
-                CheckpointPolicySpec::parse(&value("--ckpt-policy")).unwrap_or_else(|e| fail(&e)),
-            ),
-            "--fail" => failure_models.push(parse_failure_model(&value("--fail"))),
+            "--workloads" => {
+                axis_flags.push("--workloads");
+                workloads_arg = value("--workloads");
+            }
+            "--protocols" => {
+                axis_flags.push("--protocols");
+                protocols_arg = value("--protocols");
+            }
+            "--clusters" => {
+                axis_flags.push("--clusters");
+                clusters_arg = value("--clusters");
+            }
+            "--networks" => {
+                axis_flags.push("--networks");
+                networks_arg = value("--networks");
+            }
+            "--ckpt-ms" => {
+                axis_flags.push("--ckpt-ms");
+                ckpt_arg = Some(value("--ckpt-ms"));
+            }
+            "--ckpt-policy" => {
+                axis_flags.push("--ckpt-policy");
+                ckpt_policies.push(
+                    CheckpointPolicySpec::parse(&value("--ckpt-policy"))
+                        .unwrap_or_else(|e| fail(&e)),
+                );
+            }
+            "--fail" => {
+                axis_flags.push("--fail");
+                failure_models.push(parse_failure_model(&value("--fail")));
+            }
             "--image-bytes" => {
+                axis_flags.push("--image-bytes");
                 let v = value("--image-bytes");
                 image_bytes = v
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("bad --image-bytes `{v}`")));
             }
-            "--static" => static_only = true,
-            "--serial" => serial = true,
+            "--static" => {
+                axis_flags.push("--static");
+                static_only = true;
+            }
             "--max-events" => {
+                axis_flags.push("--max-events");
                 let v = value("--max-events");
                 max_events = Some(
                     v.parse()
                         .unwrap_or_else(|_| fail(&format!("bad --max-events `{v}`"))),
                 );
             }
+            "--suite" => suite_path = Some(value("--suite")),
+            "--scenario" => scenarios.push(value("--scenario")),
+            "--max-cells" => {
+                let v = value("--max-cells");
+                max_cells = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad --max-cells `{v}`"))),
+                );
+            }
+            "--serial" => serial = true,
             "--progress" => progress = true,
             "--progress-out" => progress_out = Some(value("--progress-out")),
             "--trace-out" => trace_out = Some(value("--trace-out")),
             "--sample-out" => sample_out = Some(value("--sample-out")),
             "--out" => out_dir = Some(value("--out")),
-            "--name" => name = value("--name"),
+            "--name" => name = Some(value("--name")),
             "--list" => {
                 list_registry();
                 return;
@@ -239,44 +301,89 @@ fn main() {
         }
     }
 
-    let mut matrix = Matrix::new()
-        .workloads(
-            split_csv(&workloads_arg)
-                .into_iter()
-                .map(|w| WorkloadSpec::parse(w).unwrap_or_else(|e| fail(&e))),
-        )
-        .protocols(
-            split_csv(&protocols_arg)
-                .into_iter()
-                .map(|p| parse_protocol(p, image_bytes)),
-        )
-        .clusters(split_csv(&clusters_arg).into_iter().map(parse_clusters))
-        .networks(split_csv(&networks_arg).into_iter().map(|n| match n {
-            "mx" => NetworkSpec::Mx,
-            "tcp" => NetworkSpec::Tcp,
-            other => fail(&format!("unknown network `{other}`")),
-        }))
-        .failure_models(failure_models);
-    if let Some(ckpt) = &ckpt_arg {
-        matrix = matrix.checkpoint_ms(split_csv(ckpt).into_iter().map(|c| {
-            match c {
-                "none" => None,
-                ms => Some(
-                    ms.parse()
-                        .unwrap_or_else(|_| fail(&format!("bad --ckpt-ms `{ms}`"))),
-                ),
+    let specs = if let Some(path) = &suite_path {
+        if !axis_flags.is_empty() {
+            fail::<()>(&format!(
+                "--suite is mutually exclusive with the axis flags ({}) — \
+                 put the axes in the suite file instead",
+                axis_flags.join(", ")
+            ));
+        }
+        let suite = Suite::load(path).unwrap_or_else(|e| fail(&e.to_string()));
+        let suite = if scenarios.is_empty() {
+            suite
+        } else {
+            suite.select(&scenarios).unwrap_or_else(|e| fail(&e))
+        };
+        let mut cells = suite.cells();
+        if let Some(cap) = max_cells {
+            if cells.len() > cap {
+                println!(
+                    "sweep: --max-cells {cap} truncates {} of {} cell(s)",
+                    cells.len() - cap,
+                    cells.len()
+                );
+                cells.truncate(cap);
             }
-        }));
-    }
-    if !ckpt_policies.is_empty() {
-        matrix = matrix.checkpoint_policies(ckpt_policies);
-    }
-    if static_only {
-        matrix = matrix.static_analysis();
-    }
-    matrix.max_events = max_events;
-
-    let specs = matrix.expand();
+        }
+        if cells.is_empty() {
+            fail::<()>(&format!("suite `{}` has no cells", suite.name));
+        }
+        println!(
+            "sweep: suite `{}` — {} scenario(s), {} cell(s)",
+            suite.name,
+            suite.scenarios.len(),
+            cells.len()
+        );
+        for sc in &suite.scenarios {
+            let n = cells.iter().filter(|c| c.scenario == sc.name).count();
+            println!("  {}: {} cell(s)", sc.name, n);
+        }
+        name.get_or_insert_with(|| suite.name.clone());
+        cells.into_iter().map(|c| c.spec).collect()
+    } else {
+        if !scenarios.is_empty() || max_cells.is_some() {
+            fail::<()>("--scenario/--max-cells need --suite");
+        }
+        let mut matrix = Matrix::new()
+            .workloads(
+                split_csv(&workloads_arg)
+                    .into_iter()
+                    .map(|w| WorkloadSpec::parse(w).unwrap_or_else(|e| fail(&e))),
+            )
+            .protocols(
+                split_csv(&protocols_arg)
+                    .into_iter()
+                    .map(|p| parse_protocol(p, image_bytes)),
+            )
+            .clusters(split_csv(&clusters_arg).into_iter().map(parse_clusters))
+            .networks(split_csv(&networks_arg).into_iter().map(|n| match n {
+                "mx" => NetworkSpec::Mx,
+                "tcp" => NetworkSpec::Tcp,
+                other => fail(&format!("unknown network `{other}`")),
+            }))
+            .failure_models(failure_models);
+        if let Some(ckpt) = &ckpt_arg {
+            matrix = matrix.checkpoint_ms(split_csv(ckpt).into_iter().map(|c| {
+                match c {
+                    "none" => None,
+                    ms => Some(
+                        ms.parse()
+                            .unwrap_or_else(|_| fail(&format!("bad --ckpt-ms `{ms}`"))),
+                    ),
+                }
+            }));
+        }
+        if !ckpt_policies.is_empty() {
+            matrix = matrix.checkpoint_policies(ckpt_policies);
+        }
+        if static_only {
+            matrix = matrix.static_analysis();
+        }
+        matrix.max_events = max_events;
+        matrix.expand()
+    };
+    let name = name.unwrap_or_else(|| "sweep".to_string());
     if specs.is_empty() {
         fail::<()>("matrix is empty (no workloads)");
     }

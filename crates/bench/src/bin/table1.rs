@@ -7,12 +7,17 @@
 //! with the paper's numbers. Pure static analysis: the scenario specs run
 //! with `simulate: false`, and the six partitionings run in parallel.
 //!
+//! The experiment shape lives in `suites/table1.suite` (embedded at
+//! compile time; `sweep --suite suites/table1.suite` runs the same
+//! cells): one `static = true` scenario per kernel.
+//!
 //! Run: `cargo run -p bench --release --bin table1`
 
-use bench::{gb, pct, Artefact, Table};
-use scenario::{ClusterStrategy, Executor, ProtocolSpec, ScenarioSpec};
+use bench::{gb, pct, Artefact, SuiteRun, Table};
 use serde::Serialize;
-use workloads::{NasBench, WorkloadSpec};
+use workloads::NasBench;
+
+const SUITE: &str = include_str!("../../../../suites/table1.suite");
 
 #[derive(Serialize)]
 struct Row {
@@ -33,24 +38,8 @@ fn main() {
     println!("Table I: application clustering on 256 processes (class-D volumes)");
     println!();
     // Static analysis at full class-D volume: no simulation needed.
-    let specs: Vec<ScenarioSpec> = NasBench::all()
-        .into_iter()
-        .map(|nas_bench| {
-            let mut spec = ScenarioSpec::new(
-                WorkloadSpec::Nas {
-                    bench: nas_bench,
-                    scale: 1.0,
-                    iterations: None,
-                },
-                ProtocolSpec::hydee(),
-                ClusterStrategy::Partitioned(nas_bench.paper_clusters()),
-            );
-            spec.simulate = false;
-            spec
-        })
-        .collect();
-    let records = Executor::new().run(&specs);
-    artefact.record_runs(&records);
+    let run = SuiteRun::execute(SUITE, "suites/table1.suite");
+    artefact.record_runs(&run.records);
 
     let mut table = Table::new(&[
         "bench",
@@ -62,7 +51,8 @@ fn main() {
         "paper logged%",
         "paper total GB",
     ]);
-    for (nas_bench, rec) in NasBench::all().into_iter().zip(&records) {
+    for nas_bench in NasBench::all() {
+        let rec = run.one(&nas_bench.name().to_lowercase());
         table.row(&[
             nas_bench.name().to_string(),
             rec.n_clusters.to_string(),

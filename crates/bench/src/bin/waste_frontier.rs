@@ -15,15 +15,18 @@
 //! factor — the point of deriving the interval from the failure rate is
 //! that nobody has to hand-tune it.
 //!
+//! The experiment shape lives in `suites/waste_frontier.suite`
+//! (embedded at compile time; `sweep --suite suites/waste_frontier.suite`
+//! runs the same cells): one scenario whose `checkpoint_policies` axis
+//! is the policy ladder.
+//!
 //! Run: `cargo run -p bench --release --bin waste_frontier`
 
-use bench::{Artefact, Table};
-use scenario::{
-    CheckpointPolicySpec, ClusterStrategy, Executor, FailureModelSpec, ProtocolSpec, ScenarioSpec,
-    StorageSpec,
-};
+use bench::{Artefact, SuiteRun, Table};
+use scenario::CheckpointPolicySpec;
 use serde::Serialize;
-use workloads::WorkloadSpec;
+
+const SUITE: &str = include_str!("../../../../suites/waste_frontier.suite");
 
 #[derive(Serialize)]
 struct Row {
@@ -42,54 +45,22 @@ fn main() {
     println!("X4: waste/efficiency frontier — stencil, 1024 ranks, 64 clusters, Poisson failures");
     println!();
 
-    // Fixed-interval ladder (ms) bracketing the Young/Daly optimum from
-    // both sides, plus the adaptive policies.
-    let fixed_ms = [1u64, 2, 5, 20, 50];
-    let mut policies: Vec<CheckpointPolicySpec> = fixed_ms
+    // The policy ladder lives on the suite's `checkpoint_policies` axis:
+    // fixed intervals bracketing the Young/Daly optimum from both sides,
+    // then the adaptive policies. Cells come back in ladder order.
+    let run = SuiteRun::execute(SUITE, "suites/waste_frontier.suite");
+    artefact.record_runs(&run.records);
+    let records = run.scenario("frontier");
+    let policies: Vec<CheckpointPolicySpec> = run
+        .suite
+        .scenarios
         .iter()
-        .map(|&ms| CheckpointPolicySpec::Periodic {
-            interval_ms: ms,
-            first_ms: Some(1),
-            stagger_ms: Some(0),
-        })
-        .collect();
-    policies.push(CheckpointPolicySpec::YoungDaly {
-        first_ms: Some(1),
-        stagger_ms: Some(0),
-    });
-    policies.push(CheckpointPolicySpec::LogPressure {
-        budget_bytes: 8 << 20,
-    });
-
-    let specs: Vec<ScenarioSpec> = policies
-        .iter()
-        .map(|&policy| {
-            let mut spec = ScenarioSpec::new(
-                WorkloadSpec::Stencil {
-                    n_ranks: 1024,
-                    iterations: 200,
-                    face_bytes: 4096,
-                    compute_us: 100,
-                    wildcard_recv: false,
-                },
-                ProtocolSpec::Hydee {
-                    checkpoint: policy,
-                    image_bytes: 1 << 20,
-                    storage: StorageSpec::ParallelFs,
-                    gc: true,
-                },
-                ClusterStrategy::Partitioned(64),
-            );
-            spec.failure_model = FailureModelSpec::Poisson {
-                mtbf_ms: 10_000,
-                seed: 7,
-                max_failures: 3,
-            };
-            spec
-        })
-        .collect();
-    let records = Executor::new().run(&specs);
-    artefact.record_runs(&records);
+        .find(|s| s.name == "frontier")
+        .expect("frontier scenario")
+        .matrix
+        .checkpoint_policies
+        .clone();
+    assert_eq!(policies.len(), records.len(), "one cell per policy");
 
     let mut table = Table::new(&[
         "policy",
@@ -101,7 +72,7 @@ fn main() {
     ]);
     let mut young_waste = None;
     let mut best_fixed: Option<(String, f64)> = None;
-    for (policy, rec) in policies.iter().zip(&records) {
+    for (policy, rec) in policies.iter().zip(records) {
         assert!(rec.completed, "{}: {}", rec.scenario, rec.status);
         assert!(rec.trace_consistent, "{}: oracle violations", rec.scenario);
         let row = Row {

@@ -13,8 +13,10 @@
 //! | `log_memory` | X3 — log growth & garbage collection |
 //! | `sweep` | any cross-product of workload × protocol × clustering × network × failures |
 //!
-//! Every binary expresses its experiment as [`scenario::ScenarioSpec`]s
-//! and runs them through the parallel [`scenario::Executor`]. Each run
+//! Every study binary's experiment shape lives in a checked-in suite
+//! file (`suites/*.suite`, DESIGN.md §2.6) embedded with `include_str!`
+//! and executed through [`SuiteRun`]; `sweep --suite` runs the same
+//! files from the command line. Each run
 //! writes, under the results directory (`$HYDEE_RESULTS_DIR` or
 //! `./results`, resolved once at startup):
 //!
@@ -24,13 +26,78 @@
 //!   paper's table/figure reports), one JSON object per line for
 //!   `EXPERIMENTS.md`.
 
-use scenario::{write_all, CsvSink, JsonlSink, RunRecord, Sink};
+use scenario::{write_all, CsvSink, Executor, JsonlSink, RunRecord, Sink, Suite, SuiteCell};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
 pub mod perf;
 
 pub use scenario::Table;
+
+/// An executed suite: the compiled [`Suite`], its cells and the records
+/// in cell order. The study binaries embed their suite file with
+/// `include_str!` and fetch records per *scenario name* through this —
+/// the suite file owns the experiment shape, the binary only
+/// post-processes.
+pub struct SuiteRun {
+    pub suite: Suite,
+    pub cells: Vec<SuiteCell>,
+    pub records: Vec<RunRecord>,
+}
+
+impl SuiteRun {
+    /// Compile embedded suite text and run every cell on the parallel
+    /// executor. Panics on a malformed suite — for a checked-in file
+    /// that is a build defect, not an input error.
+    pub fn execute(text: &str, origin: &str) -> SuiteRun {
+        let suite = Suite::parse_str(text, origin)
+            .unwrap_or_else(|e| panic!("embedded suite is malformed: {e}"));
+        let cells = suite.cells();
+        let specs: Vec<_> = cells.iter().map(|c| c.spec.clone()).collect();
+        let records = Executor::new().run(&specs);
+        SuiteRun {
+            suite,
+            cells,
+            records,
+        }
+    }
+
+    /// The records of one scenario, in that scenario's cell order.
+    /// Panics if the suite has no such scenario or it expanded empty.
+    pub fn scenario(&self, name: &str) -> Vec<&RunRecord> {
+        let recs: Vec<&RunRecord> = self
+            .cells
+            .iter()
+            .zip(&self.records)
+            .filter(|(c, _)| c.scenario == name)
+            .map(|(_, r)| r)
+            .collect();
+        assert!(
+            !recs.is_empty(),
+            "suite `{}` has no scenario `{name}` (have: {})",
+            self.suite.name,
+            self.suite
+                .scenarios
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        recs
+    }
+
+    /// The record of a single-cell scenario; panics if it has ≠ 1 cell.
+    pub fn one(&self, name: &str) -> &RunRecord {
+        let recs = self.scenario(name);
+        assert_eq!(
+            recs.len(),
+            1,
+            "scenario `{name}` has {} cells, expected exactly 1",
+            recs.len()
+        );
+        recs[0]
+    }
+}
 
 /// Results bookkeeping for one artefact run: owns the output directory
 /// (threaded explicitly — nothing here mutates process environment) and

@@ -1,6 +1,7 @@
 //! # bench::perf — the CI-gated engine performance baseline
 //!
-//! A fixed **4-cell macro matrix** exercising the simulation hot path at
+//! A fixed macro matrix — checked in as `suites/perf_baseline.suite`
+//! and compiled by [`macro_matrix`] — exercising the simulation hot path at
 //! the scale the paper's headline experiments need (thousand-rank
 //! stencils, clustered HydEE, checkpoint + failure recovery, and a
 //! long-horizon 4096-rank cell that only the streaming `RankProgram`
@@ -19,12 +20,12 @@
 //! committed baseline) when fields change meaning.
 
 use scenario::{
-    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, ProtocolSpec,
-    ScenarioSpec, StorageSpec,
+    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, ProtocolSpec, ScenarioSpec,
+    StorageSpec,
 };
 use serde::Serialize;
 use std::time::Instant;
-use workloads::{NasBench, WorkloadSpec};
+use workloads::WorkloadSpec;
 
 /// v3: added per-cell containment metrics (`failures`,
 /// `ranks_rolled_back`, `rollback_rank_fraction`, `lost_work_s`,
@@ -56,9 +57,15 @@ pub const SCHEMA_VERSION: u32 = 5;
 /// plus gauge assembly per event loop iteration must stay in the noise.
 pub const MAX_RECORDER_OVERHEAD_PCT: f64 = 3.0;
 
+/// The macro matrix as a checked-in suite file: seven single-cell
+/// scenarios whose names ARE the gated cell names of
+/// `BENCH_engine.json`. [`macro_matrix`] compiles this text; `sweep
+/// --suite suites/perf_baseline.suite` runs the identical specs.
+pub const SUITE: &str = include_str!("../../../suites/perf_baseline.suite");
+
 /// One point of the macro matrix.
 pub struct Cell {
-    pub name: &'static str,
+    pub name: String,
     pub spec: ScenarioSpec,
 }
 
@@ -90,137 +97,28 @@ pub fn waste_frontier_spec(policy: CheckpointPolicySpec) -> ScenarioSpec {
     spec
 }
 
-/// The fixed macro matrix. Changing a cell invalidates the committed
-/// baseline — regenerate `BENCH_engine.json` in the same PR.
+/// The fixed macro matrix, compiled from [`SUITE`]
+/// (`suites/perf_baseline.suite`): every scenario there is exactly one
+/// cell, and the scenario name is the cell name. Changing a cell
+/// invalidates the committed baseline — regenerate `BENCH_engine.json`
+/// in the same PR.
 pub fn macro_matrix() -> Vec<Cell> {
-    let stencil_1024 = WorkloadSpec::Stencil {
-        n_ranks: 1024,
-        iterations: 200,
-        face_bytes: 4096,
-        compute_us: 100,
-        wildcard_recv: false,
-    };
-    vec![
-        // The paper-scale cell: a thousand-rank halo exchange, protocol-free
-        // (pure engine: queue, inbox, network pricing, trace oracle).
-        Cell {
-            name: "stencil1024_native",
-            spec: ScenarioSpec::new(
-                stencil_1024.clone(),
-                ProtocolSpec::Native,
-                ClusterStrategy::Single,
-            ),
-        },
-        // Same traffic under HydEE with Table-I-style clustering: adds
-        // piggybacking, sender-based logging and the RPP bookkeeping.
-        Cell {
-            name: "stencil1024_hydee64",
-            spec: ScenarioSpec::new(
-                stencil_1024,
-                ProtocolSpec::hydee(),
-                ClusterStrategy::Partitioned(64),
-            ),
-        },
-        // The recovery path: checkpoints, a mid-run failure, rollback and
-        // log replay (CG, 256 ranks, failure of rank 7 at 195 ms).
-        Cell {
-            name: "cg256_hydee16_failure",
-            spec: {
-                let mut spec = ScenarioSpec::new(
-                    WorkloadSpec::Nas {
-                        bench: NasBench::CG,
-                        scale: 1.0 / 64.0,
-                        iterations: None,
-                    },
-                    ProtocolSpec::Hydee {
-                        checkpoint: CheckpointPolicySpec::periodic(100),
-                        image_bytes: 1 << 20,
-                        storage: StorageSpec::ParallelFs,
-                        gc: true,
-                    },
-                    ClusterStrategy::Partitioned(16),
-                );
-                spec.failure_model =
-                    FailureModelSpec::Fixed(vec![FailureSpec::at_ms(195, vec![7])]);
-                spec
-            },
-        },
-        // The stochastic-failure cell: the thousand-rank halo exchange
-        // under checkpointed HydEE with seed-driven Poisson failures —
-        // exercises the lazy model-driven failure path, repeated
-        // rollback/recovery, and pins the containment metrics
-        // (failures, ranks rolled back) as deterministic gate values.
-        Cell {
-            name: "stencil1024_poisson",
-            spec: {
-                let mut spec = ScenarioSpec::new(
-                    WorkloadSpec::Stencil {
-                        n_ranks: 1024,
-                        iterations: 200,
-                        face_bytes: 4096,
-                        compute_us: 100,
-                        wildcard_recv: false,
-                    },
-                    ProtocolSpec::Hydee {
-                        checkpoint: CheckpointPolicySpec::periodic(5),
-                        image_bytes: 1 << 20,
-                        storage: StorageSpec::ParallelFs,
-                        gc: true,
-                    },
-                    ClusterStrategy::Partitioned(64),
-                );
-                spec.failure_model = FailureModelSpec::Poisson {
-                    mtbf_ms: 10_000,
-                    seed: 7,
-                    max_failures: 3,
-                };
-                spec
-            },
-        },
-        // The waste-frontier pair (§VI): the thousand-rank stencil under
-        // Poisson failures with checkpoints *firing* mid-run (first
-        // checkpoint pulled well inside the makespan, tight stagger so
-        // cluster batches overlap on the storage ledger). The fixed
-        // 1 ms interval over-checkpoints and pays the I/O-burst
-        // queueing; Young/Daly derives its interval from the model's
-        // failure rate and the measured cost, and must land a lower
-        // waste_fraction — the perf_baseline binary asserts exactly
-        // that, and CI gates both cells' digests and waste columns.
-        Cell {
-            name: "waste_frontier_fixed1ms",
-            spec: waste_frontier_spec(CheckpointPolicySpec::Periodic {
-                interval_ms: 1,
-                first_ms: Some(1),
-                stagger_ms: Some(0),
-            }),
-        },
-        Cell {
-            name: "waste_frontier_young_daly",
-            spec: waste_frontier_spec(CheckpointPolicySpec::YoungDaly {
-                first_ms: Some(1),
-                stagger_ms: Some(0),
-            }),
-        },
-        // The long-horizon headroom cell: 4× the ranks and 10× the
-        // iterations of the 1024-rank point. Unrolled this is ~73M ops
-        // (≈1.7 GB of program image before the run even starts) — the
-        // streaming representation holds the same application in ~O(ranks)
-        // bytes, which is what admits the cell into the matrix at all.
-        Cell {
-            name: "stencil4096_long",
-            spec: ScenarioSpec::new(
-                WorkloadSpec::Stencil {
-                    n_ranks: 4096,
-                    iterations: 2000,
-                    face_bytes: 4096,
-                    compute_us: 100,
-                    wildcard_recv: false,
-                },
-                ProtocolSpec::Native,
-                ClusterStrategy::Single,
-            ),
-        },
-    ]
+    let suite = scenario::Suite::parse_str(SUITE, "suites/perf_baseline.suite")
+        .unwrap_or_else(|e| panic!("perf_baseline suite is malformed: {e}"));
+    let cells: Vec<Cell> = suite
+        .cells()
+        .into_iter()
+        .map(|c| Cell {
+            name: c.scenario,
+            spec: c.spec,
+        })
+        .collect();
+    assert_eq!(
+        cells.len(),
+        suite.scenarios.len(),
+        "perf_baseline suite scenarios must be single-cell (names are the gated cell names)"
+    );
+    cells
 }
 
 /// Outcome of one timed cell.
@@ -379,7 +277,7 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
     let events_per_sec_recorder = events as f64 / sim_wall_recorder_s.max(1e-9);
     let m = &report.metrics;
     CellResult {
-        name: cell.name.to_string(),
+        name: cell.name.clone(),
         n_ranks,
         completed: report.completed(),
         trace_consistent: report.trace.is_consistent(),
@@ -629,6 +527,8 @@ pub fn check_against(baseline: &Baseline, report: &PerfReport, tolerance: f64) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scenario::FailureSpec;
+    use workloads::NasBench;
 
     fn report_with(name: &str, eps: f64, digest: u64) -> PerfReport {
         PerfReport {
@@ -771,6 +671,112 @@ mod tests {
                 c.spec.failure_model,
                 FailureModelSpec::Poisson { .. }
             ));
+        }
+    }
+
+    /// The suite file must reproduce the pre-suite hand-built matrix
+    /// spec-for-spec: spec equality implies digest equality (the engine
+    /// is deterministic per spec), so this pins `BENCH_engine.json`
+    /// against drift introduced by editing `suites/perf_baseline.suite`.
+    #[test]
+    fn suite_cells_match_the_handwritten_matrix() {
+        let stencil_1024 = WorkloadSpec::Stencil {
+            n_ranks: 1024,
+            iterations: 200,
+            face_bytes: 4096,
+            compute_us: 100,
+            wildcard_recv: false,
+        };
+        let cg_failure = {
+            let mut spec = ScenarioSpec::new(
+                WorkloadSpec::Nas {
+                    bench: NasBench::CG,
+                    scale: 1.0 / 64.0,
+                    iterations: None,
+                },
+                ProtocolSpec::Hydee {
+                    checkpoint: CheckpointPolicySpec::periodic(100),
+                    image_bytes: 1 << 20,
+                    storage: StorageSpec::ParallelFs,
+                    gc: true,
+                },
+                ClusterStrategy::Partitioned(16),
+            );
+            spec.failure_model = FailureModelSpec::Fixed(vec![FailureSpec::at_ms(195, vec![7])]);
+            spec
+        };
+        let poisson_5ms = {
+            let mut spec = ScenarioSpec::new(
+                stencil_1024.clone(),
+                ProtocolSpec::Hydee {
+                    checkpoint: CheckpointPolicySpec::periodic(5),
+                    image_bytes: 1 << 20,
+                    storage: StorageSpec::ParallelFs,
+                    gc: true,
+                },
+                ClusterStrategy::Partitioned(64),
+            );
+            spec.failure_model = FailureModelSpec::Poisson {
+                mtbf_ms: 10_000,
+                seed: 7,
+                max_failures: 3,
+            };
+            spec
+        };
+        let oracle: Vec<(&str, ScenarioSpec)> = vec![
+            (
+                "stencil1024_native",
+                ScenarioSpec::new(
+                    stencil_1024.clone(),
+                    ProtocolSpec::Native,
+                    ClusterStrategy::Single,
+                ),
+            ),
+            (
+                "stencil1024_hydee64",
+                ScenarioSpec::new(
+                    stencil_1024,
+                    ProtocolSpec::hydee(),
+                    ClusterStrategy::Partitioned(64),
+                ),
+            ),
+            ("cg256_hydee16_failure", cg_failure),
+            ("stencil1024_poisson", poisson_5ms),
+            (
+                "waste_frontier_fixed1ms",
+                waste_frontier_spec(CheckpointPolicySpec::Periodic {
+                    interval_ms: 1,
+                    first_ms: Some(1),
+                    stagger_ms: Some(0),
+                }),
+            ),
+            (
+                "waste_frontier_young_daly",
+                waste_frontier_spec(CheckpointPolicySpec::YoungDaly {
+                    first_ms: Some(1),
+                    stagger_ms: Some(0),
+                }),
+            ),
+            (
+                "stencil4096_long",
+                ScenarioSpec::new(
+                    WorkloadSpec::Stencil {
+                        n_ranks: 4096,
+                        iterations: 2000,
+                        face_bytes: 4096,
+                        compute_us: 100,
+                        wildcard_recv: false,
+                    },
+                    ProtocolSpec::Native,
+                    ClusterStrategy::Single,
+                ),
+            ),
+        ];
+        let cells = macro_matrix();
+        assert_eq!(cells.len(), oracle.len());
+        for (cell, (name, spec)) in cells.iter().zip(&oracle) {
+            assert_eq!(&cell.name, name);
+            assert_eq!(&cell.spec, spec, "cell `{name}` drifted from the oracle");
         }
     }
 

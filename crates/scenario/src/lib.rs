@@ -21,6 +21,13 @@
 //! * [`progress`] — live batch heartbeats (cells completed/running,
 //!   events per wall second, ETA) for `sweep --progress` and JSONL
 //!   tailers, via [`Executor::run_with_progress`].
+//! * [`Suite`] — whole experiments as checked-in files: named
+//!   scenarios, `[defaults]` inheritance and `include` composition in a
+//!   TOML-flavoured suite format (DESIGN.md §2.6) that compiles down to
+//!   `Matrix`/`ScenarioSpec`, driven by `sweep --suite`.
+//! * [`SpecAxis`] — the one trait over every axis's `name()`⇄`parse()`
+//!   pair, with structured [`ParseError`] diagnostics (axis, token,
+//!   expected forms) that suite files extend with file/line.
 //!
 //! ```
 //! use scenario::{ClusterStrategy, Executor, Matrix, ProtocolSpec};
@@ -38,13 +45,16 @@
 //! assert_eq!(records[0].protocol, "native");
 //! ```
 
+pub mod axis;
 pub mod executor;
 pub mod matrix;
 pub mod progress;
 pub mod record;
 pub mod report;
 pub mod spec;
+pub mod suite;
 
+pub use axis::{ParseError, SpecAxis};
 pub use executor::Executor;
 pub use matrix::Matrix;
 pub use progress::{HumanProgress, JsonlProgress, ProgressFanout, ProgressSink, ProgressSnapshot};
@@ -56,3 +66,4 @@ pub use spec::{
     CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec,
     ProtocolSpec, ScenarioSpec, StorageSpec, DEFAULT_IMAGE_BYTES, DEFAULT_MAX_FAILURES,
 };
+pub use suite::{Suite, SuiteCell, SuiteError, SuiteScenario};

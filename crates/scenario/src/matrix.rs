@@ -24,13 +24,10 @@ pub struct Matrix {
     pub clusters: Vec<ClusterStrategy>,
     /// Networks; default `[NetworkSpec::Mx]`.
     pub networks: Vec<NetworkSpec>,
-    /// Checkpoint intervals (ms) overriding each protocol's own setting;
-    /// default "leave protocols as specified". Sugar: each entry becomes
-    /// one periodic (or `None` = disabled) point on the shared
-    /// checkpoint-policy axis.
-    pub checkpoint_ms: Vec<Option<u64>>,
     /// Checkpoint-scheduling policies overriding each protocol's own
-    /// setting; shares one axis with the `checkpoint_ms` sugar.
+    /// setting; default "leave protocols as specified". The canonical
+    /// axis — the [`Matrix::checkpoint_ms`] sugar folds into it at the
+    /// builder boundary.
     pub checkpoint_policies: Vec<CheckpointPolicySpec>,
     /// Failure models (fixed schedules and/or stochastic regimes);
     /// default `[no failures]`. Sweeps cross protocols × failure
@@ -70,8 +67,17 @@ impl Matrix {
         self
     }
 
+    /// Sugar, kept as a thin shim: each interval becomes one periodic
+    /// (or `None` = disabled) [`CheckpointPolicySpec`] on the canonical
+    /// `checkpoint_policies` axis, at its call-order position. Pinned
+    /// bit-for-bit against the explicit-policy spelling by
+    /// `sugar_shims_are_bit_for_bit_equal_to_the_canonical_axes`.
     pub fn checkpoint_ms(mut self, c: impl IntoIterator<Item = Option<u64>>) -> Self {
-        self.checkpoint_ms.extend(c);
+        self.checkpoint_policies
+            .extend(c.into_iter().map(|ms| match ms {
+                Some(interval_ms) => CheckpointPolicySpec::periodic(interval_ms),
+                None => CheckpointPolicySpec::None,
+            }));
         self
     }
 
@@ -83,21 +89,9 @@ impl Matrix {
         self
     }
 
-    /// The effective checkpoint-policy axis: the `checkpoint_ms` sugar
-    /// entries (in order) followed by the explicit policies.
-    fn policy_axis(&self) -> Vec<CheckpointPolicySpec> {
-        self.checkpoint_ms
-            .iter()
-            .map(|ms| match ms {
-                Some(interval_ms) => CheckpointPolicySpec::periodic(*interval_ms),
-                None => CheckpointPolicySpec::None,
-            })
-            .chain(self.checkpoint_policies.iter().copied())
-            .collect()
-    }
-
-    /// Sugar: each hand-written schedule becomes one
-    /// [`FailureModelSpec::Fixed`] axis value.
+    /// Sugar, kept as a thin shim: each hand-written schedule becomes
+    /// one [`FailureModelSpec::Fixed`] value on the canonical
+    /// `failure_models` axis.
     pub fn failure_schedules(mut self, f: impl IntoIterator<Item = Vec<FailureSpec>>) -> Self {
         self.failure_models
             .extend(f.into_iter().map(FailureModelSpec::Fixed));
@@ -119,7 +113,7 @@ impl Matrix {
     /// on that axis, so the expansion never duplicates a run.
     fn protocol_by_checkpoint_points(&self) -> usize {
         let protocols = self.protocols.len().max(1);
-        let axis = self.checkpoint_ms.len() + self.checkpoint_policies.len();
+        let axis = self.checkpoint_policies.len();
         if axis == 0 {
             return protocols;
         }
@@ -175,12 +169,11 @@ impl Matrix {
         // checkpoints). A protocol that takes no checkpoints gets a
         // single no-override point so the expansion stays
         // duplicate-free.
-        let policy_axis = self.policy_axis();
         let ckpts_for = |p: &ProtocolSpec| -> Vec<Option<CheckpointPolicySpec>> {
-            if policy_axis.is_empty() || !p.supports_checkpointing() {
+            if self.checkpoint_policies.is_empty() || !p.supports_checkpointing() {
                 vec![None]
             } else {
-                policy_axis.iter().map(|c| Some(*c)).collect()
+                self.checkpoint_policies.iter().map(|c| Some(*c)).collect()
             }
         };
         let no_failures: Vec<FailureModelSpec> = vec![FailureModelSpec::none()];
@@ -307,6 +300,46 @@ mod tests {
                 }
                 other => panic!("{other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn sugar_shims_are_bit_for_bit_equal_to_the_canonical_axes() {
+        let w = WorkloadSpec::NetPipe {
+            rounds: 2,
+            bytes: 512,
+        };
+        let fail = FailureSpec::at_us(300, vec![0]);
+        let sugar = Matrix::new()
+            .workloads([w.clone()])
+            .protocols([ProtocolSpec::hydee()])
+            .checkpoint_ms([None, Some(40)])
+            .failure_schedules([vec![], vec![fail.clone()]]);
+        let canonical = Matrix::new()
+            .workloads([w])
+            .protocols([ProtocolSpec::hydee()])
+            .checkpoint_policies([
+                CheckpointPolicySpec::None,
+                CheckpointPolicySpec::periodic(40),
+            ])
+            .failure_models([
+                FailureModelSpec::none(),
+                FailureModelSpec::Fixed(vec![fail]),
+            ]);
+        let a = sugar.expand();
+        let b = canonical.expand();
+        assert_eq!(a, b, "shims must hit the canonical axes exactly");
+        // And the runs themselves are bit-for-bit equal (digests
+        // included), serialized record against serialized record.
+        for (x, y) in crate::Executor::serial()
+            .run(&a)
+            .iter()
+            .zip(&crate::Executor::serial().run(&b))
+        {
+            assert_eq!(
+                serde_json::to_string(x).unwrap(),
+                serde_json::to_string(y).unwrap()
+            );
         }
     }
 

@@ -20,6 +20,17 @@ use protocols::{
 use serde::Serialize;
 use workloads::WorkloadSpec;
 
+/// Strict unsigned decimal used by every axis parser: ASCII digits only.
+/// Rejects the leading `+`, embedded whitespace and empty strings that
+/// `u64::from_str` would otherwise accept, so axis names stay canonical
+/// (`parse(name()) == self` and nothing else sneaks through).
+fn parse_digits<T: std::str::FromStr>(s: &str) -> Option<T> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
 /// How ranks are grouped into clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum ClusterStrategy {
@@ -42,6 +53,37 @@ impl ClusterStrategy {
             ClusterStrategy::Blocks(k) => format!("blocks{k}"),
             ClusterStrategy::Partitioned(k) => format!("part{k}"),
         }
+    }
+
+    /// Parse a clustering axis value: `single`, `per-rank`,
+    /// `blocks<k>` / `part<k>` (canonical, what `name` emits) or the
+    /// sweep-CLI spellings `blocks:<k>` / `part:<k>`.
+    pub fn parse(s: &str) -> Result<ClusterStrategy, String> {
+        let s = s.trim();
+        match s {
+            "single" => return Ok(ClusterStrategy::Single),
+            "per-rank" => return Ok(ClusterStrategy::PerRank),
+            _ => {}
+        }
+        let keyed = |prefix: &str| -> Option<&str> {
+            let rest = s.strip_prefix(prefix)?;
+            Some(rest.strip_prefix(':').unwrap_or(rest))
+        };
+        let (variant, k): (fn(usize) -> ClusterStrategy, &str) = if let Some(k) = keyed("blocks") {
+            (ClusterStrategy::Blocks, k)
+        } else if let Some(k) = keyed("part") {
+            (ClusterStrategy::Partitioned, k)
+        } else {
+            return Err(format!(
+                "unknown clustering `{s}` (want single | per-rank | blocks<k> | part<k>)"
+            ));
+        };
+        let k: usize = parse_digits(k)
+            .ok_or_else(|| format!("bad cluster count `{k}` in `{s}` (want a positive integer)"))?;
+        if k == 0 {
+            return Err(format!("`{s}` needs at least one cluster"));
+        }
+        Ok(variant(k))
     }
 
     /// Resolve to a concrete map for `app`. Deterministic.
@@ -74,6 +116,15 @@ impl NetworkSpec {
         match self {
             NetworkSpec::Mx => "mx",
             NetworkSpec::Tcp => "tcp",
+        }
+    }
+
+    /// Parse a network axis value (`mx` | `tcp`).
+    pub fn parse(s: &str) -> Result<NetworkSpec, String> {
+        match s.trim() {
+            "mx" => Ok(NetworkSpec::Mx),
+            "tcp" => Ok(NetworkSpec::Tcp),
+            other => Err(format!("unknown network `{other}` (want mx | tcp)")),
         }
     }
 
@@ -178,13 +229,18 @@ impl CheckpointPolicySpec {
 
     /// Parse a checkpoint-policy axis value: `none`,
     /// `periodic:interval=<ms>[:first=<ms>]`, `young-daly[:first=<ms>]`
-    /// or `log-pressure:budget=<bytes>`.
+    /// or `log-pressure:budget=<bytes>`. Strict: every `:`-segment must
+    /// be a known `key=value`, each key at most once — trailing or
+    /// doubled separators and repeated keys are errors, not noise.
     pub fn parse(s: &str) -> Result<CheckpointPolicySpec, String> {
         let s = s.trim();
         if s.is_empty() || s == "none" {
             return Ok(CheckpointPolicySpec::None);
         }
-        let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
+        let (kind, rest) = match s.split_once(':') {
+            Some((kind, rest)) => (kind, Some(rest)),
+            None => (s, None),
+        };
         if !matches!(kind, "periodic" | "young-daly" | "log-pressure") {
             return Err(format!(
                 "unknown checkpoint policy `{kind}` in `{s}` \
@@ -195,13 +251,22 @@ impl CheckpointPolicySpec {
         let mut first_ms = None;
         let mut stagger_ms = None;
         let mut budget_bytes = None;
-        for part in rest.split(':').filter(|p| !p.is_empty()) {
+        let mut seen: Vec<&str> = Vec::new();
+        for part in rest.into_iter().flat_map(|r| r.split(':')) {
+            if part.is_empty() {
+                return Err(format!(
+                    "empty parameter segment in `{s}` (stray or trailing `:`)"
+                ));
+            }
             let (key, value) = part.split_once('=').ok_or_else(|| {
                 format!("bad policy parameter `{part}` in `{s}` (want key=value)")
             })?;
-            let parsed: u64 = value
-                .parse()
-                .map_err(|_| format!("bad value `{value}` for `{key}` in `{s}`"))?;
+            if seen.contains(&key) {
+                return Err(format!("duplicate `{key}=` in `{s}`"));
+            }
+            seen.push(key);
+            let parsed: u64 = parse_digits(value)
+                .ok_or_else(|| format!("bad value `{value}` for `{key}` in `{s}`"))?;
             // Millisecond times convert to picoseconds (x1e9) at build
             // time: reject here anything that would wrap there.
             let ms_fits = |v: u64| v.checked_mul(1_000_000_000).is_some();
@@ -394,6 +459,133 @@ impl ProtocolSpec {
         })
     }
 
+    /// Copy of `self` with the per-rank checkpoint image size replaced
+    /// (no-op for `Native`, which never checkpoints).
+    pub fn with_image_bytes(mut self, bytes: u64) -> Self {
+        match &mut self {
+            ProtocolSpec::Native => {}
+            ProtocolSpec::Hydee { image_bytes, .. }
+            | ProtocolSpec::Coordinated { image_bytes, .. }
+            | ProtocolSpec::EventLogged { image_bytes, .. } => *image_bytes = bytes,
+        }
+        self
+    }
+
+    /// Parse a protocol axis value — the inverse of
+    /// [`ProtocolSpec::name`]. The family (`native` | `hydee` |
+    /// `coordinated` | `event-logged`) is followed by `:`-separated
+    /// parameter segments in any order:
+    ///
+    /// ```text
+    /// ckpt<ms>ms                      periodic checkpoints every <ms>
+    /// periodic|young-daly|log-pressure[...key=value...]
+    ///                                 full checkpoint-policy form
+    /// none                            explicitly no checkpoints
+    /// img<bytes>                      per-rank checkpoint image size
+    /// pfs                             parallel-filesystem storage
+    /// nogc                            disable sender-log GC (hydee only)
+    /// ```
+    pub fn parse(s: &str) -> Result<ProtocolSpec, String> {
+        let s = s.trim();
+        let segs: Vec<&str> = s.split(':').collect();
+        let family = segs[0];
+        if !matches!(family, "native" | "hydee" | "coordinated" | "event-logged") {
+            return Err(format!(
+                "unknown protocol `{family}` in `{s}` \
+                 (want native | hydee | coordinated | event-logged)"
+            ));
+        }
+        let mut checkpoint: Option<CheckpointPolicySpec> = None;
+        let mut image_bytes: Option<u64> = None;
+        let mut storage: Option<StorageSpec> = None;
+        let mut gc: Option<bool> = None;
+        let set_ckpt = |c: CheckpointPolicySpec,
+                        checkpoint: &mut Option<CheckpointPolicySpec>|
+         -> Result<(), String> {
+            if checkpoint.replace(c).is_some() {
+                return Err(format!("more than one checkpoint setting in `{s}`"));
+            }
+            Ok(())
+        };
+        let mut i = 1;
+        while i < segs.len() {
+            let seg = segs[i];
+            if seg.is_empty() {
+                return Err(format!(
+                    "empty parameter segment in `{s}` (stray or trailing `:`)"
+                ));
+            }
+            if let Some(ms) = seg.strip_prefix("ckpt").and_then(|x| x.strip_suffix("ms")) {
+                let ms: u64 = parse_digits(ms)
+                    .ok_or_else(|| format!("bad checkpoint interval `{seg}` in `{s}`"))?;
+                let p = CheckpointPolicySpec::parse(&format!("periodic:interval={ms}"))?;
+                set_ckpt(p, &mut checkpoint)?;
+            } else if matches!(seg, "periodic" | "young-daly" | "log-pressure") {
+                // A policy head absorbs every following key=value segment.
+                let mut j = i + 1;
+                while j < segs.len() && segs[j].contains('=') {
+                    j += 1;
+                }
+                let p = CheckpointPolicySpec::parse(&segs[i..j].join(":"))?;
+                set_ckpt(p, &mut checkpoint)?;
+                i = j;
+                continue;
+            } else if seg == "none" {
+                set_ckpt(CheckpointPolicySpec::None, &mut checkpoint)?;
+            } else if let Some(b) = seg.strip_prefix("img") {
+                let b: u64 = parse_digits(b)
+                    .ok_or_else(|| format!("bad image size `{seg}` in `{s}` (want img<bytes>)"))?;
+                if image_bytes.replace(b).is_some() {
+                    return Err(format!("duplicate `img` in `{s}`"));
+                }
+            } else if seg == "pfs" {
+                if storage.replace(StorageSpec::ParallelFs).is_some() {
+                    return Err(format!("duplicate `pfs` in `{s}`"));
+                }
+            } else if seg == "nogc" {
+                if gc.replace(false).is_some() {
+                    return Err(format!("duplicate `nogc` in `{s}`"));
+                }
+            } else {
+                return Err(format!(
+                    "unknown protocol parameter `{seg}` in `{s}` \
+                     (want ckpt<ms>ms | <policy> | img<bytes> | pfs | nogc)"
+                ));
+            }
+            i += 1;
+        }
+        if family == "native" {
+            if segs.len() > 1 {
+                return Err(format!("`native` takes no parameters (got `{s}`)"));
+            }
+            return Ok(ProtocolSpec::Native);
+        }
+        if gc == Some(false) && family != "hydee" {
+            return Err(format!("`nogc` only applies to hydee (got `{s}`)"));
+        }
+        let checkpoint = checkpoint.unwrap_or(CheckpointPolicySpec::None);
+        let image_bytes = image_bytes.unwrap_or(DEFAULT_IMAGE_BYTES);
+        let storage = storage.unwrap_or(StorageSpec::Default);
+        Ok(match family {
+            "hydee" => ProtocolSpec::Hydee {
+                checkpoint,
+                image_bytes,
+                storage,
+                gc: gc.unwrap_or(true),
+            },
+            "coordinated" => ProtocolSpec::Coordinated {
+                checkpoint,
+                image_bytes,
+                storage,
+            },
+            _ => ProtocolSpec::EventLogged {
+                checkpoint,
+                image_bytes,
+                storage,
+            },
+        })
+    }
+
     /// Name encoding every non-default parameter, so two distinct
     /// `ProtocolSpec`s never share a name (spec labels and summary cells
     /// key on it).
@@ -571,9 +763,8 @@ impl FailureSpec {
         } else {
             (time, 1000) // legacy bare number = milliseconds
         };
-        let t: u64 = digits
-            .parse()
-            .map_err(|_| format!("bad failure time `{time}` in `{s}`"))?;
+        let t: u64 =
+            parse_digits(digits).ok_or_else(|| format!("bad failure time `{time}` in `{s}`"))?;
         let at_us = t
             .checked_mul(to_us)
             // The us -> ps conversion in `to_event` multiplies by 1e6:
@@ -584,10 +775,7 @@ impl FailureSpec {
             .strip_prefix('r')
             .unwrap_or(ranks)
             .split('+')
-            .map(|r| {
-                r.parse()
-                    .map_err(|_| format!("bad failure rank `{r}` in `{s}`"))
-            })
+            .map(|r| parse_digits(r).ok_or_else(|| format!("bad failure rank `{r}` in `{s}`")))
             .collect::<Result<_, String>>()?;
         if ranks.is_empty() {
             return Err(format!("no ranks in failure injection `{s}`"));
@@ -757,13 +945,22 @@ impl FailureModelSpec {
         if s.is_empty() || s == "none" {
             return Ok(FailureModelSpec::none());
         }
-        let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
+        let (kind, rest) = match s.split_once(':') {
+            Some((kind, rest)) => (kind, Some(rest)),
+            None => (s, None),
+        };
         if !matches!(kind, "poisson" | "cluster" | "cascade") {
             let events = s
                 .split(',')
-                .map(str::trim)
-                .filter(|f| !f.is_empty())
-                .map(FailureSpec::parse)
+                .map(|f| {
+                    let f = f.trim();
+                    if f.is_empty() {
+                        return Err(format!(
+                            "empty injection in schedule `{s}` (stray or trailing `,`)"
+                        ));
+                    }
+                    FailureSpec::parse(f)
+                })
                 .collect::<Result<Vec<_>, _>>()?;
             return Ok(FailureModelSpec::Fixed(events));
         }
@@ -772,13 +969,22 @@ impl FailureModelSpec {
         let mut max_failures = DEFAULT_MAX_FAILURES;
         let mut window_us = 1000u64;
         let mut follow_pct = 50u8;
-        for part in rest.split(':').filter(|p| !p.is_empty()) {
+        let mut seen: Vec<&str> = Vec::new();
+        for part in rest.into_iter().flat_map(|r| r.split(':')) {
+            if part.is_empty() {
+                return Err(format!(
+                    "empty parameter segment in `{s}` (stray or trailing `:`)"
+                ));
+            }
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| format!("bad model parameter `{part}` in `{s}` (want key=value)"))?;
-            let parsed: u64 = value
-                .parse()
-                .map_err(|_| format!("bad value `{value}` for `{key}` in `{s}`"))?;
+            if seen.contains(&key) {
+                return Err(format!("duplicate `{key}=` in `{s}`"));
+            }
+            seen.push(key);
+            let parsed: u64 = parse_digits(value)
+                .ok_or_else(|| format!("bad value `{value}` for `{key}` in `{s}`"))?;
             match key {
                 "mtbf" => mtbf_ms = Some(parsed),
                 "seed" => seed = parsed,
@@ -1056,6 +1262,127 @@ mod tests {
         ];
         let names: std::collections::BTreeSet<String> = variants.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), variants.len(), "{names:?}");
+    }
+
+    #[test]
+    fn protocol_name_parse_round_trips() {
+        let variants = [
+            ProtocolSpec::Native,
+            ProtocolSpec::hydee(),
+            ProtocolSpec::hydee().with_checkpoint_ms(Some(100)),
+            ProtocolSpec::hydee().with_policy(CheckpointPolicySpec::Periodic {
+                interval_ms: 100,
+                first_ms: Some(2),
+                stagger_ms: Some(1),
+            }),
+            ProtocolSpec::hydee().with_policy(CheckpointPolicySpec::YoungDaly {
+                first_ms: Some(1),
+                stagger_ms: Some(0),
+            }),
+            ProtocolSpec::hydee().with_policy(CheckpointPolicySpec::LogPressure {
+                budget_bytes: 8 << 20,
+            }),
+            ProtocolSpec::Hydee {
+                checkpoint: CheckpointPolicySpec::periodic(5),
+                image_bytes: 64 << 20,
+                storage: StorageSpec::ParallelFs,
+                gc: false,
+            },
+            ProtocolSpec::coordinated().with_checkpoint_ms(Some(100)),
+            ProtocolSpec::event_logged().with_image_bytes(2 << 20),
+        ];
+        for p in &variants {
+            let name = p.name();
+            assert_eq!(
+                &ProtocolSpec::parse(&name).unwrap(),
+                p,
+                "`{name}` round-tripped differently"
+            );
+        }
+        // Parameter segments compose in any order.
+        assert_eq!(
+            ProtocolSpec::parse("hydee:pfs:ckpt100ms").unwrap(),
+            ProtocolSpec::parse("hydee:ckpt100ms:pfs").unwrap()
+        );
+    }
+
+    #[test]
+    fn protocol_parse_rejects_garbage() {
+        for bad in [
+            "mpi",
+            "native:ckpt5ms",
+            "hydee:bogus",
+            "hydee:ckpt5ms:",
+            "hydee::pfs",
+            "hydee:ckpt5ms:ckpt9ms",
+            "hydee:ckpt5ms:young-daly",
+            "hydee:ckptXms",
+            "hydee:ckpt+5ms",
+            "hydee:img",
+            "hydee:img1:img2",
+            "hydee:pfs:pfs",
+            "coordinated:nogc",
+            "event-logged:nogc",
+        ] {
+            assert!(ProtocolSpec::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn cluster_strategy_name_parse_round_trips() {
+        let variants = [
+            ClusterStrategy::Single,
+            ClusterStrategy::PerRank,
+            ClusterStrategy::Blocks(4),
+            ClusterStrategy::Partitioned(16),
+        ];
+        for c in &variants {
+            assert_eq!(&ClusterStrategy::parse(&c.name()).unwrap(), c);
+        }
+        // The sweep-CLI spellings stay accepted.
+        assert_eq!(
+            ClusterStrategy::parse("blocks:4").unwrap(),
+            ClusterStrategy::Blocks(4)
+        );
+        assert_eq!(
+            ClusterStrategy::parse("part:16").unwrap(),
+            ClusterStrategy::Partitioned(16)
+        );
+        for bad in ["ring", "blocks", "blocks0", "part+4", "part4x", "blocks:"] {
+            assert!(ClusterStrategy::parse(bad).is_err(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn network_name_parse_round_trips() {
+        for n in [NetworkSpec::Mx, NetworkSpec::Tcp] {
+            assert_eq!(NetworkSpec::parse(n.name()).unwrap(), n);
+        }
+        assert!(NetworkSpec::parse("infiniband").is_err());
+    }
+
+    #[test]
+    fn strict_parsers_reject_trailing_garbage_and_duplicates() {
+        // Empty `:`-segments (trailing or doubled separators).
+        assert!(CheckpointPolicySpec::parse("periodic:interval=5:").is_err());
+        assert!(CheckpointPolicySpec::parse("periodic::interval=5").is_err());
+        assert!(CheckpointPolicySpec::parse("young-daly:").is_err());
+        assert!(FailureModelSpec::parse("poisson:mtbf=5::seed=1").is_err());
+        assert!(FailureModelSpec::parse("poisson:mtbf=5:seed=1:").is_err());
+        // Duplicate keys must error, not last-win.
+        assert!(CheckpointPolicySpec::parse("periodic:interval=5:interval=9").is_err());
+        assert!(CheckpointPolicySpec::parse("young-daly:first=1:first=2").is_err());
+        assert!(FailureModelSpec::parse("poisson:mtbf=5:mtbf=6:seed=1").is_err());
+        // Non-canonical numerics (`u64::from_str` would take `+5`).
+        assert!(CheckpointPolicySpec::parse("periodic:interval=+5").is_err());
+        assert!(FailureModelSpec::parse("poisson:mtbf=+5:seed=1").is_err());
+        assert!(FailureSpec::parse("+5:1").is_err());
+        assert!(FailureSpec::parse("5:+1").is_err());
+        assert!(FailureSpec::parse("5:1 ").is_ok(), "outer trim still fine");
+        // Stray commas in fixed schedules.
+        assert!(FailureModelSpec::parse("5:1,").is_err());
+        assert!(FailureModelSpec::parse(",5:1").is_err());
+        assert!(FailureModelSpec::parse("5:1,,6:2").is_err());
     }
 
     #[test]

@@ -1,0 +1,969 @@
+//! Declarative scenario suites: experiments as checked-in files.
+//!
+//! A *suite file* is a TOML-flavoured document (hand-rolled parser —
+//! the vendored serde only emits) that names scenarios and their matrix
+//! axes using the same textual forms every [`SpecAxis`] already
+//! round-trips. The compiler turns it into the existing
+//! [`Matrix`]/[`ScenarioSpec`] types, so the executor, sinks, telemetry
+//! and progress plumbing are untouched — a suite is exactly a batch of
+//! specs with names.
+//!
+//! ```text
+//! # fig5_netpipe.suite
+//! [suite]
+//! name = "fig5_netpipe"
+//! include = ["common_axes.suite"]       # optional composition
+//!
+//! [defaults]                            # inherited by every scenario
+//! workloads = ["netpipe:1", "netpipe:4096"]
+//! networks  = ["mx"]
+//!
+//! [scenario.native]
+//! protocols = ["native"]                # axes here override [defaults]
+//!
+//! [scenario.log]
+//! protocols = ["hydee"]
+//! clusters  = ["per-rank"]
+//! ```
+//!
+//! Grammar and compile contract: DESIGN.md §2.6. Entry points:
+//! [`Suite::load`] (file + `include` resolution + cycle detection),
+//! [`Suite::parse_str`] (embedded text, e.g. `include_str!`),
+//! [`Suite::render`] (the inverse, used by the round-trip proptest).
+//! Every diagnostic is a [`SuiteError`] carrying file and line; axis
+//! errors keep the [`crate::axis::ParseError`] structure (axis, token, expected
+//! forms) in the message.
+
+use std::path::{Path, PathBuf};
+
+use crate::axis::SpecAxis;
+use crate::matrix::Matrix;
+use crate::spec::{
+    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, NetworkSpec, ProtocolSpec,
+    ScenarioSpec,
+};
+use workloads::WorkloadSpec;
+
+/// A compiled suite: named scenarios, each an axis [`Matrix`].
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Suite name (`name = "..."` in `[suite]`, else the file stem).
+    pub name: String,
+    /// Scenarios in definition order, included suites' scenarios first.
+    pub scenarios: Vec<SuiteScenario>,
+}
+
+/// One named scenario: a matrix whose expansion is the scenario's cells.
+#[derive(Debug, Clone)]
+pub struct SuiteScenario {
+    pub name: String,
+    pub matrix: Matrix,
+}
+
+/// One runnable cell: the owning scenario's name plus the concrete spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteCell {
+    pub scenario: String,
+    pub spec: ScenarioSpec,
+}
+
+/// A suite-file diagnostic: file, line (0 = whole-file) and message.
+/// Axis failures embed the structured [`crate::axis::ParseError`]
+/// rendering, so the axis name and expected forms survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteError {
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl SuiteError {
+    fn at(file: &str, line: usize, message: String) -> Self {
+        SuiteError {
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.file, self.line, self.message)
+        } else {
+            write!(f, "{}: {}", self.file, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+// ---------------------------------------------------------------------
+// Raw document model (tokenized, before axis parsing)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+    Bool(bool),
+    Int(u64),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "a string",
+            Value::List(_) => "a list",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) => "an integer",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RawKv {
+    key: String,
+    value: Value,
+    line: usize,
+}
+
+#[derive(Debug, Default)]
+struct RawSuite {
+    name: Option<String>,
+    includes: Vec<(String, usize)>,
+    defaults: Vec<RawKv>,
+    /// (name, header line, keys)
+    scenarios: Vec<(String, usize, Vec<RawKv>)>,
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Cut a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quote = !in_quote,
+            '#' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `[`/`]` balance outside quotes; positive means an open list.
+fn bracket_balance(text: &str) -> i64 {
+    let mut depth = 0i64;
+    let mut in_quote = false;
+    for c in text.chars() {
+        match c {
+            '"' => in_quote = !in_quote,
+            '[' if !in_quote => depth += 1,
+            ']' if !in_quote => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Parse a `"quoted"` item starting at `rest[0] == '"'`; returns
+/// (content, remainder after the closing quote).
+fn take_string(rest: &str) -> Result<(String, &str), String> {
+    debug_assert!(rest.starts_with('"'));
+    let body = &rest[1..];
+    match body.find('"') {
+        Some(end) => Ok((body[..end].to_string(), &body[end + 1..])),
+        None => Err("unterminated string (missing closing `\"`)".into()),
+    }
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    let text = text.trim();
+    if let Some(mut rest) = text.strip_prefix('[') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix(']') {
+                rest = after;
+                break;
+            }
+            if rest.starts_with('"') {
+                let (item, after) = take_string(rest)?;
+                items.push(item);
+                rest = after.trim_start();
+                if let Some(after) = rest.strip_prefix(',') {
+                    rest = after;
+                } else if !rest.starts_with(']') {
+                    return Err(format!(
+                        "expected `,` or `]` after list item, found `{}`",
+                        rest.chars().next().map(String::from).unwrap_or_default()
+                    ));
+                }
+            } else if rest.is_empty() {
+                return Err("unterminated list (missing `]`)".into());
+            } else {
+                return Err(format!(
+                    "list items must be quoted strings, found `{}`",
+                    rest.split_whitespace().next().unwrap_or_default()
+                ));
+            }
+        }
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing characters after `]`: `{}`", rest.trim()));
+        }
+        return Ok(Value::List(items));
+    }
+    if text.starts_with('"') {
+        let (s, rest) = take_string(text)?;
+        if !rest.trim().is_empty() {
+            return Err(format!(
+                "trailing characters after string: `{}`",
+                rest.trim()
+            ));
+        }
+        return Ok(Value::Str(s));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if !text.is_empty() && text.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(n) = text.parse() {
+            return Ok(Value::Int(n));
+        }
+    }
+    Err(format!(
+        "bad value `{text}` (want \"string\", [\"list\", ...], true/false or an integer)"
+    ))
+}
+
+fn parse_raw(text: &str, file: &str) -> Result<RawSuite, SuiteError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Sect {
+        None,
+        Suite,
+        Defaults,
+        Scenario(usize),
+    }
+    let mut raw = RawSuite::default();
+    let mut sect = Sect::None;
+    let mut seen_suite = false;
+    let mut seen_defaults = false;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let t = strip_comment(lines[i]).trim().to_string();
+        i += 1;
+        if t.is_empty() {
+            continue;
+        }
+        // Section headers. A stray axis list would also start with `[`,
+        // but never end with `]` on a key-less line, so the `=` check
+        // below still catches it with a decent message.
+        if t.starts_with('[') && t.ends_with(']') && !t.contains('=') {
+            let inner = &t[1..t.len() - 1];
+            sect = match inner {
+                "suite" => {
+                    if seen_suite {
+                        return Err(SuiteError::at(
+                            file,
+                            lineno,
+                            "duplicate [suite] section".into(),
+                        ));
+                    }
+                    seen_suite = true;
+                    Sect::Suite
+                }
+                "defaults" => {
+                    if seen_defaults {
+                        return Err(SuiteError::at(
+                            file,
+                            lineno,
+                            "duplicate [defaults] section".into(),
+                        ));
+                    }
+                    seen_defaults = true;
+                    Sect::Defaults
+                }
+                _ => match inner.strip_prefix("scenario.") {
+                    Some(name) if is_ident(name) => {
+                        if raw.scenarios.iter().any(|(n, _, _)| n == name) {
+                            return Err(SuiteError::at(
+                                file,
+                                lineno,
+                                format!("duplicate scenario `{name}`"),
+                            ));
+                        }
+                        raw.scenarios.push((name.to_string(), lineno, Vec::new()));
+                        Sect::Scenario(raw.scenarios.len() - 1)
+                    }
+                    Some(name) => {
+                        return Err(SuiteError::at(
+                            file,
+                            lineno,
+                            format!(
+                                "bad scenario name `{name}` \
+                                 (want letters, digits, `_` or `-`)"
+                            ),
+                        ));
+                    }
+                    None => {
+                        return Err(SuiteError::at(
+                            file,
+                            lineno,
+                            format!(
+                                "unknown section `[{inner}]` \
+                                 (want [suite], [defaults] or [scenario.<name>])"
+                            ),
+                        ));
+                    }
+                },
+            };
+            continue;
+        }
+        let Some((key, rest)) = t.split_once('=') else {
+            return Err(SuiteError::at(
+                file,
+                lineno,
+                format!("expected `key = value` or a `[section]` header, found `{t}`"),
+            ));
+        };
+        let key = key.trim();
+        if !is_ident(key) {
+            return Err(SuiteError::at(file, lineno, format!("bad key `{key}`")));
+        }
+        // Bracketed lists may span lines: absorb until balanced.
+        let mut vtext = rest.trim().to_string();
+        while bracket_balance(&vtext) > 0 {
+            if i >= lines.len() {
+                return Err(SuiteError::at(
+                    file,
+                    lineno,
+                    format!("unterminated list in `{key} = [...`"),
+                ));
+            }
+            vtext.push(' ');
+            vtext.push_str(strip_comment(lines[i]).trim());
+            i += 1;
+        }
+        let value =
+            parse_value(&vtext).map_err(|m| SuiteError::at(file, lineno, format!("{key}: {m}")))?;
+        match sect {
+            Sect::None => {
+                return Err(SuiteError::at(
+                    file,
+                    lineno,
+                    format!("`{key}` appears before any [section] header"),
+                ));
+            }
+            Sect::Suite => match (key, value) {
+                ("name", Value::Str(s)) => {
+                    if raw.name.replace(s).is_some() {
+                        return Err(SuiteError::at(file, lineno, "duplicate `name`".into()));
+                    }
+                }
+                ("name", v) => {
+                    return Err(SuiteError::at(
+                        file,
+                        lineno,
+                        format!("`name` must be a string, got {}", v.kind()),
+                    ));
+                }
+                ("include", Value::List(paths)) => {
+                    raw.includes.extend(paths.into_iter().map(|p| (p, lineno)));
+                }
+                ("include", v) => {
+                    return Err(SuiteError::at(
+                        file,
+                        lineno,
+                        format!("`include` must be a list of paths, got {}", v.kind()),
+                    ));
+                }
+                (other, _) => {
+                    return Err(SuiteError::at(
+                        file,
+                        lineno,
+                        format!("unknown [suite] key `{other}` (want name | include)"),
+                    ));
+                }
+            },
+            Sect::Defaults => raw.defaults.push(RawKv {
+                key: key.to_string(),
+                value,
+                line: lineno,
+            }),
+            Sect::Scenario(idx) => raw.scenarios[idx].2.push(RawKv {
+                key: key.to_string(),
+                value,
+                line: lineno,
+            }),
+        }
+    }
+    Ok(raw)
+}
+
+// ---------------------------------------------------------------------
+// Compilation: raw keys -> axis sets -> Matrix
+// ---------------------------------------------------------------------
+
+/// Axis keys accepted in `[defaults]` and `[scenario.*]` sections.
+const AXIS_KEYS: &str =
+    "workloads | protocols | clusters | networks | checkpoint_policies | failure_models | \
+     static | max_events";
+
+/// One section's axis values. `None` = not mentioned, so scenario
+/// sections override `[defaults]` per key, not wholesale.
+#[derive(Debug, Default, Clone)]
+struct AxisSet {
+    workloads: Option<Vec<WorkloadSpec>>,
+    protocols: Option<Vec<ProtocolSpec>>,
+    clusters: Option<Vec<ClusterStrategy>>,
+    networks: Option<Vec<NetworkSpec>>,
+    checkpoint_policies: Option<Vec<CheckpointPolicySpec>>,
+    failure_models: Option<Vec<FailureModelSpec>>,
+    static_only: Option<bool>,
+    max_events: Option<u64>,
+}
+
+/// Parse every item of a list-valued axis key, wrapping axis errors
+/// with the file/line of the key.
+fn parse_axis<A: SpecAxis>(
+    items: &[String],
+    file: &str,
+    line: usize,
+) -> Result<Vec<A>, SuiteError> {
+    items
+        .iter()
+        .map(|item| A::parse(item).map_err(|e| SuiteError::at(file, line, e.to_string())))
+        .collect()
+}
+
+impl AxisSet {
+    fn from_kvs(kvs: &[RawKv], file: &str) -> Result<AxisSet, SuiteError> {
+        let mut set = AxisSet::default();
+        for kv in kvs {
+            // A single string is sugar for a one-element list.
+            let items: Option<Vec<String>> = match &kv.value {
+                Value::List(v) => Some(v.clone()),
+                Value::Str(s) => Some(vec![s.clone()]),
+                _ => None,
+            };
+            let listy = |items: &Option<Vec<String>>| -> Result<Vec<String>, SuiteError> {
+                items.clone().ok_or_else(|| {
+                    SuiteError::at(
+                        file,
+                        kv.line,
+                        format!(
+                            "`{}` must be a list of strings, got {}",
+                            kv.key,
+                            kv.value.kind()
+                        ),
+                    )
+                })
+            };
+            let dup = |was_set: bool| -> Result<(), SuiteError> {
+                if was_set {
+                    Err(SuiteError::at(
+                        file,
+                        kv.line,
+                        format!("duplicate `{}` in this section", kv.key),
+                    ))
+                } else {
+                    Ok(())
+                }
+            };
+            match kv.key.as_str() {
+                "workloads" => {
+                    dup(set.workloads.is_some())?;
+                    set.workloads = Some(parse_axis(&listy(&items)?, file, kv.line)?);
+                }
+                "protocols" => {
+                    dup(set.protocols.is_some())?;
+                    set.protocols = Some(parse_axis(&listy(&items)?, file, kv.line)?);
+                }
+                "clusters" => {
+                    dup(set.clusters.is_some())?;
+                    set.clusters = Some(parse_axis(&listy(&items)?, file, kv.line)?);
+                }
+                "networks" => {
+                    dup(set.networks.is_some())?;
+                    set.networks = Some(parse_axis(&listy(&items)?, file, kv.line)?);
+                }
+                "checkpoint_policies" => {
+                    dup(set.checkpoint_policies.is_some())?;
+                    set.checkpoint_policies = Some(parse_axis(&listy(&items)?, file, kv.line)?);
+                }
+                "failure_models" => {
+                    dup(set.failure_models.is_some())?;
+                    set.failure_models = Some(parse_axis(&listy(&items)?, file, kv.line)?);
+                }
+                "static" => {
+                    dup(set.static_only.is_some())?;
+                    match kv.value {
+                        Value::Bool(b) => set.static_only = Some(b),
+                        ref v => {
+                            return Err(SuiteError::at(
+                                file,
+                                kv.line,
+                                format!("`static` must be true or false, got {}", v.kind()),
+                            ));
+                        }
+                    }
+                }
+                "max_events" => {
+                    dup(set.max_events.is_some())?;
+                    match kv.value {
+                        Value::Int(n) => set.max_events = Some(n),
+                        ref v => {
+                            return Err(SuiteError::at(
+                                file,
+                                kv.line,
+                                format!("`max_events` must be an integer, got {}", v.kind()),
+                            ));
+                        }
+                    }
+                }
+                other => {
+                    return Err(SuiteError::at(
+                        file,
+                        kv.line,
+                        format!("unknown axis key `{other}` (want {AXIS_KEYS})"),
+                    ));
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    /// Inheritance: every key this section sets replaces the default;
+    /// unset keys fall through.
+    fn or(self, defaults: &AxisSet) -> AxisSet {
+        AxisSet {
+            workloads: self.workloads.or_else(|| defaults.workloads.clone()),
+            protocols: self.protocols.or_else(|| defaults.protocols.clone()),
+            clusters: self.clusters.or_else(|| defaults.clusters.clone()),
+            networks: self.networks.or_else(|| defaults.networks.clone()),
+            checkpoint_policies: self
+                .checkpoint_policies
+                .or_else(|| defaults.checkpoint_policies.clone()),
+            failure_models: self
+                .failure_models
+                .or_else(|| defaults.failure_models.clone()),
+            static_only: self.static_only.or(defaults.static_only),
+            max_events: self.max_events.or(defaults.max_events),
+        }
+    }
+
+    fn into_matrix(self) -> Matrix {
+        let mut m = Matrix::new();
+        m.workloads = self.workloads.unwrap_or_default();
+        m.protocols = self.protocols.unwrap_or_default();
+        m.clusters = self.clusters.unwrap_or_default();
+        m.networks = self.networks.unwrap_or_default();
+        m.checkpoint_policies = self.checkpoint_policies.unwrap_or_default();
+        m.failure_models = self.failure_models.unwrap_or_default();
+        m.simulate = !self.static_only.unwrap_or(false);
+        m.max_events = self.max_events;
+        m
+    }
+}
+
+fn compile_own_scenarios(raw: &RawSuite, file: &str) -> Result<Vec<SuiteScenario>, SuiteError> {
+    let defaults = AxisSet::from_kvs(&raw.defaults, file)?;
+    let mut out = Vec::with_capacity(raw.scenarios.len());
+    for (name, header_line, kvs) in &raw.scenarios {
+        let set = AxisSet::from_kvs(kvs, file)?.or(&defaults);
+        let matrix = set.into_matrix();
+        if matrix.workloads.is_empty() {
+            return Err(SuiteError::at(
+                file,
+                *header_line,
+                format!(
+                    "scenario `{name}` has no workloads \
+                     (set `workloads = [...]` here or in [defaults])"
+                ),
+            ));
+        }
+        out.push(SuiteScenario {
+            name: name.clone(),
+            matrix,
+        });
+    }
+    Ok(out)
+}
+
+fn push_unique(
+    into: &mut Vec<SuiteScenario>,
+    sc: SuiteScenario,
+    file: &str,
+    line: usize,
+) -> Result<(), SuiteError> {
+    if into.iter().any(|s| s.name == sc.name) {
+        return Err(SuiteError::at(
+            file,
+            line,
+            format!("scenario `{}` is defined more than once", sc.name),
+        ));
+    }
+    into.push(sc);
+    Ok(())
+}
+
+impl Suite {
+    /// Compile suite text that is already in memory (`include_str!`,
+    /// tests). `include` is rejected here — composition needs a
+    /// filesystem; use [`Suite::load`].
+    pub fn parse_str(text: &str, origin: &str) -> Result<Suite, SuiteError> {
+        let raw = parse_raw(text, origin)?;
+        if let Some((path, line)) = raw.includes.first() {
+            return Err(SuiteError::at(
+                origin,
+                *line,
+                format!("include = [\"{path}\"] needs file loading — use Suite::load"),
+            ));
+        }
+        let mut scenarios = Vec::new();
+        for sc in compile_own_scenarios(&raw, origin)? {
+            push_unique(&mut scenarios, sc, origin, 0)?;
+        }
+        Ok(Suite {
+            name: raw.name.unwrap_or_else(|| {
+                Path::new(origin)
+                    .file_stem()
+                    .map_or_else(|| origin.to_string(), |s| s.to_string_lossy().into_owned())
+            }),
+            scenarios,
+        })
+    }
+
+    /// Load a suite file, resolving `include = [...]` relative to the
+    /// including file. Included suites contribute their scenarios (in
+    /// include order) before the file's own; scenario names must stay
+    /// unique across the composition. Cycles are detected and reported
+    /// with the full include chain.
+    pub fn load(path: impl AsRef<Path>) -> Result<Suite, SuiteError> {
+        Self::load_inner(path.as_ref(), &mut Vec::new())
+    }
+
+    fn load_inner(path: &Path, stack: &mut Vec<PathBuf>) -> Result<Suite, SuiteError> {
+        let label = path.display().to_string();
+        let canon = path
+            .canonicalize()
+            .map_err(|e| SuiteError::at(&label, 0, format!("cannot read suite file: {e}")))?;
+        if stack.contains(&canon) {
+            let chain: Vec<String> = stack
+                .iter()
+                .map(|p| p.display().to_string())
+                .chain(std::iter::once(canon.display().to_string()))
+                .collect();
+            return Err(SuiteError::at(
+                &label,
+                0,
+                format!("include cycle: {}", chain.join(" -> ")),
+            ));
+        }
+        let text = std::fs::read_to_string(&canon)
+            .map_err(|e| SuiteError::at(&label, 0, format!("cannot read suite file: {e}")))?;
+        let raw = parse_raw(&text, &label)?;
+        let mut scenarios: Vec<SuiteScenario> = Vec::new();
+        stack.push(canon);
+        for (inc, line) in &raw.includes {
+            let child = match path.parent() {
+                Some(dir) if dir != Path::new("") => dir.join(inc),
+                _ => PathBuf::from(inc),
+            };
+            let sub = Self::load_inner(&child, stack)?;
+            for sc in sub.scenarios {
+                push_unique(&mut scenarios, sc, &label, *line)?;
+            }
+        }
+        stack.pop();
+        for sc in compile_own_scenarios(&raw, &label)? {
+            push_unique(&mut scenarios, sc, &label, 0)?;
+        }
+        Ok(Suite {
+            name: raw.name.unwrap_or_else(|| {
+                path.file_stem()
+                    .map_or_else(|| label.clone(), |s| s.to_string_lossy().into_owned())
+            }),
+            scenarios,
+        })
+    }
+
+    /// All cells: every scenario's matrix expanded, scenarios in order,
+    /// each tagged with its scenario name. Cell order within a scenario
+    /// is the matrix's deterministic expansion order.
+    pub fn cells(&self) -> Vec<SuiteCell> {
+        self.scenarios
+            .iter()
+            .flat_map(|sc| {
+                sc.matrix.expand().into_iter().map(|spec| SuiteCell {
+                    scenario: sc.name.clone(),
+                    spec,
+                })
+            })
+            .collect()
+    }
+
+    /// The specs alone, for callers that feed an [`crate::Executor`].
+    pub fn specs(&self) -> Vec<ScenarioSpec> {
+        self.cells().into_iter().map(|c| c.spec).collect()
+    }
+
+    /// Keep only the named scenarios (the `sweep --scenario` filter).
+    pub fn select(&self, wanted: &[String]) -> Result<Suite, String> {
+        let known: Vec<&str> = self.scenarios.iter().map(|s| s.name.as_str()).collect();
+        for w in wanted {
+            if !known.contains(&w.as_str()) {
+                return Err(format!(
+                    "no scenario `{w}` in suite `{}` (have: {})",
+                    self.name,
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(Suite {
+            name: self.name.clone(),
+            scenarios: self
+                .scenarios
+                .iter()
+                .filter(|s| wanted.iter().any(|w| w == &s.name))
+                .cloned()
+                .collect(),
+        })
+    }
+
+    /// Serialize scenarios back to suite text. The inverse of
+    /// [`Suite::parse_str`] up to formatting: parsing the rendered text
+    /// compiles to matrices with identical expansions (pinned by the
+    /// suite round-trip proptest).
+    pub fn render(name: &str, scenarios: &[(String, Matrix)]) -> String {
+        let quote = |s: &String| format!("\"{s}\"");
+        let list = |key: &str, names: &[String]| -> String {
+            if names.is_empty() {
+                return String::new();
+            }
+            let inline = names.iter().map(quote).collect::<Vec<_>>().join(", ");
+            if names.len() <= 4 && inline.len() <= 72 {
+                format!("{key} = [{inline}]\n")
+            } else {
+                let mut s = format!("{key} = [\n");
+                for n in names {
+                    s.push_str(&format!("  {},\n", quote(n)));
+                }
+                s.push_str("]\n");
+                s
+            }
+        };
+        let mut out = format!("[suite]\nname = \"{name}\"\n");
+        for (sc_name, m) in scenarios {
+            out.push_str(&format!("\n[scenario.{sc_name}]\n"));
+            let names = |v: &[String]| v.to_vec();
+            out.push_str(&list(
+                "workloads",
+                &names(&m.workloads.iter().map(SpecAxis::name).collect::<Vec<_>>()),
+            ));
+            out.push_str(&list(
+                "protocols",
+                &m.protocols.iter().map(SpecAxis::name).collect::<Vec<_>>(),
+            ));
+            out.push_str(&list(
+                "clusters",
+                &m.clusters.iter().map(SpecAxis::name).collect::<Vec<_>>(),
+            ));
+            out.push_str(&list(
+                "networks",
+                &m.networks.iter().map(SpecAxis::name).collect::<Vec<_>>(),
+            ));
+            out.push_str(&list(
+                "checkpoint_policies",
+                &m.checkpoint_policies
+                    .iter()
+                    .map(SpecAxis::name)
+                    .collect::<Vec<_>>(),
+            ));
+            out.push_str(&list(
+                "failure_models",
+                &m.failure_models
+                    .iter()
+                    .map(SpecAxis::name)
+                    .collect::<Vec<_>>(),
+            ));
+            if !m.simulate {
+                out.push_str("static = true\n");
+            }
+            if let Some(n) = m.max_events {
+                out.push_str(&format!("max_events = {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FailureSpec;
+
+    const BASIC: &str = r#"
+# A comment
+[suite]
+name = "basic"
+
+[defaults]
+workloads = ["netpipe:256:rounds=2", "netpipe:1024:rounds=2"]
+networks = ["mx"]
+
+[scenario.native]
+protocols = ["native"]
+
+[scenario.log]
+protocols = ["hydee"]   # trailing comment
+clusters = ["per-rank"]
+max_events = 500000
+"#;
+
+    #[test]
+    fn basic_suite_compiles_with_inheritance() {
+        let suite = Suite::parse_str(BASIC, "basic.suite").unwrap();
+        assert_eq!(suite.name, "basic");
+        assert_eq!(suite.scenarios.len(), 2);
+        let cells = suite.cells();
+        assert_eq!(cells.len(), 4, "2 workloads x 1 protocol per scenario");
+        assert_eq!(cells[0].scenario, "native");
+        assert_eq!(cells[0].spec.protocol, ProtocolSpec::Native);
+        assert_eq!(cells[0].spec.network, NetworkSpec::Mx);
+        assert_eq!(cells[2].scenario, "log");
+        assert_eq!(cells[2].spec.protocol, ProtocolSpec::hydee());
+        assert_eq!(cells[2].spec.clusters, ClusterStrategy::PerRank);
+        assert_eq!(cells[2].spec.max_events, Some(500_000));
+        assert_eq!(cells[0].spec.max_events, None, "no inheritance upward");
+    }
+
+    #[test]
+    fn scenario_axes_override_defaults_per_key() {
+        let text = r#"
+[defaults]
+workloads = ["netpipe:64"]
+protocols = ["hydee"]
+clusters = ["blocks4"]
+
+[scenario.override]
+workloads = ["netpipe:128"]
+"#;
+        let suite = Suite::parse_str(text, "t.suite").unwrap();
+        let cells = suite.cells();
+        assert_eq!(cells.len(), 1);
+        // Overridden key replaced, unmentioned keys inherited.
+        assert_eq!(SpecAxis::name(&cells[0].spec.workload), "netpipe:128");
+        assert_eq!(cells[0].spec.protocol, ProtocolSpec::hydee());
+        assert_eq!(cells[0].spec.clusters, ClusterStrategy::Blocks(4));
+    }
+
+    #[test]
+    fn single_string_is_one_element_list_sugar() {
+        let text = r#"
+[scenario.one]
+workloads = "netpipe:64"
+protocols = "coordinated"
+static = true
+"#;
+        let suite = Suite::parse_str(text, "t.suite").unwrap();
+        let cells = suite.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].spec.protocol, ProtocolSpec::coordinated());
+        assert!(!cells[0].spec.simulate);
+    }
+
+    #[test]
+    fn multi_line_lists_and_failure_models_parse() {
+        let text = r#"
+[scenario.frontier]
+workloads = [
+  "netpipe:64",
+  "netpipe:128",
+]
+protocols = ["hydee:pfs"]
+checkpoint_policies = ["periodic:interval=5", "young-daly"]
+failure_models = ["poisson:mtbf=10000:seed=7:max=3", "fail@195000us:r7"]
+"#;
+        let suite = Suite::parse_str(text, "t.suite").unwrap();
+        let cells = suite.cells();
+        // 2 workloads x 2 policies x 2 failure models.
+        assert_eq!(cells.len(), 8);
+        assert!(cells.iter().any(|c| c.spec.failure_model
+            == FailureModelSpec::Fixed(vec![FailureSpec::at_ms(195, vec![7])])));
+    }
+
+    #[test]
+    fn errors_name_file_line_and_axis() {
+        let text = "[scenario.x]\nworkloads = [\"netpipe:64\"]\nprotocols = [\"quic\"]\n";
+        let err = Suite::parse_str(text, "bad.suite").unwrap_err();
+        assert_eq!(err.file, "bad.suite");
+        assert_eq!(err.line, 3);
+        let shown = err.to_string();
+        assert!(shown.starts_with("bad.suite:3:"), "{shown}");
+        assert!(shown.contains("protocol"), "{shown}");
+        assert!(shown.contains("`quic`"), "{shown}");
+    }
+
+    #[test]
+    fn scenario_without_workloads_is_an_error_at_its_header() {
+        let text = "\n[scenario.empty]\nprotocols = [\"native\"]\n";
+        let err = Suite::parse_str(text, "e.suite").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("no workloads"), "{err}");
+    }
+
+    #[test]
+    fn include_rejected_without_a_filesystem() {
+        let text = "[suite]\ninclude = [\"other.suite\"]\n";
+        let err = Suite::parse_str(text, "inc.suite").unwrap_err();
+        assert!(err.message.contains("Suite::load"), "{err}");
+    }
+
+    #[test]
+    fn render_parse_round_trips_the_cell_set() {
+        let m = Matrix::new()
+            .workloads([
+                WorkloadSpec::NetPipe {
+                    rounds: 20,
+                    bytes: 64,
+                },
+                WorkloadSpec::Stencil {
+                    n_ranks: 8,
+                    iterations: 3,
+                    face_bytes: 256,
+                    compute_us: 10,
+                    wildcard_recv: false,
+                },
+            ])
+            .protocols([ProtocolSpec::Native, ProtocolSpec::hydee()])
+            .clusters([ClusterStrategy::Blocks(2)])
+            .checkpoint_policies([CheckpointPolicySpec::periodic(5)])
+            .failure_models([FailureModelSpec::poisson(500, 7)]);
+        let text = Suite::render("rt", &[("only".to_string(), m.clone())]);
+        let suite = Suite::parse_str(&text, "rt.suite").unwrap();
+        assert_eq!(suite.name, "rt");
+        assert_eq!(suite.scenarios.len(), 1);
+        assert_eq!(suite.scenarios[0].matrix.expand(), m.expand(), "{text}");
+    }
+
+    #[test]
+    fn select_filters_and_rejects_unknown_names() {
+        let suite = Suite::parse_str(BASIC, "basic.suite").unwrap();
+        let only = suite.select(&["log".to_string()]).unwrap();
+        assert_eq!(only.scenarios.len(), 1);
+        assert!(only.cells().iter().all(|c| c.scenario == "log"));
+        let err = suite.select(&["nope".to_string()]).unwrap_err();
+        assert!(err.contains("nope") && err.contains("native"), "{err}");
+    }
+}

@@ -123,6 +123,43 @@ proptest! {
     }
 
     #[test]
+    fn trailing_garbage_never_parses(
+        variant in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        d in any::<u8>(),
+        e in any::<u8>(),
+    ) {
+        // Strict grammar (ISSUE 7 satellite): whatever valid name the
+        // generator produces, appending junk must be a parse error —
+        // never silently ignored.
+        let model = decode_model(variant, a, b, c, d, e);
+        let name = model.name();
+        for mangled in [
+            format!("{name}:zzz"),
+            format!("{name}:"),
+            format!("{name} trailing"),
+            format!("{name},"),
+        ] {
+            prop_assert!(
+                FailureModelSpec::parse(&mangled).is_err(),
+                "`{mangled}` parsed but must be rejected"
+            );
+        }
+        let spec = decode_failure(a, b, e);
+        for mangled in [
+            format!("{}x", spec.name()),
+            format!("{}:r1:r2", spec.name()),
+        ] {
+            prop_assert!(
+                FailureSpec::parse(&mangled).is_err(),
+                "`{mangled}` parsed but must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn model_names_are_injective_across_random_pairs(
         v1 in any::<u8>(), a1 in any::<u64>(), b1 in any::<u64>(),
         c1 in any::<u64>(), d1 in any::<u8>(), e1 in any::<u8>(),

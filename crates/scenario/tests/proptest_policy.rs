@@ -59,6 +59,29 @@ proptest! {
     }
 
     #[test]
+    fn trailing_garbage_never_parses(
+        variant in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        with_first in any::<bool>(),
+    ) {
+        // Strict grammar (ISSUE 7 satellite): appending junk to any
+        // valid policy name must be a parse error, not ignored.
+        let name = decode_policy(variant, a, b, with_first).name();
+        for mangled in [
+            format!("{name}:zzz"),
+            format!("{name}:"),
+            format!("{name} x"),
+            format!("{name}:interval=1:interval=2"),
+        ] {
+            prop_assert!(
+                CheckpointPolicySpec::parse(&mangled).is_err(),
+                "`{mangled}` parsed but must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn policy_names_are_injective_across_random_pairs(
         v1 in any::<u8>(), a1 in any::<u64>(), b1 in any::<u64>(), f1 in any::<bool>(),
         v2 in any::<u8>(), a2 in any::<u64>(), b2 in any::<u64>(), f2 in any::<bool>(),

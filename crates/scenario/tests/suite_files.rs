@@ -1,0 +1,293 @@
+//! Filesystem-facing suite tests (ISSUE 7 satellite 4): `include`
+//! composition, include-cycle detection, and a golden corpus of bad
+//! suite files whose diagnostics must name the file, the line and — for
+//! axis failures — the axis and offending token. The error text is the
+//! UI of the DSL; these tests keep it from regressing into bare
+//! `String` soup.
+
+use scenario::{Suite, SuiteError};
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("suite_files_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn write(&self, name: &str, text: &str) -> PathBuf {
+        let path = self.0.join(name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).unwrap();
+        }
+        fs::write(&path, text).unwrap();
+        path
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn include_composes_scenarios_in_include_order_then_own() {
+    let dir = Scratch::new("compose");
+    dir.write(
+        "base.suite",
+        r#"
+[defaults]
+networks = ["tcp"]
+
+[scenario.base_a]
+workloads = ["netpipe:64"]
+
+[scenario.base_b]
+workloads = ["netpipe:128"]
+"#,
+    );
+    // Includes resolve relative to the including file, also from a
+    // subdirectory.
+    dir.write(
+        "sub/extra.suite",
+        r#"
+[suite]
+include = ["../base.suite"]
+
+[scenario.own]
+workloads = ["netpipe:256"]
+"#,
+    );
+    let top = dir.write(
+        "top.suite",
+        r#"
+[suite]
+name = "composed"
+include = ["sub/extra.suite"]
+
+[scenario.last]
+workloads = ["netpipe:512"]
+"#,
+    );
+
+    let suite = Suite::load(&top).unwrap();
+    assert_eq!(suite.name, "composed");
+    let names: Vec<&str> = suite.scenarios.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["base_a", "base_b", "own", "last"]);
+    // The included file's [defaults] apply to its own scenarios only —
+    // inheritance is per file, not across the composition.
+    assert_eq!(suite.scenarios[0].matrix.networks.len(), 1);
+    assert!(suite.scenarios[3].matrix.networks.is_empty());
+    // 4 scenarios × 1 cell each.
+    assert_eq!(suite.cells().len(), 4);
+}
+
+#[test]
+fn include_cycles_report_the_full_chain() {
+    let dir = Scratch::new("cycle");
+    let a = dir.write(
+        "a.suite",
+        "[suite]\ninclude = [\"b.suite\"]\n\n[scenario.a]\nworkloads = [\"netpipe:1\"]\n",
+    );
+    dir.write(
+        "b.suite",
+        "[suite]\ninclude = [\"a.suite\"]\n\n[scenario.b]\nworkloads = [\"netpipe:2\"]\n",
+    );
+
+    let err = Suite::load(&a).unwrap_err();
+    assert!(
+        err.message.contains("include cycle"),
+        "want a cycle diagnostic, got: {err}"
+    );
+    // The chain names every hop: a -> b -> a.
+    assert!(
+        err.message.contains("a.suite") && err.message.contains("b.suite"),
+        "cycle chain must name the files involved, got: {err}"
+    );
+    // Self-include is the degenerate cycle.
+    let selfy = dir.write(
+        "self.suite",
+        "[suite]\ninclude = [\"self.suite\"]\n\n[scenario.s]\nworkloads = [\"netpipe:1\"]\n",
+    );
+    let err = Suite::load(&selfy).unwrap_err();
+    assert!(err.message.contains("include cycle"), "got: {err}");
+}
+
+#[test]
+fn duplicate_scenarios_across_includes_are_rejected_at_the_include_line() {
+    let dir = Scratch::new("dup");
+    dir.write(
+        "base.suite",
+        "[scenario.shared]\nworkloads = [\"netpipe:1\"]\n",
+    );
+    let top = dir.write(
+        "top.suite",
+        "[suite]\ninclude = [\"base.suite\", \"base.suite\"]\n\n\
+         [scenario.own]\nworkloads = [\"netpipe:2\"]\n",
+    );
+    let err = Suite::load(&top).unwrap_err();
+    assert!(err.file.ends_with("top.suite"), "got file: {}", err.file);
+    assert_eq!(err.line, 2, "the `include = [...]` line");
+    assert!(
+        err.message.contains("`shared`") && err.message.contains("more than once"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn missing_files_name_the_path() {
+    let dir = Scratch::new("missing");
+    let top = dir.write(
+        "top.suite",
+        "[suite]\ninclude = [\"nope.suite\"]\n\n[scenario.s]\nworkloads = [\"netpipe:1\"]\n",
+    );
+    let err = Suite::load(&top).unwrap_err();
+    assert!(err.message.contains("cannot read suite file"), "got: {err}");
+    assert!(err.file.contains("nope.suite"), "got file: {}", err.file);
+}
+
+/// Golden corpus: one malformed suite per row, with the line the
+/// diagnostic must carry and substrings it must contain. Axis failures
+/// must surface the axis name, the offending token and the accepted
+/// forms (the structured `ParseError` rendering).
+#[test]
+fn bad_suites_name_file_line_and_axis() {
+    let corpus: &[(&str, &str, usize, &[&str])] = &[
+        (
+            "unknown_key",
+            "[scenario.s]\nworkload = [\"netpipe:1\"]\n",
+            2,
+            &["unknown axis key `workload`", "workloads | protocols"],
+        ),
+        (
+            "bad_workload_token",
+            "[scenario.s]\nworkloads = [\"warpdrive:9\"]\n",
+            2,
+            &["workload", "`warpdrive:9`", "netpipe:<bytes>"],
+        ),
+        (
+            "bad_protocol_token",
+            "[scenario.s]\nworkloads = [\"netpipe:1\"]\nprotocols = [\"hydee:ckptXXms\"]\n",
+            3,
+            &["protocol", "`hydee:ckptXXms`", "native | {hydee"],
+        ),
+        (
+            "bad_policy_token",
+            "[scenario.s]\nworkloads = [\"netpipe:1\"]\n\
+             checkpoint_policies = [\"periodic:interval=oops\"]\n",
+            3,
+            &["checkpoint-policy", "`periodic:interval=oops`"],
+        ),
+        (
+            "bad_failure_token",
+            "[scenario.s]\nworkloads = [\"netpipe:1\"]\nfailure_models = [\"poisson:mtbf=\"]\n",
+            3,
+            &["failure-model", "`poisson:mtbf=`"],
+        ),
+        (
+            "bad_cluster_token",
+            "[scenario.s]\nworkloads = [\"netpipe:1\"]\nclusters = [\"blobs4\"]\n",
+            3,
+            &["clusters", "`blobs4`", "single | per-rank"],
+        ),
+        (
+            "unquoted_list_item",
+            "[scenario.s]\nworkloads = [netpipe:1]\n",
+            2,
+            &["workloads", "list items must be quoted strings"],
+        ),
+        (
+            "unterminated_list",
+            "[scenario.s]\nworkloads = [\"netpipe:1\",\n",
+            2,
+            &["unterminated list", "workloads"],
+        ),
+        (
+            "static_wrong_type",
+            "[scenario.s]\nworkloads = [\"netpipe:1\"]\nstatic = \"yes\"\n",
+            3,
+            &["`static` must be true or false"],
+        ),
+        (
+            "max_events_wrong_type",
+            "[scenario.s]\nworkloads = [\"netpipe:1\"]\nmax_events = \"many\"\n",
+            3,
+            &["`max_events` must be an integer"],
+        ),
+        (
+            "duplicate_axis_key",
+            "[scenario.s]\nworkloads = [\"netpipe:1\"]\nworkloads = [\"netpipe:2\"]\n",
+            3,
+            &["duplicate `workloads`"],
+        ),
+        (
+            "duplicate_scenario",
+            "[scenario.s]\nworkloads = [\"netpipe:1\"]\n\n\
+             [scenario.s]\nworkloads = [\"netpipe:2\"]\n",
+            4,
+            &["duplicate scenario `s`"],
+        ),
+        (
+            "no_workloads",
+            "[scenario.empty]\nprotocols = [\"native\"]\n",
+            1,
+            &["scenario `empty` has no workloads", "[defaults]"],
+        ),
+        (
+            "key_outside_section",
+            "workloads = [\"netpipe:1\"]\n",
+            1,
+            &["before any [section] header"],
+        ),
+        (
+            "bad_section",
+            "[scenarios.s]\nworkloads = [\"netpipe:1\"]\n",
+            1,
+            &["unknown section `[scenarios.s]`"],
+        ),
+        (
+            "bad_scenario_name",
+            "[scenario.two words]\nworkloads = [\"netpipe:1\"]\n",
+            1,
+            &["bad scenario name `two words`"],
+        ),
+        (
+            "not_a_kv",
+            "[scenario.s]\njust some words\n",
+            2,
+            &["expected `key = value`"],
+        ),
+        (
+            "include_without_load",
+            "[suite]\ninclude = [\"other.suite\"]\n\n[scenario.s]\nworkloads = [\"netpipe:1\"]\n",
+            2,
+            &["use Suite::load"],
+        ),
+    ];
+
+    for (tag, text, line, needles) in corpus {
+        let origin = format!("{tag}.suite");
+        let err: SuiteError = Suite::parse_str(text, &origin)
+            .map(|_| panic!("`{tag}` parsed but must fail:\n{text}"))
+            .unwrap_err();
+        assert_eq!(err.file, origin, "`{tag}`: wrong file in {err}");
+        assert_eq!(err.line, *line, "`{tag}`: wrong line in {err}");
+        let rendered = err.to_string();
+        assert!(
+            rendered.starts_with(&format!("{origin}:{line}: ")),
+            "`{tag}`: Display must lead with file:line, got {rendered}"
+        );
+        for needle in *needles {
+            assert!(
+                rendered.contains(needle),
+                "`{tag}`: diagnostic must contain `{needle}`, got: {rendered}"
+            );
+        }
+    }
+}
