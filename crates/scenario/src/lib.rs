@@ -28,6 +28,11 @@
 //! * [`SpecAxis`] — the one trait over every axis's `name()`⇄`parse()`
 //!   pair, with structured [`ParseError`] diagnostics (axis, token,
 //!   expected forms) that suite files extend with file/line.
+//! * [`cache`] — the content-address contract: every spec renders to a
+//!   canonical versioned descriptor whose FNV-1a-128 digest
+//!   ([`CacheKey`]) keys persisted [`RunRecord`]s, and
+//!   [`Executor::run_cached`] consults a [`RunCache`] (implemented
+//!   durably by `crates/sweep-server`) before simulating a cell.
 //!
 //! ```
 //! use scenario::{ClusterStrategy, Executor, Matrix, ProtocolSpec};
@@ -46,6 +51,7 @@
 //! ```
 
 pub mod axis;
+pub mod cache;
 pub mod executor;
 pub mod matrix;
 pub mod progress;
@@ -55,6 +61,7 @@ pub mod spec;
 pub mod suite;
 
 pub use axis::{ParseError, SpecAxis};
+pub use cache::{fnv1a128, CacheKey, CacheStats, CachedRun, RunCache, DESCRIPTOR_VERSION};
 pub use executor::Executor;
 pub use matrix::Matrix;
 pub use progress::{HumanProgress, JsonlProgress, ProgressFanout, ProgressSink, ProgressSnapshot};

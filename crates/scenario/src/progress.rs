@@ -13,7 +13,7 @@
 //! the *records* stay deterministic.
 
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -71,10 +71,14 @@ impl ProgressSink for HumanProgress {
     }
 }
 
-/// Machine-readable progress: one JSON object per heartbeat, flushed per
-/// line so a tailing consumer sees cells as they land.
+/// Machine-readable progress: one JSON object per heartbeat, each line
+/// committed with a single `write_all` so a tailing consumer sees cells
+/// as they land and can never observe half a heartbeat interleaved with
+/// another worker's line. (A buffered writer would flush mid-line at
+/// buffer boundaries; building the whole `{...}\n` in memory first keeps
+/// every record either entirely present or entirely absent.)
 pub struct JsonlProgress {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<File>,
 }
 
 impl JsonlProgress {
@@ -85,18 +89,18 @@ impl JsonlProgress {
             }
         }
         Ok(JsonlProgress {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            out: Mutex::new(File::create(path)?),
         })
     }
 }
 
 impl ProgressSink for JsonlProgress {
     fn update(&self, snap: &ProgressSnapshot) {
-        let line = serde_json::to_string(snap).expect("snapshot serializes");
+        let mut line = serde_json::to_string(snap).expect("snapshot serializes");
+        line.push('\n');
         let mut out = self.out.lock().expect("progress writer poisoned");
         // Heartbeats are best-effort: a full disk must not kill the sweep.
-        let _ = writeln!(out, "{line}");
-        let _ = out.flush();
+        let _ = out.write_all(line.as_bytes());
     }
 }
 

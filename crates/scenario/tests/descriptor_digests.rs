@@ -1,0 +1,169 @@
+//! Golden pin of the cell-descriptor/cache-key contract.
+//!
+//! The run store (`crates/sweep-server`) addresses cached cells by
+//! `ScenarioSpec::cache_key()` — FNV-1a-128 over the versioned
+//! descriptor string. A store written by one release must hit in the
+//! next, so both the descriptor *text* and the resulting digest are
+//! frozen per `DESCRIPTOR_VERSION` in a checked-in golden file. If this
+//! test fails, either (a) an axis `name()` or the descriptor grammar
+//! changed by accident — fix the regression — or (b) the change is
+//! intentional: bump `DESCRIPTOR_VERSION` in `scenario::cache` (old
+//! stores then rebuild instead of silently mismatching) and regenerate
+//! the file with `UPDATE_GOLDEN=1 cargo test -p scenario --test
+//! descriptor_digests`.
+
+use scenario::{
+    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, NetworkSpec, ProtocolSpec,
+    ScenarioSpec, StorageSpec, DEFAULT_IMAGE_BYTES,
+};
+use workloads::WorkloadSpec;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/descriptor_digests.txt"
+);
+
+fn w(s: &str) -> WorkloadSpec {
+    WorkloadSpec::parse(s).expect("workload parses")
+}
+
+fn fm(s: &str) -> FailureModelSpec {
+    FailureModelSpec::parse(s).expect("failure model parses")
+}
+
+/// Representative cells covering every axis of the descriptor: all
+/// protocol kinds, checkpoint policies, storage backends, cluster
+/// strategies, networks, fixed + stochastic failure models, the static
+/// path and the `max_events` override.
+fn corpus() -> Vec<ScenarioSpec> {
+    let base = || {
+        ScenarioSpec::new(
+            w("netpipe:1024"),
+            ProtocolSpec::Native,
+            ClusterStrategy::Single,
+        )
+    };
+    let mut specs = vec![
+        base(),
+        ScenarioSpec::new(
+            w("netpipe:1024"),
+            ProtocolSpec::hydee(),
+            ClusterStrategy::PerRank,
+        ),
+        ScenarioSpec::new(
+            w("nas:CG:scale=0.015625"),
+            ProtocolSpec::hydee(),
+            ClusterStrategy::Partitioned(16),
+        ),
+        ScenarioSpec::new(
+            w("stencil:16x10:face=256:compute_us=10"),
+            ProtocolSpec::hydee().with_checkpoint_ms(Some(100)),
+            ClusterStrategy::Blocks(4),
+        ),
+        ScenarioSpec::new(
+            w("master_worker:8:tasks=4"),
+            ProtocolSpec::hydee().with_policy(CheckpointPolicySpec::YoungDaly {
+                first_ms: Some(2),
+                stagger_ms: None,
+            }),
+            ClusterStrategy::Single,
+        ),
+        ScenarioSpec::new(
+            w("netpipe:1024"),
+            ProtocolSpec::hydee().with_policy(CheckpointPolicySpec::LogPressure {
+                budget_bytes: 1 << 20,
+            }),
+            ClusterStrategy::Single,
+        ),
+        ScenarioSpec::new(
+            w("netpipe:1024"),
+            ProtocolSpec::Hydee {
+                checkpoint: CheckpointPolicySpec::None,
+                image_bytes: DEFAULT_IMAGE_BYTES,
+                storage: StorageSpec::ParallelFs,
+                gc: false,
+            },
+            ClusterStrategy::Single,
+        ),
+        ScenarioSpec::new(
+            w("netpipe:1024"),
+            ProtocolSpec::coordinated().with_checkpoint_ms(Some(5)),
+            ClusterStrategy::Single,
+        ),
+        ScenarioSpec::new(
+            w("netpipe:1024"),
+            ProtocolSpec::event_logged(),
+            ClusterStrategy::Single,
+        ),
+    ];
+    // Network axis.
+    let mut tcp = base();
+    tcp.network = NetworkSpec::Tcp;
+    specs.push(tcp);
+    // Failure-model axis: fixed schedule and all three stochastic kinds.
+    for model in [
+        "fail@195ms:r7",
+        "fail@20000us:r3+4,fail@40000us:r5",
+        "poisson:mtbf=500:seed=7",
+        "cluster:mtbf=500:seed=7:max=3",
+        "cascade:mtbf=500:seed=7:window=1000:follow=50",
+    ] {
+        let mut s = base();
+        s.failure_model = fm(model);
+        specs.push(s);
+    }
+    // Static-analysis cell (Table I path).
+    let mut stat = base();
+    stat.simulate = false;
+    specs.push(stat);
+    // Engine event-limit override participates in the key.
+    let mut capped = base();
+    capped.max_events = Some(123_456_789);
+    specs.push(capped);
+    specs
+}
+
+fn render() -> String {
+    let mut out = String::from(
+        "# Golden descriptor digests — regenerate with UPDATE_GOLDEN=1 only\n\
+         # on an intentional DESCRIPTOR_VERSION bump (see descriptor_digests.rs).\n\
+         # <cache-key hex> <descriptor>\n",
+    );
+    for spec in corpus() {
+        out.push_str(&format!(
+            "{} {}\n",
+            spec.cache_key().hex(),
+            spec.descriptor()
+        ));
+    }
+    out
+}
+
+#[test]
+fn descriptors_and_digests_match_golden_file() {
+    let expected = render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &expected).expect("write golden file");
+        return;
+    }
+    let actual = std::fs::read_to_string(GOLDEN).expect(
+        "golden file missing — run UPDATE_GOLDEN=1 cargo test -p scenario \
+         --test descriptor_digests",
+    );
+    assert_eq!(
+        actual, expected,
+        "descriptor/digest drift: this breaks every existing run store \
+         (see the module docs for how to proceed)"
+    );
+}
+
+#[test]
+fn corpus_keys_are_pairwise_distinct() {
+    let specs = corpus();
+    let keys: std::collections::BTreeSet<String> =
+        specs.iter().map(|s| s.cache_key().hex()).collect();
+    assert_eq!(keys.len(), specs.len(), "cache-key collision in corpus");
+    let descriptors: std::collections::BTreeSet<String> =
+        specs.iter().map(|s| s.descriptor()).collect();
+    assert_eq!(descriptors.len(), specs.len());
+}

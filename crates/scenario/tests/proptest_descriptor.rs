@@ -1,0 +1,193 @@
+//! Property tests for the cache-key contract (ISSUE 8 satellite): the
+//! cell descriptor must be *injective* — two different `ScenarioSpec`s
+//! never share a descriptor, and editing any single axis always changes
+//! both the descriptor and the FNV-1a-128 cache key. The run store
+//! addresses cells exclusively by this key, so a collision here would
+//! silently serve one cell's records for another.
+
+use proptest::prelude::*;
+use scenario::{
+    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, NetworkSpec, ProtocolSpec,
+    ScenarioSpec, StorageSpec, DEFAULT_IMAGE_BYTES,
+};
+use workloads::WorkloadSpec;
+
+/// Largest ms value the policy grammar accepts (ps must fit in u64).
+const MAX_MS: u64 = u64::MAX / 1_000_000_000;
+
+/// Decode one arbitrary spec from raw draws (the vendored proptest has
+/// no `prop_oneof`; this is the repo's established idiom). Every one of
+/// the five spec axes — workload, protocol, clusters, network, failure
+/// model — plus `simulate` and `max_events` varies independently.
+fn decode_spec(a: u64, b: u64, c: u64) -> ScenarioSpec {
+    let workload = match a % 3 {
+        0 => WorkloadSpec::NetPipe {
+            rounds: 1 + (b % 8) as usize,
+            bytes: 64 + (c % 4096),
+        },
+        1 => WorkloadSpec::parse(&format!(
+            "stencil:{}x{}:face=256:compute_us=10",
+            2 + b % 16,
+            1 + c % 40
+        ))
+        .expect("stencil parses"),
+        _ => WorkloadSpec::parse(&format!("master_worker:{}:tasks={}", 2 + b % 8, 1 + c % 8))
+            .expect("master_worker parses"),
+    };
+    let policy = match b % 4 {
+        0 => CheckpointPolicySpec::None,
+        1 => CheckpointPolicySpec::Periodic {
+            interval_ms: 1 + c % MAX_MS,
+            first_ms: (c & 1 == 1).then_some(b % MAX_MS),
+            stagger_ms: None,
+        },
+        2 => CheckpointPolicySpec::YoungDaly {
+            first_ms: None,
+            stagger_ms: (b & 2 == 2).then_some(c % MAX_MS),
+        },
+        _ => CheckpointPolicySpec::LogPressure {
+            budget_bytes: 1 + a % (u64::MAX - 1),
+        },
+    };
+    let storage = if c & 1 == 1 {
+        StorageSpec::ParallelFs
+    } else {
+        StorageSpec::Default
+    };
+    let image_bytes = DEFAULT_IMAGE_BYTES + (a % 3) * 4096;
+    let protocol = match (a >> 8) % 4 {
+        0 => ProtocolSpec::Native,
+        1 => ProtocolSpec::Hydee {
+            checkpoint: policy,
+            image_bytes,
+            storage,
+            gc: b & 4 == 4,
+        },
+        2 => ProtocolSpec::Coordinated {
+            checkpoint: policy,
+            image_bytes,
+            storage,
+        },
+        _ => ProtocolSpec::EventLogged {
+            checkpoint: policy,
+            image_bytes,
+            storage,
+        },
+    };
+    let clusters = match (b >> 8) % 4 {
+        0 => ClusterStrategy::Single,
+        1 => ClusterStrategy::PerRank,
+        2 => ClusterStrategy::Blocks(1 + (c % 16) as usize),
+        _ => ClusterStrategy::Partitioned(1 + (a % 16) as usize),
+    };
+    let network = if a & 1 == 1 {
+        NetworkSpec::Tcp
+    } else {
+        NetworkSpec::Mx
+    };
+    let failure_model = match (c >> 8) % 5 {
+        0 => FailureModelSpec::none(),
+        1 => FailureModelSpec::parse(&format!("fail@{}us:r{}", 1 + a % 100_000, b % 8))
+            .expect("fixed schedule parses"),
+        2 => FailureModelSpec::poisson(1 + a % 10_000, b),
+        3 => FailureModelSpec::correlated(1 + b % 10_000, c),
+        _ => FailureModelSpec::cascade(1 + c % 10_000, a, 1 + b % 10_000, (c % 101) as u8),
+    };
+    let mut spec = ScenarioSpec::new(workload, protocol, clusters);
+    spec.network = network;
+    spec.failure_model = failure_model;
+    spec.simulate = (a ^ b) & 1 == 0;
+    spec.max_events = (b & 8 == 8).then_some(1 + c % u64::MAX);
+    spec
+}
+
+proptest! {
+    #[test]
+    fn descriptors_are_injective_across_random_pairs(
+        a1 in any::<u64>(), b1 in any::<u64>(), c1 in any::<u64>(),
+        a2 in any::<u64>(), b2 in any::<u64>(), c2 in any::<u64>(),
+    ) {
+        let s1 = decode_spec(a1, b1, c1);
+        let s2 = decode_spec(a2, b2, c2);
+        if s1 == s2 {
+            prop_assert_eq!(s1.descriptor(), s2.descriptor());
+            prop_assert_eq!(s1.cache_key(), s2.cache_key());
+        } else {
+            prop_assert_ne!(
+                s1.descriptor(), s2.descriptor(),
+                "distinct specs share a descriptor"
+            );
+        }
+    }
+
+    #[test]
+    fn editing_any_single_axis_changes_the_key(
+        a in any::<u64>(), b in any::<u64>(), c in any::<u64>(),
+    ) {
+        let base = decode_spec(a, b, c);
+        let mut edits: Vec<(&str, ScenarioSpec)> = Vec::new();
+        // One guaranteed-different value per axis.
+        let mut e = base.clone();
+        e.workload = match &base.workload {
+            WorkloadSpec::NetPipe { rounds, bytes } => WorkloadSpec::NetPipe {
+                rounds: *rounds,
+                bytes: bytes + 1,
+            },
+            _ => WorkloadSpec::NetPipe { rounds: 1, bytes: 64 },
+        };
+        edits.push(("workload", e));
+        let mut e = base.clone();
+        e.protocol = match &base.protocol {
+            ProtocolSpec::Native => ProtocolSpec::hydee(),
+            _ => ProtocolSpec::Native,
+        };
+        edits.push(("protocol", e));
+        let mut e = base.clone();
+        e.clusters = match base.clusters {
+            ClusterStrategy::Blocks(k) => ClusterStrategy::Blocks(k + 1),
+            _ => ClusterStrategy::Blocks(3),
+        };
+        edits.push(("clusters", e));
+        let mut e = base.clone();
+        e.network = match base.network {
+            NetworkSpec::Mx => NetworkSpec::Tcp,
+            NetworkSpec::Tcp => NetworkSpec::Mx,
+        };
+        edits.push(("network", e));
+        let mut e = base.clone();
+        e.failure_model = match &base.failure_model {
+            FailureModelSpec::Poisson { mtbf_ms, seed, .. } => {
+                // Seed-only edits must re-key (stochastic replica axis).
+                FailureModelSpec::poisson(*mtbf_ms, seed.wrapping_add(1))
+            }
+            _ => FailureModelSpec::poisson(500, 7),
+        };
+        edits.push(("failure", e));
+        let mut e = base.clone();
+        e.simulate = !base.simulate;
+        edits.push(("simulate", e));
+        let mut e = base.clone();
+        e.max_events = match base.max_events {
+            Some(n) => Some(n.wrapping_add(1).max(1)),
+            None => Some(42),
+        };
+        edits.push(("max_events", e));
+
+        for (axis, edited) in &edits {
+            prop_assert_ne!(edited, &base, "{} edit did not change the spec", axis);
+            prop_assert_ne!(
+                edited.descriptor(), base.descriptor(),
+                "{} edit left the descriptor unchanged", axis
+            );
+            prop_assert_ne!(
+                edited.cache_key(), base.cache_key(),
+                "{} edit left the cache key unchanged", axis
+            );
+        }
+        // And the edited descriptors are pairwise distinct from each
+        // other — one edited axis can't masquerade as another.
+        let all: std::collections::BTreeSet<String> =
+            edits.iter().map(|(_, e)| e.descriptor()).collect();
+        prop_assert_eq!(all.len(), edits.len());
+    }
+}

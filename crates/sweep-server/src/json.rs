@@ -1,0 +1,427 @@
+//! Strict JSON parser that keeps numbers as their raw source text.
+//!
+//! `telemetry::json` already parses JSON, but it narrows every number to
+//! `f64` — fine for dashboards, fatal for the run store, where `digest`
+//! and `makespan_ps` are full-range `u64` golden values (f64 loses
+//! precision above 2^53). This parser keeps the number's exact source
+//! text in [`Value::Number`]; callers narrow with [`Value::as_u64`]
+//! (exact text parse) or [`Value::as_f64`].
+//!
+//! Because the workspace's vendored `serde` emits numbers via `Display`
+//! (`u64::to_string`, finite `f64::to_string`), and Rust's shortest
+//! round-trip float formatting parses back to the identical bit pattern,
+//! a value decoded through this parser re-encodes byte-identically —
+//! the property the store's bit-identical-cache-hit contract rests on
+//! (`codec::tests` pins it).
+
+/// Parsed JSON value. Object member order is preserved (the store's
+/// codec checks field order as part of byte-stability).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Raw number text exactly as it appeared in the source.
+    Number(String),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse `text` as a single JSON document (trailing whitespace only).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object member by key (first match; valid JSON has unique keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned integer: the raw text must be a plain decimal
+    /// `u64` (no sign, fraction or exponent). Never goes through `f64`,
+    /// so 2^64-1 survives.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(raw) if raw.bytes().all(|b| b.is_ascii_digit()) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Float from the raw text; `null` maps to NaN (the emitter writes
+    /// non-finite floats as `null`, so this is its inverse).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Re-emit as compact JSON. Numbers keep their exact source text and
+    /// member order is preserved, so emitter output round-trips
+    /// byte-identically through `parse` + `to_json` (strings re-escape
+    /// through the same `serde::write_json_str` the emitter used).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(raw) => out.push_str(raw),
+            Value::String(s) => serde::write_json_str(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Value::Null),
+        Some(b't') => parse_lit(bytes, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(other) => Err(format!("unexpected `{}` at byte {}", *other as char, *pos)),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], v: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("bad number at byte {start}"));
+    }
+    // Leading zeros are invalid JSON ("01"), but "0" and "0.5" are fine.
+    if bytes[int_start] == b'0' && *pos - int_start > 1 {
+        return Err(format!("leading zero in number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    // The grammar above admits only ASCII, so the slice is valid UTF-8.
+    Ok(Value::Number(
+        String::from_utf8_lossy(&bytes[start..*pos]).into_owned(),
+    ))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let start = *pos;
+        // Fast path: run of plain bytes.
+        while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+            if bytes[*pos] < 0x20 {
+                return Err(format!("raw control byte in string at {}", *pos));
+            }
+            *pos += 1;
+        }
+        out.push_str(
+            std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid UTF-8".to_string())?,
+        );
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        let c = if (0xd800..0xe000).contains(&cp) {
+                            // Surrogate pair: need a following \uXXXX.
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err("lone surrogate in \\u escape".into());
+                            }
+                            let lo_hex = bytes
+                                .get(*pos + 3..*pos + 7)
+                                .ok_or_else(|| "truncated surrogate pair".to_string())?;
+                            let lo_hex = std::str::from_utf8(lo_hex).map_err(|_| "bad escape")?;
+                            let lo = u32::from_str_radix(lo_hex, 16).map_err(|_| "bad escape")?;
+                            if !(0xdc00..0xe000).contains(&lo) || cp >= 0xdc00 {
+                                return Err("invalid surrogate pair".into());
+                            }
+                            *pos += 6;
+                            char::from_u32(0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00))
+                                .ok_or_else(|| "invalid surrogate pair".to_string())?
+                        } else {
+                            char::from_u32(cp).ok_or_else(|| "bad \\u escape".to_string())?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            _ => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_range_u64_survives() {
+        let v = Value::parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        // The f64 path would have rounded this; the raw text must not.
+        assert_eq!(v, Value::Number("18446744073709551615".into()));
+    }
+
+    #[test]
+    fn objects_preserve_member_order() {
+        let v = Value::parse(r#"{"b":1,"a":2}"#).unwrap();
+        match &v {
+            Value::Object(m) => {
+                assert_eq!(m[0].0, "b");
+                assert_eq!(m[1].0, "a");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn floats_and_null_nan() {
+        assert_eq!(Value::parse("1.5").unwrap().as_f64(), Some(1.5));
+        assert_eq!(Value::parse("-2e3").unwrap().as_f64(), Some(-2000.0));
+        assert!(Value::parse("null").unwrap().as_f64().unwrap().is_nan());
+        // Floats are not exact integers.
+        assert_eq!(Value::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Value::parse("-3").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn strings_unescape() {
+        assert_eq!(
+            Value::parse(r#""a\"b\\c\nd\u0041""#).unwrap().as_str(),
+            Some("a\"b\\c\ndA")
+        );
+        assert_eq!(
+            Value::parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("😀")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "tru",
+            "\"open",
+            "\x01",
+            "[1] x",
+            "{\"a\":1,}",
+            "\"\\ud800\"",
+            "nan",
+        ] {
+            assert!(Value::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn round_trips_emitter_output() {
+        // What the vendored serde emits for a nested struct shape.
+        let text = r#"{"s":"x","n":42,"f":0.25,"inner":{"b":true,"v":[1,2]}}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(0.25));
+        assert_eq!(
+            v.get("inner")
+                .and_then(|i| i.get("b"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+}
