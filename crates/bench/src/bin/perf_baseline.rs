@@ -4,7 +4,9 @@
 //! native, the same under clustered HydEE, a 256-rank CG
 //! checkpoint/failure/recovery run, the waste-frontier pair, and the
 //! long-horizon 4096-rank stencil that only the streaming program API
-//! fits in memory), times the simulation phase of each cell — once bare
+//! fits in memory — serial and again on the sharded parallel engine,
+//! whose digest must match bit-for-bit), times the simulation phase of
+//! each cell — once bare
 //! and once with a no-op telemetry recorder attached — and writes
 //! `BENCH_engine.json` — wall time, events/sec, recorder overhead,
 //! program-representation bytes (streamed vs unrolled), peak RSS and the
@@ -79,6 +81,7 @@ fn main() {
     let mut table = Table::new(&[
         "cell",
         "ranks",
+        "shards",
         "events",
         "sim wall (s)",
         "events/sec",
@@ -93,6 +96,7 @@ fn main() {
         table.row(&[
             c.name.clone(),
             c.n_ranks.to_string(),
+            c.shards.to_string(),
             c.events.to_string(),
             format!("{:.3}", c.sim_wall_s),
             format!("{:.0}", c.events_per_sec),
@@ -146,6 +150,35 @@ fn main() {
         report.recorder_overhead_pct,
         perf::MAX_RECORDER_OVERHEAD_PCT
     );
+
+    // The parallel-engine acceptance pair (DESIGN.md §2.8): digest
+    // equality with the serial oracle is enforced everywhere; the
+    // speedup floor only where the host has cores for the shards.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let par_violations = perf::check_parallel_speedup(&report, perf::MIN_PAR_SPEEDUP, cores);
+    if !par_violations.is_empty() {
+        for v in &par_violations {
+            eprintln!("perf_baseline: {v}");
+        }
+        std::process::exit(1);
+    }
+    let par = cell(perf::PAR_SHARDED_CELL);
+    let serial = cell(perf::PAR_SERIAL_CELL);
+    if cores >= par.shards.max(1) as usize {
+        println!(
+            "parallel engine: {:.2}x at {} shards over {} barrier rounds (gate {:.1}x), digest equal",
+            par.events_per_sec / serial.events_per_sec.max(1e-9),
+            par.shards,
+            par.barrier_rounds,
+            perf::MIN_PAR_SPEEDUP
+        );
+    } else {
+        println!(
+            "parallel engine: digest equal at {} shards over {} barrier rounds; speedup gate \
+             skipped ({cores} core(s) detected, need {})",
+            par.shards, par.barrier_rounds, par.shards
+        );
+    }
 
     std::fs::create_dir_all(&out_dir)
         .unwrap_or_else(|e| fail(&format!("create {}: {e}", out_dir.display())));

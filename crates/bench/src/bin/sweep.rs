@@ -113,6 +113,12 @@ OPTIONS (comma-separate values; every combination runs):
     --static              static clustering analysis only (no simulation)
     --serial              run on one core (reference mode)
     --max-events <n>      engine event-limit override
+    --shards <n>          run every cell on the parallel engine with n
+                          cluster shards (DESIGN.md §2.8; clamped to each
+                          cell's cluster count, serial fallback under
+                          failure models — results are bit-for-bit
+                          identical either way). In suite mode this
+                          overrides any `shards =` keys in the file
     --progress            live progress on stderr (one line per finished
                           cell: done/total, running, events/sec, ETA)
     --progress-out <f>    machine-readable progress heartbeats as JSONL
@@ -476,6 +482,7 @@ fn main() {
     let mut static_only = false;
     let mut serial = false;
     let mut max_events: Option<u64> = None;
+    let mut shards: Option<usize> = None;
     let mut suite_path: Option<String> = None;
     let mut scenarios: Vec<String> = Vec::new();
     let mut max_cells: Option<usize> = None;
@@ -547,6 +554,16 @@ fn main() {
                     v.parse()
                         .unwrap_or_else(|_| fail(&format!("bad --max-events `{v}`"))),
                 );
+            }
+            "--shards" => {
+                let v = value("--shards");
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --shards `{v}`")));
+                if n == 0 {
+                    fail::<()>("--shards must be at least 1");
+                }
+                shards = Some(n);
             }
             "--suite" => suite_path = Some(value("--suite")),
             "--scenario" => scenarios.push(value("--scenario")),
@@ -634,7 +651,15 @@ fn main() {
             println!("  {}: {} cell(s)", sc.name, n);
         }
         name.get_or_insert_with(|| suite.name.clone());
-        cells.into_iter().map(|c| c.spec).collect()
+        let mut specs: Vec<_> = cells.into_iter().map(|c| c.spec).collect();
+        // The CLI flag wins over `shards =` keys in the suite file, so
+        // CI can rerun a checked-in suite on either engine unchanged.
+        if let Some(n) = shards {
+            for spec in &mut specs {
+                spec.shards = n;
+            }
+        }
+        specs
     } else {
         if !scenarios.is_empty() || max_cells.is_some() {
             fail::<()>("--scenario/--max-cells need --suite");
@@ -675,8 +700,30 @@ fn main() {
             matrix = matrix.static_analysis();
         }
         matrix.max_events = max_events;
+        if let Some(n) = shards {
+            matrix = matrix.shards(n);
+        }
         matrix.expand()
     };
+    // Warn about shard clamping up front (once per distinct message):
+    // the engine clamps silently (the record's `shards` column reports
+    // the effective count), so this is the only place the user hears it.
+    {
+        let mut warned = std::collections::BTreeSet::new();
+        for spec in &specs {
+            if spec.shards <= 1 {
+                continue;
+            }
+            let n_clusters = spec.clusters.n_clusters_for(spec.workload.n_ranks());
+            let (_, warning) = par_sim::effective_shards(spec.shards, n_clusters);
+            if let Some(w) = warning {
+                let msg = format!("{} ({}): {w}", spec.clusters.name(), spec.workload.name());
+                if warned.insert(msg.clone()) {
+                    eprintln!("sweep: {msg}");
+                }
+            }
+        }
+    }
     let name = name.unwrap_or_else(|| "sweep".to_string());
     if specs.is_empty() {
         fail::<()>("matrix is empty (no workloads)");

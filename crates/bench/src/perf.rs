@@ -50,14 +50,35 @@ use workloads::WorkloadSpec;
 /// (recorders are observers); the aggregate overhead is gated at
 /// [`MAX_RECORDER_OVERHEAD_PCT`] by `perf_baseline`. Overhead is
 /// wall-clock and is *not* compared against the committed baseline.
-pub const SCHEMA_VERSION: u32 = 5;
+///
+/// v6: added the parallel-engine columns (`shards`, `barrier_rounds` per
+/// cell — the effective shard count the run executed with and the
+/// time-window barriers the coordinator ran, both 0/1 for serial cells)
+/// and the `stencil4096_long_par` cell: the long-horizon stencil on the
+/// conservative sharded engine (DESIGN.md §2.8), whose digest must be
+/// bit-for-bit equal to the serial `stencil4096_long` cell
+/// ([`check_parallel_speedup`]). Also fixed a measurement artifact in
+/// `run_cell`: bare and recorder-attached repeats are now interleaved
+/// after a shared warm-up run instead of running all-bare-then-all-
+/// recorder, so `recorder_overhead_pct` no longer compares a cold mode
+/// against a warm one.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Ceiling on the aggregate throughput cost of the recorder hooks when
 /// no recorder does any work: one `Option` check per instrumented site
 /// plus gauge assembly per event loop iteration must stay in the noise.
 pub const MAX_RECORDER_OVERHEAD_PCT: f64 = 3.0;
 
-/// The macro matrix as a checked-in suite file: seven single-cell
+/// The serial half of the parallel-engine acceptance pair.
+pub const PAR_SERIAL_CELL: &str = "stencil4096_long";
+/// The sharded half — same workload on the conservative parallel engine.
+pub const PAR_SHARDED_CELL: &str = "stencil4096_long_par";
+/// Minimum `events_per_sec` ratio of [`PAR_SHARDED_CELL`] over
+/// [`PAR_SERIAL_CELL`] — enforced only when the host exposes at least as
+/// many cores as the cell has shards ([`check_parallel_speedup`]).
+pub const MIN_PAR_SPEEDUP: f64 = 2.5;
+
+/// The macro matrix as a checked-in suite file: eight single-cell
 /// scenarios whose names ARE the gated cell names of
 /// `BENCH_engine.json`. [`macro_matrix`] compiles this text; `sweep
 /// --suite suites/perf_baseline.suite` runs the identical specs.
@@ -178,6 +199,11 @@ pub struct CellResult {
     /// Order-sensitive fold of per-rank state digests — determinism golden
     /// value; must be bit-for-bit stable across machines.
     pub digest: u64,
+    /// Scheduler shards the run actually executed with (1 = serial; the
+    /// effective count after clamping, DESIGN.md §2.8).
+    pub shards: u32,
+    /// Time-window barriers the parallel coordinator ran (0 for serial).
+    pub barrier_rounds: u64,
 }
 
 /// The whole report, serialized to `BENCH_engine.json`.
@@ -199,10 +225,18 @@ pub struct PerfReport {
     pub peak_rss_bytes: u64,
 }
 
-/// Run one cell: untimed setup, then `repeat` simulations keeping the
-/// fastest wall time (every run must produce the identical digest — a
-/// mismatch panics, because a nondeterministic engine invalidates every
-/// other number in the report).
+/// Run one cell: untimed setup, one untimed warm-up simulation, then
+/// `repeat` *interleaved* bare/recorder simulation pairs keeping the
+/// fastest wall time of each mode (every run must produce the identical
+/// digest — a mismatch panics, because a nondeterministic engine
+/// invalidates every other number in the report).
+///
+/// The warm-up plus interleaving is load-bearing for
+/// `recorder_overhead_pct`: timing all bare repeats first and all
+/// recorder repeats second hands the recorder mode a fully warmed
+/// process (allocator arenas grown, pages faulted in, branch predictors
+/// trained), which systematically biased the overhead low — often
+/// negative — instead of measuring the hooks.
 pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
     let spec = &cell.spec;
     let setup_started = Instant::now();
@@ -219,57 +253,54 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
     };
     let setup_s = setup_started.elapsed().as_secs_f64();
 
-    let mut best: Option<(f64, mps_sim::RunReport)> = None;
-    for _ in 0..repeat.max(1) {
+    let run_once = |with_recorder: bool| -> (f64, mps_sim::RunReport) {
         let app = spec.workload.build();
         let factory = spec.protocol.to_factory();
-        let req = protocols::RunRequest::new(app)
-            .sim_config(spec.sim_config())
-            .failure_model(spec.failure_model.build(&map))
-            .clusters(map.clone());
-        let started = Instant::now();
-        let report = factory.run(req);
-        let wall = started.elapsed().as_secs_f64();
-        if let Some((_, prev)) = &best {
-            assert_eq!(
-                prev.digests, report.digests,
-                "{}: nondeterministic digest across repeats",
-                cell.name
-            );
-        }
-        if best.as_ref().is_none_or(|(w, _)| wall < *w) {
-            best = Some((wall, report));
-        }
-    }
-    let (sim_wall_s, report) = best.expect("at least one repeat");
-
-    // Same cell, same repeats, with a no-op recorder attached: measures
-    // what merely *threading* the telemetry hooks costs. A recorder is an
-    // observer, so the digests (and event counts) must not move.
-    let mut best_recorder: Option<f64> = None;
-    for _ in 0..repeat.max(1) {
-        let app = spec.workload.build();
-        let factory = spec.protocol.to_factory();
-        let req = protocols::RunRequest::new(app)
+        let mut req = protocols::RunRequest::new(app)
             .sim_config(spec.sim_config())
             .failure_model(spec.failure_model.build(&map))
             .clusters(map.clone())
-            .recorder(Box::new(mps_sim::NoopRecorder));
+            .shards(spec.shards);
+        if with_recorder {
+            req = req.recorder(Box::new(mps_sim::NoopRecorder));
+        }
         let started = Instant::now();
-        let traced = factory.run(req);
-        let wall = started.elapsed().as_secs_f64();
+        let report = factory.run(req);
+        (started.elapsed().as_secs_f64(), report)
+    };
+
+    // Untimed warm-up; its report is the digest oracle for every timed run.
+    let (_, warmup) = run_once(false);
+
+    let mut best: Option<(f64, mps_sim::RunReport)> = None;
+    let mut best_recorder: Option<f64> = None;
+    for _ in 0..repeat.max(1) {
+        let (wall, report) = run_once(false);
         assert_eq!(
-            report.digests, traced.digests,
+            warmup.digests, report.digests,
+            "{}: nondeterministic digest across repeats",
+            cell.name
+        );
+        if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+            best = Some((wall, report));
+        }
+        // The recorder run of the same pair: measures what merely
+        // *threading* the telemetry hooks costs. A recorder is an
+        // observer, so the digests (and event counts) must not move.
+        let (wall, traced) = run_once(true);
+        assert_eq!(
+            warmup.digests, traced.digests,
             "{}: attaching a recorder changed the digest",
             cell.name
         );
         assert_eq!(
-            report.metrics.events, traced.metrics.events,
+            warmup.metrics.events, traced.metrics.events,
             "{}: attaching a recorder changed the event count",
             cell.name
         );
         best_recorder = Some(best_recorder.map_or(wall, |w: f64| w.min(wall)));
     }
+    let (sim_wall_s, report) = best.expect("at least one repeat");
     let sim_wall_recorder_s = best_recorder.expect("at least one recorder repeat");
 
     let events = report.metrics.events;
@@ -301,6 +332,8 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
         waste_fraction: m.waste_fraction(n_ranks),
         makespan_ps: report.makespan.as_ps(),
         digest: scenario::fold_digests(&report.digests),
+        shards: report.shards,
+        barrier_rounds: report.barrier_rounds,
     }
 }
 
@@ -336,6 +369,50 @@ pub fn check_recorder_overhead(report: &PerfReport, max_pct: f64) -> Option<Stri
     } else {
         None
     }
+}
+
+/// Gate the parallel engine against its serial oracle (DESIGN.md §2.8).
+///
+/// The digest leg is machine-independent and always enforced: the
+/// sharded [`PAR_SHARDED_CELL`] must reproduce the serial
+/// [`PAR_SERIAL_CELL`] digest (and makespan) bit-for-bit, and must have
+/// actually run sharded. The throughput leg — the sharded cell at least
+/// `min_speedup`× the serial cell's events/sec — only means something
+/// when the host can run the shards concurrently, so it is skipped when
+/// `cores` is below the cell's shard count (a 1-core CI runner would
+/// time four shards multiplexed onto one core and fail vacuously).
+pub fn check_parallel_speedup(report: &PerfReport, min_speedup: f64, cores: usize) -> Vec<String> {
+    let cell = |name: &str| report.cells.iter().find(|c| c.name == name);
+    let (Some(serial), Some(par)) = (cell(PAR_SERIAL_CELL), cell(PAR_SHARDED_CELL)) else {
+        return vec![format!(
+            "parallel gate: matrix is missing `{PAR_SERIAL_CELL}` and/or `{PAR_SHARDED_CELL}`"
+        )];
+    };
+    let mut violations = Vec::new();
+    if par.shards < 2 {
+        violations.push(format!(
+            "parallel gate: `{}` ran with {} shard(s) — it fell back to the serial engine",
+            par.name, par.shards
+        ));
+    }
+    if (par.digest, par.makespan_ps) != (serial.digest, serial.makespan_ps) {
+        violations.push(format!(
+            "parallel gate: sharded digest/makespan {:#x}/{} != serial {:#x}/{} — the \
+             parallel engine must be bit-for-bit equal to the serial oracle",
+            par.digest, par.makespan_ps, serial.digest, serial.makespan_ps
+        ));
+    }
+    if cores >= par.shards.max(1) as usize {
+        let speedup = par.events_per_sec / serial.events_per_sec.max(1e-9);
+        if speedup < min_speedup {
+            violations.push(format!(
+                "parallel gate: {:.2}x speedup at {} shards is below the {min_speedup:.1}x \
+                 floor ({:.0} vs {:.0} events/s)",
+                speedup, par.shards, par.events_per_sec, serial.events_per_sec
+            ));
+        }
+    }
+    violations
 }
 
 /// Peak resident set size of this process in bytes (`VmHWM`), 0 where the
@@ -558,6 +635,8 @@ mod tests {
                 waste_fraction: 0.125,
                 makespan_ps: 1,
                 digest,
+                shards: 1,
+                barrier_rounds: 0,
             }],
             total_events: 1000,
             total_sim_wall_s: 0.001,
@@ -642,9 +721,9 @@ mod tests {
     }
 
     #[test]
-    fn macro_matrix_is_seven_cells_with_the_scale_points() {
+    fn macro_matrix_is_eight_cells_with_the_scale_points() {
         let cells = macro_matrix();
-        assert_eq!(cells.len(), 7);
+        assert_eq!(cells.len(), 8);
         assert_eq!(cells[0].spec.workload.n_ranks(), 1024);
         assert!(cells
             .iter()
@@ -653,6 +732,19 @@ mod tests {
             .iter()
             .any(|c| matches!(c.spec.failure_model, FailureModelSpec::Poisson { .. })));
         assert!(cells.iter().any(|c| c.spec.workload.n_ranks() == 4096));
+        // The parallel acceptance pair: same 4096-rank workload, one
+        // serial, one sharded 4 ways.
+        let par = cells
+            .iter()
+            .find(|c| c.name == PAR_SHARDED_CELL)
+            .expect("sharded long-horizon cell");
+        let serial = cells
+            .iter()
+            .find(|c| c.name == PAR_SERIAL_CELL)
+            .expect("serial long-horizon cell");
+        assert_eq!(par.spec.shards, 4);
+        assert_eq!(serial.spec.shards, 1);
+        assert_eq!(par.spec.workload, serial.spec.workload);
         // The waste-frontier pair varies only the checkpoint policy.
         let frontier: Vec<&Cell> = cells
             .iter()
@@ -771,6 +863,21 @@ mod tests {
                     ClusterStrategy::Single,
                 ),
             ),
+            (
+                "stencil4096_long_par",
+                ScenarioSpec::new(
+                    WorkloadSpec::Stencil {
+                        n_ranks: 4096,
+                        iterations: 2000,
+                        face_bytes: 4096,
+                        compute_us: 100,
+                        wildcard_recv: false,
+                    },
+                    ProtocolSpec::Native,
+                    ClusterStrategy::Blocks(64),
+                )
+                .with_shards(4),
+            ),
         ];
         let cells = macro_matrix();
         assert_eq!(cells.len(), oracle.len());
@@ -808,6 +915,37 @@ mod tests {
             violations[0].contains("containment drift"),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn parallel_gate_checks_digest_always_and_speedup_only_with_cores() {
+        let with_pair = |par_eps: f64, par_digest: u64, par_shards: u32| {
+            let mut report = report_with(PAR_SERIAL_CELL, 1000.0, 7);
+            let mut par = report.cells[0].clone();
+            par.name = PAR_SHARDED_CELL.into();
+            par.events_per_sec = par_eps;
+            par.digest = par_digest;
+            par.shards = par_shards;
+            par.barrier_rounds = 12;
+            report.cells.push(par);
+            report
+        };
+        // Healthy pair: 3x at 4 shards, same digest.
+        let healthy = with_pair(3000.0, 7, 4);
+        assert!(check_parallel_speedup(&healthy, MIN_PAR_SPEEDUP, 8).is_empty());
+        // Too slow: trips only when the host has >= 4 cores.
+        let slow = with_pair(1100.0, 7, 4);
+        assert_eq!(check_parallel_speedup(&slow, MIN_PAR_SPEEDUP, 8).len(), 1);
+        assert!(check_parallel_speedup(&slow, MIN_PAR_SPEEDUP, 1).is_empty());
+        // Digest drift trips regardless of core count.
+        let drifted = with_pair(3000.0, 8, 4);
+        assert!(!check_parallel_speedup(&drifted, MIN_PAR_SPEEDUP, 1).is_empty());
+        // A silent serial fallback is a violation even when fast.
+        let serial_fallback = with_pair(3000.0, 7, 1);
+        assert!(!check_parallel_speedup(&serial_fallback, MIN_PAR_SPEEDUP, 1).is_empty());
+        // A matrix without the pair cannot pass.
+        let lone = report_with(PAR_SERIAL_CELL, 1000.0, 7);
+        assert!(!check_parallel_speedup(&lone, MIN_PAR_SPEEDUP, 8).is_empty());
     }
 
     /// The tentpole's acceptance criterion: for every ≥1024-rank cell the

@@ -2,11 +2,16 @@
 //!
 //! An index-based binary heap over a **slab arena** (DESIGN.md §2.1). Every
 //! scheduled event lives in a fixed slot of the arena; the heap itself is a
-//! flat `Vec<u32>` of slot indices ordered by `(SimTime, sequence)`. The
-//! monotonically increasing sequence number breaks ties between events
-//! scheduled for the same instant in *insertion order*, which makes the
-//! simulation schedule a pure function of the call sequence — a plain
-//! binary heap gives no ordering guarantee for equal keys.
+//! flat `Vec<u32>` of slot indices ordered by `(SimTime, key, sequence)`.
+//! The optional caller-supplied `key` ([`Scheduler::schedule_keyed`]) lets
+//! an engine impose a *content-derived* order on same-instant events that
+//! is independent of insertion order — the property the sharded engine
+//! needs so that events inserted by different shards still pop in one
+//! global order (DESIGN.md §2.8). The monotonically increasing sequence
+//! number remains the final tie-break, resolving same-`(time, key)`
+//! events in *insertion order*, which keeps the simulation schedule a
+//! pure function of the call sequence — a plain binary heap gives no
+//! ordering guarantee for equal keys.
 //!
 //! Freed slots are recycled through an intrusive free list, so steady-state
 //! operation performs **zero allocations** and memory is bounded by the
@@ -56,14 +61,15 @@ const NIL: u32 = u32::MAX;
 #[derive(Clone, Copy)]
 struct Entry {
     time: SimTime,
+    key: u64,
     seq: u64,
     slot: u32,
 }
 
 impl Entry {
     #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+    fn key(&self) -> (SimTime, u64, u64) {
+        (self.time, self.key, self.seq)
     }
 }
 
@@ -83,7 +89,7 @@ struct Slot<E> {
 /// queue tracks `now` — the timestamp of the most recently popped event —
 /// as the simulation clock.
 pub struct Scheduler<E> {
-    /// Binary heap ordered by `(time, seq)` with keys held inline.
+    /// Binary heap ordered by `(time, key, seq)` with keys held inline.
     heap: Vec<Entry>,
     slots: Vec<Slot<E>>,
     free_head: u32,
@@ -127,12 +133,24 @@ impl<E> Scheduler<E> {
         self.live == 0
     }
 
-    /// Schedule `event` at absolute time `at`.
+    /// Schedule `event` at absolute time `at` with the neutral tie-break
+    /// key `0` (insertion order resolves same-instant events).
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        self.schedule_keyed(at, 0, event)
+    }
+
+    /// Schedule `event` at absolute time `at` under tie-break `key`.
+    ///
+    /// Same-instant events pop in ascending `key` order regardless of the
+    /// order they were scheduled in; only same-`(time, key)` events fall
+    /// back to insertion order. A content-derived key therefore makes the
+    /// pop order independent of *who* inserted the event — the determinism
+    /// contract the cluster-sharded engine relies on (DESIGN.md §2.8).
     ///
     /// # Panics
     /// Panics in debug builds if `at` is in the past — the engine never
     /// rewrites history.
-    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) -> EventHandle {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: at={at} now={now}",
@@ -162,6 +180,7 @@ impl<E> Scheduler<E> {
         self.live += 1;
         self.heap.push(Entry {
             time: at,
+            key,
             seq,
             slot: idx,
         });
@@ -201,8 +220,21 @@ impl<E> Scheduler<E> {
         self.heap.first().map(|e| e.time)
     }
 
+    /// `(time, key)` of the next live event, if any — the cross-shard
+    /// comparison key the parallel coordinator uses to locate the globally
+    /// minimal event without popping it.
+    pub fn peek_keyed(&mut self) -> Option<(SimTime, u64)> {
+        self.skip_stale();
+        self.heap.first().map(|e| (e.time, e.key))
+    }
+
     /// Pop the next event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    /// Pop the next event together with its tie-break key.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         loop {
             let entry = *self.heap.first()?;
             self.remove_top();
@@ -214,7 +246,7 @@ impl<E> Scheduler<E> {
             self.live -= 1;
             debug_assert!(entry.time >= self.now);
             self.now = entry.time;
-            return Some((entry.time, event));
+            return Some((entry.time, entry.key, event));
         }
     }
 
@@ -402,6 +434,31 @@ mod tests {
         // Scheduling still works after heavy recycling.
         s.schedule(t + SimDuration::from_ns(1), 0);
         assert_eq!(s.pop().map(|(_, e)| e), Some(0));
+    }
+
+    #[test]
+    fn keyed_schedule_orders_same_instant_events_by_key_not_insertion() {
+        let t = SimTime::from_us(3);
+        // Two insertion orders of the same keyed events pop identically.
+        let run = |perm: &[(u64, &'static str)]| {
+            let mut s = Scheduler::new();
+            for &(key, ev) in perm {
+                s.schedule_keyed(t, key, ev);
+            }
+            s.schedule(SimTime::from_us(1), "first");
+            assert_eq!(s.peek_keyed(), Some((SimTime::from_us(1), 0)));
+            s.drain().into_iter().map(|(_, e)| e).collect::<Vec<_>>()
+        };
+        let a = run(&[(2, "b"), (9, "c"), (1, "a")]);
+        let b = run(&[(9, "c"), (1, "a"), (2, "b")]);
+        assert_eq!(a, vec!["first", "a", "b", "c"]);
+        assert_eq!(a, b);
+        // Equal (time, key) still resolves in insertion order.
+        let mut s = Scheduler::new();
+        s.schedule_keyed(t, 5, "x");
+        s.schedule_keyed(t, 5, "y");
+        let order: Vec<&str> = s.drain().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["x", "y"]);
     }
 
     #[test]

@@ -68,8 +68,19 @@ pub struct Hydee {
     policy_reactive: bool,
     /// Dynamic storage-contention ledger: every checkpoint write and
     /// restart read is priced by what actually overlaps it in virtual
-    /// time, replacing the static `concurrent_writers` divisor.
-    ledger: StorageLedger,
+    /// time, replacing the static `concurrent_writers` divisor. Shared
+    /// across shards in a sharded run (DESIGN.md §2.8) — checkpoints on
+    /// different shards overlapping in virtual time must contend exactly
+    /// as they do serially; mutation order stays deterministic because
+    /// only timers touch the ledger and the parallel coordinator executes
+    /// timers globally sequenced.
+    ledger: std::sync::Arc<std::sync::Mutex<StorageLedger>>,
+    /// Clusters this protocol instance schedules checkpoints for — `None`
+    /// serially (all of them), the shard's cluster set in a sharded run.
+    /// Per-cluster policy state only ever observes its own cluster, so
+    /// per-shard policy copies over disjoint owned sets are equivalent to
+    /// the serial single policy.
+    owned: Option<Vec<u32>>,
     /// Fire time of each cluster's armed checkpoint timer (`None`: no
     /// timer outstanding — at most one per cluster).
     armed: Vec<Option<SimTime>>,
@@ -96,9 +107,33 @@ impl Hydee {
     /// Construct with an explicit (possibly hand-built) policy object,
     /// bypassing [`HydeeConfig::resolved_policy`].
     pub fn with_policy(cfg: HydeeConfig, policy: Option<Box<dyn CheckpointPolicy>>) -> Self {
+        let ledger = std::sync::Arc::new(std::sync::Mutex::new(StorageLedger::new(cfg.storage)));
+        Self::build(cfg, policy, ledger, None)
+    }
+
+    /// Construct one shard's protocol instance for a sharded run: `ledger`
+    /// is shared by every shard, `owned` is the cluster set this shard
+    /// simulates (it captures the t=0 checkpoint and schedules checkpoint
+    /// timers only for those).
+    pub fn sharded(
+        cfg: HydeeConfig,
+        ledger: std::sync::Arc<std::sync::Mutex<StorageLedger>>,
+        owned: Vec<u32>,
+    ) -> Self {
+        let policy = cfg
+            .resolved_policy()
+            .build(cfg.first_checkpoint, cfg.checkpoint_stagger);
+        Self::build(cfg, policy, ledger, Some(owned))
+    }
+
+    fn build(
+        cfg: HydeeConfig,
+        policy: Option<Box<dyn CheckpointPolicy>>,
+        ledger: std::sync::Arc<std::sync::Mutex<StorageLedger>>,
+        owned: Option<Vec<u32>>,
+    ) -> Self {
         let n = cfg.clusters.n_ranks();
         let n_clusters = cfg.clusters.n_clusters();
-        let ledger = StorageLedger::new(cfg.storage);
         Hydee {
             cfg,
             states: (0..n).map(|_| HydeeState::new()).collect(),
@@ -113,6 +148,7 @@ impl Hydee {
             policy_reactive: policy.as_deref().is_some_and(|p| p.reactive()),
             policy,
             ledger,
+            owned,
             armed: vec![None; n_clusters],
             deferred: BTreeSet::new(),
             last_ckpt_cost: vec![SimDuration::ZERO; n_clusters],
@@ -137,6 +173,14 @@ impl Hydee {
 
     fn cluster_of(&self, r: Rank) -> u32 {
         self.cfg.clusters.cluster_of(r)
+    }
+
+    /// Does this instance schedule checkpoints for cluster `c`?
+    fn owns_cluster(&self, c: u32) -> bool {
+        match &self.owned {
+            None => true,
+            Some(owned) => owned.contains(&c),
+        }
     }
 
     /// Capture a consistent cut of cluster `c` (engine snapshots, protocol
@@ -252,7 +296,11 @@ impl Hydee {
         // The cluster's members share the aggregate pipe as one batch;
         // checkpoints of *other* clusters overlapping this one in
         // virtual time queue it (the §VI I/O-burst pricing).
-        let write = self.ledger.write_batch(ctx.now(), ckpt.bytes);
+        let write = self
+            .ledger
+            .lock()
+            .unwrap()
+            .write_batch(ctx.now(), ckpt.bytes);
         let cost = coord + write.total();
         for &r in &members {
             ctx.charge(r, cost);
@@ -411,13 +459,19 @@ impl Protocol for Hydee {
 
     fn init(&mut self, ctx: &mut Ctx<'_, HydeeCtl>) {
         // Implicit initial checkpoint of every cluster at t=0 (cost-free:
-        // nothing has executed, the "image" is the binary itself).
+        // nothing has executed, the "image" is the binary itself). Sharded
+        // instances capture and consult only their owned clusters.
         for c in 0..self.cfg.clusters.n_clusters() as u32 {
+            if !self.owns_cluster(c) {
+                continue;
+            }
             let ckpt = self.capture_cluster(ctx, c);
             self.checkpoints[c as usize] = Some(ckpt);
         }
         for c in 0..self.cfg.clusters.n_clusters() as u32 {
-            self.consult_policy(ctx, c, ctx.now());
+            if self.owns_cluster(c) {
+                self.consult_policy(ctx, c, ctx.now());
+            }
         }
     }
 
@@ -464,7 +518,7 @@ impl Protocol for Hydee {
                         payload: info.payload,
                         channel_seq: info.channel_seq,
                     });
-                    ctx.metrics().log_append(info.bytes);
+                    ctx.log_append(info.bytes);
                     let ctl = HydeeCtl::OrphanNotification {
                         epoch: self.recovery_epoch,
                         phase,
@@ -511,7 +565,7 @@ impl Protocol for Hydee {
                 payload: info.payload,
                 channel_seq: info.channel_seq,
             });
-            ctx.metrics().log_append(info.bytes);
+            ctx.log_append(info.bytes);
             let transit = ctx.wire_cost(info.bytes + extra_wire_bytes).transit;
             extra_sender_time += self.cfg.memcpy.non_overlapped(info.bytes, transit);
             // Reactive policies (LogPressure) watch the log grow; the
@@ -671,7 +725,7 @@ impl Protocol for Hydee {
                 let (msgs, bytes) = st.log.prune(k, your_maxdate);
                 st.rpp.prune(k, my_ckpt_date);
                 if msgs > 0 {
-                    ctx.metrics().log_reclaim(msgs, bytes);
+                    ctx.log_reclaim(msgs, bytes);
                 }
             }
             (to, ctl) => {
@@ -826,7 +880,11 @@ impl Protocol for Hydee {
                     .bytes
             })
             .sum();
-        let read_batch = self.ledger.read_batch(ctx.now(), total_restore_bytes);
+        let read_batch = self
+            .ledger
+            .lock()
+            .unwrap()
+            .read_batch(ctx.now(), total_restore_bytes);
         let read = read_batch.total();
         let t_fail = ctx.now();
         // Every rolled cluster's members resume compute at the end of the

@@ -40,25 +40,108 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use telemetry::{Gauges, Recorder};
 
-/// Engine configuration.
+/// Engine configuration. `Clone` so a sharded run can hand every shard
+/// the same configuration (the network model is behind an `Arc`).
+#[derive(Clone)]
 pub struct SimConfig {
     pub det_mode: DetMode,
-    pub network: Box<dyn NetworkModel>,
+    pub network: Arc<dyn NetworkModel>,
     /// Hard cap on processed events (runaway guard).
     pub max_events: u64,
     /// Bytes assumed for control messages whose logical payload is small
     /// (rollback notifications, phase reports, ...).
     pub ctl_bytes_default: u64,
+    /// Seeded delivery-order perturbation (DESIGN.md §2.8): when set, the
+    /// tie-break key of same-timestamp message arrivals is replaced by a
+    /// seeded hash, deterministically permuting the order in which
+    /// concurrent deliveries on *different* channels are processed.
+    /// Per-channel FIFO order is untouched (arrival times on a channel
+    /// strictly increase), so send-deterministic digests and containment
+    /// integers must be invariant across seeds — the fuzzing lever
+    /// `tests/perturbation.rs` turns.
+    pub perturb_seed: Option<u64>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             det_mode: DetMode::SendDeterministic,
-            network: Box::new(MxModel::default()),
+            network: Arc::new(MxModel::default()),
             max_events: 500_000_000,
             ctl_bytes_default: 32,
+            perturb_seed: None,
         }
+    }
+}
+
+/// Tie-break key space for same-timestamp events (DESIGN.md §2.8): the
+/// top byte is the event *class*, the low 56 bits identify the event
+/// within its class. Keys are **content-derived** — a pure function of
+/// what the event is, never of when it was inserted — which makes the
+/// pop order of same-instant events identical whether they were
+/// scheduled by one serial engine or injected across shard boundaries.
+pub mod key {
+    use super::{Endpoint, Rank};
+
+    pub const CLASS_SHIFT: u32 = 56;
+    pub const PAYLOAD_MASK: u64 = (1 << CLASS_SHIFT) - 1;
+    pub const CLASS_EXEC: u64 = 0;
+    pub const CLASS_APP: u64 = 1;
+    pub const CLASS_CTL: u64 = 2;
+    pub const CLASS_TIMER: u64 = 3;
+    pub const CLASS_FAILURE: u64 = 4;
+
+    #[inline]
+    pub fn class(key: u64) -> u64 {
+        key >> CLASS_SHIFT
+    }
+
+    #[inline]
+    pub fn exec(rank: Rank, epoch: u32) -> u64 {
+        // class 0: ranks run before same-instant arrivals/timers, ordered
+        // by (rank, epoch).
+        (CLASS_EXEC << CLASS_SHIFT) | ((rank.0 as u64) << 32) | epoch as u64
+    }
+
+    /// 28-bit endpoint encoding: ranks map to their id, aux endpoints
+    /// above them.
+    #[inline]
+    fn endpoint(e: Endpoint) -> u64 {
+        match e {
+            Endpoint::Rank(r) => r.0 as u64,
+            Endpoint::Aux(a) => (1 << 27) | a as u64,
+        }
+    }
+
+    /// Arrival tie-break: receiver-major, then sender. `perturb` swaps
+    /// the channel identity for a seeded hash (class bits preserved so
+    /// app arrivals still sort before control arrivals).
+    #[inline]
+    pub fn arrival(ctl: bool, from: Endpoint, to: Endpoint, perturb: Option<u64>) -> u64 {
+        let class = if ctl { CLASS_CTL } else { CLASS_APP };
+        let mut payload = (endpoint(to) << 28) | endpoint(from);
+        if let Some(seed) = perturb {
+            payload = crate::types::mix64(seed ^ ((class << CLASS_SHIFT) | payload)) & PAYLOAD_MASK;
+        }
+        (class << CLASS_SHIFT) | payload
+    }
+
+    #[inline]
+    pub fn timer(id: u64) -> u64 {
+        (CLASS_TIMER << CLASS_SHIFT) | (id & PAYLOAD_MASK)
+    }
+
+    #[inline]
+    pub fn failure() -> u64 {
+        CLASS_FAILURE << CLASS_SHIFT
+    }
+
+    /// Is this the key of a hot (non-timer) event? Timers are excluded
+    /// from the drain-termination count: a queue holding nothing but
+    /// timers cannot make application progress (DESIGN.md §2.8).
+    #[inline]
+    pub fn is_hot(key: u64) -> bool {
+        class(key) != CLASS_TIMER
     }
 }
 
@@ -87,12 +170,35 @@ pub struct RunReport {
     /// indicates a duplicate delivery (protocol bug).
     pub inbox_leftover: Vec<usize>,
     pub makespan: SimTime,
+    /// Shards the run executed on (1 for the serial engine).
+    pub shards: u32,
+    /// Synchronization windows the parallel coordinator ran (0 serial).
+    pub barrier_rounds: u64,
 }
 
 impl RunReport {
     pub fn completed(&self) -> bool {
         self.status == RunStatus::Completed
     }
+}
+
+/// Everything one shard contributes to a merged [`RunReport`]
+/// (extracted by [`Sim::shard_finish`], merged by `crates/par-sim`).
+/// Vectors are indexed by global rank id and full-length; only the
+/// entries for ranks the shard owns are meaningful.
+pub struct ShardOutcome {
+    pub digests: Vec<u64>,
+    pub inbox_leftover: Vec<usize>,
+    pub clocks: Vec<SimTime>,
+    /// Did every owned rank finish?
+    pub done: bool,
+    /// `(rank, diagnostic)` for owned unfinished ranks.
+    pub stuck: Vec<(u32, String)>,
+    /// Sender-log mutation journal in shard-local order (already sorted
+    /// by global stamp, since a shard processes events in stamp order).
+    pub log_timeline: Vec<LogDelta>,
+    pub metrics: Metrics,
+    pub trace: Trace,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,6 +372,56 @@ impl<C> FlightSlab<C> {
     }
 }
 
+/// A message crossing a shard boundary: everything the receiving shard
+/// needs to re-insert the flight into its own scheduler. Opaque outside
+/// the engine — the parallel coordinator only moves envelopes between
+/// shards at window barriers (DESIGN.md §2.8). The arrival time was
+/// FIFO-adjusted on the *sender* shard (channel FIFO state lives with the
+/// sender), so the receiver schedules it verbatim.
+pub struct RemoteEnvelope<C> {
+    at: SimTime,
+    from: Endpoint,
+    to: Endpoint,
+    kind: FlightKind<C>,
+}
+
+impl<C> RemoteEnvelope<C> {
+    /// Scheduled arrival time (for coordinator sanity checks).
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Destination endpoint — what the coordinator routes on. Always a
+    /// rank: sends to aux endpoints never cross a shard boundary (the
+    /// aux process is pinned to the sending shard).
+    pub fn dst(&self) -> Endpoint {
+        self.to
+    }
+}
+
+/// Shard identity of one engine instance inside a sharded run.
+struct ShardView {
+    my_shard: u32,
+    /// rank index → owning shard.
+    shard_of_rank: Arc<Vec<u32>>,
+    /// Ranks this shard owns (its completion target).
+    owned: usize,
+}
+
+/// One sender-log mutation, stamped with the global event order it
+/// happened under: `(time, event key, intra-event index)`. Shard-local
+/// sequences of these merge (k-way, by stamp) into the exact order the
+/// serial engine would have applied them in, which is how a sharded run
+/// reproduces `logged_bytes_peak` — a running-max over global order that
+/// per-shard counters cannot recover (DESIGN.md §2.8).
+#[derive(Debug, Clone, Copy)]
+pub struct LogDelta {
+    pub at: SimTime,
+    pub key: u64,
+    pub sub: u32,
+    pub delta: i64,
+}
+
 /// Engine internals shared with protocols through [`Ctx`].
 pub struct Core<C> {
     sched: Scheduler<Event>,
@@ -290,14 +446,26 @@ pub struct Core<C> {
     /// every instrumentation point is gated behind this one check, so a
     /// run without telemetry pays a single never-taken branch per site.
     recorder: Option<Box<dyn Recorder>>,
+    /// Live non-timer events in `sched`: the drain-termination count.
+    /// The run is over when this reaches zero — remaining timers cannot
+    /// make application progress on their own (they can only *schedule*
+    /// hot events, which would raise the count before the next check).
+    pending_hot: u64,
+    /// `Some` when this core is one shard of a sharded run.
+    shard: Option<ShardView>,
+    /// Cross-shard sends produced since the coordinator last drained them.
+    outbox: Vec<RemoteEnvelope<C>>,
+    /// Sender-log mutation journal (shard mode only; see [`LogDelta`]).
+    log_timeline: Option<Vec<LogDelta>>,
+    /// Stamp of the event currently dispatching, for [`LogDelta`]s.
+    cursor: (SimTime, u64, u32),
     pub metrics: Metrics,
     pub trace: Trace,
 }
 
 impl<C: Clone + std::fmt::Debug> Core<C> {
-    fn new(app: Application, config: SimConfig) -> Self {
+    fn new(app: Application, config: SimConfig, shard: Option<ShardView>) -> Self {
         let n = app.n_ranks();
-        let mut sched = Scheduler::new();
         let ranks: Vec<RankState> = (0..n)
             .map(|i| RankState {
                 clock: SimTime::ZERO,
@@ -310,17 +478,8 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
                 send_seq: BTreeMap::new(),
             })
             .collect();
-        for i in 0..n {
-            sched.schedule(
-                SimTime::ZERO,
-                Event::Exec {
-                    rank: Rank(i as u32),
-                    epoch: 0,
-                },
-            );
-        }
-        Core {
-            sched,
+        let mut core = Core {
+            sched: Scheduler::new(),
             ranks,
             programs: app.into_programs(),
             config,
@@ -331,13 +490,90 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
             done_count: 0,
             failure_mtbf: None,
             recorder: None,
+            pending_hot: 0,
+            log_timeline: shard.as_ref().map(|_| Vec::new()),
+            shard,
+            outbox: Vec::new(),
+            cursor: (SimTime::ZERO, 0, 0),
             metrics: Metrics::default(),
             trace: Trace::new(n),
+        };
+        for i in 0..n {
+            let rank = Rank(i as u32);
+            if core.owns(rank) {
+                core.schedule_event(
+                    SimTime::ZERO,
+                    key::exec(rank, 0),
+                    Event::Exec { rank, epoch: 0 },
+                );
+            }
         }
+        core
     }
 
     fn n(&self) -> usize {
         self.ranks.len()
+    }
+
+    /// Does this engine instance execute `rank`? Always true serially; in
+    /// a sharded run only the owning shard schedules the rank's events.
+    #[inline]
+    fn owns(&self, rank: Rank) -> bool {
+        match &self.shard {
+            None => true,
+            Some(v) => v.shard_of_rank[rank.idx()] == v.my_shard,
+        }
+    }
+
+    /// Ranks this engine must finish for its part of the run to complete.
+    #[inline]
+    fn done_target(&self) -> usize {
+        match &self.shard {
+            None => self.ranks.len(),
+            Some(v) => v.owned,
+        }
+    }
+
+    /// Schedule `ev` under tie-break `key`, maintaining the hot count.
+    #[inline]
+    fn schedule_event(&mut self, at: SimTime, key: u64, ev: Event) -> EventHandle {
+        if key::is_hot(key) {
+            self.pending_hot += 1;
+        }
+        self.sched.schedule_keyed(at, key, ev)
+    }
+
+    /// Cancel a scheduled event, maintaining the hot count. Only hot
+    /// events are ever cancelled (flight retraction, failure-model
+    /// replacement), so a successful cancel always decrements.
+    #[inline]
+    fn cancel_event(&mut self, handle: EventHandle) -> bool {
+        match self.sched.cancel(handle) {
+            Some(ev) => {
+                debug_assert!(!matches!(ev, Event::Timer { .. }));
+                self.pending_hot -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pop the next event, maintaining the hot count and stamping the
+    /// log-journal cursor with the event's global-order identity.
+    #[inline]
+    fn pop_event(&mut self) -> Option<(SimTime, Event)> {
+        let (t, ekey, ev) = self.sched.pop_keyed()?;
+        if key::is_hot(ekey) {
+            self.pending_hot -= 1;
+        }
+        self.cursor = (t, ekey, 0);
+        Some((t, ev))
+    }
+
+    /// Have all ranks this engine is responsible for finished?
+    #[inline]
+    fn all_done(&self) -> bool {
+        self.done_count == self.done_target()
     }
 
     /// Snapshot the counters a time-series recorder samples. Only built
@@ -360,12 +596,38 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
         self.cost_cache.price(&*self.config.network, wire_bytes)
     }
 
+    /// Append a sender-log mutation to the shard journal (no-op serially).
+    #[inline]
+    fn journal_log_delta(&mut self, delta: i64) {
+        if let Some(timeline) = self.log_timeline.as_mut() {
+            let (at, ekey, sub) = self.cursor;
+            timeline.push(LogDelta {
+                at,
+                key: ekey,
+                sub,
+                delta,
+            });
+            self.cursor.2 += 1;
+        }
+    }
+
     /// FIFO-adjust an arrival on `(from, to)` and record it.
     fn fifo_adjust(&mut self, from: Endpoint, to: Endpoint, computed: SimTime) -> SimTime {
         let last = self.fifo_last.entry((from, to)).or_insert(SimTime::ZERO);
         let at = computed.max(*last + SimDuration::from_ps(1));
         *last = at;
         at
+    }
+
+    /// Shard owning endpoint `e`. Aux endpoints are engine-local: they
+    /// only participate in recovery, and failure-bearing runs never shard
+    /// (DESIGN.md §2.8).
+    #[inline]
+    fn shard_of_endpoint(view: &ShardView, e: Endpoint) -> u32 {
+        match e {
+            Endpoint::Rank(r) => view.shard_of_rank[r.idx()],
+            Endpoint::Aux(_) => view.my_shard,
+        }
     }
 
     fn schedule_flight(
@@ -377,12 +639,31 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
     ) {
         let at = self.fifo_adjust(from, to, computed);
         let at = at.max(self.sched.now());
+        if let Some(view) = &self.shard {
+            if Self::shard_of_endpoint(view, to) != view.my_shard {
+                // Cross-shard: hand the flight to the coordinator. FIFO
+                // state was already advanced above — the channel's order
+                // is fixed sender-side, the receiver schedules verbatim.
+                self.outbox.push(RemoteEnvelope { at, from, to, kind });
+                return;
+            }
+        }
+        self.insert_flight(RemoteEnvelope { at, from, to, kind });
+    }
+
+    /// Insert a flight (local, or delivered by the coordinator from a
+    /// remote shard) into this scheduler. No FIFO re-adjustment and no
+    /// `max(now)` clamp: both were applied on the sending side, and a
+    /// window barrier guarantees `at` has not been passed yet.
+    fn insert_flight(&mut self, env: RemoteEnvelope<C>) {
+        let RemoteEnvelope { at, from, to, kind } = env;
         let (flight, seq) = self.flights.reserve();
-        let ev = match kind {
-            FlightKind::App { .. } => Event::AppArrival { flight, seq },
-            FlightKind::Ctl { .. } => Event::CtlArrival { flight, seq },
+        let (ev, ctl) = match kind {
+            FlightKind::App { .. } => (Event::AppArrival { flight, seq }, false),
+            FlightKind::Ctl { .. } => (Event::CtlArrival { flight, seq }, true),
         };
-        let handle = self.sched.schedule(at, ev);
+        let key = key::arrival(ctl, from, to, self.config.perturb_seed);
+        let handle = self.schedule_event(at, key, ev);
         self.flights.fill(
             flight,
             Flight {
@@ -540,7 +821,8 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
             rs.status = Status::Runnable;
             let at = rs.clock.max(now);
             let epoch = rs.epoch;
-            self.core.sched.schedule(at, Event::Exec { rank, epoch });
+            self.core
+                .schedule_event(at, key::exec(rank, epoch), Event::Exec { rank, epoch });
         }
     }
 
@@ -579,7 +861,8 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
         rs.status = Status::Runnable;
         rs.gated = gated;
         let epoch = rs.epoch;
-        self.core.sched.schedule(now, Event::Exec { rank, epoch });
+        self.core
+            .schedule_event(now, key::exec(rank, epoch), Event::Exec { rank, epoch });
     }
 
     /// Capture in-flight messages whose source *and* destination are both
@@ -626,9 +909,27 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
             .collect();
         for (slot, seq) in victims {
             if let Some(f) = self.core.flights.remove(slot, seq) {
-                self.core.sched.cancel(f.handle);
+                self.core.cancel_event(f.handle);
             }
         }
+    }
+
+    /// Record `bytes` appended to a sender log. Equivalent to
+    /// `metrics().log_append(bytes)` plus the journal entry a sharded run
+    /// needs to reconstruct the global `logged_bytes_peak` (see
+    /// [`LogDelta`]); protocols must route log mutations through these
+    /// two methods rather than the raw metrics.
+    pub fn log_append(&mut self, bytes: u64) {
+        self.core.metrics.log_append(bytes);
+        self.core.journal_log_delta(bytes as i64);
+    }
+
+    /// Record `messages` log entries totalling `bytes` reclaimed by GC.
+    pub fn log_reclaim(&mut self, messages: u64, bytes: u64) {
+        let before = self.core.metrics.logged_bytes;
+        self.core.metrics.log_reclaim(messages, bytes);
+        let delta = self.core.metrics.logged_bytes as i64 - before as i64;
+        self.core.journal_log_delta(delta);
     }
 
     /// Re-inject channel state captured by [`Ctx::capture_inflight_within`]
@@ -659,7 +960,8 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
     /// Arrange for `on_timer(id)` at absolute time `at`.
     pub fn set_timer(&mut self, at: SimTime, id: u64) {
         let at = at.max(self.now());
-        self.core.sched.schedule(at, Event::Timer { id });
+        self.core
+            .schedule_event(at, key::timer(id), Event::Timer { id });
     }
 
     /// The attached telemetry recorder, if any. Protocols emit their
@@ -683,7 +985,38 @@ pub struct Sim<P: Protocol> {
 impl<P: Protocol> Sim<P> {
     pub fn new(app: Application, config: SimConfig, protocol: P) -> Self {
         Sim {
-            core: Core::new(app, config),
+            core: Core::new(app, config, None),
+            protocol,
+            failure_model: None,
+            model_event: None,
+        }
+    }
+
+    /// Build one shard of a sharded run (DESIGN.md §2.8): this engine
+    /// instance holds the full application but only executes the ranks
+    /// that `shard_of_rank` maps to `my_shard`; sends to other shards
+    /// land in an outbox the parallel coordinator drains at window
+    /// barriers. Sharded runs must be failure-free — the coordinator
+    /// enforces this before choosing the parallel path.
+    pub fn new_sharded(
+        app: Application,
+        config: SimConfig,
+        protocol: P,
+        shard_of_rank: Arc<Vec<u32>>,
+        my_shard: u32,
+    ) -> Self {
+        assert_eq!(shard_of_rank.len(), app.n_ranks());
+        let owned = shard_of_rank.iter().filter(|&&s| s == my_shard).count();
+        Sim {
+            core: Core::new(
+                app,
+                config,
+                Some(ShardView {
+                    my_shard,
+                    shard_of_rank,
+                    owned,
+                }),
+            ),
             protocol,
             failure_model: None,
             model_event: None,
@@ -694,8 +1027,9 @@ impl<P: Protocol> Sim<P> {
     /// ranks in one call fail *concurrently*; calling several times with
     /// increasing times injects sequential failures.
     pub fn inject_failure(&mut self, at: SimTime, ranks: Vec<Rank>) {
-        self.core.sched.schedule(
+        self.core.schedule_event(
             at,
+            key::failure(),
             Event::Failure {
                 ranks,
                 from_model: false,
@@ -712,7 +1046,7 @@ impl<P: Protocol> Sim<P> {
     /// pending event.
     pub fn set_failure_model(&mut self, model: Box<dyn FailureModel>) {
         if let Some(handle) = self.model_event.take() {
-            self.core.sched.cancel(handle);
+            self.core.cancel_event(handle);
         }
         self.core.failure_mtbf = crate::failure::estimate_mtbf(&*model);
         self.failure_model = Some(model);
@@ -728,8 +1062,9 @@ impl<P: Protocol> Sim<P> {
         };
         if let Some(ev) = model.next_after(prev) {
             let at = ev.at.max(self.core.sched.now());
-            self.model_event = Some(self.core.sched.schedule(
+            self.model_event = Some(self.core.schedule_event(
                 at,
+                key::failure(),
                 Event::Failure {
                     ranks: ev.ranks,
                     from_model: true,
@@ -758,12 +1093,30 @@ impl<P: Protocol> Sim<P> {
 
     /// Run to completion, returning the protocol for post-run inspection
     /// (phases, dates, logs, RPP tables in tests).
+    ///
+    /// Termination is by **drain** (DESIGN.md §2.8): the run completes
+    /// when every rank is done *and* no hot (non-timer) event remains —
+    /// post-completion arrivals and protocol acknowledgements are
+    /// processed, not abandoned, so serial and sharded runs agree on
+    /// every counter. Timers popped after completion are discarded
+    /// uncounted; timers remain live before completion (a timer can
+    /// reopen a gate).
     pub fn run_with_protocol(mut self) -> (RunReport, P) {
         self.protocol.init(&mut Ctx {
             core: &mut self.core,
         });
         let mut status = None;
-        while let Some((t, ev)) = self.core.sched.pop() {
+        loop {
+            let done = self.core.all_done();
+            if self.core.pending_hot == 0 && done {
+                break;
+            }
+            let Some((t, ev)) = self.core.pop_event() else {
+                break;
+            };
+            if matches!(ev, Event::Timer { .. }) && done {
+                continue; // moot: the run is over, discard uncounted
+            }
             self.core.metrics.events += 1;
             if self.core.metrics.events > self.core.config.max_events {
                 status = Some(RunStatus::EventLimit);
@@ -775,119 +1128,13 @@ impl<P: Protocol> Sim<P> {
                     rec.on_tick(t, &g);
                 }
             }
-            match ev {
-                Event::Exec { rank, epoch } => {
-                    let rs = &self.core.ranks[rank.idx()];
-                    if rs.epoch != epoch || rs.status != Status::Runnable {
-                        continue; // stale
-                    }
-                    if t < rs.clock {
-                        // The rank was charged extra time since this event
-                        // was scheduled; run it when its clock is reached.
-                        let at = rs.clock;
-                        self.core.sched.schedule(at, Event::Exec { rank, epoch });
-                        continue;
-                    }
-                    self.step(rank);
-                }
-                Event::AppArrival { flight, seq } => {
-                    let Some(f) = self.core.flights.remove(flight, seq) else {
-                        continue;
-                    };
-                    let FlightKind::App { msg, recv_cost } = f.kind else {
-                        continue;
-                    };
-                    let dst = msg.dst;
-                    let rs = &mut self.core.ranks[dst.idx()];
-                    if rs.status == Status::Failed {
-                        continue; // lost on the wire to a dead process
-                    }
-                    let seq = self.core.arrival_counter;
-                    self.core.arrival_counter += 1;
-                    rs.inbox.push(msg, seq, recv_cost);
-                    if rs.status == Status::BlockedRecv {
-                        rs.clock = rs.clock.max(t);
-                        rs.status = Status::Runnable;
-                        self.step(dst);
-                    }
-                }
-                Event::CtlArrival { flight, seq } => {
-                    let Some(f) = self.core.flights.remove(flight, seq) else {
-                        continue;
-                    };
-                    let FlightKind::Ctl { from, ctl } = f.kind else {
-                        continue;
-                    };
-                    if let Endpoint::Rank(r) = f.to {
-                        let rs = &mut self.core.ranks[r.idx()];
-                        if rs.status == Status::Failed {
-                            continue;
-                        }
-                        rs.clock = rs.clock.max(t);
-                    }
-                    self.protocol.on_control(
-                        &mut Ctx {
-                            core: &mut self.core,
-                        },
-                        f.to,
-                        from,
-                        ctl,
-                    );
-                    self.drain_wakeups();
-                }
-                Event::Timer { id } => {
-                    self.protocol.on_timer(
-                        &mut Ctx {
-                            core: &mut self.core,
-                        },
-                        id,
-                    );
-                    self.drain_wakeups();
-                }
-                Event::Failure { ranks, from_model } => {
-                    self.core.metrics.failures += 1;
-                    self.core.metrics.failed_ranks += ranks.len() as u64;
-                    if let Some(rec) = self.core.recorder.as_deref_mut() {
-                        let ids: Vec<u32> = ranks.iter().map(|r| r.0).collect();
-                        rec.on_failure(t, &ids);
-                    }
-                    for &r in &ranks {
-                        let rs = &mut self.core.ranks[r.idx()];
-                        if rs.status == Status::Done {
-                            self.core.done_count -= 1;
-                        }
-                        rs.status = Status::Failed;
-                        rs.epoch += 1;
-                    }
-                    // Messages in flight to the victims die with them.
-                    Ctx {
-                        core: &mut self.core,
-                    }
-                    .drop_inflight_to(&ranks);
-                    self.protocol.on_failure(
-                        &mut Ctx {
-                            core: &mut self.core,
-                        },
-                        &ranks,
-                    );
-                    self.drain_wakeups();
-                    // Lazy pull: this model event fired, ask for the next.
-                    if from_model {
-                        self.model_event = None;
-                        self.pull_model_event(t);
-                    }
-                }
-            }
-            if self.core.done_count == self.core.n() {
-                status = Some(RunStatus::Completed);
-                break;
-            }
+            self.dispatch(t, ev);
         }
         let status = status.unwrap_or_else(|| {
-            if self.core.done_count == self.core.n() {
+            if self.core.all_done() {
                 RunStatus::Completed
             } else {
-                RunStatus::Deadlock(self.diagnose())
+                RunStatus::Deadlock(self.diagnose().into_iter().map(|(_, d)| d).collect())
             }
         });
         let makespan = self
@@ -912,31 +1159,272 @@ impl<P: Protocol> Sim<P> {
                 makespan,
                 metrics: self.core.metrics,
                 trace: self.core.trace,
+                shards: 1,
+                barrier_rounds: 0,
             },
             self.protocol,
         )
+    }
+
+    /// Process one popped event. Shared verbatim by the serial loop and
+    /// the shard window/step paths — the dispatch semantics ARE the
+    /// engine's observable behaviour, so there is exactly one copy.
+    fn dispatch(&mut self, t: SimTime, ev: Event) {
+        match ev {
+            Event::Exec { rank, epoch } => {
+                let rs = &self.core.ranks[rank.idx()];
+                if rs.epoch != epoch || rs.status != Status::Runnable {
+                    return; // stale
+                }
+                if t < rs.clock {
+                    // The rank was charged extra time since this event
+                    // was scheduled; run it when its clock is reached.
+                    let at = rs.clock;
+                    self.core.schedule_event(
+                        at,
+                        key::exec(rank, epoch),
+                        Event::Exec { rank, epoch },
+                    );
+                    return;
+                }
+                self.step(rank);
+            }
+            Event::AppArrival { flight, seq } => {
+                let Some(f) = self.core.flights.remove(flight, seq) else {
+                    return;
+                };
+                let FlightKind::App { msg, recv_cost } = f.kind else {
+                    return;
+                };
+                let dst = msg.dst;
+                let rs = &mut self.core.ranks[dst.idx()];
+                if rs.status == Status::Failed {
+                    return; // lost on the wire to a dead process
+                }
+                let seq = self.core.arrival_counter;
+                self.core.arrival_counter += 1;
+                rs.inbox.push(msg, seq, recv_cost);
+                if rs.status == Status::BlockedRecv {
+                    rs.clock = rs.clock.max(t);
+                    rs.status = Status::Runnable;
+                    self.step(dst);
+                }
+            }
+            Event::CtlArrival { flight, seq } => {
+                let Some(f) = self.core.flights.remove(flight, seq) else {
+                    return;
+                };
+                let FlightKind::Ctl { from, ctl } = f.kind else {
+                    return;
+                };
+                if let Endpoint::Rank(r) = f.to {
+                    let rs = &mut self.core.ranks[r.idx()];
+                    if rs.status == Status::Failed {
+                        return;
+                    }
+                    rs.clock = rs.clock.max(t);
+                }
+                self.protocol.on_control(
+                    &mut Ctx {
+                        core: &mut self.core,
+                    },
+                    f.to,
+                    from,
+                    ctl,
+                );
+                self.drain_wakeups();
+            }
+            Event::Timer { id } => {
+                self.protocol.on_timer(
+                    &mut Ctx {
+                        core: &mut self.core,
+                    },
+                    id,
+                );
+                self.drain_wakeups();
+            }
+            Event::Failure { ranks, from_model } => {
+                self.core.metrics.failures += 1;
+                self.core.metrics.failed_ranks += ranks.len() as u64;
+                if let Some(rec) = self.core.recorder.as_deref_mut() {
+                    let ids: Vec<u32> = ranks.iter().map(|r| r.0).collect();
+                    rec.on_failure(t, &ids);
+                }
+                for &r in &ranks {
+                    let rs = &mut self.core.ranks[r.idx()];
+                    if rs.status == Status::Done {
+                        self.core.done_count -= 1;
+                    }
+                    rs.status = Status::Failed;
+                    rs.epoch += 1;
+                }
+                // Messages in flight to the victims die with them.
+                Ctx {
+                    core: &mut self.core,
+                }
+                .drop_inflight_to(&ranks);
+                self.protocol.on_failure(
+                    &mut Ctx {
+                        core: &mut self.core,
+                    },
+                    &ranks,
+                );
+                self.drain_wakeups();
+                // Lazy pull: this model event fired, ask for the next.
+                if from_model {
+                    self.model_event = None;
+                    self.pull_model_event(t);
+                }
+            }
+        }
+    }
+
+    // ---- shard driving API -------------------------------------------
+    //
+    // A sharded run (crates/par-sim) holds one `Sim` per shard, built
+    // with [`Sim::new_sharded`], and drives them through these methods:
+    // peek the global minimum across shards, run conservative windows,
+    // sequence timers globally, exchange outboxes at barriers, and merge
+    // the `ShardOutcome`s. The methods deliberately mirror the serial
+    // loop's exact bookkeeping — equivalence is the contract
+    // (DESIGN.md §2.8).
+
+    /// Run the protocol's `init` hook. The coordinator calls this once
+    /// per shard in ascending shard order, so shared-state mutations
+    /// during init replay the serial engine's order.
+    pub fn shard_init(&mut self) {
+        self.protocol.init(&mut Ctx {
+            core: &mut self.core,
+        });
+    }
+
+    /// `(time, key)` of this shard's next live event, if any.
+    pub fn shard_peek(&mut self) -> Option<(SimTime, u64)> {
+        self.core.sched.peek_keyed()
+    }
+
+    /// Live non-timer events in this shard's queue.
+    pub fn shard_pending_hot(&self) -> u64 {
+        self.core.pending_hot
+    }
+
+    /// Have all ranks owned by this shard finished?
+    pub fn shard_done(&self) -> bool {
+        self.core.all_done()
+    }
+
+    /// Events this shard has processed so far (for the coordinator's
+    /// global `max_events` budget).
+    pub fn shard_events(&self) -> u64 {
+        self.core.metrics.events
+    }
+
+    /// Pop and process exactly one event — the coordinator's sequential
+    /// phase, used to keep timers (shared-ledger mutations) in global
+    /// order. Counted exactly like a serial event.
+    pub fn shard_step(&mut self) {
+        if let Some((t, ev)) = self.core.pop_event() {
+            self.note_event(t);
+            self.dispatch(t, ev);
+        }
+    }
+
+    /// Pop and discard the head event, which must be a timer: the serial
+    /// engine discards timers uncounted once every rank is done, and the
+    /// coordinator mirrors that when *global* completion is reached.
+    pub fn shard_discard_timer(&mut self) {
+        let popped = self.core.pop_event();
+        debug_assert!(
+            matches!(popped, Some((_, Event::Timer { .. }))),
+            "shard_discard_timer popped a non-timer event"
+        );
+    }
+
+    /// Process every event strictly before `horizon`, stopping early if
+    /// a timer surfaces at the head (timers are globally sequenced by
+    /// the coordinator, never run inside a window).
+    pub fn shard_run_window(&mut self, horizon: SimTime) {
+        while let Some((t, k)) = self.core.sched.peek_keyed() {
+            if t >= horizon || key::class(k) == key::CLASS_TIMER {
+                break;
+            }
+            let Some((t, ev)) = self.core.pop_event() else {
+                break;
+            };
+            self.note_event(t);
+            self.dispatch(t, ev);
+        }
+    }
+
+    /// Drain the cross-shard sends produced since the last call.
+    pub fn shard_take_outbox(&mut self) -> Vec<RemoteEnvelope<P::Ctl>> {
+        std::mem::take(&mut self.core.outbox)
+    }
+
+    /// Insert flights routed here from other shards.
+    pub fn shard_inject(&mut self, envelopes: Vec<RemoteEnvelope<P::Ctl>>) {
+        for env in envelopes {
+            self.core.insert_flight(env);
+        }
+    }
+
+    /// Tear down this shard and extract everything the coordinator needs
+    /// for the merged [`RunReport`]. Deliberately does *not* fire the
+    /// recorder's `on_run_end` — the coordinator fires it once globally.
+    pub fn shard_finish(mut self) -> ShardOutcome {
+        let done = self.core.all_done();
+        let stuck = if done { Vec::new() } else { self.diagnose() };
+        ShardOutcome {
+            digests: self.core.ranks.iter().map(|r| r.app.digest).collect(),
+            inbox_leftover: self.core.ranks.iter().map(|r| r.inbox.len()).collect(),
+            clocks: self.core.ranks.iter().map(|r| r.clock).collect(),
+            done,
+            stuck,
+            log_timeline: self.core.log_timeline.take().unwrap_or_default(),
+            metrics: self.core.metrics,
+            trace: self.core.trace,
+        }
+    }
+
+    /// Count one processed event and fire the sampling recorder hook
+    /// (shard paths; the serial loop inlines this so its event-limit
+    /// check sits between the count and the tick).
+    fn note_event(&mut self, t: SimTime) {
+        self.core.metrics.events += 1;
+        if self.core.recorder.is_some() {
+            let g = self.core.gauges();
+            if let Some(rec) = self.core.recorder.as_deref_mut() {
+                rec.on_tick(t, &g);
+            }
+        }
     }
 
     /// No-op hook kept for symmetry; protocol actions that resume ranks
     /// (gate reopening, restores) schedule their own Exec events.
     fn drain_wakeups(&mut self) {}
 
-    fn diagnose(&self) -> Vec<String> {
+    /// Per-stuck-rank diagnostics, keyed by rank id so a sharded run can
+    /// merge shards' diagnoses into one globally ordered list. Only ranks
+    /// this engine owns are reported.
+    fn diagnose(&self) -> Vec<(u32, String)> {
         let mut out = Vec::new();
         for (i, rs) in self.core.ranks.iter().enumerate() {
-            if rs.status == Status::Done {
+            if rs.status == Status::Done || !self.core.owns(Rank(i as u32)) {
                 continue;
             }
             let opdesc = self.core.programs[i]
                 .op_at(rs.pc)
                 .map(|op| format!("{op:?}"))
                 .unwrap_or_else(|| "<end>".into());
-            out.push(format!(
-                "P{i}: {:?} at pc={} ({opdesc}), gated={}, inbox={}",
-                rs.status,
-                rs.pc,
-                rs.gated,
-                rs.inbox.len()
+            out.push((
+                i as u32,
+                format!(
+                    "P{i}: {:?} at pc={} ({opdesc}), gated={}, inbox={}",
+                    rs.status,
+                    rs.pc,
+                    rs.gated,
+                    rs.inbox.len()
+                ),
             ));
         }
         out
@@ -974,7 +1462,11 @@ impl<P: Protocol> Sim<P> {
                     rs.pc = pc + 1;
                     let at = rs.clock;
                     let epoch = rs.epoch;
-                    self.core.sched.schedule(at, Event::Exec { rank, epoch });
+                    self.core.schedule_event(
+                        at,
+                        key::exec(rank, epoch),
+                        Event::Exec { rank, epoch },
+                    );
                     return;
                 }
                 Op::Send { dst, bytes, tag } => {

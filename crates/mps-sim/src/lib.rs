@@ -46,7 +46,10 @@ pub mod types;
 
 pub use app::{AppState, DetMode};
 pub use cluster::ClusterMap;
-pub use engine::{Ctx, InFlightMsg, RankSnapshot, RunReport, RunStatus, Sim, SimConfig};
+pub use engine::{
+    Ctx, InFlightMsg, LogDelta, RankSnapshot, RemoteEnvelope, RunReport, RunStatus, ShardOutcome,
+    Sim, SimConfig,
+};
 pub use failure::{
     Cascade, CorrelatedCluster, FailureEvent, FailureModel, FixedSchedule, PoissonPerRank,
 };

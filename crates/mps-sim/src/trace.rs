@@ -211,6 +211,31 @@ impl Trace {
         }
     }
 
+    /// Merge another shard's trace into this one (sharded runs,
+    /// DESIGN.md §2.8). Sends are recorded on the *sender's* shard, and
+    /// every directed channel has exactly one sender, so the per-channel
+    /// identity maps of two shards are disjoint — the merge is a union,
+    /// never a conflict resolution. Matrix cells sum (disjoint channels:
+    /// one side is zero), violations concatenate, and re-emission counts
+    /// add.
+    pub fn absorb(&mut self, other: Trace) {
+        assert_eq!(self.matrix.n, other.matrix.n);
+        for i in 0..self.matrix.bytes.len() {
+            self.matrix.bytes[i] += other.matrix.bytes[i];
+            self.matrix.msgs[i] += other.matrix.msgs[i];
+        }
+        for (channel, v) in other.dense {
+            let prev = self.dense.insert(channel, v);
+            debug_assert!(prev.is_none(), "channel {channel:?} recorded on two shards");
+        }
+        for (k, id) in other.sparse {
+            let prev = self.sparse.insert(k, id);
+            debug_assert!(prev.is_none(), "sparse identity {k:?} on two shards");
+        }
+        self.violations.extend(other.violations);
+        self.consistent_reemissions += other.consistent_reemissions;
+    }
+
     /// Number of distinct application messages observed.
     pub fn distinct_messages(&self) -> usize {
         self.dense.values().map(Vec::len).sum::<usize>() + self.sparse.len()
@@ -304,6 +329,31 @@ mod tests {
         assert_eq!(t.consistent_reemissions, 1);
         t.record_send(&msg(500, 8, 999));
         assert!(!t.is_consistent());
+    }
+
+    #[test]
+    fn absorb_unions_disjoint_shard_traces() {
+        let mut a = Trace::new(3);
+        a.record_send(&msg(1, 100, 0xA));
+        a.record_send(&msg(1, 100, 0xA)); // re-emission
+        let mut b = Trace::new(3);
+        b.record_send(&Message {
+            src: Rank(2),
+            dst: Rank(0),
+            tag: Tag(0),
+            bytes: 7,
+            payload: 0xB,
+            channel_seq: 1,
+            meta: PbMeta::default(),
+            replayed: false,
+        });
+        b.violations.push("shard-local violation".into());
+        a.absorb(b);
+        assert_eq!(a.distinct_messages(), 2);
+        assert_eq!(a.consistent_reemissions, 1);
+        assert_eq!(a.matrix.total_bytes(), 107);
+        assert_eq!(a.matrix.msgs_between(Rank(2), Rank(0)), 1);
+        assert_eq!(a.violations.len(), 1);
     }
 
     #[test]

@@ -49,6 +49,16 @@ pub trait NetworkModel: Send + Sync {
         self.cost(wire_bytes).one_way()
     }
 
+    /// Lower bound on the transit component over all message sizes — the
+    /// parallel engine's *lookahead* (DESIGN.md §2.8): an event executed
+    /// at time `t` can make nothing arrive on another shard before
+    /// `t + min_transit()`. Both built-in models price transit monotone in
+    /// size (pinned by tests), so the zero-byte cost is the infimum; a
+    /// model for which that does not hold must override this.
+    fn min_transit(&self) -> SimDuration {
+        self.cost(0).transit
+    }
+
     /// Effective bandwidth in bytes/second for a `wire_bytes` message.
     fn bandwidth(&self, wire_bytes: u64) -> f64 {
         let t = self.latency(wire_bytes).as_secs_f64();
@@ -300,6 +310,29 @@ mod tests {
         let c = mx.cost(128);
         let t0 = SimTime::from_us(100);
         assert_eq!(c.arrival(t0), t0 + c.sender + c.transit);
+    }
+
+    #[test]
+    fn min_transit_is_the_infimum_over_sizes() {
+        // The lookahead contract: no priced size may undercut
+        // min_transit(). Sweep sizes across every plateau boundary and
+        // the rendezvous threshold.
+        let mx = MxModel::default();
+        let tcp = TcpModel::default();
+        let sizes: Vec<u64> = (0..26)
+            .map(|i| 1u64 << i)
+            .chain([0, 32, 33, 1024, 1025, 4096, 4097, 32 * 1024 + 1])
+            .collect();
+        for model in [&mx as &dyn NetworkModel, &tcp] {
+            for &w in &sizes {
+                assert!(
+                    model.cost(w).transit >= model.min_transit(),
+                    "{} transit({w}) < min_transit",
+                    model.name()
+                );
+            }
+            assert!(model.min_transit() > SimDuration::ZERO);
+        }
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Serial-vs-sharded equivalence at the engine level (DESIGN.md §2.8):
+//! the serial `mps_sim` engine is the oracle, and the merged parallel
+//! report must match it bit-for-bit on everything deterministic —
+//! digests, every metrics counter, makespan, status. The full
+//! cross-protocol matrix lives in `crates/protocols/tests`; this smoke
+//! keeps the contract testable from inside the engine pair alone.
+
+use det_sim::{SimDuration, SimTime};
+use hydee::{Hydee, HydeeConfig};
+use mps_sim::{
+    Application, CheckpointPolicyConfig, ClusterMap, NullProtocol, RunReport, Sim, SimConfig,
+};
+use net_model::StorageLedger;
+use par_sim::run_sharded;
+use std::sync::{Arc, Mutex};
+use workloads::WorkloadSpec;
+
+fn stencil(n_ranks: usize, iterations: usize) -> Application {
+    WorkloadSpec::Stencil {
+        n_ranks,
+        iterations,
+        face_bytes: 4096,
+        compute_us: 50,
+        wildcard_recv: false,
+    }
+    .build()
+}
+
+fn assert_equivalent(serial: &RunReport, sharded: &RunReport) {
+    assert_eq!(serial.status, sharded.status);
+    assert_eq!(serial.digests, sharded.digests);
+    assert_eq!(serial.inbox_leftover, sharded.inbox_leftover);
+    assert_eq!(serial.makespan, sharded.makespan);
+    let a = serde_json::to_string(&serial.metrics).unwrap();
+    let b = serde_json::to_string(&sharded.metrics).unwrap();
+    assert_eq!(a, b, "metrics diverge");
+    assert_eq!(
+        serial.trace.matrix.total_bytes(),
+        sharded.trace.matrix.total_bytes()
+    );
+    assert_eq!(
+        serial.trace.distinct_messages(),
+        sharded.trace.distinct_messages()
+    );
+    assert!(sharded.trace.is_consistent());
+}
+
+#[test]
+fn null_protocol_stencil_matches_serial_at_every_shard_count() {
+    let clusters = ClusterMap::blocks(16, 4);
+    let serial = Sim::new(stencil(16, 8), SimConfig::default(), NullProtocol).run();
+    assert!(serial.completed());
+    for shards in [1, 2, 3, 4] {
+        let par = run_sharded(
+            stencil(16, 8),
+            SimConfig::default(),
+            &clusters,
+            shards,
+            |_slice| NullProtocol,
+            None,
+        );
+        assert_eq!(par.shards, shards as u32);
+        assert_equivalent(&serial, &par);
+        if shards > 1 {
+            assert!(par.barrier_rounds > 0, "windows must actually run");
+        }
+    }
+}
+
+#[test]
+fn hydee_with_periodic_checkpoints_matches_serial() {
+    let clusters = ClusterMap::blocks(12, 3);
+    let mk_cfg = || {
+        HydeeConfig::new(ClusterMap::blocks(12, 3))
+            .with_image_bytes(1 << 16)
+            .with_policy(CheckpointPolicyConfig::Periodic {
+                interval: SimDuration::from_us(300),
+                stagger: Some(SimDuration::from_us(40)),
+                first: Some(SimTime::from_us(200)),
+            })
+    };
+    let serial = Sim::new(stencil(12, 10), SimConfig::default(), Hydee::new(mk_cfg())).run();
+    assert!(serial.completed());
+    assert!(serial.metrics.checkpoints > 0, "checkpoints must fire");
+    assert!(serial.metrics.logged_bytes_peak > 0, "logs must grow");
+    for shards in [2, 3] {
+        let ledger = Arc::new(Mutex::new(StorageLedger::new(mk_cfg().storage)));
+        let par = run_sharded(
+            stencil(12, 10),
+            SimConfig::default(),
+            &clusters,
+            shards,
+            |slice| Hydee::sharded(mk_cfg(), ledger.clone(), slice.clusters.clone()),
+            None,
+        );
+        assert_equivalent(&serial, &par);
+    }
+}
+
+#[test]
+fn deadlocked_run_merges_the_stuck_diagnostics() {
+    // Rank 1 waits for a message no one sends: the sharded run must
+    // report the same deadlock diagnosis as the serial one.
+    use mps_sim::{Rank, Tag};
+    let build = || {
+        let mut app = Application::new(4);
+        app.rank_mut(Rank(1)).recv(Rank(0), Tag(9));
+        app
+    };
+    let clusters = ClusterMap::blocks(4, 2);
+    let serial = Sim::new(build(), SimConfig::default(), NullProtocol).run();
+    let par = run_sharded(
+        build(),
+        SimConfig::default(),
+        &clusters,
+        2,
+        |_| NullProtocol,
+        None,
+    );
+    assert_eq!(serial.status, par.status);
+    assert!(!par.completed());
+}

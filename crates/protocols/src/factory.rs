@@ -27,7 +27,8 @@ use mps_sim::{
     Application, CheckpointPolicyConfig, ClusterMap, FailureModel, FixedSchedule, NullProtocol,
     Protocol, Recorder, RunReport, Sim, SimConfig,
 };
-use net_model::StableStorage;
+use net_model::{StableStorage, StorageLedger};
+use std::sync::{Arc, Mutex};
 
 pub use mps_sim::FailureEvent;
 
@@ -63,6 +64,13 @@ pub struct RunRequest {
     /// Telemetry recorder attached to the run (DESIGN.md §2.5); `None`
     /// (the default) costs one branch per instrumentation point.
     pub recorder: Option<Box<dyn Recorder>>,
+    /// Parallel-engine shard count (DESIGN.md §2.8). `1` (the default)
+    /// runs the serial engine. Higher values run the `par-sim`
+    /// cluster-sharded engine when the run qualifies: counts above the
+    /// cluster count are clamped, and a run whose failure model expects
+    /// any failures falls back to serial (recovery is cross-cluster by
+    /// construction). Either way the results are bit-for-bit identical.
+    pub shards: usize,
 }
 
 impl RunRequest {
@@ -76,6 +84,7 @@ impl RunRequest {
             clusters: ClusterMap::single(n),
             failure_model: Box::new(FixedSchedule::none()),
             recorder: None,
+            shards: 1,
         }
     }
 
@@ -109,6 +118,32 @@ impl RunRequest {
         self.recorder = Some(recorder);
         self
     }
+
+    /// Request the parallel engine with `n` cluster shards (see the
+    /// field docs for when the request downgrades to serial).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+}
+
+/// Decide the parallel path for a request: `Some(effective shard
+/// count)` when more than one shard was requested, the failure model
+/// expects no failures over the whole representable horizon, and the
+/// cluster map supports at least two shards.
+fn parallel_shards(req: &RunRequest) -> Option<usize> {
+    if req.shards <= 1 {
+        return None;
+    }
+    if req
+        .failure_model
+        .expected_failures(SimTime::from_ps(u64::MAX))
+        != 0.0
+    {
+        return None;
+    }
+    let (n, _) = par_sim::effective_shards(req.shards, req.clusters.n_clusters());
+    (n > 1).then_some(n)
 }
 
 /// Runtime-interchangeable protocol constructor/runner (object-safe).
@@ -140,6 +175,16 @@ impl ProtocolFactory for NativeFactory {
     }
 
     fn run(&self, req: RunRequest) -> RunReport {
+        if let Some(n) = parallel_shards(&req) {
+            let RunRequest {
+                app,
+                sim_config,
+                clusters,
+                recorder,
+                ..
+            } = req;
+            return par_sim::run_sharded(app, sim_config, &clusters, n, |_| NullProtocol, recorder);
+        }
         run_sim(req, NullProtocol)
     }
 }
@@ -204,6 +249,36 @@ impl ProtocolFactory for HydeeFactory {
     }
 
     fn run(&self, req: RunRequest) -> RunReport {
+        if let Some(n) = parallel_shards(&req) {
+            let RunRequest {
+                app,
+                sim_config,
+                clusters,
+                recorder,
+                ..
+            } = req;
+            // One ledger shared by all shard-local protocol copies:
+            // stable storage is the only machine-global resource, and
+            // the coordinator sequences every timer (= every policy
+            // consultation) in global order, so sharing it is safe.
+            let ledger = Arc::new(Mutex::new(StorageLedger::new(
+                self.params.config_for(clusters.clone()).storage,
+            )));
+            return par_sim::run_sharded(
+                app,
+                sim_config,
+                &clusters,
+                n,
+                |slice| {
+                    Hydee::sharded(
+                        self.params.config_for(clusters.clone()),
+                        ledger.clone(),
+                        slice.clusters.clone(),
+                    )
+                },
+                recorder,
+            );
+        }
         let protocol = Hydee::new(self.params.config_for(req.clusters.clone()));
         run_sim(req, protocol)
     }
@@ -228,6 +303,9 @@ impl ProtocolFactory for CoordinatedFactory {
     }
 
     fn run(&self, req: RunRequest) -> RunReport {
+        // Always serial: the coordinated protocol's "cluster" is the
+        // whole machine and it owns a private storage ledger, so there
+        // is no shard decomposition to exploit.
         run_sim(req, GlobalCoordinated::new(self.config.clone()))
     }
 }
@@ -253,6 +331,38 @@ impl ProtocolFactory for EventLoggedFactory {
     }
 
     fn run(&self, req: RunRequest) -> RunReport {
+        if let Some(n) = parallel_shards(&req) {
+            let RunRequest {
+                app,
+                sim_config,
+                clusters,
+                recorder,
+                ..
+            } = req;
+            let ledger = Arc::new(Mutex::new(StorageLedger::new(
+                self.params.config_for(clusters.clone()).storage,
+            )));
+            return par_sim::run_sharded(
+                app,
+                sim_config,
+                &clusters,
+                n,
+                |slice| {
+                    // The determinant wrapper holds only shard-local
+                    // state (a counter and per-delivery charges), so it
+                    // shards by wrapping the sharded inner protocol.
+                    EventLogged::new(
+                        Hydee::sharded(
+                            self.params.config_for(clusters.clone()),
+                            ledger.clone(),
+                            slice.clusters.clone(),
+                        ),
+                        self.cost,
+                    )
+                },
+                recorder,
+            );
+        }
         let inner = Hydee::new(self.params.config_for(req.clusters.clone()));
         run_sim(req, EventLogged::new(inner, self.cost))
     }
@@ -325,6 +435,68 @@ mod tests {
         assert!(failed.metrics.lost_work > SimDuration::ZERO);
         assert!(failed.metrics.recovery_time > SimDuration::ZERO);
         assert_eq!(clean.digests, failed.digests);
+    }
+
+    /// The `shards` knob must be transparent: every factory that
+    /// accepts it returns a bit-identical report, and runs that cannot
+    /// shard (failure models, single cluster) silently stay serial.
+    #[test]
+    fn sharded_requests_match_serial_per_factory() {
+        let mut app = Application::new(8);
+        for i in 0..20 {
+            app.rank_mut(Rank(0)).send(Rank(5), 4096, Tag(i));
+            app.rank_mut(Rank(5)).recv(Rank(0), Tag(i));
+            app.rank_mut(Rank(3)).send(Rank(6), 2048, Tag(i));
+            app.rank_mut(Rank(6)).recv(Rank(3), Tag(i));
+        }
+        let factories: Vec<Box<dyn ProtocolFactory>> = vec![
+            Box::new(NativeFactory),
+            Box::new(HydeeFactory::new(HydeeParams {
+                checkpoint_interval: Some(SimDuration::from_us(200)),
+                image_bytes: Some(1 << 14),
+                ..Default::default()
+            })),
+            Box::new(CoordinatedFactory::default()),
+            Box::new(EventLoggedFactory::default()),
+        ];
+        for f in &factories {
+            let mk = || RunRequest::new(app.clone()).clusters(ClusterMap::blocks(8, 4));
+            let serial = f.run(mk());
+            let sharded = f.run(mk().shards(4));
+            assert!(serial.completed(), "{}: {:?}", f.name(), serial.status);
+            assert_eq!(serial.digests, sharded.digests, "{}", f.name());
+            assert_eq!(
+                serde_json::to_string(&serial.metrics).unwrap(),
+                serde_json::to_string(&sharded.metrics).unwrap(),
+                "{}: metrics diverge",
+                f.name()
+            );
+        }
+    }
+
+    /// A failure model with nonzero expectation forces the serial
+    /// engine even when shards were requested — and still completes.
+    #[test]
+    fn failure_runs_fall_back_to_serial() {
+        let f = HydeeFactory::new(HydeeParams {
+            image_bytes: Some(1 << 14),
+            ..Default::default()
+        });
+        let mut app = Application::new(4);
+        for i in 0..30 {
+            app.rank_mut(Rank(0)).send(Rank(3), 1 << 14, Tag(i));
+            app.rank_mut(Rank(3)).recv(Rank(0), Tag(i));
+        }
+        let req = RunRequest::new(app)
+            .clusters(ClusterMap::per_rank(4))
+            .failure_model(Box::new(
+                PoissonPerRank::new(4, SimDuration::from_ms(2), 7).with_max_failures(1),
+            ))
+            .shards(4);
+        assert!(parallel_shards(&req).is_none());
+        let report = f.run(req);
+        assert!(report.completed(), "{:?}", report.status);
+        assert_eq!(report.shards, 1, "fell back to the serial engine");
     }
 
     #[test]

@@ -29,7 +29,10 @@ use crate::spec::ScenarioSpec;
 /// Version tag embedded in every descriptor. Bump when the descriptor
 /// grammar or the axis `name()` forms change incompatibly — old store
 /// segments then miss instead of returning records for the wrong spec.
-pub const DESCRIPTOR_VERSION: &str = "v1";
+/// History: v1 → v2 added the `shards=` field (parallel engine,
+/// DESIGN.md §2.8) and coincided with the keyed-scheduler engine change
+/// that moved every digest.
+pub const DESCRIPTOR_VERSION: &str = "v2";
 
 /// 128-bit FNV-1a offset basis.
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
@@ -145,8 +148,12 @@ impl ScenarioSpec {
     /// field so store tooling can filter on it without re-parsing
     /// protocol names.
     pub fn descriptor(&self) -> String {
+        // `shards` is part of the address even though digests and
+        // metrics are engine-independent: the record's `scenario` label
+        // and `shards`/`barrier_rounds` columns differ, and the cache
+        // contract promises byte-identical records.
         format!(
-            "hydee-cell/{DESCRIPTOR_VERSION}|workload={}|protocol={}|clusters={}|network={}|failure={}|ckpt={}|simulate={}|max_events={}",
+            "hydee-cell/{DESCRIPTOR_VERSION}|workload={}|protocol={}|clusters={}|network={}|failure={}|ckpt={}|simulate={}|max_events={}|shards={}",
             self.workload.name(),
             self.protocol.name(),
             self.clusters.name(),
@@ -158,6 +165,7 @@ impl ScenarioSpec {
                 Some(n) => n.to_string(),
                 None => "default".into(),
             },
+            self.shards,
         )
     }
 
@@ -256,6 +264,9 @@ mod tests {
         edits.push(e);
         let mut e = spec.clone();
         e.max_events = Some(1_000_000);
+        edits.push(e);
+        let mut e = spec.clone();
+        e.shards = 4;
         edits.push(e);
 
         let base_d = spec.descriptor();

@@ -91,6 +91,8 @@ impl Executor {
             checkpoint_overhead_s: 0.0,
             waste_fraction: 0.0,
             metrics: Metrics::default(),
+            shards: 1,
+            barrier_rounds: 0,
         };
         if !spec.simulate {
             return record;
@@ -111,7 +113,8 @@ impl Executor {
         let mut req = RunRequest::new(app)
             .sim_config(spec.sim_config())
             .failure_model(spec.failure_model.build(&map))
-            .clusters(map);
+            .clusters(map)
+            .shards(spec.shards);
         if let Some(rec) = recorder {
             req = req.recorder(rec);
         }

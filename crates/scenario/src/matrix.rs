@@ -37,6 +37,10 @@ pub struct Matrix {
     pub simulate: bool,
     /// Engine event-limit override applied to every spec.
     pub max_events: Option<u64>,
+    /// Parallel-engine shard count applied to every spec (DESIGN.md
+    /// §2.8); 0/1 = serial. Not a cross-product axis: sweeps compare
+    /// engines by running the same matrix twice at different counts.
+    pub shards: usize,
 }
 
 impl Matrix {
@@ -105,6 +109,12 @@ impl Matrix {
 
     pub fn static_analysis(mut self) -> Self {
         self.simulate = false;
+        self
+    }
+
+    /// Run every cell on the parallel engine with `n` cluster shards.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
         self
     }
 
@@ -203,6 +213,7 @@ impl Matrix {
                                     failure_model: f.clone(),
                                     simulate: self.simulate,
                                     max_events: self.max_events,
+                                    shards: self.shards.max(1),
                                 });
                             }
                         }

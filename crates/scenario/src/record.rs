@@ -84,6 +84,13 @@ pub struct RunRecord {
 
     /// Engine + protocol counters; zeroed for static-only records.
     pub metrics: Metrics,
+
+    // ---- parallel engine (DESIGN.md §2.8) ----
+    /// Shards the producing engine ran with (1 = serial engine,
+    /// including sharded requests that fell back to serial).
+    pub shards: u32,
+    /// Time-window barriers executed (0 for serial runs).
+    pub barrier_rounds: u64,
 }
 
 /// RFC-4180 escaping for free-text CSV columns: the field is always
@@ -190,6 +197,8 @@ impl RunRecord {
         self.checkpoint_overhead_s = m.checkpoint_time.as_secs_f64();
         self.waste_fraction = m.waste_fraction(self.n_ranks);
         self.metrics = report.metrics.clone();
+        self.shards = report.shards;
+        self.barrier_rounds = report.barrier_rounds;
         self
     }
 
@@ -238,6 +247,8 @@ impl RunRecord {
             "replayed_messages",
             "replayed_bytes",
             "events",
+            "shards",
+            "barrier_rounds",
         ]
         .join(",")
     }
@@ -289,6 +300,8 @@ impl RunRecord {
             self.metrics.replayed_messages.to_string(),
             self.metrics.replayed_bytes.to_string(),
             self.metrics.events.to_string(),
+            self.shards.to_string(),
+            self.barrier_rounds.to_string(),
         ]
         .join(",")
     }
@@ -337,6 +350,8 @@ pub(crate) mod tests {
             checkpoint_overhead_s: 0.0,
             waste_fraction: 0.0,
             metrics: Metrics::default(),
+            shards: 1,
+            barrier_rounds: 0,
         }
     }
 

@@ -99,6 +99,17 @@ impl ClusterStrategy {
             }
         }
     }
+
+    /// Cluster count [`ClusterStrategy::resolve`] will produce for an
+    /// `n_ranks`-rank workload, without building the application (used
+    /// by the sweep CLI to warn about `--shards` clamping up front).
+    pub fn n_clusters_for(&self, n_ranks: usize) -> usize {
+        match self {
+            ClusterStrategy::Single => 1,
+            ClusterStrategy::PerRank => n_ranks,
+            ClusterStrategy::Blocks(k) | ClusterStrategy::Partitioned(k) => (*k).min(n_ranks),
+        }
+    }
 }
 
 /// Which point-to-point network prices the run.
@@ -1109,6 +1120,11 @@ pub struct ScenarioSpec {
     pub simulate: bool,
     /// Engine runaway guard override.
     pub max_events: Option<u64>,
+    /// Parallel-engine shard count (DESIGN.md §2.8): 1 = serial engine;
+    /// higher values request the cluster-sharded engine (clamped to the
+    /// cluster count, serial fallback under failure models — results
+    /// are bit-for-bit identical either way).
+    pub shards: usize,
 }
 
 impl ScenarioSpec {
@@ -1122,7 +1138,14 @@ impl ScenarioSpec {
             failure_model: FailureModelSpec::none(),
             simulate: true,
             max_events: None,
+            shards: 1,
         }
+    }
+
+    /// Request the parallel engine with `n` cluster shards.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
     }
 
     /// Replace the failure model with a fixed schedule (the pre-model
@@ -1163,6 +1186,11 @@ impl ScenarioSpec {
         if !self.simulate {
             s.push_str("/static");
         }
+        // Serial runs keep their historical labels; only parallel
+        // requests grow a segment.
+        if self.shards > 1 {
+            s.push_str(&format!("/shards{}", self.shards));
+        }
         s
     }
 
@@ -1170,7 +1198,7 @@ impl ScenarioSpec {
     pub fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig {
             det_mode: DetMode::SendDeterministic,
-            network: self.network.build(),
+            network: self.network.build().into(),
             ..Default::default()
         };
         if let Some(m) = self.max_events {

@@ -417,7 +417,7 @@ fn parse_raw(text: &str, file: &str) -> Result<RawSuite, SuiteError> {
 /// Axis keys accepted in `[defaults]` and `[scenario.*]` sections.
 const AXIS_KEYS: &str =
     "workloads | protocols | clusters | networks | checkpoint_policies | failure_models | \
-     static | max_events";
+     static | max_events | shards";
 
 /// One section's axis values. `None` = not mentioned, so scenario
 /// sections override `[defaults]` per key, not wholesale.
@@ -431,6 +431,7 @@ struct AxisSet {
     failure_models: Option<Vec<FailureModelSpec>>,
     static_only: Option<bool>,
     max_events: Option<u64>,
+    shards: Option<u64>,
 }
 
 /// Parse every item of a list-valued axis key, wrapping axis errors
@@ -531,6 +532,26 @@ impl AxisSet {
                         }
                     }
                 }
+                "shards" => {
+                    dup(set.shards.is_some())?;
+                    match kv.value {
+                        Value::Int(n) if n >= 1 => set.shards = Some(n),
+                        Value::Int(n) => {
+                            return Err(SuiteError::at(
+                                file,
+                                kv.line,
+                                format!("`shards` must be at least 1, got {n}"),
+                            ));
+                        }
+                        ref v => {
+                            return Err(SuiteError::at(
+                                file,
+                                kv.line,
+                                format!("`shards` must be an integer, got {}", v.kind()),
+                            ));
+                        }
+                    }
+                }
                 other => {
                     return Err(SuiteError::at(
                         file,
@@ -559,6 +580,7 @@ impl AxisSet {
                 .or_else(|| defaults.failure_models.clone()),
             static_only: self.static_only.or(defaults.static_only),
             max_events: self.max_events.or(defaults.max_events),
+            shards: self.shards.or(defaults.shards),
         }
     }
 
@@ -572,6 +594,7 @@ impl AxisSet {
         m.failure_models = self.failure_models.unwrap_or_default();
         m.simulate = !self.static_only.unwrap_or(false);
         m.max_events = self.max_events;
+        m.shards = self.shards.unwrap_or(1) as usize;
         m
     }
 }
@@ -803,6 +826,9 @@ impl Suite {
             if let Some(n) = m.max_events {
                 out.push_str(&format!("max_events = {n}\n"));
             }
+            if m.shards > 1 {
+                out.push_str(&format!("shards = {}\n", m.shards));
+            }
         }
         out
     }
@@ -901,6 +927,33 @@ failure_models = ["poisson:mtbf=10000:seed=7:max=3", "fail@195000us:r7"]
         assert_eq!(cells.len(), 8);
         assert!(cells.iter().any(|c| c.spec.failure_model
             == FailureModelSpec::Fixed(vec![FailureSpec::at_ms(195, vec![7])])));
+    }
+
+    #[test]
+    fn shards_key_parses_inherits_and_rejects_zero() {
+        let text = r#"
+[defaults]
+workloads = ["netpipe:64"]
+shards = 4
+
+[scenario.par]
+protocols = ["hydee"]
+
+[scenario.serial]
+protocols = ["native"]
+shards = 1
+"#;
+        let suite = Suite::parse_str(text, "t.suite").unwrap();
+        let cells = suite.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].spec.shards, 4, "inherited from defaults");
+        assert_eq!(cells[1].spec.shards, 1, "overridden per scenario");
+        let err = Suite::parse_str(
+            "[scenario.x]\nworkloads = [\"netpipe:64\"]\nshards = 0\n",
+            "z.suite",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("at least 1"), "{err}");
     }
 
     #[test]

@@ -116,6 +116,8 @@ pub fn decode_record(v: &Value) -> Result<RunRecord, String> {
         checkpoint_overhead_s: f(v, "checkpoint_overhead_s")?,
         waste_fraction: f(v, "waste_fraction")?,
         metrics: decode_metrics(field(v, "metrics")?)?,
+        shards: u(v, "shards")? as u32,
+        barrier_rounds: u(v, "barrier_rounds")?,
     })
 }
 
