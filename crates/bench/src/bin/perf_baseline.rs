@@ -4,9 +4,10 @@
 //! native, the same under clustered HydEE, a 256-rank CG
 //! checkpoint/failure/recovery run, the waste-frontier pair, and the
 //! long-horizon 4096-rank stencil that only the streaming program API
-//! fits in memory — serial and again on the sharded parallel engine,
-//! whose digest must match bit-for-bit), times the simulation phase of
-//! each cell — once bare
+//! fits in memory — serial, on the sharded parallel engine whose digest
+//! must match bit-for-bit, and sharded once more under a fat-tree
+//! topology whose per-class lookahead must cut barrier rounds), times
+//! the simulation phase of each cell — once bare
 //! and once with a no-op telemetry recorder attached — and writes
 //! `BENCH_engine.json` — wall time, events/sec, recorder overhead,
 //! program-representation bytes (streamed vs unrolled), peak RSS and the
@@ -179,6 +180,22 @@ fn main() {
             par.shards, par.barrier_rounds, par.shards
         );
     }
+
+    // The topology gate (DESIGN.md §2.9): the fat-tree sharded cell's
+    // per-link-class lookahead must need strictly fewer barrier rounds
+    // than the flat cell's scalar. Machine-independent, always enforced.
+    let topo_violations = perf::check_topology_lookahead(&report);
+    if !topo_violations.is_empty() {
+        for v in &topo_violations {
+            eprintln!("perf_baseline: {v}");
+        }
+        std::process::exit(1);
+    }
+    let tiered = cell(perf::PAR_TOPOLOGY_CELL);
+    println!(
+        "topology lookahead: {} barrier rounds under `{}` vs {} flat (strict reduction)",
+        tiered.barrier_rounds, tiered.topology, par.barrier_rounds
+    );
 
     std::fs::create_dir_all(&out_dir)
         .unwrap_or_else(|e| fail(&format!("create {}: {e}", out_dir.display())));

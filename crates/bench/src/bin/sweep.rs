@@ -39,7 +39,7 @@ use std::sync::Arc;
 use bench::Table;
 use scenario::{
     CheckpointPolicySpec, ClusterStrategy, Executor, FailureModelSpec, Matrix, MatrixSummary,
-    NetworkSpec, ProtocolSpec, StorageSpec, Suite, DEFAULT_IMAGE_BYTES,
+    NetworkSpec, ProtocolSpec, StorageSpec, Suite, TopologySpec, DEFAULT_IMAGE_BYTES,
 };
 use sweep_server::{Client, RunStore, Server};
 use workloads::WorkloadSpec;
@@ -92,6 +92,11 @@ OPTIONS (comma-separate values; every combination runs):
     --clusters <c,...>    single | per-rank | blocks:K | part:K
                           [default: single]
     --networks <n,...>    mx | tcp [default: mx]
+    --topologies <t,...>  flat | two-level | fat-tree:<k> | dragonfly:<g>
+                          [default: flat] — endpoint-aware pricing over
+                          the cell's cluster map (DESIGN.md §2.9)
+    --topology <t>        add one topology to the axis (repeatable;
+                          shares the --topologies axis)
     --ckpt-ms <v,...>     none or an interval in ms; overrides protocols'
                           checkpointing [default: leave as configured]
     --ckpt-policy <p>     add one checkpoint policy to the axis
@@ -475,6 +480,7 @@ fn main() {
     let mut protocols_arg = "native,hydee".to_string();
     let mut clusters_arg = "single".to_string();
     let mut networks_arg = "mx".to_string();
+    let mut topologies: Vec<TopologySpec> = Vec::new();
     let mut ckpt_arg: Option<String> = None;
     let mut ckpt_policies: Vec<CheckpointPolicySpec> = Vec::new();
     let mut failure_models: Vec<FailureModelSpec> = Vec::new();
@@ -520,6 +526,17 @@ fn main() {
             "--networks" => {
                 axis_flags.push("--networks");
                 networks_arg = value("--networks");
+            }
+            "--topologies" => {
+                axis_flags.push("--topologies");
+                for t in split_csv(&value("--topologies")) {
+                    topologies.push(TopologySpec::parse(t).unwrap_or_else(|e| fail(&e)));
+                }
+            }
+            "--topology" => {
+                axis_flags.push("--topology");
+                topologies
+                    .push(TopologySpec::parse(&value("--topology")).unwrap_or_else(|e| fail(&e)));
             }
             "--ckpt-ms" => {
                 axis_flags.push("--ckpt-ms");
@@ -681,6 +698,7 @@ fn main() {
                 "tcp" => NetworkSpec::Tcp,
                 other => fail(&format!("unknown network `{other}`")),
             }))
+            .topologies(topologies)
             .failure_models(failure_models);
         if let Some(ckpt) = &ckpt_arg {
             matrix = matrix.checkpoint_ms(split_csv(ckpt).into_iter().map(|c| {

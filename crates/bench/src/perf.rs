@@ -62,7 +62,18 @@ use workloads::WorkloadSpec;
 /// after a shared warm-up run instead of running all-bare-then-all-
 /// recorder, so `recorder_overhead_pct` no longer compares a cold mode
 /// against a warm one.
-pub const SCHEMA_VERSION: u32 = 6;
+///
+/// v7: added the per-cell `topology` column (canonical `TopologySpec`
+/// name — endpoint-aware pricing, DESIGN.md §2.9) and the
+/// [`PAR_TOPOLOGY_CELL`] cell: the sharded long-horizon stencil again,
+/// now under a `fat-tree:4` topology. Flat-topology pricing is a
+/// bit-for-bit oracle of the legacy size-only models, so every pre-v7
+/// cell's digest, containment integers, checkpoint count and waste
+/// fraction are unchanged from the v6 baseline. The fat-tree cell is
+/// gated by [`check_topology_lookahead`]: the per-link-class lookahead
+/// must buy strictly fewer barrier rounds than the v6 scalar lookahead
+/// of the flat [`PAR_SHARDED_CELL`].
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Ceiling on the aggregate throughput cost of the recorder hooks when
 /// no recorder does any work: one `Option` check per instrumented site
@@ -73,6 +84,11 @@ pub const MAX_RECORDER_OVERHEAD_PCT: f64 = 3.0;
 pub const PAR_SERIAL_CELL: &str = "stencil4096_long";
 /// The sharded half — same workload on the conservative parallel engine.
 pub const PAR_SHARDED_CELL: &str = "stencil4096_long_par";
+/// The sharded cell again under a fat-tree topology (schema v7): tiered
+/// inter-cluster transit raises the per-pair lookahead floor, so the
+/// coordinator must need strictly fewer barrier rounds than the flat
+/// cell's scalar lookahead ([`check_topology_lookahead`]).
+pub const PAR_TOPOLOGY_CELL: &str = "stencil4096_long_par_fattree";
 /// Minimum `events_per_sec` ratio of [`PAR_SHARDED_CELL`] over
 /// [`PAR_SERIAL_CELL`] — enforced only when the host exposes at least as
 /// many cores as the cell has shards ([`check_parallel_speedup`]).
@@ -199,6 +215,9 @@ pub struct CellResult {
     /// Order-sensitive fold of per-rank state digests — determinism golden
     /// value; must be bit-for-bit stable across machines.
     pub digest: u64,
+    /// Canonical topology name of the cell (`flat` unless the cell opts
+    /// into tiered endpoint-aware pricing, DESIGN.md §2.9).
+    pub topology: String,
     /// Scheduler shards the run actually executed with (1 = serial; the
     /// effective count after clamping, DESIGN.md §2.8).
     pub shards: u32,
@@ -256,8 +275,16 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
     let run_once = |with_recorder: bool| -> (f64, mps_sim::RunReport) {
         let app = spec.workload.build();
         let factory = spec.protocol.to_factory();
+        // Same contract as the executor: every run carries its built
+        // topology (`Flat` included — the bit-for-bit oracle of the
+        // size-only models), so tiered cells price by endpoint here too.
+        let mut cfg = spec.sim_config();
+        cfg.topology = Some(std::sync::Arc::new(
+            spec.topology
+                .build(cfg.network.clone(), map.assignment().to_vec()),
+        ));
         let mut req = protocols::RunRequest::new(app)
-            .sim_config(spec.sim_config())
+            .sim_config(cfg)
             .failure_model(spec.failure_model.build(&map))
             .clusters(map.clone())
             .shards(spec.shards);
@@ -332,6 +359,7 @@ pub fn run_cell(cell: &Cell, repeat: u32) -> CellResult {
         waste_fraction: m.waste_fraction(n_ranks),
         makespan_ps: report.makespan.as_ps(),
         digest: scenario::fold_digests(&report.digests),
+        topology: spec.topology.name(),
         shards: report.shards,
         barrier_rounds: report.barrier_rounds,
     }
@@ -411,6 +439,46 @@ pub fn check_parallel_speedup(report: &PerfReport, min_speedup: f64, cores: usiz
                 speedup, par.shards, par.events_per_sec, serial.events_per_sec
             ));
         }
+    }
+    violations
+}
+
+/// Gate the per-link-class lookahead (schema v7, DESIGN.md §2.9).
+///
+/// [`PAR_TOPOLOGY_CELL`] runs the same sharded workload as
+/// [`PAR_SHARDED_CELL`] under a fat-tree topology: tiered inter-cluster
+/// links have a strictly higher transit floor than the flat network, so
+/// the per-pair lookahead matrix must let every shard advance further
+/// between barriers. Machine-independent (barrier rounds are a pure
+/// function of integer virtual time), so always enforced: the topology
+/// cell must have actually run sharded and must need strictly fewer
+/// barrier rounds than the flat cell's scalar lookahead.
+pub fn check_topology_lookahead(report: &PerfReport) -> Vec<String> {
+    let cell = |name: &str| report.cells.iter().find(|c| c.name == name);
+    let (Some(flat), Some(tiered)) = (cell(PAR_SHARDED_CELL), cell(PAR_TOPOLOGY_CELL)) else {
+        return vec![format!(
+            "topology gate: matrix is missing `{PAR_SHARDED_CELL}` and/or `{PAR_TOPOLOGY_CELL}`"
+        )];
+    };
+    let mut violations = Vec::new();
+    if tiered.topology == "flat" {
+        violations.push(format!(
+            "topology gate: `{}` ran on the flat topology — the cell must opt into a tiered one",
+            tiered.name
+        ));
+    }
+    if tiered.shards < 2 {
+        violations.push(format!(
+            "topology gate: `{}` ran with {} shard(s) — it fell back to the serial engine",
+            tiered.name, tiered.shards
+        ));
+    }
+    if tiered.barrier_rounds >= flat.barrier_rounds {
+        violations.push(format!(
+            "topology gate: {} barrier rounds under `{}` is not strictly below the flat \
+             cell's {} — the per-class lookahead matrix is not buying coordination slack",
+            tiered.barrier_rounds, tiered.topology, flat.barrier_rounds
+        ));
     }
     violations
 }
@@ -635,6 +703,7 @@ mod tests {
                 waste_fraction: 0.125,
                 makespan_ps: 1,
                 digest,
+                topology: "flat".into(),
                 shards: 1,
                 barrier_rounds: 0,
             }],
@@ -721,9 +790,9 @@ mod tests {
     }
 
     #[test]
-    fn macro_matrix_is_eight_cells_with_the_scale_points() {
+    fn macro_matrix_is_nine_cells_with_the_scale_points() {
         let cells = macro_matrix();
-        assert_eq!(cells.len(), 8);
+        assert_eq!(cells.len(), 9);
         assert_eq!(cells[0].spec.workload.n_ranks(), 1024);
         assert!(cells
             .iter()
@@ -745,6 +814,18 @@ mod tests {
         assert_eq!(par.spec.shards, 4);
         assert_eq!(serial.spec.shards, 1);
         assert_eq!(par.spec.workload, serial.spec.workload);
+        // The v7 topology cell: the sharded spec under fat-tree pricing.
+        let tiered = cells
+            .iter()
+            .find(|c| c.name == PAR_TOPOLOGY_CELL)
+            .expect("fat-tree long-horizon cell");
+        assert_eq!(
+            tiered.spec.topology,
+            scenario::TopologySpec::FatTree { k: 4 }
+        );
+        assert_eq!(tiered.spec.shards, par.spec.shards);
+        assert_eq!(tiered.spec.workload, par.spec.workload);
+        assert_eq!(par.spec.topology, scenario::TopologySpec::Flat);
         // The waste-frontier pair varies only the checkpoint policy.
         let frontier: Vec<&Cell> = cells
             .iter()
@@ -878,6 +959,22 @@ mod tests {
                 )
                 .with_shards(4),
             ),
+            (
+                "stencil4096_long_par_fattree",
+                ScenarioSpec::new(
+                    WorkloadSpec::Stencil {
+                        n_ranks: 4096,
+                        iterations: 2000,
+                        face_bytes: 4096,
+                        compute_us: 100,
+                        wildcard_recv: false,
+                    },
+                    ProtocolSpec::Native,
+                    ClusterStrategy::Blocks(64),
+                )
+                .with_shards(4)
+                .with_topology(scenario::TopologySpec::FatTree { k: 4 }),
+            ),
         ];
         let cells = macro_matrix();
         assert_eq!(cells.len(), oracle.len());
@@ -946,6 +1043,41 @@ mod tests {
         // A matrix without the pair cannot pass.
         let lone = report_with(PAR_SERIAL_CELL, 1000.0, 7);
         assert!(!check_parallel_speedup(&lone, MIN_PAR_SPEEDUP, 8).is_empty());
+    }
+
+    #[test]
+    fn topology_gate_requires_sharded_tiered_barrier_reduction() {
+        let with_cells = |tiered_topology: &str, tiered_shards: u32, tiered_rounds: u64| {
+            let mut report = report_with(PAR_SHARDED_CELL, 1000.0, 7);
+            report.cells[0].shards = 4;
+            report.cells[0].barrier_rounds = 100;
+            let mut tiered = report.cells[0].clone();
+            tiered.name = PAR_TOPOLOGY_CELL.into();
+            tiered.topology = tiered_topology.into();
+            tiered.shards = tiered_shards;
+            tiered.barrier_rounds = tiered_rounds;
+            report.cells.push(tiered);
+            report
+        };
+        // Healthy: tiered, sharded, strictly fewer rounds.
+        assert!(check_topology_lookahead(&with_cells("fat-tree:4", 4, 60)).is_empty());
+        // Equal rounds is a violation — the gate demands strict reduction.
+        assert_eq!(
+            check_topology_lookahead(&with_cells("fat-tree:4", 4, 100)).len(),
+            1
+        );
+        // A flat topology or a serial fallback defeats the measurement.
+        assert_eq!(
+            check_topology_lookahead(&with_cells("flat", 4, 60)).len(),
+            1
+        );
+        assert_eq!(
+            check_topology_lookahead(&with_cells("fat-tree:4", 1, 60)).len(),
+            1
+        );
+        // A matrix without the pair cannot pass.
+        let lone = report_with(PAR_SHARDED_CELL, 1000.0, 7);
+        assert!(!check_topology_lookahead(&lone).is_empty());
     }
 
     /// The tentpole's acceptance criterion: for every ≥1024-rank cell the

@@ -356,7 +356,7 @@ fn log_memory_suite_matches_the_handwritten_ladder() {
 fn perf_baseline_suite_is_covered_by_the_perf_oracle() {
     // The perf-gate cells have their own byte-level oracle in
     // `bench::perf` (`suite_cells_match_the_handwritten_matrix`); here
-    // just pin the suite's shape: eight single-cell scenarios.
+    // just pin the suite's shape: nine single-cell scenarios.
     let cells = load(
         include_str!("../../../suites/perf_baseline.suite"),
         "suites/perf_baseline.suite",
@@ -373,6 +373,7 @@ fn perf_baseline_suite_is_covered_by_the_perf_oracle() {
             "waste_frontier_young_daly",
             "stencil4096_long",
             "stencil4096_long_par",
+            "stencil4096_long_par_fattree",
         ]
     );
 }

@@ -111,6 +111,17 @@ impl Hydee {
         Self::build(cfg, policy, ledger, None)
     }
 
+    /// Route this instance's storage ledger through an interconnect
+    /// drain path (DESIGN.md §2.9): checkpoint writes and restart reads
+    /// pay the topology's widest link class on their way to the storage
+    /// tier. The `(ZERO, 0)` flat surcharge is a no-op, keeping legacy
+    /// pricing bit-for-bit. Call before the run starts (the factory
+    /// does), never mid-run.
+    pub fn set_drain_surcharge(&mut self, latency: SimDuration, ps_per_byte: u64) {
+        let mut ledger = self.ledger.lock().unwrap();
+        *ledger = ledger.with_drain_surcharge(latency, ps_per_byte);
+    }
+
     /// Construct one shard's protocol instance for a sharded run: `ledger`
     /// is shared by every shard, `owned` is the cluster set this shard
     /// simulates (it captures the t=0 checkpoint and schedules checkpoint

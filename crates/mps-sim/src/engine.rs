@@ -35,7 +35,7 @@ use crate::protocol::{Protocol, SendAction, SendInfo};
 use crate::trace::Trace;
 use crate::types::{Endpoint, Message, Rank};
 use det_sim::{EventHandle, FxHashMap, Scheduler, SimDuration, SimTime};
-use net_model::{CostCache, MsgCost, MxModel, NetworkModel};
+use net_model::{CostCache, LinkClass, MsgCost, MxModel, NetworkModel, Topology};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use telemetry::{Gauges, Recorder};
@@ -60,6 +60,15 @@ pub struct SimConfig {
     /// integers must be invariant across seeds — the fuzzing lever
     /// `tests/perturbation.rs` turns.
     pub perturb_seed: Option<u64>,
+    /// Endpoint-aware pricing (DESIGN.md §2.9). `None` — the default and
+    /// every legacy caller — prices all traffic on `network` alone, as
+    /// the engine always did. When set, messages between ranks are
+    /// priced by `topology.cost(src, dst, bytes)` instead; the topology
+    /// must be built over the same base model as `network` (the
+    /// scenario executor guarantees this), and its `Flat` kind is a
+    /// bit-for-bit oracle of the `None` path. Traffic involving an
+    /// auxiliary endpoint is always priced on the local link class.
+    pub topology: Option<Arc<Topology>>,
 }
 
 impl Default for SimConfig {
@@ -70,6 +79,7 @@ impl Default for SimConfig {
             max_events: 500_000_000,
             ctl_bytes_default: 32,
             perturb_seed: None,
+            topology: None,
         }
     }
 }
@@ -174,6 +184,12 @@ pub struct RunReport {
     pub shards: u32,
     /// Synchronization windows the parallel coordinator ran (0 serial).
     pub barrier_rounds: u64,
+    /// Per-shard-pair conservative lookahead the parallel coordinator
+    /// derived from the run topology: `(shard_i, shard_j, lookahead)`
+    /// for `i < j`, the minimum transit over the link classes actually
+    /// crossing that shard boundary (DESIGN.md §2.9). Empty for serial
+    /// runs and for flat topologies (where the legacy scalar applies).
+    pub pair_lookahead: Vec<(u32, u32, SimDuration)>,
 }
 
 impl RunReport {
@@ -590,10 +606,33 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
         }
     }
 
-    /// Price a wire size on the configured network, memoized.
+    /// Price a wire size on the local link class, memoized. Protocol
+    /// estimates ([`Ctx::wire_cost`]) and auxiliary-endpoint traffic go
+    /// through here; rank-to-rank traffic uses [`Core::priced_between`].
     #[inline]
     fn priced(&mut self, wire_bytes: u64) -> MsgCost {
-        self.cost_cache.price(&*self.config.network, wire_bytes)
+        match &self.config.topology {
+            Some(topo) => self
+                .cost_cache
+                .price_class(topo, LinkClass::LOCAL, wire_bytes),
+            None => self.cost_cache.price(&*self.config.network, wire_bytes),
+        }
+    }
+
+    /// Price a wire size between two endpoints, memoized per
+    /// `(link_class, size)`. With no topology configured — or whenever
+    /// either endpoint is auxiliary — this is exactly [`Core::priced`];
+    /// under a flat topology the class is always local, so the three
+    /// paths price identically (the oracle guarantee).
+    #[inline]
+    fn priced_between(&mut self, from: Endpoint, to: Endpoint, wire_bytes: u64) -> MsgCost {
+        match (&self.config.topology, from, to) {
+            (Some(topo), Endpoint::Rank(s), Endpoint::Rank(d)) => {
+                let class = topo.link_class(s.0, d.0);
+                self.cost_cache.price_class(topo, class, wire_bytes)
+            }
+            _ => self.priced(wire_bytes),
+        }
     }
 
     /// Append a sender-log mutation to the shard journal (no-op serially).
@@ -684,9 +723,9 @@ impl<C: Clone + std::fmt::Debug> Core<C> {
         extra_sender_time: SimDuration,
     ) {
         let wire = msg.bytes + extra_wire_bytes;
-        let cost = self.priced(wire);
         let src = msg.src;
         let dst = msg.dst;
+        let cost = self.priced_between(Endpoint::Rank(src), Endpoint::Rank(dst), wire);
         {
             let r = &mut self.ranks[src.idx()];
             r.clock += cost.sender + extra_sender_time;
@@ -760,7 +799,11 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
 
     /// Price a message of `wire_bytes` on the configured network (lets
     /// protocols compute overlap windows, e.g. for the logging memcpy).
-    /// Memoized per wire size, shared with the engine's own pricing.
+    /// Memoized, shared with the engine's own pricing. Deliberately
+    /// endpoint-free: protocol estimates price the *local* link class,
+    /// so a topology cannot skew overlap windows that were calibrated
+    /// against the base model (endpoint-aware transmission pricing
+    /// happens in the engine itself).
     pub fn wire_cost(&mut self, wire_bytes: u64) -> net_model::MsgCost {
         self.core.priced(wire_bytes)
     }
@@ -788,7 +831,7 @@ impl<'a, C: Clone + std::fmt::Debug> Ctx<'a, C> {
         } else {
             bytes
         };
-        let cost = self.core.priced(bytes);
+        let cost = self.core.priced_between(from, to, bytes);
         let base = match from {
             Endpoint::Rank(r) => {
                 let rs = &mut self.core.ranks[r.idx()];
@@ -1161,6 +1204,7 @@ impl<P: Protocol> Sim<P> {
                 trace: self.core.trace,
                 shards: 1,
                 barrier_rounds: 0,
+                pair_lookahead: Vec::new(),
             },
             self.protocol,
         )
@@ -1730,6 +1774,54 @@ mod tests {
         let report = sim.run();
         assert!(matches!(report.status, RunStatus::Deadlock(_)));
         assert_eq!(report.metrics.failures, 1);
+    }
+
+    #[test]
+    fn flat_topology_is_bit_for_bit_the_legacy_path() {
+        // The oracle guarantee at the engine level: attaching a Flat
+        // topology must not move a single picosecond or digest relative
+        // to the legacy size-only path.
+        let base: Arc<dyn NetworkModel> = Arc::new(MxModel::default());
+        let cfg = SimConfig {
+            topology: Some(Arc::new(Topology::flat(base.clone(), vec![0, 1]))),
+            network: base,
+            ..SimConfig::default()
+        };
+        let legacy = Sim::new(ping_pong(25, 4096), SimConfig::default(), NullProtocol).run();
+        let flat = Sim::new(ping_pong(25, 4096), cfg, NullProtocol).run();
+        assert!(legacy.completed() && flat.completed());
+        assert_eq!(legacy.makespan, flat.makespan);
+        assert_eq!(legacy.digests, flat.digests);
+        assert_eq!(legacy.metrics.events, flat.metrics.events);
+    }
+
+    #[test]
+    fn topology_prices_inter_cluster_traffic_higher() {
+        use net_model::TopologyKind;
+        let base: Arc<dyn NetworkModel> = Arc::new(MxModel::default());
+        let run = |cluster_of: Vec<u32>| {
+            let cfg = SimConfig {
+                topology: Some(Arc::new(Topology::new(
+                    TopologyKind::TwoLevel,
+                    base.clone(),
+                    cluster_of,
+                ))),
+                network: base.clone(),
+                ..SimConfig::default()
+            };
+            Sim::new(ping_pong(10, 1024), cfg, NullProtocol).run()
+        };
+        let intra = run(vec![0, 0]);
+        let inter = run(vec![0, 1]);
+        assert!(intra.completed() && inter.completed());
+        assert!(
+            inter.makespan > intra.makespan,
+            "inter-cluster ping-pong must pay the class-1 transit: {} vs {}",
+            inter.makespan,
+            intra.makespan
+        );
+        // Same messages, same digests: only the wire time moved.
+        assert_eq!(intra.digests, inter.digests);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   message: inline extra segment below a size threshold (1 KiB in the
 //!   paper), separate protocol message above it.
 //! * **[`StableStorage`]** — checkpoint write/read costs.
+//! * **[`Topology`]** — endpoint-aware pricing over a base model: rank →
+//!   cluster → switch placement with flat / two-level / fat-tree /
+//!   dragonfly link classes, so intra- and inter-cluster traffic (and
+//!   checkpoint drain bursts) stop riding one uniform wire
+//!   (DESIGN.md §2.9).
 //!
 //! All models return [`det_sim::SimDuration`] and are pure functions of
 //! their inputs, keeping the simulation deterministic.
@@ -28,8 +33,10 @@ pub mod memcpy;
 pub mod network;
 pub mod piggyback;
 pub mod storage;
+pub mod topology;
 
 pub use memcpy::MemcpyModel;
 pub use network::{CostCache, MsgCost, MxModel, NetworkModel, TcpModel};
 pub use piggyback::{PiggybackCost, PiggybackPolicy};
 pub use storage::{StableStorage, StorageBatch, StorageLedger};
+pub use topology::{LinkClass, Topology, TopologyKind};

@@ -60,12 +60,17 @@ pub trait NetworkModel: Send + Sync {
     }
 
     /// Effective bandwidth in bytes/second for a `wire_bytes` message.
+    ///
+    /// Guard: a degenerate zero-latency model yields rate 0, never
+    /// inf/NaN — the same treatment the telemetry samplers pin for
+    /// their per-interval rates, so downstream ratio arithmetic
+    /// (Metrics, reports) stays finite.
     fn bandwidth(&self, wire_bytes: u64) -> f64 {
         let t = self.latency(wire_bytes).as_secs_f64();
-        if t == 0.0 {
-            f64::INFINITY
-        } else {
+        if t > 0.0 {
             wire_bytes as f64 / t
+        } else {
+            0.0
         }
     }
 }
@@ -166,16 +171,24 @@ impl NetworkModel for MxModel {
     }
 }
 
-/// Memoized pricing front-end for a [`NetworkModel`].
+/// Memoized pricing front-end for a [`NetworkModel`] / [`Topology`].
 ///
 /// A simulation run touches only a handful of distinct wire sizes, while
 /// pricing happens once per message; the cache turns the per-message dyn
 /// dispatch + plateau search into one deterministic hash probe
-/// (DESIGN.md §2.1). Caching is sound because `cost()` is a pure function
-/// of the wire size.
+/// (DESIGN.md §2.1). Since the topology refactor the key is the pair
+/// `(link_class, wire_bytes)` rather than the size alone: two endpoints
+/// on different link classes price the same size differently, and a
+/// size-only key would leak one class's price into the other. Caching
+/// remains sound because both `cost()` and `class_cost()` are pure
+/// functions of that pair. [`CostCache::price`] keys class 0 — the
+/// base-model-verbatim class — so legacy size-only callers see exactly
+/// the pre-topology behaviour.
+///
+/// [`Topology`]: crate::topology::Topology
 #[derive(Default)]
 pub struct CostCache {
-    map: det_sim::FxHashMap<u64, MsgCost>,
+    map: det_sim::FxHashMap<(u8, u64), MsgCost>,
 }
 
 impl CostCache {
@@ -183,18 +196,39 @@ impl CostCache {
         CostCache::default()
     }
 
-    /// Price `wire_bytes` on `model`, memoized.
+    /// Price `wire_bytes` on `model`, memoized under link class 0.
     #[inline]
     pub fn price(&mut self, model: &dyn NetworkModel, wire_bytes: u64) -> MsgCost {
-        if let Some(&c) = self.map.get(&wire_bytes) {
+        if let Some(&c) = self.map.get(&(0, wire_bytes)) {
             return c;
         }
         let c = model.cost(wire_bytes);
-        self.map.insert(wire_bytes, c);
+        self.map.insert((0, wire_bytes), c);
         c
     }
 
-    /// Number of distinct wire sizes priced so far.
+    /// Price `wire_bytes` on link class `class` of `topo`, memoized.
+    ///
+    /// Class 0 shares its cache line with [`CostCache::price`]: the
+    /// topology's class 0 is its base model verbatim, so the entries
+    /// are interchangeable by construction (callers must not mix two
+    /// different base models through one cache).
+    #[inline]
+    pub fn price_class(
+        &mut self,
+        topo: &crate::topology::Topology,
+        class: crate::topology::LinkClass,
+        wire_bytes: u64,
+    ) -> MsgCost {
+        if let Some(&c) = self.map.get(&(class.0, wire_bytes)) {
+            return c;
+        }
+        let c = topo.class_cost(class, wire_bytes);
+        self.map.insert((class.0, wire_bytes), c);
+        c
+    }
+
+    /// Number of distinct `(link_class, wire_bytes)` pairs priced so far.
     pub fn distinct_sizes(&self) -> usize {
         self.map.len()
     }
@@ -356,5 +390,58 @@ mod tests {
             assert_eq!(cache.price(&mx, w), mx.cost(w));
         }
         assert_eq!(cache.distinct_sizes(), 5);
+    }
+
+    #[test]
+    fn cost_cache_keys_by_link_class_not_size_alone() {
+        use crate::topology::{LinkClass, Topology, TopologyKind};
+        use std::sync::Arc;
+        let topo = Topology::new(
+            TopologyKind::TwoLevel,
+            Arc::new(MxModel::default()),
+            vec![0, 0, 1, 1],
+        );
+        let mx = MxModel::default();
+        let mut cache = CostCache::new();
+        // Same wire size, two classes: distinct entries, distinct prices.
+        let local = cache.price_class(&topo, LinkClass(0), 4096);
+        let inter = cache.price_class(&topo, LinkClass(1), 4096);
+        assert_eq!(local, mx.cost(4096));
+        assert!(inter.transit > local.transit);
+        assert_eq!(cache.distinct_sizes(), 2);
+        // Class 0 and the size-only front-end share one cache line.
+        assert_eq!(cache.price(&mx, 4096), local);
+        assert_eq!(cache.distinct_sizes(), 2);
+    }
+
+    /// A pathological model whose every cost is zero: `bandwidth()` must
+    /// degrade to rate 0, never inf/NaN (ISSUE 10 satellite; same
+    /// treatment the telemetry samplers pin for degenerate intervals).
+    struct ZeroModel;
+    impl NetworkModel for ZeroModel {
+        fn cost(&self, _wire_bytes: u64) -> MsgCost {
+            MsgCost::default()
+        }
+        fn name(&self) -> &'static str {
+            "zero"
+        }
+    }
+
+    #[test]
+    fn bandwidth_never_produces_nan_or_inf() {
+        let mx = MxModel::default();
+        let tcp = TcpModel::default();
+        let zero = ZeroModel;
+        for model in [&mx as &dyn NetworkModel, &tcp, &zero] {
+            for w in [0u64, 1, 32, 1024, 1 << 20] {
+                let bw = model.bandwidth(w);
+                assert!(bw.is_finite(), "{} bandwidth({w}) = {bw}", model.name());
+                assert!(bw >= 0.0);
+            }
+        }
+        // The two degenerate corners explicitly: zero bytes and zero latency.
+        assert_eq!(mx.bandwidth(0), 0.0);
+        assert_eq!(zero.bandwidth(1 << 20), 0.0);
+        assert_eq!(zero.bandwidth(0), 0.0);
     }
 }

@@ -111,6 +111,13 @@ pub struct StorageLedger {
     cfg: StableStorage,
     write_busy_until: SimTime,
     read_busy_until: SimTime,
+    /// Extra per-batch latency for draining through the interconnect to
+    /// the storage tier (DESIGN.md §2.9): set from the run topology's
+    /// widest link class, zero for flat / directly-attached storage —
+    /// which keeps every legacy price bit-for-bit.
+    drain_latency: SimDuration,
+    /// Extra picoseconds per byte on the same drain path.
+    drain_ps_per_byte: u64,
 }
 
 /// Priced breakdown of one ledger batch: how long it waited for the
@@ -139,7 +146,27 @@ impl StorageLedger {
             cfg,
             write_busy_until: SimTime::ZERO,
             read_busy_until: SimTime::ZERO,
+            drain_latency: SimDuration::ZERO,
+            drain_ps_per_byte: 0,
         }
+    }
+
+    /// Route this ledger's batches through an interconnect drain path:
+    /// every batch pays `latency` extra setup and `ps_per_byte` extra
+    /// serialization, and the drain occupies the shared pipe (so
+    /// coordinated checkpointing's full-width burst and HydEE's
+    /// staggered writes contend over the drain links too). The values
+    /// come from [`crate::topology::Topology::drain_surcharge`]; the
+    /// `(ZERO, 0)` flat surcharge leaves pricing bit-for-bit.
+    pub fn with_drain_surcharge(mut self, latency: SimDuration, ps_per_byte: u64) -> Self {
+        self.drain_latency = latency;
+        self.drain_ps_per_byte = ps_per_byte;
+        self
+    }
+
+    /// The active drain surcharge `(per-batch latency, ps per byte)`.
+    pub fn drain_surcharge(&self) -> (SimDuration, u64) {
+        (self.drain_latency, self.drain_ps_per_byte)
     }
 
     /// The underlying closed-form cost model (for estimates).
@@ -171,8 +198,14 @@ impl StorageLedger {
 
     /// [`StorageLedger::write`] with the queue/service breakdown.
     pub fn write_batch(&mut self, now: SimTime, total_bytes: u64) -> StorageBatch {
-        let ps = transfer_ps(total_bytes, self.cfg.write_bytes_per_us, 1);
-        Self::batch(&mut self.write_busy_until, now, self.cfg.latency, ps)
+        let ps = transfer_ps(total_bytes, self.cfg.write_bytes_per_us, 1)
+            .saturating_add(total_bytes.saturating_mul(self.drain_ps_per_byte));
+        Self::batch(
+            &mut self.write_busy_until,
+            now,
+            self.cfg.latency + self.drain_latency,
+            ps,
+        )
     }
 
     /// Price a coordinated read batch of `total_bytes` starting at `now`
@@ -183,8 +216,14 @@ impl StorageLedger {
 
     /// [`StorageLedger::read`] with the queue/service breakdown.
     pub fn read_batch(&mut self, now: SimTime, total_bytes: u64) -> StorageBatch {
-        let ps = transfer_ps(total_bytes, self.cfg.read_bytes_per_us, 1);
-        Self::batch(&mut self.read_busy_until, now, self.cfg.latency, ps)
+        let ps = transfer_ps(total_bytes, self.cfg.read_bytes_per_us, 1)
+            .saturating_add(total_bytes.saturating_mul(self.drain_ps_per_byte));
+        Self::batch(
+            &mut self.read_busy_until,
+            now,
+            self.cfg.latency + self.drain_latency,
+            ps,
+        )
     }
 }
 
@@ -318,6 +357,43 @@ mod tests {
         assert_eq!(first.queued, SimDuration::ZERO);
         let second = l.write_batch(now, 1 << 20);
         assert_eq!(second.queued, first.service - s.latency);
+    }
+
+    #[test]
+    fn zero_drain_surcharge_is_bit_for_bit_free() {
+        let s = StableStorage::default();
+        let now = SimTime::from_ms(3);
+        let mut plain = StorageLedger::new(s);
+        let mut drained = StorageLedger::new(s).with_drain_surcharge(SimDuration::ZERO, 0);
+        for bytes in [0u64, 1 << 10, 8 << 20, 1 << 30] {
+            assert_eq!(
+                plain.write_batch(now, bytes),
+                drained.write_batch(now, bytes)
+            );
+            assert_eq!(plain.read_batch(now, bytes), drained.read_batch(now, bytes));
+        }
+    }
+
+    #[test]
+    fn drain_surcharge_extends_service_and_occupies_the_pipe() {
+        let s = StableStorage::default();
+        let now = SimTime::from_ms(3);
+        let lat = SimDuration::from_us(7);
+        let per_byte = 5u64; // 5 ps/B
+        let bytes = 1u64 << 20;
+        let mut plain = StorageLedger::new(s);
+        let mut drained = StorageLedger::new(s).with_drain_surcharge(lat, per_byte);
+        let p = plain.write_batch(now, bytes);
+        let d = drained.write_batch(now, bytes);
+        assert_eq!(
+            d.service.as_ps(),
+            p.service.as_ps() + lat.as_ps() + bytes * per_byte
+        );
+        // The drain bytes hold the shared pipe: the next same-instant
+        // batch queues behind transfer + drain, not transfer alone.
+        let p2 = plain.write_batch(now, bytes);
+        let d2 = drained.write_batch(now, bytes);
+        assert_eq!(d2.queued.as_ps(), p2.queued.as_ps() + bytes * per_byte);
     }
 
     #[test]

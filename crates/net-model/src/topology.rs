@@ -1,0 +1,424 @@
+//! Endpoint-aware network topologies (DESIGN.md §2.9).
+//!
+//! The point-to-point models in [`crate::network`] price a message by its
+//! wire size alone — one uniform pipe. Real machines are not uniform:
+//! intra-cluster links (one switch hop) are shorter and fatter than the
+//! links that leave a cluster, climb a fat-tree, or cross a dragonfly
+//! global channel. A [`Topology`] layers that non-uniformity *on top of*
+//! a base [`NetworkModel`]: every `(src, dst)` rank pair maps to a small
+//! **link class**, and each class prices a transfer as the base model's
+//! cost with its transit component tapered (bandwidth division) and
+//! extended (per-hop switch latency). Sender and receiver CPU shares are
+//! untouched — the library call costs the same no matter how far the
+//! bytes travel.
+//!
+//! Class 0 is always the base model **verbatim**: [`TopologyKind::Flat`]
+//! maps every pair to class 0, which makes it a bit-for-bit oracle of
+//! the legacy size-only pricing (pinned by `tests/topology_oracle.rs`
+//! and by every pre-v7 BENCH digest). Placement is derived from the
+//! run's `ClusterMap`: one cluster = one switch/leaf/group-member, so
+//! the protocol's containment domains and the wire's locality domains
+//! coincide — exactly the machine the paper's §VI argument assumes.
+
+use crate::network::{MsgCost, NetworkModel};
+use det_sim::SimDuration;
+use std::sync::Arc;
+
+/// Per-hop switch traversal latency added to every non-local class.
+pub const HOP_PS: u64 = 100_000; // 100 ns per switch hop
+
+/// A link class: the equivalence class of `(src, dst)` pairs that share
+/// one pricing rule. Class 0 ([`LinkClass::LOCAL`]) is the base model
+/// verbatim; higher classes are progressively farther links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkClass(pub u8);
+
+impl LinkClass {
+    /// The intra-cluster (base-model-verbatim) class.
+    pub const LOCAL: LinkClass = LinkClass(0);
+}
+
+/// The shape of the machine above the cluster level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// One uniform pipe: every pair is class 0. The oracle of the
+    /// legacy size-only models.
+    Flat,
+    /// Two link classes: intra-cluster (class 0) and inter-cluster
+    /// (class 1) — the minimal machine the paper's measurements imply.
+    TwoLevel,
+    /// k-ary fat tree with clusters as leaves: class = number of tree
+    /// levels a message must ascend, with per-level bandwidth taper.
+    /// Requires `k >= 2`.
+    FatTree { k: u32 },
+    /// Dragonfly with `g` groups of clusters: group-local links
+    /// (class 1) and global links (class 2). Requires `g >= 1`.
+    Dragonfly { g: u32 },
+}
+
+/// Rank-placement-aware pricing over a base [`NetworkModel`].
+///
+/// Built once per run from the run's cluster assignment (`assignment[r]`
+/// = cluster of rank `r`); immutable and `Send + Sync`, so one `Arc`
+/// serves every shard of a sharded run.
+pub struct Topology {
+    kind: TopologyKind,
+    base: Arc<dyn NetworkModel>,
+    cluster_of: Vec<u32>,
+    n_clusters: u32,
+    /// Dragonfly: clusters per group (ceil). Unused otherwise.
+    group_size: u32,
+    /// Number of distinct link classes (`1 + highest class`).
+    n_classes: u8,
+}
+
+impl Topology {
+    /// Build a topology over `base` with rank `r` placed in cluster
+    /// `cluster_of[r]`.
+    ///
+    /// # Panics
+    /// Panics on a degenerate shape (`FatTree` with `k < 2`,
+    /// `Dragonfly` with `g == 0`).
+    pub fn new(kind: TopologyKind, base: Arc<dyn NetworkModel>, cluster_of: Vec<u32>) -> Self {
+        let n_clusters = cluster_of.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        let group_size = match kind {
+            TopologyKind::Dragonfly { g } => {
+                assert!(g >= 1, "Dragonfly requires g >= 1");
+                n_clusters.div_ceil(g.min(n_clusters.max(1)))
+            }
+            _ => 1,
+        };
+        let n_classes = match kind {
+            _ if n_clusters <= 1 => 1,
+            TopologyKind::Flat => 1,
+            TopologyKind::TwoLevel => 2,
+            TopologyKind::FatTree { k } => {
+                assert!(k >= 2, "FatTree requires k >= 2");
+                // Depth of the smallest k-ary tree covering the clusters:
+                // the highest class any pair can reach.
+                let mut depth = 0u8;
+                let mut cap = 1u64;
+                while cap < n_clusters as u64 {
+                    cap *= k as u64;
+                    depth += 1;
+                }
+                1 + depth
+            }
+            TopologyKind::Dragonfly { .. } => {
+                let groups = n_clusters.div_ceil(group_size);
+                if groups > 1 {
+                    3
+                } else {
+                    2
+                }
+            }
+        };
+        Topology {
+            kind,
+            base,
+            cluster_of,
+            n_clusters,
+            group_size,
+            n_classes,
+        }
+    }
+
+    /// The flat (oracle) topology over `base`.
+    pub fn flat(base: Arc<dyn NetworkModel>, cluster_of: Vec<u32>) -> Self {
+        Topology::new(TopologyKind::Flat, base, cluster_of)
+    }
+
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// The base model class 0 prices verbatim.
+    pub fn base(&self) -> &Arc<dyn NetworkModel> {
+        &self.base
+    }
+
+    pub fn n_clusters(&self) -> u32 {
+        self.n_clusters
+    }
+
+    /// Number of distinct link classes (1 for flat / single-cluster).
+    pub fn n_classes(&self) -> u8 {
+        self.n_classes
+    }
+
+    /// Cluster of rank `r`.
+    #[inline]
+    pub fn cluster_of(&self, rank: u32) -> u32 {
+        self.cluster_of[rank as usize]
+    }
+
+    /// Link class between two *clusters*.
+    #[inline]
+    pub fn cluster_class(&self, c1: u32, c2: u32) -> LinkClass {
+        if c1 == c2 {
+            return LinkClass::LOCAL;
+        }
+        match self.kind {
+            TopologyKind::Flat => LinkClass::LOCAL,
+            TopologyKind::TwoLevel => LinkClass(1),
+            TopologyKind::FatTree { k } => {
+                // Levels both sides must ascend before their subtrees meet.
+                let (mut a, mut b, mut l) = (c1, c2, 0u8);
+                while a != b {
+                    a /= k;
+                    b /= k;
+                    l += 1;
+                }
+                LinkClass(l)
+            }
+            TopologyKind::Dragonfly { .. } => {
+                if c1 / self.group_size == c2 / self.group_size {
+                    LinkClass(1)
+                } else {
+                    LinkClass(2)
+                }
+            }
+        }
+    }
+
+    /// Link class between two *ranks*.
+    #[inline]
+    pub fn link_class(&self, src: u32, dst: u32) -> LinkClass {
+        self.cluster_class(self.cluster_of(src), self.cluster_of(dst))
+    }
+
+    /// `(bandwidth taper numerator over 8, switch hops)` for a class.
+    /// Class 0 is always `(8, 0)`: the base model untouched.
+    fn shape(&self, class: u8) -> (u64, u64) {
+        if class == 0 {
+            return (8, 0);
+        }
+        match self.kind {
+            TopologyKind::Flat => (8, 0),
+            TopologyKind::TwoLevel => (12, 2),
+            TopologyKind::FatTree { .. } => (8 + 2 * class as u64, 2 * class as u64),
+            TopologyKind::Dragonfly { .. } => {
+                if class == 1 {
+                    (10, 1)
+                } else {
+                    (16, 3)
+                }
+            }
+        }
+    }
+
+    /// Price a `wire_bytes` transfer on link class `class`: the base
+    /// cost with transit tapered by `num/8` and extended by the hop
+    /// latency. Class 0 returns the base cost bit-for-bit — the oracle
+    /// guarantee every flat digest pins.
+    pub fn class_cost(&self, class: LinkClass, wire_bytes: u64) -> MsgCost {
+        let base = self.base.cost(wire_bytes);
+        if class.0 == 0 {
+            return base;
+        }
+        let (num, hops) = self.shape(class.0);
+        let transit = SimDuration::from_ps(
+            (base.transit.as_ps().saturating_mul(num) / 8).saturating_add(hops * HOP_PS),
+        );
+        MsgCost {
+            sender: base.sender,
+            transit,
+            receiver: base.receiver,
+        }
+    }
+
+    /// Price a transfer between two ranks.
+    pub fn cost(&self, src: u32, dst: u32, wire_bytes: u64) -> MsgCost {
+        self.class_cost(self.link_class(src, dst), wire_bytes)
+    }
+
+    /// Infimum of the transit component over all sizes for `class`. The
+    /// base models price transit monotone in size (pinned in
+    /// `network.rs` tests) and the class transform is monotone in the
+    /// base transit, so the zero-byte cost is the infimum per class.
+    pub fn min_transit(&self, class: LinkClass) -> SimDuration {
+        self.class_cost(class, 0).transit
+    }
+
+    /// Per-class lookahead matrix, indexed by class id: the parallel
+    /// engine's per-shard-pair lower bounds are minima over this.
+    pub fn min_transit_matrix(&self) -> Vec<SimDuration> {
+        (0..self.n_classes)
+            .map(|c| self.min_transit(LinkClass(c)))
+            .collect()
+    }
+
+    /// Lower bound on cross-cluster transit between clusters `c1` and
+    /// `c2` — the conservative-parallel lookahead for a shard pair whose
+    /// closest clusters are `(c1, c2)`.
+    pub fn cluster_min_transit(&self, c1: u32, c2: u32) -> SimDuration {
+        self.min_transit(self.cluster_class(c1, c2))
+    }
+
+    /// Checkpoint-drain surcharge for stable-storage batches: the extra
+    /// `(per-batch latency, picoseconds per byte)` a transfer pays for
+    /// crossing the topology's *widest* link class on its way to the
+    /// storage tier. `(0, 0)` for flat / single-cluster machines, which
+    /// keeps every legacy storage price bit-for-bit.
+    pub fn drain_surcharge(&self) -> (SimDuration, u64) {
+        let top = LinkClass(self.n_classes - 1);
+        if top.0 == 0 {
+            return (SimDuration::ZERO, 0);
+        }
+        let lat = SimDuration::from_ps(
+            self.min_transit(top)
+                .as_ps()
+                .saturating_sub(self.min_transit(LinkClass::LOCAL).as_ps()),
+        );
+        // Per-byte slope measured over a 1 MiB probe (both base models
+        // are affine past their plateaus, so one probe is exact there).
+        const PROBE: u64 = 1 << 20;
+        let d_total = self
+            .class_cost(top, PROBE)
+            .transit
+            .as_ps()
+            .saturating_sub(self.class_cost(LinkClass::LOCAL, PROBE).transit.as_ps());
+        let per_byte = d_total.saturating_sub(lat.as_ps()) / PROBE;
+        (lat, per_byte)
+    }
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topology")
+            .field("kind", &self.kind)
+            .field("base", &self.base.name())
+            .field("n_clusters", &self.n_clusters)
+            .field("n_classes", &self.n_classes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{MxModel, TcpModel};
+
+    fn blocks(n_ranks: u32, k: u32) -> Vec<u32> {
+        (0..n_ranks).map(|r| r * k / n_ranks).collect()
+    }
+
+    fn mx() -> Arc<dyn NetworkModel> {
+        Arc::new(MxModel::default())
+    }
+
+    #[test]
+    fn flat_is_the_base_model_verbatim() {
+        let topo = Topology::flat(mx(), blocks(16, 4));
+        let base = MxModel::default();
+        for w in [0u64, 1, 32, 33, 1024, 4096, 1 << 16, 1 << 20] {
+            for (s, d) in [(0u32, 1), (0, 15), (7, 8), (3, 3)] {
+                assert_eq!(topo.cost(s, d, w), base.cost(w), "({s},{d},{w})");
+            }
+        }
+        assert_eq!(topo.n_classes(), 1);
+        assert_eq!(topo.drain_surcharge(), (SimDuration::ZERO, 0));
+    }
+
+    #[test]
+    fn two_level_separates_intra_and_inter() {
+        let topo = Topology::new(TopologyKind::TwoLevel, mx(), blocks(8, 2));
+        assert_eq!(topo.n_classes(), 2);
+        // Ranks 0..4 are cluster 0, 4..8 cluster 1.
+        assert_eq!(topo.link_class(0, 3), LinkClass::LOCAL);
+        assert_eq!(topo.link_class(0, 4), LinkClass(1));
+        let base = MxModel::default();
+        for w in [0u64, 512, 1 << 18] {
+            assert_eq!(topo.cost(0, 3, w), base.cost(w), "intra == base");
+            let inter = topo.cost(0, 4, w);
+            assert!(inter.transit > base.cost(w).transit, "inter pays more");
+            assert_eq!(inter.sender, base.cost(w).sender, "CPU shares untouched");
+            assert_eq!(inter.receiver, base.cost(w).receiver);
+        }
+    }
+
+    #[test]
+    fn fat_tree_classes_are_tree_distance() {
+        // 8 clusters under a binary tree: leaves 0..8.
+        let topo = Topology::new(TopologyKind::FatTree { k: 2 }, mx(), blocks(16, 8));
+        assert_eq!(topo.n_classes(), 4); // depth 3 + local
+        assert_eq!(topo.cluster_class(0, 0), LinkClass(0));
+        assert_eq!(topo.cluster_class(0, 1), LinkClass(1)); // siblings
+        assert_eq!(topo.cluster_class(0, 2), LinkClass(2)); // one level up
+        assert_eq!(topo.cluster_class(0, 7), LinkClass(3)); // across the root
+                                                            // Transit strictly grows with class (taper + hops both grow).
+        let t: Vec<_> = (0..4).map(|c| topo.min_transit(LinkClass(c))).collect();
+        assert!(t[0] < t[1] && t[1] < t[2] && t[2] < t[3], "{t:?}");
+    }
+
+    #[test]
+    fn dragonfly_groups_local_vs_global() {
+        // 6 clusters in 2 groups of 3.
+        let topo = Topology::new(TopologyKind::Dragonfly { g: 2 }, mx(), blocks(12, 6));
+        assert_eq!(topo.n_classes(), 3);
+        assert_eq!(topo.cluster_class(0, 1), LinkClass(1), "same group");
+        assert_eq!(topo.cluster_class(0, 3), LinkClass(2), "global link");
+        assert!(topo.min_transit(LinkClass(1)) < topo.min_transit(LinkClass(2)));
+    }
+
+    #[test]
+    fn min_transit_is_the_per_class_infimum() {
+        let topos = [
+            Topology::new(TopologyKind::TwoLevel, mx(), blocks(8, 4)),
+            Topology::new(TopologyKind::FatTree { k: 2 }, mx(), blocks(8, 4)),
+            Topology::new(
+                TopologyKind::Dragonfly { g: 2 },
+                Arc::new(TcpModel::default()),
+                blocks(8, 4),
+            ),
+        ];
+        let sizes: Vec<u64> = (0..26)
+            .map(|i| 1u64 << i)
+            .chain([0, 32, 33, 1024, 1025, 4096, 4097, 32 * 1024 + 1])
+            .collect();
+        for topo in &topos {
+            for c in 0..topo.n_classes() {
+                let class = LinkClass(c);
+                for &w in &sizes {
+                    assert!(
+                        topo.class_cost(class, w).transit >= topo.min_transit(class),
+                        "{:?} class {c} transit({w}) < min_transit",
+                        topo.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_machines_collapse_to_flat() {
+        for kind in [
+            TopologyKind::TwoLevel,
+            TopologyKind::FatTree { k: 4 },
+            TopologyKind::Dragonfly { g: 2 },
+        ] {
+            let topo = Topology::new(kind, mx(), vec![0; 8]);
+            assert_eq!(topo.n_classes(), 1, "{kind:?}");
+            assert_eq!(topo.drain_surcharge(), (SimDuration::ZERO, 0));
+        }
+    }
+
+    #[test]
+    fn drain_surcharge_matches_the_widest_class() {
+        let topo = Topology::new(TopologyKind::TwoLevel, mx(), blocks(8, 2));
+        let (lat, per_byte) = topo.drain_surcharge();
+        assert!(lat > SimDuration::ZERO);
+        let expect =
+            topo.min_transit(LinkClass(1)).as_ps() - topo.min_transit(LinkClass(0)).as_ps();
+        assert_eq!(lat.as_ps(), expect);
+        // MX tapers bandwidth past the plateaus, so a per-byte slope
+        // must surface for the inter-cluster class.
+        assert!(per_byte > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn degenerate_fat_tree_rejected() {
+        let _ = Topology::new(TopologyKind::FatTree { k: 1 }, mx(), blocks(8, 4));
+    }
+}

@@ -4,8 +4,13 @@
 //! the rank space is partitioned into **shards of whole clusters**, each
 //! shard runs its own engine instance (event queue + scheduler) on its own
 //! worker thread, and a coordinator advances all shards through
-//! conservative **time windows** derived from the network's minimum
-//! inter-cluster transit (`NetworkModel::min_transit`, the *lookahead*).
+//! conservative **time windows** derived from the minimum cross-shard
+//! transit (the *lookahead*): `NetworkModel::min_transit` for size-only
+//! pricing, or — with a topology configured — the minimum over the link
+//! classes actually crossing each shard boundary, which is strictly
+//! larger on non-flat machines and buys fewer barrier rounds
+//! (DESIGN.md §2.9; the per-pair values are reported in
+//! `RunReport::pair_lookahead`).
 //!
 //! The synchronization scheme is null-message-free:
 //!
@@ -350,7 +355,45 @@ where
         sim.shard_init();
     }
 
-    let lookahead = config.network.min_transit();
+    // Conservative lookahead. Shards are unions of whole clusters, so
+    // every cross-shard message crosses a cluster boundary; with a
+    // non-flat topology its transit is bounded below by the link class
+    // of the (sender cluster, receiver cluster) pair, not by the global
+    // scalar minimum. The horizon therefore widens to the minimum over
+    // the link classes *actually crossing shard boundaries* — strictly
+    // larger than the legacy scalar whenever the topology distinguishes
+    // inter-cluster links, hence tighter windows and fewer barrier
+    // rounds (DESIGN.md §2.9). Flat topologies (one class) and the
+    // no-topology path keep the v6 scalar and report no pairs.
+    let (lookahead, pair_lookahead) = match config.topology.as_deref() {
+        Some(topo) if topo.n_classes() > 1 => {
+            let mut pairs: Vec<(u32, u32, SimDuration)> = Vec::new();
+            for i in 0..slices.len() {
+                for j in (i + 1)..slices.len() {
+                    let pmin = slices[i]
+                        .clusters
+                        .iter()
+                        .flat_map(|&a| {
+                            slices[j]
+                                .clusters
+                                .iter()
+                                .map(move |&b| topo.cluster_min_transit(a, b))
+                        })
+                        .min();
+                    if let Some(t) = pmin {
+                        pairs.push((slices[i].shard, slices[j].shard, t));
+                    }
+                }
+            }
+            let lookahead = pairs
+                .iter()
+                .map(|&(_, _, t)| t)
+                .min()
+                .unwrap_or_else(|| config.network.min_transit());
+            (lookahead, pairs)
+        }
+        _ => (config.network.min_transit(), Vec::new()),
+    };
     let max_events = config.max_events;
     let n = sims.len();
 
@@ -467,6 +510,7 @@ where
         &shard_of_rank,
         n as u32,
         barrier_rounds,
+        pair_lookahead,
         limit_hit,
         shared_rec,
     )
@@ -506,6 +550,7 @@ fn merge(
     shard_of_rank: &[u32],
     shards: u32,
     barrier_rounds: u64,
+    pair_lookahead: Vec<(u32, u32, SimDuration)>,
     limit_hit: bool,
     shared_rec: Option<SharedRecorder>,
 ) -> RunReport {
@@ -598,6 +643,7 @@ fn merge(
         makespan,
         shards,
         barrier_rounds,
+        pair_lookahead,
     }
 }
 

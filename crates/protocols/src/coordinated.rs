@@ -106,6 +106,14 @@ impl GlobalCoordinated {
         }
     }
 
+    /// Route the storage ledger through an interconnect drain path
+    /// (DESIGN.md §2.9): the machine-wide checkpoint burst pays the
+    /// topology's widest link class on its way to stable storage. A
+    /// `(ZERO, 0)` surcharge is a no-op. Call before the run starts.
+    pub fn set_drain_surcharge(&mut self, latency: SimDuration, ps_per_byte: u64) {
+        self.ledger = self.ledger.with_drain_surcharge(latency, ps_per_byte);
+    }
+
     fn obs(&self, ctx: &Ctx<'_, ()>) -> PolicyObs {
         PolicyObs {
             checkpoints_taken: self.ckpts_taken,

@@ -146,6 +146,18 @@ fn parallel_shards(req: &RunRequest) -> Option<usize> {
     (n > 1).then_some(n)
 }
 
+/// Checkpoint-drain surcharge for the request's topology: storage
+/// batches cross the topology's widest link class on their way to the
+/// storage tier (DESIGN.md §2.9). `(ZERO, 0)` — a no-op on the ledger —
+/// for flat topologies and topology-less requests.
+fn drain_surcharge(req: &RunRequest) -> (SimDuration, u64) {
+    req.sim_config
+        .topology
+        .as_deref()
+        .map(|t| t.drain_surcharge())
+        .unwrap_or((SimDuration::ZERO, 0))
+}
+
 /// Runtime-interchangeable protocol constructor/runner (object-safe).
 pub trait ProtocolFactory: Send + Sync {
     /// Short name for records and reports.
@@ -249,6 +261,7 @@ impl ProtocolFactory for HydeeFactory {
     }
 
     fn run(&self, req: RunRequest) -> RunReport {
+        let (drain_lat, drain_pb) = drain_surcharge(&req);
         if let Some(n) = parallel_shards(&req) {
             let RunRequest {
                 app,
@@ -261,9 +274,10 @@ impl ProtocolFactory for HydeeFactory {
             // stable storage is the only machine-global resource, and
             // the coordinator sequences every timer (= every policy
             // consultation) in global order, so sharing it is safe.
-            let ledger = Arc::new(Mutex::new(StorageLedger::new(
-                self.params.config_for(clusters.clone()).storage,
-            )));
+            let ledger = Arc::new(Mutex::new(
+                StorageLedger::new(self.params.config_for(clusters.clone()).storage)
+                    .with_drain_surcharge(drain_lat, drain_pb),
+            ));
             return par_sim::run_sharded(
                 app,
                 sim_config,
@@ -279,7 +293,8 @@ impl ProtocolFactory for HydeeFactory {
                 recorder,
             );
         }
-        let protocol = Hydee::new(self.params.config_for(req.clusters.clone()));
+        let mut protocol = Hydee::new(self.params.config_for(req.clusters.clone()));
+        protocol.set_drain_surcharge(drain_lat, drain_pb);
         run_sim(req, protocol)
     }
 }
@@ -306,7 +321,10 @@ impl ProtocolFactory for CoordinatedFactory {
         // Always serial: the coordinated protocol's "cluster" is the
         // whole machine and it owns a private storage ledger, so there
         // is no shard decomposition to exploit.
-        run_sim(req, GlobalCoordinated::new(self.config.clone()))
+        let (drain_lat, drain_pb) = drain_surcharge(&req);
+        let mut protocol = GlobalCoordinated::new(self.config.clone());
+        protocol.set_drain_surcharge(drain_lat, drain_pb);
+        run_sim(req, protocol)
     }
 }
 
@@ -331,6 +349,7 @@ impl ProtocolFactory for EventLoggedFactory {
     }
 
     fn run(&self, req: RunRequest) -> RunReport {
+        let (drain_lat, drain_pb) = drain_surcharge(&req);
         if let Some(n) = parallel_shards(&req) {
             let RunRequest {
                 app,
@@ -339,9 +358,10 @@ impl ProtocolFactory for EventLoggedFactory {
                 recorder,
                 ..
             } = req;
-            let ledger = Arc::new(Mutex::new(StorageLedger::new(
-                self.params.config_for(clusters.clone()).storage,
-            )));
+            let ledger = Arc::new(Mutex::new(
+                StorageLedger::new(self.params.config_for(clusters.clone()).storage)
+                    .with_drain_surcharge(drain_lat, drain_pb),
+            ));
             return par_sim::run_sharded(
                 app,
                 sim_config,
@@ -363,7 +383,8 @@ impl ProtocolFactory for EventLoggedFactory {
                 recorder,
             );
         }
-        let inner = Hydee::new(self.params.config_for(req.clusters.clone()));
+        let mut inner = Hydee::new(self.params.config_for(req.clusters.clone()));
+        inner.set_drain_surcharge(drain_lat, drain_pb);
         run_sim(req, EventLogged::new(inner, self.cost))
     }
 }

@@ -10,7 +10,8 @@
 //! forms attached, instead of bubbling a bare `String`.
 
 use crate::spec::{
-    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec, ProtocolSpec,
+    CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec,
+    ProtocolSpec, TopologySpec,
 };
 use workloads::WorkloadSpec;
 
@@ -106,6 +107,11 @@ spec_axis!(
 );
 spec_axis!(NetworkSpec, "network", "mx | tcp");
 spec_axis!(
+    TopologySpec,
+    "topology",
+    "flat | two-level | fat-tree:<k> | dragonfly:<g>"
+);
+spec_axis!(
     CheckpointPolicySpec,
     "checkpoint-policy",
     "none | periodic:interval=<ms>[:first=<ms>][:stagger=<ms>] | \
@@ -143,6 +149,7 @@ mod tests {
         round_trips(ProtocolSpec::hydee());
         round_trips(ClusterStrategy::Partitioned(16));
         round_trips(NetworkSpec::Tcp);
+        round_trips(TopologySpec::FatTree { k: 4 });
         round_trips(CheckpointPolicySpec::periodic(40));
         round_trips(FailureModelSpec::poisson(500, 7));
         round_trips(FailureSpec::at_ms(195, vec![7]));

@@ -31,8 +31,11 @@ use crate::spec::ScenarioSpec;
 /// segments then miss instead of returning records for the wrong spec.
 /// History: v1 → v2 added the `shards=` field (parallel engine,
 /// DESIGN.md §2.8) and coincided with the keyed-scheduler engine change
-/// that moved every digest.
-pub const DESCRIPTOR_VERSION: &str = "v2";
+/// that moved every digest. v2 → v3 added the `topology=` field
+/// (endpoint-aware pricing, DESIGN.md §2.9); flat-topology results are
+/// bit-for-bit v2 results, but the descriptor grammar changed, so old
+/// segments miss rather than alias.
+pub const DESCRIPTOR_VERSION: &str = "v3";
 
 /// 128-bit FNV-1a offset basis.
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
@@ -153,11 +156,12 @@ impl ScenarioSpec {
         // and `shards`/`barrier_rounds` columns differ, and the cache
         // contract promises byte-identical records.
         format!(
-            "hydee-cell/{DESCRIPTOR_VERSION}|workload={}|protocol={}|clusters={}|network={}|failure={}|ckpt={}|simulate={}|max_events={}|shards={}",
+            "hydee-cell/{DESCRIPTOR_VERSION}|workload={}|protocol={}|clusters={}|network={}|topology={}|failure={}|ckpt={}|simulate={}|max_events={}|shards={}",
             self.workload.name(),
             self.protocol.name(),
             self.clusters.name(),
             self.network.name(),
+            self.topology.name(),
             self.failure_model.name(),
             self.protocol.checkpoint_policy().name(),
             self.simulate,
@@ -249,6 +253,9 @@ mod tests {
         edits.push(e);
         let mut e = spec.clone();
         e.network = NetworkSpec::Tcp;
+        edits.push(e);
+        let mut e = spec.clone();
+        e.topology = crate::spec::TopologySpec::FatTree { k: 4 };
         edits.push(e);
         let mut e = spec.clone();
         e.failure_model = FailureModelSpec::Fixed(vec![FailureSpec::at_ms(1, vec![0])]);

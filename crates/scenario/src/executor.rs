@@ -67,6 +67,7 @@ impl Executor {
             protocol: spec.protocol.name(),
             clusters: spec.clusters.name(),
             network: spec.network.name().into(),
+            topology: spec.topology.name(),
             n_ranks: app.n_ranks(),
             n_clusters: map.n_clusters(),
             n_failures: spec.failure_model.scheduled_failures(),
@@ -93,6 +94,7 @@ impl Executor {
             metrics: Metrics::default(),
             shards: 1,
             barrier_rounds: 0,
+            pair_lookahead: String::new(),
         };
         if !spec.simulate {
             return record;
@@ -110,8 +112,16 @@ impl Executor {
             };
         }
         let factory = spec.protocol.to_factory();
+        // Always attach the built topology — `Flat` included — so the
+        // oracle path (flat topology == no topology, bit-for-bit) is
+        // exercised by every sweep, not just by its unit tests.
+        let mut cfg = spec.sim_config();
+        cfg.topology = Some(std::sync::Arc::new(
+            spec.topology
+                .build(cfg.network.clone(), map.assignment().to_vec()),
+        ));
         let mut req = RunRequest::new(app)
-            .sim_config(spec.sim_config())
+            .sim_config(cfg)
             .failure_model(spec.failure_model.build(&map))
             .clusters(map)
             .shards(spec.shards);

@@ -71,6 +71,7 @@ pub use report::{
 };
 pub use spec::{
     CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec,
-    ProtocolSpec, ScenarioSpec, StorageSpec, DEFAULT_IMAGE_BYTES, DEFAULT_MAX_FAILURES,
+    ProtocolSpec, ScenarioSpec, StorageSpec, TopologySpec, DEFAULT_IMAGE_BYTES,
+    DEFAULT_MAX_FAILURES,
 };
 pub use suite::{Suite, SuiteCell, SuiteError, SuiteScenario};

@@ -8,7 +8,7 @@
 
 use crate::spec::{
     CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, FailureSpec, NetworkSpec,
-    ProtocolSpec, ScenarioSpec,
+    ProtocolSpec, ScenarioSpec, TopologySpec,
 };
 use workloads::WorkloadSpec;
 
@@ -24,6 +24,8 @@ pub struct Matrix {
     pub clusters: Vec<ClusterStrategy>,
     /// Networks; default `[NetworkSpec::Mx]`.
     pub networks: Vec<NetworkSpec>,
+    /// Interconnect topologies; default `[TopologySpec::Flat]`.
+    pub topologies: Vec<TopologySpec>,
     /// Checkpoint-scheduling policies overriding each protocol's own
     /// setting; default "leave protocols as specified". The canonical
     /// axis — the [`Matrix::checkpoint_ms`] sugar folds into it at the
@@ -68,6 +70,11 @@ impl Matrix {
 
     pub fn networks(mut self, n: impl IntoIterator<Item = NetworkSpec>) -> Self {
         self.networks.extend(n);
+        self
+    }
+
+    pub fn topologies(mut self, t: impl IntoIterator<Item = TopologySpec>) -> Self {
+        self.topologies.extend(t);
         self
     }
 
@@ -148,6 +155,7 @@ impl Matrix {
             * self.protocol_by_checkpoint_points()
             * self.clusters.len().max(1)
             * self.networks.len().max(1)
+            * self.topologies.len().max(1)
             * self.failure_models.len().max(1)
     }
 
@@ -156,8 +164,8 @@ impl Matrix {
     }
 
     /// Expand the cross-product. Nesting order (slowest to fastest):
-    /// workload, protocol, clusters, network, checkpoint interval,
-    /// failure schedule.
+    /// workload, protocol, clusters, network, topology, checkpoint
+    /// interval, failure schedule.
     pub fn expand(&self) -> Vec<ScenarioSpec> {
         let protocols: &[ProtocolSpec] = if self.protocols.is_empty() {
             &[ProtocolSpec::Native]
@@ -173,6 +181,11 @@ impl Matrix {
             &[NetworkSpec::Mx]
         } else {
             &self.networks
+        };
+        let topologies: &[TopologySpec] = if self.topologies.is_empty() {
+            &[TopologySpec::Flat]
+        } else {
+            &self.topologies
         };
         // `None` here means "no override", distinct from an explicit
         // axis value of `CheckpointPolicySpec::None` (= disable periodic
@@ -199,22 +212,25 @@ impl Matrix {
                 let ckpts = ckpts_for(p);
                 for c in clusters {
                     for n in networks {
-                        for ck in &ckpts {
-                            for f in models {
-                                let protocol = match ck {
-                                    Some(policy) => p.with_policy(*policy),
-                                    None => *p,
-                                };
-                                specs.push(ScenarioSpec {
-                                    workload: w.clone(),
-                                    protocol,
-                                    clusters: *c,
-                                    network: *n,
-                                    failure_model: f.clone(),
-                                    simulate: self.simulate,
-                                    max_events: self.max_events,
-                                    shards: self.shards.max(1),
-                                });
+                        for t in topologies {
+                            for ck in &ckpts {
+                                for f in models {
+                                    let protocol = match ck {
+                                        Some(policy) => p.with_policy(*policy),
+                                        None => *p,
+                                    };
+                                    specs.push(ScenarioSpec {
+                                        workload: w.clone(),
+                                        protocol,
+                                        clusters: *c,
+                                        network: *n,
+                                        topology: *t,
+                                        failure_model: f.clone(),
+                                        simulate: self.simulate,
+                                        max_events: self.max_events,
+                                        shards: self.shards.max(1),
+                                    });
+                                }
                             }
                         }
                     }
@@ -291,6 +307,35 @@ mod tests {
         assert_eq!(specs.len(), m.len());
         let labels: std::collections::BTreeSet<String> = specs.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), specs.len(), "every point has a unique label");
+    }
+
+    #[test]
+    fn topology_axis_crosses_and_defaults_to_flat() {
+        let m = Matrix::new()
+            .workloads([WorkloadSpec::NetPipe {
+                rounds: 1,
+                bytes: 8,
+            }])
+            .protocols([ProtocolSpec::hydee()])
+            .clusters([ClusterStrategy::Blocks(2)])
+            .topologies([
+                TopologySpec::Flat,
+                TopologySpec::TwoLevel,
+                TopologySpec::FatTree { k: 4 },
+            ]);
+        let specs = m.expand();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs.len(), m.len());
+        let labels: std::collections::BTreeSet<String> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), specs.len());
+        // An empty axis expands to the flat singleton.
+        let default = Matrix::new()
+            .workloads([WorkloadSpec::NetPipe {
+                rounds: 1,
+                bytes: 8,
+            }])
+            .expand();
+        assert_eq!(default[0].topology, TopologySpec::Flat);
     }
 
     #[test]

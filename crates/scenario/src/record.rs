@@ -18,6 +18,9 @@ pub struct RunRecord {
     pub protocol: String,
     pub clusters: String,
     pub network: String,
+    /// Canonical name of the spec's interconnect topology
+    /// (`TopologySpec::name`; `flat` for untiered runs).
+    pub topology: String,
     pub n_ranks: usize,
     pub n_clusters: usize,
     /// Failure events *scheduled* by a fixed schedule (stochastic models
@@ -91,6 +94,10 @@ pub struct RunRecord {
     pub shards: u32,
     /// Time-window barriers executed (0 for serial runs).
     pub barrier_rounds: u64,
+    /// Per shard-pair conservative lookahead, encoded `"<i>-<j>:<ps>"`
+    /// joined by `;` (empty for serial runs and single-class
+    /// topologies, which use the scalar network floor).
+    pub pair_lookahead: String,
 }
 
 /// RFC-4180 escaping for free-text CSV columns: the field is always
@@ -199,6 +206,12 @@ impl RunRecord {
         self.metrics = report.metrics.clone();
         self.shards = report.shards;
         self.barrier_rounds = report.barrier_rounds;
+        self.pair_lookahead = report
+            .pair_lookahead
+            .iter()
+            .map(|(i, j, t)| format!("{i}-{j}:{}", t.as_ps()))
+            .collect::<Vec<_>>()
+            .join(";");
         self
     }
 
@@ -210,6 +223,7 @@ impl RunRecord {
             "protocol",
             "clusters",
             "network",
+            "topology",
             "n_ranks",
             "n_clusters",
             "n_failures",
@@ -249,6 +263,7 @@ impl RunRecord {
             "events",
             "shards",
             "barrier_rounds",
+            "pair_lookahead",
         ]
         .join(",")
     }
@@ -263,6 +278,7 @@ impl RunRecord {
             quote(&self.protocol),
             quote(&self.clusters),
             quote(&self.network),
+            quote(&self.topology),
             self.n_ranks.to_string(),
             self.n_clusters.to_string(),
             self.n_failures.to_string(),
@@ -302,6 +318,7 @@ impl RunRecord {
             self.metrics.events.to_string(),
             self.shards.to_string(),
             self.barrier_rounds.to_string(),
+            quote(&self.pair_lookahead),
         ]
         .join(",")
     }
@@ -326,6 +343,7 @@ pub(crate) mod tests {
             protocol: "p".into(),
             clusters: "c".into(),
             network: "mx".into(),
+            topology: "flat".into(),
             n_ranks: 2,
             n_clusters: 1,
             n_failures: 0,
@@ -352,6 +370,7 @@ pub(crate) mod tests {
             metrics: Metrics::default(),
             shards: 1,
             barrier_rounds: 0,
+            pair_lookahead: String::new(),
         }
     }
 

@@ -12,7 +12,7 @@ use mps_sim::{
     Application, Cascade, CheckpointPolicyConfig, ClusterMap, CorrelatedCluster, DetMode,
     FailureModel, FixedSchedule, PoissonPerRank, Rank, SimConfig,
 };
-use net_model::{MxModel, NetworkModel, StableStorage, TcpModel};
+use net_model::{MxModel, NetworkModel, StableStorage, TcpModel, Topology, TopologyKind};
 use protocols::{
     CoordinatedConfig, CoordinatedFactory, DeterminantCost, EventLoggedFactory, FailureEvent,
     HydeeFactory, HydeeParams, NativeFactory, ProtocolFactory,
@@ -144,6 +144,91 @@ impl NetworkSpec {
             NetworkSpec::Mx => Box::new(MxModel::default()),
             NetworkSpec::Tcp => Box::new(TcpModel::default()),
         }
+    }
+}
+
+/// Which interconnect topology prices `(src, dst)` pairs (DESIGN.md
+/// §2.9). `Flat` is the byte-identical oracle of the plain size-only
+/// network model; the other variants tier traffic by the link classes
+/// separating the endpoints' clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum TopologySpec {
+    /// Uniform all-to-all pricing (the pre-topology behaviour).
+    #[default]
+    Flat,
+    /// Intra-cluster vs inter-cluster, one switch level.
+    TwoLevel,
+    /// k-ary fat tree over clusters; cost grows with tree distance.
+    FatTree { k: u32 },
+    /// Dragonfly with `g` groups of clusters: local vs global links.
+    Dragonfly { g: u32 },
+}
+
+impl TopologySpec {
+    /// Canonical name; [`TopologySpec::parse`] round-trips it.
+    pub fn name(&self) -> String {
+        match self {
+            TopologySpec::Flat => "flat".into(),
+            TopologySpec::TwoLevel => "two-level".into(),
+            TopologySpec::FatTree { k } => format!("fat-tree:{k}"),
+            TopologySpec::Dragonfly { g } => format!("dragonfly:{g}"),
+        }
+    }
+
+    /// Parse a topology axis value:
+    /// `flat | two-level | fat-tree:<k> | dragonfly:<g>`.
+    pub fn parse(s: &str) -> Result<TopologySpec, String> {
+        let s = s.trim();
+        match s {
+            "flat" => return Ok(TopologySpec::Flat),
+            "two-level" => return Ok(TopologySpec::TwoLevel),
+            _ => {}
+        }
+        let err = || {
+            format!(
+                "unknown topology `{s}` \
+                 (want flat | two-level | fat-tree:<k> | dragonfly:<g>)"
+            )
+        };
+        let (kind, arg) = s.split_once(':').ok_or_else(err)?;
+        let n: u32 = parse_digits(arg)
+            .ok_or_else(|| format!("bad parameter `{arg}` in `{s}` (want a positive integer)"))?;
+        match kind {
+            "fat-tree" => {
+                if n < 2 {
+                    return Err(format!("`{s}` needs arity k >= 2"));
+                }
+                Ok(TopologySpec::FatTree { k: n })
+            }
+            "dragonfly" => {
+                if n == 0 {
+                    return Err(format!("`{s}` needs at least one group"));
+                }
+                Ok(TopologySpec::Dragonfly { g: n })
+            }
+            _ => Err(err()),
+        }
+    }
+
+    fn kind(&self) -> TopologyKind {
+        match self {
+            TopologySpec::Flat => TopologyKind::Flat,
+            TopologySpec::TwoLevel => TopologyKind::TwoLevel,
+            TopologySpec::FatTree { k } => TopologyKind::FatTree { k: *k },
+            TopologySpec::Dragonfly { g } => TopologyKind::Dragonfly { g: *g },
+        }
+    }
+
+    /// Resolve against the run's base network model and rank->cluster
+    /// assignment. Deterministic.
+    pub fn build(&self, base: std::sync::Arc<dyn NetworkModel>, cluster_of: Vec<u32>) -> Topology {
+        Topology::new(self.kind(), base, cluster_of)
+    }
+}
+
+impl std::fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
     }
 }
 
@@ -1114,6 +1199,10 @@ pub struct ScenarioSpec {
     pub protocol: ProtocolSpec,
     pub clusters: ClusterStrategy,
     pub network: NetworkSpec,
+    /// Interconnect topology pricing `(src, dst)` pairs over the
+    /// resolved cluster map (DESIGN.md §2.9). `Flat` reproduces the
+    /// size-only pricing bit-for-bit.
+    pub topology: TopologySpec,
     /// Fault-injection model (fixed schedule or stochastic generator).
     pub failure_model: FailureModelSpec,
     /// `false`: static clustering analysis only, no simulation (Table I).
@@ -1135,6 +1224,7 @@ impl ScenarioSpec {
             protocol,
             clusters,
             network: NetworkSpec::Mx,
+            topology: TopologySpec::Flat,
             failure_model: FailureModelSpec::none(),
             simulate: true,
             max_events: None,
@@ -1145,6 +1235,12 @@ impl ScenarioSpec {
     /// Request the parallel engine with `n` cluster shards.
     pub fn with_shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// Replace the interconnect topology.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -1169,6 +1265,12 @@ impl ScenarioSpec {
             self.clusters.name(),
             self.network.name()
         );
+        // Flat runs keep their historical labels; only tiered
+        // topologies grow a segment.
+        if self.topology != TopologySpec::Flat {
+            s.push('/');
+            s.push_str(&self.topology.name());
+        }
         match &self.failure_model {
             // Fixed schedules keep the historical one-segment-per-failure
             // labels (clean runs add nothing).
@@ -1379,6 +1481,52 @@ mod tests {
         for bad in ["ring", "blocks", "blocks0", "part+4", "part4x", "blocks:"] {
             assert!(ClusterStrategy::parse(bad).is_err(), "`{bad}`");
         }
+    }
+
+    #[test]
+    fn topology_name_parse_round_trips() {
+        let variants = [
+            TopologySpec::Flat,
+            TopologySpec::TwoLevel,
+            TopologySpec::FatTree { k: 4 },
+            TopologySpec::Dragonfly { g: 2 },
+        ];
+        for t in &variants {
+            let name = t.name();
+            assert_eq!(t.to_string(), name);
+            assert_eq!(
+                &TopologySpec::parse(&name).unwrap(),
+                t,
+                "`{name}` round-tripped differently"
+            );
+        }
+        let names: std::collections::BTreeSet<String> = variants.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), variants.len(), "names are injective");
+        for bad in [
+            "mesh",
+            "fat-tree",
+            "fat-tree:1",
+            "fat-tree:x",
+            "fat-tree:+4",
+            "dragonfly",
+            "dragonfly:0",
+            "two-level:2",
+        ] {
+            assert!(TopologySpec::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn topology_labels_only_tiered_runs() {
+        let w = WorkloadSpec::NetPipe {
+            rounds: 1,
+            bytes: 64,
+        };
+        let flat = ScenarioSpec::new(w.clone(), ProtocolSpec::hydee(), ClusterStrategy::Blocks(2));
+        let tiered = flat.clone().with_topology(TopologySpec::FatTree { k: 4 });
+        assert!(!flat.label().contains("flat"), "{}", flat.label());
+        assert!(tiered.label().contains("/fat-tree:4"), "{}", tiered.label());
+        assert_ne!(flat.label(), tiered.label());
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::axis::SpecAxis;
 use crate::matrix::Matrix;
 use crate::spec::{
     CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, NetworkSpec, ProtocolSpec,
-    ScenarioSpec,
+    ScenarioSpec, TopologySpec,
 };
 use workloads::WorkloadSpec;
 
@@ -416,8 +416,8 @@ fn parse_raw(text: &str, file: &str) -> Result<RawSuite, SuiteError> {
 
 /// Axis keys accepted in `[defaults]` and `[scenario.*]` sections.
 const AXIS_KEYS: &str =
-    "workloads | protocols | clusters | networks | checkpoint_policies | failure_models | \
-     static | max_events | shards";
+    "workloads | protocols | clusters | networks | topologies | checkpoint_policies | \
+     failure_models | static | max_events | shards";
 
 /// One section's axis values. `None` = not mentioned, so scenario
 /// sections override `[defaults]` per key, not wholesale.
@@ -427,6 +427,7 @@ struct AxisSet {
     protocols: Option<Vec<ProtocolSpec>>,
     clusters: Option<Vec<ClusterStrategy>>,
     networks: Option<Vec<NetworkSpec>>,
+    topologies: Option<Vec<TopologySpec>>,
     checkpoint_policies: Option<Vec<CheckpointPolicySpec>>,
     failure_models: Option<Vec<FailureModelSpec>>,
     static_only: Option<bool>,
@@ -497,6 +498,10 @@ impl AxisSet {
                 "networks" => {
                     dup(set.networks.is_some())?;
                     set.networks = Some(parse_axis(&listy(&items)?, file, kv.line)?);
+                }
+                "topologies" => {
+                    dup(set.topologies.is_some())?;
+                    set.topologies = Some(parse_axis(&listy(&items)?, file, kv.line)?);
                 }
                 "checkpoint_policies" => {
                     dup(set.checkpoint_policies.is_some())?;
@@ -572,6 +577,7 @@ impl AxisSet {
             protocols: self.protocols.or_else(|| defaults.protocols.clone()),
             clusters: self.clusters.or_else(|| defaults.clusters.clone()),
             networks: self.networks.or_else(|| defaults.networks.clone()),
+            topologies: self.topologies.or_else(|| defaults.topologies.clone()),
             checkpoint_policies: self
                 .checkpoint_policies
                 .or_else(|| defaults.checkpoint_policies.clone()),
@@ -590,6 +596,7 @@ impl AxisSet {
         m.protocols = self.protocols.unwrap_or_default();
         m.clusters = self.clusters.unwrap_or_default();
         m.networks = self.networks.unwrap_or_default();
+        m.topologies = self.topologies.unwrap_or_default();
         m.checkpoint_policies = self.checkpoint_policies.unwrap_or_default();
         m.failure_models = self.failure_models.unwrap_or_default();
         m.simulate = !self.static_only.unwrap_or(false);
@@ -807,6 +814,10 @@ impl Suite {
                 &m.networks.iter().map(SpecAxis::name).collect::<Vec<_>>(),
             ));
             out.push_str(&list(
+                "topologies",
+                &m.topologies.iter().map(SpecAxis::name).collect::<Vec<_>>(),
+            ));
+            out.push_str(&list(
                 "checkpoint_policies",
                 &m.checkpoint_policies
                     .iter()
@@ -954,6 +965,36 @@ shards = 1
         )
         .unwrap_err();
         assert!(err.message.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn topologies_key_parses_and_inherits() {
+        let text = r#"
+[defaults]
+workloads = ["netpipe:64"]
+topologies = ["flat", "fat-tree:4"]
+
+[scenario.tiered]
+protocols = ["hydee"]
+clusters = ["blocks4"]
+
+[scenario.dragon]
+protocols = ["hydee"]
+clusters = ["blocks4"]
+topologies = ["dragonfly:2"]
+"#;
+        let suite = Suite::parse_str(text, "t.suite").unwrap();
+        let cells = suite.cells();
+        assert_eq!(cells.len(), 3, "2 inherited topologies + 1 override");
+        assert_eq!(cells[0].spec.topology, TopologySpec::Flat);
+        assert_eq!(cells[1].spec.topology, TopologySpec::FatTree { k: 4 });
+        assert_eq!(cells[2].spec.topology, TopologySpec::Dragonfly { g: 2 });
+        let err = Suite::parse_str(
+            "[scenario.x]\nworkloads = [\"netpipe:64\"]\ntopologies = [\"mesh\"]\n",
+            "z.suite",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("topology"), "{err}");
     }
 
     #[test]

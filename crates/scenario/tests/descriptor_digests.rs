@@ -14,7 +14,7 @@
 
 use scenario::{
     CheckpointPolicySpec, ClusterStrategy, FailureModelSpec, NetworkSpec, ProtocolSpec,
-    ScenarioSpec, StorageSpec, DEFAULT_IMAGE_BYTES,
+    ScenarioSpec, StorageSpec, TopologySpec, DEFAULT_IMAGE_BYTES,
 };
 use workloads::WorkloadSpec;
 
@@ -100,6 +100,17 @@ fn corpus() -> Vec<ScenarioSpec> {
     let mut tcp = base();
     tcp.network = NetworkSpec::Tcp;
     specs.push(tcp);
+    // Topology axis (v3): every non-flat kind participates in the key.
+    for topology in [
+        TopologySpec::TwoLevel,
+        TopologySpec::FatTree { k: 4 },
+        TopologySpec::Dragonfly { g: 2 },
+    ] {
+        let mut s = base();
+        s.clusters = ClusterStrategy::Blocks(4);
+        s.topology = topology;
+        specs.push(s);
+    }
     // Failure-model axis: fixed schedule and all three stochastic kinds.
     for model in [
         "fail@195ms:r7",

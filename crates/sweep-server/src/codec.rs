@@ -92,6 +92,7 @@ pub fn decode_record(v: &Value) -> Result<RunRecord, String> {
         protocol: s(v, "protocol")?,
         clusters: s(v, "clusters")?,
         network: s(v, "network")?,
+        topology: s(v, "topology")?,
         n_ranks: us(v, "n_ranks")?,
         n_clusters: us(v, "n_clusters")?,
         n_failures: us(v, "n_failures")?,
@@ -118,6 +119,7 @@ pub fn decode_record(v: &Value) -> Result<RunRecord, String> {
         metrics: decode_metrics(field(v, "metrics")?)?,
         shards: u(v, "shards")? as u32,
         barrier_rounds: u(v, "barrier_rounds")?,
+        pair_lookahead: s(v, "pair_lookahead")?,
     })
 }
 
